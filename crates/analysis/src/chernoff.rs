@@ -1,0 +1,117 @@
+//! Lemma 3: Chernoff bounds for the binomial distribution.
+//!
+//! The Phase-1 lemmas apply two forms: a multiplicative bound
+//! `P(|Bin(n,p) − np| > ε·np) < 2·exp(−ε²np/3)` for `ε ∈ [0, 3/2]`, and a
+//! crude tail bound `P(Bin(n,p) ≥ R) ≤ 2^{−R}` for `R ≥ 6np`.  These
+//! functions evaluate the bounds numerically so experiments can report how
+//! conservative they are relative to measured tail frequencies.
+
+/// Upper bound on `P(|Bin(n,p) − np| > ε·np)` from Lemma 3, Equation (1).
+///
+/// # Panics
+/// Panics if `ε` is outside `[0, 3/2]` or `p` outside `[0, 1]`.
+pub fn chernoff_multiplicative(n: u64, p: f64, epsilon: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!((0.0..=1.5).contains(&epsilon), "Lemma 3 requires ε ∈ [0, 3/2]");
+    let np = n as f64 * p;
+    (2.0 * (-epsilon * epsilon * np / 3.0).exp()).min(1.0)
+}
+
+/// Upper bound on `P(Bin(n,p) ≥ R)` from Lemma 3, Equation (2), valid for
+/// `R ≥ 6np`.
+///
+/// # Panics
+/// Panics if the precondition `R ≥ 6np` fails.
+pub fn chernoff_high_tail(n: u64, p: f64, r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let np = n as f64 * p;
+    assert!(r >= 6.0 * np, "Lemma 3 equation (2) requires R ≥ 6np");
+    2f64.powf(-r).min(1.0)
+}
+
+/// The deviation `ε` needed so that the Lemma-3 multiplicative bound is at
+/// most `target` (used to derive the `2√(x ln n)` deviations in Lemma 13:
+/// solving `2·exp(−ε²·np/3) ≤ n^{−2}` gives `ε·np ≈ 2√(np·ln n)` for
+/// `np ≥ 4 ln n`).
+pub fn epsilon_for_failure_probability(n: u64, p: f64, target: f64) -> f64 {
+    assert!(target > 0.0 && target < 2.0, "target must be in (0, 2)");
+    let np = n as f64 * p;
+    assert!(np > 0.0, "mean must be positive");
+    ((3.0 / np) * (2.0 / target).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::dist::{Binomial, Distribution};
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn multiplicative_bound_decreases_with_epsilon_and_mean() {
+        let loose = chernoff_multiplicative(1000, 0.5, 0.1);
+        let tight = chernoff_multiplicative(1000, 0.5, 0.5);
+        assert!(tight < loose);
+        let bigger_mean = chernoff_multiplicative(10_000, 0.5, 0.1);
+        assert!(bigger_mean < loose);
+        // Bound is a probability.
+        assert!(chernoff_multiplicative(10, 0.1, 0.0) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε ∈ [0, 3/2]")]
+    fn multiplicative_bound_rejects_large_epsilon() {
+        let _ = chernoff_multiplicative(10, 0.5, 2.0);
+    }
+
+    #[test]
+    fn high_tail_bound_is_two_to_minus_r() {
+        assert!((chernoff_high_tail(100, 0.01, 10.0) - 2f64.powi(-10)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "R ≥ 6np")]
+    fn high_tail_requires_r_large() {
+        let _ = chernoff_high_tail(100, 0.5, 10.0);
+    }
+
+    #[test]
+    fn bounds_actually_bound_empirical_tails() {
+        // Empirically check the bound dominates the observed tail frequency.
+        let (n, p, eps) = (2_000u64, 0.3, 0.2);
+        let bound = chernoff_multiplicative(n, p, eps);
+        let dist = Binomial::new(n, p).unwrap();
+        let mut rng = rng_from_seed(77);
+        let trials = 20_000;
+        let np = n as f64 * p;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let x = dist.sample(&mut rng) as f64;
+                (x - np).abs() > eps * np
+            })
+            .count();
+        let freq = exceed as f64 / trials as f64;
+        assert!(freq <= bound + 0.01, "empirical {freq} vs bound {bound}");
+    }
+
+    #[test]
+    fn epsilon_for_failure_probability_inverts_the_bound() {
+        let (n, p) = (5_000u64, 0.2);
+        let target = 1e-4;
+        let eps = epsilon_for_failure_probability(n, p, target);
+        let achieved = chernoff_multiplicative(n, p, eps.min(1.5));
+        assert!(achieved <= target * 1.01);
+    }
+
+    #[test]
+    fn lemma13_style_deviation_is_two_sqrt_x_log_n() {
+        // With mean x ≥ 4 ln n and failure target n^{-2}, ε·x should be
+        // ≈ √(6 x ln n) ≤ 2√(x ln n) · 1.3 — verify the order of magnitude.
+        let n_bins = 1024f64;
+        let x = 16.0 * n_bins.ln();
+        let eps = epsilon_for_failure_probability(x as u64, 1.0, 2.0 / (n_bins * n_bins));
+        let deviation = eps * x;
+        let paper_deviation = 2.0 * (x * n_bins.ln()).sqrt();
+        assert!(deviation <= 1.5 * paper_deviation);
+        assert!(deviation >= 0.5 * paper_deviation);
+    }
+}

@@ -1,0 +1,134 @@
+//! Lemmas 4–7: concentration and restart machinery.
+//!
+//! * Lemma 4 — tail bound for a sum of independent exponentials with rates
+//!   at least `λ`: `P(X ≥ E[X] + δ) ≤ exp(λ²·Var[X]/4 − λδ/2)`.
+//! * Lemma 5 — tail bound for weighted sums of geometric random variables.
+//! * Lemma 6 — an expected-time bound `t` from any `d₂`-balanced start turns
+//!   into a w.h.p. bound `2t·log₂n` by splitting time into epochs and using
+//!   Markov's inequality per epoch.
+//! * Lemma 7 — a probability-`p` bound `t` turns into geometric domination
+//!   (`E ≤ t/p`).
+
+/// Lemma 4: upper bound on `P(X ≥ E[X] + δ)` for a sum of independent
+/// exponentials, given the minimum rate `λ`, `Var[X]` and the deviation `δ`.
+pub fn exponential_sum_tail(lambda_min: f64, variance: f64, delta: f64) -> f64 {
+    assert!(lambda_min > 0.0, "minimum rate must be positive");
+    assert!(variance >= 0.0 && delta >= 0.0, "variance and deviation must be non-negative");
+    (lambda_min * lambda_min * variance / 4.0 - lambda_min * delta / 2.0)
+        .exp()
+        .min(1.0)
+}
+
+/// Lemma 5: upper bound on `P(Σ cᵢYᵢ ≥ t)` for independent geometric `Yᵢ`
+/// with common parameter `p`, weights bounded by `M = max cᵢ`, `S ≥ Σ cᵢ`,
+/// `V ≥ Σ cᵢ²`.
+pub fn geometric_sum_tail(p: f64, max_weight: f64, sum_weights: f64, sum_sq_weights: f64, t: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(max_weight > 0.0, "weights must be positive");
+    let l = -(1.0 - p).ln();
+    let exponent = sum_sq_weights / (4.0 * max_weight * max_weight)
+        + (sum_weights + sum_weights * l - t * l) / (2.0 * max_weight);
+    exponent.exp().min(1.0)
+}
+
+/// Lemma 6: convert an expected-time bound into a w.h.p. bound.  If reaching
+/// `d₁`-balance from any `d₂`-balanced start takes expected time at most
+/// `t`, then it takes at most `2·t·log₂ n` with probability ≥ `1 − 1/n`.
+pub fn whp_time_from_expected(t: f64, n: usize) -> f64 {
+    assert!(t >= 0.0 && n >= 2, "need a non-negative time and n ≥ 2");
+    2.0 * t * (n as f64).log2()
+}
+
+/// Lemma 7: convert a probability-`p` time bound into an expected-time
+/// bound via geometric restarts: `E[T] ≤ t/p`.
+pub fn expected_time_from_probabilistic(t: f64, p: f64) -> f64 {
+    assert!(t >= 0.0, "time must be non-negative");
+    assert!(p > 0.0 && p <= 1.0, "success probability must be in (0, 1]");
+    t / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::dist::{Distribution, Exponential, Geometric};
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn exponential_tail_bound_is_valid_probability_and_decreasing() {
+        let b1 = exponential_sum_tail(1.0, 4.0, 10.0);
+        let b2 = exponential_sum_tail(1.0, 4.0, 20.0);
+        assert!(b1 <= 1.0 && b2 <= 1.0);
+        assert!(b2 < b1);
+    }
+
+    #[test]
+    fn exponential_tail_bound_dominates_empirical_tail() {
+        // X = sum of k exponentials with rates ≥ λ = 2.
+        let k = 50;
+        let rates: Vec<f64> = (0..k).map(|i| 2.0 + (i % 5) as f64).collect();
+        let dists: Vec<Exponential> = rates.iter().map(|&r| Exponential::new(r).unwrap()).collect();
+        let mean: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        let var: f64 = rates.iter().map(|r| 1.0 / (r * r)).sum();
+        let delta = 1.5;
+        let bound = exponential_sum_tail(2.0, var, delta);
+        let mut rng = rng_from_seed(5);
+        let trials = 30_000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let x: f64 = dists.iter().map(|d| d.sample(&mut rng)).sum();
+                x >= mean + delta
+            })
+            .count();
+        let freq = exceed as f64 / trials as f64;
+        assert!(freq <= bound + 0.01, "empirical {freq} vs bound {bound}");
+    }
+
+    #[test]
+    fn geometric_tail_bound_dominates_empirical_tail() {
+        // Σ cᵢYᵢ with p = 0.5 and weights 1..=5.
+        let p = 0.5;
+        let weights = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = 5.0;
+        let s: f64 = weights.iter().sum();
+        let v: f64 = weights.iter().map(|c| c * c).sum();
+        let t = 60.0;
+        let bound = geometric_sum_tail(p, m, s, v, t);
+        let geo = Geometric::new(p).unwrap();
+        let mut rng = rng_from_seed(6);
+        let trials = 30_000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let x: f64 = weights.iter().map(|&c| c * geo.sample(&mut rng) as f64).sum();
+                x >= t
+            })
+            .count();
+        let freq = exceed as f64 / trials as f64;
+        assert!(freq <= bound + 0.01, "empirical {freq} vs bound {bound}");
+    }
+
+    #[test]
+    fn geometric_tail_bound_decreases_in_t() {
+        let b1 = geometric_sum_tail(0.3, 2.0, 10.0, 30.0, 50.0);
+        let b2 = geometric_sum_tail(0.3, 2.0, 10.0, 30.0, 100.0);
+        assert!(b2 < b1);
+    }
+
+    #[test]
+    fn lemma6_and_lemma7_conversions() {
+        assert_eq!(whp_time_from_expected(3.0, 1024), 2.0 * 3.0 * 10.0);
+        assert_eq!(expected_time_from_probabilistic(5.0, 0.5), 10.0);
+        assert_eq!(expected_time_from_probabilistic(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn lemma7_rejects_zero_probability() {
+        let _ = expected_time_from_probabilistic(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 2")]
+    fn lemma6_rejects_tiny_n() {
+        let _ = whp_time_from_expected(1.0, 1);
+    }
+}

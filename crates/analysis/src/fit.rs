@@ -1,0 +1,113 @@
+//! Measured-versus-predicted comparison helpers.
+//!
+//! Every experiment in EXPERIMENTS.md ends with a table whose last column is
+//! the ratio of the measured quantity to the predicted shape.  If the paper's
+//! bound has the right form, that ratio is approximately constant across the
+//! sweep (it equals the hidden constant); a drifting ratio exposes a wrong
+//! exponent.  [`ratio_table`] builds those rows and [`ratio_drift`]
+//! summarizes how constant the ratio is.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a measured-vs-predicted comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioRow {
+    /// The sweep parameter (e.g. `n`).
+    pub parameter: f64,
+    /// Measured value (e.g. mean balancing time).
+    pub measured: f64,
+    /// Predicted shape evaluated at the parameter.
+    pub predicted: f64,
+    /// `measured / predicted`.
+    pub ratio: f64,
+}
+
+/// Build measured/predicted rows.  Entries with a non-positive prediction
+/// are skipped (they would make the ratio meaningless).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn ratio_table(parameters: &[f64], measured: &[f64], predicted: &[f64]) -> Vec<RatioRow> {
+    assert!(
+        parameters.len() == measured.len() && measured.len() == predicted.len(),
+        "ratio_table inputs must have equal lengths"
+    );
+    parameters
+        .iter()
+        .zip(measured.iter())
+        .zip(predicted.iter())
+        .filter(|(_, &p)| p > 0.0)
+        .map(|((&parameter, &measured), &predicted)| RatioRow {
+            parameter,
+            measured,
+            predicted,
+            ratio: measured / predicted,
+        })
+        .collect()
+}
+
+/// How non-constant the ratios are: `(max ratio) / (min ratio)`.
+///
+/// A value close to 1 means the predicted shape explains the measurements up
+/// to a constant; a value growing with the sweep length indicates a wrong
+/// shape.  Returns 1.0 for fewer than two rows.
+pub fn ratio_drift(rows: &[RatioRow]) -> f64 {
+    if rows.len() < 2 {
+        return 1.0;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for r in rows {
+        min = min.min(r.ratio);
+        max = max.max(r.ratio);
+    }
+    if min <= 0.0 {
+        return f64::INFINITY;
+    }
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_computes_ratios() {
+        let rows = ratio_table(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!((r.ratio - 2.0).abs() < 1e-12);
+        }
+        assert!((ratio_drift(&rows) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonpositive_predictions_are_skipped() {
+        let rows = ratio_table(&[1.0, 2.0], &[2.0, 4.0], &[0.0, 2.0]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].parameter, 2.0);
+    }
+
+    #[test]
+    fn drift_detects_wrong_shape() {
+        // Measured grows quadratically, predicted linearly: drift grows.
+        let params: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let measured: Vec<f64> = params.iter().map(|v| v * v).collect();
+        let predicted = params.clone();
+        let rows = ratio_table(&params, &measured, &predicted);
+        assert!(ratio_drift(&rows) > 5.0);
+    }
+
+    #[test]
+    fn drift_of_short_tables_is_one() {
+        assert_eq!(ratio_drift(&[]), 1.0);
+        let one = ratio_table(&[1.0], &[3.0], &[1.5]);
+        assert_eq!(ratio_drift(&one), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        let _ = ratio_table(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Harmonic numbers `H_k = Σ_{i=1}^k 1/i`.
+//!
+//! They appear throughout the paper: the expected time for all balls to
+//! leave a single bin is a difference of harmonic numbers (`H_m − H_∅`,
+//! Section 4's lower bound), and the paper's shorthand is
+//! `H_k = ln k + O(1)`.
+
+/// Euler–Mascheroni constant.
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+/// The `k`-th harmonic number `H_k` (with `H_0 = 0`).
+///
+/// Exact summation below 10⁶ terms, asymptotic expansion
+/// `ln k + γ + 1/(2k) − 1/(12k²)` above (absolute error far below 1e-12 in
+/// that range).
+pub fn harmonic(k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k <= 1_000_000 {
+        // Sum smallest-first to limit floating point error.
+        (1..=k).rev().map(|i| 1.0 / i as f64).sum()
+    } else {
+        let kf = k as f64;
+        kf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * kf) - 1.0 / (12.0 * kf * kf)
+    }
+}
+
+/// `H_b − H_a` for `a ≤ b`: the expected time for a pure-death chain with
+/// rates `a+1, …, b` to go from `b` down to `a` (each step exponential with
+/// rate equal to the current value).
+pub fn harmonic_difference(a: u64, b: u64) -> f64 {
+    assert!(a <= b, "harmonic_difference requires a ≤ b");
+    if b - a <= 1_000_000 && b <= u64::MAX - 1 {
+        ((a + 1)..=b).rev().map(|i| 1.0 / i as f64).sum()
+    } else {
+        harmonic(b) - harmonic(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_matches_exact_at_the_switchover() {
+        // Compare the two evaluation strategies just around 10⁶.
+        let exact: f64 = (1..=1_000_000u64).rev().map(|i| 1.0 / i as f64).sum();
+        let kf = 1_000_000f64;
+        let approx = kf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * kf) - 1.0 / (12.0 * kf * kf);
+        assert!((exact - approx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_like_ln() {
+        let h = harmonic(100_000);
+        let expected = (100_000f64).ln() + EULER_MASCHERONI;
+        assert!((h - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn difference_matches_direct_subtraction() {
+        for (a, b) in [(0u64, 10u64), (5, 100), (1000, 2000)] {
+            let d = harmonic_difference(a, b);
+            assert!((d - (harmonic(b) - harmonic(a))).abs() < 1e-9, "a={a}, b={b}");
+        }
+        assert_eq!(harmonic_difference(7, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a ≤ b")]
+    fn difference_requires_order() {
+        let _ = harmonic_difference(5, 3);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = 0.0;
+        for k in 1..200u64 {
+            let h = harmonic(k);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+}

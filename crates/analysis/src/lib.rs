@@ -1,0 +1,39 @@
+//! # rls-analysis — the paper's analytical toolkit, executable
+//!
+//! The experiments do not only measure balancing times; they compare them
+//! with what the paper *predicts*.  This crate turns the quantitative
+//! content of the paper into functions:
+//!
+//! * [`harmonic`] — harmonic numbers `H_k`, which give the exact expected
+//!   time of the sequential-emptying arguments (Lemma 8 and the `Ω(ln n)`
+//!   lower bound `H_m − H_∅`).
+//! * [`bounds`] — the upper-bound forms of Theorem 1 and of each lemma
+//!   (Phase 1/2/3, the `m ≤ n` case), exposed as explicit formulas with
+//!   their leading constants so measured/predicted ratios can be tabulated.
+//! * [`lower_bounds`] — the two lower-bound formulas of Section 4.
+//! * [`chernoff`] — Lemma 3 (multiplicative Chernoff bounds) as numeric
+//!   tail estimates.
+//! * [`concentration`] — Lemma 4 (sums of exponentials) and Lemma 5
+//!   (weighted sums of geometrics) tail bounds, plus the epoch-restart
+//!   conversions of Lemmas 6 and 7.
+//! * [`phase1`] — the Lemma 13 discrepancy-halving recursion
+//!   `x_{k+1} = 2√(x_k ln n)` and the duration schedule it implies.
+//! * [`phase2`] — the Lemma 15/16 potential-drop accounting.
+//! * [`fit`] — helpers for comparing measured scaling against predicted
+//!   shapes (ratio tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod chernoff;
+pub mod concentration;
+pub mod fit;
+pub mod harmonic;
+pub mod lower_bounds;
+pub mod phase1;
+pub mod phase2;
+
+pub use bounds::TheoremOneBound;
+pub use harmonic::harmonic;
+pub use lower_bounds::{lower_bound_all_in_one_bin, lower_bound_one_over_one_under};

@@ -1,0 +1,153 @@
+//! Phase 1 (Lemmas 10–13): the discrepancy-contraction recursion.
+//!
+//! For `∅ > 16 ln n` the proof of Lemma 12 iterates Lemma 13: starting from
+//! an `x`-balanced configuration with `x ≥ 4 ln n`, after time
+//! `ln((∅+x)/(∅−x)) ≤ 4x/∅` the configuration is `2√(x ln n)`-balanced
+//! w.h.p.  Iterating from `x₀ = ∅/2` gives `x_k ≤ 4 ln n · x₀^{1/2^k}`, so
+//! after `r = log₂log₂∅` rounds the discrepancy is `≤ 8 ln n`, and the total
+//! time is `O(ln n)`.  This module computes the recursion, the per-round
+//! durations and the aggregate weights used in the Lemma 5 application.
+
+use serde::{Deserialize, Serialize};
+
+/// One round of the Lemma-13 recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase1Round {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Discrepancy bound at the start of the round (`x_k`).
+    pub discrepancy_in: f64,
+    /// Discrepancy bound guaranteed at the end of the round (`x_{k+1}`).
+    pub discrepancy_out: f64,
+    /// The round duration `ln((∅+x)/(∅−x))` used by the proof.
+    pub duration: f64,
+    /// The simplified duration bound `4x/∅` (valid while `x ≤ ∅/2`).
+    pub duration_bound: f64,
+}
+
+/// The full Lemma-12 schedule for a system with average load `avg` and
+/// `n` bins: the sequence of rounds until the discrepancy bound drops to
+/// `8 ln n` (or stops contracting).
+pub fn phase1_schedule(n: usize, avg: f64) -> Vec<Phase1Round> {
+    assert!(n >= 2, "need at least two bins");
+    assert!(avg > 0.0, "average load must be positive");
+    let ln_n = (n as f64).ln();
+    let target = 8.0 * ln_n;
+    let mut x = avg / 2.0;
+    let mut rounds = Vec::new();
+    // The proof iterates r = log₂ log₂ ∅ times; we additionally stop when
+    // the bound stops improving (x ≤ target) or after a safety cap.
+    for round in 0..64 {
+        if x <= target {
+            break;
+        }
+        let next = 2.0 * (x * ln_n).sqrt();
+        let duration = ((avg + x) / (avg - x).max(1e-9)).ln();
+        let duration_bound = 4.0 * x / avg;
+        rounds.push(Phase1Round {
+            round,
+            discrepancy_in: x,
+            discrepancy_out: next,
+            duration,
+            duration_bound,
+        });
+        if next >= x {
+            break; // contraction has bottomed out at O(ln n)
+        }
+        x = next;
+    }
+    rounds
+}
+
+/// Total of the per-round duration bounds — the quantity the proof shows is
+/// `O(ln n)` (the `Σ cᵢ ≤ 32 ln n` computation at the end of Lemma 12).
+pub fn phase1_total_duration_bound(n: usize, avg: f64) -> f64 {
+    phase1_schedule(n, avg).iter().map(|r| r.duration_bound).sum()
+}
+
+/// The closed-form iterate `x_k ≤ 4 ln n · x₀^{1/2^k}` from the proof.
+pub fn phase1_iterate_bound(n: usize, x0: f64, k: u32) -> f64 {
+    let ln_n = (n as f64).ln();
+    4.0 * ln_n * x0.powf(1.0 / 2f64.powi(k as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_contracts_to_8_log_n() {
+        let n = 1 << 14;
+        let avg = 1e6;
+        let rounds = phase1_schedule(n, avg);
+        assert!(!rounds.is_empty());
+        let last = rounds.last().unwrap();
+        assert!(last.discrepancy_out <= 8.0 * (n as f64).ln() * 1.5);
+        // Each round's output is below its input (contraction).
+        for r in &rounds {
+            assert!(r.discrepancy_out < r.discrepancy_in);
+        }
+    }
+
+    #[test]
+    fn number_of_rounds_is_log_log() {
+        let n = 1024;
+        let avg = 1e9;
+        let rounds = phase1_schedule(n, avg);
+        // log₂ log₂ 1e9 ≈ log₂ 30 ≈ 5; allow generous slack.
+        assert!(rounds.len() <= 10, "rounds {}", rounds.len());
+        assert!(rounds.len() >= 2);
+    }
+
+    #[test]
+    fn already_balanced_enough_gives_empty_schedule() {
+        let n = 1024;
+        let avg = 10.0; // ∅/2 = 5 < 8 ln n
+        assert!(phase1_schedule(n, avg).is_empty());
+    }
+
+    #[test]
+    fn total_duration_is_order_log_n() {
+        for n in [256usize, 1024, 4096] {
+            let avg = (n as f64) * 100.0;
+            let total = phase1_total_duration_bound(n, avg);
+            let ln_n = (n as f64).ln();
+            // The proof bounds the total by 32 ln n (the Σcᵢ ≤ 16 ln n · 2
+            // computation); stay within a small constant of that.
+            assert!(total <= 40.0 * ln_n, "n={n}: total {total} vs ln n {ln_n}");
+            assert!(total > 0.0);
+        }
+    }
+
+    #[test]
+    fn duration_bound_dominates_exact_duration() {
+        // ln((∅+x)/(∅−x)) ≤ 4x/∅ for x ≤ ∅/2.
+        let rounds = phase1_schedule(4096, 1e5);
+        for r in &rounds {
+            assert!(
+                r.duration <= r.duration_bound + 1e-9,
+                "round {}: {} > {}",
+                r.round,
+                r.duration,
+                r.duration_bound
+            );
+        }
+    }
+
+    #[test]
+    fn iterate_bound_matches_recursion_shape() {
+        let n = 2048;
+        let x0 = 1e7;
+        // x_1 = 2√(x₀ ln n) ≤ 4 ln n · x₀^(1/2) (since 2√ln n ≤ 4 ln n).
+        let x1 = 2.0 * (x0 * (n as f64).ln()).sqrt();
+        assert!(x1 <= phase1_iterate_bound(n, x0, 1));
+        // Higher iterates keep decreasing.
+        assert!(phase1_iterate_bound(n, x0, 3) < phase1_iterate_bound(n, x0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn schedule_rejects_single_bin() {
+        let _ = phase1_schedule(1, 10.0);
+    }
+}

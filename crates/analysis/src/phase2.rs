@@ -1,0 +1,108 @@
+//! Phase 2 (Lemmas 15–16): overloaded-ball decay and the potential argument.
+//!
+//! Lemma 15: while the number of overloaded balls is `A > n`, the expected
+//! time for it to decrease by one is `O(n ln²n / (A² ∅))`, so reducing `A`
+//! to `n` takes expected `O(ln²n/∅)`.  Lemma 16: once `A ≤ n`, the potential
+//! `Φ = 3A − k − h` decreases by at least 1 in expected time `≤ 3/∅`
+//! whenever `A > min(h, k)`, giving `O(n/∅)` to 1-balance.  These helpers
+//! expose the per-step waiting-time bounds so the experiments can compare
+//! measured decrements against them.
+
+use rls_core::Phase2Snapshot;
+
+/// Lemma 15's bound on the expected waiting time for the number of
+/// overloaded balls to decrease by one, given the current `A`, the maximum
+/// discrepancy `d = O(ln n)` and the system sizes.
+///
+/// The proof gives `E[wait] ≤ n/(h·∅·k)` and then uses
+/// `h·k = Ω(A²/d²)`; we return the explicit `n·d²/(A²·∅)` form.
+pub fn lemma15_wait_bound(n: usize, avg: f64, discrepancy: f64, overloaded: u64) -> f64 {
+    assert!(overloaded > 0, "no wait when nothing is overloaded");
+    assert!(avg > 0.0 && discrepancy > 0.0);
+    let a = overloaded as f64;
+    n as f64 * discrepancy * discrepancy / (a * a * avg)
+}
+
+/// Total expected-time bound of Lemma 15: reducing `A` from its initial
+/// value down to `n` costs at most `Σ_{A=n}^{∞} n·d²/(A²·∅) = O(d²/∅)`.
+pub fn lemma15_total_bound(n: usize, avg: f64, discrepancy: f64) -> f64 {
+    assert!(avg > 0.0 && discrepancy > 0.0);
+    // ∫_{n−1}^{∞} x⁻² dx = 1/(n−1)
+    n as f64 * discrepancy * discrepancy / (avg * (n as f64 - 1.0).max(1.0))
+}
+
+/// Lemma 16's bound on the expected waiting time for the potential
+/// `3A − k − h` to decrease by one, valid while `A > min(h, k)`.
+pub fn lemma16_wait_bound(avg: f64) -> f64 {
+    assert!(avg > 0.0);
+    3.0 / avg
+}
+
+/// Lemma 16's total bound: the potential starts at most `3n` and never
+/// increases, so expected time to 1-balance is at most `3n · (3/∅) = 9n/∅`
+/// from the snapshot where `A ≤ n` (the constant is what the explicit
+/// argument yields; the paper states it as `O(n/∅)`).
+pub fn lemma16_total_bound(n: usize, avg: f64) -> f64 {
+    assert!(avg > 0.0);
+    9.0 * n as f64 / avg
+}
+
+/// Does Lemma 16's drop guarantee apply to this snapshot (`A > min(h, k)`
+/// and not yet 1-balanced)?
+pub fn lemma16_applies(snapshot: &Phase2Snapshot) -> bool {
+    snapshot.lemma16_applies() && snapshot.discrepancy > 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_core::Config;
+
+    #[test]
+    fn lemma15_wait_decreases_with_more_overload() {
+        let few = lemma15_wait_bound(1000, 100.0, 10.0, 1000);
+        let many = lemma15_wait_bound(1000, 100.0, 10.0, 10_000);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn lemma15_total_is_order_log_squared_over_avg() {
+        let n = 4096usize;
+        let ln_n = (n as f64).ln();
+        let avg = 64.0;
+        let total = lemma15_total_bound(n, avg, 8.0 * ln_n);
+        // d = Θ(ln n) ⇒ total = Θ(ln²n / ∅); check the scaling constantly.
+        let expected_scale = ln_n * ln_n / avg;
+        assert!(total < 100.0 * expected_scale);
+        assert!(total > 0.1 * expected_scale);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing is overloaded")]
+    fn lemma15_wait_rejects_zero_overload() {
+        let _ = lemma15_wait_bound(10, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn lemma16_bounds_scale_with_average() {
+        assert_eq!(lemma16_wait_bound(3.0), 1.0);
+        assert!(lemma16_wait_bound(100.0) < lemma16_wait_bound(10.0));
+        assert!(lemma16_total_bound(100, 10.0) > lemma16_total_bound(100, 100.0));
+        assert_eq!(lemma16_total_bound(100, 10.0), 90.0);
+    }
+
+    #[test]
+    fn lemma16_applicability() {
+        // A > min(h, k) and disc > 1.
+        let skewed = Config::from_loads(vec![8, 0, 4, 4, 4, 4]).unwrap();
+        let snap = Phase2Snapshot::capture(&skewed);
+        assert!(lemma16_applies(&snap));
+        // 1-balanced configuration: does not apply.
+        let near = Config::from_loads(vec![5, 3, 4, 4, 4, 4]).unwrap();
+        let snap = Phase2Snapshot::capture(&near);
+        assert!(!lemma16_applies(&snap));
+        // Perfectly balanced: does not apply.
+        let flat = Config::uniform(6, 4).unwrap();
+        assert!(!lemma16_applies(&Phase2Snapshot::capture(&flat)));
+    }
+}

@@ -1,0 +1,87 @@
+//! E3 / E6 / E7: the lower-bound instances, the sparse (`m ≤ n`) case and
+//! the divisibility overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rls_bench::balance_once;
+use rls_core::Config;
+use rls_rng::rng_from_seed;
+use rls_workloads::Workload;
+
+fn lower_bound_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_lower_bounds");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [32usize, 64] {
+        let m = 8 * n as u64;
+        let one_bin = Config::all_in_one_bin(n, m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("all_in_one_bin", n),
+            &one_bin,
+            |b, initial| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    balance_once(initial, &mut rng_from_seed(seed))
+                });
+            },
+        );
+        let pair = Workload::OneOverOneUnder
+            .generate(n, m, &mut rng_from_seed(1))
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("one_over_one_under", n),
+            &pair,
+            |b, initial| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    balance_once(initial, &mut rng_from_seed(seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sparse_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_sparse_case_m_le_n");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [64usize, 128, 256] {
+        let m = n as u64; // m = n, Lemma 8 regime
+        let initial = Config::all_in_one_bin(n, m).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                balance_once(initial, &mut rng_from_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn divisibility_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_divisibility");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 64usize;
+    for r in [0u64, 1, 31, 63] {
+        let m = 8 * n as u64 + r;
+        let initial = Config::all_in_one_bin(n, m).unwrap();
+        group.bench_with_input(BenchmarkId::new("remainder", r), &initial, |b, initial| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                balance_once(initial, &mut rng_from_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lower_bound_instances, sparse_case, divisibility_overhead);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! E12 / E13 / E14 / E17: protocol comparisons — RLS versus the CRS
+//! pair-sampling protocol, the synchronous selfish protocols, threshold
+//! balancing, and the strict RLS variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
+use rls_protocols::{RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
+use rls_rng::rng_from_seed;
+use rls_workloads::Workload;
+
+fn versus_crs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_vs_crs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 32;
+    let m = 32u64;
+    group.bench_function(BenchmarkId::new("rls_from_two_choices", n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rng_from_seed(seed);
+            let start = Workload::TwoChoices.generate(n, m, &mut rng).unwrap();
+            RlsProtocol::paper().run(&start, 0.0, &mut rng)
+        });
+    });
+    group.bench_function(BenchmarkId::new("crs_pair_sampling", n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rng_from_seed(seed);
+            CrsLocalSearch::new(CrsPlacement::TwoChoices, 200_000).run(n, m, 0.0, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn versus_selfish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_vs_selfish");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 32;
+    for factor in [8u64, 64] {
+        let m = factor * n as u64;
+        group.bench_function(BenchmarkId::new("rls", format!("m_{factor}n")), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = rng_from_seed(seed);
+                let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+                RlsProtocol::paper().run(&start, 1.0, &mut rng)
+            });
+        });
+        group.bench_function(BenchmarkId::new("selfish_global", format!("m_{factor}n")), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = rng_from_seed(seed);
+                let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+                SelfishGlobal::new(5_000).run(&start, 1.0, &mut rng)
+            });
+        });
+        group.bench_function(
+            BenchmarkId::new("selfish_distributed", format!("m_{factor}n")),
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = rng_from_seed(seed);
+                    let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+                    SelfishDistributed::new(5_000).run(&start, 1.0, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn versus_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_vs_threshold");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 32;
+    let m = 8 * n as u64;
+    let coarse = 4.0 * (n as f64).ln();
+    group.bench_function("rls_to_coarse_balance", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rng_from_seed(seed);
+            let start = Workload::AllInOneBin.generate(n, m, &mut rng).unwrap();
+            RlsProtocol::paper().run(&start, coarse, &mut rng)
+        });
+    });
+    group.bench_function("threshold_to_coarse_balance", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rng_from_seed(seed);
+            let start = Workload::AllInOneBin.generate(n, m, &mut rng).unwrap();
+            ThresholdProtocol::average_threshold(2_000).run(&start, coarse, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn variant_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_variant_equivalence");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 32;
+    let m = 8 * n as u64;
+    for (name, proto) in [("geq", RlsProtocol::paper()), ("strict", RlsProtocol::strict())] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = rng_from_seed(seed);
+                let start = Workload::AllInOneBin.generate(n, m, &mut rng).unwrap();
+                proto.run(&start, 0.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, versus_crs, versus_selfish, versus_threshold, variant_equivalence);
+criterion_main!(benches);

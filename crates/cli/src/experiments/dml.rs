@@ -1,0 +1,164 @@
+//! E4, E5: move classification (Figure 1) and the Destructive Majorization
+//! Lemma dominance experiment.
+
+use rls_core::{Config, Move};
+use rls_sim::adversary::{PileUpAdversary, RandomDestructiveAdversary};
+use rls_sim::coupling::{CouplingMode, DmlExperiment};
+use rls_workloads::Workload;
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+/// The 15-bin staircase configuration illustrated in Figure 1.
+pub fn figure1_configuration() -> Config {
+    Config::from_loads(vec![9, 8, 8, 7, 6, 6, 6, 5, 5, 4, 4, 3, 3, 2, 1]).expect("non-empty")
+}
+
+/// E4: classify every move available to a ball in the Figure-1 staircase.
+pub fn figure1_moves() -> Table {
+    let cfg = figure1_configuration();
+    let mut table = Table::new(
+        "E4: Figure 1 - move classification on the staircase configuration",
+        &["from bin", "to bin", "load from", "load to", "class", "RLS move?", "destructive?"],
+    );
+    // A representative selection: the fullest bin, its neighbour on the
+    // staircase (which has neutral moves available), a middle bin and the
+    // emptiest bin, each against a spread of destinations.
+    let sources = [0usize, 1, 7, 14];
+    let dests = [0usize, 2, 3, 7, 11, 14];
+    for &s in &sources {
+        for &d in &dests {
+            if s == d {
+                continue;
+            }
+            let class = cfg.classify(Move::new(s, d)).expect("in range");
+            table.push_row(vec![
+                s.to_string(),
+                d.to_string(),
+                cfg.load(s).to_string(),
+                cfg.load(d).to_string(),
+                format!("{class:?}"),
+                class.is_rls_legal().to_string(),
+                class.is_destructive().to_string(),
+            ]);
+        }
+    }
+    // Summary row counts over all ordered pairs.
+    let mut counts = std::collections::BTreeMap::new();
+    for s in 0..cfg.n() {
+        for d in 0..cfg.n() {
+            if s == d {
+                continue;
+            }
+            let class = cfg.classify(Move::new(s, d)).unwrap();
+            *counts.entry(format!("{class:?}")).or_insert(0usize) += 1;
+        }
+    }
+    for (class, count) in counts {
+        table.push_note(format!("{class}: {count} ordered bin pairs"));
+    }
+    table.push_note("Neutral moves (load difference exactly 1) are both legal RLS moves and destructive moves - the overlap region of Figure 1.");
+    table
+}
+
+/// E5: the DML dominance experiment (Lemma 2).
+pub fn dml_dominance(scale: Scale, seed: u64) -> Table {
+    let (n, m, trials, checkpoints) = match scale {
+        Scale::Quick => (16usize, 128u64, 40, vec![0.5, 1.0, 2.0, 4.0]),
+        Scale::Full => (64usize, 1024u64, 200, vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0]),
+    };
+    let initial = Workload::AllInOneBin
+        .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+        .unwrap();
+    let mut table = Table::new(
+        "E5: Destructive Majorization Lemma - disc with adversary dominates disc without",
+        &["adversary", "t", "mean disc (plain)", "mean disc (adv)", "mean gap", "max CDF violation"],
+    );
+
+    let experiment = DmlExperiment::new(initial.clone(), checkpoints.clone(), trials, seed)
+        .with_mode(CouplingMode::PairedSeeds)
+        .with_threads(4);
+
+    let random_adv = experiment.run(|_| RandomDestructiveAdversary::new(1, 0.5, None));
+    for c in &random_adv {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.push_row(vec![
+            "random-destructive".into(),
+            fmt_f64(c.time),
+            fmt_f64(mean(&c.plain)),
+            fmt_f64(mean(&c.adversarial)),
+            fmt_f64(c.report.mean_gap),
+            fmt_f64(c.report.max_violation.max(0.0)),
+        ]);
+    }
+    let pileup = experiment.run(|_| PileUpAdversary::new());
+    for c in &pileup {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.push_row(vec![
+            "pile-up".into(),
+            fmt_f64(c.time),
+            fmt_f64(mean(&c.plain)),
+            fmt_f64(mean(&c.adversarial)),
+            fmt_f64(c.report.mean_gap),
+            fmt_f64(c.report.max_violation.max(0.0)),
+        ]);
+    }
+    table.push_note("Lemma 2 predicts the adversarial discrepancy stochastically dominates the plain one at every t: mean gap >= 0 and CDF violations within sampling noise.");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_configuration_matches_paper_shape() {
+        let cfg = figure1_configuration();
+        assert_eq!(cfg.n(), 15);
+        // Non-increasing staircase.
+        assert!(cfg.loads().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn figure1_table_covers_all_three_move_classes() {
+        let t = figure1_moves();
+        let classes: Vec<&str> = t.rows.iter().map(|r| r[4].as_str()).collect();
+        assert!(classes.contains(&"Improving"));
+        assert!(classes.contains(&"Destructive"));
+        assert!(classes.iter().any(|c| *c == "Neutral"));
+    }
+
+    #[test]
+    fn figure1_classification_consistency() {
+        // Within the table: a move marked as an RLS move from a to b must
+        // have load(a) >= load(b) + 1.
+        let t = figure1_moves();
+        let cfg = figure1_configuration();
+        for row in &t.rows {
+            let from: usize = row[0].parse().unwrap();
+            let to: usize = row[1].parse().unwrap();
+            let is_rls: bool = row[5].parse().unwrap();
+            assert_eq!(is_rls, cfg.load(from) >= cfg.load(to) + 1);
+        }
+    }
+
+    #[test]
+    fn dml_gaps_are_nonnegative_up_to_noise() {
+        let t = dml_dominance(Scale::Quick, 99);
+        for row in &t.rows {
+            let gap: f64 = row[4].parse().unwrap();
+            assert!(gap > -0.6, "adversary helped at {row:?}");
+            let violation: f64 = row[5].parse().unwrap();
+            assert!(violation < 0.3, "large dominance violation at {row:?}");
+        }
+        // The pile-up adversary should produce visibly larger gaps at late
+        // checkpoints than noise.
+        let pileup_gaps: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "pile-up")
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        assert!(pileup_gaps.iter().cloned().fold(f64::MIN, f64::max) > 0.5);
+    }
+}

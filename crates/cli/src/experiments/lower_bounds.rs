@@ -1,0 +1,191 @@
+//! E3, E6, E7: lower-bound instances, the sparse case and divisibility.
+
+use rls_analysis::bounds::{divisibility_overhead_bound, sparse_case_expected_bound};
+use rls_analysis::{lower_bound_all_in_one_bin, lower_bound_one_over_one_under};
+use rls_core::RlsRule;
+use rls_sim::{MonteCarlo, RlsPolicy, StopWhen};
+use rls_workloads::Workload;
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+/// E3: the two lower-bound instances of Section 4.
+pub fn lower_bounds(scale: Scale, seed: u64) -> Table {
+    let (ns, trials) = match scale {
+        Scale::Quick => (vec![16usize, 32, 64], 8),
+        Scale::Full => (vec![128usize, 256, 512, 1024], 30),
+    };
+    let mut table = Table::new(
+        "E3: Section 4 lower bounds",
+        &["instance", "n", "m", "mean T", "lower bound", "T/bound"],
+    );
+    for &n in &ns {
+        let m = 8 * n as u64;
+        // Instance 1: all balls in one bin — Ω(ln n) via H_m − H_∅.
+        let initial = Workload::AllInOneBin
+            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+            .unwrap();
+        let report = MonteCarlo::new(trials, seed)
+            .with_salt(3_100_000 + n as u64)
+            .parallel()
+            .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                RlsPolicy::new(RlsRule::paper())
+            });
+        let bound = lower_bound_all_in_one_bin(n, m);
+        table.push_row(vec![
+            "all-in-one-bin".into(),
+            n.to_string(),
+            m.to_string(),
+            fmt_f64(report.time.mean),
+            fmt_f64(bound),
+            fmt_f64(report.time.mean / bound),
+        ]);
+
+        // Instance 2: one over / one under — Ω(n²/m) = n/(∅+1).
+        let initial = Workload::OneOverOneUnder
+            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+            .unwrap();
+        let report = MonteCarlo::new(trials, seed)
+            .with_salt(3_200_000 + n as u64)
+            .parallel()
+            .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                RlsPolicy::new(RlsRule::paper())
+            });
+        let bound = lower_bound_one_over_one_under(n, m);
+        table.push_row(vec![
+            "one-over-one-under".into(),
+            n.to_string(),
+            m.to_string(),
+            fmt_f64(report.time.mean),
+            fmt_f64(bound),
+            fmt_f64(report.time.mean / bound),
+        ]);
+    }
+    table.push_note("All-in-one-bin: E[T] >= H_m - H_avg = Omega(ln n).  One-over/one-under: E[T] = n/(avg+1) exactly, so its ratio should be ~1.");
+    table
+}
+
+/// E6: Lemma 8 — with `m ≤ n` the expected balancing time is `O(n)`.
+pub fn sparse_case(scale: Scale, seed: u64) -> Table {
+    let (ns, trials) = match scale {
+        Scale::Quick => (vec![16usize, 32, 64], 8),
+        Scale::Full => (vec![128usize, 256, 512, 1024, 2048], 30),
+    };
+    let mut table = Table::new(
+        "E6: sparse case (Lemma 8) - m <= n balances in expected O(n)",
+        &["n", "m", "mean T", "Lemma 8 bound", "T/bound", "T/n"],
+    );
+    for &n in &ns {
+        for m in [n as u64 / 2, n as u64] {
+            let initial = Workload::AllInOneBin
+                .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+                .unwrap();
+            let report = MonteCarlo::new(trials, seed)
+                .with_salt(6_000_000 + n as u64 * 10 + m)
+                .parallel()
+                .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                    RlsPolicy::new(RlsRule::paper())
+                });
+            let bound = sparse_case_expected_bound(n, m).max(1.0);
+            table.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                fmt_f64(report.time.mean),
+                fmt_f64(bound),
+                fmt_f64(report.time.mean / bound),
+                fmt_f64(report.time.mean / n as f64),
+            ]);
+        }
+    }
+    table.push_note("Lemma 8: E[T] <= sum_{r=2}^{m} n/(r(r-1)) < 2n; T/n should stay bounded by a small constant.");
+    table
+}
+
+/// E7: Lemma 9 — non-divisible `m` only costs an extra `O(ln n)`.
+pub fn divisibility(scale: Scale, seed: u64) -> Table {
+    let (n, trials) = match scale {
+        Scale::Quick => (32usize, 8),
+        Scale::Full => (512usize, 30),
+    };
+    let base_m = 8 * n as u64;
+    let remainders: Vec<u64> = match scale {
+        Scale::Quick => vec![0, 1, n as u64 / 4, n as u64 / 2, n as u64 - 1],
+        Scale::Full => vec![0, 1, n as u64 / 8, n as u64 / 4, n as u64 / 2, n as u64 - 1],
+    };
+    let mut table = Table::new(
+        "E7: divisibility overhead (Lemma 9) - m = 8n + r",
+        &["n", "r", "m", "mean T", "T - T(r=0)", "Lemma 9 overhead bound"],
+    );
+    let mut base_time = 0.0;
+    for &r in &remainders {
+        let m = base_m + r;
+        let initial = Workload::AllInOneBin
+            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+            .unwrap();
+        let report = MonteCarlo::new(trials, seed)
+            .with_salt(7_000_000 + r)
+            .parallel()
+            .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                RlsPolicy::new(RlsRule::paper())
+            });
+        if r == 0 {
+            base_time = report.time.mean;
+        }
+        table.push_row(vec![
+            n.to_string(),
+            r.to_string(),
+            m.to_string(),
+            fmt_f64(report.time.mean),
+            fmt_f64(report.time.mean - base_time),
+            fmt_f64(divisibility_overhead_bound(n, m)),
+        ]);
+    }
+    table.push_note("Lemma 9: the extra time over the divisible case is O(ln n) regardless of r.");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_ratios_are_at_least_one_ish() {
+        // Measured time must not be meaningfully below a *lower* bound.
+        let t = lower_bounds(Scale::Quick, 3);
+        for row in &t.rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio > 0.7, "measured time below the lower bound: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e3_one_over_one_under_ratio_is_near_one() {
+        let t = lower_bounds(Scale::Quick, 3);
+        let ratios: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "one-over-one-under")
+            .map(|r| r[5].parse().unwrap())
+            .collect();
+        // The expected time is exactly the bound; sample means over few
+        // trials scatter around 1.
+        for ratio in ratios {
+            assert!((0.3..3.5).contains(&ratio), "ratio {ratio} far from 1");
+        }
+    }
+
+    #[test]
+    fn e6_time_is_linear_not_worse() {
+        let t = sparse_case(Scale::Quick, 3);
+        for row in &t.rows {
+            let per_n: f64 = row[5].parse().unwrap();
+            assert!(per_n < 4.0, "T/n = {per_n} exceeds the Lemma 8 regime");
+        }
+    }
+
+    #[test]
+    fn e7_has_one_row_per_remainder() {
+        let t = divisibility(Scale::Quick, 3);
+        assert_eq!(t.row_count(), 5);
+    }
+}

@@ -1,0 +1,189 @@
+//! E1, E2, E11: scaling of the balancing time with `n` and `m`.
+
+use rls_analysis::bounds::TheoremOneBound;
+use rls_core::RlsRule;
+use rls_sim::stats::{log_log_fit, quantile};
+use rls_sim::{MonteCarlo, RlsPolicy, StopWhen};
+use rls_workloads::Workload;
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+/// The (n, m-per-n-factor) sweep used by E1/E2.
+fn sweep(scale: Scale) -> (Vec<usize>, Vec<(u64, &'static str)>, usize) {
+    match scale {
+        Scale::Quick => (
+            vec![16, 32, 64],
+            vec![(1, "m=n"), (8, "m=8n")],
+            6,
+        ),
+        Scale::Full => (
+            vec![128, 256, 512, 1024, 2048],
+            vec![(1, "m=n"), (8, "m=8n"), (64, "m=64n")],
+            24,
+        ),
+    }
+}
+
+/// E1: mean balancing time versus the Theorem-1 shape `ln n + n²/m`.
+pub fn theorem1_scaling(scale: Scale, seed: u64) -> Table {
+    let (ns, factors, trials) = sweep(scale);
+    let mut table = Table::new(
+        "E1: Theorem 1 scaling - E[T] vs ln n + n^2/m (all-in-one-bin start)",
+        &["n", "m", "mean T", "ci95", "predicted shape", "ratio"],
+    );
+    for &(factor, _) in &factors {
+        for &n in &ns {
+            let m = factor * n as u64;
+            let initial = Workload::AllInOneBin
+                .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+                .expect("valid workload");
+            let report = MonteCarlo::new(trials, seed)
+                .with_salt(n as u64 * 1000 + factor)
+                .parallel()
+                .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                    RlsPolicy::new(RlsRule::paper())
+                });
+            let bound = TheoremOneBound::new(n, m);
+            table.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                fmt_f64(report.time.mean),
+                fmt_f64(report.time.ci95_half_width),
+                fmt_f64(bound.expected_shape()),
+                fmt_f64(report.time.mean / bound.expected_shape()),
+            ]);
+        }
+    }
+    table.push_note("Theorem 1: E[T] = O(ln n + n^2/m); the ratio column should stay roughly constant within each m/n family.");
+    table
+}
+
+/// E2: the w.h.p. statement — high quantiles of `T` against
+/// `ln n · (1 + n²/m)`.
+pub fn whp_tail(scale: Scale, seed: u64) -> Table {
+    let (ns, factors, trials) = sweep(scale);
+    let trials = trials.max(20);
+    let mut table = Table::new(
+        "E2: Theorem 1 w.h.p. - high quantile of T vs ln n (1 + n^2/m)",
+        &["n", "m", "median T", "p95 T", "whp shape", "p95/shape"],
+    );
+    for &(factor, _) in &factors {
+        for &n in &ns {
+            let m = factor * n as u64;
+            let initial = Workload::AllInOneBin
+                .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+                .expect("valid workload");
+            let report = MonteCarlo::new(trials, seed)
+                .with_salt(2_000_000 + n as u64 * 1000 + factor)
+                .parallel()
+                .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                    RlsPolicy::new(RlsRule::paper())
+                });
+            let times = report.times();
+            let p95 = quantile(&times, 0.95);
+            let bound = TheoremOneBound::new(n, m);
+            table.push_row(vec![
+                n.to_string(),
+                m.to_string(),
+                fmt_f64(report.time.median),
+                fmt_f64(p95),
+                fmt_f64(bound.whp_shape()),
+                fmt_f64(p95 / bound.whp_shape()),
+            ]);
+        }
+    }
+    table.push_note("w.h.p. T = O(ln n + ln n * n^2/m); tail quantiles should track the whp shape up to a constant.");
+    table
+}
+
+/// E11: against the previous bound of [11] — with `m = n²` the `n²/m` term
+/// vanishes, so if the old `ln²n` bound were tight the log–log slope of `T`
+/// against `ln n` would be 2; Theorem 1 predicts slope 1.
+pub fn prior_bound(scale: Scale, seed: u64) -> Table {
+    let ns: Vec<usize> = match scale {
+        Scale::Quick => vec![8, 16, 32, 64],
+        Scale::Full => vec![64, 128, 256, 512, 1024],
+    };
+    let trials = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 16,
+    };
+    let mut table = Table::new(
+        "E11: against the old O(ln^2 n) bound of [11] (m = n^2, all-in-one-bin)",
+        &["n", "mean T", "T / ln n", "T / ln^2 n"],
+    );
+    let mut lnn = Vec::new();
+    let mut means = Vec::new();
+    for &n in &ns {
+        let m = (n as u64) * (n as u64);
+        let initial = Workload::AllInOneBin
+            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
+            .expect("valid workload");
+        let report = MonteCarlo::new(trials, seed)
+            .with_salt(11_000_000 + n as u64)
+            .parallel()
+            .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                RlsPolicy::new(RlsRule::paper())
+            });
+        let ln_n = (n as f64).ln();
+        lnn.push(ln_n);
+        means.push(report.time.mean);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f64(report.time.mean),
+            fmt_f64(report.time.mean / ln_n),
+            fmt_f64(report.time.mean / (ln_n * ln_n)),
+        ]);
+    }
+    let fit = log_log_fit(&lnn, &means);
+    table.push_note(format!(
+        "log-log slope of T against ln n: {:.2} (R^2 = {:.3}); Theorem 1 predicts ~1, the old bound would allow 2.",
+        fit.slope, fit.r_squared
+    ));
+    table.push_note("T / ln n should be roughly constant while T / ln^2 n shrinks as n grows.");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_full_sweep_and_reasonable_ratios() {
+        let t = theorem1_scaling(Scale::Quick, 7);
+        assert_eq!(t.row_count(), 6);
+        // Every ratio should be a positive number.
+        for row in &t.rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn e2_quantiles_are_at_least_medians() {
+        let t = whp_tail(Scale::Quick, 7);
+        for row in &t.rows {
+            let median: f64 = row[2].parse().unwrap();
+            let p95: f64 = row[3].parse().unwrap();
+            assert!(p95 >= median);
+        }
+    }
+
+    #[test]
+    fn e11_slope_is_closer_to_one_than_two() {
+        let t = prior_bound(Scale::Quick, 7);
+        let note = &t.notes[0];
+        let slope: f64 = note
+            .split("slope of T against ln n: ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(slope < 1.8, "slope {slope} suspiciously close to the ln^2 shape");
+        assert!(slope > 0.2, "slope {slope} suspiciously flat");
+    }
+}

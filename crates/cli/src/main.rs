@@ -1,0 +1,129 @@
+//! `rls-experiments` — run the experiment suite and print the tables
+//! recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]
+//! ```
+//!
+//! With no experiment arguments, every experiment is run.  `--scale quick`
+//! (the default) finishes in seconds; `--scale full` reproduces the sizes in
+//! EXPERIMENTS.md and should be run with `--release`.
+
+use std::process::ExitCode;
+
+use rls_cli::{run_experiment, ExperimentId, Scale};
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    list: bool,
+    experiments: Vec<ExperimentId>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut scale = Scale::Quick;
+    let mut seed = 0xC0FFEE;
+    let mut list = false;
+    let mut experiments = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let value = raw.get(i).ok_or("--scale needs a value (quick|full)")?;
+                scale = Scale::parse(value).ok_or_else(|| format!("unknown scale '{value}'"))?;
+            }
+            "--seed" => {
+                i += 1;
+                let value = raw.get(i).ok_or("--seed needs a value")?;
+                seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+            }
+            "--list" => list = true,
+            "all" => experiments = ExperimentId::all(),
+            other => {
+                let id = ExperimentId::parse(other)
+                    .ok_or_else(|| format!("unknown experiment '{other}' (try --list)"))?;
+                experiments.push(id);
+            }
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments = ExperimentId::all();
+    }
+    Ok(Args { scale, seed, list, experiments })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for id in ExperimentId::all() {
+            println!("{:4}  {}", id.name(), id.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "# RLS experiment suite (scale = {:?}, seed = {})\n",
+        args.scale, args.seed
+    );
+    for id in args.experiments {
+        let table = run_experiment(id, args.scale, args.seed);
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_args_select_everything() {
+        let args = parse_args(&[]).unwrap();
+        assert_eq!(args.scale, Scale::Quick);
+        assert_eq!(args.experiments.len(), 17);
+        assert!(!args.list);
+    }
+
+    #[test]
+    fn explicit_selection_and_options() {
+        let args = parse_args(&strings(&["--scale", "full", "--seed", "9", "e1", "e5"])).unwrap();
+        assert_eq!(args.scale, Scale::Full);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.experiments.len(), 2);
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        assert!(parse_args(&strings(&["--scale"])).is_err());
+        assert!(parse_args(&strings(&["--scale", "huge"])).is_err());
+        assert!(parse_args(&strings(&["--seed", "abc"])).is_err());
+        assert!(parse_args(&strings(&["e99"])).is_err());
+    }
+
+    #[test]
+    fn list_flag() {
+        let args = parse_args(&strings(&["--list"])).unwrap();
+        assert!(args.list);
+    }
+
+    #[test]
+    fn all_keyword() {
+        let args = parse_args(&strings(&["all"])).unwrap();
+        assert_eq!(args.experiments.len(), 17);
+    }
+}

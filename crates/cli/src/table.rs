@@ -1,0 +1,137 @@
+//! Minimal aligned-column table formatting for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A printable experiment result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (experiment id and description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed below the table (interpretation, predicted
+    /// shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; the number of cells must match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append an interpretation note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header_line.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Format a float with three significant decimals (compact experiment cells).
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "time"]);
+        t.push_row(vec!["8".into(), "1.25".into()]);
+        t.push_row(vec!["1024".into(), "17.0".into()]);
+        t.push_note("shape check");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("note: shape check"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.to_string(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.12345), "0.1235");
+        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(12345.6), "12346");
+    }
+}

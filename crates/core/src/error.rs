@@ -1,0 +1,71 @@
+//! Error types for configuration construction and move application.
+
+use crate::Move;
+
+/// Errors arising when constructing a [`Config`](crate::Config).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A configuration needs at least one bin.
+    NoBins,
+    /// Requested `m` balls cannot be represented (overflow when summing).
+    TotalOverflow,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NoBins => write!(f, "a configuration requires at least one bin"),
+            ConfigError::TotalOverflow => write!(f, "total number of balls overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors arising when applying a [`Move`](crate::Move) to a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveError {
+    /// The source or destination bin index is out of range.
+    BinOutOfRange {
+        /// The offending move.
+        mv: Move,
+        /// Number of bins in the configuration.
+        n: usize,
+    },
+    /// The source bin holds no ball to move.
+    EmptySource {
+        /// The offending move.
+        mv: Move,
+    },
+}
+
+impl core::fmt::Display for MoveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MoveError::BinOutOfRange { mv, n } => {
+                write!(f, "move {mv} references a bin outside 0..{n}")
+            }
+            MoveError::EmptySource { mv } => {
+                write!(f, "move {mv} has an empty source bin")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let mv = Move::new(3, 1);
+        let e1 = MoveError::BinOutOfRange { mv, n: 2 };
+        assert!(e1.to_string().contains("outside 0..2"));
+        let e2 = MoveError::EmptySource { mv };
+        assert!(e2.to_string().contains("empty source"));
+        assert!(ConfigError::NoBins.to_string().contains("at least one bin"));
+        assert!(ConfigError::TotalOverflow.to_string().contains("overflows"));
+    }
+}

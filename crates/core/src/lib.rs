@@ -1,0 +1,52 @@
+//! # rls-core — the paper's model: balls, bins, moves and the RLS rule
+//!
+//! This crate implements Section 3 of *Tight Load Balancing via Randomized
+//! Local Search* (Berenbrink, Kling, Liaw, Mehrabian; IPDPS 2017): load
+//! configurations over `n` bins and `m` balls, the discrepancy measure and
+//! balance predicates, the classification of ball movements into protocol
+//! moves / destructive moves / neutral moves (Figure 1), the RLS decision
+//! rule in both its `≥` form (this paper) and its strict `>` form
+//! ([Goldberg 2004] and [Ganesh et al. 2012]), and the bookkeeping the
+//! analysis relies on: overloaded balls, the Phase-2 potential `3A − k − h`,
+//! sorted views and the majorization/closeness relations used by the
+//! Destructive Majorization Lemma.
+//!
+//! Everything here is deterministic and purely combinatorial; randomness
+//! (clocks, destination sampling, adversaries) lives in `rls-sim`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use rls_core::{Config, Move, RlsRule, RlsVariant};
+//!
+//! // Four bins, twelve balls, far from balanced.
+//! let mut cfg = Config::from_loads(vec![9, 1, 1, 1]).unwrap();
+//! assert_eq!(cfg.average(), 3.0);
+//! assert_eq!(cfg.discrepancy(), 6.0);
+//!
+//! // Ball in bin 0 samples bin 2: RLS permits the move.
+//! let rule = RlsRule::new(RlsVariant::Geq);
+//! let mv = Move::new(0, 2);
+//! assert!(rule.permits(&cfg, mv));
+//! cfg.apply(mv).unwrap();
+//! assert_eq!(cfg.loads(), &[8, 1, 2, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod majorization;
+mod moves;
+mod potential;
+mod rls;
+mod tracker;
+
+pub use config::{BinCounts, Config};
+pub use error::{ConfigError, MoveError};
+pub use majorization::{is_close, majorizes, sorted_desc};
+pub use moves::{Move, MoveClass};
+pub use potential::{phase2_potential, Phase2Snapshot};
+pub use rls::{RlsRule, RlsVariant};
+pub use tracker::LoadTracker;

@@ -1,0 +1,180 @@
+//! Ball movements and their classification (Figure 1 of the paper).
+//!
+//! A *move* relocates one ball from a source bin to a destination bin.
+//! Relative to a configuration `ℓ`, a move from `i` to `j` is
+//!
+//! * a **protocol (RLS) move** iff `ℓ_i ≥ ℓ_j + 1`,
+//! * a **destructive move** iff `ℓ_i ≤ ℓ_j + 1` (exactly the reversals of
+//!   protocol moves),
+//! * a **neutral move** iff `ℓ_i = ℓ_j + 1` — the overlap of the two classes,
+//!   which swaps the roles of the two loads without changing the multiset.
+//!
+//! The finer [`MoveClass`] distinguishes the strict cases as well, which the
+//! coupling argument of Lemma 2 needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A relocation of a single ball from bin `from` to bin `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Move {
+    /// Source bin index.
+    pub from: usize,
+    /// Destination bin index.
+    pub to: usize,
+}
+
+impl Move {
+    /// Construct a move; `from == to` is permitted and denotes a self-loop
+    /// (the sampled destination happened to be the current bin).
+    pub fn new(from: usize, to: usize) -> Self {
+        Self { from, to }
+    }
+
+    /// The reverse relocation.
+    pub fn reversed(self) -> Self {
+        Self { from: self.to, to: self.from }
+    }
+
+    /// Whether the move stays within the same bin.
+    pub fn is_self_loop(self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl core::fmt::Display for Move {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+/// Classification of a move relative to a concrete configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MoveClass {
+    /// `from == to`: nothing changes regardless of loads.
+    SelfLoop,
+    /// `ℓ_from > ℓ_to + 1`: a strictly improving protocol move.
+    Improving,
+    /// `ℓ_from = ℓ_to + 1`: permitted by RLS *and* destructive (the overlap
+    /// region in Figure 1).
+    Neutral,
+    /// `ℓ_from ≤ ℓ_to`: only an adversary would perform this.
+    Destructive,
+}
+
+impl MoveClass {
+    /// Classify by the two loads involved.
+    pub fn classify(load_from: u64, load_to: u64, is_self_loop: bool) -> Self {
+        if is_self_loop {
+            MoveClass::SelfLoop
+        } else if load_from > load_to + 1 {
+            MoveClass::Improving
+        } else if load_from == load_to + 1 {
+            MoveClass::Neutral
+        } else {
+            MoveClass::Destructive
+        }
+    }
+
+    /// Would RLS (the `≥` variant of this paper) perform the move?
+    pub fn is_rls_legal(self) -> bool {
+        matches!(self, MoveClass::Improving | MoveClass::Neutral)
+    }
+
+    /// Would the strict variant of [12, 11] (`ℓ_i > ℓ_j + 1`) perform it?
+    pub fn is_strictly_improving(self) -> bool {
+        matches!(self, MoveClass::Improving)
+    }
+
+    /// Is the move destructive in the sense of Lemma 2 (`ℓ_i ≤ ℓ_j + 1`),
+    /// i.e. the reversal of some legal protocol move?
+    pub fn is_destructive(self) -> bool {
+        matches!(self, MoveClass::Neutral | MoveClass::Destructive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let mv = Move::new(3, 7);
+        assert_eq!(mv.reversed(), Move::new(7, 3));
+        assert_eq!(mv.reversed().reversed(), mv);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Move::new(4, 4).is_self_loop());
+        assert!(!Move::new(4, 5).is_self_loop());
+    }
+
+    #[test]
+    fn classification_matches_paper_definitions() {
+        // ℓ_from > ℓ_to + 1
+        assert_eq!(MoveClass::classify(5, 2, false), MoveClass::Improving);
+        // ℓ_from = ℓ_to + 1
+        assert_eq!(MoveClass::classify(3, 2, false), MoveClass::Neutral);
+        // ℓ_from = ℓ_to
+        assert_eq!(MoveClass::classify(2, 2, false), MoveClass::Destructive);
+        // ℓ_from < ℓ_to
+        assert_eq!(MoveClass::classify(1, 4, false), MoveClass::Destructive);
+        // self loop dominates
+        assert_eq!(MoveClass::classify(9, 0, true), MoveClass::SelfLoop);
+    }
+
+    #[test]
+    fn neutral_moves_are_both_legal_and_destructive() {
+        let c = MoveClass::Neutral;
+        assert!(c.is_rls_legal());
+        assert!(c.is_destructive());
+        assert!(!c.is_strictly_improving());
+    }
+
+    #[test]
+    fn improving_is_legal_but_not_destructive() {
+        let c = MoveClass::Improving;
+        assert!(c.is_rls_legal());
+        assert!(!c.is_destructive());
+        assert!(c.is_strictly_improving());
+    }
+
+    #[test]
+    fn destructive_is_not_legal() {
+        let c = MoveClass::Destructive;
+        assert!(!c.is_rls_legal());
+        assert!(c.is_destructive());
+    }
+
+    #[test]
+    fn destructive_moves_are_reversals_of_legal_moves() {
+        // Per the paper: a move from a to b is destructive iff, once it has
+        // been performed, the reverse move b → a is a valid protocol move on
+        // the *resulting* loads (ℓ_a − 1, ℓ_b + 1).  Check exhaustively on a
+        // small load range.
+        for la in 1u64..7 {
+            for lb in 0u64..7 {
+                let forward = MoveClass::classify(la, lb, false);
+                let reverse_after = MoveClass::classify(lb + 1, la - 1, false);
+                assert_eq!(
+                    forward.is_destructive(),
+                    reverse_after.is_rls_legal(),
+                    "la={la}, lb={lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Move::new(2, 9).to_string(), "2 -> 9");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mv = Move::new(1, 2);
+        let json = serde_json::to_string(&mv).unwrap();
+        let back: Move = serde_json::from_str(&json).unwrap();
+        assert_eq!(mv, back);
+    }
+}

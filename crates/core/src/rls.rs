@@ -1,0 +1,198 @@
+//! The Randomized Local Search decision rule.
+//!
+//! Section 3 of the paper: when a ball in bin `i` is activated and samples a
+//! destination bin `i'`, it moves iff `ℓ_i ≥ ℓ_{i'} + 1`.  The protocol of
+//! Goldberg [12] and Ganesh et al. [11] instead moves iff `ℓ_i > ℓ_{i'} + 1`;
+//! the paper remarks that because balls and bins are identical the two
+//! variants have *exactly* the same balancing time, a claim experiment E17
+//! verifies empirically.  Both variants are provided.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Config, Move, MoveClass};
+
+/// Which comparison the protocol uses when deciding to migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RlsVariant {
+    /// Move iff `ℓ_i ≥ ℓ_{i'} + 1` (this paper).  Neutral moves are taken.
+    Geq,
+    /// Move iff `ℓ_i > ℓ_{i'} + 1` ([12, 11]).  Neutral moves are skipped.
+    Strict,
+}
+
+impl RlsVariant {
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RlsVariant::Geq => "rls-geq",
+            RlsVariant::Strict => "rls-strict",
+        }
+    }
+}
+
+/// The RLS decision rule for a fixed variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlsRule {
+    variant: RlsVariant,
+}
+
+impl RlsRule {
+    /// Create the rule for the given variant.
+    pub fn new(variant: RlsVariant) -> Self {
+        Self { variant }
+    }
+
+    /// The rule of this paper (`≥`).
+    pub fn paper() -> Self {
+        Self::new(RlsVariant::Geq)
+    }
+
+    /// The variant in use.
+    pub fn variant(&self) -> RlsVariant {
+        self.variant
+    }
+
+    /// Does the rule permit this move in the given configuration?
+    ///
+    /// Out-of-range moves are never permitted (rather than an error: the
+    /// simulator only produces in-range moves, and a boolean keeps the hot
+    /// path branch-cheap).
+    pub fn permits(&self, cfg: &Config, mv: Move) -> bool {
+        match cfg.classify(mv) {
+            Ok(class) => self.permits_class(class),
+            Err(_) => false,
+        }
+    }
+
+    /// Does the rule permit a move of the given class?
+    #[inline]
+    pub fn permits_class(&self, class: MoveClass) -> bool {
+        match self.variant {
+            RlsVariant::Geq => class.is_rls_legal(),
+            RlsVariant::Strict => class.is_strictly_improving(),
+        }
+    }
+
+    /// Decide by raw loads — the form used in the simulator's hot loop,
+    /// where the loads are already at hand and no bounds check is needed.
+    #[inline]
+    pub fn permits_loads(&self, load_from: u64, load_to: u64) -> bool {
+        match self.variant {
+            RlsVariant::Geq => load_from >= load_to + 1,
+            RlsVariant::Strict => load_from > load_to + 1,
+        }
+    }
+
+    /// Apply one activation: ball in `source` sampled destination `dest`.
+    /// Returns `true` if a migration happened (the configuration is updated
+    /// in place), `false` if the ball stayed.
+    pub fn step(&self, cfg: &mut Config, source: usize, dest: usize) -> bool {
+        let mv = Move::new(source, dest);
+        if mv.is_self_loop() || !self.permits(cfg, mv) {
+            return false;
+        }
+        cfg.apply(mv).expect("permitted move must apply");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::from_loads(vec![5, 3, 4, 0]).unwrap()
+    }
+
+    #[test]
+    fn geq_takes_neutral_moves_strict_does_not() {
+        let geq = RlsRule::new(RlsVariant::Geq);
+        let strict = RlsRule::new(RlsVariant::Strict);
+        let c = cfg();
+        // 5 -> 4 is neutral.
+        let neutral = Move::new(0, 2);
+        assert!(geq.permits(&c, neutral));
+        assert!(!strict.permits(&c, neutral));
+        // 5 -> 3 is improving for both.
+        let improving = Move::new(0, 1);
+        assert!(geq.permits(&c, improving));
+        assert!(strict.permits(&c, improving));
+        // 3 -> 5 is destructive for both.
+        let destructive = Move::new(1, 0);
+        assert!(!geq.permits(&c, destructive));
+        assert!(!strict.permits(&c, destructive));
+    }
+
+    #[test]
+    fn self_loops_never_move() {
+        let geq = RlsRule::paper();
+        let mut c = cfg();
+        assert!(!geq.step(&mut c, 0, 0));
+        assert_eq!(c, cfg());
+    }
+
+    #[test]
+    fn out_of_range_is_not_permitted() {
+        let rule = RlsRule::paper();
+        assert!(!rule.permits(&cfg(), Move::new(0, 99)));
+    }
+
+    #[test]
+    fn permits_loads_matches_permits() {
+        let c = cfg();
+        for variant in [RlsVariant::Geq, RlsVariant::Strict] {
+            let rule = RlsRule::new(variant);
+            for from in 0..c.n() {
+                for to in 0..c.n() {
+                    if from == to {
+                        continue;
+                    }
+                    assert_eq!(
+                        rule.permits(&c, Move::new(from, to)),
+                        rule.permits_loads(c.load(from), c.load(to)),
+                        "variant {variant:?}, {from}->{to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_applies_permitted_moves() {
+        let rule = RlsRule::paper();
+        let mut c = cfg();
+        assert!(rule.step(&mut c, 0, 3));
+        assert_eq!(c.loads(), &[4, 3, 4, 1]);
+        // A rejected step leaves the configuration untouched.
+        let before = c.clone();
+        assert!(!rule.step(&mut c, 1, 0));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn discrepancy_never_increases_under_rls_steps() {
+        // The "desirable properties" remark in Section 3, checked on a
+        // deterministic exhaustive walk of small configurations.
+        let rule = RlsRule::paper();
+        let mut c = Config::from_loads(vec![7, 2, 0, 3]).unwrap();
+        let mut disc = c.discrepancy();
+        for source in 0..c.n() {
+            for dest in 0..c.n() {
+                if c.load(source) == 0 {
+                    continue;
+                }
+                rule.step(&mut c, source, dest);
+                let new_disc = c.discrepancy();
+                assert!(new_disc <= disc + 1e-12);
+                disc = new_disc;
+            }
+        }
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(RlsVariant::Geq.name(), "rls-geq");
+        assert_eq!(RlsVariant::Strict.name(), "rls-strict");
+        assert_eq!(RlsRule::paper().variant(), RlsVariant::Geq);
+    }
+}

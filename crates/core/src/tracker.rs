@@ -1,0 +1,322 @@
+//! Incremental bookkeeping of the quantities the simulator's stopping
+//! conditions and observers need after every single ball movement.
+//!
+//! Recomputing the discrepancy or the overloaded-ball count from the load
+//! vector is `O(n)`; the simulator performs on the order of `m ln n + n²`
+//! activations per run and needs these quantities after each one, so the
+//! naive approach turns an `O(events)` simulation into `O(events · n)`.
+//! [`LoadTracker`] maintains them in `O(1)` amortized per move by exploiting
+//! that a single move changes exactly two loads by exactly one:
+//!
+//! * a histogram of loads (`load value → number of bins`),
+//! * the minimum and maximum load (adjusted by at most one step per move),
+//! * the number of overloaded balls and of holes,
+//! * the counts of bins above / at / below the exact average.
+//!
+//! The tracker is identity-agnostic: it never needs to know *which* bins
+//! moved, only their loads immediately before the move.  The ablation bench
+//! `configuration_bookkeeping` quantifies the win over rescanning.
+
+use std::collections::HashMap;
+
+use crate::{BinCounts, Config};
+
+/// Incrementally maintained summary of a load configuration.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    counts: HashMap<u64, usize>,
+    n: usize,
+    m: u64,
+    floor_avg: u64,
+    ceil_avg: u64,
+    min_load: u64,
+    max_load: u64,
+    overloaded: u64,
+    holes: u64,
+    bins_above: usize,
+    bins_at: usize,
+    bins_below: usize,
+}
+
+impl LoadTracker {
+    /// Build the tracker for an initial configuration.
+    pub fn new(cfg: &Config) -> Self {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &l in cfg.loads() {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        let bc = cfg.bin_counts();
+        Self {
+            counts,
+            n: cfg.n(),
+            m: cfg.m(),
+            floor_avg: cfg.floor_average(),
+            ceil_avg: cfg.ceil_average(),
+            min_load: cfg.min_load(),
+            max_load: cfg.max_load(),
+            overloaded: cfg.overloaded_balls(),
+            holes: cfg.holes(),
+            bins_above: bc.above,
+            bins_at: bc.at,
+            bins_below: bc.below,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of balls.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Current minimum load.
+    pub fn min_load(&self) -> u64 {
+        self.min_load
+    }
+
+    /// Current maximum load.
+    pub fn max_load(&self) -> u64 {
+        self.max_load
+    }
+
+    /// The average load `m/n`.
+    pub fn average(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// Current discrepancy `max(max − ∅, ∅ − min)`.
+    pub fn discrepancy(&self) -> f64 {
+        let avg = self.average();
+        (self.max_load as f64 - avg).max(avg - self.min_load as f64).max(0.0)
+    }
+
+    /// Number of overloaded balls (mass above `⌈∅⌉`).
+    pub fn overloaded_balls(&self) -> u64 {
+        self.overloaded
+    }
+
+    /// Number of holes (mass missing below `⌊∅⌋`).
+    pub fn holes(&self) -> u64 {
+        self.holes
+    }
+
+    /// Bin counts above / at / below the exact average.
+    pub fn bin_counts(&self) -> BinCounts {
+        BinCounts { above: self.bins_above, at: self.bins_at, below: self.bins_below }
+    }
+
+    /// The Phase-2 potential `3A − k − h`.
+    pub fn phase2_potential(&self) -> i64 {
+        crate::phase2_potential(self.overloaded, self.bins_above, self.bins_below)
+    }
+
+    /// Is the tracked configuration perfectly balanced (`disc < 1`)?
+    ///
+    /// Equivalent to "no overloaded balls and no holes".
+    pub fn is_perfectly_balanced(&self) -> bool {
+        self.overloaded == 0 && self.holes == 0
+    }
+
+    /// Is the tracked configuration `x`-balanced?
+    pub fn is_x_balanced(&self, x: f64) -> bool {
+        self.discrepancy() <= x
+    }
+
+    /// Record a ball moving out of a bin whose load *before the move* was
+    /// `old_from_load` and into a bin whose load before the move was
+    /// `old_to_load`.  Self-loops must not be recorded.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the bookkeeping would go inconsistent,
+    /// e.g. `old_from_load == 0` or no bin currently has that load.
+    pub fn record_move(&mut self, old_from_load: u64, old_to_load: u64) {
+        debug_assert!(old_from_load > 0, "cannot move a ball out of an empty bin");
+        self.change_bin(old_from_load, old_from_load - 1);
+        self.change_bin(old_to_load, old_to_load + 1);
+    }
+
+    /// Move one bin from load `old` to load `new` (|old − new| must be 1).
+    fn change_bin(&mut self, old: u64, new: u64) {
+        debug_assert!(old.abs_diff(new) == 1);
+        // Histogram.
+        let c = self
+            .counts
+            .get_mut(&old)
+            .unwrap_or_else(|| panic!("tracker inconsistency: no bin at load {old}"));
+        *c -= 1;
+        let emptied = *c == 0;
+        if emptied {
+            self.counts.remove(&old);
+        }
+        *self.counts.entry(new).or_insert(0) += 1;
+
+        // Min / max: a single ±1 change moves the extremes by at most one.
+        if new > self.max_load {
+            self.max_load = new;
+        } else if emptied && old == self.max_load {
+            // The bin that defined the maximum stepped down to old − 1.
+            self.max_load = old - 1;
+        }
+        if new < self.min_load {
+            self.min_load = new;
+        } else if emptied && old == self.min_load {
+            self.min_load = old + 1;
+        }
+
+        // Overloaded balls / holes.
+        self.overloaded = self.overloaded + new.saturating_sub(self.ceil_avg)
+            - old.saturating_sub(self.ceil_avg);
+        self.holes = self.holes + self.floor_avg.saturating_sub(new)
+            - self.floor_avg.saturating_sub(old);
+
+        // Bins above / at / below the exact average (compare l·n with m).
+        let class = |l: u64| -> i8 {
+            let lhs = l as u128 * self.n as u128;
+            let rhs = self.m as u128;
+            match lhs.cmp(&rhs) {
+                core::cmp::Ordering::Greater => 1,
+                core::cmp::Ordering::Equal => 0,
+                core::cmp::Ordering::Less => -1,
+            }
+        };
+        let (old_class, new_class) = (class(old), class(new));
+        if old_class != new_class {
+            match old_class {
+                1 => self.bins_above -= 1,
+                0 => self.bins_at -= 1,
+                _ => self.bins_below -= 1,
+            }
+            match new_class {
+                1 => self.bins_above += 1,
+                0 => self.bins_at += 1,
+                _ => self.bins_below += 1,
+            }
+        }
+    }
+
+    /// Verify the tracker against a configuration (test/debug helper).
+    pub fn matches(&self, cfg: &Config) -> bool {
+        let bc = cfg.bin_counts();
+        self.n == cfg.n()
+            && self.m == cfg.m()
+            && self.min_load == cfg.min_load()
+            && self.max_load == cfg.max_load()
+            && self.overloaded == cfg.overloaded_balls()
+            && self.holes == cfg.holes()
+            && self.bins_above == bc.above
+            && self.bins_at == bc.at
+            && self.bins_below == bc.below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Move, RlsRule};
+
+    #[test]
+    fn new_matches_configuration() {
+        let cfg = Config::from_loads(vec![7, 0, 3, 2]).unwrap();
+        let t = LoadTracker::new(&cfg);
+        assert!(t.matches(&cfg));
+        assert_eq!(t.min_load(), 0);
+        assert_eq!(t.max_load(), 7);
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.m(), 12);
+        assert_eq!(t.average(), 3.0);
+        assert_eq!(t.discrepancy(), 4.0);
+    }
+
+    #[test]
+    fn perfectly_balanced_detection() {
+        let t = LoadTracker::new(&Config::uniform(5, 2).unwrap());
+        assert!(t.is_perfectly_balanced());
+        let t2 = LoadTracker::new(&Config::from_loads(vec![3, 1, 2]).unwrap());
+        assert!(!t2.is_perfectly_balanced());
+        // Fractional average: {2,2,3} on m=7 is perfect.
+        let t3 = LoadTracker::new(&Config::from_loads(vec![2, 2, 3]).unwrap());
+        assert!(t3.is_perfectly_balanced());
+    }
+
+    #[test]
+    fn record_move_tracks_a_single_move() {
+        let mut cfg = Config::from_loads(vec![5, 1, 3]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        let mv = Move::new(0, 1);
+        let (lf, lt) = (cfg.load(0), cfg.load(1));
+        cfg.apply(mv).unwrap();
+        t.record_move(lf, lt);
+        assert!(t.matches(&cfg), "tracker {t:?} vs cfg {cfg:?}");
+    }
+
+    #[test]
+    fn stays_consistent_over_a_long_rls_trajectory() {
+        // Drive a deterministic pseudo-random-ish walk using the RLS rule
+        // and check full consistency after every step.
+        let mut cfg = Config::all_in_one_bin(8, 64).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        let rule = RlsRule::paper();
+        let mut state = 12345u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let from = (state >> 33) as usize % cfg.n();
+            let to = (state >> 13) as usize % cfg.n();
+            if from == to || cfg.load(from) == 0 {
+                continue;
+            }
+            if rule.permits(&cfg, Move::new(from, to)) {
+                let (lf, lt) = (cfg.load(from), cfg.load(to));
+                cfg.apply(Move::new(from, to)).unwrap();
+                t.record_move(lf, lt);
+                assert!(t.matches(&cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn stays_consistent_under_destructive_moves_too() {
+        // The adversary of Lemma 2 performs destructive moves; the tracker
+        // must remain exact for those as well (min can decrease, max can
+        // increase).
+        let mut cfg = Config::from_loads(vec![4, 4, 4, 4]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        // Pile everything into bin 0 by destructive moves.
+        for source in 1..4usize {
+            for _ in 0..4 {
+                let (lf, lt) = (cfg.load(source), cfg.load(0));
+                cfg.apply(Move::new(source, 0)).unwrap();
+                t.record_move(lf, lt);
+                assert!(t.matches(&cfg));
+            }
+        }
+        assert_eq!(t.max_load(), 16);
+        assert_eq!(t.min_load(), 0);
+        assert_eq!(t.overloaded_balls(), 12);
+    }
+
+    #[test]
+    fn potential_matches_snapshot() {
+        let cfg = Config::from_loads(vec![7, 1, 4, 4, 4, 4]).unwrap();
+        let t = LoadTracker::new(&cfg);
+        let snap = crate::Phase2Snapshot::capture(&cfg);
+        assert_eq!(t.phase2_potential(), snap.potential);
+    }
+
+    #[test]
+    fn x_balanced_checks() {
+        let t = LoadTracker::new(&Config::from_loads(vec![5, 1, 3, 3]).unwrap());
+        assert!(t.is_x_balanced(2.0));
+        assert!(!t.is_x_balanced(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn moving_from_empty_bin_panics_in_debug() {
+        let cfg = Config::from_loads(vec![1, 0]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.record_move(0, 1);
+    }
+}

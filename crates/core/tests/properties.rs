@@ -1,0 +1,196 @@
+//! Property-based tests for the core model: the invariants Section 3 of the
+//! paper lists as "desirable properties" of RLS, plus structural invariants
+//! of the bookkeeping types.
+
+use proptest::prelude::*;
+use rls_core::{is_close, majorizes, Config, LoadTracker, Move, Phase2Snapshot, RlsRule, RlsVariant};
+
+/// Strategy: a small random configuration (1..=12 bins, loads 0..=20).
+fn config_strategy() -> impl Strategy<Value = Config> {
+    prop::collection::vec(0u64..=20, 1..=12)
+        .prop_map(|loads| Config::from_loads(loads).unwrap())
+}
+
+/// Strategy: a configuration plus a random (source, destination) pair.
+fn config_and_move() -> impl Strategy<Value = (Config, usize, usize)> {
+    config_strategy().prop_flat_map(|cfg| {
+        let n = cfg.n();
+        (Just(cfg), 0..n, 0..n)
+    })
+}
+
+proptest! {
+    /// Total number of balls is conserved by any applied move.
+    #[test]
+    fn balls_are_conserved((cfg, from, to) in config_and_move()) {
+        let mut cfg2 = cfg.clone();
+        let m_before = cfg2.m();
+        let _ = cfg2.apply(Move::new(from, to));
+        prop_assert_eq!(cfg2.m(), m_before);
+        prop_assert_eq!(cfg2.loads().iter().sum::<u64>(), m_before);
+    }
+
+    /// Under RLS moves the discrepancy never increases, the maximum load
+    /// never increases and the minimum load never decreases (Section 3).
+    #[test]
+    fn rls_moves_never_hurt((cfg, from, to) in config_and_move()) {
+        let rule = RlsRule::new(RlsVariant::Geq);
+        let mut next = cfg.clone();
+        let moved = rule.step(&mut next, from, to);
+        if moved {
+            prop_assert!(next.discrepancy() <= cfg.discrepancy() + 1e-9);
+            prop_assert!(next.max_load() <= cfg.max_load());
+            prop_assert!(next.min_load() >= cfg.min_load());
+        } else {
+            prop_assert_eq!(next, cfg);
+        }
+    }
+
+    /// The strict variant only ever performs moves the `≥` variant would
+    /// also perform.
+    #[test]
+    fn strict_moves_are_a_subset((cfg, from, to) in config_and_move()) {
+        let mv = Move::new(from, to);
+        let geq = RlsRule::new(RlsVariant::Geq);
+        let strict = RlsRule::new(RlsVariant::Strict);
+        if strict.permits(&cfg, mv) {
+            prop_assert!(geq.permits(&cfg, mv));
+        }
+    }
+
+    /// A move and its reverse: exactly one of them is permitted by RLS
+    /// unless the move is neutral or a self-loop (then the forward move is
+    /// permitted and so is the reverse after it is taken).
+    #[test]
+    fn move_or_reverse_is_destructive((cfg, from, to) in config_and_move()) {
+        prop_assume!(from != to);
+        let mv = Move::new(from, to);
+        let class = cfg.classify(mv).unwrap();
+        let rev_class = cfg.classify(mv.reversed()).unwrap();
+        // At least one direction is destructive (they cannot both be
+        // strictly improving).
+        prop_assert!(class.is_destructive() || rev_class.is_destructive());
+    }
+
+    /// Applying a destructive move never decreases the discrepancy below the
+    /// original and the all-in-one-bin configuration majorizes the result of
+    /// any sequence of moves on the same (n, m).
+    #[test]
+    fn all_in_one_bin_majorizes_everything(cfg in config_strategy()) {
+        let extreme = Config::all_in_one_bin(cfg.n(), cfg.m()).unwrap();
+        prop_assert!(majorizes(&extreme, &cfg));
+        // Majorization is reflexive.
+        prop_assert!(majorizes(&cfg, &cfg));
+    }
+
+    /// A perfectly balanced configuration is majorized by every
+    /// configuration with the same n and m.
+    #[test]
+    fn balanced_is_minimal_in_majorization_order(cfg in config_strategy()) {
+        let n = cfg.n() as u64;
+        let m = cfg.m();
+        let base = m / n;
+        let extra = (m % n) as usize;
+        let mut loads = vec![base; cfg.n()];
+        for load in loads.iter_mut().take(extra) {
+            *load += 1;
+        }
+        let balanced = Config::from_loads(loads).unwrap();
+        prop_assert!(balanced.is_perfectly_balanced());
+        prop_assert!(majorizes(&cfg, &balanced));
+    }
+
+    /// The configuration obtained by one destructive move is "close" to the
+    /// original in the sense of Lemma 2's proof.
+    #[test]
+    fn destructive_move_produces_close_configuration((cfg, from, to) in config_and_move()) {
+        prop_assume!(from != to);
+        prop_assume!(cfg.load(from) > 0);
+        let mv = Move::new(from, to);
+        let class = cfg.classify(mv).unwrap();
+        prop_assume!(class.is_destructive());
+        let mut moved = cfg.clone();
+        moved.apply(mv).unwrap();
+        prop_assert!(is_close(&cfg, &moved), "cfg {:?} moved {:?}", cfg, moved);
+    }
+
+    /// The incremental tracker stays consistent with the configuration over
+    /// arbitrary sequences of (legal or destructive) moves.
+    #[test]
+    fn tracker_matches_after_random_walk(
+        cfg in config_strategy(),
+        steps in prop::collection::vec((0usize..12, 0usize..12), 0..60),
+    ) {
+        let mut cfg = cfg;
+        let mut tracker = LoadTracker::new(&cfg);
+        for (from, to) in steps {
+            let from = from % cfg.n();
+            let to = to % cfg.n();
+            if from == to || cfg.load(from) == 0 {
+                continue;
+            }
+            let (lf, lt) = (cfg.load(from), cfg.load(to));
+            cfg.apply(Move::new(from, to)).unwrap();
+            tracker.record_move(lf, lt);
+            prop_assert!(tracker.matches(&cfg));
+            prop_assert!((tracker.discrepancy() - cfg.discrepancy()).abs() < 1e-9);
+            prop_assert_eq!(tracker.is_perfectly_balanced(), cfg.is_perfectly_balanced());
+        }
+    }
+
+    /// Overloaded balls equal holes whenever n divides m, and both are zero
+    /// exactly on perfectly balanced configurations.
+    #[test]
+    fn overloaded_balls_equal_holes_when_divisible(cfg in config_strategy()) {
+        if cfg.divides_evenly() {
+            prop_assert_eq!(cfg.overloaded_balls(), cfg.holes());
+        }
+        prop_assert_eq!(
+            cfg.is_perfectly_balanced(),
+            cfg.overloaded_balls() == 0 && cfg.holes() == 0
+        );
+    }
+
+    /// The Phase-2 potential is non-negative and zero only at small
+    /// discrepancy (≤ 1) when the average is an integer.
+    #[test]
+    fn phase2_potential_nonnegative(cfg in config_strategy()) {
+        prop_assume!(cfg.divides_evenly());
+        let snap = Phase2Snapshot::capture(&cfg);
+        prop_assert!(snap.potential >= 0);
+        if snap.potential == 0 {
+            prop_assert!(cfg.discrepancy() <= 1.0);
+        }
+    }
+
+    /// Sorted views are permutations of the original loads.
+    #[test]
+    fn sorted_desc_is_a_permutation(cfg in config_strategy()) {
+        let mut sorted = cfg.sorted_desc();
+        prop_assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
+        sorted.sort_unstable();
+        let mut original = cfg.loads().to_vec();
+        original.sort_unstable();
+        prop_assert_eq!(sorted, original);
+    }
+
+    /// The histogram counts every bin exactly once.
+    #[test]
+    fn histogram_counts_all_bins(cfg in config_strategy()) {
+        let total: usize = cfg.histogram().values().sum();
+        prop_assert_eq!(total, cfg.n());
+    }
+
+    /// Discrepancy is zero iff all loads are equal, and `is_x_balanced` is
+    /// monotone in `x`.
+    #[test]
+    fn discrepancy_basics(cfg in config_strategy(), x in 0.0f64..30.0) {
+        let all_equal = cfg.loads().windows(2).all(|w| w[0] == w[1]);
+        if all_equal {
+            prop_assert!(cfg.discrepancy() < 1e-9);
+        }
+        if cfg.is_x_balanced(x) {
+            prop_assert!(cfg.is_x_balanced(x + 1.0));
+        }
+    }
+}

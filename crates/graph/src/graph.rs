@@ -1,0 +1,244 @@
+//! Compact undirected graph representation.
+//!
+//! Stored in CSR (compressed sparse row) form: one flat neighbour array plus
+//! per-vertex offsets.  This keeps neighbour sampling — the hot operation of
+//! the graph-restricted RLS process — a single index computation away.
+
+use rls_rng::{Rng64, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The vertex count must be at least 1.
+    Empty,
+    /// An edge references a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: usize,
+        /// The number of vertices.
+        n: usize,
+    },
+    /// Self-loops are not allowed.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: usize,
+    },
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph needs at least one vertex"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edge endpoint {vertex} outside 0..{n}")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph on vertices `0..n` in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Build a graph from an undirected edge list (duplicate edges are
+    /// de-duplicated).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: a, n });
+            }
+            if b >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: b, n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { vertex: a });
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Ok(Self { offsets, neighbors })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Neighbours of a vertex.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// A uniformly random neighbour of `v` (None for isolated vertices).
+    pub fn sample_neighbor<R: Rng64 + ?Sized>(&self, v: usize, rng: &mut R) -> Option<usize> {
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            None
+        } else {
+            Some(nbrs[rng.next_index(nbrs.len())] as usize)
+        }
+    }
+
+    /// Is the graph connected?  (BFS from vertex 0; a single-vertex graph is
+    /// connected.)
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        let mut count = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                let w = w as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Graph diameter via BFS from every vertex (intended for the moderate
+    /// sizes used in experiments).  Returns `None` for disconnected graphs.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.n();
+        let mut diameter = 0usize;
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[start] = 0;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                for &w in self.neighbors(v) {
+                    let w = w as usize;
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            let ecc = *dist.iter().max().unwrap();
+            if ecc == usize::MAX {
+                return None;
+            }
+            diameter = diameter.max(ecc);
+        }
+        Some(diameter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(Graph::from_edges(0, &[]), Err(GraphError::Empty));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 2 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(GraphError::Empty.to_string().contains("at least one vertex"));
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn basic_queries() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn neighbor_sampling_stays_in_neighborhood() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (3, 4)]).unwrap();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            let nb = g.sample_neighbor(0, &mut rng).unwrap();
+            assert!(nb == 1 || nb == 2);
+        }
+        // Isolated vertex in a different graph: none.
+        let h = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(h.sample_neighbor(2, &mut rng), None);
+    }
+
+    #[test]
+    fn connectivity_and_diameter() {
+        assert!(triangle().is_connected());
+        assert_eq!(triangle().diameter(), Some(1));
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(path.diameter(), Some(3));
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.diameter(), None);
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(single.is_connected());
+        assert_eq!(single.diameter(), Some(0));
+    }
+}

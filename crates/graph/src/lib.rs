@@ -1,0 +1,33 @@
+//! # rls-graph — RLS on network topologies other than the complete graph
+//!
+//! The paper's conclusion lists three future directions; the third is
+//! analyzing the protocol "in network topologies other than the complete
+//! graph".  In the graph model, bins are vertices and an activated ball may
+//! only sample a destination among the *neighbours* of its current bin.
+//! The related threshold-balancing literature ([6] in the paper) ties the
+//! balancing time to the graph's mixing time, which is why this crate also
+//! estimates spectral gaps.
+//!
+//! Contents:
+//!
+//! * [`Graph`] — a compact undirected-graph representation (CSR adjacency)
+//!   with degree queries and uniform neighbour sampling.
+//! * [`topology`] — generators for the standard topologies: complete, cycle,
+//!   path, 2-D torus, hypercube, star, balanced binary tree, random
+//!   `d`-regular and Erdős–Rényi `G(n, p)`.
+//! * [`rls_on_graph`] — the RLS process restricted to graph neighbourhoods,
+//!   with the same continuous-time semantics as the complete-graph engine.
+//! * [`mixing`] — spectral-gap and mixing-time estimation for the lazy
+//!   random walk on the graph (power iteration, no external linear algebra).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod mixing;
+pub mod rls_on_graph;
+pub mod topology;
+
+pub use graph::{Graph, GraphError};
+pub use rls_on_graph::{GraphRls, GraphRlsOutcome};
+pub use topology::Topology;

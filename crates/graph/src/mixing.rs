@@ -1,0 +1,183 @@
+//! Spectral-gap and mixing-time estimation for the lazy random walk.
+//!
+//! The threshold-balancing result the paper cites as [6] bounds balancing
+//! time by `O(τ_mix · ln m)`; experiment E16 correlates the measured RLS
+//! balancing time on a topology with that topology's mixing time.  We
+//! estimate the spectral gap of the lazy random-walk transition matrix
+//! `P = ½(I + D⁻¹A)` by power iteration on the component orthogonal to the
+//! stationary distribution, entirely with dense vectors (the experiment
+//! sizes are ≤ a few thousand vertices).
+
+use crate::graph::Graph;
+
+/// Result of the spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingEstimate {
+    /// Estimated second-largest eigenvalue modulus (SLEM) of the lazy walk.
+    pub lambda2: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub spectral_gap: f64,
+    /// Mixing-time proxy `ln(n) / gap` (the standard `τ_mix = O(log n / gap)`
+    /// bound, with unit target accuracy).
+    pub mixing_time: f64,
+}
+
+/// Estimate the spectral gap of the lazy random walk on `graph` using
+/// `iterations` rounds of power iteration.
+///
+/// Returns `None` for graphs where the walk is degenerate (disconnected
+/// graphs have `λ₂ = 1`, which is reported, not `None`; only the
+/// single-vertex graph returns a gap of 1 trivially).
+pub fn estimate_mixing(graph: &Graph, iterations: usize) -> MixingEstimate {
+    let n = graph.n();
+    if n == 1 {
+        return MixingEstimate { lambda2: 0.0, spectral_gap: 1.0, mixing_time: 0.0 };
+    }
+    // Stationary distribution of the lazy walk: π_v ∝ max(deg(v), 1).
+    let degrees: Vec<f64> = (0..n).map(|v| graph.degree(v).max(1) as f64).collect();
+    let total_degree: f64 = degrees.iter().sum();
+    let pi: Vec<f64> = degrees.iter().map(|d| d / total_degree).collect();
+
+    // Start from a deterministic pseudo-random vector (a fixed alternating
+    // vector can be an exact eigenvector of structured graphs — e.g. the
+    // ±1 vector is in the kernel of the lazy walk on an even cycle — which
+    // would make the power iteration collapse); a hashed start has mass on
+    // every eigenvector.
+    let mut x: Vec<f64> = (0..n as u64)
+        .map(|v| {
+            let h = rls_rng::SplitMix64::mix(v.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    orthogonalize(&mut x, &pi);
+    normalize(&mut x);
+
+    let mut lambda2 = 0.0;
+    for _ in 0..iterations.max(1) {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            // Lazy walk: stay with probability 1/2.
+            next[v] += 0.5 * x[v];
+            let deg = graph.degree(v);
+            if deg == 0 {
+                next[v] += 0.5 * x[v];
+                continue;
+            }
+            let share = 0.5 / deg as f64;
+            for &w in graph.neighbors(v) {
+                next[v] += share * x[w as usize];
+            }
+        }
+        orthogonalize(&mut next, &pi);
+        let norm = l2_norm(&next);
+        if norm < 1e-300 {
+            lambda2 = 0.0;
+            break;
+        }
+        lambda2 = norm / l2_norm(&x).max(1e-300);
+        x = next;
+        normalize(&mut x);
+    }
+    let lambda2 = lambda2.clamp(0.0, 1.0);
+    let gap = (1.0 - lambda2).max(1e-12);
+    MixingEstimate {
+        lambda2,
+        spectral_gap: gap,
+        mixing_time: (n as f64).ln() / gap,
+    }
+}
+
+fn orthogonalize(x: &mut [f64], pi: &[f64]) {
+    // Remove the component along the all-ones vector in the π-weighted inner
+    // product: x ← x − (Σ π_v x_v) · 1.
+    let proj: f64 = x.iter().zip(pi.iter()).map(|(xi, pi)| xi * pi).sum();
+    for xi in x.iter_mut() {
+        *xi -= proj;
+    }
+}
+
+fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = l2_norm(x);
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use rls_rng::rng_from_seed;
+
+    fn estimate(t: Topology, n: usize) -> MixingEstimate {
+        let g = t.build(n, &mut rng_from_seed(42)).unwrap();
+        estimate_mixing(&g, 300)
+    }
+
+    #[test]
+    fn complete_graph_mixes_fastest() {
+        let complete = estimate(Topology::Complete, 64);
+        let cycle = estimate(Topology::Cycle, 64);
+        assert!(complete.spectral_gap > cycle.spectral_gap);
+        assert!(complete.mixing_time < cycle.mixing_time);
+    }
+
+    #[test]
+    fn cycle_gap_matches_theory() {
+        // Lazy walk on an n-cycle: gap ≈ (1 − cos(2π/n))/2 ≈ π²/n².
+        let n = 64;
+        let est = estimate(Topology::Cycle, n);
+        let theory = (1.0 - (2.0 * std::f64::consts::PI / n as f64).cos()) / 2.0;
+        assert!(
+            (est.spectral_gap - theory).abs() < 0.5 * theory + 1e-3,
+            "estimated {} vs theory {}",
+            est.spectral_gap,
+            theory
+        );
+    }
+
+    #[test]
+    fn hypercube_mixes_faster_than_torus_of_same_size() {
+        let hyper = estimate(Topology::Hypercube, 64);
+        let torus = estimate(Topology::Torus2D, 64);
+        assert!(hyper.spectral_gap > torus.spectral_gap);
+    }
+
+    #[test]
+    fn expander_beats_path() {
+        let expander = estimate(Topology::RandomRegular { degree: 4 }, 64);
+        let path = estimate(Topology::Path, 64);
+        assert!(expander.mixing_time < path.mixing_time);
+    }
+
+    #[test]
+    fn disconnected_graph_has_tiny_gap() {
+        let g = crate::graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let est = estimate_mixing(&g, 500);
+        assert!(est.lambda2 > 0.99, "λ₂ {} should be ≈ 1 for a disconnected graph", est.lambda2);
+    }
+
+    #[test]
+    fn single_vertex_is_trivially_mixed() {
+        let g = crate::graph::Graph::from_edges(1, &[]).unwrap();
+        let est = estimate_mixing(&g, 10);
+        assert_eq!(est.spectral_gap, 1.0);
+        assert_eq!(est.mixing_time, 0.0);
+    }
+
+    #[test]
+    fn lambda_values_are_probabilistically_sane() {
+        for t in [Topology::Star, Topology::BinaryTree, Topology::Hypercube] {
+            let est = estimate(t, 32);
+            assert!((0.0..=1.0).contains(&est.lambda2), "{t:?}: λ₂ = {}", est.lambda2);
+            assert!(est.spectral_gap > 0.0);
+            assert!(est.mixing_time.is_finite());
+        }
+    }
+}

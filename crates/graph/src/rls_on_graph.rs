@@ -1,0 +1,191 @@
+//! RLS restricted to a graph: an activated ball samples a destination among
+//! the *neighbours* of its current bin (instead of all bins) and moves iff
+//! the neighbour's load is strictly smaller than its own bin's load
+//! (the `ℓ_i ≥ ℓ_{i'} + 1` rule of the paper, unchanged).
+//!
+//! On the complete graph this is exactly the paper's process (up to the
+//! irrelevant exclusion of self-samples), so the complete-graph topology
+//! doubles as a consistency check against the `rls-sim` engine.  On sparse
+//! graphs, perfect balance is still reachable whenever the graph is
+//! connected, but the time degrades with the graph's bottleneck — the
+//! qualitative `τ_mix` dependence that [6] proves for threshold protocols
+//! and that experiment E16 measures for RLS.
+
+use rls_core::Config;
+use rls_rng::dist::{Distribution, Exponential};
+use rls_rng::{Rng64, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// Outcome of a graph-restricted RLS run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphRlsOutcome {
+    /// Simulated (continuous) time at which the run stopped.
+    pub time: f64,
+    /// Number of ball activations.
+    pub activations: u64,
+    /// Number of migrations.
+    pub migrations: u64,
+    /// Whether the target balance was reached.
+    pub reached_goal: bool,
+    /// Final discrepancy.
+    pub final_discrepancy: f64,
+}
+
+/// The RLS process on a graph.
+#[derive(Debug, Clone)]
+pub struct GraphRls {
+    graph: Graph,
+    max_activations: u64,
+}
+
+impl GraphRls {
+    /// RLS on the given graph with an activation budget.
+    pub fn new(graph: Graph, max_activations: u64) -> Self {
+        Self { graph, max_activations }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Run from `initial` (which must have one bin per vertex) until the
+    /// discrepancy is at most `target` (`< 1.0` for perfect balance) or the
+    /// activation budget runs out.
+    pub fn run<R: Rng64 + ?Sized>(
+        &self,
+        initial: &Config,
+        target: f64,
+        rng: &mut R,
+    ) -> GraphRlsOutcome {
+        assert_eq!(
+            initial.n(),
+            self.graph.n(),
+            "configuration must have one bin per graph vertex"
+        );
+        let m = initial.m();
+        assert!(m > 0, "need at least one ball");
+        let mut loads: Vec<u64> = initial.loads().to_vec();
+        let mut positions: Vec<u32> = Vec::with_capacity(m as usize);
+        for (bin, &l) in loads.iter().enumerate() {
+            for _ in 0..l {
+                positions.push(bin as u32);
+            }
+        }
+        let goal = |loads: &[u64]| {
+            let cfg = Config::from_loads(loads.to_vec()).expect("non-empty");
+            if target < 1.0 {
+                cfg.is_perfectly_balanced()
+            } else {
+                cfg.is_x_balanced(target)
+            }
+        };
+        let waiting = Exponential::new(m as f64).expect("m ≥ 1");
+        let mut time = 0.0;
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        let mut reached = goal(&loads);
+        while !reached && activations < self.max_activations {
+            time += waiting.sample(rng);
+            activations += 1;
+            let ball = rng.next_index(m as usize);
+            let source = positions[ball] as usize;
+            let Some(dest) = self.graph.sample_neighbor(source, rng) else {
+                continue;
+            };
+            if loads[source] >= loads[dest] + 1 {
+                loads[source] -= 1;
+                loads[dest] += 1;
+                positions[ball] = dest as u32;
+                migrations += 1;
+                reached = goal(&loads);
+            }
+        }
+        let final_discrepancy = Config::from_loads(loads).expect("non-empty").discrepancy();
+        GraphRlsOutcome { time, activations, migrations, reached_goal: reached, final_discrepancy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use rls_rng::rng_from_seed;
+
+    fn all_in_one(n: usize, m: u64) -> Config {
+        Config::all_in_one_bin(n, m).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_behaves_like_the_paper_process() {
+        let g = Topology::Complete.build(8, &mut rng_from_seed(1)).unwrap();
+        let proc = GraphRls::new(g, 10_000_000);
+        let out = proc.run(&all_in_one(8, 64), 0.0, &mut rng_from_seed(2));
+        assert!(out.reached_goal);
+        assert!(out.final_discrepancy < 1.0);
+        assert!(out.migrations >= 56);
+    }
+
+    #[test]
+    fn cycle_reaches_perfect_balance_but_more_slowly() {
+        let n = 16;
+        let m = 16 * 8;
+        let complete = GraphRls::new(
+            Topology::Complete.build(n, &mut rng_from_seed(3)).unwrap(),
+            50_000_000,
+        );
+        let cycle = GraphRls::new(
+            Topology::Cycle.build(n, &mut rng_from_seed(3)).unwrap(),
+            50_000_000,
+        );
+        let out_complete = complete.run(&all_in_one(n, m), 0.0, &mut rng_from_seed(4));
+        let out_cycle = cycle.run(&all_in_one(n, m), 0.0, &mut rng_from_seed(5));
+        assert!(out_complete.reached_goal);
+        assert!(out_cycle.reached_goal);
+        assert!(
+            out_cycle.time > out_complete.time,
+            "cycle ({}) should be slower than complete ({})",
+            out_cycle.time,
+            out_complete.time
+        );
+    }
+
+    #[test]
+    fn star_balances_through_the_hub() {
+        let g = Topology::Star.build(9, &mut rng_from_seed(6)).unwrap();
+        let proc = GraphRls::new(g, 10_000_000);
+        let out = proc.run(&all_in_one(9, 45), 0.0, &mut rng_from_seed(7));
+        assert!(out.reached_goal);
+    }
+
+    #[test]
+    fn activation_budget_is_respected() {
+        let g = Topology::Cycle.build(32, &mut rng_from_seed(8)).unwrap();
+        let proc = GraphRls::new(g, 100);
+        let out = proc.run(&all_in_one(32, 512), 0.0, &mut rng_from_seed(9));
+        assert!(!out.reached_goal);
+        assert_eq!(out.activations, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bin per graph vertex")]
+    fn mismatched_sizes_panic() {
+        let g = Topology::Cycle.build(8, &mut rng_from_seed(10)).unwrap();
+        let proc = GraphRls::new(g, 100);
+        let _ = proc.run(&all_in_one(4, 16), 0.0, &mut rng_from_seed(11));
+    }
+
+    #[test]
+    fn isolated_vertices_never_receive_balls() {
+        // A path plus one isolated vertex: balls can never reach vertex 3,
+        // so perfect balance is unreachable, but the process must not panic
+        // and must respect its budget.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let proc = GraphRls::new(g, 50_000);
+        let out = proc.run(&all_in_one(4, 12), 0.0, &mut rng_from_seed(12));
+        assert!(!out.reached_goal);
+        assert!(out.final_discrepancy >= 1.0);
+    }
+}

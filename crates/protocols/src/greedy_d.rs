@@ -1,0 +1,151 @@
+//! One-shot `d`-choices placement (Mitzenmacher's power of two choices) —
+//! reference [17].
+//!
+//! Not a reallocation protocol: the `m` balls arrive once, each samples `d`
+//! bins and joins the least loaded of them, and nobody ever moves again.
+//! `d = 1` is the classical random throw (`Θ(ln n / ln ln n)` gap above the
+//! average for `m = n`), `d = 2` collapses the gap to `Θ(ln ln n)`.  The
+//! paper uses two-choices placements as the starting configurations for the
+//! CRS comparison (E12), and the placement quality itself is a baseline for
+//! "how balanced can you get without any reallocation at all".
+
+use rls_core::Config;
+use rls_rng::{Rng64, RngExt};
+
+use crate::outcome::{CostModel, ProtocolOutcome};
+
+/// One-shot greedy `d`-choices placement.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyD {
+    d: usize,
+}
+
+impl GreedyD {
+    /// Placement with `d ≥ 1` choices per ball.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "need at least one choice per ball");
+        Self { d }
+    }
+
+    /// The classical single-choice random throw.
+    pub fn one_choice() -> Self {
+        Self::new(1)
+    }
+
+    /// The power of two choices.
+    pub fn two_choices() -> Self {
+        Self::new(2)
+    }
+
+    /// Number of choices.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self.d {
+            1 => "greedy-1",
+            2 => "greedy-2",
+            _ => "greedy-d",
+        }
+    }
+
+    /// Place `m` balls into `n` bins and return the resulting configuration.
+    pub fn place<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> Config {
+        assert!(n >= 1, "need at least one bin");
+        let mut loads = vec![0u64; n];
+        for _ in 0..m {
+            let mut best = rng.next_index(n);
+            for _ in 1..self.d {
+                let candidate = rng.next_index(n);
+                if loads[candidate] < loads[best] {
+                    best = candidate;
+                }
+            }
+            loads[best] += 1;
+        }
+        Config::from_loads(loads).expect("n ≥ 1")
+    }
+
+    /// Run the placement and report it as a [`ProtocolOutcome`] (the cost is
+    /// the number of probes, `d·m`).
+    pub fn run<R: Rng64 + ?Sized>(
+        &self,
+        n: usize,
+        m: u64,
+        target_discrepancy: f64,
+        rng: &mut R,
+    ) -> ProtocolOutcome {
+        let cfg = self.place(n, m, rng);
+        let reached = if target_discrepancy < 1.0 {
+            cfg.is_perfectly_balanced()
+        } else {
+            cfg.is_x_balanced(target_discrepancy)
+        };
+        ProtocolOutcome {
+            cost_model: CostModel::Placements,
+            cost: (self.d as u64 * m) as f64,
+            activations: m,
+            migrations: m,
+            reached_goal: reached,
+            final_discrepancy: cfg.discrepancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn zero_choices_rejected() {
+        let _ = GreedyD::new(0);
+    }
+
+    #[test]
+    fn placement_conserves_balls() {
+        let cfg = GreedyD::two_choices().place(64, 640, &mut rng_from_seed(1));
+        assert_eq!(cfg.m(), 640);
+        assert_eq!(cfg.n(), 64);
+    }
+
+    #[test]
+    fn two_choices_beats_one_choice() {
+        let mut rng = rng_from_seed(2);
+        let n = 256;
+        let m = 256 * 16;
+        let one = GreedyD::one_choice().place(n, m, &mut rng).discrepancy();
+        let two = GreedyD::two_choices().place(n, m, &mut rng).discrepancy();
+        assert!(two < one, "two-choices {two} should beat one-choice {one}");
+        assert!(two <= 4.0, "two-choices gap should be tiny, got {two}");
+    }
+
+    #[test]
+    fn more_choices_never_hurt_much() {
+        let mut rng = rng_from_seed(3);
+        let n = 128;
+        let m = 128 * 8;
+        let two = GreedyD::new(2).place(n, m, &mut rng).discrepancy();
+        let four = GreedyD::new(4).place(n, m, &mut rng).discrepancy();
+        assert!(four <= two + 1.0);
+    }
+
+    #[test]
+    fn run_reports_probe_cost() {
+        let out = GreedyD::new(3).run(32, 320, 5.0, &mut rng_from_seed(4));
+        assert_eq!(out.cost, 3.0 * 320.0);
+        assert_eq!(out.cost_model, CostModel::Placements);
+        assert_eq!(out.activations, 320);
+    }
+
+    #[test]
+    fn names_and_accessors() {
+        assert_eq!(GreedyD::one_choice().name(), "greedy-1");
+        assert_eq!(GreedyD::two_choices().name(), "greedy-2");
+        assert_eq!(GreedyD::new(5).name(), "greedy-d");
+        assert_eq!(GreedyD::new(5).d(), 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rls-protocols — RLS and every protocol the paper compares against
+//!
+//! Section 2 of the paper situates RLS among three families of balls-into-
+//! bins reallocation protocols.  To reproduce those comparisons (experiments
+//! E12–E17) — and the future-work extensions of Section 7 (E15) — this crate
+//! implements each of them from scratch:
+//!
+//! | Module | Protocol | Paper reference |
+//! |---|---|---|
+//! | [`rls`] | Randomized Local Search, `≥` and strict `>` variants | this paper; [12], [11] |
+//! | [`crs_local_search`] | pair-sampling local search over two-choices placements | Czumaj, Riley, Scheideler [9] |
+//! | [`selfish_global`] | synchronous selfish rerouting with global knowledge of the average | Even-Dar, Mansour [10] |
+//! | [`selfish_distributed`] | synchronous selfish load balancing without global knowledge | Berenbrink et al. [4] |
+//! | [`threshold`] | threshold load balancing (fixed and average-threshold) | Ackermann et al. [1]; [6] |
+//! | [`greedy_d`] | one-shot `d`-choices placement (`d = 1` random, `d = 2` power of two choices) | Mitzenmacher [17] |
+//! | [`weighted`] | RLS with weighted balls | Section 7, future work 2 |
+//! | [`speeds`] | RLS with heterogeneous bin speeds | Section 7, future work 1 |
+//!
+//! All protocols report a [`ProtocolOutcome`] so the comparison harness can
+//! tabulate them side by side; the cost models differ (continuous time for
+//! sequential-activation protocols, rounds for synchronous ones, per-ball
+//! placements for one-shot allocation) and the outcome records which applies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crs_local_search;
+pub mod greedy_d;
+pub mod outcome;
+pub mod rls;
+pub mod selfish_distributed;
+pub mod selfish_global;
+pub mod speeds;
+pub mod threshold;
+pub mod weighted;
+
+pub use crs_local_search::CrsLocalSearch;
+pub use greedy_d::GreedyD;
+pub use outcome::{CostModel, ProtocolOutcome};
+pub use rls::RlsProtocol;
+pub use selfish_distributed::SelfishDistributed;
+pub use selfish_global::SelfishGlobal;
+pub use speeds::SpeedRls;
+pub use threshold::ThresholdProtocol;
+pub use weighted::WeightedRls;

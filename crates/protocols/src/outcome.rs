@@ -1,0 +1,58 @@
+//! Common outcome type for protocol comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// The unit in which a protocol's running cost is most naturally measured.
+///
+/// The paper warns that comparing selfish (synchronous) protocols to local
+/// search needs "a grain of salt": one synchronous round activates all `m`
+/// balls, whereas one time unit of RLS activates `m` balls in expectation.
+/// Keeping the cost model explicit lets the tables state both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Continuous time of the exponential-clock model.
+    ContinuousTime,
+    /// Synchronous rounds in which every ball acts once.
+    Rounds,
+    /// One-shot placements (cost is per-ball probes, not reallocation).
+    Placements,
+}
+
+/// What happened when a protocol was run on an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolOutcome {
+    /// Which cost model `cost` is measured in.
+    pub cost_model: CostModel,
+    /// The protocol's cost: continuous time, number of rounds, or number of
+    /// placements, depending on `cost_model`.
+    pub cost: f64,
+    /// Number of individual ball activations / probes performed.
+    pub activations: u64,
+    /// Number of actual ball relocations performed.
+    pub migrations: u64,
+    /// Whether the target balance was reached (as opposed to a budget
+    /// running out).
+    pub reached_goal: bool,
+    /// Discrepancy of the final configuration.
+    pub final_discrepancy: f64,
+}
+
+impl ProtocolOutcome {
+    /// Convenience constructor for a run that exhausted its budget.
+    pub fn budget_exhausted(cost_model: CostModel, cost: f64, activations: u64, migrations: u64, final_discrepancy: f64) -> Self {
+        Self { cost_model, cost, activations, migrations, reached_goal: false, final_discrepancy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhausted_marks_goal_unreached() {
+        let o = ProtocolOutcome::budget_exhausted(CostModel::Rounds, 10.0, 100, 5, 3.0);
+        assert!(!o.reached_goal);
+        assert_eq!(o.cost_model, CostModel::Rounds);
+        assert_eq!(o.cost, 10.0);
+    }
+}

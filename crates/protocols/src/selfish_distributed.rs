@@ -1,0 +1,168 @@
+//! Synchronous distributed selfish load balancing *without* global
+//! knowledge, in the style of Berenbrink, Friedetzky, Goldberg, Goldberg,
+//! Hu and Martin (SICOMP 2007) — reference [4].
+//!
+//! All balls act simultaneously in rounds.  Each ball samples one bin
+//! uniformly at random; if the sampled bin's load (at the start of the
+//! round) is smaller than its own bin's load, the ball migrates with
+//! probability `1 − ℓ_j/ℓ_i` (the relative improvement), which damps the
+//! herd effect of many balls jumping to the same lightly-loaded bin at once.
+//! Convergence to near-balance takes `O(ln ln m + poly(n))` rounds; the
+//! related-work discussion uses it as the "no global knowledge" synchronous
+//! baseline, whose `m`-dependence RLS avoids entirely.
+
+use rls_core::Config;
+use rls_rng::{Rng64, RngExt};
+
+use crate::outcome::{CostModel, ProtocolOutcome};
+
+/// The distributed (no-global-knowledge) selfish protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfishDistributed {
+    max_rounds: u64,
+}
+
+impl SelfishDistributed {
+    /// Protocol with a bound on the number of synchronous rounds.
+    pub fn new(max_rounds: u64) -> Self {
+        Self { max_rounds }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        "selfish-distributed"
+    }
+
+    /// Execute one synchronous round; returns (activations, migrations).
+    pub fn round<R: Rng64 + ?Sized>(&self, cfg: &mut Config, rng: &mut R) -> (u64, u64) {
+        let n = cfg.n();
+        let start_loads: Vec<u64> = cfg.loads().to_vec();
+        let mut departures: Vec<u64> = vec![0; n];
+        let mut arrivals: Vec<u64> = vec![0; n];
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        for (bin, &load) in start_loads.iter().enumerate() {
+            for _ in 0..load {
+                activations += 1;
+                let dest = rng.next_index(n);
+                if dest == bin {
+                    continue;
+                }
+                let lj = start_loads[dest];
+                let li = load;
+                if lj >= li {
+                    continue;
+                }
+                let p_move = 1.0 - lj as f64 / li as f64;
+                if rng.next_bernoulli(p_move) {
+                    departures[bin] += 1;
+                    arrivals[dest] += 1;
+                    migrations += 1;
+                }
+            }
+        }
+        let new_loads: Vec<u64> = (0..n)
+            .map(|i| start_loads[i] - departures[i] + arrivals[i])
+            .collect();
+        *cfg = Config::from_loads(new_loads).expect("round preserves bins");
+        (activations, migrations)
+    }
+
+    /// Run until `target_discrepancy`-balance or the round budget runs out.
+    pub fn run<R: Rng64 + ?Sized>(
+        &self,
+        initial: &Config,
+        target_discrepancy: f64,
+        rng: &mut R,
+    ) -> ProtocolOutcome {
+        let mut cfg = initial.clone();
+        let mut rounds = 0u64;
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        let goal = |c: &Config| {
+            if target_discrepancy < 1.0 {
+                c.is_perfectly_balanced()
+            } else {
+                c.is_x_balanced(target_discrepancy)
+            }
+        };
+        let mut reached = goal(&cfg);
+        while !reached && rounds < self.max_rounds {
+            let (a, mv) = self.round(&mut cfg, rng);
+            rounds += 1;
+            activations += a;
+            migrations += mv;
+            reached = goal(&cfg);
+        }
+        ProtocolOutcome {
+            cost_model: CostModel::Rounds,
+            cost: rounds as f64,
+            activations,
+            migrations,
+            reached_goal: reached,
+            final_discrepancy: cfg.discrepancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn conserves_balls() {
+        let mut cfg = Config::all_in_one_bin(16, 800).unwrap();
+        let proto = SelfishDistributed::new(50);
+        for _ in 0..5 {
+            proto.round(&mut cfg, &mut rng_from_seed(1));
+            assert_eq!(cfg.m(), 800);
+        }
+    }
+
+    #[test]
+    fn reduces_discrepancy_substantially() {
+        let cfg = Config::all_in_one_bin(32, 32 * 64).unwrap();
+        let initial_disc = cfg.discrepancy();
+        let proto = SelfishDistributed::new(100);
+        let out = proto.run(&cfg, 8.0, &mut rng_from_seed(2));
+        assert!(out.final_discrepancy < initial_disc / 10.0);
+        assert_eq!(out.cost_model, CostModel::Rounds);
+    }
+
+    #[test]
+    fn without_global_knowledge_it_is_slower_than_with() {
+        // Same start, same target: the global-knowledge protocol needs no
+        // more rounds than the distributed one (they differ most in the
+        // end-game where the distributed protocol oscillates).
+        use crate::selfish_global::SelfishGlobal;
+        let cfg = Config::all_in_one_bin(16, 16 * 128).unwrap();
+        let target = 4.0;
+        let global = SelfishGlobal::new(500).run(&cfg, target, &mut rng_from_seed(3));
+        let distributed = SelfishDistributed::new(500).run(&cfg, target, &mut rng_from_seed(3));
+        assert!(global.reached_goal);
+        assert!(
+            global.cost <= distributed.cost,
+            "global {} rounds vs distributed {} rounds",
+            global.cost,
+            distributed.cost
+        );
+    }
+
+    #[test]
+    fn balanced_start_is_stable() {
+        let mut cfg = Config::uniform(8, 10).unwrap();
+        let proto = SelfishDistributed::new(10);
+        let (_, migrations) = proto.round(&mut cfg, &mut rng_from_seed(4));
+        assert_eq!(migrations, 0);
+    }
+
+    #[test]
+    fn budget_respected_and_name() {
+        let cfg = Config::all_in_one_bin(8, 64).unwrap();
+        let proto = SelfishDistributed::new(2);
+        let out = proto.run(&cfg, 0.0, &mut rng_from_seed(5));
+        assert!(out.cost <= 2.0);
+        assert_eq!(proto.name(), "selfish-distributed");
+    }
+}

@@ -1,0 +1,167 @@
+//! Synchronous selfish rerouting with global knowledge, in the style of
+//! Even-Dar and Mansour (SODA 2005) — reference [10].
+//!
+//! All balls act simultaneously in rounds.  Every ball knows the global
+//! average load `∅`.  In each round, a ball sitting in an overloaded bin
+//! (load above `⌈∅⌉`) migrates with probability `(ℓ_i − ∅)/ℓ_i` — the excess
+//! fraction of its bin — to a bin sampled uniformly among the *underloaded*
+//! bins (this is what "global knowledge" buys).  Expected convergence to a
+//! constant-discrepancy state takes `O(ln ln m + ln n)` rounds; the paper's
+//! related-work section contrasts this with RLS, which needs no global
+//! information at all.
+
+use rls_core::Config;
+use rls_rng::{Rng64, RngExt};
+
+use crate::outcome::{CostModel, ProtocolOutcome};
+
+/// The global-knowledge selfish rerouting protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfishGlobal {
+    max_rounds: u64,
+}
+
+impl SelfishGlobal {
+    /// Protocol with a bound on the number of synchronous rounds.
+    pub fn new(max_rounds: u64) -> Self {
+        Self { max_rounds }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        "selfish-global"
+    }
+
+    /// Execute one synchronous round in place; returns (activations,
+    /// migrations) performed in the round.
+    pub fn round<R: Rng64 + ?Sized>(&self, cfg: &mut Config, rng: &mut R) -> (u64, u64) {
+        let n = cfg.n();
+        let avg = cfg.average();
+        let ceil_avg = cfg.ceil_average();
+        let underloaded: Vec<usize> =
+            (0..n).filter(|&i| (cfg.load(i) as f64) < avg).collect();
+        if underloaded.is_empty() {
+            return (cfg.m(), 0);
+        }
+        // Decide all departures against the *start-of-round* loads
+        // (simultaneous moves), then apply arrivals.
+        let start_loads: Vec<u64> = cfg.loads().to_vec();
+        let mut departures: Vec<u64> = vec![0; n];
+        let mut arrivals: Vec<u64> = vec![0; n];
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        for (bin, &load) in start_loads.iter().enumerate() {
+            activations += load;
+            if load <= ceil_avg {
+                continue;
+            }
+            let p_move = (load as f64 - avg) / load as f64;
+            for _ in 0..load {
+                if rng.next_bernoulli(p_move) {
+                    let dest = underloaded[rng.next_index(underloaded.len())];
+                    departures[bin] += 1;
+                    arrivals[dest] += 1;
+                    migrations += 1;
+                }
+            }
+        }
+        let new_loads: Vec<u64> = (0..n)
+            .map(|i| start_loads[i] - departures[i] + arrivals[i])
+            .collect();
+        *cfg = Config::from_loads(new_loads).expect("round preserves bins");
+        (activations, migrations)
+    }
+
+    /// Run until the configuration is `target_discrepancy`-balanced or the
+    /// round budget is exhausted.
+    pub fn run<R: Rng64 + ?Sized>(
+        &self,
+        initial: &Config,
+        target_discrepancy: f64,
+        rng: &mut R,
+    ) -> ProtocolOutcome {
+        let mut cfg = initial.clone();
+        let mut rounds = 0u64;
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        let goal = |c: &Config| {
+            if target_discrepancy < 1.0 {
+                c.is_perfectly_balanced()
+            } else {
+                c.is_x_balanced(target_discrepancy)
+            }
+        };
+        let mut reached = goal(&cfg);
+        while !reached && rounds < self.max_rounds {
+            let (a, mv) = self.round(&mut cfg, rng);
+            rounds += 1;
+            activations += a;
+            migrations += mv;
+            reached = goal(&cfg);
+        }
+        ProtocolOutcome {
+            cost_model: CostModel::Rounds,
+            cost: rounds as f64,
+            activations,
+            migrations,
+            reached_goal: reached,
+            final_discrepancy: cfg.discrepancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn conserves_balls_per_round() {
+        let mut cfg = Config::all_in_one_bin(16, 1600).unwrap();
+        let proto = SelfishGlobal::new(100);
+        for _ in 0..5 {
+            proto.round(&mut cfg, &mut rng_from_seed(1));
+            assert_eq!(cfg.m(), 1600);
+        }
+    }
+
+    #[test]
+    fn converges_to_small_discrepancy_quickly() {
+        let cfg = Config::all_in_one_bin(32, 32 * 100).unwrap();
+        let proto = SelfishGlobal::new(200);
+        let out = proto.run(&cfg, 3.0, &mut rng_from_seed(2));
+        assert!(out.reached_goal, "final disc {}", out.final_discrepancy);
+        // Global knowledge makes this very fast — a few dozen rounds at most.
+        assert!(out.cost < 100.0, "rounds {}", out.cost);
+        assert_eq!(out.cost_model, CostModel::Rounds);
+    }
+
+    #[test]
+    fn balanced_start_terminates_immediately() {
+        let cfg = Config::uniform(8, 10).unwrap();
+        let out = SelfishGlobal::new(10).run(&cfg, 0.0, &mut rng_from_seed(3));
+        assert!(out.reached_goal);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn round_budget_respected() {
+        let cfg = Config::all_in_one_bin(64, 64).unwrap();
+        let out = SelfishGlobal::new(1).run(&cfg, 0.0, &mut rng_from_seed(4));
+        assert!(out.cost <= 1.0);
+    }
+
+    #[test]
+    fn no_underloaded_bins_means_no_moves() {
+        // Perfectly flat configuration: the round is a no-op.
+        let mut cfg = Config::uniform(4, 5).unwrap();
+        let (_, migrations) = SelfishGlobal::new(10).round(&mut cfg, &mut rng_from_seed(5));
+        assert_eq!(migrations, 0);
+        assert_eq!(cfg, Config::uniform(4, 5).unwrap());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(SelfishGlobal::new(1).name(), "selfish-global");
+    }
+}

@@ -1,0 +1,211 @@
+//! Threshold load balancing, in the style of Ackermann, Fischer, Hoefer and
+//! Schöngens (Distributed Computing 2011) — reference [1] — and its
+//! graph/weighted successors [13, 14, 6].
+//!
+//! All balls act simultaneously in rounds.  Each ball compares the load of
+//! its bin against a *threshold*; if the load exceeds the threshold the ball
+//! moves, with probability 1/2 (to damp herding), to a uniformly random bin.
+//! Two threshold choices are provided:
+//!
+//! * a **fixed** threshold `T` — balances "up to the threshold" but no
+//!   further, illustrating why threshold protocols stop at constant-factor
+//!   (or additive-`T`) balance rather than perfect balance;
+//! * the **average** threshold `⌈∅⌉` — the strongest sensible choice, which
+//!   still leaves the protocol oscillating near balance because moves are
+//!   made blindly (the destination's load is never inspected, unlike RLS).
+//!
+//! The related-work point (E14): threshold protocols get close to balance
+//! fast but do not reach perfect balance, whereas RLS does.
+
+use rls_core::Config;
+use rls_rng::{Rng64, RngExt};
+
+use crate::outcome::{CostModel, ProtocolOutcome};
+
+/// Threshold selection rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdRule {
+    /// A fixed absolute load threshold.
+    Fixed(u64),
+    /// The ceiling of the average load (requires global knowledge of `∅`).
+    Average,
+}
+
+/// The threshold load-balancing protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdProtocol {
+    rule: ThresholdRule,
+    move_probability: f64,
+    max_rounds: u64,
+}
+
+impl ThresholdProtocol {
+    /// Protocol with the given threshold rule, per-ball move probability and
+    /// round budget.
+    pub fn new(rule: ThresholdRule, move_probability: f64, max_rounds: u64) -> Self {
+        assert!((0.0..=1.0).contains(&move_probability), "probability in [0,1]");
+        Self { rule, move_probability, max_rounds }
+    }
+
+    /// The classical setup: average threshold, probability 1/2.
+    pub fn average_threshold(max_rounds: u64) -> Self {
+        Self::new(ThresholdRule::Average, 0.5, max_rounds)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self.rule {
+            ThresholdRule::Fixed(_) => "threshold-fixed",
+            ThresholdRule::Average => "threshold-average",
+        }
+    }
+
+    fn threshold(&self, cfg: &Config) -> u64 {
+        match self.rule {
+            ThresholdRule::Fixed(t) => t,
+            ThresholdRule::Average => cfg.ceil_average(),
+        }
+    }
+
+    /// Execute one synchronous round; returns (activations, migrations).
+    pub fn round<R: Rng64 + ?Sized>(&self, cfg: &mut Config, rng: &mut R) -> (u64, u64) {
+        let n = cfg.n();
+        let threshold = self.threshold(cfg);
+        let start_loads: Vec<u64> = cfg.loads().to_vec();
+        let mut departures = vec![0u64; n];
+        let mut arrivals = vec![0u64; n];
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        for (bin, &load) in start_loads.iter().enumerate() {
+            activations += load;
+            if load <= threshold {
+                continue;
+            }
+            // Only the balls above the threshold consider moving.
+            let excess = load - threshold;
+            for _ in 0..excess {
+                if rng.next_bernoulli(self.move_probability) {
+                    let dest = rng.next_index(n);
+                    if dest == bin {
+                        continue;
+                    }
+                    departures[bin] += 1;
+                    arrivals[dest] += 1;
+                    migrations += 1;
+                }
+            }
+        }
+        let new_loads: Vec<u64> = (0..n)
+            .map(|i| start_loads[i] - departures[i] + arrivals[i])
+            .collect();
+        *cfg = Config::from_loads(new_loads).expect("round preserves bins");
+        (activations, migrations)
+    }
+
+    /// Run until `target_discrepancy`-balance or the round budget runs out.
+    pub fn run<R: Rng64 + ?Sized>(
+        &self,
+        initial: &Config,
+        target_discrepancy: f64,
+        rng: &mut R,
+    ) -> ProtocolOutcome {
+        let mut cfg = initial.clone();
+        let mut rounds = 0u64;
+        let mut activations = 0u64;
+        let mut migrations = 0u64;
+        let goal = |c: &Config| {
+            if target_discrepancy < 1.0 {
+                c.is_perfectly_balanced()
+            } else {
+                c.is_x_balanced(target_discrepancy)
+            }
+        };
+        let mut reached = goal(&cfg);
+        while !reached && rounds < self.max_rounds {
+            let (a, mv) = self.round(&mut cfg, rng);
+            rounds += 1;
+            activations += a;
+            migrations += mv;
+            reached = goal(&cfg);
+        }
+        ProtocolOutcome {
+            cost_model: CostModel::Rounds,
+            cost: rounds as f64,
+            activations,
+            migrations,
+            reached_goal: reached,
+            final_discrepancy: cfg.discrepancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn conserves_balls() {
+        let mut cfg = Config::all_in_one_bin(16, 320).unwrap();
+        let proto = ThresholdProtocol::average_threshold(10);
+        for _ in 0..5 {
+            proto.round(&mut cfg, &mut rng_from_seed(1));
+            assert_eq!(cfg.m(), 320);
+        }
+    }
+
+    #[test]
+    fn average_threshold_reaches_coarse_balance_quickly() {
+        let cfg = Config::all_in_one_bin(32, 32 * 100).unwrap();
+        let ln_n = (32f64).ln();
+        let proto = ThresholdProtocol::average_threshold(500);
+        let out = proto.run(&cfg, 20.0 * ln_n, &mut rng_from_seed(2));
+        assert!(out.reached_goal);
+        assert!(out.cost < 200.0);
+    }
+
+    #[test]
+    fn threshold_protocols_struggle_to_reach_perfect_balance() {
+        // With a generous round budget the average-threshold protocol should
+        // still usually fail to hit discrepancy < 1 on a moderately large
+        // instance (it keeps scattering excess balls blindly), while RLS
+        // reaches it.  This is the qualitative point of experiment E14.
+        let cfg = Config::all_in_one_bin(32, 32 * 8).unwrap();
+        let threshold = ThresholdProtocol::average_threshold(200);
+        let out = threshold.run(&cfg, 0.0, &mut rng_from_seed(3));
+        let rls = crate::rls::RlsProtocol::paper().run(&cfg, 0.0, &mut rng_from_seed(3));
+        assert!(rls.reached_goal);
+        assert!(
+            !out.reached_goal || out.cost > 50.0,
+            "threshold reached perfect balance suspiciously fast ({} rounds)",
+            out.cost
+        );
+    }
+
+    #[test]
+    fn fixed_threshold_stops_at_the_threshold() {
+        // With a fixed threshold T, no bin above T survives long, but the
+        // protocol never improves below T.
+        let cfg = Config::all_in_one_bin(16, 160).unwrap(); // avg 10
+        let proto = ThresholdProtocol::new(ThresholdRule::Fixed(14), 1.0, 300);
+        let out = proto.run(&cfg, 0.0, &mut rng_from_seed(4));
+        assert!(!out.reached_goal);
+        // Maximum load should have come down to about the threshold.
+        assert!(out.final_discrepancy <= 10.0, "disc {}", out.final_discrepancy);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability in [0,1]")]
+    fn rejects_bad_probability() {
+        let _ = ThresholdProtocol::new(ThresholdRule::Average, 1.5, 10);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ThresholdProtocol::average_threshold(1).name(), "threshold-average");
+        assert_eq!(
+            ThresholdProtocol::new(ThresholdRule::Fixed(3), 0.5, 1).name(),
+            "threshold-fixed"
+        );
+    }
+}

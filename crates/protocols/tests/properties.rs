@@ -1,0 +1,112 @@
+//! Property-based tests for the comparison protocols: conservation,
+//! discrepancy sanity and budget discipline must hold for every protocol on
+//! every instance.
+
+use proptest::prelude::*;
+use rls_protocols::{
+    GreedyD, RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol,
+};
+use rls_protocols::speeds::{SpeedGoal, SpeedRls};
+use rls_protocols::weighted::{WeightedGoal, WeightedRls};
+use rls_rng::rng_from_seed;
+use rls_workloads::Workload;
+
+fn instance() -> impl Strategy<Value = (usize, u64, u64)> {
+    (2usize..=10, 2u64..=60, 0u64..=1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synchronous protocols preserve the ball count every round and report
+    /// non-negative discrepancies.
+    #[test]
+    fn synchronous_rounds_conserve_balls((n, m, seed) in instance()) {
+        let mut rng = rng_from_seed(seed);
+        let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+
+        let mut cfg = start.clone();
+        SelfishGlobal::new(10).round(&mut cfg, &mut rng);
+        prop_assert_eq!(cfg.m(), m);
+
+        let mut cfg = start.clone();
+        SelfishDistributed::new(10).round(&mut cfg, &mut rng);
+        prop_assert_eq!(cfg.m(), m);
+
+        let mut cfg = start.clone();
+        ThresholdProtocol::average_threshold(10).round(&mut cfg, &mut rng);
+        prop_assert_eq!(cfg.m(), m);
+    }
+
+    /// Every reallocation protocol respects its budget and reports
+    /// activations ≥ migrations.
+    #[test]
+    fn budgets_and_counters_are_consistent((n, m, seed) in instance()) {
+        let mut rng = rng_from_seed(seed);
+        let start = Workload::AllInOneBin.generate(n, m, &mut rng).unwrap();
+        let outcomes = [
+            RlsProtocol::paper().with_max_activations(500).run(&start, 0.0, &mut rng),
+            SelfishGlobal::new(5).run(&start, 0.0, &mut rng),
+            SelfishDistributed::new(5).run(&start, 0.0, &mut rng),
+            ThresholdProtocol::average_threshold(5).run(&start, 0.0, &mut rng),
+        ];
+        for out in outcomes {
+            prop_assert!(out.activations >= out.migrations);
+            prop_assert!(out.final_discrepancy >= 0.0);
+            prop_assert!(out.cost >= 0.0);
+        }
+    }
+
+    /// One-shot d-choices placement puts every ball somewhere and more
+    /// choices never give a (much) worse maximum load.
+    #[test]
+    fn greedy_d_is_monotone_in_d((n, m, seed) in instance()) {
+        let mut rng = rng_from_seed(seed);
+        let one = GreedyD::new(1).place(n, m, &mut rng);
+        let four = GreedyD::new(4).place(n, m, &mut rng);
+        prop_assert_eq!(one.m(), m);
+        prop_assert_eq!(four.m(), m);
+        // With four choices the max load is essentially never worse than the
+        // one-choice max; the +2 slack absorbs the fact that the two
+        // placements use different random draws.
+        prop_assert!(four.max_load() <= one.max_load() + 2);
+    }
+
+    /// The weighted extension conserves total weight and, at stability, no
+    /// bin exceeds the minimum by more than the maximum weight.
+    #[test]
+    fn weighted_rls_stability_invariant(
+        n in 2usize..=6,
+        weights in prop::collection::vec(1u64..=5, 4..=40),
+        seed in 0u64..=100_000,
+    ) {
+        let total: u64 = weights.iter().sum();
+        let w_max = *weights.iter().max().unwrap();
+        let proto = WeightedRls::new(weights, 500_000);
+        let mut state = proto.all_in_one_bin(n);
+        let out = proto.run(&mut state, WeightedGoal::NashStable, &mut rng_from_seed(seed));
+        prop_assert_eq!(state.bin_loads.iter().sum::<u64>(), total);
+        if out.reached_goal {
+            let min = *state.bin_loads.iter().min().unwrap();
+            let max = *state.bin_loads.iter().max().unwrap();
+            prop_assert!(max - min <= w_max, "gap {} exceeds max weight {}", max - min, w_max);
+        }
+    }
+
+    /// The speeds extension conserves balls and, at stability, no ball can
+    /// strictly improve (checked through the protocol's own predicate).
+    #[test]
+    fn speed_rls_stability_invariant(
+        speeds in prop::collection::vec(1u64..=4, 2..=6),
+        m in 4u64..=80,
+        seed in 0u64..=100_000,
+    ) {
+        let proto = SpeedRls::new(speeds, 500_000);
+        let mut state = proto.all_in_one_bin(m);
+        let out = proto.run(&mut state, SpeedGoal::NashStable, &mut rng_from_seed(seed));
+        prop_assert_eq!(state.loads.iter().sum::<u64>(), m);
+        if out.reached_goal {
+            prop_assert!(proto.is_nash_stable(&state));
+        }
+    }
+}

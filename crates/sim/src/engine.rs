@@ -1,0 +1,427 @@
+//! The superposition simulation engine.
+//!
+//! The process of Section 3 assigns each ball an independent `Exp(1)` clock.
+//! By the superposition property of Poisson processes the time to the *next*
+//! ring anywhere in the system is `Exp(m)` and the ringing ball is uniform
+//! over the `m` balls, so simulating one event is O(1) work: draw the
+//! waiting time, draw the ball, draw the destination, apply the rule.  This
+//! is an exact simulation of the continuous-time law, not a discretization.
+//!
+//! The engine is generic over a [`Policy`] (which move rule to apply) and an
+//! [`Adversary`](crate::Adversary) (the destructive-move injector used by
+//! the Lemma 2 experiments).  Progress quantities (discrepancy, overloaded
+//! balls, Phase-2 potential) are maintained incrementally through
+//! [`LoadTracker`], so checking a stopping condition after every event is
+//! O(1) too.
+
+use rls_core::{Config, LoadTracker, Move, RlsRule};
+use rls_rng::dist::{Distribution, Exponential};
+use rls_rng::{Rng64, RngExt};
+
+use crate::adversary::{Adversary, NoAdversary};
+use crate::events::Event;
+use crate::observer::Observer;
+use crate::stopping::StopWhen;
+
+/// A decision rule for sequential-activation protocols: given the current
+/// loads, should the activated ball migrate from `source` to `dest`?
+pub trait Policy {
+    /// Decide the migration.  `source != dest` is guaranteed by the engine.
+    fn permits(&self, loads: &[u64], source: usize, dest: usize) -> bool;
+
+    /// A short name for experiment tables.
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+}
+
+/// The RLS rule as an engine policy (either variant).
+#[derive(Debug, Clone, Copy)]
+pub struct RlsPolicy {
+    rule: RlsRule,
+}
+
+impl RlsPolicy {
+    /// Wrap an RLS rule.
+    pub fn new(rule: RlsRule) -> Self {
+        Self { rule }
+    }
+
+    /// The underlying rule.
+    pub fn rule(&self) -> RlsRule {
+        self.rule
+    }
+}
+
+impl Policy for RlsPolicy {
+    #[inline]
+    fn permits(&self, loads: &[u64], source: usize, dest: usize) -> bool {
+        self.rule.permits_loads(loads[source], loads[dest])
+    }
+
+    fn name(&self) -> &'static str {
+        self.rule.variant().name()
+    }
+}
+
+/// Outcome of a [`Simulation::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Simulation time when the run stopped.
+    pub time: f64,
+    /// Total number of ball activations processed.
+    pub activations: u64,
+    /// Number of activations that resulted in a migration.
+    pub migrations: u64,
+    /// Whether the run stopped because the goal condition was met (as
+    /// opposed to exhausting an event or time budget).
+    pub reached_goal: bool,
+    /// Discrepancy at the stopping instant.
+    pub final_discrepancy: f64,
+}
+
+/// Continuous-time simulation state for a sequential-activation protocol.
+#[derive(Debug, Clone)]
+pub struct Simulation<P: Policy> {
+    cfg: Config,
+    balls: Vec<u32>,
+    tracker: LoadTracker,
+    policy: P,
+    time: f64,
+    activations: u64,
+    migrations: u64,
+    waiting_time: Exponential,
+}
+
+/// Errors from constructing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The process needs at least one ball to have any events.
+    NoBalls,
+    /// Ball indices are stored as `u32`; more than `u32::MAX` balls is
+    /// unsupported (and far beyond anything the experiments need).
+    TooManyBalls,
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::NoBalls => write!(f, "simulation requires at least one ball"),
+            SimError::TooManyBalls => write!(f, "more than u32::MAX balls are not supported"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl<P: Policy> Simulation<P> {
+    /// Create a simulation starting from `initial` under the given policy.
+    pub fn new(initial: Config, policy: P) -> Result<Self, SimError> {
+        let m = initial.m();
+        if m == 0 {
+            return Err(SimError::NoBalls);
+        }
+        if m > u32::MAX as u64 {
+            return Err(SimError::TooManyBalls);
+        }
+        // Assign ball identities bin by bin; identities only matter for the
+        // uniform-ball sampling, so any assignment consistent with the loads
+        // is equivalent.
+        let mut balls = Vec::with_capacity(m as usize);
+        for (bin, &load) in initial.loads().iter().enumerate() {
+            for _ in 0..load {
+                balls.push(bin as u32);
+            }
+        }
+        let tracker = LoadTracker::new(&initial);
+        let waiting_time =
+            Exponential::new(m as f64).expect("m ≥ 1 gives a valid exponential rate");
+        Ok(Self {
+            cfg: initial,
+            balls,
+            tracker,
+            policy,
+            time: 0.0,
+            activations: 0,
+            migrations: 0,
+            waiting_time,
+        })
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Incrementally maintained summary of the configuration.
+    pub fn tracker(&self) -> &LoadTracker {
+        &self.tracker
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of activations processed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Number of migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The policy driving this simulation.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Bin currently hosting the given ball.
+    pub fn ball_location(&self, ball: usize) -> usize {
+        self.balls[ball] as usize
+    }
+
+    /// Advance by exactly one activation and return the event.
+    pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Event {
+        let n = self.cfg.n();
+        let dt = self.waiting_time.sample(rng);
+        self.time += dt;
+        self.activations += 1;
+
+        let ball = rng.next_index(self.balls.len());
+        let source = self.balls[ball] as usize;
+        let dest = rng.next_index(n);
+
+        let mut moved = false;
+        if source != dest && self.policy.permits(self.cfg.loads(), source, dest) {
+            let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
+            self.cfg
+                .apply(Move::new(source, dest))
+                .expect("permitted move applies");
+            self.tracker.record_move(lf, lt);
+            self.balls[ball] = dest as u32;
+            self.migrations += 1;
+            moved = true;
+        }
+
+        Event {
+            time: self.time,
+            ball,
+            source,
+            dest,
+            moved,
+            activations: self.activations,
+        }
+    }
+
+    /// Apply an externally chosen (typically destructive) move, relocating
+    /// one arbitrary ball from `from` to `to`.  Used by adversaries.
+    ///
+    /// Returns `false` (and changes nothing) if the source bin is empty or
+    /// an index is out of range.
+    pub fn force_move(&mut self, from: usize, to: usize) -> bool {
+        if from == to || from >= self.cfg.n() || to >= self.cfg.n() || self.cfg.load(from) == 0 {
+            return false;
+        }
+        let (lf, lt) = (self.cfg.load(from), self.cfg.load(to));
+        self.cfg
+            .apply(Move::new(from, to))
+            .expect("validated move applies");
+        self.tracker.record_move(lf, lt);
+        // Relocate one concrete ball currently in `from` so the ball→bin map
+        // stays consistent; which one is irrelevant (balls are identical).
+        let ball = self
+            .balls
+            .iter()
+            .position(|&b| b as usize == from)
+            .expect("non-empty bin has a ball");
+        self.balls[ball] = to as u32;
+        true
+    }
+
+    /// Run until the stopping condition triggers.  Convenience wrapper
+    /// around [`run_with`](Self::run_with) with no adversary and no
+    /// observer.
+    pub fn run<R: Rng64 + ?Sized>(&mut self, rng: &mut R, stop: StopWhen) -> RunOutcome {
+        self.run_with(rng, stop, &mut NoAdversary, &mut ())
+    }
+
+    /// Run until the stopping condition triggers, consulting the adversary
+    /// after every event and reporting every event to the observer.
+    pub fn run_with<R, A, O>(
+        &mut self,
+        rng: &mut R,
+        stop: StopWhen,
+        adversary: &mut A,
+        observer: &mut O,
+    ) -> RunOutcome
+    where
+        R: Rng64 + ?Sized,
+        A: Adversary,
+        O: Observer,
+    {
+        let mut reached_goal = stop.goal_met(&self.tracker, self.time, self.activations);
+        while !reached_goal && !stop.budget_exhausted(self.time, self.activations) {
+            let event = self.step(rng);
+            adversary.after_event(&event, self, rng);
+            observer.on_event(&event, &self.tracker, self.time);
+            reached_goal = stop.goal_met(&self.tracker, self.time, self.activations);
+        }
+        RunOutcome {
+            time: self.time,
+            activations: self.activations,
+            migrations: self.migrations,
+            reached_goal,
+            final_discrepancy: self.tracker.discrepancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    fn rls() -> RlsPolicy {
+        RlsPolicy::new(RlsRule::paper())
+    }
+
+    #[test]
+    fn construction_errors() {
+        let empty = Config::from_loads(vec![0, 0]).unwrap();
+        assert_eq!(Simulation::new(empty, rls()).unwrap_err(), SimError::NoBalls);
+        assert!(SimError::NoBalls.to_string().contains("at least one ball"));
+        assert!(SimError::TooManyBalls.to_string().contains("u32::MAX"));
+    }
+
+    #[test]
+    fn ball_assignment_matches_loads() {
+        let cfg = Config::from_loads(vec![2, 0, 3]).unwrap();
+        let sim = Simulation::new(cfg, rls()).unwrap();
+        assert_eq!(sim.ball_location(0), 0);
+        assert_eq!(sim.ball_location(1), 0);
+        assert_eq!(sim.ball_location(2), 2);
+        assert_eq!(sim.ball_location(4), 2);
+    }
+
+    #[test]
+    fn step_advances_time_and_counts() {
+        let cfg = Config::all_in_one_bin(4, 8).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(1);
+        let e = sim.step(&mut rng);
+        assert!(e.time > 0.0);
+        assert_eq!(e.activations, 1);
+        assert_eq!(sim.activations(), 1);
+        assert!(sim.time() > 0.0);
+    }
+
+    #[test]
+    fn events_keep_tracker_consistent_with_config() {
+        let cfg = Config::all_in_one_bin(8, 40).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..5000 {
+            sim.step(&mut rng);
+        }
+        assert!(sim.tracker().matches(sim.config()));
+        // Ball map consistent with loads.
+        let mut counts = vec![0u64; sim.config().n()];
+        for b in 0..sim.config().m() as usize {
+            counts[sim.ball_location(b)] += 1;
+        }
+        assert_eq!(counts, sim.config().loads());
+    }
+
+    #[test]
+    fn reaches_perfect_balance_on_small_instance() {
+        let cfg = Config::all_in_one_bin(8, 64).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(3);
+        let outcome = sim.run(&mut rng, StopWhen::perfectly_balanced());
+        assert!(outcome.reached_goal);
+        assert!(sim.config().is_perfectly_balanced());
+        assert_eq!(sim.config().loads().iter().sum::<u64>(), 64);
+        assert!(outcome.migrations >= 56, "needs at least 64 - 8 moves");
+        assert!(outcome.final_discrepancy < 1.0);
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let cfg = Config::all_in_one_bin(64, 64 * 64).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(4);
+        let outcome = sim.run(
+            &mut rng,
+            StopWhen::perfectly_balanced().with_max_activations(100),
+        );
+        assert!(!outcome.reached_goal);
+        assert_eq!(outcome.activations, 100);
+    }
+
+    #[test]
+    fn time_budget_is_respected() {
+        let cfg = Config::all_in_one_bin(64, 4096).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(5);
+        let outcome = sim.run(&mut rng, StopWhen::perfectly_balanced().with_max_time(0.01));
+        assert!(!outcome.reached_goal);
+        assert!(outcome.time >= 0.01);
+    }
+
+    #[test]
+    fn waiting_times_have_rate_m() {
+        // Mean inter-event time should be ≈ 1/m.
+        let m = 500u64;
+        let cfg = Config::all_in_one_bin(10, m).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(6);
+        let events = 20_000;
+        for _ in 0..events {
+            sim.step(&mut rng);
+        }
+        let mean_gap = sim.time() / events as f64;
+        let expected = 1.0 / m as f64;
+        assert!(
+            (mean_gap - expected).abs() < 0.1 * expected,
+            "mean gap {mean_gap}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn force_move_rejects_invalid_and_applies_valid() {
+        let cfg = Config::from_loads(vec![3, 0, 1]).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        assert!(!sim.force_move(1, 0), "empty source");
+        assert!(!sim.force_move(0, 0), "self loop");
+        assert!(!sim.force_move(0, 9), "out of range");
+        assert!(sim.force_move(2, 0), "valid destructive move");
+        assert_eq!(sim.config().loads(), &[4, 0, 0]);
+        assert!(sim.tracker().matches(sim.config()));
+    }
+
+    #[test]
+    fn already_balanced_start_stops_immediately() {
+        let cfg = Config::uniform(6, 5).unwrap();
+        let mut sim = Simulation::new(cfg, rls()).unwrap();
+        let mut rng = rng_from_seed(7);
+        let outcome = sim.run(&mut rng, StopWhen::perfectly_balanced());
+        assert!(outcome.reached_goal);
+        assert_eq!(outcome.activations, 0);
+        assert_eq!(outcome.time, 0.0);
+    }
+
+    #[test]
+    fn strict_variant_also_balances() {
+        let cfg = Config::all_in_one_bin(6, 36).unwrap();
+        let policy = RlsPolicy::new(RlsRule::new(rls_core::RlsVariant::Strict));
+        assert_eq!(policy.name(), "rls-strict");
+        let mut sim = Simulation::new(cfg, policy).unwrap();
+        let mut rng = rng_from_seed(8);
+        let outcome = sim.run(&mut rng, StopWhen::perfectly_balanced());
+        assert!(outcome.reached_goal);
+        assert!(sim.config().is_perfectly_balanced());
+    }
+}

@@ -1,0 +1,40 @@
+//! Event records emitted by the simulation engines.
+
+use serde::{Deserialize, Serialize};
+
+/// One activation of the continuous-time process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time at which the ball's clock rang.
+    pub time: f64,
+    /// Index of the activated ball.
+    pub ball: usize,
+    /// Bin the ball occupied when activated.
+    pub source: usize,
+    /// Destination bin it sampled.
+    pub dest: usize,
+    /// Whether the protocol performed the migration.
+    pub moved: bool,
+    /// Running count of activations so far (1-based, including this one).
+    pub activations: u64,
+}
+
+impl Event {
+    /// Whether the sampled destination equals the source bin.
+    pub fn is_self_sample(&self) -> bool {
+        self.source == self.dest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_sample_detection() {
+        let mut e = Event { time: 1.0, ball: 0, source: 3, dest: 3, moved: false, activations: 1 };
+        assert!(e.is_self_sample());
+        e.dest = 4;
+        assert!(!e.is_self_sample());
+    }
+}

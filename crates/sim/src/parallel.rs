@@ -1,0 +1,166 @@
+//! A small parallel-map utility for embarrassingly parallel Monte-Carlo
+//! trials.
+//!
+//! The trials of an experiment are independent (each gets its own RNG stream
+//! derived from the master seed), so the only parallel structure needed is a
+//! fork-join map over trial indices.  We build it on `crossbeam::scope` plus
+//! an atomic work counter: workers repeatedly claim the next index, compute,
+//! and write the result into its slot.  Dynamic claiming (rather than static
+//! chunking) keeps all cores busy even though balancing times vary wildly
+//! between trials — exactly the load-imbalance phenomenon the paper studies,
+//! showing up in our own harness.  The `parallel_granularity` ablation bench
+//! compares this against static chunking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Run `f(i)` for every `i in 0..count` on `threads` worker threads and
+/// collect the results in index order.
+///
+/// `threads == 0` or `threads == 1`, or a trivially small `count`, falls
+/// back to a sequential loop (no thread setup cost).
+///
+/// Panics in the closure propagate: crossbeam's scope joins all workers and
+/// re-raises, so a failing trial cannot be silently dropped.
+pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+    let threads = threads.min(count);
+
+    // Pre-size the result buffer with None slots guarded by a mutex each;
+    // contention is negligible because each slot is written exactly once.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock() = Some(value);
+            });
+        }
+    })
+    .expect("a Monte-Carlo worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot written exactly once"))
+        .collect()
+}
+
+/// Run `f(i)` for every `i in 0..count` with static contiguous chunking
+/// instead of dynamic claiming.  Kept for the scheduler-granularity ablation
+/// (E-ablation in DESIGN.md §5); [`parallel_map`] is the default.
+pub fn parallel_map_chunked<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+    let threads = threads.min(count);
+    let chunk = count.div_ceil(threads);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for w in 0..threads {
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(count);
+                for i in start..end {
+                    *slots[i].lock() = Some(f(i));
+                }
+            });
+        }
+    })
+    .expect("a Monte-Carlo worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot written exactly once"))
+        .collect()
+}
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped so laptop-scale runs stay responsive.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = parallel_map(0, 4, |_| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let seq: Vec<usize> = parallel_map(10, 1, |i| i * i);
+        assert_eq!(seq, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_results_are_in_order() {
+        let v: Vec<usize> = parallel_map(200, 4, |i| i * 3);
+        assert_eq!(v, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_results_are_in_order() {
+        let v: Vec<usize> = parallel_map_chunked(200, 4, |i| i + 7);
+        assert_eq!(v, (0..200).map(|i| i + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let v: Vec<usize> = parallel_map(3, 64, |i| i);
+        assert_eq!(v, vec![0, 1, 2]);
+        let w: Vec<usize> = parallel_map_chunked(3, 64, |i| i);
+        assert_eq!(w, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_is_completed() {
+        // Simulate wildly varying per-item cost; all results must be present.
+        let v: Vec<u64> = parallel_map(64, 8, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i as u64 % 7) * 10_000 {
+                acc = acc.wrapping_add(k);
+            }
+            acc.wrapping_add(i as u64)
+        });
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(default_threads() <= 16);
+    }
+}

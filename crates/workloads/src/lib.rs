@@ -1,0 +1,54 @@
+//! # rls-workloads — initial configurations for the experiments
+//!
+//! The paper's theorems hold from *arbitrary* initial configurations, but
+//! each part of the analysis (and each experiment in EXPERIMENTS.md) is
+//! exercised hardest by a specific family of starts:
+//!
+//! * [`Workload::AllInOneBin`] — the worst case the Phase-1 analysis reduces
+//!   to via the Destructive Majorization Lemma, and the instance behind the
+//!   `Ω(ln n)` lower bound.
+//! * [`Workload::OneOverOneUnder`] — the `Ω(n²/m)` lower-bound instance of
+//!   Section 4: one bin at `∅ + 1`, one at `∅ − 1`, the rest exactly at `∅`.
+//! * [`Workload::UniformRandom`] — every ball thrown into a uniformly random
+//!   bin (the classical balls-into-bins start, discrepancy `Θ(√(m ln n / n))`
+//!   for large `m/n`).
+//! * [`Workload::TwoChoices`] — greedy power-of-two-choices placement, the
+//!   start assumed by the Czumaj–Riley–Scheideler protocol (experiment E12).
+//! * [`Workload::Zipf`] — a skewed, heavy-tailed placement.
+//! * [`Workload::Balanced`] — already perfectly balanced (sanity baseline).
+//! * [`Workload::BlockImbalance`] — half the bins at `∅ + x`, half at
+//!   `∅ − x`, the shape the Phase-1 proof of Lemma 13 reduces to.
+//! * [`Workload::Explicit`] — any explicit load vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+
+pub use generators::{GeneratorError, Workload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    #[test]
+    fn every_workload_generates_the_requested_sizes() {
+        let mut rng = rng_from_seed(1);
+        let n = 16;
+        let m = 160;
+        for w in [
+            Workload::AllInOneBin,
+            Workload::UniformRandom,
+            Workload::TwoChoices,
+            Workload::Balanced,
+            Workload::OneOverOneUnder,
+            Workload::Zipf { exponent: 1.2 },
+            Workload::BlockImbalance { offset: 4 },
+        ] {
+            let cfg = w.generate(n, m, &mut rng).unwrap();
+            assert_eq!(cfg.n(), n, "{w:?}");
+            assert_eq!(cfg.m(), m, "{w:?}");
+        }
+    }
+}

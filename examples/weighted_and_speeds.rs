@@ -1,0 +1,65 @@
+//! Future-work directions 1 and 2: RLS with heterogeneous bin speeds and
+//! with weighted balls.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p rls-cli --example weighted_and_speeds
+//! ```
+
+use rls_protocols::speeds::{SpeedGoal, SpeedRls};
+use rls_protocols::weighted::{WeightedGoal, WeightedRls};
+use rls_rng::{rng_from_seed, RngExt};
+
+fn main() {
+    let n = 16;
+    let m = 512;
+    let mut rng = rng_from_seed(31);
+
+    println!("# Weighted balls (Section 7, future work 2)");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>12}",
+        "weights", "time", "activations", "final disc", "stable"
+    );
+    for (label, weights) in [
+        ("unit", vec![1u64; m]),
+        (
+            "uniform 1..4",
+            (0..m).map(|_| 1 + rng.next_below(4)).collect::<Vec<_>>(),
+        ),
+        (
+            "heavy hitters (1 or 16)",
+            (0..m).map(|i| if i % 16 == 0 { 16 } else { 1 }).collect::<Vec<_>>(),
+        ),
+    ] {
+        let proto = WeightedRls::new(weights, 100_000_000);
+        let mut state = proto.all_in_one_bin(n);
+        let out = proto.run(&mut state, WeightedGoal::NashStable, &mut rng);
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>14.2} {:>12}",
+            label, out.cost, out.activations, out.final_discrepancy, out.reached_goal
+        );
+    }
+
+    println!("\n# Heterogeneous bin speeds (Section 7, future work 1)");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>12}",
+        "speeds", "time", "activations", "weighted disc", "stable"
+    );
+    for (label, speeds) in [
+        ("uniform", vec![1u64; n]),
+        ("half fast (speed 2)", (0..n).map(|i| if i % 2 == 0 { 2 } else { 1 }).collect::<Vec<_>>()),
+        ("one very fast (speed 8)", (0..n).map(|i| if i == 0 { 8 } else { 1 }).collect::<Vec<_>>()),
+    ] {
+        let proto = SpeedRls::new(speeds, 100_000_000);
+        let mut state = proto.all_in_one_bin(m as u64);
+        let out = proto.run(&mut state, SpeedGoal::NashStable, &mut rng);
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>14.3} {:>12}",
+            label, out.cost, out.activations, out.final_discrepancy, out.reached_goal
+        );
+    }
+
+    println!("\nBoth extensions converge to states where no ball can improve by moving;");
+    println!("the open question of the paper is how fast, as a function of the skew.");
+}
