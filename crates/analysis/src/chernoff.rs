@@ -12,7 +12,10 @@
 /// Panics if `ε` is outside `[0, 3/2]` or `p` outside `[0, 1]`.
 pub fn chernoff_multiplicative(n: u64, p: f64, epsilon: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    assert!((0.0..=1.5).contains(&epsilon), "Lemma 3 requires ε ∈ [0, 3/2]");
+    assert!(
+        (0.0..=1.5).contains(&epsilon),
+        "Lemma 3 requires ε ∈ [0, 3/2]"
+    );
     let np = n as f64 * p;
     (2.0 * (-epsilon * epsilon * np / 3.0).exp()).min(1.0)
 }

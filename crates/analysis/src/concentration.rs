@@ -13,7 +13,10 @@
 /// exponentials, given the minimum rate `λ`, `Var[X]` and the deviation `δ`.
 pub fn exponential_sum_tail(lambda_min: f64, variance: f64, delta: f64) -> f64 {
     assert!(lambda_min > 0.0, "minimum rate must be positive");
-    assert!(variance >= 0.0 && delta >= 0.0, "variance and deviation must be non-negative");
+    assert!(
+        variance >= 0.0 && delta >= 0.0,
+        "variance and deviation must be non-negative"
+    );
     (lambda_min * lambda_min * variance / 4.0 - lambda_min * delta / 2.0)
         .exp()
         .min(1.0)
@@ -22,7 +25,13 @@ pub fn exponential_sum_tail(lambda_min: f64, variance: f64, delta: f64) -> f64 {
 /// Lemma 5: upper bound on `P(Σ cᵢYᵢ ≥ t)` for independent geometric `Yᵢ`
 /// with common parameter `p`, weights bounded by `M = max cᵢ`, `S ≥ Σ cᵢ`,
 /// `V ≥ Σ cᵢ²`.
-pub fn geometric_sum_tail(p: f64, max_weight: f64, sum_weights: f64, sum_sq_weights: f64, t: f64) -> f64 {
+pub fn geometric_sum_tail(
+    p: f64,
+    max_weight: f64,
+    sum_weights: f64,
+    sum_sq_weights: f64,
+    t: f64,
+) -> f64 {
     assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
     assert!(max_weight > 0.0, "weights must be positive");
     let l = -(1.0 - p).ln();
@@ -66,7 +75,10 @@ mod tests {
         // X = sum of k exponentials with rates ≥ λ = 2.
         let k = 50;
         let rates: Vec<f64> = (0..k).map(|i| 2.0 + (i % 5) as f64).collect();
-        let dists: Vec<Exponential> = rates.iter().map(|&r| Exponential::new(r).unwrap()).collect();
+        let dists: Vec<Exponential> = rates
+            .iter()
+            .map(|&r| Exponential::new(r).unwrap())
+            .collect();
         let mean: f64 = rates.iter().map(|r| 1.0 / r).sum();
         let var: f64 = rates.iter().map(|r| 1.0 / (r * r)).sum();
         let delta = 1.5;
@@ -98,7 +110,10 @@ mod tests {
         let trials = 30_000;
         let exceed = (0..trials)
             .filter(|_| {
-                let x: f64 = weights.iter().map(|&c| c * geo.sample(&mut rng) as f64).sum();
+                let x: f64 = weights
+                    .iter()
+                    .map(|&c| c * geo.sample(&mut rng) as f64)
+                    .sum();
                 x >= t
             })
             .count();

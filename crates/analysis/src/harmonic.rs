@@ -70,7 +70,10 @@ mod tests {
     fn difference_matches_direct_subtraction() {
         for (a, b) in [(0u64, 10u64), (5, 100), (1000, 2000)] {
             let d = harmonic_difference(a, b);
-            assert!((d - (harmonic(b) - harmonic(a))).abs() < 1e-9, "a={a}, b={b}");
+            assert!(
+                (d - (harmonic(b) - harmonic(a))).abs() < 1e-9,
+                "a={a}, b={b}"
+            );
         }
         assert_eq!(harmonic_difference(7, 7), 0.0);
     }

@@ -4,7 +4,7 @@
 //! with what the paper *predicts*.  This crate turns the quantitative
 //! content of the paper into functions:
 //!
-//! * [`harmonic`] — harmonic numbers `H_k`, which give the exact expected
+//! * [`harmonic`](mod@harmonic) — harmonic numbers `H_k`, which give the exact expected
 //!   time of the sequential-emptying arguments (Lemma 8 and the `Ω(ln n)`
 //!   lower bound `H_m − H_∅`).
 //! * [`bounds`] — the upper-bound forms of Theorem 1 and of each lemma

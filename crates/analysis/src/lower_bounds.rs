@@ -25,7 +25,10 @@ pub fn lower_bound_all_in_one_bin(n: usize, m: u64) -> f64 {
 /// harness arranges).
 pub fn lower_bound_one_over_one_under(n: usize, m: u64) -> f64 {
     assert!(n >= 2, "the instance needs at least two bins");
-    assert!(m % n as u64 == 0 && m > 0, "the instance needs n | m and m ≥ n");
+    assert!(
+        m % n as u64 == 0 && m > 0,
+        "the instance needs n | m and m ≥ n"
+    );
     let avg = m / n as u64;
     n as f64 / (avg as f64 + 1.0)
 }

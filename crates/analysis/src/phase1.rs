@@ -62,7 +62,10 @@ pub fn phase1_schedule(n: usize, avg: f64) -> Vec<Phase1Round> {
 /// Total of the per-round duration bounds — the quantity the proof shows is
 /// `O(ln n)` (the `Σ cᵢ ≤ 32 ln n` computation at the end of Lemma 12).
 pub fn phase1_total_duration_bound(n: usize, avg: f64) -> f64 {
-    phase1_schedule(n, avg).iter().map(|r| r.duration_bound).sum()
+    phase1_schedule(n, avg)
+        .iter()
+        .map(|r| r.duration_bound)
+        .sum()
 }
 
 /// The closed-form iterate `x_k ≤ 4 ln n · x₀^{1/2^k}` from the proof.

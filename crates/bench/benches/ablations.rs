@@ -64,23 +64,28 @@ fn bookkeeping_ablation(c: &mut Criterion) {
                 .filter(|&(from, to)| from != to)
                 .collect()
         };
-        group.bench_with_input(BenchmarkId::new("incremental_tracker", n), &trace, |b, trace| {
-            b.iter(|| {
-                let mut cfg = start.clone();
-                let mut tracker = LoadTracker::new(&cfg);
-                let mut balanced_checks = 0usize;
-                for &(from, to) in trace {
-                    if cfg.load(from) == 0 || !rule.permits_loads(cfg.load(from), cfg.load(to)) {
-                        continue;
+        group.bench_with_input(
+            BenchmarkId::new("incremental_tracker", n),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut cfg = start.clone();
+                    let mut tracker = LoadTracker::new(&cfg);
+                    let mut balanced_checks = 0usize;
+                    for &(from, to) in trace {
+                        if cfg.load(from) == 0 || !rule.permits_loads(cfg.load(from), cfg.load(to))
+                        {
+                            continue;
+                        }
+                        let (lf, lt) = (cfg.load(from), cfg.load(to));
+                        cfg.apply(rls_core::Move::new(from, to)).unwrap();
+                        tracker.record_move(lf, lt);
+                        balanced_checks += tracker.is_perfectly_balanced() as usize;
                     }
-                    let (lf, lt) = (cfg.load(from), cfg.load(to));
-                    cfg.apply(rls_core::Move::new(from, to)).unwrap();
-                    tracker.record_move(lf, lt);
-                    balanced_checks += tracker.is_perfectly_balanced() as usize;
-                }
-                balanced_checks
-            });
-        });
+                    balanced_checks
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_rescan", n), &trace, |b, trace| {
             b.iter(|| {
                 let mut cfg = start.clone();

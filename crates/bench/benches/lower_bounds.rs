@@ -83,5 +83,10 @@ fn divisibility_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, lower_bound_instances, sparse_case, divisibility_overhead);
+criterion_group!(
+    benches,
+    lower_bound_instances,
+    sparse_case,
+    divisibility_overhead
+);
 criterion_main!(benches);

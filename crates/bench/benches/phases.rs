@@ -39,9 +39,11 @@ fn phase2(c: &mut Criterion) {
     for n in [64usize, 128] {
         let m = 16 * n as u64;
         let offset = (4.0 * (n as f64).ln()) as u64;
-        let initial = Workload::BlockImbalance { offset: offset.min(15) }
-            .generate(n, m, &mut rng_from_seed(1))
-            .unwrap();
+        let initial = Workload::BlockImbalance {
+            offset: offset.min(15),
+        }
+        .generate(n, m, &mut rng_from_seed(1))
+        .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -52,15 +52,18 @@ fn versus_selfish(c: &mut Criterion) {
                 RlsProtocol::paper().run(&start, 1.0, &mut rng)
             });
         });
-        group.bench_function(BenchmarkId::new("selfish_global", format!("m_{factor}n")), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut rng = rng_from_seed(seed);
-                let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
-                SelfishGlobal::new(5_000).run(&start, 1.0, &mut rng)
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new("selfish_global", format!("m_{factor}n")),
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = rng_from_seed(seed);
+                    let start = Workload::UniformRandom.generate(n, m, &mut rng).unwrap();
+                    SelfishGlobal::new(5_000).run(&start, 1.0, &mut rng)
+                });
+            },
+        );
         group.bench_function(
             BenchmarkId::new("selfish_distributed", format!("m_{factor}n")),
             |b| {
@@ -113,7 +116,10 @@ fn variant_equivalence(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let n = 32;
     let m = 8 * n as u64;
-    for (name, proto) in [("geq", RlsProtocol::paper()), ("strict", RlsProtocol::strict())] {
+    for (name, proto) in [
+        ("geq", RlsProtocol::paper()),
+        ("strict", RlsProtocol::strict()),
+    ] {
         group.bench_function(name, |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -127,5 +133,11 @@ fn variant_equivalence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, versus_crs, versus_selfish, versus_threshold, variant_equivalence);
+criterion_group!(
+    benches,
+    versus_crs,
+    versus_selfish,
+    versus_threshold,
+    variant_equivalence
+);
 criterion_main!(benches);

@@ -79,5 +79,10 @@ fn prior_bound_regime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, theorem1_scaling, theorem1_whp_tail, prior_bound_regime);
+criterion_group!(
+    benches,
+    theorem1_scaling,
+    theorem1_whp_tail,
+    prior_bound_regime
+);
 criterion_main!(benches);

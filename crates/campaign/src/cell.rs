@@ -1,0 +1,440 @@
+//! Executing a single grid cell: `trials` independent runs, each with its
+//! own derived random stream, aggregated into a [`CellResult`].
+
+use rls_core::{RlsRule, RlsVariant};
+use rls_graph::GraphRls;
+use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
+use rls_protocols::{GreedyD, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
+use rls_rng::{SplitMix64, StreamFactory, StreamId};
+use rls_sim::observer::PhaseTracker;
+use rls_sim::stats::Summary;
+use rls_sim::{NoAdversary, RlsPolicy, Simulation, StopWhen};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::sha256_u64;
+use crate::spec::{CellSpec, ProtocolSpec};
+use crate::CampaignError;
+
+/// Stream-id components within one trial: the workload draw and the
+/// protocol dynamics are independent streams, so changing one never
+/// perturbs the other.
+const COMPONENT_WORKLOAD: u64 = 0;
+const COMPONENT_DYNAMICS: u64 = 1;
+const COMPONENT_GRAPH: u64 = 2;
+
+/// Derive the cell's master seed from the campaign seed and the cell's
+/// content (its canonical JSON).  Two properties matter:
+///
+/// * the same cell always maps to the same seed, no matter where it sits in
+///   the grid or how many other cells exist — so cached results stay valid
+///   under grid growth; and
+/// * any change to the cell spec (or the campaign seed) remixes the seed
+///   through [`SplitMix64`], decorrelating the streams.
+pub fn cell_seed(campaign_seed: u64, cell: &CellSpec) -> u64 {
+    let canonical = serde_json::to_canonical_string(cell);
+    SplitMix64::mix(campaign_seed ^ sha256_u64(canonical.as_bytes()))
+}
+
+/// Aggregated results of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The unit `costs` is measured in (`time`, `rounds`, `steps`,
+    /// `placements`) — see [`ProtocolSpec::cost_unit`].
+    pub unit: String,
+    /// Per-trial costs, in trial order (kept so quantiles and dominance
+    /// tests can be computed after the fact without re-running).
+    pub costs: Vec<f64>,
+    /// Summary of `costs`.
+    pub cost: Summary,
+    /// Summary of per-trial activation counts.
+    pub activations: Summary,
+    /// Summary of per-trial migration counts.
+    pub migrations: Summary,
+    /// Summary of per-trial final discrepancies.
+    pub final_discrepancy: Summary,
+    /// Fraction of trials that reached the target balance (rather than
+    /// exhausting a budget).
+    pub goal_rate: f64,
+    /// Mean first-hit time for each entry of the cell's `hits` list.
+    pub hit_means: Vec<f64>,
+}
+
+/// Run every trial of a cell and aggregate.
+pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    match cell.protocol {
+        ProtocolSpec::RlsGeq | ProtocolSpec::RlsStrict if cell.topology.is_complete() => {
+            run_simulation_cell(cell, seed)
+        }
+        ProtocolSpec::RlsGeq => run_graph_cell(cell, seed),
+        ProtocolSpec::RlsStrict => Err(CampaignError::unsupported(
+            "rls-strict is only available on the complete topology",
+        )),
+        _ if !cell.topology.is_complete() => Err(CampaignError::unsupported(format!(
+            "protocol `{}` is only available on the complete topology",
+            cell.protocol
+        ))),
+        _ => run_protocol_cell(cell, seed),
+    }
+}
+
+/// The paper's continuous-time process on the complete topology, via the
+/// O(1)-per-event superposition engine, with first-hit tracking.
+fn run_simulation_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    let variant = match cell.protocol {
+        ProtocolSpec::RlsGeq => RlsVariant::Geq,
+        ProtocolSpec::RlsStrict => RlsVariant::Strict,
+        _ => unreachable!("caller dispatches on protocol"),
+    };
+    let thresholds: Vec<f64> = cell.hits.iter().map(|h| h.resolve(cell.n)).collect();
+    let mut stop = if cell.stop.target_discrepancy <= 0.0 {
+        StopWhen::perfectly_balanced()
+    } else {
+        StopWhen::x_balanced(cell.stop.target_discrepancy)
+    };
+    if let Some(t) = cell.stop.max_time {
+        stop = stop.with_max_time(t);
+    }
+    if let Some(a) = cell.stop.max_activations {
+        stop = stop.with_max_activations(a);
+    }
+
+    let factory = StreamFactory::new(seed);
+    let mut acc = Accumulator::new(cell, thresholds.len());
+    for trial in 0..cell.trials as u64 {
+        let mut wl_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_WORKLOAD));
+        let initial = cell
+            .workload
+            .0
+            .generate(cell.n, cell.m, &mut wl_rng)
+            .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+        let initial_disc = initial.discrepancy();
+
+        let mut tracker = PhaseTracker::new(thresholds.clone());
+        let mut sim = Simulation::new(initial, RlsPolicy::new(RlsRule::new(variant)))
+            .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
+        let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
+        let outcome = sim.run_with(&mut run_rng, stop, &mut NoAdversary, &mut tracker);
+
+        for (i, &threshold) in thresholds.iter().enumerate() {
+            // A threshold the run never crossed was either already
+            // satisfied at the start (hit at time zero) or never reached
+            // within the run (count the full stopping time).
+            let hit = tracker.hit_time(i).unwrap_or(if initial_disc <= threshold {
+                0.0
+            } else {
+                outcome.time
+            });
+            acc.hit_sums[i] += hit;
+        }
+        acc.push(
+            outcome.time,
+            outcome.activations as f64,
+            outcome.migrations as f64,
+            outcome.final_discrepancy,
+            outcome.reached_goal,
+        );
+    }
+    Ok(acc.finish())
+}
+
+/// Graph-restricted RLS on a non-complete topology.
+fn run_graph_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    if !cell.hits.is_empty() {
+        return Err(CampaignError::unsupported(
+            "hit tracking is only available on the complete topology",
+        ));
+    }
+    if cell.stop.max_time.is_some() {
+        // The graph runner only counts activations; silently ignoring a
+        // requested cap would cache results under an identity that claims
+        // the cap was applied.
+        return Err(CampaignError::unsupported(
+            "stop.max_time is only available on the complete topology (use max_activations)",
+        ));
+    }
+    let factory = StreamFactory::new(seed);
+    // One graph per cell (same instance for every trial, like E16).
+    let mut graph_rng = factory.rng(StreamId::trial(0).with_component(COMPONENT_GRAPH));
+    let graph = cell
+        .topology
+        .0
+        .build(cell.n, &mut graph_rng)
+        .map_err(|e| CampaignError::spec(format!("cell topology: {e}")))?;
+    let budget = cell.stop.max_activations.unwrap_or(u64::MAX);
+    let process = GraphRls::new(graph, budget);
+
+    let mut acc = Accumulator::new(cell, 0);
+    for trial in 0..cell.trials as u64 {
+        let mut wl_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_WORKLOAD));
+        let initial = cell
+            .workload
+            .0
+            .generate(cell.n, cell.m, &mut wl_rng)
+            .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+        let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
+        let out = process.run(&initial, cell.stop.target_discrepancy, &mut run_rng);
+        acc.push(
+            out.time,
+            out.activations as f64,
+            out.migrations as f64,
+            out.final_discrepancy,
+            out.reached_goal,
+        );
+    }
+    Ok(acc.finish())
+}
+
+/// The related-work protocols, reported through `ProtocolOutcome`.
+fn run_protocol_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    if !cell.hits.is_empty() {
+        return Err(CampaignError::unsupported(
+            "hit tracking is only available for continuous-time RLS cells",
+        ));
+    }
+    if cell.stop.max_time.is_some() || cell.stop.max_activations.is_some() {
+        // These protocols carry their own budget in the protocol spec
+        // (rounds / steps / choices); a stop budget cannot be applied, and
+        // silently ignoring it would poison the cache identity.
+        return Err(CampaignError::unsupported(format!(
+            "protocol `{}` carries its own budget; stop.max_time/max_activations only apply \
+             to rls cells — put the protocol in its own campaign if the grid mixes both",
+            cell.protocol
+        )));
+    }
+    let target = cell.stop.target_discrepancy;
+    let factory = StreamFactory::new(seed);
+    let mut acc = Accumulator::new(cell, 0);
+    for trial in 0..cell.trials as u64 {
+        let mut wl_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_WORKLOAD));
+        let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
+        let out = match cell.protocol {
+            ProtocolSpec::SelfishGlobal { rounds } => {
+                let start = cell
+                    .workload
+                    .0
+                    .generate(cell.n, cell.m, &mut wl_rng)
+                    .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+                SelfishGlobal::new(rounds).run(&start, target, &mut run_rng)
+            }
+            ProtocolSpec::SelfishDistributed { rounds } => {
+                let start = cell
+                    .workload
+                    .0
+                    .generate(cell.n, cell.m, &mut wl_rng)
+                    .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+                SelfishDistributed::new(rounds).run(&start, target, &mut run_rng)
+            }
+            ProtocolSpec::ThresholdAverage { rounds } => {
+                let start = cell
+                    .workload
+                    .0
+                    .generate(cell.n, cell.m, &mut wl_rng)
+                    .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+                ThresholdProtocol::average_threshold(rounds).run(&start, target, &mut run_rng)
+            }
+            // CRS and greedy-d draw their own placements (CRS needs the
+            // candidate structure of its two-choices start), so the
+            // workload axis does not apply; the workload stream seeds the
+            // placement instead.
+            ProtocolSpec::CrsTwoChoices { steps } => CrsLocalSearch::new(
+                CrsPlacement::TwoChoices,
+                steps,
+            )
+            .run(cell.n, cell.m, target, &mut wl_rng),
+            ProtocolSpec::GreedyD { d } => GreedyD::new(d).run(cell.n, cell.m, target, &mut wl_rng),
+            ProtocolSpec::RlsGeq | ProtocolSpec::RlsStrict => {
+                unreachable!("RLS cells dispatch to the simulation/graph runners")
+            }
+        };
+        acc.push(
+            out.cost,
+            out.activations as f64,
+            out.migrations as f64,
+            out.final_discrepancy,
+            out.reached_goal,
+        );
+    }
+    Ok(acc.finish())
+}
+
+/// Per-trial sample collector shared by the three cell runners.
+struct Accumulator {
+    unit: String,
+    trials: usize,
+    costs: Vec<f64>,
+    activations: Vec<f64>,
+    migrations: Vec<f64>,
+    discrepancies: Vec<f64>,
+    goals: usize,
+    hit_sums: Vec<f64>,
+}
+
+impl Accumulator {
+    fn new(cell: &CellSpec, hit_count: usize) -> Self {
+        Self {
+            unit: cell.protocol.cost_unit().to_string(),
+            trials: cell.trials,
+            costs: Vec::with_capacity(cell.trials),
+            activations: Vec::with_capacity(cell.trials),
+            migrations: Vec::with_capacity(cell.trials),
+            discrepancies: Vec::with_capacity(cell.trials),
+            goals: 0,
+            hit_sums: vec![0.0; hit_count],
+        }
+    }
+
+    fn push(&mut self, cost: f64, activations: f64, migrations: f64, disc: f64, goal: bool) {
+        self.costs.push(cost);
+        self.activations.push(activations);
+        self.migrations.push(migrations);
+        self.discrepancies.push(disc);
+        self.goals += goal as usize;
+    }
+
+    fn finish(self) -> CellResult {
+        CellResult {
+            unit: self.unit,
+            cost: Summary::from_samples(&self.costs),
+            activations: Summary::from_samples(&self.activations),
+            migrations: Summary::from_samples(&self.migrations),
+            final_discrepancy: Summary::from_samples(&self.discrepancies),
+            goal_rate: self.goals as f64 / self.trials as f64,
+            hit_means: self
+                .hit_sums
+                .iter()
+                .map(|s| s / self.trials as f64)
+                .collect(),
+            costs: self.costs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{HitSpec, StopSpec, TopologySpec, WorkloadSpec};
+    use rls_graph::Topology;
+    use rls_workloads::Workload;
+
+    fn base_cell() -> CellSpec {
+        CellSpec {
+            n: 8,
+            m: 64,
+            protocol: ProtocolSpec::RlsGeq,
+            workload: WorkloadSpec(Workload::AllInOneBin),
+            topology: TopologySpec::complete(),
+            stop: StopSpec::default(),
+            hits: Vec::new(),
+            trials: 4,
+        }
+    }
+
+    #[test]
+    fn seeds_are_content_addressed() {
+        let a = base_cell();
+        let mut b = base_cell();
+        assert_eq!(cell_seed(7, &a), cell_seed(7, &b));
+        b.m = 65;
+        assert_ne!(cell_seed(7, &a), cell_seed(7, &b));
+        assert_ne!(cell_seed(7, &a), cell_seed(8, &a));
+    }
+
+    #[test]
+    fn simulation_cell_reaches_balance_deterministically() {
+        let mut cell = base_cell();
+        cell.hits = vec![HitSpec::LnFactor(4.0), HitSpec::Absolute(1.0)];
+        let r1 = run_cell(&cell, 42).unwrap();
+        let r2 = run_cell(&cell, 42).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.costs.len(), 4);
+        assert_eq!(r1.goal_rate, 1.0);
+        assert_eq!(r1.unit, "time");
+        // Hits are ordered: the coarse ln-threshold is crossed before
+        // 1-balance, which is reached before the final stopping time.
+        assert!(r1.hit_means[0] <= r1.hit_means[1]);
+        assert!(r1.hit_means[1] <= r1.cost.mean);
+        let r3 = run_cell(&cell, 43).unwrap();
+        assert_ne!(r1.costs, r3.costs);
+    }
+
+    #[test]
+    fn strict_variant_and_budget_cells_run() {
+        let mut cell = base_cell();
+        cell.protocol = ProtocolSpec::RlsStrict;
+        let r = run_cell(&cell, 1).unwrap();
+        assert_eq!(r.goal_rate, 1.0);
+
+        let mut capped = base_cell();
+        capped.m = 8 * 64;
+        capped.stop.max_activations = Some(5);
+        let r = run_cell(&capped, 1).unwrap();
+        assert_eq!(r.goal_rate, 0.0);
+        assert!(r.activations.max <= 5.0);
+    }
+
+    #[test]
+    fn unsupported_stop_budgets_are_rejected_not_ignored() {
+        // Protocols with their own budget reject a stop budget outright.
+        let mut cell = base_cell();
+        cell.protocol = ProtocolSpec::SelfishGlobal { rounds: 4000 };
+        cell.stop.target_discrepancy = 1.0;
+        cell.stop.max_activations = Some(100);
+        let err = run_cell(&cell, 1).unwrap_err().to_string();
+        assert!(err.contains("carries its own budget"), "{err}");
+        cell.stop.max_activations = None;
+        cell.stop.max_time = Some(5.0);
+        assert!(run_cell(&cell, 1).is_err());
+
+        // Graph cells honour max_activations but reject max_time.
+        let mut graph = base_cell();
+        graph.topology = TopologySpec(Topology::Cycle);
+        graph.stop.max_time = Some(5.0);
+        let err = run_cell(&graph, 1).unwrap_err().to_string();
+        assert!(err.contains("max_time"), "{err}");
+    }
+
+    #[test]
+    fn graph_cell_runs_and_strict_on_graph_is_rejected() {
+        let mut cell = base_cell();
+        cell.topology = TopologySpec(Topology::Cycle);
+        cell.stop.max_activations = Some(200_000);
+        let r = run_cell(&cell, 5).unwrap();
+        assert_eq!(r.goal_rate, 1.0);
+        assert_eq!(r.unit, "time");
+
+        let mut strict = cell.clone();
+        strict.protocol = ProtocolSpec::RlsStrict;
+        assert!(run_cell(&strict, 5).is_err());
+
+        let mut with_hits = cell.clone();
+        with_hits.hits = vec![HitSpec::Absolute(1.0)];
+        assert!(run_cell(&with_hits, 5).is_err());
+    }
+
+    #[test]
+    fn protocol_cells_report_their_cost_units() {
+        for (protocol, unit) in [
+            (ProtocolSpec::SelfishGlobal { rounds: 4000 }, "rounds"),
+            (ProtocolSpec::SelfishDistributed { rounds: 4000 }, "rounds"),
+            (ProtocolSpec::ThresholdAverage { rounds: 4000 }, "rounds"),
+            (ProtocolSpec::CrsTwoChoices { steps: 400_000 }, "steps"),
+            (ProtocolSpec::GreedyD { d: 2 }, "placements"),
+        ] {
+            let mut cell = base_cell();
+            cell.protocol = protocol;
+            cell.workload = WorkloadSpec(Workload::UniformRandom);
+            cell.stop.target_discrepancy = 1.0;
+            let r = run_cell(&cell, 9).unwrap_or_else(|e| panic!("{protocol}: {e}"));
+            assert_eq!(r.unit, unit, "{protocol}");
+            assert_eq!(r.costs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn invalid_workload_parameters_surface_as_errors() {
+        let mut cell = base_cell();
+        cell.workload = WorkloadSpec(Workload::OneOverOneUnder);
+        cell.m = 63; // not divisible by n = 8
+        assert!(run_cell(&cell, 1).is_err());
+    }
+}

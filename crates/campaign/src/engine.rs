@@ -1,0 +1,248 @@
+//! The campaign engine: expand the grid, diff it against the store, and
+//! execute only the missing cells on a work-stealing pool.
+//!
+//! Execution shards at cell granularity through
+//! [`rls_sim::parallel::parallel_map`] — the same dynamic-claiming pool the
+//! Monte-Carlo driver uses — so a grid whose cells vary wildly in cost
+//! (balancing times span orders of magnitude across `(n, m)`) still keeps
+//! every core busy.  Trials within a cell run sequentially on their own
+//! derived streams; results are bit-identical regardless of thread count.
+
+use rls_sim::parallel::{default_threads, parallel_map};
+
+use crate::cell::{cell_seed, run_cell, CellResult};
+use crate::spec::{CampaignSpec, CellSpec};
+use crate::store::{cell_key, CellRecord, Store, ENGINE_VERSION};
+use crate::CampaignError;
+
+/// A campaign bound to its spec.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+}
+
+/// How much of a campaign's grid is already in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Cells whose results are cached.
+    pub cached: usize,
+    /// Cells that a run would execute.
+    pub missing: usize,
+}
+
+/// One cell of a finished campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The cell.
+    pub cell: CellSpec,
+    /// The derived seed it ran under.
+    pub seed: u64,
+    /// Whether the result came from the store (no execution).
+    pub cached: bool,
+    /// The results.
+    pub result: CellResult,
+}
+
+/// All outcomes of a campaign run, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-cell outcomes, in grid order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Number of cells executed by this run.
+    pub executed: usize,
+    /// Number of cells served from the store.
+    pub cached: usize,
+}
+
+impl Campaign {
+    /// Bind a spec.
+    pub fn new(spec: CampaignSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The expanded grid.
+    pub fn cells(&self) -> Result<Vec<CellSpec>, CampaignError> {
+        self.spec.cells()
+    }
+
+    /// Diff the grid against a store without executing anything (uses the
+    /// store's cheap presence check; records are not read).
+    pub fn status(&self, store: &dyn Store) -> Result<CampaignStatus, CampaignError> {
+        let cells = self.cells()?;
+        let cached = cells
+            .iter()
+            .filter(|cell| store.contains(&cell_key(self.spec.seed, cell)))
+            .count();
+        Ok(CampaignStatus {
+            total: cells.len(),
+            cached,
+            missing: cells.len() - cached,
+        })
+    }
+
+    /// Run the campaign: cached cells are read back, missing cells execute
+    /// in parallel (`threads = 0` picks the default pool size) and are
+    /// persisted before the report is assembled.
+    pub fn run(&self, store: &dyn Store, threads: usize) -> Result<CampaignReport, CampaignError> {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let cells = self.cells()?;
+        let seed = self.spec.seed;
+
+        // Phase 1: split into cached hits and missing work units.
+        let mut cached_records: Vec<Option<CellRecord>> = Vec::with_capacity(cells.len());
+        let mut from_cache: Vec<bool> = Vec::with_capacity(cells.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            match store.get(&cell_key(seed, cell)) {
+                Some(record) => {
+                    cached_records.push(Some(record));
+                    from_cache.push(true);
+                }
+                None => {
+                    cached_records.push(None);
+                    from_cache.push(false);
+                    missing.push(i);
+                }
+            }
+        }
+
+        // Phase 2: execute the missing cells on the work-stealing pool.
+        let executed: Vec<Result<CellRecord, CampaignError>> =
+            parallel_map(missing.len(), threads, |slot| {
+                let cell = &cells[missing[slot]];
+                let cell_seed = cell_seed(seed, cell);
+                let result = run_cell(cell, cell_seed)?;
+                Ok(CellRecord {
+                    key: cell_key(seed, cell),
+                    version: ENGINE_VERSION,
+                    campaign_seed: seed,
+                    cell: cell.clone(),
+                    cell_seed,
+                    result,
+                })
+            });
+
+        // Phase 3: persist and assemble in grid order.
+        let executed_count = executed.len();
+        for (slot, record) in missing.iter().zip(executed) {
+            let record = record?;
+            store.put(&record)?;
+            cached_records[*slot] = Some(record);
+        }
+        let mut outcomes = Vec::with_capacity(cells.len());
+        for (i, record) in cached_records.into_iter().enumerate() {
+            let record = record.expect("every slot filled by cache or execution");
+            outcomes.push(CellOutcome {
+                cell: record.cell,
+                seed: record.cell_seed,
+                cached: from_cache[i],
+                result: record.result,
+            });
+        }
+        Ok(CampaignReport {
+            name: self.spec.name.clone(),
+            outcomes,
+            executed: executed_count,
+            cached: cells.len() - executed_count,
+        })
+    }
+}
+
+impl CampaignReport {
+    /// Find the outcome for an exact cell spec (experiments use this to
+    /// map grid points back to table rows).
+    pub fn outcome(&self, cell: &CellSpec) -> Option<&CellOutcome> {
+        self.outcomes.iter().find(|o| &o.cell == cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MExpr;
+    use crate::store::MemoryStore;
+
+    fn small_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("engine-test", 11, 3);
+        spec.grid.n = vec![4, 8];
+        spec.grid.m = vec![MExpr::PerBin(4.0)];
+        spec
+    }
+
+    #[test]
+    fn run_executes_then_caches() {
+        let store = MemoryStore::new();
+        let campaign = Campaign::new(small_spec());
+        let status = campaign.status(&store).unwrap();
+        assert_eq!((status.total, status.cached, status.missing), (2, 0, 2));
+
+        let first = campaign.run(&store, 2).unwrap();
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.cached, 0);
+        assert_eq!(first.outcomes.len(), 2);
+        assert!(first.outcomes.iter().all(|o| !o.cached));
+
+        let second = campaign.run(&store, 2).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cached, 2);
+        assert!(second.outcomes.iter().all(|o| o.cached));
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn grid_growth_reuses_existing_cells() {
+        let store = MemoryStore::new();
+        let campaign = Campaign::new(small_spec());
+        campaign.run(&store, 1).unwrap();
+
+        let mut grown = small_spec();
+        grown.grid.n.push(16);
+        let report = Campaign::new(grown).run(&store, 1).unwrap();
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.cached, 2);
+        // Existing cells keep their identity (content addressing is
+        // independent of grid position).
+        assert!(report.outcomes[0].cached && report.outcomes[1].cached);
+        assert!(!report.outcomes[2].cached);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sequential = Campaign::new(small_spec())
+            .run(&MemoryStore::new(), 1)
+            .unwrap();
+        let parallel = Campaign::new(small_spec())
+            .run(&MemoryStore::new(), 4)
+            .unwrap();
+        for (a, b) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn report_lookup_by_cell() {
+        let campaign = Campaign::new(small_spec());
+        let report = campaign.run(&MemoryStore::new(), 1).unwrap();
+        let cells = campaign.cells().unwrap();
+        assert!(report.outcome(&cells[1]).is_some());
+        let mut other = cells[1].clone();
+        other.m = 999;
+        assert!(report.outcome(&other).is_none());
+    }
+}

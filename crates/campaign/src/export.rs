@@ -1,0 +1,124 @@
+//! Exporting campaign reports as CSV or JSON.
+
+use serde::{Map, Serialize, Value};
+
+use crate::engine::CampaignReport;
+
+/// CSV header used by [`to_csv`].
+const CSV_COLUMNS: &[&str] = &[
+    "n",
+    "m",
+    "protocol",
+    "workload",
+    "topology",
+    "trials",
+    "unit",
+    "cost_mean",
+    "cost_ci95",
+    "cost_median",
+    "cost_p95",
+    "activations_mean",
+    "migrations_mean",
+    "final_discrepancy_mean",
+    "goal_rate",
+    "cached",
+];
+
+/// Render a report as CSV, one row per cell (summary columns only; the
+/// per-trial samples live in the JSON export and the store records).
+pub fn to_csv(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&CSV_COLUMNS.join(","));
+    out.push('\n');
+    for outcome in &report.outcomes {
+        let cell = &outcome.cell;
+        let r = &outcome.result;
+        let row = [
+            cell.n.to_string(),
+            cell.m.to_string(),
+            cell.protocol.to_string(),
+            cell.workload.to_string(),
+            cell.topology.to_string(),
+            cell.trials.to_string(),
+            r.unit.clone(),
+            format_num(r.cost.mean),
+            format_num(r.cost.ci95_half_width),
+            format_num(r.cost.median),
+            format_num(r.cost.p95),
+            format_num(r.activations.mean),
+            format_num(r.migrations.mean),
+            format_num(r.final_discrepancy.mean),
+            format_num(r.goal_rate),
+            outcome.cached.to_string(),
+        ];
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a report as pretty-printed JSON (full per-cell results, including
+/// per-trial costs and hit-time means).
+pub fn to_json(report: &CampaignReport) -> String {
+    let mut root = Map::new();
+    root.insert("name", Value::Str(report.name.clone()));
+    root.insert("executed", Value::UInt(report.executed as u64));
+    root.insert("cached", Value::UInt(report.cached as u64));
+    let cells: Vec<Value> = report
+        .outcomes
+        .iter()
+        .map(|outcome| {
+            let mut obj = Map::new();
+            obj.insert("cell", outcome.cell.to_value());
+            obj.insert("seed", Value::UInt(outcome.seed));
+            obj.insert("cached", Value::Bool(outcome.cached));
+            obj.insert("result", outcome.result.to_value());
+            Value::Object(obj)
+        })
+        .collect();
+    root.insert("cells", Value::Array(cells));
+    serde_json::to_string_pretty(&Value::Object(root)).expect("value trees always encode")
+}
+
+fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x}")
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Campaign;
+    use crate::spec::{CampaignSpec, MExpr};
+    use crate::store::MemoryStore;
+
+    fn report() -> CampaignReport {
+        let mut spec = CampaignSpec::new("export-test", 5, 2);
+        spec.grid.n = vec![4];
+        spec.grid.m = vec![MExpr::PerBin(4.0)];
+        Campaign::new(spec).run(&MemoryStore::new(), 1).unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let csv = to_csv(&report());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("n,m,protocol"));
+        assert!(lines[1].starts_with("4,16,rls-geq,all-in-one-bin,complete,2,time,"));
+        // Same column count everywhere.
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let json = to_json(&report());
+        let v = serde_json::parse_value(&json).unwrap();
+        let root = v.as_object().unwrap();
+        assert_eq!(root.get("name").unwrap().as_str(), Some("export-test"));
+        assert_eq!(root.get("cells").unwrap().as_array().unwrap().len(), 1);
+    }
+}

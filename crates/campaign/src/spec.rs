@@ -1,0 +1,727 @@
+//! Campaign specifications: the declarative grid an experiment sweeps.
+//!
+//! A [`CampaignSpec`] names a parameter grid — bin counts `n`, ball counts
+//! `m` (absolute, per-bin or `n²`), protocol variants, workloads and
+//! topologies — plus the trial count, stop condition and master seed.  The
+//! grid's cartesian product expands into [`CellSpec`]s, the unit of
+//! execution and caching.
+//!
+//! Spec atoms ([`MExpr`], [`ProtocolSpec`], [`WorkloadSpec`],
+//! [`TopologySpec`], [`HitSpec`]) serialize as short strings
+//! (`"8x"`, `"rls-geq"`, `"zipf:1.5"`, `"random-regular:4"`,
+//! `"8*ln(n)"`) so TOML and JSON specs stay one-line readable.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rls_graph::Topology;
+use rls_workloads::Workload;
+use serde::{de, Deserialize, Serialize, Value};
+
+use crate::CampaignError;
+
+/// Unwrap the spec-error prefix when embedding an atom parse failure in a
+/// deserialization error (avoids "campaign spec error: ... campaign spec
+/// error: ..." nesting).
+fn atom_err(e: CampaignError) -> de::Error {
+    de::Error::custom(match e {
+        CampaignError::Spec(m) => m,
+        other => other.to_string(),
+    })
+}
+
+/// How a grid point's ball count is derived from its bin count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MExpr {
+    /// A fixed ball count, independent of `n`.
+    Absolute(u64),
+    /// `m = ⌊factor · n⌋` (written `"8x"`, `"0.5x"`).
+    PerBin(f64),
+    /// `m = n²` (written `"n^2"`), the regime where the `n²/m` term of
+    /// Theorem 1 vanishes.
+    NSquared,
+}
+
+impl MExpr {
+    /// Resolve the ball count for a given bin count.
+    pub fn resolve(&self, n: usize) -> u64 {
+        match self {
+            MExpr::Absolute(m) => *m,
+            MExpr::PerBin(factor) => (factor * n as f64).floor() as u64,
+            MExpr::NSquared => (n as u64) * (n as u64),
+        }
+    }
+}
+
+impl fmt::Display for MExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MExpr::Absolute(m) => write!(f, "{m}"),
+            MExpr::PerBin(factor) => write!(f, "{factor}x"),
+            MExpr::NSquared => write!(f, "n^2"),
+        }
+    }
+}
+
+impl FromStr for MExpr {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let s = s.trim();
+        if s == "n^2" || s == "n2" {
+            return Ok(MExpr::NSquared);
+        }
+        if let Some(factor) = s.strip_suffix('x') {
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| CampaignError::spec(format!("bad per-bin ball count `{s}`")))?;
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(CampaignError::spec(format!("bad per-bin ball count `{s}`")));
+            }
+            return Ok(MExpr::PerBin(factor));
+        }
+        s.parse::<u64>()
+            .map(MExpr::Absolute)
+            .map_err(|_| CampaignError::spec(format!("bad ball count `{s}` (use 512, 8x or n^2)")))
+    }
+}
+
+impl Serialize for MExpr {
+    fn to_value(&self) -> Value {
+        match self {
+            MExpr::Absolute(m) => Value::UInt(*m),
+            other => Value::Str(other.to_string()),
+        }
+    }
+}
+
+impl Deserialize for MExpr {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if let Some(m) = v.as_u64() {
+            return Ok(MExpr::Absolute(m));
+        }
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("ball-count expression", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// The protocol a cell runs.
+///
+/// The first two are the paper's continuous-time process (driven by the
+/// `rls-sim` engine, on any topology); the rest are the related-work
+/// protocols of Section 2, each carrying its own budget parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolSpec {
+    /// RLS, `≥` variant (this paper).  Cost unit: continuous time.
+    RlsGeq,
+    /// RLS, strict `>` variant (Goldberg; Ganesh et al.).  Continuous time.
+    RlsStrict,
+    /// Synchronous selfish rerouting with global knowledge of the average
+    /// (Even-Dar, Mansour).  Cost unit: rounds.
+    SelfishGlobal {
+        /// Round budget.
+        rounds: u64,
+    },
+    /// Synchronous selfish load balancing without global knowledge
+    /// (Berenbrink et al.).  Cost unit: rounds.
+    SelfishDistributed {
+        /// Round budget.
+        rounds: u64,
+    },
+    /// Average-threshold load balancing (Ackermann et al.).  Rounds.
+    ThresholdAverage {
+        /// Round budget.
+        rounds: u64,
+    },
+    /// CRS pair-sampling local search from its own two-choices placement
+    /// (Czumaj, Riley, Scheideler).  Cost unit: pair-sampling steps.
+    CrsTwoChoices {
+        /// Step budget.
+        steps: u64,
+    },
+    /// One-shot greedy `d`-choices placement (Mitzenmacher).  Placements.
+    GreedyD {
+        /// Number of candidate bins per ball.
+        d: usize,
+    },
+}
+
+impl ProtocolSpec {
+    /// The unit the protocol's cost is measured in.
+    pub fn cost_unit(&self) -> &'static str {
+        match self {
+            ProtocolSpec::RlsGeq | ProtocolSpec::RlsStrict => "time",
+            ProtocolSpec::SelfishGlobal { .. }
+            | ProtocolSpec::SelfishDistributed { .. }
+            | ProtocolSpec::ThresholdAverage { .. } => "rounds",
+            ProtocolSpec::CrsTwoChoices { .. } => "steps",
+            ProtocolSpec::GreedyD { .. } => "placements",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolSpec::RlsGeq => write!(f, "rls-geq"),
+            ProtocolSpec::RlsStrict => write!(f, "rls-strict"),
+            ProtocolSpec::SelfishGlobal { rounds } => write!(f, "selfish-global:{rounds}"),
+            ProtocolSpec::SelfishDistributed { rounds } => {
+                write!(f, "selfish-distributed:{rounds}")
+            }
+            ProtocolSpec::ThresholdAverage { rounds } => write!(f, "threshold-average:{rounds}"),
+            ProtocolSpec::CrsTwoChoices { steps } => write!(f, "crs-two-choices:{steps}"),
+            ProtocolSpec::GreedyD { d } => write!(f, "greedy:{d}"),
+        }
+    }
+}
+
+impl FromStr for ProtocolSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let (head, param) = match s.split_once(':') {
+            Some((head, param)) => (head.trim(), Some(param.trim())),
+            None => (s.trim(), None),
+        };
+        let parse_u64 = |what: &str| -> Result<u64, CampaignError> {
+            param
+                .ok_or_else(|| {
+                    CampaignError::spec(format!("`{head}` needs a {what}, e.g. `{head}:2000`"))
+                })?
+                .parse()
+                .map_err(|_| CampaignError::spec(format!("bad {what} in `{s}`")))
+        };
+        match head {
+            "rls-geq" => Ok(ProtocolSpec::RlsGeq),
+            "rls-strict" => Ok(ProtocolSpec::RlsStrict),
+            "selfish-global" => Ok(ProtocolSpec::SelfishGlobal {
+                rounds: parse_u64("round budget")?,
+            }),
+            "selfish-distributed" => Ok(ProtocolSpec::SelfishDistributed {
+                rounds: parse_u64("round budget")?,
+            }),
+            "threshold-average" => Ok(ProtocolSpec::ThresholdAverage {
+                rounds: parse_u64("round budget")?,
+            }),
+            "crs-two-choices" => Ok(ProtocolSpec::CrsTwoChoices {
+                steps: parse_u64("step budget")?,
+            }),
+            "greedy" => Ok(ProtocolSpec::GreedyD {
+                d: parse_u64("choice count")? as usize,
+            }),
+            other => Err(CampaignError::spec(format!("unknown protocol `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for ProtocolSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ProtocolSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("protocol string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// A workload named in a campaign grid (string form of
+/// [`rls_workloads::Workload`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec(pub Workload);
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Workload::Zipf { exponent } => write!(f, "zipf:{exponent}"),
+            Workload::BlockImbalance { offset } => write!(f, "block-imbalance:{offset}"),
+            Workload::OverUnderPairs { pairs } => write!(f, "over-under-pairs:{pairs}"),
+            plain => write!(f, "{}", plain.name()),
+        }
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let (head, param) = match s.split_once(':') {
+            Some((head, param)) => (head.trim(), Some(param.trim())),
+            None => (s.trim(), None),
+        };
+        let workload = match head {
+            "all-in-one-bin" => Workload::AllInOneBin,
+            "uniform-random" => Workload::UniformRandom,
+            "two-choices" => Workload::TwoChoices,
+            "balanced" => Workload::Balanced,
+            "one-over-one-under" => Workload::OneOverOneUnder,
+            "zipf" => Workload::Zipf {
+                exponent: param
+                    .ok_or_else(|| {
+                        CampaignError::spec("`zipf` needs an exponent, e.g. `zipf:1.5`")
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad zipf exponent in `{s}`")))?,
+            },
+            "block-imbalance" => Workload::BlockImbalance {
+                offset: param
+                    .ok_or_else(|| {
+                        CampaignError::spec(
+                            "`block-imbalance` needs an offset, e.g. `block-imbalance:4`",
+                        )
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad offset in `{s}`")))?,
+            },
+            "over-under-pairs" => Workload::OverUnderPairs {
+                pairs: param
+                    .ok_or_else(|| {
+                        CampaignError::spec(
+                            "`over-under-pairs` needs a count, e.g. `over-under-pairs:4`",
+                        )
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad pair count in `{s}`")))?,
+            },
+            other => return Err(CampaignError::spec(format!("unknown workload `{other}`"))),
+        };
+        Ok(WorkloadSpec(workload))
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("workload string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// A topology named in a campaign grid (string form of
+/// [`rls_graph::Topology`]).  `complete` runs on the O(1)-per-event
+/// superposition engine; anything else runs graph-restricted RLS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec(pub Topology);
+
+impl TopologySpec {
+    /// The paper's complete-graph model.
+    pub fn complete() -> Self {
+        TopologySpec(Topology::Complete)
+    }
+
+    /// Whether this is the complete topology (simulated by `rls-sim`).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.0, Topology::Complete)
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Topology::RandomRegular { degree } => write!(f, "random-regular:{degree}"),
+            Topology::ErdosRenyi { p } => write!(f, "erdos-renyi:{p}"),
+            plain => write!(f, "{}", plain.name()),
+        }
+    }
+}
+
+impl FromStr for TopologySpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let (head, param) = match s.split_once(':') {
+            Some((head, param)) => (head.trim(), Some(param.trim())),
+            None => (s.trim(), None),
+        };
+        let topology = match head {
+            "complete" => Topology::Complete,
+            "cycle" => Topology::Cycle,
+            "path" => Topology::Path,
+            "torus" | "torus-2d" | "torus2d" => Topology::Torus2D,
+            "hypercube" => Topology::Hypercube,
+            "star" => Topology::Star,
+            "binary-tree" => Topology::BinaryTree,
+            "random-regular" => Topology::RandomRegular {
+                degree: param
+                    .ok_or_else(|| {
+                        CampaignError::spec(
+                            "`random-regular` needs a degree, e.g. `random-regular:4`",
+                        )
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad degree in `{s}`")))?,
+            },
+            "erdos-renyi" => Topology::ErdosRenyi {
+                p: param
+                    .ok_or_else(|| {
+                        CampaignError::spec(
+                            "`erdos-renyi` needs a probability, e.g. `erdos-renyi:0.1`",
+                        )
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad probability in `{s}`")))?,
+            },
+            other => return Err(CampaignError::spec(format!("unknown topology `{other}`"))),
+        };
+        Ok(TopologySpec(topology))
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("topology string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// A discrepancy threshold whose first-hit time a cell records
+/// (continuous-time protocols only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HitSpec {
+    /// Threshold `factor · ln n` (written `"8*ln(n)"`), resolved per cell.
+    LnFactor(f64),
+    /// A fixed threshold (written `"1"` / `"0.999"`).
+    Absolute(f64),
+}
+
+impl HitSpec {
+    /// Resolve to a concrete discrepancy threshold for `n` bins.
+    pub fn resolve(&self, n: usize) -> f64 {
+        match self {
+            HitSpec::LnFactor(factor) => factor * (n as f64).ln(),
+            HitSpec::Absolute(x) => *x,
+        }
+    }
+}
+
+impl fmt::Display for HitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HitSpec::LnFactor(factor) => write!(f, "{factor}*ln(n)"),
+            HitSpec::Absolute(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl FromStr for HitSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let s = s.trim();
+        if let Some(prefix) = s.strip_suffix("*ln(n)") {
+            let factor: f64 = prefix
+                .parse()
+                .map_err(|_| CampaignError::spec(format!("bad hit threshold `{s}`")))?;
+            return Ok(HitSpec::LnFactor(factor));
+        }
+        s.parse::<f64>().map(HitSpec::Absolute).map_err(|_| {
+            CampaignError::spec(format!("bad hit threshold `{s}` (use 1.0 or 8*ln(n))"))
+        })
+    }
+}
+
+impl Serialize for HitSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            HitSpec::Absolute(x) => Value::Float(*x),
+            other => Value::Str(other.to_string()),
+        }
+    }
+}
+
+impl Deserialize for HitSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if let Some(x) = v.as_f64() {
+            return Ok(HitSpec::Absolute(x));
+        }
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("hit threshold", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// When a cell's runs stop.
+///
+/// The budgets apply to RLS cells (`max_time` only on the complete
+/// topology).  Cells whose protocol carries its own budget (rounds /
+/// steps / choices) *reject* a stop budget instead of silently ignoring
+/// it — mix such protocols with budgeted RLS via separate campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopSpec {
+    /// Stop once the discrepancy is at most this value (`0` = perfect
+    /// balance).
+    pub target_discrepancy: f64,
+    /// Optional simulated-time budget (complete-topology RLS cells).
+    pub max_time: Option<f64>,
+    /// Optional activation budget (RLS cells, any topology).
+    pub max_activations: Option<u64>,
+}
+
+impl Default for StopSpec {
+    fn default() -> Self {
+        Self {
+            target_discrepancy: 0.0,
+            max_time: None,
+            max_activations: None,
+        }
+    }
+}
+
+/// The parameter grid: every combination of the listed axes becomes a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Bin counts.
+    pub n: Vec<usize>,
+    /// Ball-count expressions, resolved against each `n`.
+    pub m: Vec<MExpr>,
+    /// Protocol variants.
+    pub protocol: Vec<ProtocolSpec>,
+    /// Initial-configuration families.
+    pub workload: Vec<WorkloadSpec>,
+    /// Topologies (defaults to `[complete]`).
+    pub topology: Vec<TopologySpec>,
+}
+
+/// A declarative experiment campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (used in exports and status output).
+    pub name: String,
+    /// Master seed; per-cell seeds are derived from it and the cell's
+    /// content hash, so they do not depend on grid order or size.
+    pub seed: u64,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// The parameter grid.
+    pub grid: Grid,
+    /// Stop condition shared by all cells.
+    pub stop: StopSpec,
+    /// Discrepancy thresholds whose first-hit times are recorded.
+    pub hits: Vec<HitSpec>,
+}
+
+impl CampaignSpec {
+    /// A minimal spec with the given name, seed and trial count and a
+    /// single-point grid; extend via the public fields.
+    pub fn new(name: impl Into<String>, seed: u64, trials: usize) -> Self {
+        Self {
+            name: name.into(),
+            seed,
+            trials,
+            grid: Grid {
+                n: vec![],
+                m: vec![],
+                protocol: vec![ProtocolSpec::RlsGeq],
+                workload: vec![WorkloadSpec(Workload::AllInOneBin)],
+                topology: vec![TopologySpec::complete()],
+            },
+            stop: StopSpec::default(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// Validate and expand the grid into cells (row-major over
+    /// `workload → protocol → topology → m → n`, matching the order
+    /// experiment tables print).
+    pub fn cells(&self) -> Result<Vec<CellSpec>, CampaignError> {
+        if self.trials == 0 {
+            return Err(CampaignError::spec(
+                "a campaign needs at least one trial per cell",
+            ));
+        }
+        if self.grid.n.is_empty() || self.grid.m.is_empty() {
+            return Err(CampaignError::spec(
+                "the grid needs at least one n and one m",
+            ));
+        }
+        if self.grid.protocol.is_empty() || self.grid.workload.is_empty() {
+            return Err(CampaignError::spec(
+                "the grid needs at least one protocol and one workload",
+            ));
+        }
+        if self.grid.topology.is_empty() {
+            return Err(CampaignError::spec("the grid needs at least one topology"));
+        }
+        let mut cells = Vec::new();
+        for workload in &self.grid.workload {
+            for protocol in &self.grid.protocol {
+                for topology in &self.grid.topology {
+                    for m in &self.grid.m {
+                        for &n in &self.grid.n {
+                            cells.push(CellSpec {
+                                n,
+                                m: m.resolve(n),
+                                protocol: *protocol,
+                                workload: *workload,
+                                topology: *topology,
+                                stop: self.stop,
+                                hits: self.hits.clone(),
+                                trials: self.trials,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One fully resolved grid point: the unit of execution and caching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Number of bins.
+    pub n: usize,
+    /// Number of balls.
+    pub m: u64,
+    /// Protocol variant.
+    pub protocol: ProtocolSpec,
+    /// Initial-configuration family.
+    pub workload: WorkloadSpec,
+    /// Topology (complete = the paper's model).
+    pub topology: TopologySpec,
+    /// Stop condition.
+    pub stop: StopSpec,
+    /// Thresholds whose first-hit times are recorded.
+    pub hits: Vec<HitSpec>,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_expressions_parse_and_resolve() {
+        assert_eq!("512".parse::<MExpr>().unwrap().resolve(16), 512);
+        assert_eq!("8x".parse::<MExpr>().unwrap().resolve(16), 128);
+        assert_eq!("0.5x".parse::<MExpr>().unwrap().resolve(16), 8);
+        assert_eq!("n^2".parse::<MExpr>().unwrap().resolve(16), 256);
+        assert!("".parse::<MExpr>().is_err());
+        assert!("-3x".parse::<MExpr>().is_err());
+        assert!("squared".parse::<MExpr>().is_err());
+    }
+
+    #[test]
+    fn protocol_strings_round_trip() {
+        let protocols = [
+            ProtocolSpec::RlsGeq,
+            ProtocolSpec::RlsStrict,
+            ProtocolSpec::SelfishGlobal { rounds: 2000 },
+            ProtocolSpec::SelfishDistributed { rounds: 50 },
+            ProtocolSpec::ThresholdAverage { rounds: 400 },
+            ProtocolSpec::CrsTwoChoices { steps: 9 },
+            ProtocolSpec::GreedyD { d: 2 },
+        ];
+        for p in protocols {
+            assert_eq!(p.to_string().parse::<ProtocolSpec>().unwrap(), p);
+            assert!(!p.cost_unit().is_empty());
+        }
+        assert!("selfish-global".parse::<ProtocolSpec>().is_err());
+        assert!("warp-drive".parse::<ProtocolSpec>().is_err());
+    }
+
+    #[test]
+    fn workload_and_topology_strings_round_trip() {
+        for s in [
+            "all-in-one-bin",
+            "uniform-random",
+            "two-choices",
+            "balanced",
+            "one-over-one-under",
+            "zipf:1.5",
+            "block-imbalance:4",
+            "over-under-pairs:3",
+        ] {
+            assert_eq!(s.parse::<WorkloadSpec>().unwrap().to_string(), s);
+        }
+        for s in [
+            "complete",
+            "cycle",
+            "path",
+            "torus",
+            "hypercube",
+            "star",
+            "binary-tree",
+            "random-regular:4",
+            "erdos-renyi:0.25",
+        ] {
+            assert_eq!(s.parse::<TopologySpec>().unwrap().to_string(), s);
+        }
+        assert!("zipf".parse::<WorkloadSpec>().is_err());
+        assert!("moebius".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn hit_specs_parse_and_resolve() {
+        let log = "8*ln(n)".parse::<HitSpec>().unwrap();
+        assert_eq!(log, HitSpec::LnFactor(8.0));
+        assert!((log.resolve(64) - 8.0 * 64f64.ln()).abs() < 1e-12);
+        let abs = "1".parse::<HitSpec>().unwrap();
+        assert_eq!(abs.resolve(64), 1.0);
+        assert!("eight lns".parse::<HitSpec>().is_err());
+    }
+
+    #[test]
+    fn grid_expansion_is_the_cartesian_product() {
+        let mut spec = CampaignSpec::new("demo", 1, 4);
+        spec.grid.n = vec![8, 16];
+        spec.grid.m = vec![MExpr::PerBin(8.0), MExpr::NSquared];
+        let cells = spec.cells().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].m, 64);
+        assert_eq!(cells[1].m, 128);
+        assert_eq!(cells[2].m, 64);
+        assert_eq!(cells[3].m, 256);
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let spec = CampaignSpec::new("demo", 1, 4);
+        assert!(spec.cells().is_err());
+        let mut no_trials = CampaignSpec::new("demo", 1, 0);
+        no_trials.grid.n = vec![8];
+        no_trials.grid.m = vec![MExpr::PerBin(1.0)];
+        assert!(no_trials.cells().is_err());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let mut spec = CampaignSpec::new("rt", 99, 3);
+        spec.grid.n = vec![8];
+        spec.grid.m = vec![MExpr::PerBin(8.0), MExpr::Absolute(100)];
+        spec.grid.protocol = vec![
+            ProtocolSpec::RlsGeq,
+            ProtocolSpec::CrsTwoChoices { steps: 7 },
+        ];
+        spec.hits = vec![HitSpec::LnFactor(8.0), HitSpec::Absolute(1.0)];
+        spec.stop.max_time = Some(50.0);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal TOML-subset parser for campaign spec files.
+//!
+//! The workspace builds offline (no `toml` crate), so this module parses
+//! the subset campaign specs need into the vendored `serde` [`Value`] tree,
+//! from which [`CampaignSpec`](crate::spec::CampaignSpec) deserializes like
+//! it would from JSON:
+//!
+//! * `key = value` pairs with string, integer, float, boolean and
+//!   (homogeneous or mixed) array values;
+//! * `[table]` / `[table.subtable]` headers;
+//! * inline comments (`#`) and blank lines;
+//! * bare and quoted keys.
+//!
+//! Not supported (and not needed for specs): arrays of tables (`[[x]]`),
+//! multi-line/literal strings, datetimes, and inline tables.  Anything
+//! outside the subset is a parse error, never a silent misread.
+
+use serde::{Map, Value};
+
+use crate::CampaignError;
+
+/// Parse TOML text into a [`Value::Object`] tree.
+pub fn parse(text: &str) -> Result<Value, CampaignError> {
+    let mut root = Map::new();
+    // Path of the table currently being filled (`[grid]` → ["grid"]).
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            if header.starts_with('[') {
+                return Err(err(
+                    line_no,
+                    "arrays of tables (`[[...]]`) are not supported",
+                ));
+            }
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated table header"))?;
+            current_path = header
+                .split('.')
+                .map(|part| parse_key(part.trim(), line_no))
+                .collect::<Result<_, _>>()?;
+            if current_path.iter().any(String::is_empty) {
+                return Err(err(line_no, "empty table name"));
+            }
+            // Materialize the table so empty sections still exist.
+            ensure_table(&mut root, &current_path, line_no)?;
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .ok_or_else(|| err(line_no, "expected `key = value` or a `[table]` header"))?;
+        let key = parse_key(key.trim(), line_no)?;
+        let value = parse_value(value_text.trim(), line_no)?;
+        let table = ensure_table(&mut root, &current_path, line_no)?;
+        if table.get(&key).is_some() {
+            return Err(err(line_no, &format!("duplicate key `{key}`")));
+        }
+        table.insert(key, value);
+    }
+    Ok(Value::Object(root))
+}
+
+fn err(line_no: usize, message: &str) -> CampaignError {
+    CampaignError::spec(format!("TOML line {}: {message}", line_no + 1))
+}
+
+/// Remove a `#` comment, respecting quoted strings (including escaped
+/// quotes inside them).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut skip_next = false;
+    for (i, c) in line.char_indices() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => skip_next = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_key(key: &str, line_no: usize) -> Result<String, CampaignError> {
+    if let Some(quoted) = key.strip_prefix('"') {
+        return quoted
+            .strip_suffix('"')
+            .map(str::to_string)
+            .ok_or_else(|| err(line_no, "unterminated quoted key"));
+    }
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(err(line_no, &format!("invalid bare key `{key}`")));
+    }
+    Ok(key.to_string())
+}
+
+/// Walk (creating as needed) to the table at `path`.
+fn ensure_table<'m>(
+    root: &'m mut Map,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'m mut Map, CampaignError> {
+    // `Map` hands out only shared references, so rebuild the chain by
+    // moving through owned entries: recurse on Value::Object.
+    fn walk<'m>(
+        map: &'m mut Map,
+        path: &[String],
+        line_no: usize,
+    ) -> Result<&'m mut Map, CampaignError> {
+        let Some((head, rest)) = path.split_first() else {
+            return Ok(map);
+        };
+        if map.get(head).is_none() {
+            map.insert(head.clone(), Value::Object(Map::new()));
+        }
+        match map.get_mut(head) {
+            Some(Value::Object(inner)) => walk(inner, rest, line_no),
+            _ => Err(err(
+                line_no,
+                &format!("`{head}` is both a value and a table"),
+            )),
+        }
+    }
+    walk(root, path, line_no)
+}
+
+fn parse_value(text: &str, line_no: usize) -> Result<Value, CampaignError> {
+    if text.is_empty() {
+        return Err(err(line_no, "missing value"));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| err(line_no, "unterminated string"))?;
+        return unescape(body).map(Value::Str).map_err(|m| err(line_no, &m));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line_no, "unterminated array (arrays must be single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_array(body, line_no)? {
+            items.push(parse_value(part.trim(), line_no)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('{') {
+        return Err(err(
+            line_no,
+            "inline tables are not supported; use a [table] header",
+        ));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    // TOML allows underscores in numbers.
+    let numeric = text.replace('_', "");
+    if let Ok(x) = numeric.parse::<i64>() {
+        return Ok(Value::Int(x));
+    }
+    if let Ok(x) = numeric.parse::<u64>() {
+        return Ok(Value::UInt(x));
+    }
+    if let Ok(x) = numeric.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Float(x));
+        }
+    }
+    Err(err(line_no, &format!("cannot parse value `{text}`")))
+}
+
+/// Split a single-line array body at top-level commas (strings may contain
+/// commas; nested arrays are allowed).
+fn split_array(body: &str, line_no: usize) -> Result<Vec<&str>, CampaignError> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut skip_next = false;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => skip_next = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err(line_no, "unbalanced `]` in array"))?;
+            }
+            ',' if !in_string && depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err(err(line_no, "unterminated string in array"));
+    }
+    let tail = &body[start..];
+    if !tail.trim().is_empty() {
+        parts.push(tail);
+    }
+    Ok(parts)
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+            None => return Err("dangling escape".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec_shape() {
+        let text = r#"
+# A campaign.
+name = "demo"        # inline comment
+seed = 48_879
+trials = 6
+
+[grid]
+n = [16, 32]
+m = ["1x", "8x", 256]
+protocol = ["rls-geq"]
+workload = ["all-in-one-bin"]
+
+[stop]
+target_discrepancy = 0.0
+max_time = 1.5e3
+"#;
+        let v = parse(text).unwrap();
+        let root = v.as_object().unwrap();
+        assert_eq!(root.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(root.get("seed").unwrap().as_u64(), Some(48879));
+        let grid = root.get("grid").unwrap().as_object().unwrap();
+        assert_eq!(grid.get("n").unwrap().as_array().unwrap().len(), 2);
+        let m = grid.get("m").unwrap().as_array().unwrap();
+        assert_eq!(m[0].as_str(), Some("1x"));
+        assert_eq!(m[2].as_u64(), Some(256));
+        let stop = root.get("stop").unwrap().as_object().unwrap();
+        assert_eq!(stop.get("max_time").unwrap().as_f64(), Some(1500.0));
+    }
+
+    #[test]
+    fn dotted_headers_nest() {
+        let v = parse("[a.b]\nx = 1\n[a.c]\ny = true").unwrap();
+        let a = v
+            .as_object()
+            .unwrap()
+            .get("a")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(
+            a.get("b")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        assert_eq!(
+            a.get("c").unwrap().as_object().unwrap().get("y"),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn strings_with_commas_and_escapes() {
+        let v = parse(r#"s = "a,b\"c""#).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("s").unwrap().as_str(),
+            Some(r#"a,b"c"#)
+        );
+        let v = parse(r#"xs = ["a,b", "c"]"#).unwrap();
+        assert_eq!(
+            v.as_object()
+                .unwrap()
+                .get("xs")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_confuse_comments_or_arrays() {
+        // An escaped quote must not toggle string tracking: the `#` here
+        // is inside the string, the later one is a real comment.
+        let v = parse(r#"s = "say \"hi\" # nested" # trailing"#).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("s").unwrap().as_str(),
+            Some(r#"say "hi" # nested"#)
+        );
+        // ...and must not desynchronize array splitting either.
+        let v = parse(r#"xs = ["a\"b,c", "d"]"#).unwrap();
+        let xs = v
+            .as_object()
+            .unwrap()
+            .get("xs")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].as_str(), Some(r#"a"b,c"#));
+        // A trailing escaped backslash before the closing quote.
+        let v = parse(r#"s = "path\\""#).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("s").unwrap().as_str(),
+            Some("path\\")
+        );
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let v = parse("xs = [[1, 2], [3]]").unwrap();
+        let xs = v
+            .as_object()
+            .unwrap()
+            .get("xs")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(xs[0].as_array().unwrap().len(), 2);
+        assert_eq!(xs[1].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        for bad in [
+            "x",
+            "[unterminated",
+            "x = ",
+            "x = \"open",
+            "[[aot]]\n",
+            "x = {a = 1}",
+            "x = 1\nx = 2",
+            "x = 1\n[x]\ny = 2",
+        ] {
+            let e = parse(bad).unwrap_err().to_string();
+            assert!(e.contains("TOML line"), "{bad}: {e}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end campaign tests: spec parsing, deterministic seed derivation,
+//! incremental re-runs against a disk store, and a small 2×2 campaign.
+
+use rls_campaign::{
+    cell_key, cell_seed, spec_from_str, Campaign, CampaignSpec, DiskStore, MemoryStore, Store,
+};
+
+/// A 2×2 grid (two bin counts × two ball-count expressions).
+const SPEC_2X2: &str = r#"
+name = "e2e-2x2"
+seed = 1337
+trials = 3
+
+[grid]
+n = [8, 16]
+m = ["4x", "n^2"]
+protocol = ["rls-geq"]
+workload = ["all-in-one-bin"]
+
+[stop]
+target_discrepancy = 0.0
+"#;
+
+fn temp_store(tag: &str) -> (DiskStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("rls-campaign-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (DiskStore::open(&dir).unwrap(), dir)
+}
+
+#[test]
+fn spec_round_trips_between_toml_and_json() {
+    let spec = spec_from_str(SPEC_2X2).unwrap();
+    assert_eq!(spec.name, "e2e-2x2");
+    assert_eq!(spec.cells().unwrap().len(), 4);
+    // TOML → spec → JSON → spec is the identity.
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let reparsed = spec_from_str(&json).unwrap();
+    assert_eq!(reparsed, spec);
+}
+
+#[test]
+fn cell_seeds_are_deterministic_and_position_independent() {
+    let spec = spec_from_str(SPEC_2X2).unwrap();
+    let cells = spec.cells().unwrap();
+    // Same cell → same seed, every time.
+    for cell in &cells {
+        assert_eq!(cell_seed(spec.seed, cell), cell_seed(spec.seed, cell));
+    }
+    // Distinct cells → distinct seeds and distinct store keys.
+    let seeds: Vec<u64> = cells.iter().map(|c| cell_seed(spec.seed, c)).collect();
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), cells.len());
+    let keys: Vec<String> = cells.iter().map(|c| cell_key(spec.seed, c)).collect();
+    assert!(keys.iter().all(|k| k.len() == 64));
+
+    // A cell keeps its seed when the grid around it changes: the first
+    // column of a grown grid matches the original cells one-to-one.
+    let mut grown = spec.clone();
+    grown.grid.n.push(32);
+    let grown_cells = grown.cells().unwrap();
+    for cell in &cells {
+        let twin = grown_cells.iter().find(|c| c == &cell).unwrap();
+        assert_eq!(cell_seed(spec.seed, cell), cell_seed(grown.seed, twin));
+    }
+}
+
+#[test]
+fn second_invocation_executes_zero_cells() {
+    let (store, dir) = temp_store("rerun");
+    let campaign = Campaign::new(spec_from_str(SPEC_2X2).unwrap());
+
+    let first = campaign.run(&store, 2).unwrap();
+    assert_eq!(first.executed, 4);
+    assert_eq!(first.cached, 0);
+    assert_eq!(store.len(), 4);
+
+    // The acceptance check: a re-run against the populated store performs
+    // no execution at all and reproduces the same results bit-for-bit.
+    let second = campaign.run(&store, 2).unwrap();
+    assert_eq!(second.executed, 0);
+    assert_eq!(second.cached, 4);
+    for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+        assert_eq!(a.result, b.result);
+        assert!(b.cached);
+    }
+
+    // Status agrees without executing.
+    let status = campaign.status(&store).unwrap();
+    assert_eq!((status.total, status.cached, status.missing), (4, 4, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn growing_the_grid_only_executes_new_cells() {
+    let (store, dir) = temp_store("grow");
+    let base = Campaign::new(spec_from_str(SPEC_2X2).unwrap());
+    base.run(&store, 2).unwrap();
+
+    let mut grown_spec = spec_from_str(SPEC_2X2).unwrap();
+    grown_spec.grid.n.push(24);
+    let grown = Campaign::new(grown_spec);
+    let report = grown.run(&store, 2).unwrap();
+    assert_eq!(report.outcomes.len(), 6);
+    assert_eq!(report.executed, 2);
+    assert_eq!(report.cached, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_seed_or_trials_invalidates_the_cache() {
+    let store = MemoryStore::new();
+    let spec = spec_from_str(SPEC_2X2).unwrap();
+    Campaign::new(spec.clone()).run(&store, 1).unwrap();
+
+    let mut reseeded = spec.clone();
+    reseeded.seed = 7331;
+    let report = Campaign::new(reseeded).run(&store, 1).unwrap();
+    assert_eq!(report.executed, 4, "a new seed is a new campaign");
+
+    let mut more_trials = spec;
+    more_trials.trials = 4;
+    let report = Campaign::new(more_trials).run(&store, 1).unwrap();
+    assert_eq!(
+        report.executed, 4,
+        "trial count is part of the cell identity"
+    );
+}
+
+#[test]
+fn results_are_scientifically_sane() {
+    let store = MemoryStore::new();
+    let spec = spec_from_str(SPEC_2X2).unwrap();
+    let report = Campaign::new(CampaignSpec { ..spec })
+        .run(&store, 0)
+        .unwrap();
+    for outcome in &report.outcomes {
+        let r = &outcome.result;
+        assert_eq!(r.goal_rate, 1.0, "RLS always reaches perfect balance");
+        assert!(r.cost.mean > 0.0);
+        assert!(r.final_discrepancy.max < 1.0);
+        assert_eq!(r.costs.len(), 3);
+        // Migrations happen and are bounded by activations.
+        assert!(r.migrations.mean > 0.0);
+        assert!(r.migrations.mean <= r.activations.mean);
+    }
+}

@@ -1,0 +1,366 @@
+//! The `campaign` subcommand: run, inspect and export experiment campaigns
+//! from TOML/JSON spec files.
+//!
+//! ```text
+//! rls-experiments campaign run    <spec> [--store DIR] [--threads N]
+//! rls-experiments campaign status <spec> [--store DIR]
+//! rls-experiments campaign export <spec> [--store DIR] (--csv | --json) [--out FILE]
+//! ```
+//!
+//! The store defaults to `./campaign-store`; `export` runs any missing
+//! cells first (cached cells cost nothing), so it always reflects the full
+//! grid.
+
+use rls_campaign::{export, spec_from_str, Campaign, CampaignReport, DiskStore};
+
+/// What `campaign export` should emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// One summary row per cell.
+    Csv,
+    /// Full per-cell results.
+    Json,
+}
+
+/// A parsed `campaign ...` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignCommand {
+    /// Execute missing cells and print a summary table.
+    Run {
+        /// Path to the spec file.
+        spec: String,
+        /// Store directory.
+        store: String,
+        /// Worker threads (0 = default pool).
+        threads: usize,
+    },
+    /// Report how much of the grid is cached, without executing.
+    Status {
+        /// Path to the spec file.
+        spec: String,
+        /// Store directory.
+        store: String,
+    },
+    /// Run (incrementally) and export.
+    Export {
+        /// Path to the spec file.
+        spec: String,
+        /// Store directory.
+        store: String,
+        /// Output format.
+        format: ExportFormat,
+        /// Output file (stdout when absent).
+        out: Option<String>,
+    },
+}
+
+const DEFAULT_STORE_DIR: &str = "campaign-store";
+
+/// Parse the arguments following the `campaign` keyword.
+pub fn parse_campaign_args(raw: &[String]) -> Result<CampaignCommand, String> {
+    let verb = raw
+        .first()
+        .map(String::as_str)
+        .ok_or("campaign needs a subcommand: run | status | export")?;
+    let mut spec: Option<String> = None;
+    let mut store = DEFAULT_STORE_DIR.to_string();
+    let mut threads = 0usize;
+    let mut format: Option<ExportFormat> = None;
+    let mut out: Option<String> = None;
+
+    let mut i = 1;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--store" => {
+                i += 1;
+                store = raw.get(i).ok_or("--store needs a directory")?.clone();
+            }
+            "--threads" => {
+                i += 1;
+                threads = raw
+                    .get(i)
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--csv" => format = Some(ExportFormat::Csv),
+            "--json" => format = Some(ExportFormat::Json),
+            "--out" => {
+                i += 1;
+                out = Some(raw.get(i).ok_or("--out needs a file path")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if spec.is_none() => spec = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+        i += 1;
+    }
+    let spec = spec.ok_or("campaign needs a spec file (TOML or JSON)")?;
+
+    match verb {
+        "run" => Ok(CampaignCommand::Run {
+            spec,
+            store,
+            threads,
+        }),
+        "status" => Ok(CampaignCommand::Status { spec, store }),
+        "export" => Ok(CampaignCommand::Export {
+            spec,
+            store,
+            format: format.ok_or("export needs --csv or --json")?,
+            out,
+        }),
+        other => Err(format!(
+            "unknown campaign subcommand `{other}` (run | status | export)"
+        )),
+    }
+}
+
+/// Execute a parsed campaign command, returning the text to print.
+pub fn execute_campaign(command: &CampaignCommand) -> Result<String, String> {
+    match command {
+        CampaignCommand::Run {
+            spec,
+            store,
+            threads,
+        } => {
+            let (campaign, store) = load(spec, store)?;
+            let report = campaign.run(&store, *threads).map_err(|e| e.to_string())?;
+            Ok(render_run_summary(&report))
+        }
+        CampaignCommand::Status { spec, store } => {
+            let (campaign, store) = load(spec, store)?;
+            let status = campaign.status(&store).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "campaign `{}`: {} cells, {} cached, {} to run\n",
+                campaign.spec().name,
+                status.total,
+                status.cached,
+                status.missing
+            ))
+        }
+        CampaignCommand::Export {
+            spec,
+            store,
+            format,
+            out,
+        } => {
+            let (campaign, store) = load(spec, store)?;
+            let report = campaign.run(&store, 0).map_err(|e| e.to_string())?;
+            let text = match format {
+                ExportFormat::Csv => export::to_csv(&report),
+                ExportFormat::Json => export::to_json(&report),
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+                    Ok(format!(
+                        "campaign `{}`: exported {} cells to {path}\n",
+                        report.name,
+                        report.outcomes.len()
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+    }
+}
+
+fn load(spec_path: &str, store_dir: &str) -> Result<(Campaign, DiskStore), String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec `{spec_path}`: {e}"))?;
+    let spec = spec_from_str(&text).map_err(|e| e.to_string())?;
+    let store = DiskStore::open(store_dir).map_err(|e| e.to_string())?;
+    Ok((Campaign::new(spec), store))
+}
+
+fn render_run_summary(report: &CampaignReport) -> String {
+    let mut table = crate::table::Table::new(
+        format!(
+            "campaign `{}`: {} cells ({} executed, {} cached)",
+            report.name,
+            report.outcomes.len(),
+            report.executed,
+            report.cached
+        ),
+        &[
+            "n",
+            "m",
+            "protocol",
+            "workload",
+            "topology",
+            "mean cost",
+            "unit",
+            "goal rate",
+            "cached",
+        ],
+    );
+    for outcome in &report.outcomes {
+        let cell = &outcome.cell;
+        table.push_row(vec![
+            cell.n.to_string(),
+            cell.m.to_string(),
+            cell.protocol.to_string(),
+            cell.workload.to_string(),
+            cell.topology.to_string(),
+            crate::table::fmt_f64(outcome.result.cost.mean),
+            outcome.result.unit.clone(),
+            crate::table::fmt_f64(outcome.result.goal_rate),
+            if outcome.cached { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const SPEC: &str = r#"
+name = "cli-e2e"
+seed = 99
+trials = 2
+
+[grid]
+n = [4, 8]
+m = ["4x"]
+"#;
+
+    fn temp_paths(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base =
+            std::env::temp_dir().join(format!("rls-cli-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec = base.join("spec.toml");
+        std::fs::write(&spec, SPEC).unwrap();
+        (spec, base)
+    }
+
+    #[test]
+    fn parsing_covers_all_verbs_and_flags() {
+        let cmd = parse_campaign_args(&strings(&[
+            "run",
+            "spec.toml",
+            "--store",
+            "s",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CampaignCommand::Run {
+                spec: "spec.toml".into(),
+                store: "s".into(),
+                threads: 2
+            }
+        );
+        let cmd = parse_campaign_args(&strings(&["status", "spec.toml"])).unwrap();
+        assert_eq!(
+            cmd,
+            CampaignCommand::Status {
+                spec: "spec.toml".into(),
+                store: DEFAULT_STORE_DIR.into()
+            }
+        );
+        let cmd = parse_campaign_args(&strings(&[
+            "export",
+            "spec.toml",
+            "--json",
+            "--out",
+            "x.json",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            CampaignCommand::Export {
+                format: ExportFormat::Json,
+                ..
+            }
+        ));
+
+        for bad in [
+            &["run"][..],
+            &["frobnicate", "spec.toml"],
+            &["export", "spec.toml"],
+            &["run", "spec.toml", "--store"],
+            &["run", "spec.toml", "--threads", "two"],
+            &["run", "spec.toml", "--wat"],
+            &["run", "a.toml", "b.toml"],
+        ] {
+            assert!(parse_campaign_args(&strings(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn run_status_export_end_to_end() {
+        let (spec, base) = temp_paths("e2e");
+        let store = base.join("store").to_string_lossy().to_string();
+        let spec = spec.to_string_lossy().to_string();
+
+        // Before running: everything missing.
+        let status = execute_campaign(&CampaignCommand::Status {
+            spec: spec.clone(),
+            store: store.clone(),
+        })
+        .unwrap();
+        assert!(status.contains("2 cells, 0 cached, 2 to run"), "{status}");
+
+        // First run executes both cells.
+        let summary = execute_campaign(&CampaignCommand::Run {
+            spec: spec.clone(),
+            store: store.clone(),
+            threads: 1,
+        })
+        .unwrap();
+        assert!(summary.contains("2 executed, 0 cached"), "{summary}");
+
+        // Second run is fully cached.
+        let summary = execute_campaign(&CampaignCommand::Run {
+            spec: spec.clone(),
+            store: store.clone(),
+            threads: 1,
+        })
+        .unwrap();
+        assert!(summary.contains("0 executed, 2 cached"), "{summary}");
+
+        // Export to a file, both formats.
+        let csv_path = base.join("out.csv").to_string_lossy().to_string();
+        execute_campaign(&CampaignCommand::Export {
+            spec: spec.clone(),
+            store: store.clone(),
+            format: ExportFormat::Csv,
+            out: Some(csv_path.clone()),
+        })
+        .unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.trim().lines().count(), 3, "header + 2 cells: {csv}");
+
+        let json = execute_campaign(&CampaignCommand::Export {
+            spec,
+            store,
+            format: ExportFormat::Json,
+            out: None,
+        })
+        .unwrap();
+        assert!(json.contains("\"cells\""));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn missing_spec_file_is_a_clean_error() {
+        let err = execute_campaign(&CampaignCommand::Status {
+            spec: "/nonexistent/spec.toml".into(),
+            store: std::env::temp_dir()
+                .join("rls-unused-store")
+                .to_string_lossy()
+                .into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read spec"));
+    }
+}

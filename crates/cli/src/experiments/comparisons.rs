@@ -1,10 +1,8 @@
 //! E12, E13, E14, E17: protocol comparisons from the related-work section
-//! and the variant-equivalence remark.
+//! and the variant-equivalence remark — expressed as campaign grids whose
+//! protocol axis spans the related-work implementations.
 
-use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
-use rls_protocols::{RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
-use rls_rng::{StreamFactory, StreamId};
-use rls_sim::stats::Summary;
+use rls_campaign::{run_cached, CampaignSpec, CellOutcome, MExpr, ProtocolSpec, WorkloadSpec};
 use rls_workloads::Workload;
 
 use crate::table::{fmt_f64, Table};
@@ -16,52 +14,50 @@ pub fn versus_crs(scale: Scale, seed: u64) -> Table {
         Scale::Quick => (vec![16usize, 32], 5, 400_000u64),
         Scale::Full => (vec![32usize, 64, 128, 256], 15, 20_000_000u64),
     };
+    // Two campaigns: RLS takes its budget through the stop condition,
+    // CRS carries it in the protocol spec (mixing both in one grid is
+    // rejected by the engine, by design).
+    let mut rls_spec = CampaignSpec::new("e12-versus-crs-rls", seed, trials);
+    rls_spec.grid.n = ns.clone();
+    rls_spec.grid.m = vec![MExpr::PerBin(1.0)];
+    // RLS starts from the same two-choices placement family CRS assumes
+    // (CRS draws its own placement because it needs the candidate sets).
+    rls_spec.grid.workload = vec![WorkloadSpec(Workload::TwoChoices)];
+    rls_spec.stop.max_activations = Some(budget);
+    let rls_report = run_cached(rls_spec).expect("E12 RLS cells are always runnable");
+
+    let mut crs_spec = CampaignSpec::new("e12-versus-crs-crs", seed, trials);
+    crs_spec.grid.n = ns.clone();
+    crs_spec.grid.m = vec![MExpr::PerBin(1.0)];
+    crs_spec.grid.protocol = vec![ProtocolSpec::CrsTwoChoices { steps: budget }];
+    let crs_report = run_cached(crs_spec).expect("E12 CRS cells are always runnable");
+
     let mut table = Table::new(
         "E12: RLS vs CRS pair-sampling local search (two-choices starts, m = n)",
-        &["n", "protocol", "mean steps/activations", "goal rate", "mean final disc"],
+        &[
+            "n",
+            "protocol",
+            "mean steps/activations",
+            "goal rate",
+            "mean final disc",
+        ],
     );
-    let factory = StreamFactory::new(seed);
     for &n in &ns {
-        let m = n as u64;
-        let mut rls_acts = Vec::new();
-        let mut rls_goal = 0usize;
-        let mut crs_steps = Vec::new();
-        let mut crs_goal = 0usize;
-        let mut crs_disc = Vec::new();
-        for trial in 0..trials as u64 {
-            // Shared two-choices start for RLS.
-            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(12_000 + n as u64));
-            let start = Workload::TwoChoices.generate(n, m, &mut wl_rng).unwrap();
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(n as u64));
-            let rls = RlsProtocol::paper()
-                .with_max_activations(budget)
-                .run(&start, 0.0, &mut rng);
-            rls_acts.push(rls.activations as f64);
-            rls_goal += rls.reached_goal as usize;
-
-            // CRS with its own two-choices placement (the protocol needs the
-            // candidate structure, so it draws its own).
-            let crs = CrsLocalSearch::new(CrsPlacement::TwoChoices, budget);
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(n as u64));
-            let out = crs.run(n, m, 0.0, &mut rng);
-            crs_steps.push(out.activations as f64);
-            crs_goal += out.reached_goal as usize;
-            crs_disc.push(out.final_discrepancy);
+        let rls = find(&rls_report.outcomes, n, "rls-geq");
+        let crs = find(
+            &crs_report.outcomes,
+            n,
+            &format!("crs-two-choices:{budget}"),
+        );
+        for outcome in [rls, crs] {
+            table.push_row(vec![
+                n.to_string(),
+                protocol_label(&outcome.cell.protocol.to_string()),
+                fmt_f64(outcome.result.activations.mean),
+                fmt_f64(outcome.result.goal_rate),
+                fmt_f64(outcome.result.final_discrepancy.mean),
+            ]);
         }
-        table.push_row(vec![
-            n.to_string(),
-            "rls-geq".into(),
-            fmt_f64(Summary::from_samples(&rls_acts).mean),
-            fmt_f64(rls_goal as f64 / trials as f64),
-            "0".into(),
-        ]);
-        table.push_row(vec![
-            n.to_string(),
-            "crs-two-choices".into(),
-            fmt_f64(Summary::from_samples(&crs_steps).mean),
-            fmt_f64(crs_goal as f64 / trials as f64),
-            fmt_f64(Summary::from_samples(&crs_disc).mean),
-        ]);
     }
     table.push_note("Section 2: from a two-choices placement RLS needs O(n^2) activations; CRS needs polynomially many pair samples and can only move balls between their two candidates, so it may stall above perfect balance.");
     table
@@ -74,50 +70,45 @@ pub fn versus_selfish(scale: Scale, seed: u64) -> Table {
         Scale::Quick => (16usize, vec![8u64, 64], 5, 2_000u64),
         Scale::Full => (128usize, vec![8u64, 64, 512], 15, 20_000u64),
     };
+    let mut spec = CampaignSpec::new("e13-versus-selfish", seed, trials);
+    spec.grid.n = vec![n];
+    spec.grid.m = factors.iter().map(|&f| MExpr::PerBin(f as f64)).collect();
+    spec.grid.protocol = vec![
+        ProtocolSpec::RlsGeq,
+        ProtocolSpec::SelfishGlobal {
+            rounds: round_budget,
+        },
+        ProtocolSpec::SelfishDistributed {
+            rounds: round_budget,
+        },
+    ];
+    spec.grid.workload = vec![WorkloadSpec(Workload::UniformRandom)];
+    spec.stop.target_discrepancy = 1.0;
+    let report = run_cached(spec).expect("E13 grid cells are always runnable");
+
     let mut table = Table::new(
         "E13: RLS vs synchronous selfish load balancing (uniform-random starts)",
-        &["n", "m/n", "protocol", "cost", "unit", "goal rate", "mean final disc"],
+        &[
+            "n",
+            "m/n",
+            "protocol",
+            "cost",
+            "unit",
+            "goal rate",
+            "mean final disc",
+        ],
     );
-    let factory = StreamFactory::new(seed);
-    let target = 1.0;
     for &factor in &factors {
         let m = factor * n as u64;
-        let mut rows: Vec<(String, Vec<f64>, usize, Vec<f64>, &str)> = vec![
-            ("rls-geq".into(), vec![], 0, vec![], "time"),
-            ("selfish-global".into(), vec![], 0, vec![], "rounds"),
-            ("selfish-distributed".into(), vec![], 0, vec![], "rounds"),
-        ];
-        for trial in 0..trials as u64 {
-            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(13_000 + factor));
-            let start = Workload::UniformRandom.generate(n, m, &mut wl_rng).unwrap();
-
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(factor));
-            let rls = RlsProtocol::paper().run(&start, target, &mut rng);
-            rows[0].1.push(rls.cost);
-            rows[0].2 += rls.reached_goal as usize;
-            rows[0].3.push(rls.final_discrepancy);
-
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(factor));
-            let global = SelfishGlobal::new(round_budget).run(&start, target, &mut rng);
-            rows[1].1.push(global.cost);
-            rows[1].2 += global.reached_goal as usize;
-            rows[1].3.push(global.final_discrepancy);
-
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(3).with_salt(factor));
-            let dist = SelfishDistributed::new(round_budget).run(&start, target, &mut rng);
-            rows[2].1.push(dist.cost);
-            rows[2].2 += dist.reached_goal as usize;
-            rows[2].3.push(dist.final_discrepancy);
-        }
-        for (name, costs, goals, discs, unit) in rows {
+        for outcome in report.outcomes.iter().filter(|o| o.cell.m == m) {
             table.push_row(vec![
                 n.to_string(),
                 factor.to_string(),
-                name,
-                fmt_f64(Summary::from_samples(&costs).mean),
-                unit.to_string(),
-                fmt_f64(goals as f64 / trials as f64),
-                fmt_f64(Summary::from_samples(&discs).mean),
+                protocol_label(&outcome.cell.protocol.to_string()),
+                fmt_f64(outcome.result.cost.mean),
+                outcome.result.unit.clone(),
+                fmt_f64(outcome.result.goal_rate),
+                fmt_f64(outcome.result.final_discrepancy.mean),
             ]);
         }
     }
@@ -131,48 +122,40 @@ pub fn versus_threshold(scale: Scale, seed: u64) -> Table {
         Scale::Quick => (16usize, 8u64, 5, 400u64),
         Scale::Full => (128usize, 16u64, 15, 5_000u64),
     };
-    let m = factor * n as u64;
     let mut table = Table::new(
         "E14: RLS vs threshold load balancing (all-in-one-bin starts)",
-        &["protocol", "target disc", "mean cost", "unit", "goal rate", "mean final disc"],
+        &[
+            "protocol",
+            "target disc",
+            "mean cost",
+            "unit",
+            "goal rate",
+            "mean final disc",
+        ],
     );
-    let factory = StreamFactory::new(seed);
     let coarse_target = 4.0 * (n as f64).ln();
+    // Two campaigns sharing one grid shape: the stop target is campaign-
+    // wide, so the coarse and perfect targets are separate (cached) specs.
     for (target, label) in [(coarse_target, "O(ln n)"), (0.0, "perfect")] {
-        let mut rls_cost = Vec::new();
-        let mut rls_goal = 0;
-        let mut th_cost = Vec::new();
-        let mut th_goal = 0;
-        let mut th_disc = Vec::new();
-        for trial in 0..trials as u64 {
-            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(14_000));
-            let start = Workload::AllInOneBin.generate(n, m, &mut wl_rng).unwrap();
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(target as u64));
-            let rls = RlsProtocol::paper().run(&start, target, &mut rng);
-            rls_cost.push(rls.cost);
-            rls_goal += rls.reached_goal as usize;
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(target as u64));
-            let th = ThresholdProtocol::average_threshold(rounds).run(&start, target, &mut rng);
-            th_cost.push(th.cost);
-            th_goal += th.reached_goal as usize;
-            th_disc.push(th.final_discrepancy);
+        let mut spec = CampaignSpec::new("e14-versus-threshold", seed, trials);
+        spec.grid.n = vec![n];
+        spec.grid.m = vec![MExpr::PerBin(factor as f64)];
+        spec.grid.protocol = vec![
+            ProtocolSpec::RlsGeq,
+            ProtocolSpec::ThresholdAverage { rounds },
+        ];
+        spec.stop.target_discrepancy = target;
+        let report = run_cached(spec).expect("E14 grid cells are always runnable");
+        for outcome in &report.outcomes {
+            table.push_row(vec![
+                protocol_label(&outcome.cell.protocol.to_string()),
+                label.into(),
+                fmt_f64(outcome.result.cost.mean),
+                outcome.result.unit.clone(),
+                fmt_f64(outcome.result.goal_rate),
+                fmt_f64(outcome.result.final_discrepancy.mean),
+            ]);
         }
-        table.push_row(vec![
-            "rls-geq".into(),
-            label.into(),
-            fmt_f64(Summary::from_samples(&rls_cost).mean),
-            "time".into(),
-            fmt_f64(rls_goal as f64 / trials as f64),
-            "0".into(),
-        ]);
-        table.push_row(vec![
-            "threshold-average".into(),
-            label.into(),
-            fmt_f64(Summary::from_samples(&th_cost).mean),
-            "rounds".into(),
-            fmt_f64(th_goal as f64 / trials as f64),
-            fmt_f64(Summary::from_samples(&th_disc).mean),
-        ]);
     }
     table.push_note("Threshold balancing reaches coarse balance quickly but rarely reaches perfect balance within its round budget; RLS always does (E14's qualitative claim).");
     table
@@ -185,35 +168,49 @@ pub fn variant_equivalence(scale: Scale, seed: u64) -> Table {
         Scale::Quick => (vec![16usize, 32], 8u64, 20),
         Scale::Full => (vec![64usize, 128, 256], 16u64, 60),
     };
+    let mut spec = CampaignSpec::new("e17-variant-equivalence", seed, trials);
+    spec.grid.n = ns.clone();
+    spec.grid.m = vec![MExpr::PerBin(factor as f64)];
+    spec.grid.protocol = vec![ProtocolSpec::RlsGeq, ProtocolSpec::RlsStrict];
+    let report = run_cached(spec).expect("E17 grid cells are always runnable");
+
     let mut table = Table::new(
         "E17: variant equivalence - >= (this paper) vs > ([12, 11])",
-        &["n", "m", "mean T (geq)", "mean T (strict)", "relative difference"],
+        &[
+            "n",
+            "m",
+            "mean T (geq)",
+            "mean T (strict)",
+            "relative difference",
+        ],
     );
-    let factory = StreamFactory::new(seed);
     for &n in &ns {
-        let m = factor * n as u64;
-        let mut geq = Vec::new();
-        let mut strict = Vec::new();
-        for trial in 0..trials as u64 {
-            let mut wl_rng = factory.rng(StreamId::trial(trial).with_salt(17_000 + n as u64));
-            let start = Workload::AllInOneBin.generate(n, m, &mut wl_rng).unwrap();
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(1).with_salt(n as u64));
-            geq.push(RlsProtocol::paper().run(&start, 0.0, &mut rng).cost);
-            let mut rng = factory.rng(StreamId::trial(trial).with_component(2).with_salt(n as u64));
-            strict.push(RlsProtocol::strict().run(&start, 0.0, &mut rng).cost);
-        }
-        let sg = Summary::from_samples(&geq);
-        let ss = Summary::from_samples(&strict);
+        let geq = find(&report.outcomes, n, "rls-geq");
+        let strict = find(&report.outcomes, n, "rls-strict");
+        let (gm, sm) = (geq.result.cost.mean, strict.result.cost.mean);
         table.push_row(vec![
             n.to_string(),
-            m.to_string(),
-            fmt_f64(sg.mean),
-            fmt_f64(ss.mean),
-            fmt_f64((sg.mean - ss.mean).abs() / sg.mean),
+            geq.cell.m.to_string(),
+            fmt_f64(gm),
+            fmt_f64(sm),
+            fmt_f64((gm - sm).abs() / gm),
         ]);
     }
     table.push_note("Section 3 remark: because balls and bins are identical, taking or skipping neutral moves does not change the balancing-time law; relative differences should be within Monte-Carlo noise.");
     table
+}
+
+fn find<'r>(outcomes: &'r [CellOutcome], n: usize, protocol: &str) -> &'r CellOutcome {
+    outcomes
+        .iter()
+        .find(|o| o.cell.n == n && o.cell.protocol.to_string() == protocol)
+        .expect("every grid point ran")
+}
+
+/// Table label for a protocol (strip budget parameters: they are stated in
+/// the title/notes, and the historical tables used bare names).
+fn protocol_label(protocol: &str) -> String {
+    protocol.split(':').next().unwrap_or(protocol).to_string()
 }
 
 #[cfg(test)]
@@ -225,14 +222,19 @@ mod tests {
         let t = versus_crs(Scale::Quick, 11);
         for row in t.rows.iter().filter(|r| r[1] == "rls-geq") {
             let goal_rate: f64 = row[3].parse().unwrap();
-            assert!(goal_rate > 0.9, "RLS failed from two-choices starts: {row:?}");
+            assert!(
+                goal_rate > 0.9,
+                "RLS failed from two-choices starts: {row:?}"
+            );
         }
     }
 
     #[test]
     fn e13_rls_always_reaches_one_balance() {
         let t = versus_selfish(Scale::Quick, 11);
-        for row in t.rows.iter().filter(|r| r[2] == "rls-geq") {
+        let rls_rows: Vec<_> = t.rows.iter().filter(|r| r[2] == "rls-geq").collect();
+        assert_eq!(rls_rows.len(), 2);
+        for row in rls_rows {
             let goal_rate: f64 = row[5].parse().unwrap();
             assert!(goal_rate > 0.9);
         }

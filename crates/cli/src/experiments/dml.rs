@@ -19,7 +19,15 @@ pub fn figure1_moves() -> Table {
     let cfg = figure1_configuration();
     let mut table = Table::new(
         "E4: Figure 1 - move classification on the staircase configuration",
-        &["from bin", "to bin", "load from", "load to", "class", "RLS move?", "destructive?"],
+        &[
+            "from bin",
+            "to bin",
+            "load from",
+            "load to",
+            "class",
+            "RLS move?",
+            "destructive?",
+        ],
     );
     // A representative selection: the fullest bin, its neighbour on the
     // staircase (which has neutral moves available), a middle bin and the
@@ -72,7 +80,14 @@ pub fn dml_dominance(scale: Scale, seed: u64) -> Table {
         .unwrap();
     let mut table = Table::new(
         "E5: Destructive Majorization Lemma - disc with adversary dominates disc without",
-        &["adversary", "t", "mean disc (plain)", "mean disc (adv)", "mean gap", "max CDF violation"],
+        &[
+            "adversary",
+            "t",
+            "mean disc (plain)",
+            "mean disc (adv)",
+            "mean gap",
+            "max CDF violation",
+        ],
     );
 
     let experiment = DmlExperiment::new(initial.clone(), checkpoints.clone(), trials, seed)

@@ -118,12 +118,18 @@ impl ExperimentId {
             E9Phase2 => "Lemmas 14-16: O(n/avg) time from O(ln n)-balanced to 1-balanced",
             E10Phase3 => "Lemma 17: O(n/avg) time from 1-balanced to perfectly balanced",
             E11PriorBound => "vs [11]: no ln^2 n term (log-log slope about 1 in ln n)",
-            E12VersusCrs => "vs [9]: RLS activations vs CRS pair-sampling steps from two-choices starts",
+            E12VersusCrs => {
+                "vs [9]: RLS activations vs CRS pair-sampling steps from two-choices starts"
+            }
             E13VersusSelfish => "vs [10],[4]: synchronous selfish protocols and their m-dependence",
             E14VersusThreshold => "vs [1],[6]: threshold balancing stalls before perfect balance",
             E15Extensions => "Section 7 future work: weighted balls and heterogeneous bin speeds",
-            E16Topologies => "Section 7 future work: RLS on cycle/torus/hypercube/expander topologies",
-            E17VariantEquivalence => "Section 3 remark: >= and > variants have equal balancing times",
+            E16Topologies => {
+                "Section 7 future work: RLS on cycle/torus/hypercube/expander topologies"
+            }
+            E17VariantEquivalence => {
+                "Section 3 remark: >= and > variants have equal balancing times"
+            }
         }
     }
 

@@ -1,10 +1,12 @@
 //! E8, E9, E10: the three phases of the analysis, measured separately.
+//!
+//! Each phase is a campaign over the worst-case start of that phase, with
+//! first-hit tracking for the intermediate balance thresholds.  E9 and E10
+//! use per-`n` grids because their starting workloads depend on `n`
+//! (`offset ≈ 4 ln n` block imbalance, `n/4` over/under pairs).
 
 use rls_analysis::bounds::{phase1_time_bound, phase2_time_bound, phase3_time_bound};
-use rls_core::{Config, RlsRule};
-use rls_rng::{StreamFactory, StreamId};
-use rls_sim::observer::PhaseTracker;
-use rls_sim::{NoAdversary, RlsPolicy, Simulation, StopWhen};
+use rls_campaign::{run_cached, CampaignSpec, CellOutcome, HitSpec, MExpr, WorkloadSpec};
 use rls_workloads::Workload;
 
 use crate::table::{fmt_f64, Table};
@@ -17,47 +19,32 @@ fn sizes(scale: Scale) -> (Vec<usize>, u64, usize) {
     }
 }
 
-/// Run RLS from `initial`, recording the first times the discrepancy drops
-/// to `O(ln n)`, to 1 and to perfect balance; returns (t_phase1, t_1bal,
-/// t_perfect).
-fn phase_times(initial: &Config, seed: u64, trial: u64) -> (f64, f64, f64) {
-    let n = initial.n();
-    let log_threshold = 8.0 * (n as f64).ln();
-    let mut tracker = PhaseTracker::new(vec![log_threshold, 1.0, 0.999]);
-    let mut sim = Simulation::new(initial.clone(), RlsPolicy::new(RlsRule::paper()))
-        .expect("non-empty instance");
-    let factory = StreamFactory::new(seed);
-    let mut rng = factory.rng(StreamId::trial(trial).with_component(8));
-    let outcome = sim.run_with(
-        &mut rng,
-        StopWhen::perfectly_balanced(),
-        &mut NoAdversary,
-        &mut tracker,
-    );
-    let perfect = outcome.time;
-    let t_log = tracker.hit_time(0).unwrap_or(0.0);
-    let t_one = tracker.hit_time(1).unwrap_or(perfect);
-    (t_log, t_one, perfect)
-}
+/// The `8 ln n` coarse-balance threshold the Phase-1 experiment records.
+const PHASE1_LN_FACTOR: f64 = 8.0;
 
 /// E8: Phase 1 — time from the worst-case start to an `O(ln n)`-balanced
 /// configuration.
 pub fn phase1(scale: Scale, seed: u64) -> Table {
     let (ns, factor, trials) = sizes(scale);
+    let mut spec = CampaignSpec::new("e8-phase1", seed, trials);
+    spec.grid.n = ns;
+    spec.grid.m = vec![MExpr::PerBin(factor as f64)];
+    spec.hits = vec![HitSpec::LnFactor(PHASE1_LN_FACTOR)];
+    let report = run_cached(spec).expect("E8 grid cells are always runnable");
+
     let mut table = Table::new(
         "E8: Phase 1 - time to reach an O(ln n)-balanced configuration",
-        &["n", "m", "mean t(disc<=8 ln n)", "Phase 1 bound (2 ln n)", "ratio"],
+        &[
+            "n",
+            "m",
+            "mean t(disc<=8 ln n)",
+            "Phase 1 bound (2 ln n)",
+            "ratio",
+        ],
     );
-    for &n in &ns {
-        let m = factor * n as u64;
-        let initial = Workload::AllInOneBin
-            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
-            .unwrap();
-        let mut total = 0.0;
-        for trial in 0..trials as u64 {
-            total += phase_times(&initial, seed + n as u64, trial).0;
-        }
-        let mean = total / trials as f64;
+    for outcome in &report.outcomes {
+        let (n, m) = (outcome.cell.n, outcome.cell.m);
+        let mean = outcome.result.hit_means[0];
         let bound = phase1_time_bound(n);
         table.push_row(vec![
             n.to_string(),
@@ -67,32 +54,65 @@ pub fn phase1(scale: Scale, seed: u64) -> Table {
             fmt_f64(mean / bound),
         ]);
     }
-    table.push_note("Lemmas 10-13: O(ln n) regardless of m; the ratio should stay below a small constant.");
+    table.push_note(
+        "Lemmas 10-13: O(ln n) regardless of m; the ratio should stay below a small constant.",
+    );
     table
+}
+
+/// Run a one-cell-per-`n` campaign family (used when the workload itself
+/// depends on `n`).
+fn per_n_outcomes(
+    name: &str,
+    seed: u64,
+    trials: usize,
+    factor: u64,
+    points: impl Iterator<Item = (usize, Workload)>,
+    hits: Vec<HitSpec>,
+) -> Vec<CellOutcome> {
+    points
+        .map(|(n, workload)| {
+            let mut spec = CampaignSpec::new(name, seed, trials);
+            spec.grid.n = vec![n];
+            spec.grid.m = vec![MExpr::PerBin(factor as f64)];
+            spec.grid.workload = vec![WorkloadSpec(workload)];
+            spec.hits = hits.clone();
+            let report = run_cached(spec).expect("phase cells are always runnable");
+            report
+                .outcomes
+                .into_iter()
+                .next()
+                .expect("one cell per spec")
+        })
+        .collect()
 }
 
 /// E9: Phase 2 — time from an `O(ln n)`-balanced configuration to a
 /// 1-balanced one.
 pub fn phase2(scale: Scale, seed: u64) -> Table {
     let (ns, factor, trials) = sizes(scale);
+    // Start from the Lemma-13 block shape with offset ≈ 4 ln n (an
+    // O(ln n)-balanced configuration), the worst case for Phase 2.
+    let points = ns.iter().map(|&n| {
+        let offset = ((4.0 * (n as f64).ln()) as u64).min(factor - 1).max(1);
+        (n, Workload::BlockImbalance { offset })
+    });
+    let outcomes = per_n_outcomes(
+        "e9-phase2",
+        seed,
+        trials,
+        factor,
+        points,
+        vec![HitSpec::Absolute(1.0)],
+    );
+
     let mut table = Table::new(
         "E9: Phase 2 - time from O(ln n)-balanced to 1-balanced",
         &["n", "m", "mean t", "Phase 2 bound", "ratio"],
     );
-    for &n in &ns {
-        let m = factor * n as u64;
-        // Start from the Lemma-13 block shape with offset ≈ 4 ln n (an
-        // O(ln n)-balanced configuration), the worst case for Phase 2.
-        let offset = ((4.0 * (n as f64).ln()) as u64).min(factor - 1).max(1);
-        let initial = Workload::BlockImbalance { offset }
-            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
-            .unwrap();
-        let mut total = 0.0;
-        for trial in 0..trials as u64 {
-            let (_, t_one, _) = phase_times(&initial, seed + 9000 + n as u64, trial);
-            total += t_one;
-        }
-        let mean = total / trials as f64;
+    for outcome in &outcomes {
+        let (n, m) = (outcome.cell.n, outcome.cell.m);
+        let mean = outcome.result.hit_means[0];
         let bound = phase2_time_bound(n, m);
         table.push_row(vec![
             n.to_string(),
@@ -109,31 +129,20 @@ pub fn phase2(scale: Scale, seed: u64) -> Table {
 /// E10: Phase 3 — time from a 1-balanced configuration to perfect balance.
 pub fn phase3(scale: Scale, seed: u64) -> Table {
     let (ns, factor, trials) = sizes(scale);
+    // A 1-balanced start with n/4 over/under pairs.
+    let points = ns
+        .iter()
+        .map(|&n| (n, Workload::OverUnderPairs { pairs: n / 4 }));
+    let outcomes = per_n_outcomes("e10-phase3", seed, trials, factor, points, Vec::new());
+
     let mut table = Table::new(
         "E10: Phase 3 - time from 1-balanced to perfectly balanced",
         &["n", "m", "pairs", "mean t", "Phase 3 bound", "ratio"],
     );
-    for &n in &ns {
-        let m = factor * n as u64;
-        // A 1-balanced start with n/4 over/under pairs.
-        let avg = factor;
+    for outcome in &outcomes {
+        let (n, m) = (outcome.cell.n, outcome.cell.m);
         let pairs = n / 4;
-        let mut loads = vec![avg; n];
-        for i in 0..pairs {
-            loads[i] += 1;
-            loads[n - 1 - i] -= 1;
-        }
-        let initial = Config::from_loads(loads).unwrap();
-        assert!(initial.discrepancy() <= 1.0);
-        let factory = StreamFactory::new(seed + 10_000 + n as u64);
-        let mut total = 0.0;
-        for trial in 0..trials as u64 {
-            let mut sim = Simulation::new(initial.clone(), RlsPolicy::new(RlsRule::paper()))
-                .expect("non-empty");
-            let mut rng = factory.rng(StreamId::trial(trial));
-            total += sim.run(&mut rng, StopWhen::perfectly_balanced()).time;
-        }
-        let mean = total / trials as f64;
+        let mean = outcome.result.cost.mean;
         let bound = phase3_time_bound(n, m);
         table.push_row(vec![
             n.to_string(),
@@ -151,13 +160,26 @@ pub fn phase3(scale: Scale, seed: u64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rls_campaign::{CellSpec, ProtocolSpec, StopSpec, TopologySpec};
 
+    /// The phase decomposition is ordered: coarse balance before 1-balance
+    /// before perfect balance, within a single cell's hit tracking.
     #[test]
     fn phase_times_are_ordered() {
-        let initial = Workload::AllInOneBin
-            .generate(16, 256, &mut rls_rng::rng_from_seed(1))
-            .unwrap();
-        let (t_log, t_one, t_perfect) = phase_times(&initial, 1, 0);
+        let cell = CellSpec {
+            n: 16,
+            m: 256,
+            protocol: ProtocolSpec::RlsGeq,
+            workload: WorkloadSpec(Workload::AllInOneBin),
+            topology: TopologySpec::complete(),
+            stop: StopSpec::default(),
+            hits: vec![HitSpec::LnFactor(PHASE1_LN_FACTOR), HitSpec::Absolute(1.0)],
+            trials: 3,
+        };
+        let result = rls_campaign::run_cell(&cell, 1).unwrap();
+        let t_log = result.hit_means[0];
+        let t_one = result.hit_means[1];
+        let t_perfect = result.cost.mean;
         assert!(t_log <= t_one + 1e-12);
         assert!(t_one <= t_perfect + 1e-12);
         assert!(t_perfect > 0.0);
@@ -184,7 +206,12 @@ mod tests {
 
     #[test]
     fn e10_start_is_one_balanced() {
-        // Covered inside phase3 by the assert!, but run it to execute that path.
+        // The over-under-pairs workload itself guarantees a 1-balanced
+        // start; check the generated shape directly.
+        let cfg = Workload::OverUnderPairs { pairs: 4 }
+            .generate(16, 256, &mut rls_rng::rng_from_seed(1))
+            .unwrap();
+        assert!(cfg.discrepancy() <= 1.0);
         let t = phase3(Scale::Quick, 5);
         assert_eq!(t.row_count(), 3);
     }

@@ -1,10 +1,13 @@
 //! E1, E2, E11: scaling of the balancing time with `n` and `m`.
+//!
+//! All three experiments are pure `(n, m)` sweeps of the paper's process,
+//! so they are expressed as campaign grids and served from the campaign
+//! results store: re-running the harness (or widening a sweep) only
+//! executes cells that are not already cached.
 
 use rls_analysis::bounds::TheoremOneBound;
-use rls_core::RlsRule;
+use rls_campaign::{run_cached, CampaignReport, CampaignSpec, MExpr};
 use rls_sim::stats::{log_log_fit, quantile};
-use rls_sim::{MonteCarlo, RlsPolicy, StopWhen};
-use rls_workloads::Workload;
 
 use crate::table::{fmt_f64, Table};
 use crate::Scale;
@@ -12,11 +15,7 @@ use crate::Scale;
 /// The (n, m-per-n-factor) sweep used by E1/E2.
 fn sweep(scale: Scale) -> (Vec<usize>, Vec<(u64, &'static str)>, usize) {
     match scale {
-        Scale::Quick => (
-            vec![16, 32, 64],
-            vec![(1, "m=n"), (8, "m=8n")],
-            6,
-        ),
+        Scale::Quick => (vec![16, 32, 64], vec![(1, "m=n"), (8, "m=8n")], 6),
         Scale::Full => (
             vec![128, 256, 512, 1024, 2048],
             vec![(1, "m=n"), (8, "m=8n"), (64, "m=64n")],
@@ -25,35 +24,39 @@ fn sweep(scale: Scale) -> (Vec<usize>, Vec<(u64, &'static str)>, usize) {
     }
 }
 
+/// The campaign grid shared by E1 and E2 (they differ only in trial count
+/// and in which statistics they read off each cell).
+fn scaling_spec(name: &str, scale: Scale, seed: u64, trials: usize) -> CampaignSpec {
+    let (ns, factors, _) = sweep(scale);
+    let mut spec = CampaignSpec::new(name, seed, trials);
+    spec.grid.n = ns;
+    spec.grid.m = factors
+        .iter()
+        .map(|&(factor, _)| MExpr::PerBin(factor as f64))
+        .collect();
+    spec
+}
+
 /// E1: mean balancing time versus the Theorem-1 shape `ln n + n²/m`.
 pub fn theorem1_scaling(scale: Scale, seed: u64) -> Table {
-    let (ns, factors, trials) = sweep(scale);
+    let (_, _, trials) = sweep(scale);
+    let report = run_cached(scaling_spec("e1-theorem1-scaling", scale, seed, trials))
+        .expect("E1 grid cells are always runnable");
     let mut table = Table::new(
         "E1: Theorem 1 scaling - E[T] vs ln n + n^2/m (all-in-one-bin start)",
         &["n", "m", "mean T", "ci95", "predicted shape", "ratio"],
     );
-    for &(factor, _) in &factors {
-        for &n in &ns {
-            let m = factor * n as u64;
-            let initial = Workload::AllInOneBin
-                .generate(n, m, &mut rls_rng::rng_from_seed(seed))
-                .expect("valid workload");
-            let report = MonteCarlo::new(trials, seed)
-                .with_salt(n as u64 * 1000 + factor)
-                .parallel()
-                .run(&initial, StopWhen::perfectly_balanced(), |_| {
-                    RlsPolicy::new(RlsRule::paper())
-                });
-            let bound = TheoremOneBound::new(n, m);
-            table.push_row(vec![
-                n.to_string(),
-                m.to_string(),
-                fmt_f64(report.time.mean),
-                fmt_f64(report.time.ci95_half_width),
-                fmt_f64(bound.expected_shape()),
-                fmt_f64(report.time.mean / bound.expected_shape()),
-            ]);
-        }
+    for outcome in &report.outcomes {
+        let (n, m) = (outcome.cell.n, outcome.cell.m);
+        let bound = TheoremOneBound::new(n, m);
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            fmt_f64(outcome.result.cost.mean),
+            fmt_f64(outcome.result.cost.ci95_half_width),
+            fmt_f64(bound.expected_shape()),
+            fmt_f64(outcome.result.cost.mean / bound.expected_shape()),
+        ]);
     }
     table.push_note("Theorem 1: E[T] = O(ln n + n^2/m); the ratio column should stay roughly constant within each m/n family.");
     table
@@ -62,36 +65,26 @@ pub fn theorem1_scaling(scale: Scale, seed: u64) -> Table {
 /// E2: the w.h.p. statement — high quantiles of `T` against
 /// `ln n · (1 + n²/m)`.
 pub fn whp_tail(scale: Scale, seed: u64) -> Table {
-    let (ns, factors, trials) = sweep(scale);
+    let (_, _, trials) = sweep(scale);
     let trials = trials.max(20);
+    let report = run_cached(scaling_spec("e2-whp-tail", scale, seed, trials))
+        .expect("E2 grid cells are always runnable");
     let mut table = Table::new(
         "E2: Theorem 1 w.h.p. - high quantile of T vs ln n (1 + n^2/m)",
         &["n", "m", "median T", "p95 T", "whp shape", "p95/shape"],
     );
-    for &(factor, _) in &factors {
-        for &n in &ns {
-            let m = factor * n as u64;
-            let initial = Workload::AllInOneBin
-                .generate(n, m, &mut rls_rng::rng_from_seed(seed))
-                .expect("valid workload");
-            let report = MonteCarlo::new(trials, seed)
-                .with_salt(2_000_000 + n as u64 * 1000 + factor)
-                .parallel()
-                .run(&initial, StopWhen::perfectly_balanced(), |_| {
-                    RlsPolicy::new(RlsRule::paper())
-                });
-            let times = report.times();
-            let p95 = quantile(&times, 0.95);
-            let bound = TheoremOneBound::new(n, m);
-            table.push_row(vec![
-                n.to_string(),
-                m.to_string(),
-                fmt_f64(report.time.median),
-                fmt_f64(p95),
-                fmt_f64(bound.whp_shape()),
-                fmt_f64(p95 / bound.whp_shape()),
-            ]);
-        }
+    for outcome in &report.outcomes {
+        let (n, m) = (outcome.cell.n, outcome.cell.m);
+        let p95 = quantile(&outcome.result.costs, 0.95);
+        let bound = TheoremOneBound::new(n, m);
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            fmt_f64(outcome.result.cost.median),
+            fmt_f64(p95),
+            fmt_f64(bound.whp_shape()),
+            fmt_f64(p95 / bound.whp_shape()),
+        ]);
     }
     table.push_note("w.h.p. T = O(ln n + ln n * n^2/m); tail quantiles should track the whp shape up to a constant.");
     table
@@ -109,31 +102,28 @@ pub fn prior_bound(scale: Scale, seed: u64) -> Table {
         Scale::Quick => 5,
         Scale::Full => 16,
     };
+    let mut spec = CampaignSpec::new("e11-prior-bound", seed, trials);
+    spec.grid.n = ns;
+    spec.grid.m = vec![MExpr::NSquared];
+    let report: CampaignReport = run_cached(spec).expect("E11 grid cells are always runnable");
+
     let mut table = Table::new(
         "E11: against the old O(ln^2 n) bound of [11] (m = n^2, all-in-one-bin)",
         &["n", "mean T", "T / ln n", "T / ln^2 n"],
     );
     let mut lnn = Vec::new();
     let mut means = Vec::new();
-    for &n in &ns {
-        let m = (n as u64) * (n as u64);
-        let initial = Workload::AllInOneBin
-            .generate(n, m, &mut rls_rng::rng_from_seed(seed))
-            .expect("valid workload");
-        let report = MonteCarlo::new(trials, seed)
-            .with_salt(11_000_000 + n as u64)
-            .parallel()
-            .run(&initial, StopWhen::perfectly_balanced(), |_| {
-                RlsPolicy::new(RlsRule::paper())
-            });
+    for outcome in &report.outcomes {
+        let n = outcome.cell.n;
+        let mean = outcome.result.cost.mean;
         let ln_n = (n as f64).ln();
         lnn.push(ln_n);
-        means.push(report.time.mean);
+        means.push(mean);
         table.push_row(vec![
             n.to_string(),
-            fmt_f64(report.time.mean),
-            fmt_f64(report.time.mean / ln_n),
-            fmt_f64(report.time.mean / (ln_n * ln_n)),
+            fmt_f64(mean),
+            fmt_f64(mean / ln_n),
+            fmt_f64(mean / (ln_n * ln_n)),
         ]);
     }
     let fit = log_log_fit(&lnn, &means);
@@ -183,7 +173,21 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(slope < 1.8, "slope {slope} suspiciously close to the ln^2 shape");
+        assert!(
+            slope < 1.8,
+            "slope {slope} suspiciously close to the ln^2 shape"
+        );
         assert!(slope > 0.2, "slope {slope} suspiciously flat");
+    }
+
+    #[test]
+    fn e1_is_served_from_the_store_on_rerun() {
+        // Populate (or hit) the process store, then verify a second build
+        // of the same grid executes nothing.
+        let spec = scaling_spec("e1-theorem1-scaling", Scale::Quick, 7, 6);
+        let _ = theorem1_scaling(Scale::Quick, 7);
+        let report = run_cached(spec).unwrap();
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.cached, report.outcomes.len());
     }
 }

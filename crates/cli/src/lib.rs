@@ -14,8 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign_cmd;
 pub mod experiments;
 pub mod table;
 
+pub use campaign_cmd::{execute_campaign, parse_campaign_args, CampaignCommand};
 pub use experiments::{run_experiment, ExperimentId, Scale};
 pub use table::Table;

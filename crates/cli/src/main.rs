@@ -1,19 +1,23 @@
 //! `rls-experiments` — run the experiment suite and print the tables
-//! recorded in EXPERIMENTS.md.
+//! recorded in docs/EXPERIMENTS.md, or drive experiment campaigns.
 //!
 //! Usage:
 //!
 //! ```text
 //! rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]
+//! rls-experiments campaign run    <spec> [--store DIR] [--threads N]
+//! rls-experiments campaign status <spec> [--store DIR]
+//! rls-experiments campaign export <spec> [--store DIR] (--csv|--json) [--out FILE]
 //! ```
 //!
 //! With no experiment arguments, every experiment is run.  `--scale quick`
 //! (the default) finishes in seconds; `--scale full` reproduces the sizes in
-//! EXPERIMENTS.md and should be run with `--release`.
+//! docs/EXPERIMENTS.md and should be run with `--release`.  Campaign specs
+//! are TOML or JSON grids (see `specs/` and the README).
 
 use std::process::ExitCode;
 
-use rls_cli::{run_experiment, ExperimentId, Scale};
+use rls_cli::{execute_campaign, parse_campaign_args, run_experiment, ExperimentId, Scale};
 
 struct Args {
     scale: Scale,
@@ -53,16 +57,38 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     if experiments.is_empty() {
         experiments = ExperimentId::all();
     }
-    Ok(Args { scale, seed, list, experiments })
+    Ok(Args {
+        scale,
+        seed,
+        list,
+        experiments,
+    })
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("campaign") {
+        return match parse_campaign_args(&raw[1..]).and_then(|cmd| execute_campaign(&cmd)) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: rls-experiments campaign run|status|export <spec> [--store DIR] [--threads N] [--csv|--json] [--out FILE]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args(&raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]");
+            eprintln!(
+                "usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]"
+            );
             return ExitCode::FAILURE;
         }
     };

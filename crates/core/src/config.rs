@@ -54,7 +54,10 @@ impl Config {
             return Err(ConfigError::NoBins);
         }
         (per_bin as u128 * n as u128 <= u64::MAX as u128)
-            .then(|| Self { loads: vec![per_bin; n], total: per_bin * n as u64 })
+            .then(|| Self {
+                loads: vec![per_bin; n],
+                total: per_bin * n as u64,
+            })
             .ok_or(ConfigError::TotalOverflow)
     }
 
@@ -366,7 +369,14 @@ mod tests {
     fn bin_counts_integer_average() {
         let c = Config::from_loads(vec![6, 2, 4, 4]).unwrap(); // avg 4
         let counts = c.bin_counts();
-        assert_eq!(counts, BinCounts { above: 1, at: 2, below: 1 });
+        assert_eq!(
+            counts,
+            BinCounts {
+                above: 1,
+                at: 2,
+                below: 1
+            }
+        );
     }
 
     #[test]

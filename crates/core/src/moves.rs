@@ -32,7 +32,10 @@ impl Move {
 
     /// The reverse relocation.
     pub fn reversed(self) -> Self {
-        Self { from: self.to, to: self.from }
+        Self {
+            from: self.to,
+            to: self.from,
+        }
     }
 
     /// Whether the move stays within the same bin.

@@ -154,7 +154,10 @@ mod tests {
                 let mut next = cfg.clone();
                 next.apply(mv).unwrap();
                 let after = Phase2Snapshot::capture(&next).potential;
-                assert!(after <= before, "move {mv} raised potential {before} -> {after}");
+                assert!(
+                    after <= before,
+                    "move {mv} raised potential {before} -> {after}"
+                );
             }
         }
     }

@@ -90,7 +90,9 @@ impl LoadTracker {
     /// Current discrepancy `max(max − ∅, ∅ − min)`.
     pub fn discrepancy(&self) -> f64 {
         let avg = self.average();
-        (self.max_load as f64 - avg).max(avg - self.min_load as f64).max(0.0)
+        (self.max_load as f64 - avg)
+            .max(avg - self.min_load as f64)
+            .max(0.0)
     }
 
     /// Number of overloaded balls (mass above `⌈∅⌉`).
@@ -105,7 +107,11 @@ impl LoadTracker {
 
     /// Bin counts above / at / below the exact average.
     pub fn bin_counts(&self) -> BinCounts {
-        BinCounts { above: self.bins_above, at: self.bins_at, below: self.bins_below }
+        BinCounts {
+            above: self.bins_above,
+            at: self.bins_at,
+            below: self.bins_below,
+        }
     }
 
     /// The Phase-2 potential `3A − k − h`.
@@ -167,10 +173,10 @@ impl LoadTracker {
         }
 
         // Overloaded balls / holes.
-        self.overloaded = self.overloaded + new.saturating_sub(self.ceil_avg)
-            - old.saturating_sub(self.ceil_avg);
-        self.holes = self.holes + self.floor_avg.saturating_sub(new)
-            - self.floor_avg.saturating_sub(old);
+        self.overloaded =
+            self.overloaded + new.saturating_sub(self.ceil_avg) - old.saturating_sub(self.ceil_avg);
+        self.holes =
+            self.holes + self.floor_avg.saturating_sub(new) - self.floor_avg.saturating_sub(old);
 
         // Bins above / at / below the exact average (compare l·n with m).
         let class = |l: u64| -> i8 {

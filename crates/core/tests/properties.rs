@@ -3,12 +3,13 @@
 //! of the bookkeeping types.
 
 use proptest::prelude::*;
-use rls_core::{is_close, majorizes, Config, LoadTracker, Move, Phase2Snapshot, RlsRule, RlsVariant};
+use rls_core::{
+    is_close, majorizes, Config, LoadTracker, Move, Phase2Snapshot, RlsRule, RlsVariant,
+};
 
 /// Strategy: a small random configuration (1..=12 bins, loads 0..=20).
 fn config_strategy() -> impl Strategy<Value = Config> {
-    prop::collection::vec(0u64..=20, 1..=12)
-        .prop_map(|loads| Config::from_loads(loads).unwrap())
+    prop::collection::vec(0u64..=20, 1..=12).prop_map(|loads| Config::from_loads(loads).unwrap())
 }
 
 /// Strategy: a configuration plus a random (source, destination) pair.

@@ -193,7 +193,9 @@ mod tests {
             Graph::from_edges(2, &[(1, 1)]),
             Err(GraphError::SelfLoop { vertex: 1 })
         ));
-        assert!(GraphError::Empty.to_string().contains("at least one vertex"));
+        assert!(GraphError::Empty
+            .to_string()
+            .contains("at least one vertex"));
     }
 
     #[test]

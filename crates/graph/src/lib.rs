@@ -4,7 +4,7 @@
 //! analyzing the protocol "in network topologies other than the complete
 //! graph".  In the graph model, bins are vertices and an activated ball may
 //! only sample a destination among the *neighbours* of its current bin.
-//! The related threshold-balancing literature ([6] in the paper) ties the
+//! The related threshold-balancing literature (\[6\] in the paper) ties the
 //! balancing time to the graph's mixing time, which is why this crate also
 //! estimates spectral gaps.
 //!

@@ -1,6 +1,6 @@
 //! Spectral-gap and mixing-time estimation for the lazy random walk.
 //!
-//! The threshold-balancing result the paper cites as [6] bounds balancing
+//! The threshold-balancing result the paper cites as \[6\] bounds balancing
 //! time by `O(τ_mix · ln m)`; experiment E16 correlates the measured RLS
 //! balancing time on a topology with that topology's mixing time.  We
 //! estimate the spectral gap of the lazy random-walk transition matrix
@@ -31,7 +31,11 @@ pub struct MixingEstimate {
 pub fn estimate_mixing(graph: &Graph, iterations: usize) -> MixingEstimate {
     let n = graph.n();
     if n == 1 {
-        return MixingEstimate { lambda2: 0.0, spectral_gap: 1.0, mixing_time: 0.0 };
+        return MixingEstimate {
+            lambda2: 0.0,
+            spectral_gap: 1.0,
+            mixing_time: 0.0,
+        };
     }
     // Stationary distribution of the lazy walk: π_v ∝ max(deg(v), 1).
     let degrees: Vec<f64> = (0..n).map(|v| graph.degree(v).max(1) as f64).collect();
@@ -160,7 +164,11 @@ mod tests {
     fn disconnected_graph_has_tiny_gap() {
         let g = crate::graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let est = estimate_mixing(&g, 500);
-        assert!(est.lambda2 > 0.99, "λ₂ {} should be ≈ 1 for a disconnected graph", est.lambda2);
+        assert!(
+            est.lambda2 > 0.99,
+            "λ₂ {} should be ≈ 1 for a disconnected graph",
+            est.lambda2
+        );
     }
 
     #[test]
@@ -175,7 +183,11 @@ mod tests {
     fn lambda_values_are_probabilistically_sane() {
         for t in [Topology::Star, Topology::BinaryTree, Topology::Hypercube] {
             let est = estimate(t, 32);
-            assert!((0.0..=1.0).contains(&est.lambda2), "{t:?}: λ₂ = {}", est.lambda2);
+            assert!(
+                (0.0..=1.0).contains(&est.lambda2),
+                "{t:?}: λ₂ = {}",
+                est.lambda2
+            );
             assert!(est.spectral_gap > 0.0);
             assert!(est.mixing_time.is_finite());
         }

@@ -8,7 +8,7 @@
 //! doubles as a consistency check against the `rls-sim` engine.  On sparse
 //! graphs, perfect balance is still reachable whenever the graph is
 //! connected, but the time degrades with the graph's bottleneck — the
-//! qualitative `τ_mix` dependence that [6] proves for threshold protocols
+//! qualitative `τ_mix` dependence that \[6\] proves for threshold protocols
 //! and that experiment E16 measures for RLS.
 
 use rls_core::Config;
@@ -43,7 +43,10 @@ pub struct GraphRls {
 impl GraphRls {
     /// RLS on the given graph with an activation budget.
     pub fn new(graph: Graph, max_activations: u64) -> Self {
-        Self { graph, max_activations }
+        Self {
+            graph,
+            max_activations,
+        }
     }
 
     /// The underlying graph.
@@ -104,7 +107,13 @@ impl GraphRls {
             }
         }
         let final_discrepancy = Config::from_loads(loads).expect("non-empty").discrepancy();
-        GraphRlsOutcome { time, activations, migrations, reached_goal: reached, final_discrepancy }
+        GraphRlsOutcome {
+            time,
+            activations,
+            migrations,
+            reached_goal: reached,
+            final_discrepancy,
+        }
     }
 }
 

@@ -86,7 +86,10 @@ impl Topology {
             Topology::Torus2D => {
                 let side = (n as f64).sqrt().round() as usize;
                 if side * side != n || side < 2 {
-                    return Err(GraphError::VertexOutOfRange { vertex: n, n: side * side });
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: n,
+                        n: side * side,
+                    });
                 }
                 let mut e = Vec::with_capacity(2 * n);
                 for r in 0..side {
@@ -131,7 +134,9 @@ impl Topology {
                 // the realized graph is "approximately d-regular" — exactly
                 // what the balancing experiments need (an expander of
                 // bounded degree), documented in DESIGN.md.
-                let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(degree)).collect();
+                let mut stubs: Vec<usize> = (0..n)
+                    .flat_map(|v| std::iter::repeat(v).take(degree))
+                    .collect();
                 rng.shuffle(&mut stubs);
                 let mut e = Vec::with_capacity(stubs.len() / 2);
                 for pair in stubs.chunks(2) {
@@ -192,10 +197,14 @@ mod tests {
 
     #[test]
     fn hypercube_is_log_regular() {
-        let g = Topology::Hypercube.build(32, &mut rng_from_seed(4)).unwrap();
+        let g = Topology::Hypercube
+            .build(32, &mut rng_from_seed(4))
+            .unwrap();
         assert!((0..32).all(|v| g.degree(v) == 5));
         assert_eq!(g.diameter(), Some(5));
-        assert!(Topology::Hypercube.build(20, &mut rng_from_seed(4)).is_err());
+        assert!(Topology::Hypercube
+            .build(20, &mut rng_from_seed(4))
+            .is_err());
     }
 
     #[test]
@@ -203,7 +212,9 @@ mod tests {
         let s = Topology::Star.build(9, &mut rng_from_seed(5)).unwrap();
         assert_eq!(s.degree(0), 8);
         assert!((1..9).all(|v| s.degree(v) == 1));
-        let t = Topology::BinaryTree.build(15, &mut rng_from_seed(5)).unwrap();
+        let t = Topology::BinaryTree
+            .build(15, &mut rng_from_seed(5))
+            .unwrap();
         assert!(t.is_connected());
         assert_eq!(t.edge_count(), 14);
         assert_eq!(t.degree(0), 2);
@@ -217,21 +228,32 @@ mod tests {
         assert!(g.is_connected());
         assert!(g.max_degree() <= 4);
         assert!((0..64).all(|v| g.degree(v) >= 1));
-        assert!(Topology::RandomRegular { degree: 3 }.build(5, &mut rng_from_seed(6)).is_err());
-        assert!(Topology::RandomRegular { degree: 0 }.build(4, &mut rng_from_seed(6)).is_err());
+        assert!(Topology::RandomRegular { degree: 3 }
+            .build(5, &mut rng_from_seed(6))
+            .is_err());
+        assert!(Topology::RandomRegular { degree: 0 }
+            .build(4, &mut rng_from_seed(6))
+            .is_err());
     }
 
     #[test]
     fn erdos_renyi_density_tracks_p() {
-        let sparse = Topology::ErdosRenyi { p: 0.05 }.build(64, &mut rng_from_seed(7)).unwrap();
-        let dense = Topology::ErdosRenyi { p: 0.5 }.build(64, &mut rng_from_seed(7)).unwrap();
+        let sparse = Topology::ErdosRenyi { p: 0.05 }
+            .build(64, &mut rng_from_seed(7))
+            .unwrap();
+        let dense = Topology::ErdosRenyi { p: 0.5 }
+            .build(64, &mut rng_from_seed(7))
+            .unwrap();
         assert!(dense.edge_count() > 4 * sparse.edge_count());
     }
 
     #[test]
     fn names_and_empty_rejection() {
         assert_eq!(Topology::Complete.name(), "complete");
-        assert_eq!(Topology::RandomRegular { degree: 3 }.name(), "random-regular");
+        assert_eq!(
+            Topology::RandomRegular { degree: 3 }.name(),
+            "random-regular"
+        );
         assert!(Topology::Cycle.build(0, &mut rng_from_seed(8)).is_err());
     }
 

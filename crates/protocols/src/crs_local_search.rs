@@ -1,5 +1,5 @@
 //! The pair-sampling local-search protocol of Czumaj, Riley and Scheideler
-//! ("Perfectly Balanced Allocation", APPROX 2003) — reference [9].
+//! ("Perfectly Balanced Allocation", APPROX 2003) — reference \[9\].
 //!
 //! Setup: every ball independently picks **two** candidate bins and is
 //! initially placed in one of them (here: the first, i.e. an arbitrary
@@ -10,7 +10,7 @@
 //!
 //! The paper's point of comparison (Section 2): started from a power-of-two-
 //! choices placement this protocol needs `n^{Θ(1)}` steps (constant ≥ 4 in
-//! the analysis of [9]) to reach perfect balance over its candidate graph,
+//! the analysis of \[9\]) to reach perfect balance over its candidate graph,
 //! while RLS reaches perfect balance in `O(n²)` activations from the same
 //! start — and RLS works from arbitrary starts, whereas this protocol can
 //! only ever move a ball between its two candidates.
@@ -68,7 +68,10 @@ impl CrsLocalSearch {
     /// protocol is only guaranteed to converge in polynomial time, so a
     /// budget is mandatory).
     pub fn new(placement: CrsPlacement, max_steps: u64) -> Self {
-        Self { placement, max_steps }
+        Self {
+            placement,
+            max_steps,
+        }
     }
 
     /// Display name.
@@ -104,7 +107,11 @@ impl CrsLocalSearch {
             candidates.push((a, b));
             occupies.push(side);
         }
-        CrsState { candidates, occupies, loads }
+        CrsState {
+            candidates,
+            occupies,
+            loads,
+        }
     }
 
     /// Run the protocol until the configuration is `target_discrepancy`-
@@ -158,12 +165,10 @@ impl CrsLocalSearch {
                 continue;
             }
             // Find a ball in b1 whose other candidate is b2.
-            let found = by_bin[b1]
-                .iter()
-                .position(|&ball| {
-                    let (a, b) = state.candidates[ball as usize];
-                    (a as usize == b1 && b as usize == b2) || (b as usize == b1 && a as usize == b2)
-                });
+            let found = by_bin[b1].iter().position(|&ball| {
+                let (a, b) = state.candidates[ball as usize];
+                (a as usize == b1 && b as usize == b2) || (b as usize == b1 && a as usize == b2)
+            });
             let Some(pos) = found else { continue };
             let ball = by_bin[b1][pos] as usize;
             // Place the ball in the lighter of b1, b2 (it currently sits in
@@ -235,7 +240,11 @@ mod tests {
     fn protocol_improves_balance_within_budget() {
         let proto = CrsLocalSearch::new(CrsPlacement::TwoChoices, 200_000);
         let out = proto.run(16, 64, 1.0, &mut rng_from_seed(4));
-        assert!(out.final_discrepancy <= 2.0, "disc {}", out.final_discrepancy);
+        assert!(
+            out.final_discrepancy <= 2.0,
+            "disc {}",
+            out.final_discrepancy
+        );
         assert!(out.activations <= 200_000);
         assert_eq!(out.cost_model, CostModel::Placements);
     }

@@ -1,5 +1,5 @@
 //! One-shot `d`-choices placement (Mitzenmacher's power of two choices) —
-//! reference [17].
+//! reference \[17\].
 //!
 //! Not a reallocation protocol: the `m` balls arrive once, each samples `d`
 //! bins and joins the least loaded of them, and nobody ever moves again.

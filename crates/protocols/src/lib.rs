@@ -7,12 +7,12 @@
 //!
 //! | Module | Protocol | Paper reference |
 //! |---|---|---|
-//! | [`rls`] | Randomized Local Search, `≥` and strict `>` variants | this paper; [12], [11] |
-//! | [`crs_local_search`] | pair-sampling local search over two-choices placements | Czumaj, Riley, Scheideler [9] |
-//! | [`selfish_global`] | synchronous selfish rerouting with global knowledge of the average | Even-Dar, Mansour [10] |
-//! | [`selfish_distributed`] | synchronous selfish load balancing without global knowledge | Berenbrink et al. [4] |
-//! | [`threshold`] | threshold load balancing (fixed and average-threshold) | Ackermann et al. [1]; [6] |
-//! | [`greedy_d`] | one-shot `d`-choices placement (`d = 1` random, `d = 2` power of two choices) | Mitzenmacher [17] |
+//! | [`rls`] | Randomized Local Search, `≥` and strict `>` variants | this paper; \[12\], \[11\] |
+//! | [`crs_local_search`] | pair-sampling local search over two-choices placements | Czumaj, Riley, Scheideler \[9\] |
+//! | [`selfish_global`] | synchronous selfish rerouting with global knowledge of the average | Even-Dar, Mansour \[10\] |
+//! | [`selfish_distributed`] | synchronous selfish load balancing without global knowledge | Berenbrink et al. \[4\] |
+//! | [`threshold`] | threshold load balancing (fixed and average-threshold) | Ackermann et al. \[1\]; \[6\] |
+//! | [`greedy_d`] | one-shot `d`-choices placement (`d = 1` random, `d = 2` power of two choices) | Mitzenmacher \[17\] |
 //! | [`weighted`] | RLS with weighted balls | Section 7, future work 2 |
 //! | [`speeds`] | RLS with heterogeneous bin speeds | Section 7, future work 1 |
 //!

@@ -39,8 +39,21 @@ pub struct ProtocolOutcome {
 
 impl ProtocolOutcome {
     /// Convenience constructor for a run that exhausted its budget.
-    pub fn budget_exhausted(cost_model: CostModel, cost: f64, activations: u64, migrations: u64, final_discrepancy: f64) -> Self {
-        Self { cost_model, cost, activations, migrations, reached_goal: false, final_discrepancy }
+    pub fn budget_exhausted(
+        cost_model: CostModel,
+        cost: f64,
+        activations: u64,
+        migrations: u64,
+        final_discrepancy: f64,
+    ) -> Self {
+        Self {
+            cost_model,
+            cost,
+            activations,
+            migrations,
+            reached_goal: false,
+            final_discrepancy,
+        }
     }
 }
 

@@ -20,12 +20,18 @@ pub struct RlsProtocol {
 impl RlsProtocol {
     /// The `≥` variant analyzed in the paper.
     pub fn paper() -> Self {
-        Self { variant: RlsVariant::Geq, max_activations: None }
+        Self {
+            variant: RlsVariant::Geq,
+            max_activations: None,
+        }
     }
 
     /// The strict `>` variant of [12, 11].
     pub fn strict() -> Self {
-        Self { variant: RlsVariant::Strict, max_activations: None }
+        Self {
+            variant: RlsVariant::Strict,
+            max_activations: None,
+        }
     }
 
     /// Bound the number of activations (for budget-limited comparisons).
@@ -88,9 +94,10 @@ mod tests {
     #[test]
     fn budget_limits_are_respected() {
         let initial = Config::all_in_one_bin(64, 4096).unwrap();
-        let out = RlsProtocol::paper()
-            .with_max_activations(50)
-            .run(&initial, 0.0, &mut rng_from_seed(2));
+        let out =
+            RlsProtocol::paper()
+                .with_max_activations(50)
+                .run(&initial, 0.0, &mut rng_from_seed(2));
         assert!(!out.reached_goal);
         assert_eq!(out.activations, 50);
     }

@@ -1,6 +1,6 @@
 //! Synchronous distributed selfish load balancing *without* global
 //! knowledge, in the style of Berenbrink, Friedetzky, Goldberg, Goldberg,
-//! Hu and Martin (SICOMP 2007) — reference [4].
+//! Hu and Martin (SICOMP 2007) — reference \[4\].
 //!
 //! All balls act simultaneously in rounds.  Each ball samples one bin
 //! uniformly at random; if the sampled bin's load (at the start of the

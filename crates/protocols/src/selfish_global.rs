@@ -1,5 +1,5 @@
 //! Synchronous selfish rerouting with global knowledge, in the style of
-//! Even-Dar and Mansour (SODA 2005) — reference [10].
+//! Even-Dar and Mansour (SODA 2005) — reference \[10\].
 //!
 //! All balls act simultaneously in rounds.  Every ball knows the global
 //! average load `∅`.  In each round, a ball sitting in an overloaded bin
@@ -38,8 +38,7 @@ impl SelfishGlobal {
         let n = cfg.n();
         let avg = cfg.average();
         let ceil_avg = cfg.ceil_average();
-        let underloaded: Vec<usize> =
-            (0..n).filter(|&i| (cfg.load(i) as f64) < avg).collect();
+        let underloaded: Vec<usize> = (0..n).filter(|&i| (cfg.load(i) as f64) < avg).collect();
         if underloaded.is_empty() {
             return (cfg.m(), 0);
         }

@@ -49,7 +49,10 @@ impl SpeedRls {
     pub fn new(speeds: Vec<u64>, max_activations: u64) -> Self {
         assert!(!speeds.is_empty(), "need at least one bin");
         assert!(speeds.iter().all(|&s| s >= 1), "speeds must be ≥ 1");
-        Self { speeds, max_activations }
+        Self {
+            speeds,
+            max_activations,
+        }
     }
 
     /// Uniform speeds (recovers plain RLS).
@@ -71,7 +74,10 @@ impl SpeedRls {
     pub fn all_in_one_bin(&self, m: u64) -> SpeedState {
         let mut loads = vec![0u64; self.speeds.len()];
         loads[0] = m;
-        SpeedState { positions: vec![0; m as usize], loads }
+        SpeedState {
+            positions: vec![0; m as usize],
+            loads,
+        }
     }
 
     /// Experienced load of bin `i` in a state.
@@ -185,7 +191,11 @@ mod tests {
     fn uniform_speeds_recover_plain_rls_balance() {
         let proto = SpeedRls::uniform(8, 1_000_000);
         let mut state = proto.all_in_one_bin(64);
-        let out = proto.run(&mut state, SpeedGoal::Discrepancy(0.999), &mut rng_from_seed(1));
+        let out = proto.run(
+            &mut state,
+            SpeedGoal::Discrepancy(0.999),
+            &mut rng_from_seed(1),
+        );
         assert!(out.reached_goal);
         assert!(state.loads.iter().all(|&l| l == 8));
     }
@@ -215,7 +225,9 @@ mod tests {
         // At Nash stability, no ball can improve: for every non-empty bin i
         // and every bin j, (ℓ_j + 1)/s_j ≥ ℓ_i/s_i.  In particular the
         // experienced loads differ by at most max_j 1/s_j ≤ 1.
-        let max_exp = (0..8).map(|i| proto.experienced(&state, i)).fold(0.0, f64::max);
+        let max_exp = (0..8)
+            .map(|i| proto.experienced(&state, i))
+            .fold(0.0, f64::max);
         let min_exp_plus = (0..8)
             .map(|j| (state.loads[j] + 1) as f64 / speeds[j] as f64)
             .fold(f64::INFINITY, f64::min);
@@ -229,13 +241,22 @@ mod tests {
         let proto = SpeedRls::new(vec![2, 3], 10);
         // loads (4, 5): experienced 2.0 vs 5/3; moving 0 → 1 gives dest
         // (5+1)/3 = 2.0 ≤ 2.0 → allowed (non-worsening).
-        let state = SpeedState { positions: vec![], loads: vec![4, 5] };
+        let state = SpeedState {
+            positions: vec![],
+            loads: vec![4, 5],
+        };
         assert!(proto.move_allowed(&state, 0, 1));
         // loads (3, 5): 1.5 vs 5/3; moving 0 → 1 gives 2.0 > 1.5 → refused.
-        let state = SpeedState { positions: vec![], loads: vec![3, 5] };
+        let state = SpeedState {
+            positions: vec![],
+            loads: vec![3, 5],
+        };
         assert!(!proto.move_allowed(&state, 0, 1));
         // Empty source and self loops are refused.
-        let state = SpeedState { positions: vec![], loads: vec![0, 5] };
+        let state = SpeedState {
+            positions: vec![],
+            loads: vec![0, 5],
+        };
         assert!(!proto.move_allowed(&state, 0, 1));
         assert!(!proto.move_allowed(&state, 1, 1));
     }

@@ -1,5 +1,5 @@
 //! Threshold load balancing, in the style of Ackermann, Fischer, Hoefer and
-//! Schöngens (Distributed Computing 2011) — reference [1] — and its
+//! Schöngens (Distributed Computing 2011) — reference \[1\] — and its
 //! graph/weighted successors [13, 14, 6].
 //!
 //! All balls act simultaneously in rounds.  Each ball compares the load of
@@ -43,8 +43,15 @@ impl ThresholdProtocol {
     /// Protocol with the given threshold rule, per-ball move probability and
     /// round budget.
     pub fn new(rule: ThresholdRule, move_probability: f64, max_rounds: u64) -> Self {
-        assert!((0.0..=1.0).contains(&move_probability), "probability in [0,1]");
-        Self { rule, move_probability, max_rounds }
+        assert!(
+            (0.0..=1.0).contains(&move_probability),
+            "probability in [0,1]"
+        );
+        Self {
+            rule,
+            move_probability,
+            max_rounds,
+        }
     }
 
     /// The classical setup: average threshold, probability 1/2.
@@ -191,7 +198,11 @@ mod tests {
         let out = proto.run(&cfg, 0.0, &mut rng_from_seed(4));
         assert!(!out.reached_goal);
         // Maximum load should have come down to about the threshold.
-        assert!(out.final_discrepancy <= 10.0, "disc {}", out.final_discrepancy);
+        assert!(
+            out.final_discrepancy <= 10.0,
+            "disc {}",
+            out.final_discrepancy
+        );
     }
 
     #[test]
@@ -202,7 +213,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ThresholdProtocol::average_threshold(1).name(), "threshold-average");
+        assert_eq!(
+            ThresholdProtocol::average_threshold(1).name(),
+            "threshold-average"
+        );
         assert_eq!(
             ThresholdProtocol::new(ThresholdRule::Fixed(3), 0.5, 1).name(),
             "threshold-fixed"

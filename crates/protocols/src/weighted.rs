@@ -51,7 +51,10 @@ impl WeightedRls {
     pub fn new(weights: Vec<u64>, max_activations: u64) -> Self {
         assert!(!weights.is_empty(), "need at least one ball");
         assert!(weights.iter().all(|&w| w >= 1), "weights must be ≥ 1");
-        Self { weights, max_activations }
+        Self {
+            weights,
+            max_activations,
+        }
     }
 
     /// Unit weights (recovers plain RLS).
@@ -74,7 +77,10 @@ impl WeightedRls {
         assert!(n >= 1);
         let mut bin_loads = vec![0u64; n];
         bin_loads[0] = self.total_weight();
-        WeightedState { positions: vec![0; self.weights.len()], bin_loads }
+        WeightedState {
+            positions: vec![0; self.weights.len()],
+            bin_loads,
+        }
     }
 
     /// Place balls uniformly at random.
@@ -90,7 +96,10 @@ impl WeightedRls {
                 bin as u32
             })
             .collect();
-        WeightedState { positions, bin_loads }
+        WeightedState {
+            positions,
+            bin_loads,
+        }
     }
 
     /// Weighted discrepancy of a state: `max_i |L_i − W/n|`.
@@ -181,7 +190,11 @@ mod tests {
     fn unit_weights_reach_perfect_balance() {
         let proto = WeightedRls::unit(64, 1_000_000);
         let mut state = proto.all_in_one_bin(8);
-        let out = proto.run(&mut state, WeightedGoal::Discrepancy(0.0), &mut rng_from_seed(1));
+        let out = proto.run(
+            &mut state,
+            WeightedGoal::Discrepancy(0.0),
+            &mut rng_from_seed(1),
+        );
         assert!(out.reached_goal);
         assert_eq!(state.bin_loads.iter().sum::<u64>(), 64);
         assert!(proto.is_nash_stable(&state));
@@ -227,7 +240,11 @@ mod tests {
         let weights = vec![10, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
         let proto = WeightedRls::new(weights, 1_000_000);
         let mut state = proto.all_in_one_bin(4);
-        let out = proto.run(&mut state, WeightedGoal::Discrepancy(8.0), &mut rng_from_seed(5));
+        let out = proto.run(
+            &mut state,
+            WeightedGoal::Discrepancy(8.0),
+            &mut rng_from_seed(5),
+        );
         assert!(out.reached_goal);
         assert!(out.final_discrepancy <= 8.0);
     }

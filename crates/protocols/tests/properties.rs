@@ -3,11 +3,9 @@
 //! every instance.
 
 use proptest::prelude::*;
-use rls_protocols::{
-    GreedyD, RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol,
-};
 use rls_protocols::speeds::{SpeedGoal, SpeedRls};
 use rls_protocols::weighted::{WeightedGoal, WeightedRls};
+use rls_protocols::{GreedyD, RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
 use rls_rng::rng_from_seed;
 use rls_workloads::Workload;
 

@@ -30,7 +30,11 @@ pub struct StreamId {
 impl StreamId {
     /// Stream for trial `trial`, component 0, no salt.
     pub fn trial(trial: u64) -> Self {
-        Self { trial, component: 0, salt: 0 }
+        Self {
+            trial,
+            component: 0,
+            salt: 0,
+        }
     }
 
     /// Replace the component index.
@@ -94,7 +98,11 @@ mod tests {
     #[test]
     fn same_id_same_stream() {
         let f = StreamFactory::new(7);
-        let id = StreamId { trial: 3, component: 1, salt: 9 };
+        let id = StreamId {
+            trial: 3,
+            component: 1,
+            salt: 9,
+        };
         let mut a = f.rng(id);
         let mut b = f.rng(id);
         for _ in 0..100 {
@@ -114,8 +122,16 @@ mod tests {
     #[test]
     fn coordinates_do_not_commute() {
         let f = StreamFactory::new(7);
-        let a = f.sub_seed(StreamId { trial: 1, component: 2, salt: 0 });
-        let b = f.sub_seed(StreamId { trial: 2, component: 1, salt: 0 });
+        let a = f.sub_seed(StreamId {
+            trial: 1,
+            component: 2,
+            salt: 0,
+        });
+        let b = f.sub_seed(StreamId {
+            trial: 2,
+            component: 1,
+            salt: 0,
+        });
         assert_ne!(a, b);
     }
 
@@ -133,7 +149,11 @@ mod tests {
         for trial in 0..64 {
             for component in 0..8 {
                 for salt in 0..4 {
-                    seeds.push(f.sub_seed(StreamId { trial, component, salt }));
+                    seeds.push(f.sub_seed(StreamId {
+                        trial,
+                        component,
+                        salt,
+                    }));
                 }
             }
         }
@@ -146,6 +166,13 @@ mod tests {
     #[test]
     fn builder_methods_set_fields() {
         let id = StreamId::trial(5).with_component(2).with_salt(3);
-        assert_eq!(id, StreamId { trial: 5, component: 2, salt: 3 });
+        assert_eq!(
+            id,
+            StreamId {
+                trial: 5,
+                component: 2,
+                salt: 3
+            }
+        );
     }
 }

@@ -176,7 +176,9 @@ mod tests {
         let mut p = Xoshiro256PlusPlus::seed_from_u64(5);
         p.jump();
         let mut c1b = p.split();
-        let collisions = (0..1000).filter(|_| c1a.next_u64() == c1b.next_u64()).count();
+        let collisions = (0..1000)
+            .filter(|_| c1a.next_u64() == c1b.next_u64())
+            .count();
         assert!(collisions < 5);
     }
 

@@ -65,7 +65,12 @@ impl RandomDestructiveAdversary {
     /// Adversary with `attempts` attempts per event, each taken with the
     /// given probability, and an optional total budget.
     pub fn new(attempts: usize, probability: f64, budget: Option<u64>) -> Self {
-        Self { attempts, probability, budget, performed: 0 }
+        Self {
+            attempts,
+            probability,
+            budget,
+            performed: 0,
+        }
     }
 
     /// Number of destructive moves performed so far.
@@ -181,7 +186,14 @@ mod tests {
         let mut s = sim(4, 16);
         let mut rng = rng_from_seed(1);
         let before = s.config().clone();
-        let event = Event { time: 0.1, ball: 0, source: 0, dest: 1, moved: true, activations: 1 };
+        let event = Event {
+            time: 0.1,
+            ball: 0,
+            source: 0,
+            dest: 1,
+            moved: true,
+            activations: 1,
+        };
         NoAdversary.after_event(&event, &mut s, &mut rng);
         assert_eq!(s.config(), &before);
     }

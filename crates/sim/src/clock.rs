@@ -76,7 +76,10 @@ impl ClockEngine {
         }
         let mut heap = BinaryHeap::with_capacity(m as usize);
         for ball in 0..m as u32 {
-            heap.push(Ring { time: unit_clock.sample(rng), ball });
+            heap.push(Ring {
+                time: unit_clock.sample(rng),
+                ball,
+            });
         }
         let tracker = LoadTracker::new(&initial);
         Self {
@@ -109,7 +112,10 @@ impl ClockEngine {
 
     /// Process the earliest pending ring.
     pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Event {
-        let ring = self.heap.pop().expect("heap always holds one entry per ball");
+        let ring = self
+            .heap
+            .pop()
+            .expect("heap always holds one entry per ball");
         self.time = ring.time;
         self.activations += 1;
         let ball = ring.ball as usize;
@@ -117,9 +123,15 @@ impl ClockEngine {
         let dest = rng.next_index(self.cfg.n());
 
         let mut moved = false;
-        if source != dest && self.rule.permits_loads(self.cfg.load(source), self.cfg.load(dest)) {
+        if source != dest
+            && self
+                .rule
+                .permits_loads(self.cfg.load(source), self.cfg.load(dest))
+        {
             let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
-            self.cfg.apply(Move::new(source, dest)).expect("legal move applies");
+            self.cfg
+                .apply(Move::new(source, dest))
+                .expect("legal move applies");
             self.tracker.record_move(lf, lt);
             self.balls[ball] = dest as u32;
             self.migrations += 1;
@@ -127,7 +139,10 @@ impl ClockEngine {
         }
 
         // Re-arm the clock.
-        self.heap.push(Ring { time: self.time + self.unit_clock.sample(rng), ball: ring.ball });
+        self.heap.push(Ring {
+            time: self.time + self.unit_clock.sample(rng),
+            ball: ring.ball,
+        });
 
         Event {
             time: self.time,
@@ -218,15 +233,27 @@ mod tests {
         for t in 0..trials as u64 {
             let cfg = Config::all_in_one_bin(n, m).unwrap();
             let mut engine = ClockEngine::new(cfg, RlsRule::paper(), &mut rng_from_seed(100 + t));
-            clock_times.push(engine.run(&mut rng_from_seed(200 + t), StopWhen::perfectly_balanced()).time);
+            clock_times.push(
+                engine
+                    .run(&mut rng_from_seed(200 + t), StopWhen::perfectly_balanced())
+                    .time,
+            );
 
             let cfg = Config::all_in_one_bin(n, m).unwrap();
             let mut sim = Simulation::new(cfg, RlsPolicy::new(RlsRule::paper())).unwrap();
-            super_times.push(sim.run(&mut rng_from_seed(300 + t), StopWhen::perfectly_balanced()).time);
+            super_times.push(
+                sim.run(&mut rng_from_seed(300 + t), StopWhen::perfectly_balanced())
+                    .time,
+            );
         }
         let c = Summary::from_samples(&clock_times);
         let s = Summary::from_samples(&super_times);
         let rel = (c.mean - s.mean).abs() / s.mean;
-        assert!(rel < 0.35, "means differ too much: clock {} vs superposition {}", c.mean, s.mean);
+        assert!(
+            rel < 0.35,
+            "means differ too much: clock {} vs superposition {}",
+            c.mean,
+            s.mean
+        );
     }
 }

@@ -141,7 +141,12 @@ impl DmlExperiment {
                 let plain: Vec<f64> = per_trial.iter().map(|(p, _)| p[ci]).collect();
                 let adversarial: Vec<f64> = per_trial.iter().map(|(_, a)| a[ci]).collect();
                 let report = dominance_report(&adversarial, &plain);
-                CheckpointComparison { time, plain, adversarial, report }
+                CheckpointComparison {
+                    time,
+                    plain,
+                    adversarial,
+                    report,
+                }
             })
             .collect()
     }
@@ -262,6 +267,9 @@ mod tests {
             .with_threads(4)
             .run(|_| RandomDestructiveAdversary::new(1, 1.0, None));
         let total_gap: f64 = comparisons.iter().map(|c| c.report.mean_gap).sum();
-        assert!(total_gap > 0.0, "adversarial runs should be slower on average");
+        assert!(
+            total_gap > 0.0,
+            "adversarial runs should be slower on average"
+        );
     }
 }

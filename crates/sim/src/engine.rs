@@ -8,7 +8,7 @@
 //! is an exact simulation of the continuous-time law, not a discretization.
 //!
 //! The engine is generic over a [`Policy`] (which move rule to apply) and an
-//! [`Adversary`](crate::Adversary) (the destructive-move injector used by
+//! [`Adversary`] (the destructive-move injector used by
 //! the Lemma 2 experiments).  Progress quantities (discrepancy, overloaded
 //! balls, Phase-2 potential) are maintained incrementally through
 //! [`LoadTracker`], so checking a stopping condition after every event is
@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn construction_errors() {
         let empty = Config::from_loads(vec![0, 0]).unwrap();
-        assert_eq!(Simulation::new(empty, rls()).unwrap_err(), SimError::NoBalls);
+        assert_eq!(
+            Simulation::new(empty, rls()).unwrap_err(),
+            SimError::NoBalls
+        );
         assert!(SimError::NoBalls.to_string().contains("at least one ball"));
         assert!(SimError::TooManyBalls.to_string().contains("u32::MAX"));
     }

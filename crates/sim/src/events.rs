@@ -32,7 +32,14 @@ mod tests {
 
     #[test]
     fn self_sample_detection() {
-        let mut e = Event { time: 1.0, ball: 0, source: 3, dest: 3, moved: false, activations: 1 };
+        let mut e = Event {
+            time: 1.0,
+            ball: 0,
+            source: 3,
+            dest: 3,
+            moved: false,
+            activations: 1,
+        };
         assert!(e.is_self_sample());
         e.dest = 4;
         assert!(!e.is_self_sample());

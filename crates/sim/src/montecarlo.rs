@@ -58,7 +58,10 @@ pub struct MonteCarloReport {
 
 impl MonteCarloReport {
     fn from_trials(trials: Vec<TrialResult>) -> Self {
-        assert!(!trials.is_empty(), "Monte-Carlo experiment needs at least one trial");
+        assert!(
+            !trials.is_empty(),
+            "Monte-Carlo experiment needs at least one trial"
+        );
         let times: Vec<f64> = trials.iter().map(|t| t.time).collect();
         let acts: Vec<f64> = trials.iter().map(|t| t.activations as f64).collect();
         let migs: Vec<f64> = trials.iter().map(|t| t.migrations as f64).collect();
@@ -97,7 +100,12 @@ impl MonteCarlo {
     /// all cores — results are identical either way.
     pub fn new(trials: usize, master_seed: u64) -> Self {
         assert!(trials > 0, "at least one trial is required");
-        Self { trials, master_seed, threads: 1, salt: 0 }
+        Self {
+            trials,
+            master_seed,
+            threads: 1,
+            salt: 0,
+        }
     }
 
     /// Use the default number of worker threads.
@@ -127,7 +135,7 @@ impl MonteCarlo {
     /// Run the experiment with a fixed initial configuration and policy.
     ///
     /// `make_policy` is invoked once per trial so stateful policies are
-    /// possible; for plain RLS pass a closure returning [`RlsPolicy`].
+    /// possible; for plain RLS pass a closure returning [`RlsPolicy`](crate::engine::RlsPolicy).
     pub fn run<P, F>(&self, initial: &Config, stop: StopWhen, make_policy: F) -> MonteCarloReport
     where
         P: Policy,
@@ -200,17 +208,27 @@ mod tests {
     fn sequential_and_parallel_agree_exactly() {
         let initial = Config::all_in_one_bin(6, 48).unwrap();
         let seq = MonteCarlo::new(12, 7).run(&initial, StopWhen::perfectly_balanced(), policy);
-        let par = MonteCarlo::new(12, 7)
-            .with_threads(4)
-            .run(&initial, StopWhen::perfectly_balanced(), policy);
+        let par = MonteCarlo::new(12, 7).with_threads(4).run(
+            &initial,
+            StopWhen::perfectly_balanced(),
+            policy,
+        );
         assert_eq!(seq.trials, par.trials);
     }
 
     #[test]
     fn different_salts_give_different_results() {
         let initial = Config::all_in_one_bin(6, 48).unwrap();
-        let a = MonteCarlo::new(8, 7).with_salt(0).run(&initial, StopWhen::perfectly_balanced(), policy);
-        let b = MonteCarlo::new(8, 7).with_salt(1).run(&initial, StopWhen::perfectly_balanced(), policy);
+        let a = MonteCarlo::new(8, 7).with_salt(0).run(
+            &initial,
+            StopWhen::perfectly_balanced(),
+            policy,
+        );
+        let b = MonteCarlo::new(8, 7).with_salt(1).run(
+            &initial,
+            StopWhen::perfectly_balanced(),
+            policy,
+        );
         assert_ne!(a.trials, b.trials);
     }
 

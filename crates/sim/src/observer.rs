@@ -65,7 +65,11 @@ impl TimeSeries {
     /// taken at the first event at or after `interval`).
     pub fn new(interval: f64) -> Self {
         assert!(interval > 0.0, "sampling interval must be positive");
-        Self { interval, next_sample: interval, points: Vec::new() }
+        Self {
+            interval,
+            next_sample: interval,
+            points: Vec::new(),
+        }
     }
 
     /// The recorded samples.
@@ -112,7 +116,11 @@ impl PhaseTracker {
     /// Track the given discrepancy thresholds (any order).
     pub fn new(thresholds: Vec<f64>) -> Self {
         let len = thresholds.len();
-        Self { thresholds, hit_times: vec![None; len], hit_activations: vec![None; len] }
+        Self {
+            thresholds,
+            hit_times: vec![None; len],
+            hit_activations: vec![None; len],
+        }
     }
 
     /// The thresholds being tracked.

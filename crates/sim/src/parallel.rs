@@ -3,17 +3,16 @@
 //!
 //! The trials of an experiment are independent (each gets its own RNG stream
 //! derived from the master seed), so the only parallel structure needed is a
-//! fork-join map over trial indices.  We build it on `crossbeam::scope` plus
-//! an atomic work counter: workers repeatedly claim the next index, compute,
-//! and write the result into its slot.  Dynamic claiming (rather than static
-//! chunking) keeps all cores busy even though balancing times vary wildly
-//! between trials — exactly the load-imbalance phenomenon the paper studies,
-//! showing up in our own harness.  The `parallel_granularity` ablation bench
-//! compares this against static chunking.
+//! fork-join map over trial indices.  We build it on `std::thread::scope`
+//! plus an atomic work counter: workers repeatedly claim the next index,
+//! compute, and collect `(index, result)` pairs that are merged in order at
+//! join time.  Dynamic claiming (rather than static chunking) keeps all
+//! cores busy even though balancing times vary wildly between trials —
+//! exactly the load-imbalance phenomenon the paper studies, showing up in
+//! our own harness.  The `parallel_granularity` ablation bench compares this
+//! against static chunking.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 /// Run `f(i)` for every `i in 0..count` on `threads` worker threads and
 /// collect the results in index order.
@@ -21,7 +20,7 @@ use parking_lot::Mutex;
 /// `threads == 0` or `threads == 1`, or a trivially small `count`, falls
 /// back to a sequential loop (no thread setup cost).
 ///
-/// Panics in the closure propagate: crossbeam's scope joins all workers and
+/// Panics in the closure propagate: the scope joins all workers and
 /// re-raises, so a failing trial cannot be silently dropped.
 pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
 where
@@ -35,30 +34,34 @@ where
         return (0..count).map(f).collect();
     }
     let threads = threads.min(count);
-
-    // Pre-size the result buffer with None slots guarded by a mutex each;
-    // contention is negligible because each slot is written exactly once.
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let f = &f;
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                *slots[i].lock() = Some(value);
-            });
+    let mut pairs: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => pairs.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("a Monte-Carlo worker panicked");
+    });
 
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot written exactly once"))
-        .collect()
+    into_index_order(count, pairs)
 }
 
 /// Run `f(i)` for every `i in 0..count` with static contiguous chunking
@@ -77,27 +80,35 @@ where
     }
     let threads = threads.min(count);
     let chunk = count.div_ceil(threads);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let f = &f;
 
-    crossbeam::scope(|scope| {
-        for w in 0..threads {
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move |_| {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(count);
-                for i in start..end {
-                    *slots[i].lock() = Some(f(i));
-                }
-            });
+    let mut pairs: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(count);
+                    (start..end).map(|i| (i, f(i))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => pairs.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("a Monte-Carlo worker panicked");
+    });
 
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot written exactly once"))
-        .collect()
+    into_index_order(count, pairs)
+}
+
+/// Reassemble worker-local `(index, value)` pairs into index order.
+fn into_index_order<T>(count: usize, mut pairs: Vec<(usize, T)>) -> Vec<T> {
+    debug_assert_eq!(pairs.len(), count, "every index computed exactly once");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Number of worker threads to use by default: the available parallelism,
@@ -156,6 +167,19 @@ mod tests {
             acc.wrapping_add(i as u64)
         });
         assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(16, 4, |i| {
+                if i == 7 {
+                    panic!("trial failed");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

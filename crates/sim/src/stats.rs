@@ -182,8 +182,16 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     }
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if sxx > 0.0 && syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
-    LinearFit { intercept, slope, r_squared }
+    let r_squared = if sxx > 0.0 && syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
 }
 
 /// Fit `y ≈ c · x^b` by regressing `ln y` on `ln x`; returns the exponent
@@ -224,7 +232,10 @@ pub struct DominanceReport {
 /// balancing time (and discrepancy trajectory) *with* adversarial
 /// destructive moves should dominate the one without.
 pub fn dominance_report(a: &[f64], b: &[f64]) -> DominanceReport {
-    assert!(!a.is_empty() && !b.is_empty(), "dominance test needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "dominance test needs non-empty samples"
+    );
     let mut points: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
     points.sort_by(|x, y| x.partial_cmp(y).unwrap_or(core::cmp::Ordering::Equal));
     points.dedup();
@@ -238,7 +249,11 @@ pub fn dominance_report(a: &[f64], b: &[f64]) -> DominanceReport {
     }
     let mean_a = a.iter().sum::<f64>() / a.len() as f64;
     let mean_b = b.iter().sum::<f64>() / b.len() as f64;
-    DominanceReport { max_cdf_gap: max_gap, max_violation, mean_gap: mean_a - mean_b }
+    DominanceReport {
+        max_cdf_gap: max_gap,
+        max_violation,
+        mean_gap: mean_a - mean_b,
+    }
 }
 
 #[cfg(test)]

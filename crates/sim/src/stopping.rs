@@ -33,22 +33,38 @@ pub struct StopWhen {
 impl StopWhen {
     /// Stop at perfect balance (`disc < 1`).
     pub fn perfectly_balanced() -> Self {
-        Self { goal: Goal::PerfectBalance, max_time: None, max_activations: None }
+        Self {
+            goal: Goal::PerfectBalance,
+            max_time: None,
+            max_activations: None,
+        }
     }
 
     /// Stop at `x`-balance (`disc ≤ x`).
     pub fn x_balanced(x: f64) -> Self {
-        Self { goal: Goal::XBalanced(x), max_time: None, max_activations: None }
+        Self {
+            goal: Goal::XBalanced(x),
+            max_time: None,
+            max_activations: None,
+        }
     }
 
     /// Stop when the number of overloaded balls drops to `limit` or below.
     pub fn overloaded_balls_at_most(limit: u64) -> Self {
-        Self { goal: Goal::OverloadedBallsAtMost(limit), max_time: None, max_activations: None }
+        Self {
+            goal: Goal::OverloadedBallsAtMost(limit),
+            max_time: None,
+            max_activations: None,
+        }
     }
 
     /// No goal; only budgets stop the run.
     pub fn never() -> Self {
-        Self { goal: Goal::Never, max_time: None, max_activations: None }
+        Self {
+            goal: Goal::Never,
+            max_time: None,
+            max_activations: None,
+        }
     }
 
     /// Add a bound on simulated time.

@@ -47,6 +47,13 @@ pub enum Workload {
     /// The `Ω(n²/m)` lower-bound instance: one bin at `∅+1`, one at `∅−1`,
     /// the rest exactly at `∅` (requires `n ≥ 2` and `n | m` with `∅ ≥ 1`).
     OneOverOneUnder,
+    /// A 1-balanced start with `pairs` bins at `∅ + 1` and `pairs` bins at
+    /// `∅ − 1` (the Phase-3 / Lemma-17 shape; requires `n | m`, `∅ ≥ 1` and
+    /// `2 · pairs ≤ n`).
+    OverUnderPairs {
+        /// Number of over/under bin pairs.
+        pairs: usize,
+    },
     /// Each ball placed in a Zipf-distributed bin (bin 1 hottest).
     Zipf {
         /// Zipf exponent (`0` = uniform, larger = more skew).
@@ -69,6 +76,7 @@ impl Workload {
             Workload::TwoChoices => "two-choices",
             Workload::Balanced => "balanced",
             Workload::OneOverOneUnder => "one-over-one-under",
+            Workload::OverUnderPairs { .. } => "over-under-pairs",
             Workload::Zipf { .. } => "zipf",
             Workload::BlockImbalance { .. } => "block-imbalance",
         }
@@ -129,6 +137,25 @@ impl Workload {
                 loads[1] = avg - 1;
                 Ok(Config::from_loads(loads)?)
             }
+            Workload::OverUnderPairs { pairs } => {
+                if m % n as u64 != 0 || m / n as u64 == 0 {
+                    return Err(GeneratorError::Incompatible(
+                        "over-under-pairs needs n | m and m ≥ n",
+                    ));
+                }
+                if pairs == 0 || 2 * pairs > n {
+                    return Err(GeneratorError::Incompatible(
+                        "over-under-pairs needs 1 ≤ pairs ≤ n/2",
+                    ));
+                }
+                let avg = m / n as u64;
+                let mut loads = vec![avg; n];
+                for i in 0..pairs {
+                    loads[i] = avg + 1;
+                    loads[n - 1 - i] = avg - 1;
+                }
+                Ok(Config::from_loads(loads)?)
+            }
             Workload::Zipf { exponent } => {
                 let zipf = Zipf::new(n as u64, exponent)
                     .map_err(|_| GeneratorError::Incompatible("invalid Zipf exponent"))?;
@@ -141,7 +168,9 @@ impl Workload {
             }
             Workload::BlockImbalance { offset } => {
                 if n % 2 != 0 {
-                    return Err(GeneratorError::Incompatible("block imbalance needs an even n"));
+                    return Err(GeneratorError::Incompatible(
+                        "block imbalance needs an even n",
+                    ));
                 }
                 if m % n as u64 != 0 {
                     return Err(GeneratorError::Incompatible("block imbalance needs n | m"));
@@ -154,7 +183,11 @@ impl Workload {
                 }
                 let mut loads = vec![0u64; n];
                 for (i, load) in loads.iter_mut().enumerate() {
-                    *load = if i < n / 2 { avg + offset } else { avg - offset };
+                    *load = if i < n / 2 {
+                        avg + offset
+                    } else {
+                        avg - offset
+                    };
                 }
                 Ok(Config::from_loads(loads)?)
             }
@@ -171,12 +204,17 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Workload::AllInOneBin.name(), "all-in-one-bin");
         assert_eq!(Workload::Zipf { exponent: 1.0 }.name(), "zipf");
-        assert_eq!(Workload::BlockImbalance { offset: 1 }.name(), "block-imbalance");
+        assert_eq!(
+            Workload::BlockImbalance { offset: 1 }.name(),
+            "block-imbalance"
+        );
     }
 
     #[test]
     fn all_in_one_bin_shape() {
-        let cfg = Workload::AllInOneBin.generate(8, 40, &mut rng_from_seed(1)).unwrap();
+        let cfg = Workload::AllInOneBin
+            .generate(8, 40, &mut rng_from_seed(1))
+            .unwrap();
         assert_eq!(cfg.load(0), 40);
         assert_eq!(cfg.max_load(), 40);
         assert_eq!(cfg.loads()[1..].iter().sum::<u64>(), 0);
@@ -184,7 +222,9 @@ mod tests {
 
     #[test]
     fn uniform_random_conserves_and_spreads() {
-        let cfg = Workload::UniformRandom.generate(32, 32_000, &mut rng_from_seed(2)).unwrap();
+        let cfg = Workload::UniformRandom
+            .generate(32, 32_000, &mut rng_from_seed(2))
+            .unwrap();
         assert_eq!(cfg.m(), 32_000);
         // With 1000 balls per bin on average, discrepancy should be modest.
         assert!(cfg.discrepancy() < 200.0);
@@ -194,16 +234,26 @@ mod tests {
     #[test]
     fn two_choices_is_much_tighter_than_uniform() {
         let mut rng = rng_from_seed(3);
-        let uni = Workload::UniformRandom.generate(64, 64 * 64, &mut rng).unwrap();
-        let two = Workload::TwoChoices.generate(64, 64 * 64, &mut rng).unwrap();
+        let uni = Workload::UniformRandom
+            .generate(64, 64 * 64, &mut rng)
+            .unwrap();
+        let two = Workload::TwoChoices
+            .generate(64, 64 * 64, &mut rng)
+            .unwrap();
         assert!(two.discrepancy() <= uni.discrepancy());
-        assert!(two.discrepancy() < 6.0, "two-choices disc {}", two.discrepancy());
+        assert!(
+            two.discrepancy() < 6.0,
+            "two-choices disc {}",
+            two.discrepancy()
+        );
     }
 
     #[test]
     fn balanced_is_perfect() {
         for (n, m) in [(8usize, 64u64), (7, 61), (5, 3)] {
-            let cfg = Workload::Balanced.generate(n, m, &mut rng_from_seed(4)).unwrap();
+            let cfg = Workload::Balanced
+                .generate(n, m, &mut rng_from_seed(4))
+                .unwrap();
             assert!(cfg.is_perfectly_balanced(), "n={n} m={m}");
             assert_eq!(cfg.m(), m);
         }
@@ -211,13 +261,41 @@ mod tests {
 
     #[test]
     fn one_over_one_under_shape_and_errors() {
-        let cfg = Workload::OneOverOneUnder.generate(8, 64, &mut rng_from_seed(5)).unwrap();
+        let cfg = Workload::OneOverOneUnder
+            .generate(8, 64, &mut rng_from_seed(5))
+            .unwrap();
         assert_eq!(cfg.discrepancy(), 1.0);
         assert_eq!(cfg.overloaded_balls(), 1);
         assert_eq!(cfg.holes(), 1);
-        assert!(Workload::OneOverOneUnder.generate(1, 10, &mut rng_from_seed(5)).is_err());
-        assert!(Workload::OneOverOneUnder.generate(8, 63, &mut rng_from_seed(5)).is_err());
-        assert!(Workload::OneOverOneUnder.generate(8, 0, &mut rng_from_seed(5)).is_err());
+        assert!(Workload::OneOverOneUnder
+            .generate(1, 10, &mut rng_from_seed(5))
+            .is_err());
+        assert!(Workload::OneOverOneUnder
+            .generate(8, 63, &mut rng_from_seed(5))
+            .is_err());
+        assert!(Workload::OneOverOneUnder
+            .generate(8, 0, &mut rng_from_seed(5))
+            .is_err());
+    }
+
+    #[test]
+    fn over_under_pairs_shape_and_errors() {
+        let cfg = Workload::OverUnderPairs { pairs: 2 }
+            .generate(8, 64, &mut rng_from_seed(5))
+            .unwrap();
+        assert_eq!(cfg.discrepancy(), 1.0);
+        assert_eq!(cfg.overloaded_balls(), 2);
+        assert_eq!(cfg.holes(), 2);
+        assert_eq!(cfg.loads(), &[9, 9, 8, 8, 8, 8, 7, 7]);
+        assert!(Workload::OverUnderPairs { pairs: 0 }
+            .generate(8, 64, &mut rng_from_seed(5))
+            .is_err());
+        assert!(Workload::OverUnderPairs { pairs: 5 }
+            .generate(8, 64, &mut rng_from_seed(5))
+            .is_err());
+        assert!(Workload::OverUnderPairs { pairs: 2 }
+            .generate(8, 63, &mut rng_from_seed(5))
+            .is_err());
     }
 
     #[test]
@@ -255,21 +333,31 @@ mod tests {
     #[test]
     fn zero_bins_is_rejected_for_all() {
         let mut rng = rng_from_seed(8);
-        for w in [Workload::AllInOneBin, Workload::UniformRandom, Workload::Balanced] {
+        for w in [
+            Workload::AllInOneBin,
+            Workload::UniformRandom,
+            Workload::Balanced,
+        ] {
             assert!(w.generate(0, 10, &mut rng).is_err());
         }
     }
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = Workload::UniformRandom.generate(16, 400, &mut rng_from_seed(9)).unwrap();
-        let b = Workload::UniformRandom.generate(16, 400, &mut rng_from_seed(9)).unwrap();
+        let a = Workload::UniformRandom
+            .generate(16, 400, &mut rng_from_seed(9))
+            .unwrap();
+        let b = Workload::UniformRandom
+            .generate(16, 400, &mut rng_from_seed(9))
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn error_display() {
-        let e = Workload::OneOverOneUnder.generate(1, 1, &mut rng_from_seed(10)).unwrap_err();
+        let e = Workload::OneOverOneUnder
+            .generate(1, 1, &mut rng_from_seed(10))
+            .unwrap_err();
         assert!(e.to_string().contains("incompatible"));
         let e2 = GeneratorError::Config(ConfigError::NoBins);
         assert!(e2.to_string().contains("configuration error"));

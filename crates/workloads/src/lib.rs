@@ -18,7 +18,11 @@
 //! * [`Workload::Balanced`] — already perfectly balanced (sanity baseline).
 //! * [`Workload::BlockImbalance`] — half the bins at `∅ + x`, half at
 //!   `∅ − x`, the shape the Phase-1 proof of Lemma 13 reduces to.
-//! * [`Workload::Explicit`] — any explicit load vector.
+//! * [`Workload::OverUnderPairs`] — a 1-balanced start with `k` over/under
+//!   bin pairs, the Phase-3 (Lemma 17) shape.
+//!
+//! Workloads are plain serializable values, so campaign specs
+//! (`rls-campaign`) can name them in TOML/JSON grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ mod tests {
             Workload::TwoChoices,
             Workload::Balanced,
             Workload::OneOverOneUnder,
+            Workload::OverUnderPairs { pairs: 3 },
             Workload::Zipf { exponent: 1.2 },
             Workload::BlockImbalance { offset: 4 },
         ] {

@@ -34,9 +34,15 @@ fn main() {
     let (series, phases) = observers;
 
     println!("# discrepancy trajectory  (n = {n}, m = {m}, all balls in bin 0)");
-    println!("{:>10}  {:>12}  {:>12}", "time", "discrepancy", "overloaded");
+    println!(
+        "{:>10}  {:>12}  {:>12}",
+        "time", "discrepancy", "overloaded"
+    );
     for p in series.points().iter().take(60) {
-        println!("{:>10.2}  {:>12.2}  {:>12}", p.time, p.discrepancy, p.overloaded_balls);
+        println!(
+            "{:>10.2}  {:>12.2}  {:>12}",
+            p.time, p.discrepancy, p.overloaded_balls
+        );
     }
     if series.points().len() > 60 {
         println!("... ({} samples total)", series.points().len());

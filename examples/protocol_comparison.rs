@@ -7,9 +7,7 @@
 //! cargo run --release -p rls-cli --example protocol_comparison
 //! ```
 
-use rls_protocols::{
-    GreedyD, RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol,
-};
+use rls_protocols::{GreedyD, RlsProtocol, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
 use rls_rng::rng_from_seed;
 use rls_workloads::Workload;
 
@@ -18,7 +16,9 @@ fn main() {
     let m = 64 * 32;
     let target = 1.0; // 1-balanced
     let mut rng = rng_from_seed(99);
-    let start = Workload::UniformRandom.generate(n, m, &mut rng).expect("valid workload");
+    let start = Workload::UniformRandom
+        .generate(n, m, &mut rng)
+        .expect("valid workload");
     println!(
         "# workload: uniform random throw, n = {n}, m = {m}, initial discrepancy {:.2}",
         start.discrepancy()
@@ -33,26 +33,75 @@ fn main() {
     };
 
     let out = RlsProtocol::paper().run(&start, target, &mut rng);
-    report("rls (this paper)", out.cost, "time", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "rls (this paper)",
+        out.cost,
+        "time",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     let out = RlsProtocol::strict().run(&start, target, &mut rng);
-    report("rls strict [12,11]", out.cost, "time", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "rls strict [12,11]",
+        out.cost,
+        "time",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     let out = SelfishGlobal::new(10_000).run(&start, target, &mut rng);
-    report("selfish global [10]", out.cost, "rounds", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "selfish global [10]",
+        out.cost,
+        "rounds",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     let out = SelfishDistributed::new(10_000).run(&start, target, &mut rng);
-    report("selfish distrib. [4]", out.cost, "rounds", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "selfish distrib. [4]",
+        out.cost,
+        "rounds",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     let out = ThresholdProtocol::average_threshold(10_000).run(&start, target, &mut rng);
-    report("threshold avg [1]", out.cost, "rounds", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "threshold avg [1]",
+        out.cost,
+        "rounds",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     // One-shot placements for reference: how balanced can you get without
     // reallocating at all?
     let out = GreedyD::one_choice().run(n, m, target, &mut rng);
-    report("greedy-1 (random)", out.cost, "probes", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "greedy-1 (random)",
+        out.cost,
+        "probes",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
     let out = GreedyD::two_choices().run(n, m, target, &mut rng);
-    report("greedy-2 [17]", out.cost, "probes", out.activations, out.final_discrepancy, out.reached_goal);
+    report(
+        "greedy-2 [17]",
+        out.cost,
+        "probes",
+        out.activations,
+        out.final_discrepancy,
+        out.reached_goal,
+    );
 
     println!("\nNote: continuous time, rounds and probes are different units (one RLS time");
     println!("unit activates ~m balls, like one synchronous round); the interesting columns");

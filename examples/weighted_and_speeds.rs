@@ -29,7 +29,9 @@ fn main() {
         ),
         (
             "heavy hitters (1 or 16)",
-            (0..m).map(|i| if i % 16 == 0 { 16 } else { 1 }).collect::<Vec<_>>(),
+            (0..m)
+                .map(|i| if i % 16 == 0 { 16 } else { 1 })
+                .collect::<Vec<_>>(),
         ),
     ] {
         let proto = WeightedRls::new(weights, 100_000_000);
@@ -48,8 +50,18 @@ fn main() {
     );
     for (label, speeds) in [
         ("uniform", vec![1u64; n]),
-        ("half fast (speed 2)", (0..n).map(|i| if i % 2 == 0 { 2 } else { 1 }).collect::<Vec<_>>()),
-        ("one very fast (speed 8)", (0..n).map(|i| if i == 0 { 8 } else { 1 }).collect::<Vec<_>>()),
+        (
+            "half fast (speed 2)",
+            (0..n)
+                .map(|i| if i % 2 == 0 { 2 } else { 1 })
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "one very fast (speed 8)",
+            (0..n)
+                .map(|i| if i == 0 { 8 } else { 1 })
+                .collect::<Vec<_>>(),
+        ),
     ] {
         let proto = SpeedRls::new(speeds, 100_000_000);
         let mut state = proto.all_in_one_bin(m as u64);

@@ -1,0 +1,23 @@
+//! # rls — facade over the RLS load-balancing reproduction workspace
+//!
+//! This crate re-exports every workspace crate under one roof so that the
+//! top-level integration tests and examples (and downstream users who just
+//! want "the whole thing") can write `rls::core::Config` instead of
+//! depending on each member crate individually.
+//!
+//! The workspace reproduces *Tight Load Balancing via Randomized Local
+//! Search* (Berenbrink, Kling, Liaw, Mehrabian; IPDPS 2017).  See the
+//! repository README for the crate map and quickstart commands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rls_analysis as analysis;
+pub use rls_campaign as campaign;
+pub use rls_cli as cli;
+pub use rls_core as core;
+pub use rls_graph as graph;
+pub use rls_protocols as protocols;
+pub use rls_rng as rng;
+pub use rls_sim as sim;
+pub use rls_workloads as workloads;

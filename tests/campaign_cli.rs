@@ -1,0 +1,50 @@
+//! Acceptance test for the campaign workflow: the shipped Theorem-1
+//! scaling spec runs end-to-end through the CLI's campaign commands,
+//! persists to a disk store, and a second invocation executes zero cells.
+
+use rls::cli::{execute_campaign, parse_campaign_args, CampaignCommand};
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn theorem1_spec_runs_end_to_end_and_caches() {
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/theorem1_scaling.toml");
+    let base = std::env::temp_dir().join(format!("rls-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store = base.join("store").to_string_lossy().to_string();
+
+    // `campaign run` — executes the full grid.
+    let run = parse_campaign_args(&strings(&["run", spec, "--store", &store])).unwrap();
+    let summary = execute_campaign(&run).unwrap();
+    assert!(
+        summary.contains("6 cells (6 executed, 0 cached)"),
+        "first run should execute the whole grid: {summary}"
+    );
+
+    // Results are on disk.
+    assert!(base.join("store").is_dir());
+    let status = execute_campaign(&CampaignCommand::Status {
+        spec: spec.to_string(),
+        store: store.clone(),
+    })
+    .unwrap();
+    assert!(status.contains("6 cells, 6 cached, 0 to run"), "{status}");
+
+    // Second invocation: zero re-executed cells.
+    let summary = execute_campaign(&run).unwrap();
+    assert!(
+        summary.contains("6 cells (0 executed, 6 cached)"),
+        "second run must be fully served from the store: {summary}"
+    );
+
+    // Export reads the same store and covers every cell.
+    let export =
+        parse_campaign_args(&strings(&["export", spec, "--store", &store, "--csv"])).unwrap();
+    let csv = execute_campaign(&export).unwrap();
+    assert_eq!(csv.trim().lines().count(), 7, "header + 6 cells:\n{csv}");
+    assert!(csv.lines().skip(1).all(|line| line.contains("rls-geq")));
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -89,11 +89,17 @@ fn adversary_with_zero_budget_changes_nothing() {
         let mut rng = factory.rng(StreamId::trial(trial));
         let t_plain = plain.run(&mut rng, StopWhen::perfectly_balanced()).time;
 
-        let mut with_adv = Simulation::new(initial.clone(), RlsPolicy::new(RlsRule::paper())).unwrap();
+        let mut with_adv =
+            Simulation::new(initial.clone(), RlsPolicy::new(RlsRule::paper())).unwrap();
         let mut rng = factory.rng(StreamId::trial(trial));
         let mut adversary = RandomDestructiveAdversary::new(4, 1.0, Some(0));
         let t_adv = with_adv
-            .run_with(&mut rng, StopWhen::perfectly_balanced(), &mut adversary, &mut ())
+            .run_with(
+                &mut rng,
+                StopWhen::perfectly_balanced(),
+                &mut adversary,
+                &mut (),
+            )
             .time;
         assert_eq!(t_plain, t_adv);
         assert_eq!(adversary.performed(), 0);

@@ -40,11 +40,11 @@ fn every_workload_balances_under_rls() {
 fn monte_carlo_replay_is_bit_for_bit() {
     let initial = Config::all_in_one_bin(12, 96).unwrap();
     let run = |threads: usize| {
-        MonteCarlo::new(10, 777)
-            .with_threads(threads)
-            .run(&initial, StopWhen::perfectly_balanced(), |_| {
-                RlsPolicy::new(RlsRule::paper())
-            })
+        MonteCarlo::new(10, 777).with_threads(threads).run(
+            &initial,
+            StopWhen::perfectly_balanced(),
+            |_| RlsPolicy::new(RlsRule::paper()),
+        )
     };
     let a = run(1);
     let b = run(4);

@@ -34,7 +34,10 @@ fn dense_regime_grows_logarithmically() {
         .collect();
     // Times must grow, but much slower than n: quadrupling n from 32 to 128
     // should far less than quadruple the time.
-    assert!(times[3] > times[0] * 0.5, "time should not collapse: {times:?}");
+    assert!(
+        times[3] > times[0] * 0.5,
+        "time should not collapse: {times:?}"
+    );
     assert!(
         times[3] < times[1] * 3.0,
         "time grew too fast for a logarithmic law: {times:?}"
@@ -97,11 +100,12 @@ fn no_heavy_tail_beyond_the_whp_bound() {
     let initial = Workload::AllInOneBin
         .generate(n, m, &mut rls_rng::rng_from_seed(46))
         .unwrap();
-    let report = MonteCarlo::new(40, 46).parallel().run(
-        &initial,
-        StopWhen::perfectly_balanced(),
-        |_| RlsPolicy::new(RlsRule::paper()),
-    );
+    let report =
+        MonteCarlo::new(40, 46)
+            .parallel()
+            .run(&initial, StopWhen::perfectly_balanced(), |_| {
+                RlsPolicy::new(RlsRule::paper())
+            });
     let whp = TheoremOneBound::new(n, m).whp_shape();
     assert!(
         report.time.max <= 3.0 * whp,

@@ -1,0 +1,253 @@
+//! # criterion (vendored stand-in)
+//!
+//! The workspace builds offline, so this shim replaces the crates-io
+//! `criterion` with a small wall-clock harness exposing the same surface
+//! the bench targets use: [`Criterion`], [`BenchmarkId`], benchmark groups
+//! with `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! `bench_with_input`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Reporting is deliberately simple: each benchmark prints
+//! `<group>/<id>  mean <t> (<samples> samples)` to stdout.  There is no
+//! statistical analysis, outlier rejection or HTML report — the targets
+//! exist to exercise and eyeball the hot paths, and to keep the real
+//! criterion wiring intact for when the genuine crate is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Write as _};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Times one benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly and record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.iter().sum::<Duration>() / self.measured.len() as u32
+    }
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: every iteration here is a full simulation.
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.to_string(), &b);
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{name:<50} mean {:>12} ({} samples)",
+        human(b.mean()),
+        b.measured.len()
+    );
+    println!("{line}");
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// iterations instead of a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Self::measurement_time`]).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+    }
+
+    /// Finish the group (the shim reports eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + default samples.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 7), &2u32, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert_eq!(runs, 8); // (1 warm-up + 3 samples) * 2
+    }
+
+    #[test]
+    fn id_renderings() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("n64").to_string(), "n64");
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human(Duration::from_nanos(5)), "5 ns");
+        assert!(human(Duration::from_micros(5)).ends_with("µs"));
+        assert!(human(Duration::from_millis(5)).ends_with("ms"));
+        assert!(human(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

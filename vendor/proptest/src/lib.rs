@@ -1,0 +1,421 @@
+//! # proptest (vendored stand-in)
+//!
+//! The workspace builds offline, so this shim replaces the crates-io
+//! `proptest` with the subset its property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, integer/float range strategies,
+//! [`Just`], tuple strategies, [`collection::vec`], [`ProptestConfig`] and
+//! the [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]
+//! macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed sequence (no env-var override) and failing cases are
+//! **not shrunk** — the panic message reports the failing values via the
+//! assertion itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirror of the real crate's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic generator (splitmix64; self-contained on purpose).
+// ---------------------------------------------------------------------------
+
+/// The random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: bound must be positive");
+        // Multiply-shift; the tiny bias is irrelevant for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it maps to
+    /// (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`TestRunner`] (mirror of the real crate's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case does not satisfy its
+/// preconditions; the runner retries with fresh inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCaseReject;
+
+/// Drives the cases of one property (deterministic seeds, no shrinking).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run the property until `config.cases` cases pass.  Panics (from the
+    /// property's own assertions) on the first failing case; panics if too
+    /// many cases are rejected by `prop_assume!`.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseReject>,
+    {
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = (self.config.cases as u64).saturating_mul(20).max(1000);
+        while passed < self.config.cases {
+            assert!(
+                attempts < max_attempts,
+                "gave up after {attempts} attempts: prop_assume! rejected too many cases \
+                 ({passed}/{} passed)",
+                self.config.cases
+            );
+            let mut rng = TestRng::new(0xC0DE_5EED ^ attempts.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            attempts += 1;
+            if case(&mut rng).is_ok() {
+                passed += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `fn name(pattern in strategy, ...) { body }`
+/// items, optionally preceded by `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg);
+            runner.run(|__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::core::result::Result<(), $crate::TestCaseReject> = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                result
+            });
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+/// Reject the current case (the runner draws a fresh one) when a
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3u64..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::generate(&(0usize..=4), &mut rng);
+            assert!(y <= 4);
+            let f = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::TestRng::new(2);
+        let s = (1u64..5)
+            .prop_map(|x| x * 10)
+            .prop_flat_map(|x| (Just(x), 0u64..x));
+        for _ in 0..100 {
+            let (x, y) = s.generate(&mut rng);
+            assert!(x % 10 == 0 && y < x);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_strategy(v in prop::collection::vec(0u64..100, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_filters_cases((a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Deserialization error type and the helpers the derive macro expands to.
+
+use std::fmt;
+
+use crate::{Deserialize, Map, Value};
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" for a mismatched value kind.
+    pub fn type_error(expected: &str, found: &Value) -> Self {
+        Self::custom(format!(
+            "expected {expected}, found {} ({found})",
+            found.kind()
+        ))
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum string/tag did not name a known variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Prefix the message with context (used when descending into fields).
+    pub fn context(self, what: &str) -> Self {
+        Self::custom(format!("{what}: {}", self.message))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Expect an object (derive helper).
+pub fn expect_object<'v>(ty: &str, v: &'v Value) -> Result<&'v Map, Error> {
+    v.as_object()
+        .ok_or_else(|| Error::type_error("object", v).context(ty))
+}
+
+/// Fetch and deserialize a struct field (derive helper).  Missing fields
+/// fall back to [`Deserialize::absent`], so `Option` fields may be omitted.
+pub fn get_field<T: Deserialize>(ty: &str, map: &Map, field: &str) -> Result<T, Error> {
+    match map.get(field) {
+        Some(v) => T::from_value(v).map_err(|e| e.context(&format!("{ty}.{field}"))),
+        None => T::absent().ok_or_else(|| Error::missing_field(ty, field)),
+    }
+}
+
+/// Interpret an externally-tagged enum value (derive helper): either a bare
+/// string (unit variant) or a single-entry object `{tag: payload}`.
+pub fn enum_tag<'v>(ty: &str, v: &'v Value) -> Result<(&'v str, Option<&'v Value>), Error> {
+    match v {
+        Value::Str(s) => Ok((s, None)),
+        Value::Object(map) if map.len() == 1 => {
+            let (tag, payload) = map.iter().next().expect("len checked");
+            Ok((tag, Some(payload)))
+        }
+        other => Err(Error::type_error("enum (string or single-key object)", other).context(ty)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_helpers() {
+        let mut m = Map::new();
+        m.insert("x", Value::UInt(3));
+        assert_eq!(get_field::<u64>("T", &m, "x").unwrap(), 3);
+        assert!(get_field::<u64>("T", &m, "y").is_err());
+        assert_eq!(get_field::<Option<u64>>("T", &m, "y").unwrap(), None);
+    }
+
+    #[test]
+    fn enum_tag_shapes() {
+        let unit = Value::Str("A".into());
+        let (tag, payload) = enum_tag("E", &unit).unwrap();
+        assert_eq!((tag, payload), ("A", None));
+        let mut m = Map::new();
+        m.insert("B", Value::UInt(1));
+        let v = Value::Object(m);
+        let (tag, payload) = enum_tag("E", &v).unwrap();
+        assert_eq!(tag, "B");
+        assert_eq!(payload, Some(&Value::UInt(1)));
+        assert!(enum_tag("E", &Value::Int(1)).is_err());
+    }
+}

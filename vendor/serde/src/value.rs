@@ -1,0 +1,220 @@
+//! The self-describing value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// An order-preserving string-keyed map (objects keep field declaration
+/// order, which keeps serialized files human-readable and diffable).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert a key (replacing any existing entry with the same key).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Entries sorted by key (for canonical output).
+    pub fn sorted_entries(&self) -> Vec<(&String, &Value)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(k, val)| (k, val)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON-shaped value: the common currency of serialization in this
+/// workspace.  Integers keep their signedness so `u64`/`i64` round-trip
+/// exactly (floats are only used when a value is actually fractional or was
+/// written as a float).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used for values above `i64::MAX` and by the
+    /// unsigned `Serialize` impls).
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A string-keyed object.
+    Object(Map),
+}
+
+impl Value {
+    /// View as `u64` if the value is a non-negative integer (or an exactly
+    /// integral float).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(x) => Some(*x),
+            Value::Int(x) if *x >= 0 => Some(*x as u64),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if the value is an integer (or an exactly integral
+    /// float) in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            Value::UInt(x) => i64::try_from(*x).ok(),
+            Value::Float(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// View as `f64` if the value is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(x) => Some(*x as f64),
+            Value::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// View as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// View as an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's kind (used in error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+// `Display` for `Value` only needs to be good enough for error messages; the
+// real rendering lives in `serde_json`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::UInt(x) => write!(f, "{x}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(_) => write!(f, "<array>"),
+            Value::Object(_) => write!(f, "<object>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b", Value::Int(1));
+        m.insert("a", Value::Int(2));
+        m.insert("b", Value::Int(3));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Int(3)));
+        let sorted: Vec<&str> = m.sorted_entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(sorted, ["a", "b"]);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Float(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Value::UInt(5).as_f64(), Some(5.0));
+    }
+}

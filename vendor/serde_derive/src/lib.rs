@@ -1,0 +1,474 @@
+//! # serde_derive (vendored stand-in)
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` shim, written directly against `proc_macro` (the workspace
+//! builds offline, so `syn`/`quote` are unavailable).
+//!
+//! The input is tokenized with a tiny hand-rolled scanner that understands
+//! exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (any visibility, no generics);
+//! * enums whose variants are unit, single-field tuple, multi-field tuple,
+//!   or struct-like.
+//!
+//! Generated code follows upstream serde's externally-tagged conventions —
+//! see the `serde` shim's crate docs.  Anything unsupported (generics,
+//! unions, tuple structs, `#[serde(...)]` attributes) fails the build with a
+//! clear compile error rather than generating something subtly wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&item.kind, mode) {
+        (ItemKind::Struct(fields), Mode::Serialize) => struct_serialize(&item.name, fields),
+        (ItemKind::Struct(fields), Mode::Deserialize) => struct_deserialize(&item.name, fields),
+        (ItemKind::Enum(variants), Mode::Serialize) => enum_serialize(&item.name, variants),
+        (ItemKind::Enum(variants), Mode::Deserialize) => enum_deserialize(&item.name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Rust; this is a bug in the shim")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("valid compile_error")
+}
+
+// ---------------------------------------------------------------------------
+// Input model.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct-like variant with these field names.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.  The scanner walks top-level tokens, skipping attributes and
+// visibility, until it finds `struct Name {...}` or `enum Name {...}`.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected the type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`; write the impls by hand"
+        ));
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde shim derive does not support unit/tuple struct `{name}`"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("serde shim derive: no body found for `{name}`")),
+        }
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(body)?),
+        "enum" => ItemKind::Enum(parse_variants(body)?),
+        other => {
+            return Err(format!(
+                "serde shim derive: cannot derive for `{other}` items"
+            ))
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // `pub`, optionally followed by `(crate)` / `(super)` / ...
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` (named fields of a struct or struct variant),
+/// returning the field names in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected a field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i)?;
+        fields.push(name);
+        // Skip the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle-bracket depth
+/// aware, so `Map<String, u64>` is one type).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    let mut angle_depth: i64 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle_depth == 0 => return Ok(()),
+                '<' => {
+                    angle_depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    if angle_depth < 0 {
+                        return Err("serde shim derive: unbalanced `>` in a type".into());
+                    }
+                    *i += 1;
+                }
+                // `->` only appears inside fn-pointer types; consume it so
+                // its `>` is not mistaken for a closing angle bracket.
+                '-' => {
+                    *i += 1;
+                    if matches!(tokens.get(*i), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        *i += 1;
+                    }
+                }
+                _ => *i += 1,
+            },
+            _ => *i += 1,
+        }
+    }
+    if angle_depth != 0 {
+        return Err("serde shim derive: unbalanced `<` in a type".into());
+    }
+    Ok(())
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected a variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream())?;
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Discriminant (`= expr`) would only appear on unit variants of
+        // C-like enums; none of our types use one with data.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde shim derive: explicit discriminants are not supported".into());
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Count the comma-separated fields of a tuple variant.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return Ok(0);
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i)?;
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text; `TokenStream::parse` turns it back into
+// tokens).  All paths are absolute (`::serde::...`) so local names cannot
+// shadow them.
+// ---------------------------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts.push_str(&format!(
+            "map.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{
+                let mut map = ::serde::Map::new();
+                {inserts}
+                ::serde::Value::Object(map)
+            }}
+        }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut gets = String::new();
+    for f in fields {
+        gets.push_str(&format!(
+            "{f}: ::serde::de::get_field({name:?}, map, {f:?})?,\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{
+                let map = ::serde::de::expect_object({name:?}, v)?;
+                ::core::result::Result::Ok({name} {{ {gets} }})
+            }}
+        }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(x0) => {{
+                        let mut map = ::serde::Map::new();
+                        map.insert({vn:?}, ::serde::Serialize::to_value(x0));
+                        ::serde::Value::Object(map)
+                    }}\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|k| format!("x{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{
+                        let mut map = ::serde::Map::new();
+                        map.insert({vn:?}, ::serde::Value::Array(vec![{elems}]));
+                        ::serde::Value::Object(map)
+                    }}\n",
+                    binds = binds.join(", "),
+                    elems = elems.join(", "),
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binds = fields.join(", ");
+                let mut inserts = String::new();
+                for f in fields {
+                    inserts.push_str(&format!(
+                        "inner.insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{
+                        let mut inner = ::serde::Map::new();
+                        {inserts}
+                        let mut map = ::serde::Map::new();
+                        map.insert({vn:?}, ::serde::Value::Object(inner));
+                        ::serde::Value::Object(map)
+                    }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{
+                match self {{ {arms} }}
+            }}
+        }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{vn:?} => {{
+                        ::core::result::Result::Ok({name}::{vn})
+                    }}\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{vn:?} => {{
+                        let payload = payload.ok_or_else(|| ::serde::de::Error::custom(
+                            concat!(\"variant \", {vn:?}, \" of \", {name:?}, \" needs a payload\")))?;
+                        ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?))
+                    }}\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let mut elems = String::new();
+                for k in 0..*arity {
+                    elems.push_str(&format!("::serde::Deserialize::from_value(&items[{k}])?,"));
+                }
+                arms.push_str(&format!(
+                    "{vn:?} => {{
+                        let payload = payload.ok_or_else(|| ::serde::de::Error::custom(
+                            concat!(\"variant \", {vn:?}, \" of \", {name:?}, \" needs a payload\")))?;
+                        let items = payload.as_array().ok_or_else(|| ::serde::de::Error::type_error(\"array\", payload))?;
+                        if items.len() != {arity} {{
+                            return ::core::result::Result::Err(::serde::de::Error::custom(
+                                concat!(\"variant \", {vn:?}, \" of \", {name:?}, \" expects {arity} elements\")));
+                        }}
+                        ::core::result::Result::Ok({name}::{vn}({elems}))
+                    }}\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut gets = String::new();
+                for f in fields {
+                    gets.push_str(&format!(
+                        "{f}: ::serde::de::get_field({name:?}, inner, {f:?})?,\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{vn:?} => {{
+                        let payload = payload.ok_or_else(|| ::serde::de::Error::custom(
+                            concat!(\"variant \", {vn:?}, \" of \", {name:?}, \" needs a payload\")))?;
+                        let inner = ::serde::de::expect_object({name:?}, payload)?;
+                        ::core::result::Result::Ok({name}::{vn} {{ {gets} }})
+                    }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{
+                let (tag, payload) = ::serde::de::enum_tag({name:?}, v)?;
+                match tag {{
+                    {arms}
+                    other => ::core::result::Result::Err(::serde::de::Error::unknown_variant({name:?}, other)),
+                }}
+            }}
+        }}"
+    )
+}
