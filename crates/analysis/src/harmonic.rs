@@ -31,7 +31,7 @@ pub fn harmonic(k: u64) -> f64 {
 /// rate equal to the current value).
 pub fn harmonic_difference(a: u64, b: u64) -> f64 {
     assert!(a <= b, "harmonic_difference requires a ≤ b");
-    if b - a <= 1_000_000 && b <= u64::MAX - 1 {
+    if b - a <= 1_000_000 && b < u64::MAX {
         ((a + 1)..=b).rev().map(|i| 1.0 / i as f64).sum()
     } else {
         harmonic(b) - harmonic(a)

@@ -26,7 +26,7 @@ pub fn lower_bound_all_in_one_bin(n: usize, m: u64) -> f64 {
 pub fn lower_bound_one_over_one_under(n: usize, m: u64) -> f64 {
     assert!(n >= 2, "the instance needs at least two bins");
     assert!(
-        m % n as u64 == 0 && m > 0,
+        m.is_multiple_of(n as u64) && m > 0,
         "the instance needs n | m and m ≥ n"
     );
     let avg = m / n as u64;
@@ -36,7 +36,7 @@ pub fn lower_bound_one_over_one_under(n: usize, m: u64) -> f64 {
 /// The combined lower-bound shape `Ω(ln n + n²/m)` that Theorem 1 matches.
 pub fn combined_lower_bound(n: usize, m: u64) -> f64 {
     let log_part = lower_bound_all_in_one_bin(n, m);
-    let ratio_part = if n >= 2 && m > 0 && m % n as u64 == 0 {
+    let ratio_part = if n >= 2 && m > 0 && m.is_multiple_of(n as u64) {
         lower_bound_one_over_one_under(n, m)
     } else {
         (n as f64) * (n as f64) / (m.max(1) as f64)

@@ -3,6 +3,7 @@
 
 use rls_core::{RlsRule, RlsVariant};
 use rls_graph::GraphRls;
+use rls_live::{LiveEngine, LiveParams, SteadyState};
 use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
 use rls_protocols::{GreedyD, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
 use rls_rng::{SplitMix64, StreamFactory, StreamId};
@@ -12,7 +13,7 @@ use rls_sim::{NoAdversary, RlsPolicy, Simulation, StopWhen};
 use serde::{Deserialize, Serialize};
 
 use crate::hash::sha256_u64;
-use crate::spec::{CellSpec, ProtocolSpec};
+use crate::spec::{CellSpec, DynamicSpec, ProtocolSpec};
 use crate::CampaignError;
 
 /// Stream-id components within one trial: the workload draw and the
@@ -57,10 +58,30 @@ pub struct CellResult {
     pub goal_rate: f64,
     /// Mean first-hit time for each entry of the cell's `hits` list.
     pub hit_means: Vec<f64>,
+    /// Steady-state aggregates (dynamic cells only).
+    pub dynamic: Option<DynamicAggregate>,
+}
+
+/// Steady-state aggregates of a dynamic cell's trials.  `cost` in the
+/// surrounding [`CellResult`] carries the per-trial time-averaged gap (unit
+/// `"gap"`); this struct adds the overload quantiles and work-per-arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicAggregate {
+    /// Time-averaged gap per trial (same samples as `costs`).
+    pub mean_gap: Summary,
+    /// Time-weighted p99 overload per trial.
+    pub p99_overload: Summary,
+    /// Largest overload seen in any trial's window.
+    pub max_overload: u64,
+    /// Rebalance migrations per arriving ball, per trial.
+    pub moves_per_arrival: Summary,
 }
 
 /// Run every trial of a cell and aggregate.
 pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    if cell.dynamic.is_some() {
+        return run_dynamic_cell(cell, seed);
+    }
     match cell.protocol {
         ProtocolSpec::RlsGeq | ProtocolSpec::RlsStrict if cell.topology.is_complete() => {
             run_simulation_cell(cell, seed)
@@ -75,6 +96,86 @@ pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError>
         ))),
         _ => run_protocol_cell(cell, seed),
     }
+}
+
+/// A dynamic (online) cell: the live engine at target load `ρ = m/n`,
+/// measured over the spec's steady-state window.
+fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    let dynamic: &DynamicSpec = cell
+        .dynamic
+        .as_ref()
+        .expect("caller dispatches on dynamic cells");
+    dynamic.validate()?;
+    let variant = match cell.protocol {
+        ProtocolSpec::RlsGeq => RlsVariant::Geq,
+        ProtocolSpec::RlsStrict => RlsVariant::Strict,
+        other => {
+            return Err(CampaignError::unsupported(format!(
+                "dynamic cells run the live RLS engine; protocol `{other}` is not supported"
+            )))
+        }
+    };
+    if !cell.topology.is_complete() {
+        return Err(CampaignError::unsupported(
+            "dynamic cells are only available on the complete topology",
+        ));
+    }
+    if !cell.hits.is_empty() {
+        return Err(CampaignError::unsupported(
+            "hit tracking does not apply to dynamic cells (no stopping time)",
+        ));
+    }
+    if cell.stop != crate::spec::StopSpec::default() {
+        // A dynamic cell runs for warmup + window; a stop condition cannot
+        // be honoured and silently ignoring it would poison the cache
+        // identity.
+        return Err(CampaignError::unsupported(
+            "dynamic cells ignore [stop]; remove it from the spec",
+        ));
+    }
+    let params = LiveParams::balanced(dynamic.arrival.0, cell.n, cell.m)
+        .map_err(|e| CampaignError::spec(format!("cell dynamics: {e}")))?;
+    let horizon = dynamic.warmup + dynamic.window;
+
+    let factory = StreamFactory::new(seed);
+    let mut acc = Accumulator::new(cell, 0);
+    acc.unit = "gap".to_string();
+    let mut p99 = Vec::with_capacity(cell.trials);
+    let mut moves = Vec::with_capacity(cell.trials);
+    let mut max_overload = 0u64;
+    for trial in 0..cell.trials as u64 {
+        let mut wl_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_WORKLOAD));
+        let initial = cell
+            .workload
+            .0
+            .generate(cell.n, cell.m, &mut wl_rng)
+            .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
+        let mut engine = LiveEngine::new(initial, params, RlsRule::new(variant))
+            .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
+        let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
+        let mut steady = SteadyState::new(dynamic.warmup);
+        engine.run_until(horizon, &mut run_rng, &mut steady);
+        let summary = steady.finish(engine.time());
+        let counters = engine.counters();
+        acc.push(
+            summary.mean_gap,
+            counters.events as f64,
+            counters.migrations as f64,
+            engine.tracker().discrepancy(),
+            true,
+        );
+        p99.push(summary.p99_overload);
+        moves.push(summary.moves_per_arrival);
+        max_overload = max_overload.max(summary.max_overload);
+    }
+    let mut result = acc.finish();
+    result.dynamic = Some(DynamicAggregate {
+        mean_gap: result.cost,
+        p99_overload: Summary::from_samples(&p99),
+        max_overload,
+        moves_per_arrival: Summary::from_samples(&moves),
+    });
+    Ok(result)
 }
 
 /// The paper's continuous-time process on the complete topology, via the
@@ -305,6 +406,7 @@ impl Accumulator {
                 .map(|s| s / self.trials as f64)
                 .collect(),
             costs: self.costs,
+            dynamic: None,
         }
     }
 }
@@ -326,6 +428,7 @@ mod tests {
             stop: StopSpec::default(),
             hits: Vec::new(),
             trials: 4,
+            dynamic: None,
         }
     }
 
@@ -428,6 +531,66 @@ mod tests {
             assert_eq!(r.unit, unit, "{protocol}");
             assert_eq!(r.costs.len(), 4);
         }
+    }
+
+    fn dynamic_cell() -> CellSpec {
+        let mut cell = base_cell();
+        cell.dynamic = Some(crate::spec::DynamicSpec {
+            arrival: "poisson:2".parse().unwrap(),
+            warmup: 2.0,
+            window: 8.0,
+        });
+        cell
+    }
+
+    #[test]
+    fn dynamic_cells_report_steady_state_aggregates() {
+        let cell = dynamic_cell();
+        let r1 = run_cell(&cell, 77).unwrap();
+        let r2 = run_cell(&cell, 77).unwrap();
+        assert_eq!(r1, r2, "dynamic cells must be deterministic per seed");
+        assert_eq!(r1.unit, "gap");
+        assert_eq!(r1.goal_rate, 1.0);
+        assert_eq!(r1.costs.len(), 4);
+        let agg = r1.dynamic.as_ref().expect("dynamic aggregates present");
+        assert_eq!(agg.mean_gap, r1.cost);
+        assert!(agg.mean_gap.mean >= 0.0);
+        assert!(agg.p99_overload.mean >= 0.0);
+        assert!(agg.max_overload as f64 >= agg.p99_overload.mean);
+        assert!(agg.moves_per_arrival.mean > 0.0);
+        // The live engine actually processed churn.
+        assert!(r1.activations.mean > 0.0);
+        let r3 = run_cell(&cell, 78).unwrap();
+        assert_ne!(r1.costs, r3.costs);
+    }
+
+    #[test]
+    fn dynamic_cells_reject_unsupported_combinations() {
+        let mut with_hits = dynamic_cell();
+        with_hits.hits = vec![HitSpec::Absolute(1.0)];
+        let err = run_cell(&with_hits, 1).unwrap_err().to_string();
+        assert!(err.contains("hit tracking"), "{err}");
+
+        let mut with_stop = dynamic_cell();
+        with_stop.stop.max_activations = Some(100);
+        let err = run_cell(&with_stop, 1).unwrap_err().to_string();
+        assert!(err.contains("[stop]"), "{err}");
+
+        let mut on_graph = dynamic_cell();
+        on_graph.topology = TopologySpec(Topology::Cycle);
+        assert!(run_cell(&on_graph, 1).is_err());
+
+        let mut wrong_protocol = dynamic_cell();
+        wrong_protocol.protocol = ProtocolSpec::GreedyD { d: 2 };
+        let err = run_cell(&wrong_protocol, 1).unwrap_err().to_string();
+        assert!(err.contains("live RLS engine"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_and_static_cells_have_distinct_identities() {
+        let s = base_cell();
+        let d = dynamic_cell();
+        assert_ne!(cell_seed(7, &s), cell_seed(7, &d));
     }
 
     #[test]

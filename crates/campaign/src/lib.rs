@@ -52,11 +52,11 @@ pub mod spec;
 pub mod store;
 pub mod toml;
 
-pub use cell::{cell_seed, run_cell, CellResult};
+pub use cell::{cell_seed, run_cell, CellResult, DynamicAggregate};
 pub use engine::{Campaign, CampaignReport, CampaignStatus, CellOutcome};
 pub use spec::{
-    CampaignSpec, CellSpec, Grid, HitSpec, MExpr, ProtocolSpec, StopSpec, TopologySpec,
-    WorkloadSpec,
+    ArrivalSpec, CampaignSpec, CellSpec, DynamicSpec, Grid, HitSpec, MExpr, ProtocolSpec, StopSpec,
+    TopologySpec, WorkloadSpec,
 };
 pub use store::{cell_key, CellRecord, DiskStore, MemoryStore, Store, ENGINE_VERSION};
 
@@ -122,6 +122,13 @@ pub fn default_store() -> &'static dyn Store {
 /// pool — the one-liner the experiment harness uses.
 pub fn run_cached(spec: CampaignSpec) -> Result<CampaignReport, CampaignError> {
     Campaign::new(spec).run(default_store(), 0)
+}
+
+/// Render a campaign spec as TOML text that [`spec_from_str`] parses back
+/// to an equal spec (the property the spec round-trip tests pin down).
+pub fn spec_to_toml_string(spec: &CampaignSpec) -> Result<String, CampaignError> {
+    use serde::Serialize;
+    toml::render(&spec.to_value())
 }
 
 /// Parse a campaign spec from TOML or JSON text (auto-detected: JSON specs
@@ -202,6 +209,10 @@ pub fn spec_from_value(value: &serde::Value) -> Result<CampaignSpec, CampaignErr
         Some(v) => Vec::<HitSpec>::from_value(v).map_err(|e| field_err("hits", e))?,
         None => Vec::new(),
     };
+    let dynamic = match get("dynamic") {
+        Some(serde::Value::Null) | None => None,
+        Some(v) => Some(DynamicSpec::from_value(v).map_err(|e| field_err("dynamic", e))?),
+    };
 
     Ok(CampaignSpec {
         name,
@@ -210,6 +221,7 @@ pub fn spec_from_value(value: &serde::Value) -> Result<CampaignSpec, CampaignErr
         grid,
         stop,
         hits,
+        dynamic,
     })
 }
 

@@ -15,7 +15,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use rls_graph::Topology;
-use rls_workloads::Workload;
+use rls_workloads::{ArrivalProcess, Workload};
 use serde::{de, Deserialize, Serialize, Value};
 
 use crate::CampaignError;
@@ -463,6 +463,125 @@ impl Deserialize for HitSpec {
     }
 }
 
+/// An arrival process named in a campaign spec (string form of
+/// [`rls_workloads::ArrivalProcess`]): `"poisson:2"`, `"bursts:2:16"`,
+/// `"hotspot:2:0.25"`.  Rates are per bin, so the same string keeps the
+/// offered load density constant across the grid's `n` axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec(pub ArrivalProcess);
+
+impl fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            ArrivalProcess::Poisson { rate_per_bin } => write!(f, "poisson:{rate_per_bin}"),
+            ArrivalProcess::Bursts { rate_per_bin, size } => {
+                write!(f, "bursts:{rate_per_bin}:{size}")
+            }
+            ArrivalProcess::Hotspot { rate_per_bin, bias } => {
+                write!(f, "hotspot:{rate_per_bin}:{bias}")
+            }
+        }
+    }
+}
+
+impl FromStr for ArrivalSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        let mut parts = s.split(':').map(str::trim);
+        let head = parts.next().unwrap_or("");
+        let rate = |p: Option<&str>| -> Result<f64, CampaignError> {
+            p.ok_or_else(|| {
+                CampaignError::spec(format!("`{head}` needs a rate, e.g. `{head}:2.0`"))
+            })?
+            .parse()
+            .map_err(|_| CampaignError::spec(format!("bad arrival rate in `{s}`")))
+        };
+        let process = match head {
+            "poisson" => ArrivalProcess::Poisson {
+                rate_per_bin: rate(parts.next())?,
+            },
+            "bursts" => ArrivalProcess::Bursts {
+                rate_per_bin: rate(parts.next())?,
+                size: parts
+                    .next()
+                    .ok_or_else(|| {
+                        CampaignError::spec("`bursts` needs a size, e.g. `bursts:2:16`")
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad burst size in `{s}`")))?,
+            },
+            "hotspot" => ArrivalProcess::Hotspot {
+                rate_per_bin: rate(parts.next())?,
+                bias: parts
+                    .next()
+                    .ok_or_else(|| {
+                        CampaignError::spec("`hotspot` needs a bias, e.g. `hotspot:2:0.25`")
+                    })?
+                    .parse()
+                    .map_err(|_| CampaignError::spec(format!("bad hotspot bias in `{s}`")))?,
+            },
+            other => {
+                return Err(CampaignError::spec(format!(
+                    "unknown arrival process `{other}`"
+                )))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(CampaignError::spec(format!(
+                "too many parameters in arrival process `{s}`"
+            )));
+        }
+        process
+            .validate()
+            .map_err(|e| CampaignError::spec(format!("arrival process `{s}`: {e}")))?;
+        Ok(ArrivalSpec(process))
+    }
+}
+
+impl Serialize for ArrivalSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ArrivalSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("arrival-process string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// Marks a campaign as *dynamic*: instead of running each cell to a balance
+/// condition, every cell becomes an online instance whose target load is
+/// `ρ = m/n` (the per-ball departure rate is derived as `μ = λ/m`, the
+/// M/M/∞ rate that keeps the expected population at `m`), driven by the
+/// named arrival process and measured over `[warmup, warmup + window]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSpec {
+    /// Law of the arrival stream (per-bin rate).
+    pub arrival: ArrivalSpec,
+    /// Simulated time discarded before measurement starts.
+    pub warmup: f64,
+    /// Length of the measurement window.
+    pub window: f64,
+}
+
+impl DynamicSpec {
+    /// Validate the window parameters.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if !(self.warmup.is_finite() && self.warmup >= 0.0) {
+            return Err(CampaignError::spec("dynamic warmup must be ≥ 0"));
+        }
+        if !(self.window.is_finite() && self.window > 0.0) {
+            return Err(CampaignError::spec("dynamic window must be positive"));
+        }
+        Ok(())
+    }
+}
+
 /// When a cell's runs stop.
 ///
 /// The budgets apply to RLS cells (`max_time` only on the complete
@@ -521,6 +640,9 @@ pub struct CampaignSpec {
     pub stop: StopSpec,
     /// Discrepancy thresholds whose first-hit times are recorded.
     pub hits: Vec<HitSpec>,
+    /// When present, every cell runs as a dynamic (online) instance with
+    /// target load `ρ = m/n` instead of a run-to-balance experiment.
+    pub dynamic: Option<DynamicSpec>,
 }
 
 impl CampaignSpec {
@@ -540,6 +662,7 @@ impl CampaignSpec {
             },
             stop: StopSpec::default(),
             hits: Vec::new(),
+            dynamic: None,
         }
     }
 
@@ -551,6 +674,9 @@ impl CampaignSpec {
             return Err(CampaignError::spec(
                 "a campaign needs at least one trial per cell",
             ));
+        }
+        if let Some(dynamic) = &self.dynamic {
+            dynamic.validate()?;
         }
         if self.grid.n.is_empty() || self.grid.m.is_empty() {
             return Err(CampaignError::spec(
@@ -580,6 +706,7 @@ impl CampaignSpec {
                                 stop: self.stop,
                                 hits: self.hits.clone(),
                                 trials: self.trials,
+                                dynamic: self.dynamic,
                             });
                         }
                     }
@@ -609,6 +736,8 @@ pub struct CellSpec {
     pub hits: Vec<HitSpec>,
     /// Monte-Carlo trials.
     pub trials: usize,
+    /// Dynamic (online) execution parameters, when this is a dynamic cell.
+    pub dynamic: Option<DynamicSpec>,
 }
 
 #[cfg(test)]
@@ -723,5 +852,74 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+
+        // With the dynamic section present.
+        let mut dynamic = CampaignSpec::new("rt-dyn", 1, 2);
+        dynamic.grid.n = vec![8];
+        dynamic.grid.m = vec![MExpr::PerBin(8.0)];
+        dynamic.dynamic = Some(DynamicSpec {
+            arrival: "bursts:2:16".parse().unwrap(),
+            warmup: 5.0,
+            window: 20.0,
+        });
+        let json = serde_json::to_string(&dynamic).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dynamic);
+    }
+
+    #[test]
+    fn arrival_strings_round_trip() {
+        for s in ["poisson:2", "bursts:1.5:16", "hotspot:2:0.25"] {
+            assert_eq!(s.parse::<ArrivalSpec>().unwrap().to_string(), s);
+        }
+        for bad in [
+            "poisson",
+            "poisson:zero",
+            "poisson:-1",
+            "bursts:2",
+            "bursts:2:0",
+            "hotspot:2",
+            "hotspot:2:1.5",
+            "poisson:2:3",
+            "meteor:1",
+        ] {
+            assert!(bad.parse::<ArrivalSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dynamic_spec_validates_windows() {
+        let arrival: ArrivalSpec = "poisson:1".parse().unwrap();
+        assert!(DynamicSpec {
+            arrival,
+            warmup: 0.0,
+            window: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(DynamicSpec {
+            arrival,
+            warmup: -1.0,
+            window: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(DynamicSpec {
+            arrival,
+            warmup: 0.0,
+            window: 0.0
+        }
+        .validate()
+        .is_err());
+        // An invalid dynamic section fails grid expansion.
+        let mut spec = CampaignSpec::new("bad-dyn", 1, 1);
+        spec.grid.n = vec![4];
+        spec.grid.m = vec![MExpr::PerBin(4.0)];
+        spec.dynamic = Some(DynamicSpec {
+            arrival,
+            warmup: 0.0,
+            window: -2.0,
+        });
+        assert!(spec.cells().is_err());
     }
 }

@@ -25,7 +25,11 @@ use crate::CampaignError;
 
 /// Bump when the execution semantics change (seed derivation, trial
 /// streams, result fields) so stale records never masquerade as current.
-pub const ENGINE_VERSION: u32 = 1;
+///
+/// Version history: 1 = static cells only; 2 = `CellSpec` gained the
+/// `dynamic` cell kind and `CellResult` the steady-state aggregates, which
+/// changes every cell's canonical identity.
+pub const ENGINE_VERSION: u32 = 2;
 
 /// The content address of a cell: hex SHA-256 of its identity.
 pub fn cell_key(campaign_seed: u64, cell: &CellSpec) -> String {
@@ -217,6 +221,7 @@ mod tests {
             stop: StopSpec::default(),
             hits: Vec::new(),
             trials: 2,
+            dynamic: None,
         };
         let key = cell_key(key_seed, &cell);
         let seed = crate::cell::cell_seed(key_seed, &cell);

@@ -19,6 +19,124 @@ use serde::{Map, Value};
 
 use crate::CampaignError;
 
+/// Render a value tree as TOML (the same subset [`parse`] accepts):
+/// scalar and array entries first, then one `[table]` section per nested
+/// object (recursively, as dotted headers).  `Null` entries are omitted —
+/// the deserializers treat a missing field and `None` identically — so
+/// `parse(render(v))` round-trips every tree a campaign spec serializes
+/// to.
+pub fn render(value: &Value) -> Result<String, CampaignError> {
+    let root = value
+        .as_object()
+        .ok_or_else(|| CampaignError::spec("can only render a table/object as TOML"))?;
+    let mut out = String::new();
+    render_table(&mut out, root, &mut Vec::new())?;
+    Ok(out)
+}
+
+fn render_table(out: &mut String, map: &Map, path: &mut Vec<String>) -> Result<(), CampaignError> {
+    // Scalars and arrays first (they belong to the current header), then
+    // sub-tables.
+    let mut tables: Vec<(&String, &Map)> = Vec::new();
+    let mut wrote_scalar = false;
+    for (key, value) in map.iter() {
+        match value {
+            Value::Null => {}
+            Value::Object(inner) => tables.push((key, inner)),
+            other => {
+                out.push_str(&render_key(key));
+                out.push_str(" = ");
+                render_value(out, other)?;
+                out.push('\n');
+                wrote_scalar = true;
+            }
+        }
+    }
+    for (key, inner) in tables {
+        if wrote_scalar || !path.is_empty() {
+            out.push('\n');
+        }
+        path.push(key.clone());
+        out.push('[');
+        out.push_str(
+            &path
+                .iter()
+                .map(|part| render_key(part))
+                .collect::<Vec<_>>()
+                .join("."),
+        );
+        out.push_str("]\n");
+        render_table(out, inner, path)?;
+        path.pop();
+        wrote_scalar = true;
+    }
+    Ok(())
+}
+
+fn render_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        format!("\"{}\"", key.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+fn render_value(out: &mut String, value: &Value) -> Result<(), CampaignError> {
+    match value {
+        Value::Null => out.push_str("false"), // unreachable: nulls are dropped
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(x) => out.push_str(&x.to_string()),
+        Value::UInt(x) => out.push_str(&x.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(CampaignError::spec("cannot render a non-finite float"));
+            }
+            // `{}` prints integral floats as "50", which re-parses as an
+            // integer; the numeric deserializers accept that, so spec
+            // round-trips stay exact.
+            out.push_str(&format!("{x}"));
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if matches!(item, Value::Object(_)) {
+                    return Err(CampaignError::spec(
+                        "arrays of tables cannot be rendered as TOML",
+                    ));
+                }
+                render_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Object(_) => {
+            return Err(CampaignError::spec(
+                "inline tables cannot be rendered as TOML",
+            ))
+        }
+    }
+    Ok(())
+}
+
 /// Parse TOML text into a [`Value::Object`] tree.
 pub fn parse(text: &str) -> Result<Value, CampaignError> {
     let mut root = Map::new();
@@ -363,6 +481,65 @@ max_time = 1.5e3
             .unwrap();
         assert_eq!(xs[0].as_array().unwrap().len(), 2);
         assert_eq!(xs[1].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_parse_round_trips_a_spec_shaped_tree() {
+        let mut grid = Map::new();
+        grid.insert("n", Value::Array(vec![Value::UInt(16), Value::UInt(32)]));
+        grid.insert(
+            "m",
+            Value::Array(vec![Value::Str("8x".into()), Value::UInt(256)]),
+        );
+        let mut stop = Map::new();
+        stop.insert("target_discrepancy", Value::Float(0.5));
+        stop.insert("max_time", Value::Null); // dropped on render
+        let mut root = Map::new();
+        root.insert("name", Value::Str("demo \"quoted\"".into()));
+        root.insert("seed", Value::UInt(42));
+        root.insert("enabled", Value::Bool(true));
+        root.insert("grid", Value::Object(grid));
+        root.insert("stop", Value::Object(stop));
+        let original = Value::Object(root);
+
+        let text = render(&original).unwrap();
+        let reparsed = parse(&text).unwrap();
+        let again = render(&reparsed).unwrap();
+        assert_eq!(text, again, "render is a fixed point after one parse");
+        let obj = reparsed.as_object().unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str(), Some("demo \"quoted\""));
+        assert!(obj
+            .get("stop")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("max_time")
+            .is_none());
+    }
+
+    #[test]
+    fn nested_tables_render_as_dotted_headers() {
+        let mut inner = Map::new();
+        inner.insert("x", Value::Int(1));
+        let mut mid = Map::new();
+        mid.insert("b", Value::Object(inner));
+        let mut root = Map::new();
+        root.insert("a", Value::Object(mid));
+        let text = render(&Value::Object(root)).unwrap();
+        assert!(text.contains("[a.b]"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(render(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn unrenderable_shapes_are_rejected() {
+        assert!(render(&Value::Int(3)).is_err());
+        let mut root = Map::new();
+        root.insert("xs", Value::Array(vec![Value::Object(Map::new())]));
+        assert!(render(&Value::Object(root)).is_err());
+        let mut nan = Map::new();
+        nan.insert("x", Value::Float(f64::NAN));
+        assert!(render(&Value::Object(nan)).is_err());
     }
 
     #[test]

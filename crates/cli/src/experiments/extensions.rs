@@ -36,10 +36,8 @@ pub fn weighted_and_speeds(scale: Scale, seed: u64) -> Table {
     let factory = StreamFactory::new(seed);
 
     // Weighted balls: unit, uniform 1..=4, Zipf(1.5) weights in 1..=8.
-    let weight_families: Vec<(
-        &str,
-        Box<dyn Fn(&mut rls_rng::Xoshiro256PlusPlus) -> Vec<u64>>,
-    )> = vec![
+    type WeightSampler = Box<dyn Fn(&mut rls_rng::Xoshiro256PlusPlus) -> Vec<u64>>;
+    let weight_families: Vec<(&str, WeightSampler)> = vec![
         (
             "weights: unit",
             Box::new(move |_rng| vec![1u64; m as usize]),

@@ -175,6 +175,7 @@ mod tests {
             stop: StopSpec::default(),
             hits: vec![HitSpec::LnFactor(PHASE1_LN_FACTOR), HitSpec::Absolute(1.0)],
             trials: 3,
+            dynamic: None,
         };
         let result = rls_campaign::run_cell(&cell, 1).unwrap();
         let t_log = result.hit_means[0];

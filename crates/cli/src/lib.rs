@@ -16,8 +16,10 @@
 
 pub mod campaign_cmd;
 pub mod experiments;
+pub mod live_cmd;
 pub mod table;
 
 pub use campaign_cmd::{execute_campaign, parse_campaign_args, CampaignCommand};
 pub use experiments::{run_experiment, ExperimentId, Scale};
+pub use live_cmd::{execute_live, parse_live_args, LiveCommand};
 pub use table::Table;

@@ -8,6 +8,9 @@
 //! rls-experiments campaign run    <spec> [--store DIR] [--threads N]
 //! rls-experiments campaign status <spec> [--store DIR]
 //! rls-experiments campaign export <spec> [--store DIR] (--csv|--json) [--out FILE]
+//! rls-experiments live run    [--n N] [--m M] [--arrival A] [--time T] [...]
+//! rls-experiments live replay <log.json>
+//! rls-experiments live status <snapshot-or-log.json>
 //! ```
 //!
 //! With no experiment arguments, every experiment is run.  `--scale quick`
@@ -17,7 +20,10 @@
 
 use std::process::ExitCode;
 
-use rls_cli::{execute_campaign, parse_campaign_args, run_experiment, ExperimentId, Scale};
+use rls_cli::{
+    execute_campaign, execute_live, parse_campaign_args, parse_live_args, run_experiment,
+    ExperimentId, Scale,
+};
 
 struct Args {
     scale: Scale,
@@ -67,6 +73,22 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("live") {
+        return match parse_live_args(&raw[1..]).and_then(|cmd| execute_live(&cmd)) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: rls-experiments live run|replay|status [--n N] [--m M] [--arrival A] \
+                     [--time T] [--shards S] [--record FILE] [--snapshot FILE] [--resume FILE] <file>"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     if raw.first().map(String::as_str) == Some("campaign") {
         return match parse_campaign_args(&raw[1..]).and_then(|cmd| execute_campaign(&cmd)) {
             Ok(output) => {

@@ -131,7 +131,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.12345), "0.1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(2.46802), "2.47");
         assert_eq!(fmt_f64(12345.6), "12346");
     }
 }

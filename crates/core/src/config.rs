@@ -120,7 +120,7 @@ impl Config {
     /// Whether `n` divides `m` (the simplifying assumption of Section 6).
     #[inline]
     pub fn divides_evenly(&self) -> bool {
-        self.total % self.loads.len() as u64 == 0
+        self.total.is_multiple_of(self.loads.len() as u64)
     }
 
     /// Maximum bin load.
@@ -223,6 +223,43 @@ impl Config {
         Ok(())
     }
 
+    /// Add one ball to bin `bin` (a *dynamic arrival*).
+    ///
+    /// Unlike [`apply`](Self::apply) this changes `m`, so every
+    /// average-relative quantity (discrepancy, overloaded balls, holes, bin
+    /// counts) shifts; callers maintaining a [`LoadTracker`](crate::LoadTracker)
+    /// must record the arrival through
+    /// [`record_insert`](crate::LoadTracker::record_insert).
+    pub fn add_ball(&mut self, bin: usize) -> Result<(), ConfigError> {
+        let n = self.loads.len();
+        if bin >= n {
+            return Err(ConfigError::BinOutOfRange { bin, n });
+        }
+        self.total = self
+            .total
+            .checked_add(1)
+            .ok_or(ConfigError::TotalOverflow)?;
+        self.loads[bin] += 1;
+        Ok(())
+    }
+
+    /// Remove one ball from bin `bin` (a *dynamic departure*).
+    ///
+    /// Fails if the bin is empty; the companion of
+    /// [`add_ball`](Self::add_ball).
+    pub fn remove_ball(&mut self, bin: usize) -> Result<(), ConfigError> {
+        let n = self.loads.len();
+        if bin >= n {
+            return Err(ConfigError::BinOutOfRange { bin, n });
+        }
+        if self.loads[bin] == 0 {
+            return Err(ConfigError::EmptyBin { bin });
+        }
+        self.loads[bin] -= 1;
+        self.total -= 1;
+        Ok(())
+    }
+
     /// The loads sorted non-increasingly (the canonical representative used
     /// in the Lemma 2 coupling, which is ignorant of bin identity).
     pub fn sorted_desc(&self) -> Vec<u64> {
@@ -251,10 +288,8 @@ impl Config {
             .map(|&l| {
                 if l > ceil {
                     l - ceil
-                } else if l < floor {
-                    floor - l
                 } else {
-                    0
+                    floor.saturating_sub(l)
                 }
             })
             .sum()
@@ -441,6 +476,54 @@ mod tests {
         assert_eq!(balanced.imbalance_l1(), 0);
         let skewed = Config::from_loads(vec![7, 0, 0]).unwrap();
         assert!(skewed.imbalance_l1() > 0);
+    }
+
+    #[test]
+    fn add_ball_grows_the_population() {
+        let mut c = Config::from_loads(vec![2, 0, 1]).unwrap();
+        c.add_ball(1).unwrap();
+        assert_eq!(c.loads(), &[2, 1, 1]);
+        assert_eq!(c.m(), 4);
+        assert!((c.average() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            c.add_ball(9),
+            Err(ConfigError::BinOutOfRange { bin: 9, n: 3 })
+        );
+    }
+
+    #[test]
+    fn remove_ball_shrinks_the_population() {
+        let mut c = Config::from_loads(vec![2, 0, 1]).unwrap();
+        c.remove_ball(2).unwrap();
+        assert_eq!(c.loads(), &[2, 0, 0]);
+        assert_eq!(c.m(), 2);
+        assert_eq!(c.remove_ball(2), Err(ConfigError::EmptyBin { bin: 2 }));
+        assert_eq!(
+            c.remove_ball(7),
+            Err(ConfigError::BinOutOfRange { bin: 7, n: 3 })
+        );
+        // Draining the whole configuration is legal: m = 0 is a valid
+        // (trivially balanced) dynamic state.
+        c.remove_ball(0).unwrap();
+        c.remove_ball(0).unwrap();
+        assert_eq!(c.m(), 0);
+        assert!(c.is_perfectly_balanced());
+    }
+
+    #[test]
+    fn add_ball_rejects_overflow() {
+        let mut c = Config::from_loads(vec![u64::MAX]).unwrap();
+        assert_eq!(c.add_ball(0), Err(ConfigError::TotalOverflow));
+        assert_eq!(c.m(), u64::MAX);
+    }
+
+    #[test]
+    fn add_remove_round_trip_is_identity() {
+        let mut c = Config::from_loads(vec![5, 1, 3]).unwrap();
+        let before = c.clone();
+        c.add_ball(1).unwrap();
+        c.remove_ball(1).unwrap();
+        assert_eq!(c, before);
     }
 
     #[test]

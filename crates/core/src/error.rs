@@ -2,13 +2,25 @@
 
 use crate::Move;
 
-/// Errors arising when constructing a [`Config`](crate::Config).
+/// Errors arising when constructing or resizing a [`Config`](crate::Config).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// A configuration needs at least one bin.
     NoBins,
     /// Requested `m` balls cannot be represented (overflow when summing).
     TotalOverflow,
+    /// A bin index is out of range (arrival/departure operations).
+    BinOutOfRange {
+        /// The offending bin index.
+        bin: usize,
+        /// Number of bins in the configuration.
+        n: usize,
+    },
+    /// The bin holds no ball to remove.
+    EmptyBin {
+        /// The offending bin index.
+        bin: usize,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -16,6 +28,12 @@ impl core::fmt::Display for ConfigError {
         match self {
             ConfigError::NoBins => write!(f, "a configuration requires at least one bin"),
             ConfigError::TotalOverflow => write!(f, "total number of balls overflows u64"),
+            ConfigError::BinOutOfRange { bin, n } => {
+                write!(f, "bin {bin} is outside 0..{n}")
+            }
+            ConfigError::EmptyBin { bin } => {
+                write!(f, "bin {bin} holds no ball to remove")
+            }
         }
     }
 }

@@ -78,7 +78,7 @@ impl RlsRule {
     #[inline]
     pub fn permits_loads(&self, load_from: u64, load_to: u64) -> bool {
         match self.variant {
-            RlsVariant::Geq => load_from >= load_to + 1,
+            RlsVariant::Geq => load_from > load_to,
             RlsVariant::Strict => load_from > load_to + 1,
         }
     }

@@ -144,8 +144,58 @@ impl LoadTracker {
         self.change_bin(old_to_load, old_to_load + 1);
     }
 
-    /// Move one bin from load `old` to load `new` (|old − new| must be 1).
-    fn change_bin(&mut self, old: u64, new: u64) {
+    /// Record a ball *arriving* into a bin whose load before the arrival was
+    /// `old_load` (dynamic instances: `m` grows by one).
+    ///
+    /// The histogram and the min/max stay incremental; the average-relative
+    /// aggregates (overloaded balls, holes, bin counts) are rebuilt from the
+    /// histogram because the average `m/n` itself moved.  That rescan is
+    /// `O(#distinct loads)` — for configurations near balance a handful of
+    /// entries, never `O(n)`.
+    pub fn record_insert(&mut self, old_load: u64) {
+        self.m += 1;
+        self.shift_load(old_load, old_load + 1);
+        self.refresh_average_relative();
+    }
+
+    /// Record a ball *departing* from a bin whose load before the departure
+    /// was `old_load` (dynamic instances: `m` shrinks by one).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `old_load == 0`.
+    pub fn record_remove(&mut self, old_load: u64) {
+        debug_assert!(old_load > 0, "cannot remove a ball from an empty bin");
+        self.m -= 1;
+        self.shift_load(old_load, old_load - 1);
+        self.refresh_average_relative();
+    }
+
+    /// Rebuild every `m/n`-relative quantity from the histogram after a
+    /// population change.
+    fn refresh_average_relative(&mut self) {
+        let n = self.n as u64;
+        self.floor_avg = self.m / n;
+        self.ceil_avg = self.m.div_ceil(n);
+        self.overloaded = 0;
+        self.holes = 0;
+        self.bins_above = 0;
+        self.bins_at = 0;
+        self.bins_below = 0;
+        for (&load, &bins) in &self.counts {
+            self.overloaded += load.saturating_sub(self.ceil_avg) * bins as u64;
+            self.holes += self.floor_avg.saturating_sub(load) * bins as u64;
+            let lhs = load as u128 * self.n as u128;
+            match lhs.cmp(&(self.m as u128)) {
+                core::cmp::Ordering::Greater => self.bins_above += bins,
+                core::cmp::Ordering::Equal => self.bins_at += bins,
+                core::cmp::Ordering::Less => self.bins_below += bins,
+            }
+        }
+    }
+
+    /// Move one bin from load `old` to load `new` in the histogram and
+    /// adjust the min/max (|old − new| must be 1).
+    fn shift_load(&mut self, old: u64, new: u64) {
         debug_assert!(old.abs_diff(new) == 1);
         // Histogram.
         let c = self
@@ -171,6 +221,12 @@ impl LoadTracker {
         } else if emptied && old == self.min_load {
             self.min_load = old + 1;
         }
+    }
+
+    /// Move one bin from load `old` to load `new` (|old − new| must be 1),
+    /// keeping the average-relative aggregates incremental (`m` unchanged).
+    fn change_bin(&mut self, old: u64, new: u64) {
+        self.shift_load(old, new);
 
         // Overloaded balls / holes.
         self.overloaded =
@@ -316,6 +372,84 @@ mod tests {
         let t = LoadTracker::new(&Config::from_loads(vec![5, 1, 3, 3]).unwrap());
         assert!(t.is_x_balanced(2.0));
         assert!(!t.is_x_balanced(1.5));
+    }
+
+    #[test]
+    fn insert_and_remove_track_population_changes() {
+        let mut cfg = Config::from_loads(vec![5, 1, 3]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        // Arrival into the light bin: the average moves from 3 to 10/3.
+        let old = cfg.load(1);
+        cfg.add_ball(1).unwrap();
+        t.record_insert(old);
+        assert!(t.matches(&cfg), "tracker {t:?} vs cfg {cfg:?}");
+        assert_eq!(t.m(), 10);
+        // Departure from the heavy bin.
+        let old = cfg.load(0);
+        cfg.remove_ball(0).unwrap();
+        t.record_remove(old);
+        assert!(t.matches(&cfg));
+        assert_eq!(t.m(), 9);
+        assert_eq!(t.average(), 3.0);
+    }
+
+    #[test]
+    fn stays_consistent_over_a_mixed_dynamic_trajectory() {
+        // Interleave arrivals, departures and RLS moves and verify full
+        // consistency after every step — the invariant the live engine
+        // depends on.
+        let mut cfg = Config::from_loads(vec![8, 2, 5, 5]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        let rule = RlsRule::paper();
+        let mut state = 98765u64;
+        for step in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 33) as usize % cfg.n();
+            let b = (state >> 13) as usize % cfg.n();
+            match step % 3 {
+                0 => {
+                    let old = cfg.load(a);
+                    cfg.add_ball(a).unwrap();
+                    t.record_insert(old);
+                }
+                1 if cfg.load(b) > 0 => {
+                    let old = cfg.load(b);
+                    cfg.remove_ball(b).unwrap();
+                    t.record_remove(old);
+                }
+                _ => {
+                    if a != b && cfg.load(a) > 0 && rule.permits(&cfg, Move::new(a, b)) {
+                        let (lf, lt) = (cfg.load(a), cfg.load(b));
+                        cfg.apply(Move::new(a, b)).unwrap();
+                        t.record_move(lf, lt);
+                    }
+                }
+            }
+            assert!(t.matches(&cfg), "step {step}: {t:?} vs {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn draining_to_zero_balls_is_consistent() {
+        let mut cfg = Config::from_loads(vec![1, 2]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        for bin in [0usize, 1, 1] {
+            let old = cfg.load(bin);
+            cfg.remove_ball(bin).unwrap();
+            t.record_remove(old);
+            assert!(t.matches(&cfg));
+        }
+        assert_eq!(t.m(), 0);
+        assert!(t.is_perfectly_balanced());
+        assert_eq!(t.discrepancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn removing_from_empty_bin_panics_in_debug() {
+        let cfg = Config::from_loads(vec![1, 0]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.record_remove(0);
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl GraphRls {
             let Some(dest) = self.graph.sample_neighbor(source, rng) else {
                 continue;
             };
-            if loads[source] >= loads[dest] + 1 {
+            if loads[source] > loads[dest] {
                 loads[source] -= 1;
                 loads[dest] += 1;
                 positions[ball] = dest as u32;

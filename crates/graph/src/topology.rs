@@ -126,7 +126,7 @@ impl Topology {
             Topology::Star => (1..n).map(|i| (0, i)).collect(),
             Topology::BinaryTree => (1..n).map(|i| ((i - 1) / 2, i)).collect(),
             Topology::RandomRegular { degree } => {
-                if degree == 0 || degree >= n || (n * degree) % 2 != 0 {
+                if degree == 0 || degree >= n || !(n * degree).is_multiple_of(2) {
                     return Err(GraphError::VertexOutOfRange { vertex: degree, n });
                 }
                 // Pairing/configuration model with rejection of loops;
@@ -135,7 +135,7 @@ impl Topology {
                 // what the balancing experiments need (an expander of
                 // bounded degree), documented in DESIGN.md.
                 let mut stubs: Vec<usize> = (0..n)
-                    .flat_map(|v| std::iter::repeat(v).take(degree))
+                    .flat_map(|v| std::iter::repeat_n(v, degree))
                     .collect();
                 rng.shuffle(&mut stubs);
                 let mut e = Vec::with_capacity(stubs.len() / 2);

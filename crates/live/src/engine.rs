@@ -1,0 +1,439 @@
+//! The sequential live engine: one superposed event source.
+//!
+//! The live process is a continuous-time Markov chain over load vectors
+//! with a *varying* ball count: three independent Poisson sources are
+//! superposed —
+//!
+//! * **arrival epochs** at rate `λ_e` (the [`ArrivalProcess`] epoch rate),
+//! * **departures** at rate `m·μ` (each ball has an `Exp(μ)` remaining
+//!   lifetime; balls are exchangeable, so the departing ball is uniform),
+//! * **RLS rings** at rate `m` (the paper's rate-1 per-ball clocks).
+//!
+//! Exactly as in `rls-sim`'s static engine, the superposition property
+//! makes one event O(1): the time to the next event anywhere is
+//! `Exp(λ_e + m·μ + m)`, and the event type is chosen proportionally to
+//! the component rates.  The ball count `m` changes as arrivals and
+//! departures occur, so the total rate is re-derived every step — the
+//! engine simulates the exact law, not a discretization.
+
+use rls_core::{Config, LoadTracker, Move, RlsRule};
+use rls_rng::dist::{Distribution, Exponential};
+use rls_rng::{Rng64, RngExt};
+use rls_workloads::ArrivalProcess;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{LiveEvent, LiveEventKind};
+use crate::observer::LiveObserver;
+use crate::LiveError;
+
+/// The dynamics of a live instance: the arrival stream plus the per-ball
+/// departure rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveParams {
+    /// Law of the arrival stream.
+    pub arrivals: ArrivalProcess,
+    /// Per-ball departure rate `μ` (`0` = balls never leave).
+    pub service_rate: f64,
+}
+
+impl LiveParams {
+    /// Parameters that hold the expected population at `m` balls in an
+    /// `n`-bin system: with total arrival rate `λ = α·n` and per-ball
+    /// departure rate `μ = λ/m`, the population is an M/M/∞ queue with
+    /// stationary mean `λ/μ = m` — so the *target load* `ρ = m/n` is the
+    /// steady-state density.
+    pub fn balanced(arrivals: ArrivalProcess, n: usize, m: u64) -> Result<Self, LiveError> {
+        arrivals.validate().map_err(LiveError::params)?;
+        if m == 0 {
+            return Err(LiveError::params("target population must be positive"));
+        }
+        Ok(Self {
+            arrivals,
+            service_rate: arrivals.total_rate(n) / m as f64,
+        })
+    }
+
+    /// Validate the parameter combination.
+    pub fn validate(&self) -> Result<(), LiveError> {
+        self.arrivals.validate().map_err(LiveError::params)?;
+        if !(self.service_rate.is_finite() && self.service_rate >= 0.0) {
+            return Err(LiveError::params(
+                "service rate must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate counters of a live run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveCounters {
+    /// Balls that arrived.
+    pub arrivals: u64,
+    /// Balls that departed.
+    pub departures: u64,
+    /// RLS clock rings processed.
+    pub rings: u64,
+    /// Rings that migrated a ball.
+    pub migrations: u64,
+    /// Events processed (arrival epochs + departures + rings).
+    pub events: u64,
+}
+
+/// The sequential online engine.
+#[derive(Debug, Clone)]
+pub struct LiveEngine {
+    cfg: Config,
+    tracker: LoadTracker,
+    /// `balls[i]` is the bin of ball slot `i`; arrivals push, departures
+    /// swap-remove, so uniform-ball sampling stays O(1) as `m` changes.
+    balls: Vec<u32>,
+    params: LiveParams,
+    rule: RlsRule,
+    time: f64,
+    seq: u64,
+    counters: LiveCounters,
+}
+
+impl LiveEngine {
+    /// Create an engine over the initial configuration.
+    pub fn new(initial: Config, params: LiveParams, rule: RlsRule) -> Result<Self, LiveError> {
+        params.validate()?;
+        if initial.m() > u32::MAX as u64 {
+            return Err(LiveError::params("more than u32::MAX balls"));
+        }
+        let mut balls = Vec::with_capacity(initial.m() as usize);
+        for (bin, &load) in initial.loads().iter().enumerate() {
+            for _ in 0..load {
+                balls.push(bin as u32);
+            }
+        }
+        let tracker = LoadTracker::new(&initial);
+        Ok(Self {
+            cfg: initial,
+            tracker,
+            balls,
+            params,
+            rule,
+            time: 0.0,
+            seq: 0,
+            counters: LiveCounters::default(),
+        })
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Incrementally maintained summary of the configuration.
+    pub fn tracker(&self) -> &LoadTracker {
+        &self.tracker
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Aggregate counters so far.
+    pub fn counters(&self) -> LiveCounters {
+        self.counters
+    }
+
+    /// The dynamics parameters.
+    pub fn params(&self) -> LiveParams {
+        self.params
+    }
+
+    /// The RLS rule in force.
+    pub fn rule(&self) -> RlsRule {
+        self.rule
+    }
+
+    /// The ball→bin slot map (snapshot/restore needs it verbatim: the slot
+    /// permutation feeds uniform-ball sampling, so bit-identical resumption
+    /// must preserve it).
+    pub(crate) fn ball_slots(&self) -> &[u32] {
+        &self.balls
+    }
+
+    /// Rebuild an engine from raw parts (snapshot restore).
+    pub(crate) fn from_parts(
+        cfg: Config,
+        balls: Vec<u32>,
+        params: LiveParams,
+        rule: RlsRule,
+        time: f64,
+        seq: u64,
+        counters: LiveCounters,
+    ) -> Self {
+        let tracker = LoadTracker::new(&cfg);
+        Self {
+            cfg,
+            tracker,
+            balls,
+            params,
+            rule,
+            time,
+            seq,
+            counters,
+        }
+    }
+
+    /// Total event rate at the current population.
+    pub fn total_rate(&self) -> f64 {
+        let m = self.balls.len() as f64;
+        self.params.arrivals.epoch_rate(self.cfg.n()) + m * self.params.service_rate + m
+    }
+
+    /// Advance by exactly one event; returns `None` when the total event
+    /// rate is zero (empty system with no arrivals), which is absorbing.
+    pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Option<LiveEvent> {
+        let n = self.cfg.n();
+        let m = self.balls.len();
+        let epoch_rate = self.params.arrivals.epoch_rate(n);
+        let depart_rate = m as f64 * self.params.service_rate;
+        let ring_rate = m as f64;
+        let total = epoch_rate + depart_rate + ring_rate;
+        if total <= 0.0 {
+            return None;
+        }
+
+        let dt = Exponential::new(total)
+            .expect("positive total rate")
+            .sample(rng);
+        self.time += dt;
+        self.seq += 1;
+        self.counters.events += 1;
+
+        let pick = rng.next_f64() * total;
+        // With no balls only arrivals have positive rate; route there
+        // unconditionally (also absorbs the ~2⁻⁵³ rounding case where
+        // `pick` lands exactly on `total`).
+        let kind = if m == 0 || pick < epoch_rate {
+            let mut bins = Vec::with_capacity(self.params.arrivals.epoch_size() as usize);
+            for _ in 0..self.params.arrivals.epoch_size() {
+                let bin = self.params.arrivals.place(n, rng);
+                self.arrive(bin);
+                bins.push(bin as u32);
+            }
+            LiveEventKind::Arrival { bins }
+        } else if pick < epoch_rate + depart_rate {
+            let slot = rng.next_index(m);
+            let bin = self.balls[slot] as usize;
+            self.depart(slot);
+            LiveEventKind::Departure { bin: bin as u32 }
+        } else {
+            let slot = rng.next_index(m);
+            let source = self.balls[slot] as usize;
+            let dest = rng.next_index(n);
+            let moved = self.try_migrate(slot, source, dest);
+            LiveEventKind::Ring {
+                source: source as u32,
+                dest: dest as u32,
+                moved,
+            }
+        };
+
+        Some(LiveEvent {
+            seq: self.seq,
+            time: self.time,
+            kind,
+        })
+    }
+
+    /// Run until simulated time reaches `until`, reporting every event to
+    /// the observer.  Returns the number of events processed.
+    pub fn run_until<R, O>(&mut self, until: f64, rng: &mut R, observer: &mut O) -> u64
+    where
+        R: Rng64 + ?Sized,
+        O: LiveObserver,
+    {
+        observer.on_start(&self.tracker, self.time);
+        let mut processed = 0;
+        while self.time < until {
+            let Some(event) = self.step(rng) else {
+                break;
+            };
+            observer.on_event(&event, &self.tracker);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Apply an arrival to `bin`, keeping config/tracker/ball map in sync.
+    fn arrive(&mut self, bin: usize) {
+        let old = self.cfg.load(bin);
+        self.cfg.add_ball(bin).expect("arrival bin is in range");
+        self.tracker.record_insert(old);
+        self.balls.push(bin as u32);
+        self.counters.arrivals += 1;
+    }
+
+    /// Apply a departure of the ball in `slot`.
+    fn depart(&mut self, slot: usize) {
+        let bin = self.balls.swap_remove(slot) as usize;
+        let old = self.cfg.load(bin);
+        self.cfg
+            .remove_ball(bin)
+            .expect("departing ball occupies a non-empty bin");
+        self.tracker.record_remove(old);
+        self.counters.departures += 1;
+    }
+
+    /// Apply one RLS ring; returns whether the ball migrated.
+    fn try_migrate(&mut self, slot: usize, source: usize, dest: usize) -> bool {
+        self.counters.rings += 1;
+        if source == dest
+            || !self
+                .rule
+                .permits_loads(self.cfg.load(source), self.cfg.load(dest))
+        {
+            return false;
+        }
+        let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
+        self.cfg
+            .apply(Move::new(source, dest))
+            .expect("permitted move applies");
+        self.tracker.record_move(lf, lt);
+        self.balls[slot] = dest as u32;
+        self.counters.migrations += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+
+    fn poisson(rate: f64) -> ArrivalProcess {
+        ArrivalProcess::Poisson { rate_per_bin: rate }
+    }
+
+    fn engine(n: usize, m: u64) -> LiveEngine {
+        let initial = Config::uniform(n, m / n as u64).unwrap();
+        let params = LiveParams::balanced(poisson(2.0), n, m).unwrap();
+        LiveEngine::new(initial, params, RlsRule::paper()).unwrap()
+    }
+
+    #[test]
+    fn balanced_params_hold_the_target_population() {
+        let p = LiveParams::balanced(poisson(2.0), 8, 64).unwrap();
+        // λ = 16, μ = 16/64 = 0.25 → λ/μ = 64.
+        assert!((p.service_rate - 0.25).abs() < 1e-12);
+        assert!(LiveParams::balanced(poisson(2.0), 8, 0).is_err());
+        assert!(LiveParams::balanced(poisson(0.0), 8, 64).is_err());
+    }
+
+    #[test]
+    fn events_keep_state_consistent() {
+        let mut eng = engine(8, 64);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..20_000 {
+            eng.step(&mut rng).unwrap();
+            debug_assert!(eng.tracker().matches(eng.config()));
+        }
+        assert!(eng.tracker().matches(eng.config()));
+        // Ball map consistent with loads.
+        let mut counts = vec![0u64; eng.config().n()];
+        for &b in eng.ball_slots() {
+            counts[b as usize] += 1;
+        }
+        assert_eq!(counts, eng.config().loads());
+        let c = eng.counters();
+        assert_eq!(c.events, 20_000);
+        assert_eq!(c.arrivals + c.departures + c.rings, 20_000);
+        assert!(c.migrations <= c.rings);
+    }
+
+    #[test]
+    fn population_stays_near_the_target() {
+        // M/M/∞ with mean 64: after a long run the population should be in
+        // a generous band around the target.
+        let mut eng = engine(8, 64);
+        let mut rng = rng_from_seed(2);
+        eng.run_until(200.0, &mut rng, &mut ());
+        let m = eng.config().m();
+        assert!((20..=150).contains(&m), "population drifted to {m}");
+    }
+
+    #[test]
+    fn empty_system_without_arrivals_is_absorbing() {
+        let initial = Config::from_loads(vec![1, 0]).unwrap();
+        let params = LiveParams {
+            arrivals: poisson(1.0),
+            service_rate: 0.0,
+        };
+        // μ = 0, λ > 0: never absorbs.
+        let mut eng = LiveEngine::new(initial.clone(), params, RlsRule::paper()).unwrap();
+        assert!(eng.step(&mut rng_from_seed(3)).is_some());
+
+        // A zero-rate system yields no events. (Constructing one requires a
+        // positive-rate arrival process per validation, so emulate by
+        // draining: service only, m reaches 0.)
+        let drain = LiveParams {
+            arrivals: poisson(1e-12),
+            service_rate: 1e12,
+        };
+        let mut eng = LiveEngine::new(initial, drain, RlsRule::paper()).unwrap();
+        let mut rng = rng_from_seed(4);
+        for _ in 0..100 {
+            if eng.step(&mut rng).is_none() {
+                break;
+            }
+        }
+        // Population cannot go negative and the engine stays consistent.
+        assert!(eng.tracker().matches(eng.config()));
+    }
+
+    #[test]
+    fn bursts_inject_whole_batches() {
+        let initial = Config::uniform(8, 8).unwrap();
+        let params = LiveParams {
+            arrivals: ArrivalProcess::Bursts {
+                rate_per_bin: 4.0,
+                size: 8,
+            },
+            service_rate: 0.5,
+        };
+        let mut eng = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+        let mut rng = rng_from_seed(5);
+        let mut saw_burst = false;
+        for _ in 0..2000 {
+            if let Some(LiveEvent {
+                kind: LiveEventKind::Arrival { bins },
+                ..
+            }) = eng.step(&mut rng)
+            {
+                assert_eq!(bins.len(), 8);
+                saw_burst = true;
+            }
+        }
+        assert!(saw_burst);
+        assert!(eng.tracker().matches(eng.config()));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let mut a = engine(8, 64);
+        let mut b = engine(8, 64);
+        a.run_until(20.0, &mut rng_from_seed(7), &mut ());
+        b.run_until(20.0, &mut rng_from_seed(7), &mut ());
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.time(), b.time());
+    }
+
+    #[test]
+    fn rebalancing_keeps_the_gap_small_under_churn() {
+        // With rebalance rings at rate m and modest churn, the time-averaged
+        // gap should stay far below what pure random placement would give.
+        let mut eng = engine(16, 256);
+        let mut rng = rng_from_seed(8);
+        eng.run_until(50.0, &mut rng, &mut ());
+        let disc = eng.config().discrepancy();
+        assert!(disc < 12.0, "discrepancy {disc} too large under churn");
+    }
+}

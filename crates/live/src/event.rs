@@ -1,0 +1,110 @@
+//! Events emitted by the live engine.
+//!
+//! Unlike the static engine's [`rls_sim::Event`] (one ball activation), a
+//! live event can also be an arrival epoch (one or more balls injected) or
+//! a departure.  Events are serializable so a run can be *recorded* and
+//! later *replayed* bit-identically (see [`mod@crate::replay`]): the
+//! record carries every resolved random choice — which bins, whether the
+//! RLS rule permitted the migration — so replay needs no random numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened at one event of the live process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LiveEventKind {
+    /// An arrival epoch: each entry is the bin one new ball landed in
+    /// (bursty processes inject several balls per epoch).
+    Arrival {
+        /// Destination bin of each injected ball.
+        bins: Vec<u32>,
+    },
+    /// One ball departed from this bin.
+    Departure {
+        /// The bin the ball left.
+        bin: u32,
+    },
+    /// An RLS clock ring: the activated ball in `source` sampled `dest`;
+    /// `moved` records the rule's (already resolved) decision.
+    Ring {
+        /// Bin hosting the activated ball.
+        source: u32,
+        /// Sampled destination bin.
+        dest: u32,
+        /// Whether the migration was performed.
+        moved: bool,
+    },
+}
+
+/// One event of the live process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveEvent {
+    /// 1-based sequence number.
+    pub seq: u64,
+    /// Simulation time of the event.
+    pub time: f64,
+    /// What happened.
+    pub kind: LiveEventKind,
+}
+
+impl LiveEvent {
+    /// Number of balls this event added to the system (arrivals only).
+    pub fn balls_added(&self) -> u64 {
+        match &self.kind {
+            LiveEventKind::Arrival { bins } => bins.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Number of balls this event removed from the system.
+    pub fn balls_removed(&self) -> u64 {
+        matches!(self.kind, LiveEventKind::Departure { .. }) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ball_deltas() {
+        let arrival = LiveEvent {
+            seq: 1,
+            time: 0.5,
+            kind: LiveEventKind::Arrival { bins: vec![0, 3] },
+        };
+        assert_eq!(arrival.balls_added(), 2);
+        assert_eq!(arrival.balls_removed(), 0);
+        let departure = LiveEvent {
+            seq: 2,
+            time: 0.7,
+            kind: LiveEventKind::Departure { bin: 1 },
+        };
+        assert_eq!(departure.balls_added(), 0);
+        assert_eq!(departure.balls_removed(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let events = vec![
+            LiveEvent {
+                seq: 1,
+                time: 0.123_456_789_123_456_78,
+                kind: LiveEventKind::Arrival { bins: vec![7] },
+            },
+            LiveEvent {
+                seq: 2,
+                time: 1.0 / 3.0,
+                kind: LiveEventKind::Ring {
+                    source: 3,
+                    dest: 0,
+                    moved: true,
+                },
+            },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<LiveEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+        // Times must round-trip bit-exactly (replay depends on it).
+        assert_eq!(back[1].time.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+}

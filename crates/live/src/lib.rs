@@ -1,0 +1,110 @@
+//! # rls-live — online dynamic load balancing over request streams
+//!
+//! The paper analyses a *static* instance: `m` balls placed once, RLS run
+//! until balanced.  This crate runs the same process as an *online
+//! service*: balls arrive and depart over continuous time, superposed with
+//! the paper's rate-1 rebalance clocks, so the load vector is a living
+//! object with steady-state observables instead of a stopping time.
+//!
+//! * [`LiveEngine`] — the sequential engine: one O(1)-per-event superposed
+//!   source merging arrivals ([`rls_workloads::ArrivalProcess`]),
+//!   per-ball exponential departures and RLS rings.
+//! * [`ShardedEngine`] — bins partitioned across workers, events processed
+//!   in deterministic seeded batches; the trajectory is a function of the
+//!   seed and shard/slice configuration only, never the thread count.
+//! * [`SteadyState`] / [`SteadySummary`] — time-averaged gap, time-weighted
+//!   overload quantiles (p50/p99/max) and rebalance-moves-per-arrival over
+//!   a measurement window.
+//! * [`Snapshot`] — checkpoint/restore of engine + RNG state for exact
+//!   resumption (content-addressed by the CLI via `rls-campaign::hash`).
+//! * [`replay()`](replay()) — re-execute a recorded [`EventLog`] without randomness and
+//!   verify the final load vector and observer summaries bit-identically.
+//!
+//! ## Example
+//!
+//! ```
+//! use rls_core::{Config, RlsRule};
+//! use rls_live::{LiveEngine, LiveParams, SteadyState};
+//! use rls_rng::rng_from_seed;
+//! use rls_workloads::ArrivalProcess;
+//!
+//! let initial = Config::uniform(16, 4).unwrap();
+//! // Hold the population at m = 64: arrivals at rate 2/bin, μ = λ/m.
+//! let params = LiveParams::balanced(
+//!     ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 64).unwrap();
+//! let mut engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+//! let mut steady = SteadyState::new(5.0); // 5 time units of warm-up
+//! engine.run_until(20.0, &mut rng_from_seed(7), &mut steady);
+//! let summary = steady.finish(engine.time());
+//! assert!(summary.mean_gap < 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod engine;
+pub mod event;
+pub mod observer;
+pub mod replay;
+pub mod sharded;
+pub mod snapshot;
+
+pub use engine::{LiveCounters, LiveEngine, LiveParams};
+pub use event::{LiveEvent, LiveEventKind};
+pub use observer::{LiveObserver, SteadyState, SteadySummary};
+pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport};
+pub use sharded::{ShardedEngine, ShardedOutcome};
+pub use snapshot::Snapshot;
+
+/// Errors from the live engine, snapshots or event logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// The dynamics parameters are unusable.
+    Params(String),
+    /// A snapshot is internally inconsistent.
+    Snapshot(String),
+    /// An event log is malformed or cannot be applied.
+    Log(String),
+}
+
+impl LiveError {
+    pub(crate) fn params(message: impl Into<String>) -> Self {
+        LiveError::Params(message.into())
+    }
+
+    pub(crate) fn snapshot(message: impl Into<String>) -> Self {
+        LiveError::Snapshot(message.into())
+    }
+
+    pub(crate) fn log(message: impl Into<String>) -> Self {
+        LiveError::Log(message.into())
+    }
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Params(m) => write!(f, "live engine parameters: {m}"),
+            LiveError::Snapshot(m) => write!(f, "live snapshot: {m}"),
+            LiveError::Log(m) => write!(f, "live event log: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(LiveError::params("bad rate")
+            .to_string()
+            .contains("bad rate"));
+        assert!(LiveError::snapshot("x").to_string().contains("snapshot"));
+        assert!(LiveError::log("y").to_string().contains("event log"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Steady-state observers for live runs.
+//!
+//! A live run has no stopping time to report; the quantities of interest
+//! are *stationary*: the time-averaged gap (max load minus average), the
+//! time-weighted distribution of the overload (how many balls the fullest
+//! bin carries beyond `⌈m/n⌉`), and the protocol work per unit of offered
+//! load (rebalance migrations per arrival).  [`SteadyState`] accumulates
+//! all of these in O(1) per event after a warm-up window, and
+//! [`SteadySummary`] is the serializable digest fed back into
+//! `rls-sim::stats`-style reporting.
+
+use rls_core::LoadTracker;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::event::{LiveEvent, LiveEventKind};
+
+/// Receives every live event (after it has been applied).
+pub trait LiveObserver {
+    /// Called once before the run with the initial state.
+    fn on_start(&mut self, _tracker: &LoadTracker, _time: f64) {}
+
+    /// Called after each event; `tracker` reflects the post-event state.
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker);
+}
+
+/// The unit observer ignores everything.
+impl LiveObserver for () {
+    #[inline]
+    fn on_event(&mut self, _event: &LiveEvent, _tracker: &LoadTracker) {}
+}
+
+/// `None` observes nothing — for observers attached conditionally (e.g. a
+/// recorder that only exists when the run is being captured).
+impl<O: LiveObserver> LiveObserver for Option<O> {
+    fn on_start(&mut self, tracker: &LoadTracker, time: f64) {
+        if let Some(observer) = self {
+            observer.on_start(tracker, time);
+        }
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker) {
+        if let Some(observer) = self {
+            observer.on_event(event, tracker);
+        }
+    }
+}
+
+/// Fan-out to two observers.
+impl<A: LiveObserver, B: LiveObserver> LiveObserver for (A, B) {
+    fn on_start(&mut self, tracker: &LoadTracker, time: f64) {
+        self.0.on_start(tracker, time);
+        self.1.on_start(tracker, time);
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker) {
+        self.0.on_event(event, tracker);
+        self.1.on_event(event, tracker);
+    }
+}
+
+/// Serializable digest of a measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadySummary {
+    /// Length of the measurement window (excludes warm-up).
+    pub window: f64,
+    /// Time-averaged gap `max − m/n` over the window.
+    pub mean_gap: f64,
+    /// Median (time-weighted) overload `max − ⌈m/n⌉`.
+    pub p50_overload: f64,
+    /// 99th percentile (time-weighted) overload.
+    pub p99_overload: f64,
+    /// Largest overload observed in the window.
+    pub max_overload: u64,
+    /// Rebalance migrations per arriving ball (protocol work per unit of
+    /// offered load).
+    pub moves_per_arrival: f64,
+    /// Balls that arrived inside the window.
+    pub arrivals: u64,
+    /// Balls that departed inside the window.
+    pub departures: u64,
+    /// RLS rings inside the window.
+    pub rings: u64,
+    /// Migrations inside the window.
+    pub migrations: u64,
+}
+
+/// Accumulates steady-state statistics over `[warmup, ∞)`.
+///
+/// Works from either the event stream (as a [`LiveObserver`]) or directly
+/// via [`record`](Self::record) — the sharded engine uses the latter at
+/// batch granularity.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    warmup: f64,
+    started: bool,
+    last_time: f64,
+    last_gap: f64,
+    last_overload: u64,
+    gap_integral: f64,
+    /// Time spent at each overload value.
+    overload_time: BTreeMap<u64, f64>,
+    arrivals: u64,
+    departures: u64,
+    rings: u64,
+    migrations: u64,
+}
+
+impl SteadyState {
+    /// Measure from `warmup` onwards.
+    pub fn new(warmup: f64) -> Self {
+        Self {
+            warmup,
+            started: false,
+            last_time: warmup,
+            last_gap: 0.0,
+            last_overload: 0,
+            gap_integral: 0.0,
+            overload_time: BTreeMap::new(),
+            arrivals: 0,
+            departures: 0,
+            rings: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Record that the system sat in a state with the given gap/overload
+    /// from the previous record up to `time`, then switched to that state.
+    pub fn record(&mut self, time: f64, gap: f64, overload: u64) {
+        if time > self.warmup {
+            if !self.started {
+                self.started = true;
+                self.last_time = self.warmup;
+            }
+            let dt = time - self.last_time;
+            if dt > 0.0 {
+                self.gap_integral += self.last_gap * dt;
+                *self.overload_time.entry(self.last_overload).or_insert(0.0) += dt;
+            }
+            self.last_time = time;
+        }
+        self.last_gap = gap;
+        self.last_overload = overload;
+    }
+
+    /// Add event counts (only counted once measurement has started).
+    pub fn count(&mut self, arrivals: u64, departures: u64, rings: u64, migrations: u64) {
+        if self.started {
+            self.arrivals += arrivals;
+            self.departures += departures;
+            self.rings += rings;
+            self.migrations += migrations;
+        }
+    }
+
+    /// Close the window at `end_time` and summarize.
+    pub fn finish(mut self, end_time: f64) -> SteadySummary {
+        // Integrate the tail segment.
+        self.record(end_time.max(self.warmup + f64::MIN_POSITIVE), 0.0, 0);
+        let window = (end_time - self.warmup).max(f64::MIN_POSITIVE);
+        let (p50, p99, max) = self.overload_quantiles();
+        SteadySummary {
+            window,
+            mean_gap: self.gap_integral / window,
+            p50_overload: p50,
+            p99_overload: p99,
+            max_overload: max,
+            moves_per_arrival: self.migrations as f64 / self.arrivals.max(1) as f64,
+            arrivals: self.arrivals,
+            departures: self.departures,
+            rings: self.rings,
+            migrations: self.migrations,
+        }
+    }
+
+    /// Time-weighted overload quantiles (p50, p99) and the max.
+    fn overload_quantiles(&self) -> (f64, f64, u64) {
+        let total: f64 = self.overload_time.values().sum();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0);
+        }
+        let quantile = |q: f64| -> f64 {
+            let target = q * total;
+            let mut acc = 0.0;
+            for (&overload, &t) in &self.overload_time {
+                acc += t;
+                if acc >= target {
+                    return overload as f64;
+                }
+            }
+            *self.overload_time.keys().next_back().unwrap() as f64
+        };
+        (
+            quantile(0.5),
+            quantile(0.99),
+            *self.overload_time.keys().next_back().unwrap(),
+        )
+    }
+
+    fn gap_and_overload(tracker: &LoadTracker) -> (f64, u64) {
+        let avg = tracker.average();
+        let gap = (tracker.max_load() as f64 - avg).max(0.0);
+        let n = tracker.n() as u64;
+        let ceil_avg = tracker.m().div_ceil(n.max(1));
+        (gap, tracker.max_load().saturating_sub(ceil_avg))
+    }
+}
+
+impl LiveObserver for SteadyState {
+    fn on_start(&mut self, tracker: &LoadTracker, time: f64) {
+        let (gap, overload) = Self::gap_and_overload(tracker);
+        self.record(time, gap, overload);
+    }
+
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker) {
+        let (gap, overload) = Self::gap_and_overload(tracker);
+        self.record(event.time, gap, overload);
+        if event.time > self.warmup {
+            match &event.kind {
+                LiveEventKind::Arrival { bins } => self.count(bins.len() as u64, 0, 0, 0),
+                LiveEventKind::Departure { .. } => self.count(0, 1, 0, 0),
+                LiveEventKind::Ring { moved, .. } => self.count(0, 0, 1, *moved as u64),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_integrates_piecewise_constant_gap() {
+        let mut s = SteadyState::new(0.0);
+        s.record(0.0, 2.0, 2); // state: gap 2 from t=0
+        s.record(1.0, 4.0, 4); // gap 2 over [0,1), then gap 4
+        s.record(3.0, 0.0, 0); // gap 4 over [1,3)
+        let summary = s.finish(4.0); // gap 0 over [3,4)
+        assert!((summary.window - 4.0).abs() < 1e-12);
+        // (2·1 + 4·2 + 0·1)/4 = 2.5
+        assert!((summary.mean_gap - 2.5).abs() < 1e-12);
+        assert_eq!(summary.max_overload, 4);
+        // Time at overload: 2→1s, 4→2s, 0→1s. p50 falls on overload 2
+        // (cumulative 0:1s, 2:2s ≥ 2s target).
+        assert_eq!(summary.p50_overload, 2.0);
+        assert_eq!(summary.p99_overload, 4.0);
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let mut s = SteadyState::new(10.0);
+        s.record(5.0, 100.0, 50); // entirely before warm-up
+        s.record(12.0, 1.0, 1); // gap 100 over [10,12) counts
+        let summary = s.finish(14.0); // gap 1 over [12,14)
+        assert!((summary.window - 4.0).abs() < 1e-12);
+        assert!((summary.mean_gap - (100.0 * 2.0 + 1.0 * 2.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_only_inside_the_window() {
+        let mut s = SteadyState::new(1.0);
+        s.count(5, 5, 5, 5); // before measurement starts: dropped
+        s.record(2.0, 0.0, 0);
+        s.count(10, 2, 8, 4);
+        let summary = s.finish(3.0);
+        assert_eq!(summary.arrivals, 10);
+        assert_eq!(summary.departures, 2);
+        assert_eq!(summary.rings, 8);
+        assert_eq!(summary.migrations, 4);
+        assert!((summary.moves_per_arrival - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_well_defined() {
+        let s = SteadyState::new(0.0);
+        let summary = s.finish(0.0);
+        assert_eq!(summary.mean_gap, 0.0);
+        assert_eq!(summary.max_overload, 0);
+        assert_eq!(summary.moves_per_arrival, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = SteadyState::new(0.0);
+        s.record(0.0, 1.5, 1);
+        s.count(3, 1, 4, 2);
+        let summary = s.finish(2.0);
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: SteadySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+    }
+}

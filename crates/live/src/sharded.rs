@@ -1,0 +1,489 @@
+//! The sharded live engine: bins partitioned across workers, events
+//! processed in deterministic seeded batches.
+//!
+//! The sequential [`LiveEngine`](crate::LiveEngine) serializes every event
+//! through one state; for multi-million-event streams the hardware has
+//! cores to spare.  [`ShardedEngine`] partitions the bins into `S`
+//! contiguous shards and advances time in fixed slices of length `Δ`:
+//!
+//! * within a slice, every shard independently simulates its *local*
+//!   superposition (Poisson arrivals thinned to its bins — the one arrival
+//!   law whose placement factors across the partition — plus departures
+//!   and RLS rings of its balls) from an RNG stream derived from
+//!   `(seed, batch, shard)`;
+//! * a ring whose sampled destination lies in another shard decides
+//!   against the destination's load *as published at the slice start*
+//!   (bounded staleness — the decision a distributed node could actually
+//!   make), and the migration is delivered at the slice barrier;
+//! * the barrier applies cross-shard deliveries in deterministic
+//!   `(shard, draw)` order and publishes the new global load vector.
+//!
+//! Because every random stream is keyed by `(seed, batch, shard)` and the
+//! merge order is fixed, the trajectory depends only on the seed and the
+//! shard/slice configuration — **never on the worker thread count**: the
+//! engine run on one thread and on sixteen produces bit-identical final
+//! states.  As the slice shrinks the published loads converge to the live
+//! loads and the law converges to the sequential engine's; the
+//! cross-validation test checks the steady-state observables agree.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use rls_core::Config;
+use rls_core::RlsRule;
+use rls_rng::dist::{Distribution, Exponential};
+use rls_rng::{Rng64, RngExt, StreamFactory, StreamId};
+use rls_sim::parallel::parallel_map;
+use rls_workloads::ArrivalProcess;
+
+use crate::engine::{LiveCounters, LiveParams};
+use crate::observer::{SteadyState, SteadySummary};
+use crate::LiveError;
+
+/// One bin partition and its resident balls.
+#[derive(Debug)]
+struct Shard {
+    /// Global bin indices owned by this shard.
+    bins: Range<usize>,
+    /// Loads of the owned bins (indexed by `global − bins.start`).
+    loads: Vec<u64>,
+    /// Resident balls, each entry a *global* bin index.
+    balls: Vec<u32>,
+}
+
+/// What one shard produced in one slice.
+struct SliceResult {
+    /// Destinations of balls migrating out of this shard, in draw order.
+    outbox: Vec<u32>,
+    /// Event counters accumulated in the slice.
+    delta: LiveCounters,
+}
+
+/// Final state of a sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutcome {
+    /// Final global load vector.
+    pub final_loads: Vec<u64>,
+    /// Final simulation time (a whole number of slices).
+    pub time: f64,
+    /// Aggregate counters.
+    pub counters: LiveCounters,
+    /// Steady-state summary (batch-boundary granularity).
+    pub summary: SteadySummary,
+}
+
+/// The deterministic batch-parallel engine.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Mutex<Shard>>,
+    /// Published global loads (slice-start snapshot all shards read).
+    published: Vec<u64>,
+    params: LiveParams,
+    rule: RlsRule,
+    seed: u64,
+    slice: f64,
+    time: f64,
+    batch: u64,
+    counters: LiveCounters,
+}
+
+impl ShardedEngine {
+    /// Partition `initial` into `shards` contiguous bin ranges.
+    ///
+    /// `slice` is the synchronization period `Δ`: smaller tracks the
+    /// sequential law more closely, larger amortizes the barrier.
+    pub fn new(
+        initial: Config,
+        params: LiveParams,
+        rule: RlsRule,
+        shards: usize,
+        slice: f64,
+        seed: u64,
+    ) -> Result<Self, LiveError> {
+        params.validate()?;
+        // Only placement laws that factor across the bin partition can be
+        // sharded: a hotspot targets one global bin, and a burst epoch
+        // scatters its balls over *all* bins jointly — confining either to
+        // one shard would simulate a different law than the sequential
+        // engine.
+        if !matches!(params.arrivals, ArrivalProcess::Poisson { .. }) {
+            return Err(LiveError::params(format!(
+                "`{}` arrivals are not supported by the sharded engine \
+                 (placement is not shard-local); use the sequential engine",
+                params.arrivals.name()
+            )));
+        }
+        let n = initial.n();
+        if shards == 0 || shards > n {
+            return Err(LiveError::params(format!(
+                "shard count must lie in 1..={n}"
+            )));
+        }
+        if !(slice.is_finite() && slice > 0.0) {
+            return Err(LiveError::params("slice length must be positive"));
+        }
+        if initial.m() > u32::MAX as u64 {
+            return Err(LiveError::params("more than u32::MAX balls"));
+        }
+
+        let mut shard_vec = Vec::with_capacity(shards);
+        let per = n / shards;
+        let extra = n % shards;
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = per + usize::from(s < extra);
+            let bins = start..start + len;
+            let loads: Vec<u64> = initial.loads()[bins.clone()].to_vec();
+            let mut balls = Vec::new();
+            for (offset, &load) in loads.iter().enumerate() {
+                for _ in 0..load {
+                    balls.push((bins.start + offset) as u32);
+                }
+            }
+            shard_vec.push(Mutex::new(Shard { bins, loads, balls }));
+            start += len;
+        }
+
+        Ok(Self {
+            shards: shard_vec,
+            published: initial.loads().to_vec(),
+            params,
+            rule,
+            seed,
+            slice,
+            time: 0.0,
+            batch: 0,
+            counters: LiveCounters::default(),
+        })
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Aggregate counters so far.
+    pub fn counters(&self) -> LiveCounters {
+        self.counters
+    }
+
+    /// The published (slice-start) global load vector.
+    pub fn loads(&self) -> &[u64] {
+        &self.published
+    }
+
+    /// Advance one slice on `threads` workers; returns the events processed.
+    pub fn step_slice(&mut self, threads: usize) -> u64 {
+        let factory = StreamFactory::new(self.seed);
+        let batch = self.batch;
+        let slice = self.slice;
+        let n = self.published.len();
+        let params = self.params;
+        let rule = self.rule;
+        let published = &self.published;
+        let shards = &self.shards;
+
+        let results: Vec<SliceResult> = parallel_map(shards.len(), threads, |s| {
+            let mut rng = factory.rng(StreamId {
+                trial: batch,
+                component: s as u64,
+                salt: 0xDA7A,
+            });
+            let mut shard = shards[s].lock().expect("shard lock");
+            run_slice(&mut shard, published, n, params, rule, slice, &mut rng)
+        });
+
+        // Deterministic merge: bucket deliveries by destination shard in
+        // (source shard, draw) order — the order is a pure function of the
+        // slice's random streams — then apply each shard's inbox on the
+        // worker pool (each worker owns one destination shard, so the
+        // application commutes across shards and the result is identical
+        // for any thread count).
+        let mut events = 0;
+        let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for result in &results {
+            for &dest in &result.outbox {
+                inboxes[self.owner_of(dest as usize)].push(dest);
+            }
+            events += result.delta.events;
+        }
+        {
+            let shards = &self.shards;
+            let inboxes = &inboxes;
+            parallel_map(shards.len(), threads, |s| {
+                let mut shard = shards[s].lock().expect("shard lock");
+                for &dest in &inboxes[s] {
+                    let offset = dest as usize - shard.bins.start;
+                    shard.loads[offset] += 1;
+                    shard.balls.push(dest);
+                }
+            });
+        }
+        for result in &results {
+            let d = &result.delta;
+            self.counters.arrivals += d.arrivals;
+            self.counters.departures += d.departures;
+            self.counters.rings += d.rings;
+            self.counters.migrations += d.migrations;
+            self.counters.events += d.events;
+        }
+
+        // Publish the post-barrier loads.
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            self.published[shard.bins.clone()].copy_from_slice(&shard.loads);
+        }
+        self.time = (self.batch + 1) as f64 * self.slice;
+        self.batch += 1;
+        events
+    }
+
+    /// Run until simulated time reaches `until` (rounded up to whole
+    /// slices), collecting steady-state statistics after `warmup`.
+    pub fn run(&mut self, until: f64, warmup: f64, threads: usize) -> ShardedOutcome {
+        let mut steady = SteadyState::new(warmup);
+        let (gap, overload) = gap_and_overload(&self.published);
+        steady.record(self.time, gap, overload);
+        while self.time < until {
+            let before = self.counters;
+            self.step_slice(threads);
+            let (gap, overload) = gap_and_overload(&self.published);
+            steady.record(self.time, gap, overload);
+            let d = self.counters;
+            steady.count(
+                d.arrivals - before.arrivals,
+                d.departures - before.departures,
+                d.rings - before.rings,
+                d.migrations - before.migrations,
+            );
+        }
+        ShardedOutcome {
+            final_loads: self.published.clone(),
+            time: self.time,
+            counters: self.counters,
+            summary: steady.finish(self.time),
+        }
+    }
+
+    fn owner_of(&self, bin: usize) -> usize {
+        // Mirror the contiguous partition arithmetic of `new`.
+        let n = self.published.len();
+        let shards = self.shards.len();
+        let per = n / shards;
+        let extra = n % shards;
+        let boundary = extra * (per + 1);
+        if bin < boundary {
+            bin / (per + 1)
+        } else {
+            extra + (bin - boundary) / per.max(1)
+        }
+    }
+}
+
+/// Time-averaged gap and overload of a global load vector.
+fn gap_and_overload(loads: &[u64]) -> (f64, u64) {
+    let n = loads.len() as u64;
+    let m: u64 = loads.iter().sum();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let avg = m as f64 / n as f64;
+    let ceil_avg = m.div_ceil(n.max(1));
+    ((max as f64 - avg).max(0.0), max.saturating_sub(ceil_avg))
+}
+
+/// Simulate one shard over one slice.
+fn run_slice<R: Rng64 + ?Sized>(
+    shard: &mut Shard,
+    published: &[u64],
+    n: usize,
+    params: LiveParams,
+    rule: RlsRule,
+    slice: f64,
+    rng: &mut R,
+) -> SliceResult {
+    let local_n = shard.bins.len();
+    let share = local_n as f64 / n as f64;
+    let mut outbox = Vec::new();
+    let mut delta = LiveCounters::default();
+    let mut elapsed = 0.0f64;
+
+    loop {
+        let m_s = shard.balls.len() as f64;
+        let epoch_rate = params.arrivals.epoch_rate(n) * share;
+        let total = epoch_rate + m_s * params.service_rate + m_s;
+        if total <= 0.0 {
+            break;
+        }
+        elapsed += Exponential::new(total)
+            .expect("positive total rate")
+            .sample(rng);
+        if elapsed >= slice {
+            // Exponential memorylessness makes redrawing at the slice
+            // boundary exact for the timing law.
+            break;
+        }
+        delta.events += 1;
+        let pick = rng.next_f64() * total;
+        // With no resident balls only arrivals have positive rate; route
+        // there unconditionally (also absorbs the ~2⁻⁵³ rounding case
+        // where `pick` lands exactly on `total`).
+        if m_s == 0.0 || pick < epoch_rate {
+            for _ in 0..params.arrivals.epoch_size() {
+                let offset = rng.next_index(local_n);
+                shard.loads[offset] += 1;
+                shard.balls.push((shard.bins.start + offset) as u32);
+                delta.arrivals += 1;
+            }
+        } else if pick < epoch_rate + m_s * params.service_rate {
+            let slot = rng.next_index(shard.balls.len());
+            let bin = shard.balls.swap_remove(slot) as usize;
+            shard.loads[bin - shard.bins.start] -= 1;
+            delta.departures += 1;
+        } else {
+            delta.rings += 1;
+            let slot = rng.next_index(shard.balls.len());
+            let source = shard.balls[slot] as usize;
+            let dest = rng.next_index(n);
+            if dest == source {
+                continue;
+            }
+            let source_offset = source - shard.bins.start;
+            let dest_load = if shard.bins.contains(&dest) {
+                shard.loads[dest - shard.bins.start]
+            } else {
+                published[dest]
+            };
+            if rule.permits_loads(shard.loads[source_offset], dest_load) {
+                shard.loads[source_offset] -= 1;
+                delta.migrations += 1;
+                if shard.bins.contains(&dest) {
+                    shard.loads[dest - shard.bins.start] += 1;
+                    shard.balls[slot] = dest as u32;
+                } else {
+                    shard.balls.swap_remove(slot);
+                    outbox.push(dest as u32);
+                }
+            }
+        }
+    }
+
+    SliceResult { outbox, delta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LiveEngine;
+    use rls_rng::rng_from_seed;
+
+    fn params(n: usize, m: u64) -> LiveParams {
+        LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, n, m).unwrap()
+    }
+
+    fn sharded(n: usize, m: u64, shards: usize, seed: u64) -> ShardedEngine {
+        let initial = Config::uniform(n, m / n as u64).unwrap();
+        ShardedEngine::new(initial, params(n, m), RlsRule::paper(), shards, 0.25, seed).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let initial = Config::uniform(8, 8).unwrap();
+        let p = params(8, 64);
+        assert!(ShardedEngine::new(initial.clone(), p, RlsRule::paper(), 0, 0.5, 1).is_err());
+        assert!(ShardedEngine::new(initial.clone(), p, RlsRule::paper(), 9, 0.5, 1).is_err());
+        assert!(ShardedEngine::new(initial.clone(), p, RlsRule::paper(), 2, 0.0, 1).is_err());
+        // Placement laws that do not factor across the partition are
+        // rejected, not silently re-interpreted shard-locally.
+        let hotspot = LiveParams {
+            arrivals: ArrivalProcess::Hotspot {
+                rate_per_bin: 1.0,
+                bias: 0.5,
+            },
+            service_rate: 0.1,
+        };
+        assert!(ShardedEngine::new(initial.clone(), hotspot, RlsRule::paper(), 2, 0.5, 1).is_err());
+        let bursts = LiveParams {
+            arrivals: ArrivalProcess::Bursts {
+                rate_per_bin: 1.0,
+                size: 8,
+            },
+            service_rate: 0.1,
+        };
+        assert!(ShardedEngine::new(initial, bursts, RlsRule::paper(), 2, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn uneven_partitions_cover_every_bin() {
+        // n = 10 over 4 shards → sizes 3,3,2,2; ownership arithmetic must
+        // agree with the partition.
+        let initial = Config::uniform(10, 4).unwrap();
+        let engine =
+            ShardedEngine::new(initial, params(10, 40), RlsRule::paper(), 4, 0.5, 7).unwrap();
+        let mut seen = [false; 10];
+        for (s, shard) in engine.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap();
+            for bin in shard.bins.clone() {
+                assert_eq!(engine.owner_of(bin), s, "bin {bin}");
+                seen[bin] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_trajectory() {
+        let out_1 = sharded(16, 256, 4, 42).run(30.0, 5.0, 1);
+        let out_8 = sharded(16, 256, 4, 42).run(30.0, 5.0, 8);
+        assert_eq!(out_1.final_loads, out_8.final_loads);
+        assert_eq!(out_1.counters, out_8.counters);
+        assert_eq!(out_1.summary, out_8.summary);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = sharded(16, 256, 4, 1).run(10.0, 2.0, 2);
+        let b = sharded(16, 256, 4, 2).run(10.0, 2.0, 2);
+        assert_ne!(a.final_loads, b.final_loads);
+    }
+
+    #[test]
+    fn conservation_holds_at_every_barrier() {
+        let mut engine = sharded(16, 256, 4, 9);
+        let mut balls: i64 = 256;
+        for _ in 0..40 {
+            let before = engine.counters();
+            engine.step_slice(2);
+            let d = engine.counters();
+            balls += (d.arrivals - before.arrivals) as i64;
+            balls -= (d.departures - before.departures) as i64;
+            let total: u64 = engine.loads().iter().sum();
+            assert_eq!(total as i64, balls, "ball conservation broke");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_steady_state_statistically() {
+        // Same law up to bounded staleness: the time-averaged gap of the
+        // sharded engine must land close to the sequential engine's.
+        let n = 16;
+        let m = 256;
+        let mut seq_engine = LiveEngine::new(
+            Config::uniform(n, m / n as u64).unwrap(),
+            params(n, m),
+            RlsRule::paper(),
+        )
+        .unwrap();
+        let mut steady = SteadyState::new(10.0);
+        seq_engine.run_until(60.0, &mut rng_from_seed(3), &mut steady);
+        let sequential = steady.finish(seq_engine.time());
+
+        let shard_summary = sharded(n, m, 4, 3).run(60.0, 10.0, 4).summary;
+
+        let diff = (sequential.mean_gap - shard_summary.mean_gap).abs();
+        assert!(
+            diff < 1.5,
+            "steady-state gap diverged: sequential {} vs sharded {}",
+            sequential.mean_gap,
+            shard_summary.mean_gap
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Snapshot / restore of live-engine state.
+//!
+//! A [`Snapshot`] captures everything a bit-identical resumption needs:
+//! the load vector, the ball→bin slot map (its permutation feeds
+//! uniform-ball sampling), the clock, the counters, the dynamics
+//! parameters and the caller's RNG state.  Snapshots are plain serde
+//! values; the CLI persists them as canonical JSON and content-addresses
+//! the bytes through `rls-campaign::hash`, so two snapshots with the same
+//! key are the same state.
+
+use rls_core::{Config, RlsRule};
+use rls_rng::Xoshiro256PlusPlus;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{LiveCounters, LiveEngine, LiveParams};
+use crate::LiveError;
+
+/// A serializable checkpoint of a [`LiveEngine`] plus its RNG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Simulation time at capture.
+    pub time: f64,
+    /// Event sequence number at capture.
+    pub seq: u64,
+    /// The load vector.
+    pub loads: Vec<u64>,
+    /// The ball→bin slot map (must stay verbatim for exact resumption).
+    pub balls: Vec<u32>,
+    /// Dynamics parameters.
+    pub params: LiveParams,
+    /// RLS rule in force.
+    pub rule: RlsRule,
+    /// Aggregate counters at capture.
+    pub counters: LiveCounters,
+    /// The caller's generator state (xoshiro256++).
+    pub rng_state: [u64; 4],
+}
+
+impl Snapshot {
+    /// Capture an engine together with the RNG that drives it.
+    pub fn capture(engine: &LiveEngine, rng: &Xoshiro256PlusPlus) -> Self {
+        Self {
+            time: engine.time(),
+            seq: engine.counters().events,
+            loads: engine.config().loads().to_vec(),
+            balls: engine.ball_slots().to_vec(),
+            params: engine.params(),
+            rule: engine.rule(),
+            counters: engine.counters(),
+            rng_state: rng.state(),
+        }
+    }
+
+    /// Rebuild the engine and RNG; validates internal consistency.
+    pub fn restore(&self) -> Result<(LiveEngine, Xoshiro256PlusPlus), LiveError> {
+        let cfg = Config::from_loads(self.loads.clone())
+            .map_err(|e| LiveError::snapshot(format!("bad load vector: {e}")))?;
+        let mut counts = vec![0u64; cfg.n()];
+        for &b in &self.balls {
+            let bin = b as usize;
+            if bin >= cfg.n() {
+                return Err(LiveError::snapshot(format!(
+                    "ball slot references bin {bin} outside 0..{}",
+                    cfg.n()
+                )));
+            }
+            counts[bin] += 1;
+        }
+        if counts != cfg.loads() {
+            return Err(LiveError::snapshot(
+                "ball slot map is inconsistent with the load vector",
+            ));
+        }
+        if self.rng_state.iter().all(|&w| w == 0) {
+            return Err(LiveError::snapshot("all-zero RNG state"));
+        }
+        let engine = LiveEngine::from_parts(
+            cfg,
+            self.balls.clone(),
+            self.params,
+            self.rule,
+            self.time,
+            self.seq,
+            self.counters,
+        );
+        engine.params().validate()?;
+        Ok((engine, Xoshiro256PlusPlus::from_state(self.rng_state)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_rng::rng_from_seed;
+    use rls_workloads::ArrivalProcess;
+
+    fn engine() -> LiveEngine {
+        let initial = Config::uniform(8, 8).unwrap();
+        let params =
+            LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 8, 64).unwrap();
+        LiveEngine::new(initial, params, RlsRule::paper()).unwrap()
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        // Run A: straight through.
+        let mut straight = engine();
+        let mut rng_a = rng_from_seed(11);
+        straight.run_until(30.0, &mut rng_a, &mut ());
+
+        // Run B: pause at t=12, snapshot through JSON, resume.
+        let mut paused = engine();
+        let mut rng_b = rng_from_seed(11);
+        paused.run_until(12.0, &mut rng_b, &mut ());
+        let json = serde_json::to_string(&Snapshot::capture(&paused, &rng_b)).unwrap();
+        let snap: Snapshot = serde_json::from_str(&json).unwrap();
+        let (mut resumed, mut rng_c) = snap.restore().unwrap();
+        resumed.run_until(30.0, &mut rng_c, &mut ());
+
+        assert_eq!(straight.config(), resumed.config());
+        assert_eq!(straight.counters(), resumed.counters());
+        assert_eq!(straight.time().to_bits(), resumed.time().to_bits());
+        assert_eq!(rng_a.state(), rng_c.state());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let eng = engine();
+        let rng = rng_from_seed(1);
+        let good = Snapshot::capture(&eng, &rng);
+
+        let mut wrong_balls = good.clone();
+        wrong_balls.balls = vec![0; good.balls.len()]; // inconsistent with loads
+        assert!(wrong_balls.restore().is_err());
+
+        let mut out_of_range = good.clone();
+        out_of_range.balls[0] = 200;
+        assert!(out_of_range.restore().is_err());
+
+        let mut zero_rng = good.clone();
+        zero_rng.rng_state = [0; 4];
+        assert!(zero_rng.restore().is_err());
+
+        let mut empty = good.clone();
+        empty.loads.clear();
+        empty.balls.clear();
+        assert!(empty.restore().is_err());
+    }
+}

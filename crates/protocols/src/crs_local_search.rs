@@ -173,7 +173,7 @@ impl CrsLocalSearch {
             let ball = by_bin[b1][pos] as usize;
             // Place the ball in the lighter of b1, b2 (it currently sits in
             // b1, so it moves only if b2 is strictly lighter).
-            if state.loads[b2] + 1 <= state.loads[b1] {
+            if state.loads[b2] < state.loads[b1] {
                 by_bin[b1].swap_remove(pos);
                 by_bin[b2].push(ball as u32);
                 state.loads[b1] -= 1;
@@ -255,9 +255,8 @@ mod tests {
         let mut state = proto.initialize(12, 48, &mut rng_from_seed(5));
         let candidates = state.candidates.clone();
         let _ = proto.run_from(&mut state, 0.0, &mut rng_from_seed(6));
-        for ball in 0..48usize {
+        for (ball, &(a, b)) in candidates.iter().enumerate().take(48) {
             let bin = state.ball_bin(ball);
-            let (a, b) = candidates[ball];
             assert!(bin == a as usize || bin == b as usize);
         }
         assert_eq!(state.loads.iter().sum::<u64>(), 48);

@@ -79,7 +79,7 @@ impl RandomDestructiveAdversary {
     }
 
     fn budget_left(&self) -> bool {
-        self.budget.map_or(true, |b| self.performed < b)
+        self.budget.is_none_or(|b| self.performed < b)
     }
 }
 

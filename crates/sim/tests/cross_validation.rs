@@ -1,0 +1,98 @@
+//! Cross-validation of the two simulation engines (tier-1, runs in CI).
+//!
+//! The superposition engine ([`Simulation`]) and the literal per-ball clock
+//! engine ([`ClockEngine`]) implement *the same* continuous-time law, so
+//! over many independent trials their stopping-time distributions must be
+//! statistically indistinguishable.  This test runs a small `(n, m)` grid
+//! and compares the empirical CDFs with a Kolmogorov–Smirnov-style
+//! statistic built from `rls_sim::stats`: with 60 samples a side, the
+//! two-sample KS critical value at significance 0.001 is
+//! `1.95·√(2/60) ≈ 0.356`, so a distance bound of 0.35 both keeps real
+//! regressions visible (a variant mix-up or a biased sampler shifts the
+//! CDF by far more) and stays deterministic for the fixed seeds used.
+
+use rls_core::{Config, RlsRule};
+use rls_rng::rng_from_seed;
+use rls_sim::clock::ClockEngine;
+use rls_sim::stats::{dominance_report, Summary};
+use rls_sim::{RlsPolicy, Simulation, StopWhen};
+
+/// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
+fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let report = dominance_report(a, b);
+    report.max_cdf_gap.max(report.max_violation)
+}
+
+fn stopping_times<F: FnMut(u64) -> f64>(trials: u64, mut run: F) -> Vec<f64> {
+    (0..trials).map(&mut run).collect()
+}
+
+#[test]
+fn clock_and_superposition_engines_agree_in_distribution() {
+    let trials = 60u64;
+    for (grid_idx, &(n, m)) in [(8usize, 64u64), (16, 128)].iter().enumerate() {
+        let salt = grid_idx as u64 * 10_000;
+        let clock_times = stopping_times(trials, |t| {
+            let cfg = Config::all_in_one_bin(n, m).unwrap();
+            let mut engine = ClockEngine::new(cfg, RlsRule::paper(), &mut rng_from_seed(salt + t));
+            engine
+                .run(
+                    &mut rng_from_seed(salt + 1000 + t),
+                    StopWhen::perfectly_balanced(),
+                )
+                .time
+        });
+        let super_times = stopping_times(trials, |t| {
+            let cfg = Config::all_in_one_bin(n, m).unwrap();
+            let mut sim = Simulation::new(cfg, RlsPolicy::new(RlsRule::paper())).unwrap();
+            sim.run(
+                &mut rng_from_seed(salt + 2000 + t),
+                StopWhen::perfectly_balanced(),
+            )
+            .time
+        });
+
+        let ks = ks_distance(&clock_times, &super_times);
+        assert!(
+            ks < 0.35,
+            "(n={n}, m={m}): KS distance {ks:.3} exceeds the 0.1% critical value — \
+             the engines no longer simulate the same law"
+        );
+
+        // Means must also agree within Monte-Carlo noise (a location shift
+        // could in principle hide under a just-passing KS distance).
+        let c = Summary::from_samples(&clock_times);
+        let s = Summary::from_samples(&super_times);
+        let rel = (c.mean - s.mean).abs() / s.mean;
+        assert!(
+            rel < 0.25,
+            "(n={n}, m={m}): means diverge by {:.1}% (clock {:.4} vs superposition {:.4})",
+            rel * 100.0,
+            c.mean,
+            s.mean
+        );
+    }
+}
+
+/// The same statistic distinguishes genuinely different laws: the strict
+/// variant from a one-over-one-under start has a different stopping-time
+/// scale than the `≥` variant from the worst case — a sanity check that
+/// the KS bound is not vacuously loose.
+#[test]
+fn ks_statistic_detects_a_real_distribution_shift() {
+    let trials = 40u64;
+    let fast = stopping_times(trials, |t| {
+        let cfg = Config::all_in_one_bin(8, 64).unwrap();
+        let mut sim = Simulation::new(cfg, RlsPolicy::new(RlsRule::paper())).unwrap();
+        sim.run(&mut rng_from_seed(t), StopWhen::perfectly_balanced())
+            .time
+    });
+    // Ten times the balls: a clearly different distribution.
+    let slow = stopping_times(trials, |t| {
+        let cfg = Config::all_in_one_bin(8, 640).unwrap();
+        let mut sim = Simulation::new(cfg, RlsPolicy::new(RlsRule::paper())).unwrap();
+        sim.run(&mut rng_from_seed(t), StopWhen::perfectly_balanced())
+            .time
+    });
+    assert!(ks_distance(&fast, &slow) > 0.35);
+}

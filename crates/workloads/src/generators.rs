@@ -126,7 +126,7 @@ impl Workload {
                         "one-over-one-under needs at least two bins",
                     ));
                 }
-                if m % n as u64 != 0 || m / n as u64 == 0 {
+                if !m.is_multiple_of(n as u64) || m / n as u64 == 0 {
                     return Err(GeneratorError::Incompatible(
                         "one-over-one-under needs n | m and m ≥ n",
                     ));
@@ -138,7 +138,7 @@ impl Workload {
                 Ok(Config::from_loads(loads)?)
             }
             Workload::OverUnderPairs { pairs } => {
-                if m % n as u64 != 0 || m / n as u64 == 0 {
+                if !m.is_multiple_of(n as u64) || m / n as u64 == 0 {
                     return Err(GeneratorError::Incompatible(
                         "over-under-pairs needs n | m and m ≥ n",
                     ));
@@ -167,12 +167,12 @@ impl Workload {
                 Ok(Config::from_loads(loads)?)
             }
             Workload::BlockImbalance { offset } => {
-                if n % 2 != 0 {
+                if !n.is_multiple_of(2) {
                     return Err(GeneratorError::Incompatible(
                         "block imbalance needs an even n",
                     ));
                 }
-                if m % n as u64 != 0 {
+                if !m.is_multiple_of(n as u64) {
                     return Err(GeneratorError::Incompatible("block imbalance needs n | m"));
                 }
                 let avg = m / n as u64;

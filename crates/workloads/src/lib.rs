@@ -21,14 +21,21 @@
 //! * [`Workload::OverUnderPairs`] — a 1-balanced start with `k` over/under
 //!   bin pairs, the Phase-3 (Lemma 17) shape.
 //!
-//! Workloads are plain serializable values, so campaign specs
-//! (`rls-campaign`) can name them in TOML/JSON grids.
+//! Dynamic (online) instances additionally name an [`ArrivalProcess`] — the
+//! law of the ball arrival stream the live engine (`rls-live`) superposes
+//! with the RLS clocks: Poisson singles, adversarial bursts, or a hotspot
+//! stream biased toward one bin.
+//!
+//! Workloads and arrival processes are plain serializable values, so
+//! campaign specs (`rls-campaign`) can name them in TOML/JSON grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod generators;
 
+pub use arrivals::ArrivalProcess;
 pub use generators::{GeneratorError, Workload};
 
 #[cfg(test)]

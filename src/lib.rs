@@ -17,6 +17,7 @@ pub use rls_campaign as campaign;
 pub use rls_cli as cli;
 pub use rls_core as core;
 pub use rls_graph as graph;
+pub use rls_live as live;
 pub use rls_protocols as protocols;
 pub use rls_rng as rng;
 pub use rls_sim as sim;

@@ -286,6 +286,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected an array of length {N}, got {found}")))
+    }
+}
+
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, de::Error> {
         match v {
