@@ -28,8 +28,11 @@ use crate::CampaignError;
 ///
 /// Version history: 1 = static cells only; 2 = `CellSpec` gained the
 /// `dynamic` cell kind and `CellResult` the steady-state aggregates, which
-/// changes every cell's canonical identity.
-pub const ENGINE_VERSION: u32 = 2;
+/// changes every cell's canonical identity; 3 = the engines moved to
+/// Fenwick-indexed exchangeable-ball sampling (no per-ball map, no
+/// `u32::MAX` ball cap) — same law, different random trajectories per
+/// seed, so every cached trial is stale.
+pub const ENGINE_VERSION: u32 = 3;
 
 /// The content address of a cell: hex SHA-256 of its identity.
 pub fn cell_key(campaign_seed: u64, cell: &CellSpec) -> String {

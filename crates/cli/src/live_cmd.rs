@@ -266,8 +266,7 @@ fn run_sequential(args: &RunArgs) -> Result<String, String> {
             }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            let snapshot: Snapshot =
-                serde_json::from_str(&text).map_err(|e| format!("parse snapshot `{path}`: {e}"))?;
+            let snapshot = Snapshot::from_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
             let (engine, rng) = snapshot.restore().map_err(str_of)?;
             let key = snapshot_key(&snapshot);
             (engine, rng, Some((key, snapshot.time)))
@@ -472,7 +471,17 @@ fn replay_cmd(path: &str) -> Result<String, String> {
 
 fn status_cmd(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    if let Ok(snapshot) = serde_json::from_str::<Snapshot>(&text) {
+    // A snapshot of any version is recognizable by its RNG state; route it
+    // through the versioned parser so a legacy v1 file gets the clear
+    // rejection message instead of "neither a snapshot nor a log".
+    let value = serde_json::parse_value(&text).ok();
+    let snapshot_shaped = value
+        .as_ref()
+        .and_then(|v| v.as_object().map(|o| o.get("rng_state").is_some()))
+        .unwrap_or(false);
+    if snapshot_shaped {
+        let value = value.expect("snapshot-shaped implies parsed");
+        let snapshot = Snapshot::from_value(&value).map_err(|e| format!("`{path}`: {e}"))?;
         let m: u64 = snapshot.loads.iter().sum();
         return Ok(format!(
             "snapshot {}\n  n = {}, m = {}, t = {:.3}, events = {}\n  arrivals {} / departures {} / rings {} / migrations {}\n",
@@ -645,7 +654,8 @@ mod tests {
         assert!(out.contains("resumed from snapshot"), "{out}");
 
         // The two final snapshots carry the same engine state (the content
-        // key covers loads, ball map, clock, counters and RNG state).
+        // key covers loads, clock, counters and RNG state — balls are
+        // exchangeable, so the loads are the whole sampling state).
         let a: Snapshot = serde_json::from_str(&std::fs::read_to_string(&log_a).unwrap()).unwrap();
         let b: Snapshot = serde_json::from_str(&std::fs::read_to_string(&log_b).unwrap()).unwrap();
         assert_eq!(snapshot_key(&a), snapshot_key(&b));
@@ -670,6 +680,28 @@ mod tests {
         let out = execute_live(&LiveCommand::Run(Box::new(args))).unwrap();
         assert!(out.contains("sharded engine"), "{out}");
         assert!(out.contains("mean gap"), "{out}");
+    }
+
+    #[test]
+    fn status_rejects_legacy_v1_snapshots_clearly() {
+        let dir = temp_dir("v1");
+        let path = dir.join("old-snap.json");
+        // The pre-Fenwick format: a ball map and no version field.
+        std::fs::write(
+            &path,
+            r#"{"time": 1.0, "seq": 3, "loads": [1, 2], "balls": [0, 1, 1],
+                "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.5},
+                "rule": {"variant": "Geq"},
+                "counters": {"arrivals": 0, "departures": 0, "rings": 3, "migrations": 1, "events": 3},
+                "rng_state": [1, 2, 3, 4]}"#,
+        )
+        .unwrap();
+        let err = execute_live(&LiveCommand::Status {
+            path: path.to_string_lossy().to_string(),
+        })
+        .unwrap_err();
+        assert!(err.contains("legacy v1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

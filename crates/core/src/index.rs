@@ -1,0 +1,354 @@
+//! Fenwick-indexed load vector: exchangeable-ball sampling in O(log n).
+//!
+//! The paper's process only ever needs *a uniformly random ball* — and
+//! balls are exchangeable, so the law of the process depends on the load
+//! vector alone.  Picking a uniform ball is therefore the same thing as
+//! picking a **bin with probability `ℓ_i / m`**, which a Fenwick tree
+//! (binary indexed tree) over the loads answers in `O(log n)` time and
+//! `O(n)` memory: draw a uniform rank `r ∈ [0, m)` and descend to the
+//! first bin whose cumulative load exceeds `r`.
+//!
+//! This replaces the engines' historical `balls: Vec<u32>` map (4 bytes
+//! *per ball*, hard-capped at `u32::MAX` balls) with a structure whose
+//! size is independent of `m`: a billion-ball instance costs the same
+//! memory as a thousand-ball one.  The tree is maintained incrementally —
+//! `±1` per endpoint of every move, arrival or departure, mirroring the
+//! [`LoadTracker`](crate::LoadTracker) hooks — so the engines never pay an
+//! `O(n)` rebuild on the hot path.
+//!
+//! The index is deliberately RNG-free (this crate is purely combinatorial):
+//! callers draw the rank themselves and ask [`bin_at`](LoadIndex::bin_at)
+//! for the bin, which keeps the random-stream accounting in the engines.
+
+use crate::Config;
+
+/// A Fenwick (binary indexed) tree over the `n` bin loads.
+///
+/// Supports `O(log n)` rank queries (`bin_at`), prefix sums and point
+/// updates, with the total load kept alongside so sampling needs no extra
+/// traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadIndex {
+    /// 1-based Fenwick array; `tree[i]` covers `lowbit(i)` bins ending at
+    /// bin `i − 1`.
+    tree: Vec<u64>,
+    /// Largest power of two `≤ n`, the starting stride of the descent.
+    top: usize,
+    /// Total load `m = Σ ℓ_i` (`u64` end to end — no `u32` ball cap).
+    total: u64,
+}
+
+impl LoadIndex {
+    /// Build the index for a configuration.
+    pub fn new(cfg: &Config) -> Self {
+        Self::from_loads(cfg.loads())
+    }
+
+    /// Build the index from a raw load vector in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty or the total overflows `u64` (a
+    /// [`Config`] can never hold either).
+    pub fn from_loads(loads: &[u64]) -> Self {
+        let n = loads.len();
+        assert!(n > 0, "LoadIndex requires at least one bin");
+        let mut tree = vec![0u64; n + 1];
+        let mut total = 0u64;
+        for (i, &l) in loads.iter().enumerate() {
+            tree[i + 1] = tree[i + 1].checked_add(l).expect("total load fits in u64");
+            total = total.checked_add(l).expect("total load fits in u64");
+            let parent = (i + 1) + lowbit(i + 1);
+            if parent <= n {
+                tree[parent] = tree[parent]
+                    .checked_add(tree[i + 1])
+                    .expect("total load fits in u64");
+            }
+        }
+        let mut top = 1usize;
+        while top * 2 <= n {
+            top *= 2;
+        }
+        Self { tree, top, total }
+    }
+
+    /// Number of bins `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Total load `m` (the number of balls).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of the loads of bins `0..bin` (`bin` may equal `n`).
+    pub fn prefix(&self, bin: usize) -> u64 {
+        debug_assert!(bin <= self.n());
+        let mut i = bin;
+        let mut sum = 0u64;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= lowbit(i);
+        }
+        sum
+    }
+
+    /// Load of a single bin, recovered from the tree in `O(log n)`.
+    pub fn load(&self, bin: usize) -> u64 {
+        self.prefix(bin + 1) - self.prefix(bin)
+    }
+
+    /// The bin holding the ball of rank `rank` when balls are laid out bin
+    /// by bin: the first bin whose cumulative load exceeds `rank`.
+    ///
+    /// Drawing `rank` uniformly from `[0, m)` therefore selects a bin with
+    /// probability `ℓ_i / m` — exactly the law of activating a uniformly
+    /// random ball.
+    ///
+    /// # Panics
+    /// Panics if `rank >= total` (in particular whenever the index is
+    /// empty).
+    pub fn bin_at(&self, mut rank: u64) -> usize {
+        assert!(
+            rank < self.total,
+            "rank {rank} out of range (total {})",
+            self.total
+        );
+        let n = self.n();
+        let mut pos = 0usize;
+        let mut step = self.top;
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= rank {
+                rank -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
+
+    /// Add one ball to `bin`.
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range or the total would overflow.
+    #[inline]
+    pub fn increment(&mut self, bin: usize) {
+        assert!(bin < self.n(), "bin {bin} outside 0..{}", self.n());
+        self.total = self.total.checked_add(1).expect("total load fits in u64");
+        let n = self.n();
+        let mut i = bin + 1;
+        while i <= n {
+            self.tree[i] += 1;
+            i += lowbit(i);
+        }
+    }
+
+    /// Remove one ball from `bin`.
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range; panics in debug builds if the bin
+    /// is empty (release builds would silently corrupt the tree, exactly
+    /// like the [`LoadTracker`](crate::LoadTracker) contract).
+    #[inline]
+    pub fn decrement(&mut self, bin: usize) {
+        assert!(bin < self.n(), "bin {bin} outside 0..{}", self.n());
+        debug_assert!(self.load(bin) > 0, "cannot remove a ball from an empty bin");
+        self.total -= 1;
+        let n = self.n();
+        let mut i = bin + 1;
+        while i <= n {
+            self.tree[i] -= 1;
+            i += lowbit(i);
+        }
+    }
+
+    /// Record a ball moving from `from` to `to` (the companion of
+    /// [`Config::apply`] and [`LoadTracker::record_move`](crate::LoadTracker::record_move)).
+    /// Self-loops must not be recorded.
+    #[inline]
+    pub fn record_move(&mut self, from: usize, to: usize) {
+        debug_assert_ne!(from, to, "self-loops must not be recorded");
+        self.decrement(from);
+        self.increment(to);
+    }
+
+    /// Record a dynamic arrival into `bin` (the companion of
+    /// [`Config::add_ball`]).
+    #[inline]
+    pub fn record_insert(&mut self, bin: usize) {
+        self.increment(bin);
+    }
+
+    /// Record a dynamic departure from `bin` (the companion of
+    /// [`Config::remove_ball`]).
+    #[inline]
+    pub fn record_remove(&mut self, bin: usize) {
+        self.decrement(bin);
+    }
+
+    /// Verify the index against a configuration (test/debug helper).
+    pub fn matches(&self, cfg: &Config) -> bool {
+        self.n() == cfg.n()
+            && self.total == cfg.m()
+            && (0..cfg.n()).all(|i| self.load(i) == cfg.load(i))
+    }
+}
+
+#[inline]
+fn lowbit(i: usize) -> usize {
+    i & i.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cumulative_bin(loads: &[u64], rank: u64) -> usize {
+        let mut acc = 0u64;
+        for (i, &l) in loads.iter().enumerate() {
+            acc += l;
+            if rank < acc {
+                return i;
+            }
+        }
+        unreachable!("rank within total")
+    }
+
+    #[test]
+    fn construction_matches_configuration() {
+        let cfg = Config::from_loads(vec![3, 0, 5, 1, 0, 2]).unwrap();
+        let idx = LoadIndex::new(&cfg);
+        assert!(idx.matches(&cfg));
+        assert_eq!(idx.n(), 6);
+        assert_eq!(idx.total(), 11);
+        assert_eq!(idx.prefix(0), 0);
+        assert_eq!(idx.prefix(3), 8);
+        assert_eq!(idx.prefix(6), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_load_vector_rejected() {
+        let _ = LoadIndex::from_loads(&[]);
+    }
+
+    #[test]
+    fn bin_at_agrees_with_the_cumulative_scan() {
+        let loads = [3u64, 0, 5, 1, 0, 2, 7];
+        let idx = LoadIndex::from_loads(&loads);
+        for rank in 0..idx.total() {
+            assert_eq!(
+                idx.bin_at(rank),
+                cumulative_bin(&loads, rank),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn bin_at_never_returns_an_empty_bin() {
+        let loads = [0u64, 4, 0, 0, 1, 0];
+        let idx = LoadIndex::from_loads(&loads);
+        for rank in 0..idx.total() {
+            assert!(loads[idx.bin_at(rank)] > 0, "rank {rank}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_at_rejects_rank_past_total() {
+        let idx = LoadIndex::from_loads(&[2, 1]);
+        let _ = idx.bin_at(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn empty_index_cannot_be_sampled() {
+        let idx = LoadIndex::from_loads(&[0, 0, 0]);
+        let _ = idx.bin_at(0);
+    }
+
+    #[test]
+    fn updates_track_moves_arrivals_and_departures() {
+        let mut cfg = Config::from_loads(vec![4, 1, 0, 3]).unwrap();
+        let mut idx = LoadIndex::new(&cfg);
+
+        cfg.apply(crate::Move::new(0, 2)).unwrap();
+        idx.record_move(0, 2);
+        assert!(idx.matches(&cfg));
+
+        cfg.add_ball(1).unwrap();
+        idx.record_insert(1);
+        assert!(idx.matches(&cfg));
+
+        cfg.remove_ball(3).unwrap();
+        idx.record_remove(3);
+        assert!(idx.matches(&cfg));
+        assert_eq!(idx.total(), cfg.m());
+    }
+
+    #[test]
+    fn stays_consistent_over_a_long_random_walk() {
+        let mut cfg = Config::all_in_one_bin(13, 77).unwrap();
+        let mut idx = LoadIndex::new(&cfg);
+        let mut state = 0xDEADBEEFu64;
+        for step in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 33) as usize % cfg.n();
+            let b = (state >> 13) as usize % cfg.n();
+            match step % 4 {
+                0 => {
+                    cfg.add_ball(a).unwrap();
+                    idx.record_insert(a);
+                }
+                1 if cfg.load(b) > 0 => {
+                    cfg.remove_ball(b).unwrap();
+                    idx.record_remove(b);
+                }
+                _ if a != b && cfg.load(a) > 0 => {
+                    cfg.apply(crate::Move::new(a, b)).unwrap();
+                    idx.record_move(a, b);
+                }
+                _ => continue,
+            }
+            assert!(idx.matches(&cfg), "step {step}");
+        }
+        // Rank queries still agree with a linear scan after the churn.
+        for rank in (0..idx.total()).step_by(17) {
+            assert_eq!(idx.bin_at(rank), cumulative_bin(cfg.loads(), rank));
+        }
+    }
+
+    #[test]
+    fn huge_loads_do_not_overflow() {
+        // A four-billion-ball bin: the lifted u32 cap in miniature.
+        let big = u32::MAX as u64 + 1;
+        let idx = LoadIndex::from_loads(&[big, 1, big]);
+        assert_eq!(idx.total(), 2 * big + 1);
+        assert_eq!(idx.bin_at(0), 0);
+        assert_eq!(idx.bin_at(big - 1), 0);
+        assert_eq!(idx.bin_at(big), 1);
+        assert_eq!(idx.bin_at(big + 1), 2);
+        assert_eq!(idx.bin_at(2 * big), 2);
+    }
+
+    #[test]
+    fn single_bin_index_works() {
+        let mut idx = LoadIndex::from_loads(&[5]);
+        assert_eq!(idx.bin_at(4), 0);
+        idx.record_insert(0);
+        assert_eq!(idx.total(), 6);
+        idx.record_remove(0);
+        assert_eq!(idx.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn decrement_on_empty_bin_panics_in_debug() {
+        let mut idx = LoadIndex::from_loads(&[1, 0]);
+        idx.decrement(1);
+    }
+}

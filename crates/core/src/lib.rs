@@ -37,6 +37,7 @@
 
 mod config;
 mod error;
+mod index;
 mod majorization;
 mod moves;
 mod potential;
@@ -45,6 +46,7 @@ mod tracker;
 
 pub use config::{BinCounts, Config};
 pub use error::{ConfigError, MoveError};
+pub use index::LoadIndex;
 pub use majorization::{is_close, majorizes, sorted_desc};
 pub use moves::{Move, MoveClass};
 pub use potential::{phase2_potential, Phase2Snapshot};

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rls_core::{
-    is_close, majorizes, Config, LoadTracker, Move, Phase2Snapshot, RlsRule, RlsVariant,
+    is_close, majorizes, Config, LoadIndex, LoadTracker, Move, Phase2Snapshot, RlsRule, RlsVariant,
 };
 
 /// Strategy: a small random configuration (1..=12 bins, loads 0..=20).
@@ -136,6 +136,115 @@ proptest! {
             prop_assert!(tracker.matches(&cfg));
             prop_assert!((tracker.discrepancy() - cfg.discrepancy()).abs() < 1e-9);
             prop_assert_eq!(tracker.is_perfectly_balanced(), cfg.is_perfectly_balanced());
+        }
+    }
+
+    /// The average-relative aggregates (discrepancy, overloaded balls,
+    /// holes, bin counts, Phase-2 potential) stay pinned to a freshly
+    /// rebuilt tracker under *arbitrary interleavings* of moves, arrivals
+    /// and departures.  `refresh_average_relative` only runs on population
+    /// changes, so this exercises the incremental `record_move` path
+    /// between rebuilds as well as the rebuild path itself.
+    #[test]
+    fn tracker_aggregates_match_rebuild_under_mixed_churn(
+        cfg in config_strategy(),
+        ops in prop::collection::vec((0u8..3, 0usize..12, 0usize..12), 0..80),
+    ) {
+        let mut cfg = cfg;
+        let mut tracker = LoadTracker::new(&cfg);
+        for (kind, a, b) in ops {
+            let a = a % cfg.n();
+            let b = b % cfg.n();
+            match kind {
+                0 => {
+                    // Arrival into bin `a`.
+                    let old = cfg.load(a);
+                    if cfg.add_ball(a).is_err() {
+                        continue;
+                    }
+                    tracker.record_insert(old);
+                }
+                1 => {
+                    // Departure from bin `a` (skipped when empty).
+                    if cfg.load(a) == 0 {
+                        continue;
+                    }
+                    let old = cfg.load(a);
+                    cfg.remove_ball(a).unwrap();
+                    tracker.record_remove(old);
+                }
+                _ => {
+                    // Move a → b (legal or destructive; skipped when
+                    // impossible).
+                    if a == b || cfg.load(a) == 0 {
+                        continue;
+                    }
+                    let (lf, lt) = (cfg.load(a), cfg.load(b));
+                    cfg.apply(Move::new(a, b)).unwrap();
+                    tracker.record_move(lf, lt);
+                }
+            }
+            let rebuilt = LoadTracker::new(&cfg);
+            prop_assert!(tracker.matches(&cfg));
+            prop_assert!((tracker.discrepancy() - rebuilt.discrepancy()).abs() < 1e-12);
+            prop_assert_eq!(tracker.overloaded_balls(), rebuilt.overloaded_balls());
+            prop_assert_eq!(tracker.holes(), rebuilt.holes());
+            prop_assert_eq!(tracker.bin_counts(), rebuilt.bin_counts());
+            prop_assert_eq!(tracker.phase2_potential(), rebuilt.phase2_potential());
+            prop_assert_eq!(tracker.min_load(), rebuilt.min_load());
+            prop_assert_eq!(tracker.max_load(), rebuilt.max_load());
+        }
+    }
+
+    /// The Fenwick load index tracks the same interleavings: every rank
+    /// maps to the bin a cumulative scan would give, and point updates
+    /// agree with the configuration.
+    #[test]
+    fn load_index_matches_config_under_mixed_churn(
+        cfg in config_strategy(),
+        ops in prop::collection::vec((0u8..3, 0usize..12, 0usize..12), 0..60),
+    ) {
+        let mut cfg = cfg;
+        let mut index = LoadIndex::new(&cfg);
+        for (kind, a, b) in ops {
+            let a = a % cfg.n();
+            let b = b % cfg.n();
+            match kind {
+                0 => {
+                    if cfg.add_ball(a).is_err() {
+                        continue;
+                    }
+                    index.record_insert(a);
+                }
+                1 => {
+                    if cfg.load(a) == 0 {
+                        continue;
+                    }
+                    cfg.remove_ball(a).unwrap();
+                    index.record_remove(a);
+                }
+                _ => {
+                    if a == b || cfg.load(a) == 0 {
+                        continue;
+                    }
+                    cfg.apply(Move::new(a, b)).unwrap();
+                    index.record_move(a, b);
+                }
+            }
+            prop_assert!(index.matches(&cfg));
+        }
+        // Rank queries agree with the linear scan on the final state.
+        let mut acc = 0u64;
+        let mut expect = Vec::new();
+        for (i, &l) in cfg.loads().iter().enumerate() {
+            for _ in 0..l {
+                expect.push(i);
+            }
+            acc += l;
+        }
+        prop_assert_eq!(index.total(), acc);
+        for (rank, &bin) in expect.iter().enumerate() {
+            prop_assert_eq!(index.bin_at(rank as u64), bin);
         }
     }
 

@@ -15,8 +15,14 @@
 //! the component rates.  The ball count `m` changes as arrivals and
 //! departures occur, so the total rate is re-derived every step — the
 //! engine simulates the exact law, not a discretization.
+//!
+//! Because balls are exchangeable, "a uniform ball" (the departing ball,
+//! the ringing ball) is the same law as "a bin with probability `load/m`",
+//! which the Fenwick-indexed load vector ([`LoadIndex`]) answers in
+//! `O(log n)`.  The engine therefore holds `O(n)` state with no per-ball
+//! map and no `u32::MAX` ball cap: `m` is `u64` end to end.
 
-use rls_core::{Config, LoadTracker, Move, RlsRule};
+use rls_core::{Config, LoadIndex, LoadTracker, Move, RlsRule};
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt};
 use rls_workloads::ArrivalProcess;
@@ -85,9 +91,9 @@ pub struct LiveCounters {
 pub struct LiveEngine {
     cfg: Config,
     tracker: LoadTracker,
-    /// `balls[i]` is the bin of ball slot `i`; arrivals push, departures
-    /// swap-remove, so uniform-ball sampling stays O(1) as `m` changes.
-    balls: Vec<u32>,
+    /// Fenwick tree over the loads: uniform-ball sampling (departures and
+    /// rings) in O(log n) with no per-ball state.
+    index: LoadIndex,
     params: LiveParams,
     rule: RlsRule,
     time: f64,
@@ -97,22 +103,17 @@ pub struct LiveEngine {
 
 impl LiveEngine {
     /// Create an engine over the initial configuration.
+    ///
+    /// Any population up to `u64::MAX` is accepted: the engine holds
+    /// `O(n)` state regardless of the ball count.
     pub fn new(initial: Config, params: LiveParams, rule: RlsRule) -> Result<Self, LiveError> {
         params.validate()?;
-        if initial.m() > u32::MAX as u64 {
-            return Err(LiveError::params("more than u32::MAX balls"));
-        }
-        let mut balls = Vec::with_capacity(initial.m() as usize);
-        for (bin, &load) in initial.loads().iter().enumerate() {
-            for _ in 0..load {
-                balls.push(bin as u32);
-            }
-        }
+        let index = LoadIndex::new(&initial);
         let tracker = LoadTracker::new(&initial);
         Ok(Self {
             cfg: initial,
             tracker,
-            balls,
+            index,
             params,
             rule,
             time: 0.0,
@@ -129,6 +130,11 @@ impl LiveEngine {
     /// Incrementally maintained summary of the configuration.
     pub fn tracker(&self) -> &LoadTracker {
         &self.tracker
+    }
+
+    /// The Fenwick index over the loads (exchangeable-ball sampling).
+    pub fn index(&self) -> &LoadIndex {
+        &self.index
     }
 
     /// Current simulation time.
@@ -151,17 +157,11 @@ impl LiveEngine {
         self.rule
     }
 
-    /// The ball→bin slot map (snapshot/restore needs it verbatim: the slot
-    /// permutation feeds uniform-ball sampling, so bit-identical resumption
-    /// must preserve it).
-    pub(crate) fn ball_slots(&self) -> &[u32] {
-        &self.balls
-    }
-
-    /// Rebuild an engine from raw parts (snapshot restore).
+    /// Rebuild an engine from raw parts (snapshot restore).  The load
+    /// vector alone determines the sampling state — balls are exchangeable,
+    /// so there is no per-ball map to restore.
     pub(crate) fn from_parts(
         cfg: Config,
-        balls: Vec<u32>,
         params: LiveParams,
         rule: RlsRule,
         time: f64,
@@ -169,10 +169,11 @@ impl LiveEngine {
         counters: LiveCounters,
     ) -> Self {
         let tracker = LoadTracker::new(&cfg);
+        let index = LoadIndex::new(&cfg);
         Self {
             cfg,
             tracker,
-            balls,
+            index,
             params,
             rule,
             time,
@@ -183,7 +184,7 @@ impl LiveEngine {
 
     /// Total event rate at the current population.
     pub fn total_rate(&self) -> f64 {
-        let m = self.balls.len() as f64;
+        let m = self.cfg.m() as f64;
         self.params.arrivals.epoch_rate(self.cfg.n()) + m * self.params.service_rate + m
     }
 
@@ -191,7 +192,7 @@ impl LiveEngine {
     /// rate is zero (empty system with no arrivals), which is absorbing.
     pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Option<LiveEvent> {
         let n = self.cfg.n();
-        let m = self.balls.len();
+        let m = self.cfg.m();
         let epoch_rate = self.params.arrivals.epoch_rate(n);
         let depart_rate = m as f64 * self.params.service_rate;
         let ring_rate = m as f64;
@@ -220,15 +221,15 @@ impl LiveEngine {
             }
             LiveEventKind::Arrival { bins }
         } else if pick < epoch_rate + depart_rate {
-            let slot = rng.next_index(m);
-            let bin = self.balls[slot] as usize;
-            self.depart(slot);
+            // The departing ball is uniform over m balls ⇒ its bin is
+            // load-proportional.
+            let bin = self.index.bin_at(rng.next_below(m));
+            self.depart(bin);
             LiveEventKind::Departure { bin: bin as u32 }
         } else {
-            let slot = rng.next_index(m);
-            let source = self.balls[slot] as usize;
+            let source = self.index.bin_at(rng.next_below(m));
             let dest = rng.next_index(n);
-            let moved = self.try_migrate(slot, source, dest);
+            let moved = self.try_migrate(source, dest);
             LiveEventKind::Ring {
                 source: source as u32,
                 dest: dest as u32,
@@ -262,28 +263,28 @@ impl LiveEngine {
         processed
     }
 
-    /// Apply an arrival to `bin`, keeping config/tracker/ball map in sync.
+    /// Apply an arrival to `bin`, keeping config/tracker/index in sync.
     fn arrive(&mut self, bin: usize) {
         let old = self.cfg.load(bin);
         self.cfg.add_ball(bin).expect("arrival bin is in range");
         self.tracker.record_insert(old);
-        self.balls.push(bin as u32);
+        self.index.record_insert(bin);
         self.counters.arrivals += 1;
     }
 
-    /// Apply a departure of the ball in `slot`.
-    fn depart(&mut self, slot: usize) {
-        let bin = self.balls.swap_remove(slot) as usize;
+    /// Apply a departure from `bin`.
+    fn depart(&mut self, bin: usize) {
         let old = self.cfg.load(bin);
         self.cfg
             .remove_ball(bin)
             .expect("departing ball occupies a non-empty bin");
         self.tracker.record_remove(old);
+        self.index.record_remove(bin);
         self.counters.departures += 1;
     }
 
     /// Apply one RLS ring; returns whether the ball migrated.
-    fn try_migrate(&mut self, slot: usize, source: usize, dest: usize) -> bool {
+    fn try_migrate(&mut self, source: usize, dest: usize) -> bool {
         self.counters.rings += 1;
         if source == dest
             || !self
@@ -297,7 +298,7 @@ impl LiveEngine {
             .apply(Move::new(source, dest))
             .expect("permitted move applies");
         self.tracker.record_move(lf, lt);
-        self.balls[slot] = dest as u32;
+        self.index.record_move(source, dest);
         self.counters.migrations += 1;
         true
     }
@@ -336,12 +337,7 @@ mod tests {
             debug_assert!(eng.tracker().matches(eng.config()));
         }
         assert!(eng.tracker().matches(eng.config()));
-        // Ball map consistent with loads.
-        let mut counts = vec![0u64; eng.config().n()];
-        for &b in eng.ball_slots() {
-            counts[b as usize] += 1;
-        }
-        assert_eq!(counts, eng.config().loads());
+        assert!(eng.index().matches(eng.config()));
         let c = eng.counters();
         assert_eq!(c.events, 20_000);
         assert_eq!(c.arrivals + c.departures + c.rings, 20_000);
@@ -386,6 +382,7 @@ mod tests {
         }
         // Population cannot go negative and the engine stays consistent.
         assert!(eng.tracker().matches(eng.config()));
+        assert!(eng.index().matches(eng.config()));
     }
 
     #[test]
@@ -435,5 +432,26 @@ mod tests {
         eng.run_until(50.0, &mut rng, &mut ());
         let disc = eng.config().discrepancy();
         assert!(disc < 12.0, "discrepancy {disc} too large under churn");
+    }
+
+    #[test]
+    fn constructs_and_steps_past_the_old_u32_ball_cap() {
+        // m = u32::MAX + 256 — impossible under the old Vec<u32> ball map,
+        // O(n) memory with the Fenwick index.  Tier-1 smoke test pinning
+        // the lifted cap.
+        let n = 256usize;
+        let per_bin = (u32::MAX as u64 + 256) / n as u64; // 16_777_216
+        let initial = Config::uniform(n, per_bin).unwrap();
+        let m = initial.m();
+        assert!(m > u32::MAX as u64, "instance must exceed the old cap");
+        let params = LiveParams::balanced(poisson(1.0), n, m).unwrap();
+        let mut eng = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+        let mut rng = rng_from_seed(9);
+        for _ in 0..500 {
+            eng.step(&mut rng).unwrap();
+        }
+        assert_eq!(eng.counters().events, 500);
+        assert!(eng.tracker().matches(eng.config()));
+        assert!(eng.index().matches(eng.config()));
     }
 }

@@ -56,7 +56,7 @@ pub use event::{LiveEvent, LiveEventKind};
 pub use observer::{LiveObserver, SteadyState, SteadySummary};
 pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport};
 pub use sharded::{ShardedEngine, ShardedOutcome};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 
 /// Errors from the live engine, snapshots or event logs.
 #[derive(Debug, Clone, PartialEq, Eq)]

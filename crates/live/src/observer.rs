@@ -157,8 +157,14 @@ impl SteadyState {
 
     /// Close the window at `end_time` and summarize.
     pub fn finish(mut self, end_time: f64) -> SteadySummary {
-        // Integrate the tail segment.
-        self.record(end_time.max(self.warmup + f64::MIN_POSITIVE), 0.0, 0);
+        // Integrate the tail segment — only when the window has positive
+        // length.  (The previous guard `end_time.max(warmup + MIN_POSITIVE)`
+        // relied on adding the smallest denormal, which any `warmup > 0`
+        // absorbs: the sum rounds back to `warmup`, so it only ever worked
+        // for `warmup == 0` by accident.)
+        if end_time > self.warmup {
+            self.record(end_time, 0.0, 0);
+        }
         let window = (end_time - self.warmup).max(f64::MIN_POSITIVE);
         let (p50, p99, max) = self.overload_quantiles();
         SteadySummary {
@@ -167,7 +173,14 @@ impl SteadyState {
             p50_overload: p50,
             p99_overload: p99,
             max_overload: max,
-            moves_per_arrival: self.migrations as f64 / self.arrivals.max(1) as f64,
+            // A window can see migrations without a single arrival (e.g.
+            // pure-rebalance dynamics); "moves per arrival" is undefined
+            // there and must report 0, not `migrations / 1`.
+            moves_per_arrival: if self.arrivals == 0 {
+                0.0
+            } else {
+                self.migrations as f64 / self.arrivals as f64
+            },
             arrivals: self.arrivals,
             departures: self.departures,
             rings: self.rings,
@@ -270,6 +283,50 @@ mod tests {
         assert_eq!(summary.rings, 8);
         assert_eq!(summary.migrations, 4);
         assert!((summary.moves_per_arrival - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_arrival_window_reports_zero_moves_per_arrival() {
+        // Regression: a window with 0 arrivals but k migrations used to
+        // divide by `arrivals.max(1)` and silently report k moves "per
+        // arrival".
+        let mut s = SteadyState::new(0.0);
+        s.record(1.0, 0.0, 0);
+        s.count(0, 0, 9, 7); // 7 migrations, no arrivals
+        let summary = s.finish(2.0);
+        assert_eq!(summary.arrivals, 0);
+        assert_eq!(summary.migrations, 7);
+        assert_eq!(summary.moves_per_arrival, 0.0);
+    }
+
+    #[test]
+    fn finish_at_the_warmup_instant_is_well_defined() {
+        // Regression: the tail-integration guard used
+        // `end_time.max(warmup + f64::MIN_POSITIVE)`, but `warmup +
+        // MIN_POSITIVE == warmup` for any positive warmup, so the guard
+        // only worked for warmup == 0 by accident.  Closing the window
+        // exactly at the warm-up boundary must yield a clean zero summary,
+        // not NaN or a phantom tail segment.
+        let mut s = SteadyState::new(10.0);
+        s.record(5.0, 100.0, 50); // entirely before warm-up
+        let summary = s.finish(10.0);
+        assert!(summary.mean_gap.is_finite());
+        assert_eq!(summary.mean_gap, 0.0);
+        assert_eq!(summary.max_overload, 0);
+        assert_eq!(summary.p99_overload, 0.0);
+        assert_eq!(summary.arrivals, 0);
+    }
+
+    #[test]
+    fn finish_just_past_the_warmup_integrates_the_tail() {
+        // The companion positive case: a hair past the boundary, the state
+        // in force at warm-up is integrated over the (tiny) tail.
+        let mut s = SteadyState::new(10.0);
+        s.record(5.0, 4.0, 2); // state entering the window: gap 4
+        let summary = s.finish(10.5);
+        assert!((summary.window - 0.5).abs() < 1e-12);
+        assert!((summary.mean_gap - 4.0).abs() < 1e-9);
+        assert_eq!(summary.max_overload, 2);
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! Snapshot / restore of live-engine state.
 //!
 //! A [`Snapshot`] captures everything a bit-identical resumption needs:
-//! the load vector, the ball→bin slot map (its permutation feeds
-//! uniform-ball sampling), the clock, the counters, the dynamics
-//! parameters and the caller's RNG state.  Snapshots are plain serde
-//! values; the CLI persists them as canonical JSON and content-addresses
-//! the bytes through `rls-campaign::hash`, so two snapshots with the same
-//! key are the same state.
+//! the load vector, the clock, the counters, the dynamics parameters and
+//! the caller's RNG state.  Snapshots are plain serde values; the CLI
+//! persists them as canonical JSON and content-addresses the bytes through
+//! `rls-campaign::hash`, so two snapshots with the same key are the same
+//! state.
+//!
+//! ## Format versions
+//!
+//! * **v1** (unversioned, PR 2): carried a `balls: Vec<u32>` ball→bin slot
+//!   map because uniform-ball sampling permuted concrete slots.  The
+//!   Fenwick-sampled engine derives its entire sampling state from the
+//!   load vector, so the map is gone — and with it the `u32::MAX` ball
+//!   cap.
+//! * **v2** ([`SNAPSHOT_VERSION`], current): an explicit `version` field
+//!   plus the load vector only.  v1 snapshots are **rejected with a clear
+//!   error** rather than resampled under a different law; re-record them
+//!   by replaying the original seed on the current engine.
 
 use rls_core::{Config, RlsRule};
 use rls_rng::Xoshiro256PlusPlus;
@@ -15,17 +26,21 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{LiveCounters, LiveEngine, LiveParams};
 use crate::LiveError;
 
+/// Current snapshot format version (see the module docs for the history).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
 /// A serializable checkpoint of a [`LiveEngine`] plus its RNG.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
+    /// Format version; must equal [`SNAPSHOT_VERSION`].
+    pub version: u32,
     /// Simulation time at capture.
     pub time: f64,
     /// Event sequence number at capture.
     pub seq: u64,
-    /// The load vector.
+    /// The load vector (the complete sampling state: balls are
+    /// exchangeable).
     pub loads: Vec<u64>,
-    /// The ball→bin slot map (must stay verbatim for exact resumption).
-    pub balls: Vec<u32>,
     /// Dynamics parameters.
     pub params: LiveParams,
     /// RLS rule in force.
@@ -40,10 +55,10 @@ impl Snapshot {
     /// Capture an engine together with the RNG that drives it.
     pub fn capture(engine: &LiveEngine, rng: &Xoshiro256PlusPlus) -> Self {
         Self {
+            version: SNAPSHOT_VERSION,
             time: engine.time(),
             seq: engine.counters().events,
             loads: engine.config().loads().to_vec(),
-            balls: engine.ball_slots().to_vec(),
             params: engine.params(),
             rule: engine.rule(),
             counters: engine.counters(),
@@ -51,32 +66,59 @@ impl Snapshot {
         }
     }
 
+    /// Parse a snapshot from JSON, rejecting unsupported format versions
+    /// with a clear error (a v1 snapshot — recognizable by its per-ball
+    /// map and missing `version` field — cannot be resumed bit-identically
+    /// by the Fenwick-sampled engine).
+    pub fn from_json(text: &str) -> Result<Self, LiveError> {
+        let value = serde_json::parse_value(text)
+            .map_err(|e| LiveError::snapshot(format!("parse snapshot: {e}")))?;
+        Self::from_value(&value)
+    }
+
+    /// Version-checked deserialization from an already-parsed JSON value
+    /// (the CLI probes the value to route snapshots vs event logs, so it
+    /// hands the parse over instead of re-reading the text).
+    pub fn from_value(value: &serde_json::Value) -> Result<Self, LiveError> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| LiveError::snapshot("snapshot must be a JSON object"))?;
+        match object.get("version").and_then(|v| v.as_u64()) {
+            Some(v) if v == SNAPSHOT_VERSION as u64 => {}
+            Some(v) => {
+                return Err(LiveError::snapshot(format!(
+                    "unsupported snapshot version {v} (this build reads version \
+                     {SNAPSHOT_VERSION})"
+                )))
+            }
+            None => {
+                return Err(LiveError::snapshot(format!(
+                    "legacy v1 snapshot (per-ball map, no `version` field): the engine now \
+                     samples exchangeable balls from the load vector and cannot resume a v1 \
+                     ball map bit-identically; re-record the run with this build to produce a \
+                     version-{SNAPSHOT_VERSION} snapshot"
+                )))
+            }
+        }
+        serde_json::from_value(value)
+            .map_err(|e| LiveError::snapshot(format!("parse snapshot: {e}")))
+    }
+
     /// Rebuild the engine and RNG; validates internal consistency.
     pub fn restore(&self) -> Result<(LiveEngine, Xoshiro256PlusPlus), LiveError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(LiveError::snapshot(format!(
+                "unsupported snapshot version {} (this build reads version {SNAPSHOT_VERSION})",
+                self.version
+            )));
+        }
         let cfg = Config::from_loads(self.loads.clone())
             .map_err(|e| LiveError::snapshot(format!("bad load vector: {e}")))?;
-        let mut counts = vec![0u64; cfg.n()];
-        for &b in &self.balls {
-            let bin = b as usize;
-            if bin >= cfg.n() {
-                return Err(LiveError::snapshot(format!(
-                    "ball slot references bin {bin} outside 0..{}",
-                    cfg.n()
-                )));
-            }
-            counts[bin] += 1;
-        }
-        if counts != cfg.loads() {
-            return Err(LiveError::snapshot(
-                "ball slot map is inconsistent with the load vector",
-            ));
-        }
         if self.rng_state.iter().all(|&w| w == 0) {
             return Err(LiveError::snapshot("all-zero RNG state"));
         }
         let engine = LiveEngine::from_parts(
             cfg,
-            self.balls.clone(),
             self.params,
             self.rule,
             self.time,
@@ -113,7 +155,7 @@ mod tests {
         let mut rng_b = rng_from_seed(11);
         paused.run_until(12.0, &mut rng_b, &mut ());
         let json = serde_json::to_string(&Snapshot::capture(&paused, &rng_b)).unwrap();
-        let snap: Snapshot = serde_json::from_str(&json).unwrap();
+        let snap = Snapshot::from_json(&json).unwrap();
         let (mut resumed, mut rng_c) = snap.restore().unwrap();
         resumed.run_until(30.0, &mut rng_c, &mut ());
 
@@ -128,14 +170,7 @@ mod tests {
         let eng = engine();
         let rng = rng_from_seed(1);
         let good = Snapshot::capture(&eng, &rng);
-
-        let mut wrong_balls = good.clone();
-        wrong_balls.balls = vec![0; good.balls.len()]; // inconsistent with loads
-        assert!(wrong_balls.restore().is_err());
-
-        let mut out_of_range = good.clone();
-        out_of_range.balls[0] = 200;
-        assert!(out_of_range.restore().is_err());
+        assert_eq!(good.version, SNAPSHOT_VERSION);
 
         let mut zero_rng = good.clone();
         zero_rng.rng_state = [0; 4];
@@ -143,7 +178,45 @@ mod tests {
 
         let mut empty = good.clone();
         empty.loads.clear();
-        empty.balls.clear();
         assert!(empty.restore().is_err());
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = SNAPSHOT_VERSION + 1;
+        let err = wrong_version.restore().unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_are_rejected_with_a_clear_error() {
+        // A faithful v1 shape: ball map, no version field.
+        let v1 = r#"{
+            "time": 3.5, "seq": 10,
+            "loads": [2, 1], "balls": [0, 0, 1],
+            "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.5},
+            "rule": {"variant": "Geq"},
+            "counters": {"arrivals": 0, "departures": 0, "rings": 10, "migrations": 2, "events": 10},
+            "rng_state": [1, 2, 3, 4]
+        }"#;
+        let err = Snapshot::from_json(v1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("legacy v1"), "{msg}");
+        assert!(msg.contains("re-record"), "{msg}");
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let eng = engine();
+        let rng = rng_from_seed(2);
+        let mut snap = Snapshot::capture(&eng, &rng);
+        snap.version = 99;
+        let json = serde_json::to_string(&snap).unwrap();
+        let err = Snapshot::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn non_object_json_is_rejected() {
+        assert!(Snapshot::from_json("[1, 2, 3]").is_err());
+        assert!(Snapshot::from_json("not json at all").is_err());
     }
 }

@@ -186,14 +186,7 @@ mod tests {
         let mut s = sim(4, 16);
         let mut rng = rng_from_seed(1);
         let before = s.config().clone();
-        let event = Event {
-            time: 0.1,
-            ball: 0,
-            source: 0,
-            dest: 1,
-            moved: true,
-            activations: 1,
-        };
+        let event = Event::activation(0.1, 0, 1, true, 1);
         NoAdversary.after_event(&event, &mut s, &mut rng);
         assert_eq!(s.config(), &before);
     }

@@ -144,14 +144,7 @@ impl ClockEngine {
             ball: ring.ball,
         });
 
-        Event {
-            time: self.time,
-            ball,
-            source,
-            dest,
-            moved,
-            activations: self.activations,
-        }
+        Event::activation(self.time, source, dest, moved, self.activations).with_ball(ball as u64)
     }
 
     /// Run until a stopping condition triggers.

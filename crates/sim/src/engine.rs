@@ -3,9 +3,14 @@
 //! The process of Section 3 assigns each ball an independent `Exp(1)` clock.
 //! By the superposition property of Poisson processes the time to the *next*
 //! ring anywhere in the system is `Exp(m)` and the ringing ball is uniform
-//! over the `m` balls, so simulating one event is O(1) work: draw the
-//! waiting time, draw the ball, draw the destination, apply the rule.  This
-//! is an exact simulation of the continuous-time law, not a discretization.
+//! over the `m` balls.  Balls are exchangeable, so "a uniform ball" is the
+//! same law as "a bin with probability `load/m`" — which a Fenwick-indexed
+//! load vector ([`LoadIndex`]) answers in `O(log n)` with `O(n)` memory.
+//! The engine therefore never materializes per-ball state: `m` is a plain
+//! `u64` with no `u32::MAX` cap, and a billion-ball instance costs the same
+//! memory as a thousand-ball one.  This is an exact simulation of the
+//! continuous-time law, not a discretization or an approximation: the
+//! sampled bin has exactly the distribution of the activated ball's bin.
 //!
 //! The engine is generic over a [`Policy`] (which move rule to apply) and an
 //! [`Adversary`] (the destructive-move injector used by
@@ -14,7 +19,7 @@
 //! [`LoadTracker`], so checking a stopping condition after every event is
 //! O(1) too.
 
-use rls_core::{Config, LoadTracker, Move, RlsRule};
+use rls_core::{Config, LoadIndex, LoadTracker, Move, RlsRule};
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt};
 
@@ -84,7 +89,7 @@ pub struct RunOutcome {
 #[derive(Debug, Clone)]
 pub struct Simulation<P: Policy> {
     cfg: Config,
-    balls: Vec<u32>,
+    index: LoadIndex,
     tracker: LoadTracker,
     policy: P,
     time: f64,
@@ -98,16 +103,12 @@ pub struct Simulation<P: Policy> {
 pub enum SimError {
     /// The process needs at least one ball to have any events.
     NoBalls,
-    /// Ball indices are stored as `u32`; more than `u32::MAX` balls is
-    /// unsupported (and far beyond anything the experiments need).
-    TooManyBalls,
 }
 
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::NoBalls => write!(f, "simulation requires at least one ball"),
-            SimError::TooManyBalls => write!(f, "more than u32::MAX balls are not supported"),
         }
     }
 }
@@ -116,29 +117,21 @@ impl std::error::Error for SimError {}
 
 impl<P: Policy> Simulation<P> {
     /// Create a simulation starting from `initial` under the given policy.
+    ///
+    /// Any `m ≥ 1` up to `u64::MAX` is accepted: the engine holds `O(n)`
+    /// state regardless of the ball count.
     pub fn new(initial: Config, policy: P) -> Result<Self, SimError> {
         let m = initial.m();
         if m == 0 {
             return Err(SimError::NoBalls);
         }
-        if m > u32::MAX as u64 {
-            return Err(SimError::TooManyBalls);
-        }
-        // Assign ball identities bin by bin; identities only matter for the
-        // uniform-ball sampling, so any assignment consistent with the loads
-        // is equivalent.
-        let mut balls = Vec::with_capacity(m as usize);
-        for (bin, &load) in initial.loads().iter().enumerate() {
-            for _ in 0..load {
-                balls.push(bin as u32);
-            }
-        }
+        let index = LoadIndex::new(&initial);
         let tracker = LoadTracker::new(&initial);
         let waiting_time =
             Exponential::new(m as f64).expect("m ≥ 1 gives a valid exponential rate");
         Ok(Self {
             cfg: initial,
-            balls,
+            index,
             tracker,
             policy,
             time: 0.0,
@@ -156,6 +149,11 @@ impl<P: Policy> Simulation<P> {
     /// Incrementally maintained summary of the configuration.
     pub fn tracker(&self) -> &LoadTracker {
         &self.tracker
+    }
+
+    /// The Fenwick index over the loads (exchangeable-ball sampling).
+    pub fn index(&self) -> &LoadIndex {
+        &self.index
     }
 
     /// Current simulation time.
@@ -178,11 +176,6 @@ impl<P: Policy> Simulation<P> {
         &self.policy
     }
 
-    /// Bin currently hosting the given ball.
-    pub fn ball_location(&self, ball: usize) -> usize {
-        self.balls[ball] as usize
-    }
-
     /// Advance by exactly one activation and return the event.
     pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Event {
         let n = self.cfg.n();
@@ -190,8 +183,10 @@ impl<P: Policy> Simulation<P> {
         self.time += dt;
         self.activations += 1;
 
-        let ball = rng.next_index(self.balls.len());
-        let source = self.balls[ball] as usize;
+        // The activated ball is uniform over m balls; exchangeability makes
+        // that identical in law to "bin i with probability load_i / m".
+        let rank = rng.next_below(self.index.total());
+        let source = self.index.bin_at(rank);
         let dest = rng.next_index(n);
 
         let mut moved = false;
@@ -201,19 +196,12 @@ impl<P: Policy> Simulation<P> {
                 .apply(Move::new(source, dest))
                 .expect("permitted move applies");
             self.tracker.record_move(lf, lt);
-            self.balls[ball] = dest as u32;
+            self.index.record_move(source, dest);
             self.migrations += 1;
             moved = true;
         }
 
-        Event {
-            time: self.time,
-            ball,
-            source,
-            dest,
-            moved,
-            activations: self.activations,
-        }
+        Event::activation(self.time, source, dest, moved, self.activations)
     }
 
     /// Apply an externally chosen (typically destructive) move, relocating
@@ -230,14 +218,7 @@ impl<P: Policy> Simulation<P> {
             .apply(Move::new(from, to))
             .expect("validated move applies");
         self.tracker.record_move(lf, lt);
-        // Relocate one concrete ball currently in `from` so the ball→bin map
-        // stays consistent; which one is irrelevant (balls are identical).
-        let ball = self
-            .balls
-            .iter()
-            .position(|&b| b as usize == from)
-            .expect("non-empty bin has a ball");
-        self.balls[ball] = to as u32;
+        self.index.record_move(from, to);
         true
     }
 
@@ -296,17 +277,14 @@ mod tests {
             SimError::NoBalls
         );
         assert!(SimError::NoBalls.to_string().contains("at least one ball"));
-        assert!(SimError::TooManyBalls.to_string().contains("u32::MAX"));
     }
 
     #[test]
-    fn ball_assignment_matches_loads() {
+    fn index_matches_loads_at_construction() {
         let cfg = Config::from_loads(vec![2, 0, 3]).unwrap();
         let sim = Simulation::new(cfg, rls()).unwrap();
-        assert_eq!(sim.ball_location(0), 0);
-        assert_eq!(sim.ball_location(1), 0);
-        assert_eq!(sim.ball_location(2), 2);
-        assert_eq!(sim.ball_location(4), 2);
+        assert!(sim.index().matches(sim.config()));
+        assert_eq!(sim.index().total(), 5);
     }
 
     #[test]
@@ -317,12 +295,13 @@ mod tests {
         let e = sim.step(&mut rng);
         assert!(e.time > 0.0);
         assert_eq!(e.activations, 1);
+        assert_eq!(e.ball(), None, "exchangeable sampling has no identity");
         assert_eq!(sim.activations(), 1);
         assert!(sim.time() > 0.0);
     }
 
     #[test]
-    fn events_keep_tracker_consistent_with_config() {
+    fn events_keep_tracker_and_index_consistent_with_config() {
         let cfg = Config::all_in_one_bin(8, 40).unwrap();
         let mut sim = Simulation::new(cfg, rls()).unwrap();
         let mut rng = rng_from_seed(2);
@@ -330,12 +309,8 @@ mod tests {
             sim.step(&mut rng);
         }
         assert!(sim.tracker().matches(sim.config()));
-        // Ball map consistent with loads.
-        let mut counts = vec![0u64; sim.config().n()];
-        for b in 0..sim.config().m() as usize {
-            counts[sim.ball_location(b)] += 1;
-        }
-        assert_eq!(counts, sim.config().loads());
+        assert!(sim.index().matches(sim.config()));
+        assert_eq!(sim.config().m(), 40, "moves conserve balls");
     }
 
     #[test]
@@ -394,6 +369,34 @@ mod tests {
     }
 
     #[test]
+    fn activated_bin_is_load_proportional() {
+        // With loads (30, 10) the source of an activation must be bin 0
+        // about 75% of the time — the uniform-ball law.
+        let cfg = Config::from_loads(vec![30, 10]).unwrap();
+        // A policy that never moves keeps the loads fixed.
+        struct Frozen;
+        impl Policy for Frozen {
+            fn permits(&self, _: &[u64], _: usize, _: usize) -> bool {
+                false
+            }
+        }
+        let mut sim = Simulation::new(cfg, Frozen).unwrap();
+        let mut rng = rng_from_seed(11);
+        let trials = 40_000;
+        let mut from_heavy = 0u64;
+        for _ in 0..trials {
+            if sim.step(&mut rng).source == 0 {
+                from_heavy += 1;
+            }
+        }
+        let frac = from_heavy as f64 / trials as f64;
+        assert!(
+            (frac - 0.75).abs() < 0.01,
+            "heavy-bin activation fraction {frac}, expected 0.75"
+        );
+    }
+
+    #[test]
     fn force_move_rejects_invalid_and_applies_valid() {
         let cfg = Config::from_loads(vec![3, 0, 1]).unwrap();
         let mut sim = Simulation::new(cfg, rls()).unwrap();
@@ -403,6 +406,7 @@ mod tests {
         assert!(sim.force_move(2, 0), "valid destructive move");
         assert_eq!(sim.config().loads(), &[4, 0, 0]);
         assert!(sim.tracker().matches(sim.config()));
+        assert!(sim.index().matches(sim.config()));
     }
 
     #[test]

@@ -3,12 +3,17 @@
 use serde::{Deserialize, Serialize};
 
 /// One activation of the continuous-time process.
+///
+/// Balls are exchangeable, so since the engines moved to Fenwick-indexed
+/// exchangeable-ball sampling an event no longer carries a ball identity as
+/// a public field: the superposition engine samples *a bin with probability
+/// `load/m`* directly and has no identity to report.  The literal per-ball
+/// [`ClockEngine`](crate::clock::ClockEngine) still tracks identities and
+/// exposes them through the [`ball`](Event::ball) compat accessor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     /// Simulation time at which the ball's clock rang.
     pub time: f64,
-    /// Index of the activated ball.
-    pub ball: usize,
     /// Bin the ball occupied when activated.
     pub source: usize,
     /// Destination bin it sampled.
@@ -17,9 +22,43 @@ pub struct Event {
     pub moved: bool,
     /// Running count of activations so far (1-based, including this one).
     pub activations: u64,
+    /// Identity of the activated ball, when the emitting engine tracks one.
+    ball: Option<u64>,
 }
 
 impl Event {
+    /// An activation of an anonymous (exchangeable) ball — what the
+    /// superposition engine emits.
+    pub fn activation(
+        time: f64,
+        source: usize,
+        dest: usize,
+        moved: bool,
+        activations: u64,
+    ) -> Self {
+        Self {
+            time,
+            source,
+            dest,
+            moved,
+            activations,
+            ball: None,
+        }
+    }
+
+    /// Attach a concrete ball identity (used by the per-ball clock engine).
+    pub fn with_ball(mut self, ball: u64) -> Self {
+        self.ball = Some(ball);
+        self
+    }
+
+    /// Compat accessor for the pre-Fenwick `ball` field: the activated
+    /// ball's identity if the emitting engine tracks identities (`None`
+    /// from the exchangeable-ball engines).
+    pub fn ball(&self) -> Option<u64> {
+        self.ball
+    }
+
     /// Whether the sampled destination equals the source bin.
     pub fn is_self_sample(&self) -> bool {
         self.source == self.dest
@@ -32,16 +71,25 @@ mod tests {
 
     #[test]
     fn self_sample_detection() {
-        let mut e = Event {
-            time: 1.0,
-            ball: 0,
-            source: 3,
-            dest: 3,
-            moved: false,
-            activations: 1,
-        };
+        let mut e = Event::activation(1.0, 3, 3, false, 1);
         assert!(e.is_self_sample());
         e.dest = 4;
         assert!(!e.is_self_sample());
+    }
+
+    #[test]
+    fn ball_identity_is_optional() {
+        let anonymous = Event::activation(1.0, 0, 1, true, 1);
+        assert_eq!(anonymous.ball(), None);
+        let identified = anonymous.with_ball(17);
+        assert_eq!(identified.ball(), Some(17));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_identity() {
+        let e = Event::activation(0.5, 2, 4, true, 9).with_ball(3);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
     }
 }

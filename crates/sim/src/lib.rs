@@ -50,7 +50,7 @@ pub mod stats;
 pub mod stopping;
 
 pub use adversary::{Adversary, NoAdversary, PileUpAdversary, RandomDestructiveAdversary};
-pub use engine::{Policy, RlsPolicy, RunOutcome, Simulation};
+pub use engine::{Policy, RlsPolicy, RunOutcome, SimError, Simulation};
 pub use events::Event;
 pub use montecarlo::{MonteCarlo, TrialResult};
 pub use observer::{MoveCounter, Observer, PhaseTracker, TimeSeries};

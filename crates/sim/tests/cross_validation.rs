@@ -12,7 +12,8 @@
 //! CDF by far more) and stays deterministic for the fixed seeds used.
 
 use rls_core::{Config, RlsRule};
-use rls_rng::rng_from_seed;
+use rls_rng::dist::{Distribution, Exponential};
+use rls_rng::{rng_from_seed, Rng64, RngExt};
 use rls_sim::clock::ClockEngine;
 use rls_sim::stats::{dominance_report, Summary};
 use rls_sim::{RlsPolicy, Simulation, StopWhen};
@@ -70,6 +71,108 @@ fn clock_and_superposition_engines_agree_in_distribution() {
             rel * 100.0,
             c.mean,
             s.mean
+        );
+    }
+}
+
+/// The pre-Fenwick superposition engine, kept verbatim as a reference: a
+/// `balls: Vec<u32>` slot map sampled uniformly (O(m) memory, `u32::MAX`
+/// ball cap).  [`Simulation`] now samples "a bin with probability `load/m`"
+/// from a Fenwick-indexed load vector instead; the two must simulate the
+/// same law.  A tracker-carrying twin lives in
+/// `crates/bench/benches/billion.rs` for the E20 throughput comparison —
+/// keep the sampling logic of the two in sync.
+struct VecEngine {
+    cfg: Config,
+    balls: Vec<u32>,
+    rule: RlsRule,
+    time: f64,
+    waiting_time: Exponential,
+}
+
+impl VecEngine {
+    fn new(initial: Config, rule: RlsRule) -> Self {
+        let mut balls = Vec::with_capacity(initial.m() as usize);
+        for (bin, &load) in initial.loads().iter().enumerate() {
+            for _ in 0..load {
+                balls.push(bin as u32);
+            }
+        }
+        let waiting_time = Exponential::new(initial.m() as f64).expect("m ≥ 1");
+        Self {
+            cfg: initial,
+            balls,
+            rule,
+            time: 0.0,
+            waiting_time,
+        }
+    }
+
+    fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) {
+        self.time += self.waiting_time.sample(rng);
+        let ball = rng.next_index(self.balls.len());
+        let source = self.balls[ball] as usize;
+        let dest = rng.next_index(self.cfg.n());
+        if source != dest
+            && self
+                .rule
+                .permits_loads(self.cfg.load(source), self.cfg.load(dest))
+        {
+            self.cfg
+                .apply(rls_core::Move::new(source, dest))
+                .expect("permitted move applies");
+            self.balls[ball] = dest as u32;
+        }
+    }
+
+    fn run_until_balanced<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        while !self.cfg.is_perfectly_balanced() {
+            self.step(rng);
+        }
+        self.time
+    }
+}
+
+/// The tentpole cross-check: Fenwick-sampled stopping times against the
+/// old Vec-sampled law, via the same KS-style harness.  Exchangeability
+/// makes the two samplers identical in distribution; a bias in the Fenwick
+/// rank descent (an off-by-one, a prefix-sum error) would shift the CDF
+/// far beyond the critical value.
+#[test]
+fn fenwick_and_vec_sampling_agree_in_distribution() {
+    let trials = 60u64;
+    for (grid_idx, &(n, m)) in [(8usize, 64u64), (16, 128)].iter().enumerate() {
+        let salt = grid_idx as u64 * 20_000;
+        let vec_times = stopping_times(trials, |t| {
+            let cfg = Config::all_in_one_bin(n, m).unwrap();
+            let mut engine = VecEngine::new(cfg, RlsRule::paper());
+            engine.run_until_balanced(&mut rng_from_seed(salt + 4000 + t))
+        });
+        let fenwick_times = stopping_times(trials, |t| {
+            let cfg = Config::all_in_one_bin(n, m).unwrap();
+            let mut sim = Simulation::new(cfg, RlsPolicy::new(RlsRule::paper())).unwrap();
+            sim.run(
+                &mut rng_from_seed(salt + 5000 + t),
+                StopWhen::perfectly_balanced(),
+            )
+            .time
+        });
+
+        let ks = ks_distance(&vec_times, &fenwick_times);
+        assert!(
+            ks < 0.35,
+            "(n={n}, m={m}): KS distance {ks:.3} exceeds the 0.1% critical value — \
+             Fenwick sampling no longer matches the uniform-ball law"
+        );
+        let v = Summary::from_samples(&vec_times);
+        let f = Summary::from_samples(&fenwick_times);
+        let rel = (v.mean - f.mean).abs() / v.mean;
+        assert!(
+            rel < 0.25,
+            "(n={n}, m={m}): means diverge by {:.1}% (vec {:.4} vs fenwick {:.4})",
+            rel * 100.0,
+            v.mean,
+            f.mean
         );
     }
 }
