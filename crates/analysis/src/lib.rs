@@ -23,7 +23,7 @@
 //!   shapes (ratio tables).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 pub mod chernoff;

@@ -1,0 +1,91 @@
+//! E21 — serving throughput: requests/sec of the HTTP layer end to end.
+//!
+//! Each iteration boots nothing: one server (n bins at target load, the
+//! balanced auto-rebalance policy) lives for the whole group, and every
+//! iteration pushes a fixed number of `POST /v1/arrive` requests through
+//! real loopback sockets with the built-in closed-loop generator.  Wall
+//! time per iteration over the fixed request count is therefore the
+//! serving throughput, with all of HTTP parsing, the engine command
+//! channel and the RLS rebalance work on the measured path.
+//!
+//! Two effects are visible:
+//! * pipeline depth 1 prices the full per-request round trip (client
+//!   syscalls, worker wake-up, engine hop) — latency-bound on loopback;
+//! * pipeline depth 16 amortizes those hops (the server answers a
+//!   pipelined burst with one engine batch and one write), which is where
+//!   the ≥100k requests/s regime lives even on a single core.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rls_core::{Config, RlsRule};
+use rls_live::{LiveEngine, LiveParams};
+use rls_serve::{drive, serve, BenchOptions, DriveMode, ServeCore, ServePolicy, ServerConfig};
+use rls_workloads::ArrivalProcess;
+
+const N: usize = 64;
+const PER_BIN: u64 = 8;
+const REQUESTS_PER_ITER: u64 = 10_000;
+const CONNECTIONS: usize = 4;
+
+fn boot() -> rls_serve::HttpServer {
+    let m = N as u64 * PER_BIN;
+    let initial = Config::uniform(N, PER_BIN).expect("bench instance is valid");
+    let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 1.0 }, N, m)
+        .expect("bench parameters are valid");
+    let engine = LiveEngine::new(initial, params, RlsRule::paper()).expect("valid engine");
+    // The balanced default: rings at rate m vs arrivals at rate λ = n.
+    let core = ServeCore::new(
+        engine,
+        0xE21,
+        0.0,
+        ServePolicy {
+            rings_per_arrival: m as f64 / N as f64,
+        },
+    );
+    serve(
+        core,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: CONNECTIONS,
+        },
+    )
+    .expect("ephemeral server boots")
+}
+
+fn serving_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+
+    let server = boot();
+    let addr = server.addr();
+    for pipeline in [1usize, 16] {
+        group.bench_function(
+            format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{REQUESTS_PER_ITER}reqs"),
+            |b| {
+                b.iter(|| {
+                    let report = drive(
+                        addr,
+                        &BenchOptions {
+                            connections: CONNECTIONS,
+                            duration: Duration::from_secs(60),
+                            max_requests: Some(REQUESTS_PER_ITER),
+                            mode: DriveMode::Closed,
+                            pipeline,
+                            depart_fraction: 0.5,
+                            ..BenchOptions::default()
+                        },
+                    )
+                    .expect("generator runs");
+                    assert!(report.errors == 0, "transport errors: {}", report.errors);
+                    (report.requests, report.p99_us)
+                });
+            },
+        );
+    }
+    drop(server);
+    group.finish();
+}
+
+criterion_group!(benches, serving_throughput);
+criterion_main!(benches);

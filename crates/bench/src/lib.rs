@@ -7,7 +7,7 @@
 //! stochastic simulation rather than a nanosecond-scale kernel.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use rls_core::{Config, RlsRule};
 use rls_rng::DefaultRng;

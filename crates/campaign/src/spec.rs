@@ -625,6 +625,22 @@ pub struct Grid {
 }
 
 /// A declarative experiment campaign.
+///
+/// ```
+/// // Specs are written as TOML or JSON grids; `spec_from_str` accepts
+/// // either and fills the defaulted sections (topology, stop, hits).
+/// let spec = rls_campaign::spec_from_str(r#"{
+///     "name": "doc-example", "seed": 7, "trials": 2,
+///     "grid": {"n": [8, 16], "m": ["4x"], "protocol": ["rls-geq"],
+///              "workload": ["all-in-one-bin"]}
+/// }"#).unwrap();
+/// // The grid's cartesian product expands into cells, the unit of
+/// // execution and caching; "4x" resolves per n.
+/// let cells = spec.cells().unwrap();
+/// assert_eq!(cells.len(), 2);
+/// assert_eq!(cells[0].m, 32);
+/// assert_eq!(cells[1].m, 64);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Campaign name (used in exports and status output).

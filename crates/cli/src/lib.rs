@@ -12,14 +12,16 @@
 //! EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign_cmd;
 pub mod experiments;
 pub mod live_cmd;
+pub mod serve_cmd;
 pub mod table;
 
 pub use campaign_cmd::{execute_campaign, parse_campaign_args, CampaignCommand};
 pub use experiments::{run_experiment, ExperimentId, Scale};
 pub use live_cmd::{execute_live, parse_live_args, LiveCommand};
+pub use serve_cmd::{execute_serve, parse_serve_args, ServeCommand};
 pub use table::Table;

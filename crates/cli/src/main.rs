@@ -1,17 +1,9 @@
 //! `rls-experiments` — run the experiment suite and print the tables
-//! recorded in docs/EXPERIMENTS.md, or drive experiment campaigns.
+//! recorded in docs/EXPERIMENTS.md, drive experiment campaigns, the live
+//! (online) engine, or the HTTP serving layer.
 //!
-//! Usage:
-//!
-//! ```text
-//! rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]
-//! rls-experiments campaign run    <spec> [--store DIR] [--threads N]
-//! rls-experiments campaign status <spec> [--store DIR]
-//! rls-experiments campaign export <spec> [--store DIR] (--csv|--json) [--out FILE]
-//! rls-experiments live run    [--n N] [--m M] [--arrival A] [--time T] [...]
-//! rls-experiments live replay <log.json>
-//! rls-experiments live status <snapshot-or-log.json>
-//! ```
+//! See [`USAGE`] for the complete subcommand map (also printed on any
+//! argument error and by `--help`).
 //!
 //! With no experiment arguments, every experiment is run.  `--scale quick`
 //! (the default) finishes in seconds; `--scale full` reproduces the sizes in
@@ -21,9 +13,36 @@
 use std::process::ExitCode;
 
 use rls_cli::{
-    execute_campaign, execute_live, parse_campaign_args, parse_live_args, run_experiment,
-    ExperimentId, Scale,
+    execute_campaign, execute_live, execute_serve, parse_campaign_args, parse_live_args,
+    parse_serve_args, run_experiment, ExperimentId, Scale,
 };
+
+/// The complete usage text: every subcommand in one place (the hand-routed
+/// `campaign` / `live` / `serve` verbs used to be invisible here).
+const USAGE: &str = "\
+usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]
+       rls-experiments campaign run    <spec> [--store DIR] [--threads N]
+       rls-experiments campaign status <spec> [--store DIR]
+       rls-experiments campaign export <spec> [--store DIR] (--csv|--json) [--out FILE]
+       rls-experiments live run    [--n N] [--m M] [--workload W] [--arrival A]
+                                   [--service MU] [--time T] [--warmup T] [--seed S]
+                                   [--shards S] [--slice D] [--threads T]
+                                   [--record FILE] [--snapshot FILE] [--resume FILE]
+       rls-experiments live replay <log.json>
+       rls-experiments live status <snapshot-or-log.json>
+       rls-experiments serve run    [--addr HOST:PORT] [--n N] [--m M] [--workload W]
+                                    [--arrival A] [--service MU] [--seed S] [--warmup T]
+                                    [--rebalance R] [--workers K] [--for SECONDS]
+       rls-experiments serve bench  [--addr HOST:PORT] [--connections C]
+                                    [--duration SECONDS] [--requests N] [--rps TARGET]
+                                    [--depart-frac F] [server flags as for `serve run`]
+       rls-experiments serve replay <log.json> [--addr HOST:PORT] [--workers K]
+
+The bare form runs the numbered experiment catalogue (`--list` names every
+experiment; see docs/EXPERIMENTS.md).  `campaign` sweeps declarative TOML/JSON
+grids with a persistent results store (see README).  `live` drives the online
+dynamic engine (docs/EXPERIMENTS.md E18).  `serve` puts the live engine behind
+an HTTP endpoint and benchmarks it (docs/SERVE.md, E21).";
 
 struct Args {
     scale: Scale,
@@ -71,46 +90,47 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     })
 }
 
+/// Run one of the hand-routed subcommands, mapping its output/error onto
+/// the process exit code.
+fn run_subcommand(result: Result<String, String>) -> ExitCode {
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("live") {
-        return match parse_live_args(&raw[1..]).and_then(|cmd| execute_live(&cmd)) {
-            Ok(output) => {
-                print!("{output}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!(
-                    "usage: rls-experiments live run|replay|status [--n N] [--m M] [--arrival A] \
-                     [--time T] [--shards S] [--record FILE] [--snapshot FILE] [--resume FILE] <file>"
-                );
-                ExitCode::FAILURE
-            }
-        };
-    }
-    if raw.first().map(String::as_str) == Some("campaign") {
-        return match parse_campaign_args(&raw[1..]).and_then(|cmd| execute_campaign(&cmd)) {
-            Ok(output) => {
-                print!("{output}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!(
-                    "usage: rls-experiments campaign run|status|export <spec> [--store DIR] [--threads N] [--csv|--json] [--out FILE]"
-                );
-                ExitCode::FAILURE
-            }
-        };
+    match raw.first().map(String::as_str) {
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some("campaign") => {
+            return run_subcommand(
+                parse_campaign_args(&raw[1..]).and_then(|cmd| execute_campaign(&cmd)),
+            );
+        }
+        Some("live") => {
+            return run_subcommand(parse_live_args(&raw[1..]).and_then(|cmd| execute_live(&cmd)));
+        }
+        Some("serve") => {
+            return run_subcommand(parse_serve_args(&raw[1..]).and_then(|cmd| execute_serve(&cmd)));
+        }
+        _ => {}
     }
     let args = match parse_args(&raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -173,5 +193,24 @@ mod tests {
     fn all_keyword() {
         let args = parse_args(&strings(&["all"])).unwrap();
         assert_eq!(args.experiments.len(), 17);
+    }
+
+    #[test]
+    fn usage_names_every_subcommand_in_one_place() {
+        // Regression for the invisible-subcommand bug: `campaign`, `live`
+        // and `serve` were hand-routed but absent from the usage text.
+        for verb in [
+            "campaign run",
+            "campaign status",
+            "campaign export",
+            "live run",
+            "live replay",
+            "live status",
+            "serve run",
+            "serve bench",
+            "serve replay",
+        ] {
+            assert!(USAGE.contains(verb), "usage is missing `{verb}`");
+        }
     }
 }

@@ -1,0 +1,712 @@
+//! The `serve` subcommand: run and benchmark the HTTP serving layer
+//! (`rls-serve`).
+//!
+//! ```text
+//! rls-experiments serve run    [--addr HOST:PORT] [--n N] [--m M] [--workload W]
+//!                              [--arrival A] [--service MU] [--seed S] [--warmup T]
+//!                              [--rebalance R] [--workers K] [--for SECONDS]
+//! rls-experiments serve bench  [--addr HOST:PORT | server flags as for run]
+//!                              [--connections C] [--duration SECONDS] [--requests N]
+//!                              [--rps TARGET] [--depart-frac F]
+//! rls-experiments serve replay <log.json> [--addr HOST:PORT] [--workers K]
+//! ```
+//!
+//! `run` boots the balancer and serves until killed (or for `--for`
+//! seconds).  `bench` drives a server — its own ephemeral one unless
+//! `--addr` points at an external instance — in closed-loop mode
+//! (saturation) or open-loop mode (`--rps`, epochs shaped by `--arrival`)
+//! and prints throughput plus latency percentiles (E21).  `replay` feeds a
+//! recorded `rls-live` event log through the HTTP path and verifies the
+//! final load vector against the offline replay exactly.
+
+use std::time::Duration;
+
+use rls_campaign::{ArrivalSpec, WorkloadSpec};
+use rls_core::RlsRule;
+use rls_live::{EventLog, LiveEngine, LiveParams};
+use rls_rng::rng_from_seed;
+use rls_serve::{
+    core_from_log, drive, replay_over_http, serve, BenchOptions, BenchReport, DriveMode,
+    HttpServer, ServeCore, ServePolicy, ServerConfig,
+};
+use rls_workloads::Workload;
+
+/// A parsed `serve ...` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeCommand {
+    /// Boot the server and block.
+    Run(Box<ServeArgs>),
+    /// Drive a server with the load generator and print the measurements.
+    Bench(Box<BenchArgs>),
+    /// Feed an event log through the HTTP path and verify it.
+    Replay {
+        /// Path to the log file.
+        log: String,
+        /// External server to drive (`None` = boot one from the log).
+        addr: Option<String>,
+        /// Worker threads when self-booting.
+        workers: usize,
+    },
+}
+
+/// Server-shape arguments shared by `serve run` and a self-booted
+/// `serve bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address.
+    pub addr: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Initial population.
+    pub m: u64,
+    /// Initial-configuration family.
+    pub workload: WorkloadSpec,
+    /// Arrival process (placement law for sampled arrivals; also the
+    /// engine's time scale).
+    pub arrival: ArrivalSpec,
+    /// Per-ball departure rate override (`None` = hold the population).
+    pub service: Option<f64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Warm-up (engine-time units) excluded from `/v1/stats`.
+    pub warmup: f64,
+    /// Mean auto-rebalance rings per arrival (`None` = the balanced
+    /// default `m / λ`, the paper's ring-to-arrival ratio).
+    pub rebalance: Option<f64>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Exit after this many wall-clock seconds (`None` = serve forever).
+    pub for_seconds: Option<f64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_string(),
+            n: 64,
+            m: 512,
+            workload: WorkloadSpec(Workload::Balanced),
+            arrival: ArrivalSpec(rls_workloads::ArrivalProcess::Poisson { rate_per_bin: 1.0 }),
+            service: None,
+            seed: 0xC0FFEE,
+            warmup: 0.0,
+            rebalance: None,
+            workers: 4,
+            for_seconds: None,
+        }
+    }
+}
+
+/// Generator arguments of `serve bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Drive this external server instead of booting one.
+    pub addr: Option<String>,
+    /// Server shape when self-booting.
+    pub server: ServeArgs,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Wall-clock run length in seconds.
+    pub duration: f64,
+    /// Optional total-request cap.
+    pub requests: Option<u64>,
+    /// Open-loop target rate (`None` = closed loop).
+    pub rps: Option<f64>,
+    /// Closed-loop pipeline depth (requests in flight per connection).
+    pub pipeline: usize,
+    /// Fraction of requests that are departures.
+    pub depart_frac: f64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            server: ServeArgs {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeArgs::default()
+            },
+            connections: 4,
+            duration: 2.0,
+            requests: None,
+            rps: None,
+            pipeline: 1,
+            depart_frac: 0.0,
+        }
+    }
+}
+
+/// Parse the arguments following the `serve` keyword.
+pub fn parse_serve_args(raw: &[String]) -> Result<ServeCommand, String> {
+    let verb = raw
+        .first()
+        .map(String::as_str)
+        .ok_or("serve needs a subcommand: run | bench | replay")?;
+    match verb {
+        "run" => parse_run(&raw[1..]).map(|a| ServeCommand::Run(Box::new(a))),
+        "bench" => parse_bench(&raw[1..]).map(|a| ServeCommand::Bench(Box::new(a))),
+        "replay" => parse_replay(&raw[1..]),
+        other => Err(format!(
+            "unknown serve subcommand `{other}` (run | bench | replay)"
+        )),
+    }
+}
+
+fn str_of(e: impl ToString) -> String {
+    e.to_string()
+}
+
+/// Parse one `--flag value` pair into `args`; returns false for flags this
+/// table does not know.
+fn parse_server_flag(
+    args: &mut ServeArgs,
+    flag: &str,
+    value: &mut dyn FnMut(&str) -> Result<String, String>,
+) -> Result<bool, String> {
+    match flag {
+        "--addr" => args.addr = value("an address")?,
+        "--n" => args.n = parse_num(&value("a bin count")?, "--n")?,
+        "--m" => args.m = parse_num(&value("a ball count")?, "--m")?,
+        "--workload" => args.workload = value("a workload")?.parse().map_err(str_of)?,
+        "--arrival" => args.arrival = value("an arrival process")?.parse().map_err(str_of)?,
+        "--service" => args.service = Some(parse_num(&value("a rate")?, "--service")?),
+        "--seed" => args.seed = parse_num(&value("a seed")?, "--seed")?,
+        "--warmup" => args.warmup = parse_num(&value("a duration")?, "--warmup")?,
+        "--rebalance" => args.rebalance = Some(parse_num(&value("a mean")?, "--rebalance")?),
+        "--workers" => args.workers = parse_num(&value("a thread count")?, "--workers")?,
+        "--for" => args.for_seconds = Some(parse_num(&value("seconds")?, "--for")?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("bad {flag} value `{text}`"))
+}
+
+fn parse_run(raw: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            raw.get(i).cloned().ok_or(format!("{flag} needs {what}"))
+        };
+        if !parse_server_flag(&mut args, flag, &mut value)? {
+            return Err(format!("unknown serve run flag `{flag}`"));
+        }
+        i += 1;
+    }
+    validate_server(&args)?;
+    Ok(args)
+}
+
+fn parse_bench(raw: &[String]) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs::default();
+    let mut external: Option<String> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            raw.get(i).cloned().ok_or(format!("{flag} needs {what}"))
+        };
+        match flag {
+            "--addr" => external = Some(value("an address")?),
+            "--connections" => args.connections = parse_num(&value("a count")?, "--connections")?,
+            "--duration" => args.duration = parse_num(&value("seconds")?, "--duration")?,
+            "--requests" => args.requests = Some(parse_num(&value("a count")?, "--requests")?),
+            "--rps" => args.rps = Some(parse_num(&value("a rate")?, "--rps")?),
+            "--pipeline" => args.pipeline = parse_num(&value("a depth")?, "--pipeline")?,
+            "--depart-frac" => {
+                args.depart_frac = parse_num(&value("a fraction")?, "--depart-frac")?
+            }
+            other => {
+                if !parse_server_flag(&mut args.server, other, &mut value)? {
+                    return Err(format!("unknown serve bench flag `{other}`"));
+                }
+            }
+        }
+        i += 1;
+    }
+    args.addr = external;
+    if args.connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    if args.pipeline == 0 {
+        return Err("--pipeline must be at least 1".to_string());
+    }
+    if !(args.duration.is_finite() && args.duration > 0.0) {
+        return Err("--duration must be positive".to_string());
+    }
+    if !(0.0..=1.0).contains(&args.depart_frac) {
+        return Err("--depart-frac must lie in [0, 1]".to_string());
+    }
+    if args.addr.is_none() {
+        validate_server(&args.server)?;
+    }
+    Ok(args)
+}
+
+fn parse_replay(raw: &[String]) -> Result<ServeCommand, String> {
+    let mut log = None;
+    let mut addr = None;
+    let mut workers = 2usize;
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            raw.get(i).cloned().ok_or(format!("{flag} needs {what}"))
+        };
+        match flag {
+            "--addr" => addr = Some(value("an address")?),
+            "--workers" => workers = parse_num(&value("a thread count")?, "--workers")?,
+            path if !path.starts_with("--") && log.is_none() => log = Some(path.to_string()),
+            other => return Err(format!("unknown serve replay argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(ServeCommand::Replay {
+        log: log.ok_or("serve replay needs a log file path")?,
+        addr,
+        workers,
+    })
+}
+
+fn validate_server(args: &ServeArgs) -> Result<(), String> {
+    if args.n == 0 {
+        return Err("--n must be at least 1".to_string());
+    }
+    if !(args.warmup.is_finite() && args.warmup >= 0.0) {
+        return Err("--warmup must be finite and non-negative".to_string());
+    }
+    if let Some(rebalance) = args.rebalance {
+        if !(rebalance.is_finite() && rebalance >= 0.0) {
+            return Err("--rebalance must be finite and non-negative".to_string());
+        }
+    }
+    if let Some(seconds) = args.for_seconds {
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err("--for must be finite and non-negative".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Build the core and boot a server from CLI arguments.
+fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
+    let params = match args.service {
+        Some(rate) => {
+            let params = LiveParams {
+                arrivals: args.arrival.0,
+                service_rate: rate,
+            };
+            params.validate().map_err(str_of)?;
+            params
+        }
+        None => LiveParams::balanced(args.arrival.0, args.n, args.m).map_err(str_of)?,
+    };
+    let initial = args
+        .workload
+        .0
+        .generate(args.n, args.m, &mut rng_from_seed(args.seed ^ 0x1717))
+        .map_err(str_of)?;
+    let engine = LiveEngine::new(initial, params, RlsRule::paper()).map_err(str_of)?;
+    // Default rebalance intensity: the paper's regime has rings at rate m
+    // against arrivals at rate λ, i.e. m/λ rings per arrival.
+    let rings_per_arrival = args
+        .rebalance
+        .unwrap_or(args.m as f64 / args.arrival.0.total_rate(args.n));
+    let core = ServeCore::new(
+        engine,
+        args.seed,
+        args.warmup,
+        ServePolicy { rings_per_arrival },
+    );
+    let server = serve(
+        core,
+        &ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+        },
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    Ok((server, rings_per_arrival))
+}
+
+/// Execute a parsed serve command, returning the text to print.
+pub fn execute_serve(command: &ServeCommand) -> Result<String, String> {
+    match command {
+        ServeCommand::Run(args) => run_cmd(args),
+        ServeCommand::Bench(args) => bench_cmd(args),
+        ServeCommand::Replay { log, addr, workers } => replay_cmd(log, addr.as_deref(), *workers),
+    }
+}
+
+fn run_cmd(args: &ServeArgs) -> Result<String, String> {
+    let (server, rings) = boot(args)?;
+    let mut out = format!(
+        "rls-serve listening on http://{}\n  n = {}, m = {}, arrival {}, seed {}, \
+         auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
+         POST /v1/arrive · POST /v1/depart[/{{bin}}] · POST /v1/ring · GET /v1/stats · \
+         GET /v1/snapshot · POST /v1/restore · GET /healthz\n",
+        server.addr(),
+        args.n,
+        args.m,
+        args.arrival,
+        args.seed,
+        args.workers,
+    );
+    match args.for_seconds {
+        Some(seconds) => {
+            // Announce the address before blocking so scripts can proceed.
+            println!("{out}");
+            std::thread::sleep(Duration::from_secs_f64(seconds));
+            let core = server.shutdown();
+            let stats = core.stats();
+            out = format!(
+                "served for {seconds}s: {} events (m = {}, mean gap {:.3})\n",
+                stats.counters.events, stats.m, stats.summary.mean_gap
+            );
+            Ok(out)
+        }
+        None => {
+            println!("{out}");
+            out.clear();
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
+fn bench_cmd(args: &BenchArgs) -> Result<String, String> {
+    let (server, rings) = match &args.addr {
+        Some(_) => (None, f64::NAN),
+        None => {
+            let (server, rings) = boot(&args.server)?;
+            (Some(server), rings)
+        }
+    };
+    let addr = match (&args.addr, &server) {
+        (Some(addr), _) => addr
+            .parse()
+            .map_err(|e| format!("bad --addr `{addr}`: {e}"))?,
+        (None, Some(server)) => server.addr(),
+        (None, None) => unreachable!("self-booted bench has a server"),
+    };
+
+    let options = BenchOptions {
+        connections: args.connections,
+        duration: Duration::from_secs_f64(args.duration),
+        max_requests: args.requests,
+        mode: match args.rps {
+            Some(target_rps) => DriveMode::Open { target_rps },
+            None => DriveMode::Closed,
+        },
+        pipeline: args.pipeline,
+        arrival: args.server.arrival.0,
+        depart_fraction: args.depart_frac,
+        seed: args.server.seed,
+    };
+    let report = drive(addr, &options)?;
+
+    let mut table = crate::table::Table::new(
+        format!(
+            "serve bench ({} loop, {} connections{}{})",
+            match options.mode {
+                DriveMode::Closed => "closed".to_string(),
+                DriveMode::Open { target_rps } => format!("open @ {target_rps:.0} rps target"),
+            },
+            args.connections,
+            if args.pipeline > 1 {
+                format!(", pipeline {}", args.pipeline)
+            } else {
+                String::new()
+            },
+            match &args.addr {
+                Some(addr) => format!(", external {addr}"),
+                None => format!(
+                    ", self-booted n = {}, m = {}, {} workers, {rings:.2} rings/arrival",
+                    args.server.n, args.server.m, args.server.workers
+                ),
+            },
+        ),
+        &["quantity", "value"],
+    );
+    render_report(&mut table, &report);
+    let mut out = table.render();
+
+    if let Some(server) = server {
+        let core = server.shutdown();
+        let stats = core.stats();
+        out.push_str(&format!(
+            "server after the run: {} events, m = {}, mean gap {:.3}, p99 overload {:.2}\n",
+            stats.counters.events, stats.m, stats.summary.mean_gap, stats.summary.p99_overload
+        ));
+    }
+    Ok(out)
+}
+
+fn render_report(table: &mut crate::table::Table, report: &BenchReport) {
+    let fmt = crate::table::fmt_f64;
+    table.push_row(vec!["requests".into(), report.requests.to_string()]);
+    table.push_row(vec![
+        "non-200 / transport errors".into(),
+        format!("{} / {}", report.non_200, report.errors),
+    ]);
+    table.push_row(vec![
+        "elapsed (s)".into(),
+        fmt(report.elapsed.as_secs_f64()),
+    ]);
+    table.push_row(vec!["requests / s".into(), fmt(report.rps)]);
+    table.push_row(vec!["p50 latency (µs)".into(), fmt(report.p50_us)]);
+    table.push_row(vec!["p90 latency (µs)".into(), fmt(report.p90_us)]);
+    table.push_row(vec!["p99 latency (µs)".into(), fmt(report.p99_us)]);
+    table.push_row(vec!["max latency (µs)".into(), fmt(report.max_us)]);
+}
+
+fn replay_cmd(log_path: &str, addr: Option<&str>, workers: usize) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(log_path).map_err(|e| format!("cannot read `{log_path}`: {e}"))?;
+    let log = EventLog::from_json(&text).map_err(str_of)?;
+
+    let server = match addr {
+        Some(_) => None,
+        None => {
+            let core = core_from_log(&log, 0)?;
+            Some(
+                serve(
+                    core,
+                    &ServerConfig {
+                        addr: "127.0.0.1:0".to_string(),
+                        workers,
+                    },
+                )
+                .map_err(str_of)?,
+            )
+        }
+    };
+    let target = match (addr, &server) {
+        (Some(addr), _) => addr
+            .parse()
+            .map_err(|e| format!("bad --addr `{addr}`: {e}"))?,
+        (None, Some(server)) => server.addr(),
+        (None, None) => unreachable!("self-booted replay has a server"),
+    };
+
+    let outcome = replay_over_http(target, &log)?;
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let verdict = |ok: bool| {
+        if ok {
+            "bit-identical ✓"
+        } else {
+            "MISMATCH ✗"
+        }
+    };
+    let out = format!(
+        "replayed {} events as {} HTTP requests against {target}\nfinal loads: {}\nring decisions: {}\n",
+        outcome.events,
+        outcome.requests,
+        verdict(outcome.loads_match),
+        verdict(outcome.moved_match),
+    );
+    if outcome.is_faithful() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}served replay diverged from the offline replay"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parsing_covers_verbs_and_flags() {
+        let cmd = parse_serve_args(&strings(&[
+            "run",
+            "--n",
+            "32",
+            "--m",
+            "256",
+            "--arrival",
+            "poisson:2",
+            "--rebalance",
+            "4",
+            "--workers",
+            "3",
+            "--addr",
+            "127.0.0.1:0",
+            "--for",
+            "0.5",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!((args.n, args.m, args.workers), (32, 256, 3));
+        assert_eq!(args.rebalance, Some(4.0));
+        assert_eq!(args.for_seconds, Some(0.5));
+
+        let cmd = parse_serve_args(&strings(&[
+            "bench",
+            "--connections",
+            "8",
+            "--duration",
+            "1.5",
+            "--rps",
+            "5000",
+            "--depart-frac",
+            "0.25",
+            "--n",
+            "16",
+        ]))
+        .unwrap();
+        let ServeCommand::Bench(args) = cmd else {
+            panic!("expected bench");
+        };
+        assert_eq!(args.connections, 8);
+        assert_eq!(args.rps, Some(5000.0));
+        assert_eq!(args.server.n, 16);
+        assert!(args.addr.is_none());
+
+        assert_eq!(
+            parse_serve_args(&strings(&["replay", "log.json", "--workers", "1"])).unwrap(),
+            ServeCommand::Replay {
+                log: "log.json".into(),
+                addr: None,
+                workers: 1,
+            }
+        );
+
+        for bad in [
+            &[][..],
+            &["frobnicate"],
+            &["run", "--n", "0"],
+            &["run", "--wat"],
+            &["run", "--for", "-1"],
+            &["bench", "--connections", "0"],
+            &["bench", "--duration", "-2"],
+            &["bench", "--depart-frac", "1.5"],
+            &["replay"],
+            &["replay", "a.json", "b.json"],
+        ] {
+            assert!(parse_serve_args(&strings(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn run_for_a_moment_then_report() {
+        let args = ServeArgs {
+            addr: "127.0.0.1:0".to_string(),
+            n: 8,
+            m: 64,
+            for_seconds: Some(0.05),
+            ..ServeArgs::default()
+        };
+        let out = execute_serve(&ServeCommand::Run(Box::new(args))).unwrap();
+        assert!(out.contains("served for"), "{out}");
+    }
+
+    #[test]
+    fn bench_closed_loop_self_booted() {
+        let args = BenchArgs {
+            connections: 2,
+            duration: 5.0,
+            requests: Some(400),
+            server: ServeArgs {
+                addr: "127.0.0.1:0".to_string(),
+                n: 16,
+                m: 128,
+                workers: 2,
+                ..ServeArgs::default()
+            },
+            ..BenchArgs::default()
+        };
+        let out = execute_serve(&ServeCommand::Bench(Box::new(args))).unwrap();
+        assert!(out.contains("requests / s"), "{out}");
+        assert!(out.contains("server after the run"), "{out}");
+    }
+
+    #[test]
+    fn bench_open_loop_self_booted() {
+        let args = BenchArgs {
+            connections: 2,
+            duration: 0.4,
+            rps: Some(2000.0),
+            depart_frac: 0.3,
+            server: ServeArgs {
+                addr: "127.0.0.1:0".to_string(),
+                n: 16,
+                m: 128,
+                workers: 2,
+                ..ServeArgs::default()
+            },
+            ..BenchArgs::default()
+        };
+        let out = execute_serve(&ServeCommand::Bench(Box::new(args))).unwrap();
+        assert!(out.contains("open @ 2000 rps target"), "{out}");
+    }
+
+    #[test]
+    fn replay_round_trips_a_recorded_log() {
+        use rls_live::{LogFooter, LogHeader, Recorder, SteadyState};
+
+        // Record a small live run to a temp file, then serve-replay it.
+        let dir = std::env::temp_dir().join(format!("rls-serve-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+
+        let initial = rls_core::Config::uniform(8, 8).unwrap();
+        let params = LiveParams::balanced(
+            rls_workloads::ArrivalProcess::Poisson { rate_per_bin: 2.0 },
+            8,
+            64,
+        )
+        .unwrap();
+        let mut engine = LiveEngine::new(initial.clone(), params, RlsRule::paper()).unwrap();
+        let mut observer = (Recorder::new(), SteadyState::new(0.0));
+        engine.run_until(4.0, &mut rng_from_seed(3), &mut observer);
+        let (recorder, steady) = observer;
+        let log = EventLog {
+            header: LogHeader {
+                n: 8,
+                initial_loads: initial.loads().to_vec(),
+                rule: RlsRule::paper(),
+                warmup: 0.0,
+                description: "cli replay test".to_string(),
+            },
+            events: recorder.into_events(),
+            footer: LogFooter {
+                time: engine.time(),
+                final_loads: engine.config().loads().to_vec(),
+                summary: steady.finish(engine.time()),
+            },
+        };
+        std::fs::write(&path, log.to_json()).unwrap();
+
+        let out = execute_serve(&ServeCommand::Replay {
+            log: path.to_string_lossy().to_string(),
+            addr: None,
+            workers: 2,
+        })
+        .unwrap();
+        assert!(out.contains("bit-identical ✓"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

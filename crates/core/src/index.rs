@@ -27,6 +27,24 @@ use crate::Config;
 /// Supports `O(log n)` rank queries (`bin_at`), prefix sums and point
 /// updates, with the total load kept alongside so sampling needs no extra
 /// traversal.
+///
+/// ```
+/// use rls_core::{Config, LoadIndex, Move};
+///
+/// let mut cfg = Config::from_loads(vec![3, 0, 5]).unwrap();
+/// let mut idx = LoadIndex::new(&cfg);
+/// assert_eq!(idx.total(), 8);
+/// // Ranks lay the balls out bin by bin: rank 3 is the first ball of
+/// // bin 2 (bin 1 is empty), so a uniform rank picks a bin with
+/// // probability load/m — the law of activating a uniform ball.
+/// assert_eq!(idx.bin_at(2), 0);
+/// assert_eq!(idx.bin_at(3), 2);
+///
+/// // Keep the index in lock-step with the configuration.
+/// cfg.apply(Move::new(2, 1)).unwrap();
+/// idx.record_move(2, 1);
+/// assert!(idx.matches(&cfg));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadIndex {
     /// 1-based Fenwick array; `tree[i]` covers `lowbit(i)` bins ending at

@@ -21,7 +21,7 @@
 //!   random walk on the graph (power iteration, no external linear algebra).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod graph;
 pub mod mixing;

@@ -1,0 +1,96 @@
+//! Externally-driven engine commands.
+//!
+//! [`LiveEngine::step`](crate::LiveEngine::step) simulates the full
+//! superposed process: *it* decides whether the next event is an arrival, a
+//! departure or an RLS ring.  A serving layer inverts that control flow —
+//! real requests arriving over the network decide what happens next, and
+//! the engine merely applies them.  A [`LiveCommand`] is one such
+//! externally-chosen event: the kind is fixed by the caller, while any
+//! coordinate left as `None` is sampled by the engine under the exact law
+//! the simulation would have used (arrival placement via the configured
+//! [`ArrivalProcess`](rls_workloads::ArrivalProcess), departing/ringing
+//! balls uniform over the `m` exchangeable balls, ring destinations uniform
+//! over the `n` bins).
+//!
+//! Commands are plain serializable values, so the HTTP layer (`rls-serve`)
+//! can decode request bodies straight into them, and a recorded command
+//! sequence replays bit-identically against the same seed.
+
+use serde::{Deserialize, Serialize};
+
+/// One externally-driven event for [`LiveEngine::apply`](crate::LiveEngine::apply).
+///
+/// Every coordinate is optional: `None` means "sample it under the
+/// process's own law", `Some` pins it (the trace-replay path pins all of
+/// them, so no randomness is consumed for placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiveCommand {
+    /// One ball arrives.  `bin: None` places it via the configured arrival
+    /// process (hotspot bias, uniform, …); `Some(b)` pins the destination.
+    Arrive {
+        /// Destination bin, or `None` to sample it.
+        bin: Option<usize>,
+    },
+    /// One ball departs.  `bin: None` removes a uniformly random ball (a
+    /// load-proportional bin); `Some(b)` removes a ball from bin `b`.
+    Depart {
+        /// Source bin, or `None` to sample a uniform ball.
+        bin: Option<usize>,
+    },
+    /// One RLS clock ring.  `source: None` activates a uniformly random
+    /// ball; `dest: None` samples a uniform destination bin.  The RLS rule
+    /// then decides whether the ball actually migrates.
+    Ring {
+        /// Bin of the ringing ball, or `None` to sample a uniform ball.
+        source: Option<usize>,
+        /// Sampled destination bin, or `None` to sample it uniformly.
+        dest: Option<usize>,
+    },
+}
+
+impl LiveCommand {
+    /// Short human-readable name of the command kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LiveCommand::Arrive { .. } => "arrive",
+            LiveCommand::Depart { .. } => "depart",
+            LiveCommand::Ring { .. } => "ring",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LiveCommand::Arrive { bin: None }.name(), "arrive");
+        assert_eq!(LiveCommand::Depart { bin: Some(3) }.name(), "depart");
+        assert_eq!(
+            LiveCommand::Ring {
+                source: None,
+                dest: Some(1)
+            }
+            .name(),
+            "ring"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for cmd in [
+            LiveCommand::Arrive { bin: None },
+            LiveCommand::Arrive { bin: Some(7) },
+            LiveCommand::Depart { bin: Some(0) },
+            LiveCommand::Ring {
+                source: Some(2),
+                dest: None,
+            },
+        ] {
+            let json = serde_json::to_string(&cmd).unwrap();
+            let back: LiveCommand = serde_json::from_str(&json).unwrap();
+            assert_eq!(cmd, back);
+        }
+    }
+}

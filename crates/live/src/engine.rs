@@ -28,6 +28,7 @@ use rls_rng::{Rng64, RngExt};
 use rls_workloads::ArrivalProcess;
 use serde::{Deserialize, Serialize};
 
+use crate::command::LiveCommand;
 use crate::event::{LiveEvent, LiveEventKind};
 use crate::observer::LiveObserver;
 use crate::LiveError;
@@ -87,6 +88,36 @@ pub struct LiveCounters {
 }
 
 /// The sequential online engine.
+///
+/// Drive it in either of two modes:
+///
+/// * **simulation** — [`step`](Self::step)/[`run_until`](Self::run_until)
+///   let the engine choose every event from the superposed process;
+/// * **external drive** — [`apply`](Self::apply) applies one caller-chosen
+///   [`LiveCommand`] (the serving layer's mode: real requests decide what
+///   happens, the engine keeps the load vector, clock and counters exact).
+///
+/// ```
+/// use rls_core::{Config, RlsRule};
+/// use rls_live::{LiveCommand, LiveEngine, LiveParams};
+/// use rls_rng::rng_from_seed;
+/// use rls_workloads::ArrivalProcess;
+///
+/// let initial = Config::uniform(8, 4).unwrap();
+/// let params = LiveParams::balanced(
+///     ArrivalProcess::Poisson { rate_per_bin: 1.0 }, 8, 32).unwrap();
+/// let mut engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+/// let mut rng = rng_from_seed(7);
+///
+/// // External drive: a request arrives, a ball departs bin 0, one
+/// // rebalance ring fires.
+/// let arrived = engine.apply(&LiveCommand::Arrive { bin: None }, &mut rng).unwrap();
+/// assert_eq!(arrived.balls_added(), 1);
+/// engine.apply(&LiveCommand::Depart { bin: Some(0) }, &mut rng).unwrap();
+/// engine.apply(&LiveCommand::Ring { source: None, dest: None }, &mut rng).unwrap();
+/// assert_eq!(engine.config().m(), 32);
+/// assert_eq!(engine.counters().events, 3);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LiveEngine {
     cfg: Config,
@@ -242,6 +273,133 @@ impl LiveEngine {
             time: self.time,
             kind,
         })
+    }
+
+    /// Apply one externally-chosen event (see [`LiveCommand`]).
+    ///
+    /// This is the serving-layer entry point: the caller fixes the event
+    /// *kind* (and optionally its coordinates), while the engine samples
+    /// any coordinate left open under the law the simulation would have
+    /// used, advances the clock by the superposed process's holding time
+    /// `Exp(total_rate)`, and keeps the load vector, tracker, Fenwick
+    /// index and counters in sync — exactly like [`step`](Self::step).
+    ///
+    /// On error the engine is untouched and no randomness has been
+    /// consumed, so a rejected command can simply be reported and the
+    /// stream continued.
+    pub fn apply<R: Rng64 + ?Sized>(
+        &mut self,
+        cmd: &LiveCommand,
+        rng: &mut R,
+    ) -> Result<LiveEvent, LiveError> {
+        let n = self.cfg.n();
+        let m = self.cfg.m();
+
+        // Validate every explicit coordinate (and the implicit "there is a
+        // ball to pick" requirements) before touching state or the RNG.
+        let check_bin = |what: &str, bin: usize| -> Result<(), LiveError> {
+            if bin >= n {
+                return Err(LiveError::command(format!(
+                    "{what} bin {bin} outside 0..{n}"
+                )));
+            }
+            Ok(())
+        };
+        match *cmd {
+            LiveCommand::Arrive { bin: Some(bin) } => check_bin("arrival", bin)?,
+            LiveCommand::Arrive { bin: None } => {}
+            LiveCommand::Depart { bin: Some(bin) } => {
+                check_bin("departure", bin)?;
+                if self.cfg.load(bin) == 0 {
+                    return Err(LiveError::command(format!(
+                        "departure from empty bin {bin}"
+                    )));
+                }
+            }
+            LiveCommand::Depart { bin: None } => {
+                if m == 0 {
+                    return Err(LiveError::command("departure from an empty system"));
+                }
+            }
+            LiveCommand::Ring { source, dest } => {
+                match source {
+                    Some(source) => {
+                        check_bin("ring source", source)?;
+                        if self.cfg.load(source) == 0 {
+                            return Err(LiveError::command(format!(
+                                "ring in empty bin {source} (no ball to activate)"
+                            )));
+                        }
+                    }
+                    None if m == 0 => {
+                        return Err(LiveError::command("ring in an empty system"));
+                    }
+                    None => {}
+                }
+                if let Some(dest) = dest {
+                    check_bin("ring destination", dest)?;
+                }
+            }
+        }
+
+        // The holding time of the superposed chain at the current state
+        // (positive: arrival rates are validated positive at construction).
+        let dt = Exponential::new(self.total_rate())
+            .expect("positive total rate")
+            .sample(rng);
+        self.time += dt;
+        self.seq += 1;
+        self.counters.events += 1;
+
+        let kind = match *cmd {
+            LiveCommand::Arrive { bin } => {
+                let bin = bin.unwrap_or_else(|| self.params.arrivals.place(n, rng));
+                self.arrive(bin);
+                LiveEventKind::Arrival {
+                    bins: vec![bin as u32],
+                }
+            }
+            LiveCommand::Depart { bin } => {
+                let bin = bin.unwrap_or_else(|| self.index.bin_at(rng.next_below(m)));
+                self.depart(bin);
+                LiveEventKind::Departure { bin: bin as u32 }
+            }
+            LiveCommand::Ring { source, dest } => {
+                let source = source.unwrap_or_else(|| self.index.bin_at(rng.next_below(m)));
+                let dest = dest.unwrap_or_else(|| rng.next_index(n));
+                let moved = self.try_migrate(source, dest);
+                LiveEventKind::Ring {
+                    source: source as u32,
+                    dest: dest as u32,
+                    moved,
+                }
+            }
+        };
+
+        Ok(LiveEvent {
+            seq: self.seq,
+            time: self.time,
+            kind,
+        })
+    }
+
+    /// [`apply`](Self::apply) with an observer tap: the event is reported
+    /// to `observer` against the post-event tracker, exactly as
+    /// [`run_until`](Self::run_until) reports simulated events.  The
+    /// serving layer feeds its steady-state observers through this.
+    pub fn apply_with<R, O>(
+        &mut self,
+        cmd: &LiveCommand,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> Result<LiveEvent, LiveError>
+    where
+        R: Rng64 + ?Sized,
+        O: LiveObserver,
+    {
+        let event = self.apply(cmd, rng)?;
+        observer.on_event(&event, &self.tracker);
+        Ok(event)
     }
 
     /// Run until simulated time reaches `until`, reporting every event to
@@ -432,6 +590,174 @@ mod tests {
         eng.run_until(50.0, &mut rng, &mut ());
         let disc = eng.config().discrepancy();
         assert!(disc < 12.0, "discrepancy {disc} too large under churn");
+    }
+
+    #[test]
+    fn apply_executes_external_commands() {
+        let mut eng = engine(8, 64);
+        let mut rng = rng_from_seed(10);
+        let m0 = eng.config().m();
+
+        let event = eng
+            .apply(&LiveCommand::Arrive { bin: Some(3) }, &mut rng)
+            .unwrap();
+        assert_eq!(event.balls_added(), 1);
+        assert!(matches!(event.kind, LiveEventKind::Arrival { ref bins } if bins == &[3]));
+        assert_eq!(eng.config().m(), m0 + 1);
+
+        let event = eng
+            .apply(&LiveCommand::Depart { bin: Some(3) }, &mut rng)
+            .unwrap();
+        assert!(matches!(event.kind, LiveEventKind::Departure { bin: 3 }));
+        assert_eq!(eng.config().m(), m0);
+
+        // Sampled coordinates stay in range and keep state consistent.
+        for _ in 0..200 {
+            eng.apply(&LiveCommand::Arrive { bin: None }, &mut rng)
+                .unwrap();
+            eng.apply(&LiveCommand::Depart { bin: None }, &mut rng)
+                .unwrap();
+            eng.apply(
+                &LiveCommand::Ring {
+                    source: None,
+                    dest: None,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        }
+        assert!(eng.tracker().matches(eng.config()));
+        assert!(eng.index().matches(eng.config()));
+        let c = eng.counters();
+        assert_eq!(c.events, 602);
+        assert_eq!(c.arrivals, 201);
+        assert_eq!(c.departures, 201);
+        assert_eq!(c.rings, 200);
+    }
+
+    #[test]
+    fn apply_pinned_ring_respects_the_rls_rule() {
+        let initial = Config::from_loads(vec![5, 1, 3]).unwrap();
+        let params = LiveParams::balanced(poisson(1.0), 3, 9).unwrap();
+        let mut eng = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+        let mut rng = rng_from_seed(12);
+
+        // 5 → 1 is a protocol move: permitted.
+        let event = eng
+            .apply(
+                &LiveCommand::Ring {
+                    source: Some(0),
+                    dest: Some(1),
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            event.kind,
+            LiveEventKind::Ring { moved: true, .. }
+        ));
+        assert_eq!(eng.config().loads(), &[4, 2, 3]);
+
+        // 2 → 4 would be destructive: the rule refuses, nothing moves.
+        let event = eng
+            .apply(
+                &LiveCommand::Ring {
+                    source: Some(1),
+                    dest: Some(0),
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(matches!(
+            event.kind,
+            LiveEventKind::Ring { moved: false, .. }
+        ));
+        assert_eq!(eng.config().loads(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn rejected_commands_leave_the_engine_untouched() {
+        let initial = Config::from_loads(vec![2, 0]).unwrap();
+        let params = LiveParams::balanced(poisson(1.0), 2, 2).unwrap();
+        let mut eng = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+        let mut rng = rng_from_seed(13);
+        let before_state = rng.state();
+
+        for bad in [
+            LiveCommand::Arrive { bin: Some(9) },
+            LiveCommand::Depart { bin: Some(1) }, // empty bin
+            LiveCommand::Depart { bin: Some(7) },
+            LiveCommand::Ring {
+                source: Some(1), // empty bin: no ball to activate
+                dest: None,
+            },
+            LiveCommand::Ring {
+                source: Some(0),
+                dest: Some(5),
+            },
+        ] {
+            let err = eng.apply(&bad, &mut rng).unwrap_err();
+            assert!(matches!(err, LiveError::Command(_)), "{bad:?}: {err}");
+        }
+        // No event was recorded, no time passed, no randomness consumed.
+        assert_eq!(eng.counters().events, 0);
+        assert_eq!(eng.time(), 0.0);
+        assert_eq!(rng.state(), before_state);
+
+        // An empty system rejects sampled departures and rings too.
+        let drained = Config::from_loads(vec![0, 0]).unwrap();
+        let mut empty = LiveEngine::new(drained, params, RlsRule::paper()).unwrap();
+        assert!(empty
+            .apply(&LiveCommand::Depart { bin: None }, &mut rng)
+            .is_err());
+        assert!(empty
+            .apply(
+                &LiveCommand::Ring {
+                    source: None,
+                    dest: None
+                },
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn apply_with_taps_the_observer() {
+        let mut eng = engine(8, 64);
+        let mut rng = rng_from_seed(14);
+        let mut steady = crate::SteadyState::new(0.0);
+        steady.on_start(eng.tracker(), eng.time());
+        for _ in 0..50 {
+            eng.apply_with(&LiveCommand::Arrive { bin: None }, &mut rng, &mut steady)
+                .unwrap();
+        }
+        let summary = steady.finish(eng.time());
+        assert_eq!(summary.arrivals, 50);
+        assert!(summary.window > 0.0);
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let script = [
+            LiveCommand::Arrive { bin: None },
+            LiveCommand::Ring {
+                source: None,
+                dest: None,
+            },
+            LiveCommand::Depart { bin: None },
+        ];
+        let mut a = engine(8, 64);
+        let mut b = engine(8, 64);
+        let (mut ra, mut rb) = (rng_from_seed(15), rng_from_seed(15));
+        for _ in 0..100 {
+            for cmd in &script {
+                a.apply(cmd, &mut ra).unwrap();
+                b.apply(cmd, &mut rb).unwrap();
+            }
+        }
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.time().to_bits(), b.time().to_bits());
+        assert_eq!(ra.state(), rb.state());
     }
 
     #[test]

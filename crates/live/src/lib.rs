@@ -9,6 +9,10 @@
 //! * [`LiveEngine`] — the sequential engine: one O(1)-per-event superposed
 //!   source merging arrivals ([`rls_workloads::ArrivalProcess`]),
 //!   per-ball exponential departures and RLS rings.
+//! * [`LiveCommand`] — externally-driven events for the serving layer:
+//!   [`LiveEngine::apply`] executes one caller-chosen arrival, departure
+//!   or ring (sampling any coordinate left open) instead of letting the
+//!   simulation pick the event type.
 //! * [`ShardedEngine`] — bins partitioned across workers, events processed
 //!   in deterministic seeded batches; the trajectory is a function of the
 //!   seed and shard/slice configuration only, never the thread count.
@@ -40,10 +44,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 
+pub mod command;
 pub mod engine;
 pub mod event;
 pub mod observer;
@@ -51,6 +56,7 @@ pub mod replay;
 pub mod sharded;
 pub mod snapshot;
 
+pub use command::LiveCommand;
 pub use engine::{LiveCounters, LiveEngine, LiveParams};
 pub use event::{LiveEvent, LiveEventKind};
 pub use observer::{LiveObserver, SteadyState, SteadySummary};
@@ -58,7 +64,7 @@ pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport}
 pub use sharded::{ShardedEngine, ShardedOutcome};
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 
-/// Errors from the live engine, snapshots or event logs.
+/// Errors from the live engine, snapshots, event logs or commands.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LiveError {
     /// The dynamics parameters are unusable.
@@ -67,6 +73,9 @@ pub enum LiveError {
     Snapshot(String),
     /// An event log is malformed or cannot be applied.
     Log(String),
+    /// An externally-driven [`LiveCommand`] cannot be applied to the
+    /// current state (out-of-range bin, departure from an empty bin, …).
+    Command(String),
 }
 
 impl LiveError {
@@ -81,6 +90,10 @@ impl LiveError {
     pub(crate) fn log(message: impl Into<String>) -> Self {
         LiveError::Log(message.into())
     }
+
+    pub(crate) fn command(message: impl Into<String>) -> Self {
+        LiveError::Command(message.into())
+    }
 }
 
 impl fmt::Display for LiveError {
@@ -89,6 +102,7 @@ impl fmt::Display for LiveError {
             LiveError::Params(m) => write!(f, "live engine parameters: {m}"),
             LiveError::Snapshot(m) => write!(f, "live snapshot: {m}"),
             LiveError::Log(m) => write!(f, "live event log: {m}"),
+            LiveError::Command(m) => write!(f, "live command: {m}"),
         }
     }
 }

@@ -22,7 +22,7 @@
 //! placements for one-shot allocation) and the outcome records which applies.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crs_local_search;
 pub mod greedy_d;

@@ -24,7 +24,7 @@
 //! random stream is fully under our control.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dist;
 mod splitmix;

@@ -1,0 +1,165 @@
+//! Request and reply bodies of the HTTP API.
+//!
+//! Every endpoint exchanges small JSON objects; the types here are the
+//! single source of truth shared by the server's router, the client-side
+//! load generator and the end-to-end tests.  `docs/SERVE.md` documents
+//! the same surface with curl examples.
+
+use rls_live::{LiveCounters, SteadySummary};
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /v1/arrive` (may be omitted entirely).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArriveRequest {
+    /// Destination bin; omit to let the configured arrival process place
+    /// the ball.
+    pub bin: Option<usize>,
+    /// Exact number of RLS rebalance rings to run after the arrival; omit
+    /// to draw from the server's auto-rebalance policy.  Trace replay pins
+    /// this to `0`.
+    pub rings: Option<u64>,
+}
+
+/// Reply of `POST /v1/arrive`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArriveReply {
+    /// The bin the ball was assigned to.
+    pub bin: usize,
+    /// Population after the arrival (and its rebalance rings).
+    pub m: u64,
+    /// Engine clock after the event.
+    pub time: f64,
+    /// Events processed so far (sequence number of the last one).
+    pub seq: u64,
+    /// Rebalance rings run for this request.
+    pub rings: u64,
+    /// How many of those rings migrated a ball.
+    pub moved: u64,
+}
+
+/// Body of `POST /v1/depart` (may be omitted; `POST /v1/depart/{bin}`
+/// fills `bin` from the path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepartRequest {
+    /// Bin the departing ball leaves; omit to remove a uniformly random
+    /// ball (a load-proportional bin).
+    pub bin: Option<usize>,
+}
+
+/// Reply of `POST /v1/depart`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepartReply {
+    /// The bin the ball departed from.
+    pub bin: usize,
+    /// Population after the departure.
+    pub m: u64,
+    /// Engine clock after the event.
+    pub time: f64,
+    /// Events processed so far.
+    pub seq: u64,
+}
+
+/// Body of `POST /v1/ring` (may be omitted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingRequest {
+    /// Bin of the ringing ball; omit to activate a uniformly random ball.
+    pub source: Option<usize>,
+    /// Sampled destination bin; omit to draw it uniformly.
+    pub dest: Option<usize>,
+}
+
+/// Reply of `POST /v1/ring`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingReply {
+    /// Bin of the activated ball.
+    pub source: usize,
+    /// Destination the ball sampled.
+    pub dest: usize,
+    /// Whether the RLS rule let the ball migrate.
+    pub moved: bool,
+    /// Population (unchanged by rings).
+    pub m: u64,
+    /// Engine clock after the event.
+    pub time: f64,
+    /// Events processed so far.
+    pub seq: u64,
+}
+
+/// Reply of `GET /v1/stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Number of bins.
+    pub n: usize,
+    /// Current population.
+    pub m: u64,
+    /// Engine clock.
+    pub time: f64,
+    /// Instantaneous gap `max load − m/n`.
+    pub gap: f64,
+    /// Current maximum bin load.
+    pub max_load: u64,
+    /// Steady-state digest over the measurement window so far (time-
+    /// averaged gap, time-weighted p50/p99/max overload, moves per
+    /// arrival).
+    pub summary: SteadySummary,
+    /// Aggregate event counters since boot (or the last restore).
+    pub counters: LiveCounters,
+}
+
+/// Reply of `POST /v1/restore`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreReply {
+    /// Number of bins after the restore.
+    pub n: usize,
+    /// Population after the restore.
+    pub m: u64,
+    /// Engine clock after the restore.
+    pub time: f64,
+}
+
+/// Reply of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// Always `"ok"` when the engine thread answers.
+    pub status: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Current population.
+    pub m: u64,
+    /// Engine clock.
+    pub time: f64,
+    /// Events processed since boot.
+    pub events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optional_fields_may_be_omitted() {
+        let req: ArriveRequest = serde_json::from_str("{}").unwrap();
+        assert_eq!(req, ArriveRequest::default());
+        let req: ArriveRequest = serde_json::from_str(r#"{"bin": 3}"#).unwrap();
+        assert_eq!(req.bin, Some(3));
+        assert_eq!(req.rings, None);
+        let req: RingRequest = serde_json::from_str(r#"{"source": 1, "dest": 0}"#).unwrap();
+        assert_eq!(req.source, Some(1));
+        assert_eq!(req.dest, Some(0));
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let reply = ArriveReply {
+            bin: 4,
+            m: 65,
+            time: 1.25,
+            seq: 17,
+            rings: 2,
+            moved: 1,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: ArriveReply = serde_json::from_str(&json).unwrap();
+        assert_eq!(reply, back);
+    }
+}

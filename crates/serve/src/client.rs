@@ -1,0 +1,84 @@
+//! A minimal blocking HTTP/1.1 client (keep-alive, JSON bodies).
+//!
+//! Exists so the load generator, the trace-replay driver and the
+//! end-to-end tests talk to the server over *real sockets* without pulling
+//! in a client library.  One [`HttpClient`] is one keep-alive connection;
+//! requests are strictly sequential, which is also what makes a
+//! single-client drive of the server deterministic.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::http::{self, MessageReader};
+
+/// One keep-alive connection to an `rls-serve` server.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: MessageReader,
+    out: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect, with TCP_NODELAY and a 10 s read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Self {
+            stream,
+            reader: MessageReader::new(),
+            out: Vec::with_capacity(512),
+        })
+    }
+
+    /// Send one request and wait for the response; returns the status code
+    /// and the body.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Send a request without waiting — pair with [`recv`](Self::recv).
+    /// Several sends may be in flight at once (HTTP/1.1 pipelining);
+    /// responses come back in order.
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+        http::write_request(&mut self.stream, &mut self.out, method, path, body)
+    }
+
+    /// Receive the next in-order response; returns the status code and the
+    /// body.
+    pub fn recv(&mut self) -> io::Result<(u16, Vec<u8>)> {
+        let message = self
+            .reader
+            .next_message(&mut self.stream, &mut || false)?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            })?;
+        // "HTTP/1.1 200 OK"
+        let status = message
+            .start_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad response status line")
+            })?;
+        Ok((status, message.body))
+    }
+
+    /// [`request`](Self::request) expecting a 200 with a JSON body;
+    /// non-200 statuses become errors carrying the server's message.
+    pub fn request_ok(&mut self, method: &str, path: &str, body: &[u8]) -> Result<String, String> {
+        let (status, body) = self
+            .request(method, path, body)
+            .map_err(|e| format!("{method} {path}: {e}"))?;
+        let text = String::from_utf8_lossy(&body).into_owned();
+        if status == 200 {
+            Ok(text)
+        } else {
+            Err(format!("{method} {path}: HTTP {status}: {text}"))
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The engine core behind the HTTP surface.
+//!
+//! [`ServeCore`] owns everything one serving instance needs: the
+//! [`LiveEngine`], the seeded RNG that resolves sampled coordinates, a
+//! [`SteadyState`] observer tapped on every applied event, and the
+//! auto-rebalance policy.  Each HTTP endpoint is exactly one method here —
+//! the server's engine thread calls them in request order, and offline
+//! callers (tests, benchmarks) call them directly to predict what the
+//! server must answer for the same seed and command sequence.
+
+use rls_live::{LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Snapshot, SteadyState};
+use rls_rng::dist::{Distribution, Poisson};
+use rls_rng::{rng_from_seed, DefaultRng};
+
+use crate::api::{
+    ArriveReply, ArriveRequest, DepartReply, DepartRequest, HealthReply, RestoreReply, RingReply,
+    RingRequest, StatsReply,
+};
+use crate::ServeError;
+
+/// Upper bound on explicit `rings` in one request: a single request must
+/// stay O(small) on the engine thread.
+pub const MAX_RINGS_PER_REQUEST: u64 = 10_000;
+
+/// How the server rebalances on its own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServePolicy {
+    /// Mean number of RLS rings run after each arrival (Poisson-sampled,
+    /// so the ring stream stays memoryless like the paper's clocks).  `0`
+    /// disables auto-rebalancing; clients can still `POST /v1/ring`.
+    pub rings_per_arrival: f64,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        Self {
+            rings_per_arrival: 1.0,
+        }
+    }
+}
+
+/// The single-threaded serving core: engine + RNG + observer + policy.
+///
+/// ```
+/// use rls_core::{Config, RlsRule};
+/// use rls_live::{LiveEngine, LiveParams};
+/// use rls_serve::{ArriveRequest, ServeCore, ServePolicy};
+/// use rls_workloads::ArrivalProcess;
+///
+/// let initial = Config::uniform(8, 4).unwrap();
+/// let params = LiveParams::balanced(
+///     ArrivalProcess::Poisson { rate_per_bin: 1.0 }, 8, 32).unwrap();
+/// let engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+/// let mut core = ServeCore::new(engine, 7, 0.0, ServePolicy::default());
+///
+/// let reply = core.arrive(&ArriveRequest::default()).unwrap();
+/// assert!(reply.bin < 8);
+/// assert_eq!(reply.m, 33);
+/// assert_eq!(core.stats().counters.arrivals, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeCore {
+    engine: LiveEngine,
+    rng: DefaultRng,
+    steady: SteadyState,
+    policy: ServePolicy,
+    /// Warm-up (engine-time units) excluded from the stats window; kept so
+    /// a restore can re-arm the observer the same way.
+    warmup: f64,
+}
+
+impl ServeCore {
+    /// A core over a fresh engine.  `warmup` engine-time units are
+    /// excluded from the steady-state window (measured from the engine's
+    /// current clock).
+    pub fn new(engine: LiveEngine, seed: u64, warmup: f64, policy: ServePolicy) -> Self {
+        let mut steady = SteadyState::new(engine.time() + warmup);
+        steady.on_start(engine.tracker(), engine.time());
+        Self {
+            engine,
+            rng: rng_from_seed(seed),
+            steady,
+            policy,
+            warmup,
+        }
+    }
+
+    /// The engine (read-only; the core owns all mutation).
+    pub fn engine(&self) -> &LiveEngine {
+        &self.engine
+    }
+
+    /// The auto-rebalance policy in force.
+    pub fn policy(&self) -> ServePolicy {
+        self.policy
+    }
+
+    fn check_bin(&self, what: &str, bin: Option<usize>) -> Result<(), ServeError> {
+        if let Some(bin) = bin {
+            let n = self.engine.config().n();
+            if bin >= n {
+                return Err(ServeError::bad_request(format!(
+                    "{what} bin {bin} outside 0..{n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// `POST /v1/arrive` — place one ball, then run the auto-rebalance
+    /// rings (or exactly `req.rings` of them).
+    pub fn arrive(&mut self, req: &ArriveRequest) -> Result<ArriveReply, ServeError> {
+        self.check_bin("arrival", req.bin)?;
+        let rings = match req.rings {
+            Some(rings) if rings > MAX_RINGS_PER_REQUEST => {
+                return Err(ServeError::bad_request(format!(
+                    "rings {rings} exceeds the per-request cap {MAX_RINGS_PER_REQUEST}"
+                )));
+            }
+            Some(rings) => rings,
+            None if self.policy.rings_per_arrival > 0.0 => {
+                Poisson::new(self.policy.rings_per_arrival)
+                    .expect("positive policy mean")
+                    .sample(&mut self.rng)
+            }
+            None => 0,
+        };
+
+        let event = self
+            .engine
+            .apply_with(
+                &LiveCommand::Arrive { bin: req.bin },
+                &mut self.rng,
+                &mut self.steady,
+            )
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        let bin = match &event.kind {
+            LiveEventKind::Arrival { bins } => bins[0] as usize,
+            _ => unreachable!("arrive commands yield arrival events"),
+        };
+
+        let mut moved = 0u64;
+        for _ in 0..rings {
+            // m ≥ 1 right after an arrival, so rings cannot fail.
+            let ring = self
+                .engine
+                .apply_with(
+                    &LiveCommand::Ring {
+                        source: None,
+                        dest: None,
+                    },
+                    &mut self.rng,
+                    &mut self.steady,
+                )
+                .map_err(|e| ServeError::internal(e.to_string()))?;
+            if matches!(ring.kind, LiveEventKind::Ring { moved: true, .. }) {
+                moved += 1;
+            }
+        }
+
+        Ok(ArriveReply {
+            bin,
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            seq: self.engine.counters().events,
+            rings,
+            moved,
+        })
+    }
+
+    /// `POST /v1/depart[/{bin}]` — remove one ball.
+    pub fn depart(&mut self, req: &DepartRequest) -> Result<DepartReply, ServeError> {
+        self.check_bin("departure", req.bin)?;
+        let event = self
+            .engine
+            .apply_with(
+                &LiveCommand::Depart { bin: req.bin },
+                &mut self.rng,
+                &mut self.steady,
+            )
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        let bin = match event.kind {
+            LiveEventKind::Departure { bin } => bin as usize,
+            _ => unreachable!("depart commands yield departure events"),
+        };
+        Ok(DepartReply {
+            bin,
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            seq: self.engine.counters().events,
+        })
+    }
+
+    /// `POST /v1/ring` — one explicit RLS ring.
+    pub fn ring(&mut self, req: &RingRequest) -> Result<RingReply, ServeError> {
+        self.check_bin("ring source", req.source)?;
+        self.check_bin("ring destination", req.dest)?;
+        let event = self
+            .engine
+            .apply_with(
+                &LiveCommand::Ring {
+                    source: req.source,
+                    dest: req.dest,
+                },
+                &mut self.rng,
+                &mut self.steady,
+            )
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        let (source, dest, moved) = match event.kind {
+            LiveEventKind::Ring {
+                source,
+                dest,
+                moved,
+            } => (source as usize, dest as usize, moved),
+            _ => unreachable!("ring commands yield ring events"),
+        };
+        Ok(RingReply {
+            source,
+            dest,
+            moved,
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            seq: self.engine.counters().events,
+        })
+    }
+
+    /// `GET /v1/stats` — instantaneous state plus the steady-state digest
+    /// of the window so far (the observer keeps accumulating afterwards).
+    pub fn stats(&self) -> StatsReply {
+        let tracker = self.engine.tracker();
+        let gap = (tracker.max_load() as f64 - tracker.average()).max(0.0);
+        StatsReply {
+            n: tracker.n(),
+            m: tracker.m(),
+            time: self.engine.time(),
+            gap,
+            max_load: tracker.max_load(),
+            summary: self.steady.clone().finish(self.engine.time()),
+            counters: self.engine.counters(),
+        }
+    }
+
+    /// `GET /healthz`.
+    pub fn health(&self) -> HealthReply {
+        HealthReply {
+            status: "ok".to_string(),
+            n: self.engine.config().n(),
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            events: self.engine.counters().events,
+        }
+    }
+
+    /// `GET /v1/snapshot` — the format-v2 checkpoint of engine + RNG as
+    /// pretty JSON (byte-compatible with `rls-experiments live` snapshot
+    /// files).
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&Snapshot::capture(&self.engine, &self.rng))
+            .expect("snapshots always encode")
+    }
+
+    /// `POST /v1/restore` — replace engine and RNG with a snapshot and
+    /// re-arm the stats window (warm-up measured from the restored clock).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<RestoreReply, ServeError> {
+        let (engine, rng) = snapshot
+            .restore()
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        self.engine = engine;
+        self.rng = rng;
+        self.steady = SteadyState::new(self.engine.time() + self.warmup);
+        self.steady
+            .on_start(self.engine.tracker(), self.engine.time());
+        Ok(RestoreReply {
+            n: self.engine.config().n(),
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_core::{Config, RlsRule};
+    use rls_live::LiveParams;
+    use rls_workloads::ArrivalProcess;
+
+    fn core(seed: u64, policy: ServePolicy) -> ServeCore {
+        let initial = Config::uniform(8, 8).unwrap();
+        let params =
+            LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 8, 64).unwrap();
+        let engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+        ServeCore::new(engine, seed, 0.0, policy)
+    }
+
+    fn no_rings() -> ServePolicy {
+        ServePolicy {
+            rings_per_arrival: 0.0,
+        }
+    }
+
+    #[test]
+    fn arrive_depart_ring_mutate_the_engine() {
+        let mut c = core(1, no_rings());
+        let a = c
+            .arrive(&ArriveRequest {
+                bin: Some(3),
+                rings: None,
+            })
+            .unwrap();
+        assert_eq!(a.bin, 3);
+        assert_eq!(a.m, 65);
+        assert_eq!(a.rings, 0);
+
+        let d = c.depart(&DepartRequest { bin: Some(3) }).unwrap();
+        assert_eq!(d.bin, 3);
+        assert_eq!(d.m, 64);
+
+        let r = c
+            .ring(&RingRequest {
+                source: None,
+                dest: None,
+            })
+            .unwrap();
+        assert!(r.source < 8 && r.dest < 8);
+        assert_eq!(r.m, 64);
+        assert_eq!(c.stats().counters.events, 3);
+    }
+
+    #[test]
+    fn policy_rings_run_after_sampled_arrivals() {
+        let mut c = core(
+            2,
+            ServePolicy {
+                rings_per_arrival: 4.0,
+            },
+        );
+        let mut rings = 0;
+        for _ in 0..50 {
+            rings += c.arrive(&ArriveRequest::default()).unwrap().rings;
+        }
+        // Poisson(4) over 50 arrivals: ~200 expected, wildly unlikely to
+        // land below 100 or above 350.
+        assert!((100..=350).contains(&rings), "rings {rings}");
+        let stats = c.stats();
+        assert_eq!(stats.counters.arrivals, 50);
+        assert_eq!(stats.counters.rings, rings);
+        // Explicit rings override the policy.
+        let a = c
+            .arrive(&ArriveRequest {
+                bin: None,
+                rings: Some(0),
+            })
+            .unwrap();
+        assert_eq!(a.rings, 0);
+    }
+
+    #[test]
+    fn errors_use_http_statuses() {
+        let mut c = core(3, no_rings());
+        // Out-of-range bins are client errors.
+        assert_eq!(
+            c.arrive(&ArriveRequest {
+                bin: Some(99),
+                rings: None
+            })
+            .unwrap_err()
+            .status,
+            400
+        );
+        assert_eq!(
+            c.ring(&RingRequest {
+                source: Some(0),
+                dest: Some(99)
+            })
+            .unwrap_err()
+            .status,
+            400
+        );
+        assert_eq!(
+            c.arrive(&ArriveRequest {
+                bin: None,
+                rings: Some(MAX_RINGS_PER_REQUEST + 1)
+            })
+            .unwrap_err()
+            .status,
+            400
+        );
+        // An in-range but empty bin is a state conflict.
+        let mut drained = {
+            let initial = Config::from_loads(vec![1, 0]).unwrap();
+            let params = LiveParams {
+                arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+                service_rate: 0.0,
+            };
+            let engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+            ServeCore::new(engine, 4, 0.0, no_rings())
+        };
+        assert_eq!(
+            drained
+                .depart(&DepartRequest { bin: Some(1) })
+                .unwrap_err()
+                .status,
+            409
+        );
+        // Errors leave no trace in the counters.
+        assert_eq!(drained.stats().counters.events, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut a = core(
+            5,
+            ServePolicy {
+                rings_per_arrival: 2.0,
+            },
+        );
+        for _ in 0..30 {
+            a.arrive(&ArriveRequest::default()).unwrap();
+        }
+        let json = a.snapshot_json();
+
+        // Restore into a fresh core (different seed — the snapshot's RNG
+        // wins) and drive both identically: trajectories must agree.
+        let mut b = core(
+            999,
+            ServePolicy {
+                rings_per_arrival: 2.0,
+            },
+        );
+        let snap = Snapshot::from_json(&json).unwrap();
+        let restored = b.restore(&snap).unwrap();
+        assert_eq!(restored.m, a.engine().config().m());
+
+        for _ in 0..20 {
+            let ra = a.arrive(&ArriveRequest::default()).unwrap();
+            let rb = b.arrive(&ArriveRequest::default()).unwrap();
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.engine().config(), b.engine().config());
+    }
+
+    #[test]
+    fn same_seed_same_commands_same_trajectory() {
+        let mut a = core(7, ServePolicy::default());
+        let mut b = core(7, ServePolicy::default());
+        for i in 0..100u64 {
+            let req = ArriveRequest {
+                bin: (i % 3 == 0).then_some((i % 8) as usize),
+                rings: None,
+            };
+            assert_eq!(a.arrive(&req).unwrap(), b.arrive(&req).unwrap());
+            if i % 4 == 0 {
+                let d = DepartRequest { bin: None };
+                assert_eq!(a.depart(&d).unwrap(), b.depart(&d).unwrap());
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+    }
+}

@@ -1,0 +1,340 @@
+//! Minimal HTTP/1.1 message framing over `std::net::TcpStream`.
+//!
+//! Just enough of RFC 7230 for this crate's API: start line, headers,
+//! `Content-Length`-framed bodies and keep-alive.  No chunked encoding, no
+//! TLS, no HTTP/2 — both peers are this workspace's own server and client,
+//! plus anything curl-shaped.
+//!
+//! Parsing is buffer-first: [`MessageReader`] accumulates raw bytes per
+//! connection and splits complete messages out of them, so read timeouts
+//! (used by the server to poll its shutdown flag) never lose partial data,
+//! and pipelined messages are handled for free.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the head (start line + headers) of a message.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a message body (snapshots of large instances are the
+/// biggest legitimate payload).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed message: the start line, the two framing headers this
+/// protocol needs, and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The start line, e.g. `POST /v1/arrive HTTP/1.1` or `HTTP/1.1 200 OK`.
+    pub start_line: String,
+    /// Whether the peer asked to close the connection after this message.
+    pub close: bool,
+    /// The body (empty when there was no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Accumulates bytes from one connection and yields complete messages.
+#[derive(Debug, Default)]
+pub struct MessageReader {
+    buf: Vec<u8>,
+}
+
+/// What a single read attempt produced.
+enum Fill {
+    /// More bytes arrived.
+    Data,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timed out (the socket has a read timeout configured).
+    TimedOut,
+}
+
+impl MessageReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read one complete message.
+    ///
+    /// Returns `Ok(None)` on a clean close (EOF at a message boundary).
+    /// When a read times out, `keep_waiting` decides whether to keep
+    /// listening (the server polls its shutdown flag here): `false` ends
+    /// the connection — cleanly if no partial message is buffered,
+    /// with `TimedOut` otherwise.
+    pub fn next_message(
+        &mut self,
+        stream: &mut TcpStream,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> io::Result<Option<Message>> {
+        loop {
+            if let Some(message) = self.buffered_message()? {
+                return Ok(Some(message));
+            }
+            match self.fill(stream)? {
+                Fill::Data => {}
+                Fill::Eof if self.buf.is_empty() => return Ok(None),
+                Fill::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-message",
+                    ));
+                }
+                Fill::TimedOut => {
+                    if keep_waiting() {
+                        continue;
+                    }
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out mid-message",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Parse one message purely from already-buffered bytes — no socket
+    /// read.  `Ok(None)` means the buffer holds no complete message yet.
+    /// The server uses this to drain a pipelined burst into one batch.
+    pub fn buffered_message(&mut self) -> io::Result<Option<Message>> {
+        // A complete head (terminated by CRLFCRLF)?
+        let head_end = match find_head_end(&self.buf) {
+            Some(end) if end > MAX_HEAD_BYTES => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "message head exceeds the size cap",
+                ));
+            }
+            Some(end) => end,
+            None if self.buf.len() > MAX_HEAD_BYTES => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "message head exceeds the size cap",
+                ));
+            }
+            None => return Ok(None),
+        };
+
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let start_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty head"))?
+            .to_string();
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "body exceeds the size cap",
+            ));
+        }
+
+        // The whole body, too?
+        let body_start = head_end + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep any pipelined bytes for the next message.
+        self.buf.drain(..body_start + content_length);
+        Ok(Some(Message {
+            start_line,
+            close,
+            body,
+        }))
+    }
+
+    fn fill(&mut self, stream: &mut TcpStream) -> io::Result<Fill> {
+        let mut chunk = [0u8; 8 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(k) => {
+                self.buf.extend_from_slice(&chunk[..k]);
+                Ok(Fill::Data)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(Fill::TimedOut)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(Fill::TimedOut),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes this crate emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Append one serialized response to `out` (the server batches the
+/// responses of a pipelined burst into a single write).
+pub fn append_response(out: &mut Vec<u8>, status: u16, body: &[u8], keep_alive: bool) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            reason_phrase(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+}
+
+/// Serialize a response into `out` (cleared first) and write it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    out.clear();
+    append_response(out, status, body, keep_alive);
+    stream.write_all(out)
+}
+
+/// Serialize a request into `out` (cleared first) and write it.
+pub fn write_request(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    out.clear();
+    out.extend_from_slice(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: rls-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len(),
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    stream.write_all(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Feed raw bytes through a real socket pair and parse them.
+    fn parse_bytes(chunks: &[&[u8]]) -> io::Result<Vec<Message>> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let chunks: Vec<Vec<u8>> = chunks.iter().map(|c| c.to_vec()).collect();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for c in &chunks {
+                // The reader may reject and hang up mid-write (e.g. the
+                // oversized-head test): a send error is fine here.
+                if s.write_all(c).is_err() {
+                    break;
+                }
+            }
+            // Drop closes the write side.
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut reader = MessageReader::new();
+        let mut messages = Vec::new();
+        let outcome = loop {
+            match reader.next_message(&mut stream, &mut || true) {
+                Ok(Some(m)) => messages.push(m),
+                Ok(None) => break Ok(messages),
+                Err(e) => break Err(e),
+            }
+        };
+        drop(stream);
+        writer.join().unwrap();
+        outcome
+    }
+
+    #[test]
+    fn parses_requests_with_and_without_bodies() {
+        let messages = parse_bytes(&[
+            b"GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /v1/arrive HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"bin\":3}",
+        ])
+        .unwrap();
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].start_line, "GET /v1/stats HTTP/1.1");
+        assert!(messages[0].body.is_empty());
+        assert_eq!(messages[1].body, b"{\"bin\":3}");
+        assert!(!messages[1].close);
+    }
+
+    #[test]
+    fn split_and_pipelined_messages_both_work() {
+        // One request split across 3 writes, then two pipelined in one.
+        let messages = parse_bytes(&[
+            b"POST /v1/arrive HTT",
+            b"P/1.1\r\nContent-Len",
+            b"gth: 2\r\n\r\n{}",
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+        ])
+        .unwrap();
+        assert_eq!(messages.len(), 3);
+        assert_eq!(messages[0].body, b"{}");
+        assert_eq!(messages[1].start_line, "GET /healthz HTTP/1.1");
+        assert!(messages[2].close);
+    }
+
+    #[test]
+    fn mid_message_eof_is_an_error() {
+        let err = parse_bytes(&[b"POST /v1/arrive HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}"])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let big = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1)
+        );
+        let err = parse_bytes(&[big.as_bytes()]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for status in [200, 400, 404, 405, 409, 413, 500] {
+            assert!(!reason_phrase(status).is_empty());
+        }
+    }
+}

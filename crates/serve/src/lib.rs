@@ -1,0 +1,148 @@
+//! # rls-serve — a std-only HTTP serving layer over the live engine
+//!
+//! `rls-live` simulates an online instance: arrivals, departures and RLS
+//! rebalance rings superposed in continuous time.  This crate puts that
+//! engine behind an actual network endpoint, turning the reproduction into
+//! a usable load balancer: clients `POST /v1/arrive` to have a ball
+//! assigned to a bin, `POST /v1/depart` when one leaves, and read the
+//! steady-state observables (`GET /v1/stats`), all over plain HTTP/1.1 on
+//! a `std::net::TcpListener` — no async runtime, no dependencies (the
+//! workspace is offline/vendored).
+//!
+//! ## Pieces
+//!
+//! * [`ServeCore`] — the single-threaded heart: a
+//!   [`LiveEngine`](rls_live::LiveEngine) plus its RNG, a
+//!   [`SteadyState`](rls_live::SteadyState) observer tap and the
+//!   auto-rebalance policy.  Everything the server does over HTTP is a
+//!   method here, so tests and benchmarks can cross-check the HTTP path
+//!   against an offline core driven with the same seed.
+//! * [`serve`]/[`HttpServer`] — a pre-forked worker-thread pool accepting
+//!   on a shared listener; the core lives on a dedicated engine thread
+//!   behind an mpsc command channel, so state is owned by exactly one
+//!   thread and the workers stay lock-free.
+//! * [`HttpClient`] — a minimal blocking keep-alive
+//!   client used by the load generator, the trace-replay driver and the
+//!   end-to-end tests.
+//! * [`loadgen`] — the built-in benchmark driver (`rls-experiments serve
+//!   bench`): open- and closed-loop modes, latency percentiles, and
+//!   [`replay_over_http`], which feeds a
+//!   recorded `rls-live` event log through the HTTP path and checks the
+//!   resulting load vector against the offline replay bit-for-bit.
+//!
+//! ## Determinism
+//!
+//! The engine thread applies commands in arrival order against a seeded
+//! RNG, so a given command sequence produces one trajectory: driving the
+//! HTTP API from one connection is reproducible end to end, and
+//! `GET /v1/snapshot` / `POST /v1/restore` round-trip the exact state
+//! (format-v2 snapshots, including the RNG).  See `docs/SERVE.md` for the
+//! full API reference.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+pub mod api;
+pub mod client;
+pub mod core;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use api::{
+    ArriveReply, ArriveRequest, DepartReply, DepartRequest, HealthReply, RestoreReply, RingReply,
+    RingRequest, StatsReply,
+};
+pub use client::HttpClient;
+pub use core::{ServeCore, ServePolicy};
+pub use loadgen::{
+    core_from_log, drive, replay_over_http, BenchOptions, BenchReport, DriveMode, ReplayOutcome,
+};
+pub use server::{serve, HttpServer, ServerConfig};
+
+/// An error with an HTTP status: everything a handler can reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status code the handler maps to (400, 404, 405, 409, 500).
+    pub status: u16,
+    /// Human-readable description, returned as `{"error": ...}`.
+    pub message: String,
+}
+
+impl ServeError {
+    /// 400 — the request itself is malformed (bad JSON, bad bin id).
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404 — no such route.
+    pub fn not_found(path: &str) -> Self {
+        Self {
+            status: 404,
+            message: format!("no route for `{path}`"),
+        }
+    }
+
+    /// 405 — the route exists but not for this method.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        Self {
+            status: 405,
+            message: format!("`{path}` does not accept {method}"),
+        }
+    }
+
+    /// 409 — the request is well-formed but conflicts with the current
+    /// state (departure from an empty bin, restore of an unreadable
+    /// snapshot).
+    pub fn conflict(message: impl Into<String>) -> Self {
+        Self {
+            status: 409,
+            message: message.into(),
+        }
+    }
+
+    /// 500 — the server itself failed.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+
+    /// The standard reason phrase for [`status`](Self::status).
+    pub fn reason(&self) -> &'static str {
+        http::reason_phrase(self.status)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.reason(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_status_and_reason() {
+        let e = ServeError::bad_request("bin 9 outside 0..8");
+        assert_eq!(e.status, 400);
+        assert!(e.to_string().contains("Bad Request"));
+        assert_eq!(ServeError::not_found("/nope").status, 404);
+        assert_eq!(
+            ServeError::method_not_allowed("PUT", "/v1/stats").status,
+            405
+        );
+        assert_eq!(ServeError::conflict("empty bin").status, 409);
+        assert_eq!(ServeError::internal("boom").status, 500);
+    }
+}

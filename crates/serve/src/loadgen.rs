@@ -1,0 +1,439 @@
+//! The built-in load generator and trace-replay driver.
+//!
+//! Two generator modes, the standard pair for serving benchmarks:
+//!
+//! * **closed loop** — each connection fires its next request the moment
+//!   the previous response lands; measures the server's saturation
+//!   throughput.
+//! * **open loop** — requests are scheduled by an
+//!   [`ArrivalProcess`] (the same laws the
+//!   live engine simulates: Poisson, bursts, hotspot) rescaled to a target
+//!   request rate; latency is measured from the *scheduled* send time, so
+//!   queueing delay when the server falls behind is charged to the server
+//!   (no coordinated omission).
+//!
+//! [`replay_over_http`] drives a recorded `rls-live` [`EventLog`] through
+//! the HTTP path event by event (pinning every sampled coordinate, with
+//! auto-rebalance suppressed) and checks the final load vector against the
+//! offline, RNG-free [`replay`](rls_live::replay()) of the same log — the
+//! serving layer adds nothing and loses nothing.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rls_core::Config;
+use rls_live::{replay, EventLog, LiveEngine, LiveEventKind, LiveParams, Snapshot};
+use rls_rng::{rng_from_seed, Rng64, RngExt};
+use rls_workloads::ArrivalProcess;
+
+use crate::api::RingReply;
+use crate::client::HttpClient;
+use crate::core::{ServeCore, ServePolicy};
+
+/// How the generator paces requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriveMode {
+    /// Back-to-back requests per connection (saturation throughput).
+    Closed,
+    /// Arrival-process-scheduled requests at a target aggregate rate.
+    Open {
+        /// Target requests per second across all connections.
+        target_rps: f64,
+    },
+}
+
+/// Load-generator options (see `rls-experiments serve bench`).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Concurrent keep-alive connections (one thread each).
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Optional cap on total requests (whichever of cap/duration first).
+    pub max_requests: Option<u64>,
+    /// Pacing mode.
+    pub mode: DriveMode,
+    /// Closed-loop pipeline depth: how many requests each connection keeps
+    /// in flight (HTTP/1.1 pipelining; the server answers a burst with one
+    /// engine batch and one write).  `1` = strict request-response.
+    pub pipeline: usize,
+    /// Epoch law for the open-loop schedule (shape only; the rate is set
+    /// by `target_rps`).  Bursts send their whole batch back-to-back.
+    pub arrival: ArrivalProcess,
+    /// Fraction of requests that are departures instead of arrivals.
+    pub depart_fraction: f64,
+    /// Seed for the generator's own randomness (schedules, request mix).
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            duration: Duration::from_secs(2),
+            max_requests: None,
+            mode: DriveMode::Closed,
+            pipeline: 1,
+            arrival: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            depart_fraction: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// What a generator run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Requests that received an HTTP response.
+    pub requests: u64,
+    /// Responses with a non-200 status (e.g. 409 departures from an empty
+    /// system when `depart_fraction > 0`).
+    pub non_200: u64,
+    /// Transport-level failures (the connection is re-established).
+    pub errors: u64,
+    /// Wall-clock time actually spent.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Latency percentiles, in microseconds (closed loop: response time;
+    /// open loop: from the scheduled send instant).
+    pub p50_us: f64,
+    /// 90th percentile latency (µs).
+    pub p90_us: f64,
+    /// 99th percentile latency (µs).
+    pub p99_us: f64,
+    /// Worst observed latency (µs).
+    pub max_us: f64,
+}
+
+/// Drive a server with `opts` and measure.
+pub fn drive(addr: SocketAddr, opts: &BenchOptions) -> Result<BenchReport, String> {
+    if opts.connections == 0 {
+        return Err("need at least one connection".to_string());
+    }
+    if !(0.0..=1.0).contains(&opts.depart_fraction) {
+        return Err("depart fraction must lie in [0, 1]".to_string());
+    }
+    if let DriveMode::Open { target_rps } = opts.mode {
+        if !(target_rps.is_finite() && target_rps > 0.0) {
+            return Err("open-loop target rate must be positive".to_string());
+        }
+        opts.arrival.validate().map_err(|e| e.to_string())?;
+    }
+
+    let issued = AtomicU64::new(0);
+    let start = Instant::now();
+    let deadline = start + opts.duration;
+
+    let worker_results: Vec<Result<WorkerStats, String>> = std::thread::scope(|scope| {
+        let issued = &issued;
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|i| {
+                let opts = opts.clone();
+                scope.spawn(move || run_connection(addr, &opts, i, issued, start, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generator threads do not panic"))
+            .collect()
+    });
+
+    let elapsed = start.elapsed();
+    let mut latencies = Vec::new();
+    let (mut requests, mut non_200, mut errors) = (0u64, 0u64, 0u64);
+    for result in worker_results {
+        let stats = result?;
+        requests += stats.requests;
+        non_200 += stats.non_200;
+        errors += stats.errors;
+        latencies.extend(stats.latencies_ns);
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx] as f64 / 1_000.0
+    };
+    Ok(BenchReport {
+        requests,
+        non_200,
+        errors,
+        elapsed,
+        rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: latencies.last().map_or(0.0, |&ns| ns as f64 / 1_000.0),
+    })
+}
+
+struct WorkerStats {
+    requests: u64,
+    non_200: u64,
+    errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    opts: &BenchOptions,
+    index: usize,
+    issued: &AtomicU64,
+    start: Instant,
+    deadline: Instant,
+) -> Result<WorkerStats, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rng =
+        rng_from_seed(opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)));
+    let mut stats = WorkerStats {
+        requests: 0,
+        non_200: 0,
+        errors: 0,
+        latencies_ns: Vec::with_capacity(4096),
+    };
+
+    // Take one global ticket per request so `max_requests` caps the total
+    // across all connections.
+    let take_ticket = || match opts.max_requests {
+        Some(cap) => issued.fetch_add(1, Ordering::Relaxed) < cap,
+        None => {
+            issued.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    };
+    let fire = |client: &mut HttpClient,
+                stats: &mut WorkerStats,
+                rng: &mut dyn Rng64,
+                measured_from: Instant|
+     -> Result<(), String> {
+        let depart = opts.depart_fraction > 0.0 && rng.next_bernoulli(opts.depart_fraction);
+        let (method, path): (&str, &str) = if depart {
+            ("POST", "/v1/depart")
+        } else {
+            ("POST", "/v1/arrive")
+        };
+        match client.request(method, path, b"") {
+            Ok((status, _)) => {
+                stats.requests += 1;
+                if status != 200 {
+                    stats.non_200 += 1;
+                }
+                stats
+                    .latencies_ns
+                    .push(measured_from.elapsed().as_nanos() as u64);
+                Ok(())
+            }
+            Err(e) => {
+                stats.errors += 1;
+                *client = HttpClient::connect(addr)
+                    .map_err(|e2| format!("reconnect after `{e}`: {e2}"))?;
+                Ok(())
+            }
+        }
+    };
+
+    match opts.mode {
+        DriveMode::Closed => {
+            // Keep `pipeline` requests in flight; responses come back in
+            // order, so the oldest send instant prices the next response.
+            let depth = opts.pipeline.max(1);
+            let mut inflight: std::collections::VecDeque<Instant> =
+                std::collections::VecDeque::with_capacity(depth);
+            loop {
+                while inflight.len() < depth && Instant::now() < deadline && take_ticket() {
+                    let depart =
+                        opts.depart_fraction > 0.0 && rng.next_bernoulli(opts.depart_fraction);
+                    let path = if depart { "/v1/depart" } else { "/v1/arrive" };
+                    match client.send("POST", path, b"") {
+                        Ok(()) => inflight.push_back(Instant::now()),
+                        Err(_) => {
+                            stats.errors += 1;
+                            inflight.clear();
+                            client =
+                                HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                        }
+                    }
+                }
+                let Some(sent_at) = inflight.pop_front() else {
+                    break;
+                };
+                match client.recv() {
+                    Ok((status, _)) => {
+                        stats.requests += 1;
+                        if status != 200 {
+                            stats.non_200 += 1;
+                        }
+                        stats.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                    }
+                    Err(_) => {
+                        // The whole in-flight window is lost with the
+                        // connection.
+                        stats.errors += 1 + inflight.len() as u64;
+                        inflight.clear();
+                        client =
+                            HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                    }
+                }
+            }
+        }
+        DriveMode::Open { target_rps } => {
+            // Rescale the arrival process's simulated epochs so this
+            // connection carries its share of the aggregate target rate.
+            let per_conn_rps = target_rps / opts.connections as f64;
+            let epoch_rate = opts.arrival.epoch_rate(1);
+            let epoch_size = opts.arrival.epoch_size();
+            // Wall seconds per simulated time unit: epochs occur at
+            // `epoch_rate` per sim unit and must land at
+            // `per_conn_rps / epoch_size` per wall second.
+            let wall_per_sim = epoch_rate * epoch_size as f64 / per_conn_rps;
+            let schedule = opts
+                .arrival
+                .schedule(1, rng_from_seed(opts.seed ^ index as u64));
+            'epochs: for epoch in schedule {
+                let scheduled = start + Duration::from_secs_f64(epoch.at * wall_per_sim);
+                if scheduled >= deadline {
+                    break;
+                }
+                if let Some(gap) = scheduled.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(gap);
+                }
+                for _ in 0..epoch.size {
+                    if Instant::now() >= deadline || !take_ticket() {
+                        break 'epochs;
+                    }
+                    // Latency from the scheduled instant: if the server (or
+                    // this connection) is behind, the queueing shows up.
+                    fire(&mut client, &mut stats, &mut rng, scheduled)?;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Outcome of feeding an event log through the HTTP path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Events in the log.
+    pub events: u64,
+    /// HTTP requests issued (bursts expand to one request per ball).
+    pub requests: u64,
+    /// Whether the served load vector equals the offline replay's exactly.
+    pub loads_match: bool,
+    /// Whether every served ring reproduced the recorded `moved` flag.
+    pub moved_match: bool,
+    /// The load vector the server ended with.
+    pub final_loads: Vec<u64>,
+    /// The load vector offline replay ends with.
+    pub expected_loads: Vec<u64>,
+}
+
+impl ReplayOutcome {
+    /// Whether the HTTP path reproduced the offline replay exactly.
+    pub fn is_faithful(&self) -> bool {
+        self.loads_match && self.moved_match
+    }
+}
+
+/// A [`ServeCore`] that starts from a log's initial state, ready to have
+/// the log fed through it ([`replay_over_http`]).  Auto-rebalance is off:
+/// the log carries every ring explicitly.
+pub fn core_from_log(log: &EventLog, seed: u64) -> Result<ServeCore, String> {
+    let initial =
+        Config::from_loads(log.header.initial_loads.clone()).map_err(|e| e.to_string())?;
+    // The dynamics parameters never fire during replay (every coordinate
+    // is pinned); any valid set will do.
+    let params = LiveParams {
+        arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+        service_rate: 0.0,
+    };
+    let engine = LiveEngine::new(initial, params, log.header.rule).map_err(|e| e.to_string())?;
+    Ok(ServeCore::new(
+        engine,
+        seed,
+        0.0,
+        ServePolicy {
+            rings_per_arrival: 0.0,
+        },
+    ))
+}
+
+/// Feed `log` through the HTTP path at `addr` (a server booted from
+/// [`core_from_log`]) and cross-check against the offline replay.
+pub fn replay_over_http(addr: SocketAddr, log: &EventLog) -> Result<ReplayOutcome, String> {
+    let offline = replay(log).map_err(|e| format!("offline replay: {e}"))?;
+
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut requests = 0u64;
+    let mut moved_match = true;
+    for event in &log.events {
+        match &event.kind {
+            LiveEventKind::Arrival { bins } => {
+                for &bin in bins {
+                    let body = format!("{{\"bin\": {bin}, \"rings\": 0}}");
+                    client.request_ok("POST", "/v1/arrive", body.as_bytes())?;
+                    requests += 1;
+                }
+            }
+            LiveEventKind::Departure { bin } => {
+                client.request_ok("POST", &format!("/v1/depart/{bin}"), b"")?;
+                requests += 1;
+            }
+            LiveEventKind::Ring {
+                source,
+                dest,
+                moved,
+            } => {
+                let body = format!("{{\"source\": {source}, \"dest\": {dest}}}");
+                let text = client.request_ok("POST", "/v1/ring", body.as_bytes())?;
+                let reply: RingReply =
+                    serde_json::from_str(&text).map_err(|e| format!("ring reply: {e}"))?;
+                if reply.moved != *moved {
+                    moved_match = false;
+                }
+                requests += 1;
+            }
+        }
+    }
+
+    let text = client.request_ok("GET", "/v1/snapshot", b"")?;
+    let snapshot = Snapshot::from_json(&text).map_err(|e| format!("served snapshot: {e}"))?;
+    let loads_match = snapshot.loads == offline.final_loads;
+    Ok(ReplayOutcome {
+        events: log.events.len() as u64,
+        requests,
+        loads_match,
+        moved_match,
+        final_loads: snapshot.loads,
+        expected_loads: offline.final_loads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_are_validated() {
+        let server_less: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let bad = BenchOptions {
+            connections: 0,
+            ..BenchOptions::default()
+        };
+        assert!(drive(server_less, &bad).is_err());
+        let bad = BenchOptions {
+            depart_fraction: 1.5,
+            ..BenchOptions::default()
+        };
+        assert!(drive(server_less, &bad).is_err());
+        let bad = BenchOptions {
+            mode: DriveMode::Open { target_rps: 0.0 },
+            ..BenchOptions::default()
+        };
+        assert!(drive(server_less, &bad).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! The HTTP server: a pre-forked worker pool around one engine thread.
+//!
+//! ```text
+//!        TcpListener (shared, one accept per worker)
+//!   ┌─────────┬─────────┬─────────┐
+//!   │worker 0 │worker 1 │ … W−1   │   parse HTTP, route, serialize JSON
+//!   └────┬────┴────┬────┴────┬────┘
+//!        └── mpsc commands ──┘
+//!              ┌──────▼──────┐
+//!              │engine thread│   owns the ServeCore (engine + RNG + stats)
+//!              └─────────────┘
+//! ```
+//!
+//! All engine state lives on exactly one thread, so there are no locks on
+//! the hot path: workers decode a request into an engine command, send it
+//! over the channel with a reply sender, and block on the answer.  The
+//! engine applies commands strictly in channel order, which is what makes
+//! a single-connection drive of the HTTP API deterministic and lets tests
+//! cross-check the server against an offline [`ServeCore`] on the same
+//! seed.
+
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rls_live::Snapshot;
+
+use crate::api::{ArriveRequest, DepartRequest, RingRequest};
+use crate::core::ServeCore;
+use crate::http::{self, MessageReader};
+use crate::ServeError;
+
+/// How a server is wired.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each fully owns the connections it accepts).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// A command decoded from one HTTP request.
+#[derive(Debug, Clone)]
+enum EngineCmd {
+    Arrive(ArriveRequest),
+    Depart(DepartRequest),
+    Ring(RingRequest),
+    Stats,
+    Snapshot,
+    Restore(Box<Snapshot>),
+    Health,
+}
+
+/// The engine thread's answer: a ready-to-send JSON body.
+type EngineReply = Result<String, ServeError>;
+
+struct EngineMsg {
+    cmd: EngineCmd,
+    reply: Sender<EngineReply>,
+}
+
+/// A running server; dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops every thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Option<JoinHandle<ServeCore>>,
+}
+
+impl HttpServer {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the threads and hand back the final core
+    /// (its engine holds the final load vector and counters).
+    pub fn shutdown(mut self) -> ServeCore {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake any worker parked in accept(); each dummy connection wakes
+        // at most one.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // With every worker gone, all command senders are dropped and the
+        // engine loop drains out.
+        self.engine
+            .take()
+            .expect("engine joined exactly once")
+            .join()
+            .expect("engine thread does not panic")
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        // Best-effort stop for servers that were never shut down
+        // explicitly; threads exit on their next poll.
+        self.stop.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Boot a server over `core`.  Returns once the listener is bound and all
+/// threads are running.
+pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (cmd_tx, cmd_rx) = mpsc::channel::<EngineMsg>();
+    let engine = std::thread::Builder::new()
+        .name("rls-serve-engine".to_string())
+        .spawn(move || engine_loop(core, cmd_rx))?;
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let listener = listener.try_clone()?;
+            let stop = Arc::clone(&stop);
+            let cmd_tx = cmd_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("rls-serve-worker-{i}"))
+                .spawn(move || worker_loop(listener, stop, cmd_tx))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    drop(cmd_tx);
+
+    Ok(HttpServer {
+        addr,
+        stop,
+        workers,
+        engine: Some(engine),
+    })
+}
+
+/// The engine thread: apply commands in channel order until every sender
+/// is gone, then hand the core back.
+fn engine_loop(mut core: ServeCore, rx: Receiver<EngineMsg>) -> ServeCore {
+    while let Ok(msg) = rx.recv() {
+        let reply = execute(&mut core, &msg.cmd);
+        // A worker that died mid-request just drops its receiver.
+        let _ = msg.reply.send(reply);
+    }
+    core
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("API replies always encode")
+}
+
+fn execute(core: &mut ServeCore, cmd: &EngineCmd) -> EngineReply {
+    match cmd {
+        EngineCmd::Arrive(req) => core.arrive(req).map(|r| to_json(&r)),
+        EngineCmd::Depart(req) => core.depart(req).map(|r| to_json(&r)),
+        EngineCmd::Ring(req) => core.ring(req).map(|r| to_json(&r)),
+        EngineCmd::Stats => Ok(to_json(&core.stats())),
+        EngineCmd::Snapshot => Ok(core.snapshot_json()),
+        EngineCmd::Restore(snapshot) => core.restore(snapshot).map(|r| to_json(&r)),
+        EngineCmd::Health => Ok(to_json(&core.health())),
+    }
+}
+
+/// One worker: accept a connection, serve it to completion, repeat.
+fn worker_loop(listener: TcpListener, stop: Arc<AtomicBool>, cmd_tx: Sender<EngineMsg>) {
+    // Each worker reuses one reply channel: it has at most one command in
+    // flight at a time.
+    let (reply_tx, reply_rx) = mpsc::channel::<EngineReply>();
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = serve_connection(stream, &stop, &cmd_tx, &reply_tx, &reply_rx);
+    }
+}
+
+/// Largest pipelined burst answered with one engine round trip and one
+/// socket write.
+const MAX_BATCH: usize = 64;
+
+/// What one request of a batch is waiting on.
+enum Pending {
+    /// A command is in flight on the engine channel.
+    Engine,
+    /// Routing already produced the answer (an error) locally.
+    Direct(ServeError),
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    cmd_tx: &Sender<EngineMsg>,
+    reply_tx: &Sender<EngineReply>,
+    reply_rx: &Receiver<EngineReply>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Short timeout so an idle keep-alive connection re-checks the stop
+    // flag a few times per second; MessageReader buffers partial data
+    // across timeouts, so this never corrupts a slow request.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = MessageReader::new();
+    let mut out = Vec::with_capacity(1024);
+    let mut batch = Vec::with_capacity(8);
+
+    loop {
+        // Block for the first message of a burst, then drain whatever else
+        // is already buffered (pipelined clients): the whole batch costs
+        // one engine hand-off and one write.
+        batch.clear();
+        match reader.next_message(&mut stream, &mut || !stop.load(Ordering::SeqCst)) {
+            Ok(Some(message)) => batch.push(message),
+            Ok(None) => return Ok(()), // clean close (or shutdown while idle)
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = format!("{{\"error\": {:?}}}", e.to_string());
+                let _ = http::write_response(&mut stream, &mut out, 400, body.as_bytes(), false);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        while batch.len() < MAX_BATCH {
+            match reader.buffered_message() {
+                Ok(Some(message)) => batch.push(message),
+                Ok(None) | Err(_) => break, // a buffered parse error surfaces next loop
+            }
+        }
+
+        // Route every request, pushing engine commands in order; replies
+        // come back over this worker's channel in the same order.
+        let mut pending = Vec::with_capacity(batch.len());
+        let mut close_after = false;
+        for message in &batch {
+            close_after |= message.close;
+            let mut parts = message.start_line.split_ascii_whitespace();
+            let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+                pending.push(Pending::Direct(ServeError::bad_request("bad request line")));
+                continue;
+            };
+            match route(method, path, &message.body) {
+                Ok(cmd) => {
+                    if cmd_tx
+                        .send(EngineMsg {
+                            cmd,
+                            reply: reply_tx.clone(),
+                        })
+                        .is_err()
+                    {
+                        pending.push(Pending::Direct(ServeError::internal(
+                            "engine thread is gone",
+                        )));
+                    } else {
+                        pending.push(Pending::Engine);
+                    }
+                }
+                Err(e) => pending.push(Pending::Direct(e)),
+            }
+        }
+
+        out.clear();
+        for slot in pending {
+            let reply = match slot {
+                Pending::Engine => match reply_rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => Err(ServeError::internal("engine thread is gone")),
+                },
+                Pending::Direct(e) => Err(e),
+            };
+            match reply {
+                Ok(body) => http::append_response(&mut out, 200, body.as_bytes(), !close_after),
+                Err(e) => {
+                    let body = to_json(&ErrorBody {
+                        error: e.message.clone(),
+                    });
+                    http::append_response(&mut out, e.status, body.as_bytes(), !close_after);
+                }
+            }
+        }
+        stream.write_all(&out)?;
+        if close_after {
+            return Ok(());
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+/// Decode a request into an engine command (no state access here — pure
+/// routing, runs on the worker).
+fn route(method: &str, path: &str, body: &[u8]) -> Result<EngineCmd, ServeError> {
+    let parse_body = |what: &str| -> Result<serde_json::Value, ServeError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ServeError::bad_request(format!("{what} body is not UTF-8")))?;
+        serde_json::parse_value(text)
+            .map_err(|e| ServeError::bad_request(format!("{what} body: {e}")))
+    };
+    // An absent or empty body means "all defaults" for the POST verbs
+    // whose fields are all optional.
+    macro_rules! body_or_default {
+        ($ty:ty, $what:expr) => {
+            if body.is_empty() {
+                <$ty>::default()
+            } else {
+                serde_json::from_value(&parse_body($what)?)
+                    .map_err(|e| ServeError::bad_request(format!("{} body: {e}", $what)))?
+            }
+        };
+    }
+
+    match (method, path) {
+        ("POST", "/v1/arrive") => Ok(EngineCmd::Arrive(body_or_default!(ArriveRequest, "arrive"))),
+        ("POST", "/v1/depart") => Ok(EngineCmd::Depart(body_or_default!(DepartRequest, "depart"))),
+        ("POST", p) if p.starts_with("/v1/depart/") => {
+            let bin = p["/v1/depart/".len()..]
+                .parse::<usize>()
+                .map_err(|_| ServeError::bad_request(format!("bad bin in path `{p}`")))?;
+            Ok(EngineCmd::Depart(DepartRequest { bin: Some(bin) }))
+        }
+        ("POST", "/v1/ring") => Ok(EngineCmd::Ring(body_or_default!(RingRequest, "ring"))),
+        ("GET", "/v1/stats") => Ok(EngineCmd::Stats),
+        ("GET", "/v1/snapshot") => Ok(EngineCmd::Snapshot),
+        ("POST", "/v1/restore") => {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| ServeError::bad_request("snapshot body is not UTF-8"))?;
+            let snapshot =
+                Snapshot::from_json(text).map_err(|e| ServeError::bad_request(e.to_string()))?;
+            Ok(EngineCmd::Restore(Box::new(snapshot)))
+        }
+        ("GET", "/healthz") => Ok(EngineCmd::Health),
+        (
+            _,
+            "/v1/arrive" | "/v1/depart" | "/v1/ring" | "/v1/restore" | "/v1/stats" | "/v1/snapshot"
+            | "/healthz",
+        ) => Err(ServeError::method_not_allowed(method, path)),
+        _ => Err(ServeError::not_found(path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_covers_the_api() {
+        assert!(matches!(
+            route("POST", "/v1/arrive", b"").unwrap(),
+            EngineCmd::Arrive(r) if r == ArriveRequest::default()
+        ));
+        assert!(matches!(
+            route("POST", "/v1/arrive", br#"{"bin": 2, "rings": 0}"#).unwrap(),
+            EngineCmd::Arrive(ArriveRequest {
+                bin: Some(2),
+                rings: Some(0)
+            })
+        ));
+        assert!(matches!(
+            route("POST", "/v1/depart/7", b"").unwrap(),
+            EngineCmd::Depart(DepartRequest { bin: Some(7) })
+        ));
+        assert!(matches!(
+            route("POST", "/v1/ring", br#"{"source": 1}"#).unwrap(),
+            EngineCmd::Ring(RingRequest {
+                source: Some(1),
+                dest: None
+            })
+        ));
+        assert!(matches!(
+            route("GET", "/v1/stats", b"").unwrap(),
+            EngineCmd::Stats
+        ));
+        assert!(matches!(
+            route("GET", "/v1/snapshot", b"").unwrap(),
+            EngineCmd::Snapshot
+        ));
+        assert!(matches!(
+            route("GET", "/healthz", b"").unwrap(),
+            EngineCmd::Health
+        ));
+    }
+
+    #[test]
+    fn routing_rejects_what_it_should() {
+        assert_eq!(route("GET", "/v1/arrive", b"").unwrap_err().status, 405);
+        assert_eq!(route("POST", "/v1/stats", b"").unwrap_err().status, 405);
+        assert_eq!(route("GET", "/nope", b"").unwrap_err().status, 404);
+        assert_eq!(
+            route("POST", "/v1/arrive", b"not json").unwrap_err().status,
+            400
+        );
+        assert_eq!(route("POST", "/v1/depart/x", b"").unwrap_err().status, 400);
+        assert_eq!(route("POST", "/v1/restore", b"{}").unwrap_err().status, 400);
+    }
+}

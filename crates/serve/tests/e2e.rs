@@ -1,0 +1,244 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over real
+//! sockets, cross-checked against an offline [`ServeCore`] with the same
+//! seed — the HTTP layer must add nothing and lose nothing.
+
+use rls_core::{Config, RlsRule};
+use rls_live::{LiveEngine, LiveParams, Recorder, Snapshot, SteadyState};
+use rls_rng::rng_from_seed;
+use rls_serve::{
+    core_from_log, replay_over_http, serve, ArriveReply, ArriveRequest, DepartReply, DepartRequest,
+    HealthReply, HttpClient, RingReply, ServeCore, ServePolicy, ServerConfig, StatsReply,
+};
+use rls_workloads::ArrivalProcess;
+
+fn make_core(seed: u64, rings_per_arrival: f64) -> ServeCore {
+    let initial = Config::uniform(16, 4).unwrap();
+    let params =
+        LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 64).unwrap();
+    let engine = LiveEngine::new(initial, params, RlsRule::paper()).unwrap();
+    ServeCore::new(engine, seed, 0.0, ServePolicy { rings_per_arrival })
+}
+
+fn boot(core: ServeCore, workers: usize) -> rls_serve::HttpServer {
+    serve(
+        core,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+        },
+    )
+    .expect("ephemeral-port server boots")
+}
+
+#[test]
+fn drives_the_full_api_over_real_sockets() {
+    let server = boot(make_core(42, 0.0), 2);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // healthz answers from the engine thread.
+    let health: HealthReply =
+        serde_json::from_str(&client.request_ok("GET", "/healthz", b"").unwrap()).unwrap();
+    assert_eq!(health.status, "ok");
+    assert_eq!((health.n, health.m), (16, 64));
+
+    // Arrivals: sampled and pinned.
+    let a: ArriveReply =
+        serde_json::from_str(&client.request_ok("POST", "/v1/arrive", b"").unwrap()).unwrap();
+    assert!(a.bin < 16);
+    assert_eq!(a.m, 65);
+    let a: ArriveReply = serde_json::from_str(
+        &client
+            .request_ok("POST", "/v1/arrive", br#"{"bin": 3, "rings": 2}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!((a.bin, a.m, a.rings), (3, 66, 2));
+
+    // Departures: by path and sampled.
+    let d: DepartReply =
+        serde_json::from_str(&client.request_ok("POST", "/v1/depart/3", b"").unwrap()).unwrap();
+    assert_eq!((d.bin, d.m), (3, 65));
+    let d: DepartReply =
+        serde_json::from_str(&client.request_ok("POST", "/v1/depart", b"").unwrap()).unwrap();
+    assert_eq!(d.m, 64);
+
+    // An explicit ring.
+    let r: RingReply = serde_json::from_str(
+        &client
+            .request_ok("POST", "/v1/ring", br#"{"source": 3, "dest": 5}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!((r.source, r.dest), (3, 5));
+
+    // Stats reflect everything applied so far.
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!((stats.n, stats.m), (16, 64));
+    assert_eq!(stats.counters.arrivals, 2);
+    assert_eq!(stats.counters.departures, 2);
+    assert_eq!(stats.counters.rings, 3);
+    assert!(stats.summary.window > 0.0);
+
+    // Error statuses over the wire.
+    let (status, _) = client
+        .request("POST", "/v1/arrive", br#"{"bin": 99}"#)
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.request("GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("PUT", "/v1/stats", b"").unwrap();
+    assert_eq!(status, 405);
+    let (status, body) = client.request("POST", "/v1/arrive", b"not json").unwrap();
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("error"));
+
+    let core = server.shutdown();
+    assert_eq!(core.engine().config().m(), 64);
+}
+
+#[test]
+fn http_stats_match_an_offline_core_with_the_same_seed() {
+    // The server's engine thread and an offline core, both seeded 77,
+    // receive the identical command sequence; every reply and the final
+    // stats digest must agree exactly (same floats, same counters).
+    let seed = 77;
+    let server = boot(make_core(seed, 1.5), 3);
+    let mut offline = make_core(seed, 1.5);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    for i in 0..120u64 {
+        let req = ArriveRequest {
+            bin: (i % 5 == 0).then_some((i % 16) as usize),
+            rings: (i % 7 == 0).then_some(i % 3),
+        };
+        let body = serde_json::to_string(&req).unwrap();
+        let over_http: ArriveReply = serde_json::from_str(
+            &client
+                .request_ok("POST", "/v1/arrive", body.as_bytes())
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(over_http, offline.arrive(&req).unwrap(), "arrival {i}");
+
+        if i % 3 == 0 {
+            let req = DepartRequest { bin: None };
+            let over_http: DepartReply =
+                serde_json::from_str(&client.request_ok("POST", "/v1/depart", b"").unwrap())
+                    .unwrap();
+            assert_eq!(over_http, offline.depart(&req).unwrap(), "departure {i}");
+        }
+    }
+
+    let over_http: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let expected = offline.stats();
+    assert_eq!(over_http, expected);
+    assert_eq!(
+        over_http.summary.mean_gap.to_bits(),
+        expected.summary.mean_gap.to_bits(),
+        "stats must agree to the bit"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_round_trips_over_the_wire() {
+    let server = boot(make_core(5, 1.0), 2);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..40 {
+        client.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
+    let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
+
+    // Restore onto a second server with a different seed and history; it
+    // must continue exactly like the first one.
+    let other = boot(make_core(1234, 1.0), 2);
+    let mut other_client = HttpClient::connect(other.addr()).unwrap();
+    for _ in 0..7 {
+        other_client.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    let restored: rls_serve::RestoreReply = serde_json::from_str(
+        &other_client
+            .request_ok("POST", "/v1/restore", snapshot_json.as_bytes())
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(restored.m, snapshot.loads.iter().sum::<u64>());
+
+    for i in 0..25 {
+        let a = client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        let b = other_client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        assert_eq!(a, b, "diverged at post-restore arrival {i}");
+    }
+
+    // Restoring garbage is rejected without killing the connection.
+    let (status, _) = other_client.request("POST", "/v1/restore", b"{}").unwrap();
+    assert_eq!(status, 400);
+    other_client.request_ok("GET", "/healthz", b"").unwrap();
+
+    server.shutdown();
+    other.shutdown();
+}
+
+#[test]
+fn trace_replay_through_http_matches_offline_replay() {
+    // Record a genuine live run (arrivals, departures, rings), then push
+    // it through the HTTP path and require the exact offline load vector.
+    let initial = Config::uniform(12, 6).unwrap();
+    let params =
+        LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 12, 72).unwrap();
+    let mut engine = LiveEngine::new(initial.clone(), params, RlsRule::paper()).unwrap();
+    let mut observer = (Recorder::new(), SteadyState::new(0.0));
+    engine.run_until(6.0, &mut rng_from_seed(9), &mut observer);
+    let (recorder, steady) = observer;
+    let log = rls_live::EventLog {
+        header: rls_live::LogHeader {
+            n: initial.n(),
+            initial_loads: initial.loads().to_vec(),
+            rule: RlsRule::paper(),
+            warmup: 0.0,
+            description: "e2e trace".to_string(),
+        },
+        events: recorder.into_events(),
+        footer: rls_live::LogFooter {
+            time: engine.time(),
+            final_loads: engine.config().loads().to_vec(),
+            summary: steady.finish(engine.time()),
+        },
+    };
+    assert!(log.events.len() > 100, "trace too small to be interesting");
+
+    let server = boot(core_from_log(&log, 0).unwrap(), 2);
+    let outcome = replay_over_http(server.addr(), &log).unwrap();
+    assert!(outcome.loads_match, "served loads diverge: {outcome:?}");
+    assert!(outcome.moved_match, "ring decisions diverge");
+    assert!(outcome.is_faithful());
+    assert_eq!(outcome.final_loads, log.footer.final_loads);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_all_served() {
+    let server = boot(make_core(11, 1.0), 4);
+    let addr = server.addr();
+    let per_client = 50u64;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for _ in 0..per_client {
+                    client.request_ok("POST", "/v1/arrive", b"").unwrap();
+                }
+            });
+        }
+    });
+    let mut client = HttpClient::connect(addr).unwrap();
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats.counters.arrivals, 4 * per_client);
+    assert_eq!(stats.m, 64 + 4 * per_client);
+    let core = server.shutdown();
+    assert_eq!(core.engine().counters().arrivals, 4 * per_client);
+}

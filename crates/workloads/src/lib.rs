@@ -30,12 +30,12 @@
 //! campaign specs (`rls-campaign`) can name them in TOML/JSON grids.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod arrivals;
 mod generators;
 
-pub use arrivals::ArrivalProcess;
+pub use arrivals::{ArrivalProcess, RequestEpoch, RequestSchedule};
 pub use generators::{GeneratorError, Workload};
 
 #[cfg(test)]

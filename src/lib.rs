@@ -10,7 +10,7 @@
 //! repository README for the crate map and quickstart commands.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use rls_analysis as analysis;
 pub use rls_campaign as campaign;
@@ -20,5 +20,6 @@ pub use rls_graph as graph;
 pub use rls_live as live;
 pub use rls_protocols as protocols;
 pub use rls_rng as rng;
+pub use rls_serve as serve;
 pub use rls_sim as sim;
 pub use rls_workloads as workloads;
