@@ -50,11 +50,25 @@ impl HttpClient {
     /// Receive the next in-order response; returns the status code and the
     /// body.
     pub fn recv(&mut self) -> io::Result<(u16, Vec<u8>)> {
+        // `next_message` reports an idle timeout the same way as a clean
+        // close (`Ok(None)`); track which one actually happened so a slow
+        // server is not misdiagnosed as a disconnect.
+        let mut timed_out = false;
         let message = self
             .reader
-            .next_message(&mut self.stream, &mut || false)?
+            .next_message(&mut self.stream, &mut || {
+                timed_out = true;
+                false
+            })?
             .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+                if timed_out {
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out waiting for the response",
+                    )
+                } else {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+                }
             })?;
         // "HTTP/1.1 200 OK"
         let status = message

@@ -187,6 +187,12 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Whether a framing error is the head/body size cap (the server answers
+/// those with 413 instead of the generic 400).
+pub fn is_too_large(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::InvalidData && e.to_string().contains("size cap")
+}
+
 /// The reason phrase for the status codes this crate emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {

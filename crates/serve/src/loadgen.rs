@@ -251,7 +251,9 @@ fn run_connection(
                     match client.send("POST", path, b"") {
                         Ok(()) => inflight.push_back(Instant::now()),
                         Err(_) => {
-                            stats.errors += 1;
+                            // The failed send *and* every response still
+                            // owed on this connection are lost.
+                            stats.errors += 1 + inflight.len() as u64;
                             inflight.clear();
                             client =
                                 HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;

@@ -132,16 +132,35 @@ pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
         .name("rls-serve-engine".to_string())
         .spawn(move || engine_loop(core, cmd_rx))?;
 
-    let workers = (0..config.workers.max(1))
-        .map(|i| {
-            let listener = listener.try_clone()?;
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let spawned = listener.try_clone().and_then(|listener| {
             let stop = Arc::clone(&stop);
             let cmd_tx = cmd_tx.clone();
             std::thread::Builder::new()
                 .name(format!("rls-serve-worker-{i}"))
                 .spawn(move || worker_loop(listener, stop, cmd_tx))
-        })
-        .collect::<io::Result<Vec<_>>>()?;
+        });
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                // Unwind the partial boot: stop and wake the workers
+                // already parked in accept() so they (and, once their
+                // command senders drop, the engine thread) exit instead of
+                // leaking threads and the bound port.
+                stop.store(true, Ordering::SeqCst);
+                for _ in 0..workers.len() {
+                    let _ = TcpStream::connect(addr);
+                }
+                for handle in workers {
+                    let _ = handle.join();
+                }
+                drop(cmd_tx);
+                let _ = engine.join();
+                return Err(e);
+            }
+        }
+    }
     drop(cmd_tx);
 
     Ok(HttpServer {
@@ -233,25 +252,25 @@ fn serve_connection(
             Ok(Some(message)) => batch.push(message),
             Ok(None) => return Ok(()), // clean close (or shutdown while idle)
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let status = if http::is_too_large(&e) { 413 } else { 400 };
                 let body = format!("{{\"error\": {:?}}}", e.to_string());
-                let _ = http::write_response(&mut stream, &mut out, 400, body.as_bytes(), false);
+                let _ = http::write_response(&mut stream, &mut out, status, body.as_bytes(), false);
                 return Ok(());
             }
             Err(e) => return Err(e),
         }
-        while batch.len() < MAX_BATCH {
+        while batch.len() < MAX_BATCH && !batch.last().is_some_and(|m: &http::Message| m.close) {
             match reader.buffered_message() {
                 Ok(Some(message)) => batch.push(message),
                 Ok(None) | Err(_) => break, // a buffered parse error surfaces next loop
             }
         }
+        let close_after = batch.last().is_some_and(|m| m.close);
 
         // Route every request, pushing engine commands in order; replies
         // come back over this worker's channel in the same order.
         let mut pending = Vec::with_capacity(batch.len());
-        let mut close_after = false;
         for message in &batch {
-            close_after |= message.close;
             let mut parts = message.start_line.split_ascii_whitespace();
             let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
                 pending.push(Pending::Direct(ServeError::bad_request("bad request line")));
@@ -278,7 +297,7 @@ fn serve_connection(
         }
 
         out.clear();
-        for slot in pending {
+        for (slot, message) in pending.into_iter().zip(&batch) {
             let reply = match slot {
                 Pending::Engine => match reply_rx.recv() {
                     Ok(reply) => reply,
@@ -286,13 +305,17 @@ fn serve_connection(
                 },
                 Pending::Direct(e) => Err(e),
             };
+            // Each response carries its own message's connection intent:
+            // only the (final) close-requesting message is answered with
+            // `Connection: close`.
+            let keep_alive = !message.close;
             match reply {
-                Ok(body) => http::append_response(&mut out, 200, body.as_bytes(), !close_after),
+                Ok(body) => http::append_response(&mut out, 200, body.as_bytes(), keep_alive),
                 Err(e) => {
                     let body = to_json(&ErrorBody {
                         error: e.message.clone(),
                     });
-                    http::append_response(&mut out, e.status, body.as_bytes(), !close_after);
+                    http::append_response(&mut out, e.status, body.as_bytes(), keep_alive);
                 }
             }
         }
@@ -355,6 +378,8 @@ fn route(method: &str, path: &str, body: &[u8]) -> Result<EngineCmd, ServeError>
             "/v1/arrive" | "/v1/depart" | "/v1/ring" | "/v1/restore" | "/v1/stats" | "/v1/snapshot"
             | "/healthz",
         ) => Err(ServeError::method_not_allowed(method, path)),
+        // The path-param depart route also exists for exactly one method.
+        (_, p) if p.starts_with("/v1/depart/") => Err(ServeError::method_not_allowed(method, path)),
         _ => Err(ServeError::not_found(path)),
     }
 }
@@ -405,6 +430,9 @@ mod tests {
     fn routing_rejects_what_it_should() {
         assert_eq!(route("GET", "/v1/arrive", b"").unwrap_err().status, 405);
         assert_eq!(route("POST", "/v1/stats", b"").unwrap_err().status, 405);
+        // The path-param depart route is 405 for the wrong method too,
+        // not a phantom 404.
+        assert_eq!(route("GET", "/v1/depart/3", b"").unwrap_err().status, 405);
         assert_eq!(route("GET", "/nope", b"").unwrap_err().status, 404);
         assert_eq!(
             route("POST", "/v1/arrive", b"not json").unwrap_err().status,

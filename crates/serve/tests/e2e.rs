@@ -242,3 +242,63 @@ fn concurrent_clients_are_all_served() {
     let core = server.shutdown();
     assert_eq!(core.engine().counters().arrivals, 4 * per_client);
 }
+
+#[test]
+fn pipelined_burst_labels_connection_per_message() {
+    use std::io::{Read, Write};
+
+    let server = boot(make_core(21, 0.0), 2);
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+
+    // Two pipelined requests; only the second asks to close.  The first
+    // response must stay `Connection: keep-alive` (a conforming peer
+    // would otherwise discard the second response), the second must be
+    // `close`, and the server must then hang up.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /v1/stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // EOF = server closed
+    let text = String::from_utf8_lossy(&raw);
+    let responses: Vec<&str> = text.split("HTTP/1.1 200 OK").collect();
+    assert_eq!(responses.len(), 3, "expected two 200s: {text}");
+    assert!(
+        responses[1].contains("Connection: keep-alive"),
+        "first response mislabeled: {}",
+        responses[1]
+    );
+    assert!(
+        responses[2].contains("Connection: close"),
+        "second response mislabeled: {}",
+        responses[2]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_payloads_get_a_413() {
+    use std::io::{Read, Write};
+
+    let server = boot(make_core(22, 0.0), 2);
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    // Claim a body far over the 64 MB cap; the server must reject the
+    // framing with 413 (not a generic 400) and close.
+    stream
+        .write_all(b"POST /v1/restore HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 413 Payload Too Large"), "{text}");
+    server.shutdown();
+}
