@@ -1,0 +1,115 @@
+//! E22 — rebalance policies × topologies on the online engine: events/sec
+//! and steady-state gap for {rls, greedy-2, threshold-avg} on {complete,
+//! torus, random-regular:8} under identical Poisson churn.
+//!
+//! Two questions, one grid:
+//!
+//! * **cost** — what does a richer per-ring decision (two candidate draws
+//!   for greedy-2, a neighbour lookup on sparse topologies) do to raw
+//!   event throughput?  The complete-graph RLS row is the pre-refactor
+//!   hot path: the enum dispatch and the topology fast path must keep it
+//!   within noise of the old hard-wired engine (E19/E20/E21 numbers).
+//! * **quality** — what does the policy buy?  The steady-gap table
+//!   printed after the timing rows shows the power-of-two-choices effect
+//!   (greedy-2 below rls) and the blind-move penalty (threshold-avg
+//!   above both), shrinking but persisting on sparse topologies.
+//!
+//! `RLS_BENCH_QUICK=1` trims the grid to a smoke run (seconds): the CI
+//! quick-bench job uses it and uploads the JSON-lines records emitted via
+//! `RLS_BENCH_JSON` (see `vendor/criterion`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rls_core::{Config, RebalancePolicy};
+use rls_graph::Topology;
+use rls_live::{LiveEngine, LiveParams, SteadyState};
+use rls_rng::rng_from_seed;
+use rls_workloads::ArrivalProcess;
+
+use criterion::quick_mode as quick;
+
+/// (n, per-bin load, simulated horizon): n must stay a perfect square for
+/// the torus rows.
+fn shape() -> (usize, u64, f64) {
+    if quick() {
+        (256, 16, 0.5)
+    } else {
+        (4096, 64, 2.0)
+    }
+}
+
+fn policies() -> Vec<(&'static str, RebalancePolicy)> {
+    vec![
+        ("rls", RebalancePolicy::rls()),
+        ("greedy-2", RebalancePolicy::GreedyD { d: 2 }),
+        ("threshold-avg", RebalancePolicy::ThresholdAvg),
+    ]
+}
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("complete", Topology::Complete),
+        ("torus", Topology::Torus2D),
+        ("rr8", Topology::RandomRegular { degree: 8 }),
+    ]
+}
+
+fn engine(policy: RebalancePolicy, topology: Topology) -> LiveEngine {
+    let (n, per_bin, _) = shape();
+    let m = n as u64 * per_bin;
+    let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 4.0 }, n, m)
+        .expect("bench parameters are valid");
+    LiveEngine::with_policy(
+        Config::uniform(n, per_bin).expect("bench instance is valid"),
+        params,
+        policy,
+        topology,
+        0xE22,
+    )
+    .expect("valid engine")
+}
+
+fn policy_topology_grid(c: &mut Criterion) {
+    let (n, per_bin, horizon) = shape();
+    let mut group = c.benchmark_group("policy_topology");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    // Timing rows: wall time per fixed simulated horizon = events/sec up
+    // to the (printed) event count.
+    let mut gaps: Vec<(String, f64, u64)> = Vec::new();
+    for (pname, policy) in policies() {
+        for (tname, topology) in topologies() {
+            group.bench_function(
+                format!("{pname}_{tname}_n{n}_m{}", n as u64 * per_bin),
+                |b| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut eng = engine(policy, topology);
+                        eng.run_until(horizon, &mut rng_from_seed(seed), &mut ());
+                        eng.counters().events
+                    });
+                },
+            );
+            // Steady-state quality, measured once per cell outside the
+            // timed loop (same seed across cells → identical churn law).
+            let mut eng = engine(policy, topology);
+            let mut steady = SteadyState::new(horizon * 0.25);
+            eng.run_until(horizon, &mut rng_from_seed(7), &mut steady);
+            let summary = steady.finish(eng.time());
+            gaps.push((
+                format!("{pname} on {tname}"),
+                summary.mean_gap,
+                eng.counters().events,
+            ));
+        }
+    }
+    group.finish();
+
+    println!("\nE22 steady-state gap (same churn in every cell):");
+    for (cell, gap, events) in &gaps {
+        println!("  {cell:<28} mean gap {gap:>8.3}   ({events} events)");
+    }
+}
+
+criterion_group!(e22, policy_topology_grid);
+criterion_main!(e22);

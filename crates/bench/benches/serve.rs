@@ -25,8 +25,17 @@ use rls_workloads::ArrivalProcess;
 
 const N: usize = 64;
 const PER_BIN: u64 = 8;
-const REQUESTS_PER_ITER: u64 = 10_000;
 const CONNECTIONS: usize = 4;
+
+/// `RLS_BENCH_QUICK=1` trims the request count so the CI smoke job runs
+/// in seconds while exercising the identical serving path.
+fn requests_per_iter() -> u64 {
+    if criterion::quick_mode() {
+        1_000
+    } else {
+        10_000
+    }
+}
 
 fn boot() -> rls_serve::HttpServer {
     let m = N as u64 * PER_BIN;
@@ -59,9 +68,10 @@ fn serving_throughput(c: &mut Criterion) {
 
     let server = boot();
     let addr = server.addr();
+    let requests = requests_per_iter();
     for pipeline in [1usize, 16] {
         group.bench_function(
-            format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{REQUESTS_PER_ITER}reqs"),
+            format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs"),
             |b| {
                 b.iter(|| {
                     let report = drive(
@@ -69,7 +79,7 @@ fn serving_throughput(c: &mut Criterion) {
                         &BenchOptions {
                             connections: CONNECTIONS,
                             duration: Duration::from_secs(60),
-                            max_requests: Some(REQUESTS_PER_ITER),
+                            max_requests: Some(requests),
                             mode: DriveMode::Closed,
                             pipeline,
                             depart_fraction: 0.5,

@@ -1,12 +1,12 @@
 //! Executing a single grid cell: `trials` independent runs, each with its
 //! own derived random stream, aggregated into a [`CellResult`].
 
-use rls_core::{RlsRule, RlsVariant};
+use rls_core::{RebalancePolicy, RlsRule, RlsVariant};
 use rls_graph::GraphRls;
 use rls_live::{LiveEngine, LiveParams, SteadyState};
 use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
 use rls_protocols::{GreedyD, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
-use rls_rng::{SplitMix64, StreamFactory, StreamId};
+use rls_rng::{Rng64, SplitMix64, StreamFactory, StreamId};
 use rls_sim::observer::PhaseTracker;
 use rls_sim::stats::Summary;
 use rls_sim::{NoAdversary, RlsPolicy, Simulation, StopWhen};
@@ -82,6 +82,8 @@ pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError>
     if cell.dynamic.is_some() {
         return run_dynamic_cell(cell, seed);
     }
+    // Dynamic cells run the live engine over the cell's whole
+    // (protocol, topology) pair; the static dispatch below is offline-only.
     match cell.protocol {
         ProtocolSpec::RlsGeq | ProtocolSpec::RlsStrict if cell.topology.is_complete() => {
             run_simulation_cell(cell, seed)
@@ -98,28 +100,50 @@ pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError>
     }
 }
 
+/// Map a cell's protocol axis onto the live engine's per-ring rebalance
+/// policy.  The budget parameters some protocols carry (`rounds`, `steps`)
+/// bound *offline* runs; a dynamic cell is bounded by its measurement
+/// window instead, so they are inert here (they still participate in the
+/// cell's cache identity).  The synchronous selfish protocols have no
+/// per-ring form and stay offline-only.
+fn dynamic_policy(protocol: ProtocolSpec) -> Result<RebalancePolicy, CampaignError> {
+    match protocol {
+        ProtocolSpec::RlsGeq => Ok(RebalancePolicy::Rls {
+            variant: RlsVariant::Geq,
+        }),
+        ProtocolSpec::RlsStrict => Ok(RebalancePolicy::Rls {
+            variant: RlsVariant::Strict,
+        }),
+        ProtocolSpec::GreedyD { d } => {
+            let d = u32::try_from(d).map_err(|_| {
+                CampaignError::spec(format!("greedy choice count {d} does not fit in u32"))
+            })?;
+            let policy = RebalancePolicy::GreedyD { d };
+            policy.validate().map_err(CampaignError::spec)?;
+            Ok(policy)
+        }
+        ProtocolSpec::ThresholdAverage { .. } => Ok(RebalancePolicy::ThresholdAvg),
+        ProtocolSpec::CrsTwoChoices { .. } => Ok(RebalancePolicy::CrsPair),
+        other @ (ProtocolSpec::SelfishGlobal { .. } | ProtocolSpec::SelfishDistributed { .. }) => {
+            Err(CampaignError::unsupported(format!(
+                "protocol `{other}` is synchronous-rounds-only and has no per-ring form; \
+                 dynamic cells support rls-geq, rls-strict, greedy, threshold-average and \
+                 crs-two-choices"
+            )))
+        }
+    }
+}
+
 /// A dynamic (online) cell: the live engine at target load `ρ = m/n`,
-/// measured over the spec's steady-state window.
+/// measured over the spec's steady-state window, on the cell's
+/// `(protocol, topology)` pair.
 fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
     let dynamic: &DynamicSpec = cell
         .dynamic
         .as_ref()
         .expect("caller dispatches on dynamic cells");
     dynamic.validate()?;
-    let variant = match cell.protocol {
-        ProtocolSpec::RlsGeq => RlsVariant::Geq,
-        ProtocolSpec::RlsStrict => RlsVariant::Strict,
-        other => {
-            return Err(CampaignError::unsupported(format!(
-                "dynamic cells run the live RLS engine; protocol `{other}` is not supported"
-            )))
-        }
-    };
-    if !cell.topology.is_complete() {
-        return Err(CampaignError::unsupported(
-            "dynamic cells are only available on the complete topology",
-        ));
-    }
+    let policy = dynamic_policy(cell.protocol)?;
     if !cell.hits.is_empty() {
         return Err(CampaignError::unsupported(
             "hit tracking does not apply to dynamic cells (no stopping time)",
@@ -138,6 +162,11 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
     let horizon = dynamic.warmup + dynamic.window;
 
     let factory = StreamFactory::new(seed);
+    // One adjacency per cell (the same instance for every trial, like the
+    // offline graph cells): the engine rebuilds it from this seed.
+    let graph_seed = factory
+        .rng(StreamId::trial(0).with_component(COMPONENT_GRAPH))
+        .next_u64();
     let mut acc = Accumulator::new(cell, 0);
     acc.unit = "gap".to_string();
     let mut p99 = Vec::with_capacity(cell.trials);
@@ -150,8 +179,9 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
             .0
             .generate(cell.n, cell.m, &mut wl_rng)
             .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
-        let mut engine = LiveEngine::new(initial, params, RlsRule::new(variant))
-            .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
+        let mut engine =
+            LiveEngine::with_policy(initial, params, policy, cell.topology.0, graph_seed)
+                .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
         let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
         let mut steady = SteadyState::new(dynamic.warmup);
         engine.run_until(horizon, &mut run_rng, &mut steady);
@@ -576,14 +606,53 @@ mod tests {
         let err = run_cell(&with_stop, 1).unwrap_err().to_string();
         assert!(err.contains("[stop]"), "{err}");
 
-        let mut on_graph = dynamic_cell();
-        on_graph.topology = TopologySpec(Topology::Cycle);
-        assert!(run_cell(&on_graph, 1).is_err());
-
         let mut wrong_protocol = dynamic_cell();
-        wrong_protocol.protocol = ProtocolSpec::GreedyD { d: 2 };
+        wrong_protocol.protocol = ProtocolSpec::SelfishGlobal { rounds: 100 };
         let err = run_cell(&wrong_protocol, 1).unwrap_err().to_string();
-        assert!(err.contains("live RLS engine"), "{err}");
+        assert!(err.contains("no per-ring form"), "{err}");
+        wrong_protocol.protocol = ProtocolSpec::SelfishDistributed { rounds: 100 };
+        assert!(run_cell(&wrong_protocol, 1).is_err());
+
+        // A choice count past u32 is rejected, not silently truncated to
+        // a different policy than the spec names.
+        let mut huge_d = dynamic_cell();
+        huge_d.protocol = ProtocolSpec::GreedyD {
+            d: u32::MAX as usize + 2,
+        };
+        let err = run_cell(&huge_d, 1).unwrap_err().to_string();
+        assert!(err.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_cells_run_every_ring_policy_on_every_topology() {
+        // The protocol and topology grid axes now apply to dynamic cells:
+        // each pair runs deterministically and reports steady-state
+        // aggregates.
+        for protocol in [
+            ProtocolSpec::RlsGeq,
+            ProtocolSpec::RlsStrict,
+            ProtocolSpec::GreedyD { d: 2 },
+            ProtocolSpec::ThresholdAverage { rounds: 100 },
+            ProtocolSpec::CrsTwoChoices { steps: 100 },
+        ] {
+            for topology in [Topology::Complete, Topology::Cycle] {
+                let mut cell = dynamic_cell();
+                cell.protocol = protocol;
+                cell.topology = TopologySpec(topology);
+                let r1 = run_cell(&cell, 21).unwrap_or_else(|e| panic!("{protocol}: {e}"));
+                let r2 = run_cell(&cell, 21).unwrap();
+                assert_eq!(r1, r2, "{protocol} on {topology} must be deterministic");
+                assert_eq!(r1.unit, "gap");
+                assert!(r1.dynamic.is_some(), "{protocol}");
+                assert!(r1.activations.mean > 0.0, "{protocol}");
+            }
+        }
+        // Identities are distinct per (protocol, topology).
+        let mut a = dynamic_cell();
+        a.protocol = ProtocolSpec::GreedyD { d: 2 };
+        let mut b = a.clone();
+        b.topology = TopologySpec(Topology::Cycle);
+        assert_ne!(cell_seed(7, &a), cell_seed(7, &b));
     }
 
     #[test]

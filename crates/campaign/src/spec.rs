@@ -312,8 +312,10 @@ impl Deserialize for WorkloadSpec {
 }
 
 /// A topology named in a campaign grid (string form of
-/// [`rls_graph::Topology`]).  `complete` runs on the O(1)-per-event
-/// superposition engine; anything else runs graph-restricted RLS.
+/// [`rls_graph::Topology`]).  For static cells, `complete` runs on the
+/// O(1)-per-event superposition engine and anything else runs
+/// graph-restricted RLS; dynamic cells run the live engine on any
+/// topology (destinations sampled from the ringing bin's neighbourhood).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopologySpec(pub Topology);
 

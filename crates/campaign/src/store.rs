@@ -31,8 +31,11 @@ use crate::CampaignError;
 /// changes every cell's canonical identity; 3 = the engines moved to
 /// Fenwick-indexed exchangeable-ball sampling (no per-ball map, no
 /// `u32::MAX` ball cap) — same law, different random trajectories per
-/// seed, so every cached trial is stale.
-pub const ENGINE_VERSION: u32 = 3;
+/// seed, so every cached trial is stale; 4 = dynamic cells run the live
+/// engine over the cell's `(protocol, topology)` pair (previously
+/// hard-wired to RLS on the complete graph) and derive a per-cell graph
+/// seed from the graph stream, which changes dynamic trajectories.
+pub const ENGINE_VERSION: u32 = 4;
 
 /// The content address of a cell: hex SHA-256 of its identity.
 pub fn cell_key(campaign_seed: u64, cell: &CellSpec) -> String {

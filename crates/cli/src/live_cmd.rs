@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rls-experiments live run    [--n N] [--m M] [--workload W] [--arrival A]
-//!                             [--service MU] [--time T] [--warmup T] [--seed S]
+//!                             [--service MU] [--policy P] [--topology T]
+//!                             [--time T] [--warmup T] [--seed S]
 //!                             [--shards S] [--slice D] [--threads T]
 //!                             [--record FILE] [--snapshot FILE] [--resume FILE]
 //! rls-experiments live replay <log.json>
@@ -20,7 +21,8 @@
 
 use rls_campaign::hash::sha256_hex;
 use rls_campaign::{ArrivalSpec, WorkloadSpec};
-use rls_core::RlsRule;
+use rls_core::{RebalancePolicy, RlsRule};
+use rls_graph::Topology;
 use rls_live::{
     replay as replay_log, EventLog, LiveEngine, LiveParams, LogFooter, LogHeader, Recorder,
     ShardedEngine, Snapshot, SteadyState, SteadySummary,
@@ -58,6 +60,10 @@ pub struct RunArgs {
     pub arrival: ArrivalSpec,
     /// Per-ball departure rate override (`None` = hold the population).
     pub service: Option<f64>,
+    /// Rebalance policy applied per ring.
+    pub policy: RebalancePolicy,
+    /// Topology ring destinations are sampled from.
+    pub topology: Topology,
     /// Simulated-time horizon.
     pub time: f64,
     /// Warm-up discarded before measurement (defaults to `time/5`).
@@ -86,6 +92,8 @@ impl Default for RunArgs {
             workload: WorkloadSpec(Workload::Balanced),
             arrival: ArrivalSpec(rls_workloads::ArrivalProcess::Poisson { rate_per_bin: 1.0 }),
             service: None,
+            policy: RebalancePolicy::rls(),
+            topology: Topology::Complete,
             time: 60.0,
             warmup: None,
             seed: 0xC0FFEE,
@@ -158,6 +166,8 @@ fn parse_run_args(raw: &[String]) -> Result<RunArgs, String> {
                         .map_err(|_| "bad --service value".to_string())?,
                 )
             }
+            "--policy" => args.policy = value("a policy")?.parse().map_err(str_of)?,
+            "--topology" => args.topology = value("a topology")?.parse().map_err(str_of)?,
             "--time" => {
                 args.time = value("a duration")?
                     .parse()
@@ -264,6 +274,13 @@ fn run_sequential(args: &RunArgs) -> Result<String, String> {
                         .to_string(),
                 );
             }
+            if args.policy != RebalancePolicy::rls() || args.topology != Topology::Complete {
+                return Err(
+                    "--resume restores the snapshot's policy and topology; drop \
+                     --policy/--topology"
+                        .to_string(),
+                );
+            }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let snapshot = Snapshot::from_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
@@ -278,8 +295,14 @@ fn run_sequential(args: &RunArgs) -> Result<String, String> {
                 .0
                 .generate(args.n, args.m, &mut rng_from_seed(args.seed ^ 0x1717))
                 .map_err(str_of)?;
-            let engine =
-                LiveEngine::new(initial.clone(), params, RlsRule::paper()).map_err(str_of)?;
+            let engine = LiveEngine::with_policy(
+                initial.clone(),
+                params,
+                args.policy,
+                args.topology,
+                args.seed ^ 0x6AF1,
+            )
+            .map_err(str_of)?;
             (engine, rng_from_seed(args.seed), None)
         }
     };
@@ -310,7 +333,11 @@ fn run_sequential(args: &RunArgs) -> Result<String, String> {
     }
     render_summary(
         &mut out,
-        "live run (sequential engine)",
+        &format!(
+            "live run (sequential engine, policy {}, topology {})",
+            engine.policy(),
+            engine.topology()
+        ),
         n,
         initial_loads.iter().sum::<u64>() as f64 / n as f64,
         &ArrivalSpec(params.arrivals).to_string(),
@@ -326,13 +353,24 @@ fn run_sequential(args: &RunArgs) -> Result<String, String> {
             header: LogHeader {
                 n,
                 initial_loads,
-                rule: engine.rule(),
+                // The legacy rule field doubles as the RLS fallback for
+                // old readers; the policy/topology fields are
+                // authoritative.
+                rule: match engine.policy() {
+                    RebalancePolicy::Rls { variant } => RlsRule::new(variant),
+                    _ => RlsRule::paper(),
+                },
+                policy: Some(engine.policy()),
+                topology: Some(engine.topology()),
+                graph_seed: Some(engine.graph_seed()),
                 warmup: start_time + warmup,
                 description: format!(
-                    "seed {}, arrival {}, service {:.6}{}",
+                    "seed {}, arrival {}, service {:.6}, policy {}, topology {}{}",
                     args.seed,
                     ArrivalSpec(params.arrivals),
                     params.service_rate,
+                    engine.policy(),
+                    engine.topology(),
                     match &args.resume {
                         Some(snap) => format!(", resumed from {snap}"),
                         None => format!(", workload {}", args.workload),
@@ -369,10 +407,12 @@ fn run_sharded(args: &RunArgs) -> Result<String, String> {
         .0
         .generate(args.n, args.m, &mut rng_from_seed(args.seed ^ 0x1717))
         .map_err(str_of)?;
-    let mut engine = ShardedEngine::new(
+    let mut engine = ShardedEngine::with_policy(
         initial,
         params,
-        RlsRule::paper(),
+        args.policy,
+        args.topology,
+        args.seed ^ 0x6AF1,
         args.shards,
         args.slice,
         args.seed,
@@ -383,8 +423,8 @@ fn run_sharded(args: &RunArgs) -> Result<String, String> {
     render_summary(
         &mut out,
         &format!(
-            "live run (sharded engine, {} shards, slice {})",
-            args.shards, args.slice
+            "live run (sharded engine, {} shards, slice {}, policy {}, topology {})",
+            args.shards, args.slice, args.policy, args.topology
         ),
         args.n,
         args.m as f64 / args.n as f64,
@@ -484,12 +524,15 @@ fn status_cmd(path: &str) -> Result<String, String> {
         let snapshot = Snapshot::from_value(&value).map_err(|e| format!("`{path}`: {e}"))?;
         let m: u64 = snapshot.loads.iter().sum();
         return Ok(format!(
-            "snapshot {}\n  n = {}, m = {}, t = {:.3}, events = {}\n  arrivals {} / departures {} / rings {} / migrations {}\n",
+            "snapshot {} (format v{})\n  n = {}, m = {}, t = {:.3}, events = {}\n  policy {}, topology {}\n  arrivals {} / departures {} / rings {} / migrations {}\n",
             snapshot_key(&snapshot),
+            snapshot.version,
             snapshot.loads.len(),
             m,
             snapshot.time,
             snapshot.counters.events,
+            snapshot.policy,
+            snapshot.topology,
             snapshot.counters.arrivals,
             snapshot.counters.departures,
             snapshot.counters.rings,

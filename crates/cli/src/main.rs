@@ -25,13 +25,15 @@ usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all
        rls-experiments campaign status <spec> [--store DIR]
        rls-experiments campaign export <spec> [--store DIR] (--csv|--json) [--out FILE]
        rls-experiments live run    [--n N] [--m M] [--workload W] [--arrival A]
-                                   [--service MU] [--time T] [--warmup T] [--seed S]
+                                   [--service MU] [--policy P] [--topology T]
+                                   [--time T] [--warmup T] [--seed S]
                                    [--shards S] [--slice D] [--threads T]
                                    [--record FILE] [--snapshot FILE] [--resume FILE]
        rls-experiments live replay <log.json>
        rls-experiments live status <snapshot-or-log.json>
        rls-experiments serve run    [--addr HOST:PORT] [--n N] [--m M] [--workload W]
-                                    [--arrival A] [--service MU] [--seed S] [--warmup T]
+                                    [--arrival A] [--service MU] [--policy P]
+                                    [--topology T] [--seed S] [--warmup T]
                                     [--rebalance R] [--workers K] [--for SECONDS]
        rls-experiments serve bench  [--addr HOST:PORT] [--connections C]
                                     [--duration SECONDS] [--requests N] [--rps TARGET]

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! rls-experiments serve run    [--addr HOST:PORT] [--n N] [--m M] [--workload W]
-//!                              [--arrival A] [--service MU] [--seed S] [--warmup T]
+//!                              [--arrival A] [--service MU] [--policy P]
+//!                              [--topology T] [--seed S] [--warmup T]
 //!                              [--rebalance R] [--workers K] [--for SECONDS]
 //! rls-experiments serve bench  [--addr HOST:PORT | server flags as for run]
 //!                              [--connections C] [--duration SECONDS] [--requests N]
@@ -22,7 +23,8 @@
 use std::time::Duration;
 
 use rls_campaign::{ArrivalSpec, WorkloadSpec};
-use rls_core::RlsRule;
+use rls_core::RebalancePolicy;
+use rls_graph::Topology;
 use rls_live::{EventLog, LiveEngine, LiveParams};
 use rls_rng::rng_from_seed;
 use rls_serve::{
@@ -66,6 +68,10 @@ pub struct ServeArgs {
     pub arrival: ArrivalSpec,
     /// Per-ball departure rate override (`None` = hold the population).
     pub service: Option<f64>,
+    /// Rebalance policy applied per ring.
+    pub policy: RebalancePolicy,
+    /// Topology ring destinations are sampled from.
+    pub topology: Topology,
     /// Master seed.
     pub seed: u64,
     /// Warm-up (engine-time units) excluded from `/v1/stats`.
@@ -88,6 +94,8 @@ impl Default for ServeArgs {
             workload: WorkloadSpec(Workload::Balanced),
             arrival: ArrivalSpec(rls_workloads::ArrivalProcess::Poisson { rate_per_bin: 1.0 }),
             service: None,
+            policy: RebalancePolicy::rls(),
+            topology: Topology::Complete,
             seed: 0xC0FFEE,
             warmup: 0.0,
             rebalance: None,
@@ -170,6 +178,8 @@ fn parse_server_flag(
         "--workload" => args.workload = value("a workload")?.parse().map_err(str_of)?,
         "--arrival" => args.arrival = value("an arrival process")?.parse().map_err(str_of)?,
         "--service" => args.service = Some(parse_num(&value("a rate")?, "--service")?),
+        "--policy" => args.policy = value("a policy")?.parse()?,
+        "--topology" => args.topology = value("a topology")?.parse()?,
         "--seed" => args.seed = parse_num(&value("a seed")?, "--seed")?,
         "--warmup" => args.warmup = parse_num(&value("a duration")?, "--warmup")?,
         "--rebalance" => args.rebalance = Some(parse_num(&value("a mean")?, "--rebalance")?),
@@ -314,7 +324,14 @@ fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
         .0
         .generate(args.n, args.m, &mut rng_from_seed(args.seed ^ 0x1717))
         .map_err(str_of)?;
-    let engine = LiveEngine::new(initial, params, RlsRule::paper()).map_err(str_of)?;
+    let engine = LiveEngine::with_policy(
+        initial,
+        params,
+        args.policy,
+        args.topology,
+        args.seed ^ 0x6AF1,
+    )
+    .map_err(str_of)?;
     // Default rebalance intensity: the paper's regime has rings at rate m
     // against arrivals at rate λ, i.e. m/λ rings per arrival.
     let rings_per_arrival = args
@@ -350,7 +367,7 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
     let (server, rings) = boot(args)?;
     let mut out = format!(
         "rls-serve listening on http://{}\n  n = {}, m = {}, arrival {}, seed {}, \
-         auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
+         policy {}, topology {}, auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
          POST /v1/arrive · POST /v1/depart[/{{bin}}] · POST /v1/ring · GET /v1/stats · \
          GET /v1/snapshot · POST /v1/restore · GET /healthz\n",
         server.addr(),
@@ -358,6 +375,8 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
         args.m,
         args.arrival,
         args.seed,
+        args.policy,
+        args.topology,
         args.workers,
     );
     match args.for_seconds {
@@ -510,10 +529,19 @@ fn replay_cmd(log_path: &str, addr: Option<&str>, workers: usize) -> Result<Stri
             "MISMATCH ✗"
         }
     };
+    let id = &outcome.identity;
     let out = format!(
-        "replayed {} events as {} HTTP requests against {target}\nfinal loads: {}\nring decisions: {}\n",
+        "replayed {} events as {} HTTP requests against {target}\n\
+         server identity: seed {}, n = {}, m0 = {}, policy {}, topology {}, snapshot v{}\n\
+         final loads: {}\nring decisions: {}\n",
         outcome.events,
         outcome.requests,
+        id.seed,
+        id.n,
+        id.m0,
+        id.policy,
+        id.topology,
+        id.snapshot_version,
         verdict(outcome.loads_match),
         verdict(outcome.moved_match),
     );
@@ -592,12 +620,30 @@ mod tests {
             }
         );
 
+        let cmd = parse_serve_args(&strings(&[
+            "run",
+            "--policy",
+            "greedy-2",
+            "--topology",
+            "torus",
+            "--n",
+            "16",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(args.policy, RebalancePolicy::GreedyD { d: 2 });
+        assert_eq!(args.topology, Topology::Torus2D);
+
         for bad in [
             &[][..],
             &["frobnicate"],
             &["run", "--n", "0"],
             &["run", "--wat"],
             &["run", "--for", "-1"],
+            &["run", "--policy", "nope"],
+            &["run", "--topology", "klein-bottle"],
             &["bench", "--connections", "0"],
             &["bench", "--duration", "-2"],
             &["bench", "--depart-frac", "1.5"],
@@ -663,6 +709,7 @@ mod tests {
 
     #[test]
     fn replay_round_trips_a_recorded_log() {
+        use rls_core::RlsRule;
         use rls_live::{LogFooter, LogHeader, Recorder, SteadyState};
 
         // Record a small live run to a temp file, then serve-replay it.
@@ -687,6 +734,9 @@ mod tests {
                 n: 8,
                 initial_loads: initial.loads().to_vec(),
                 rule: RlsRule::paper(),
+                policy: None,
+                topology: None,
+                graph_seed: None,
                 warmup: 0.0,
                 description: "cli replay test".to_string(),
             },

@@ -19,6 +19,9 @@
 //!   with the same continuous-time semantics as the complete-graph engine.
 //! * [`mixing`] — spectral-gap and mixing-time estimation for the lazy
 //!   random walk on the graph (power iteration, no external linear algebra).
+//! * [`sampler`] — the [`DestSampler`] the online engines (`rls-live`,
+//!   `rls-serve`) hold: the complete-graph O(1) uniform draw, or uniform
+//!   neighbour sampling over a CSR adjacency built once at boot.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -26,8 +29,10 @@
 mod graph;
 pub mod mixing;
 pub mod rls_on_graph;
+pub mod sampler;
 pub mod topology;
 
 pub use graph::{Graph, GraphError};
 pub use rls_on_graph::{GraphRls, GraphRlsOutcome};
+pub use sampler::DestSampler;
 pub use topology::Topology;

@@ -58,6 +58,44 @@ impl Topology {
         }
     }
 
+    /// Parse the spec-string forms used across grids and CLI flags —
+    /// the inverse of [`Display`](core::fmt::Display): `complete`,
+    /// `cycle`, `path`, `torus`, `hypercube`, `star`, `binary-tree`,
+    /// `random-regular:<d>`, `erdos-renyi:<p>`.
+    pub fn parse_spec(s: &str) -> Result<Self, String> {
+        let (head, param) = match s.split_once(':') {
+            Some((head, param)) => (head.trim(), Some(param.trim())),
+            None => (s.trim(), None),
+        };
+        let topology = match head {
+            "complete" => Topology::Complete,
+            "cycle" => Topology::Cycle,
+            "path" => Topology::Path,
+            "torus" | "torus-2d" | "torus2d" => Topology::Torus2D,
+            "hypercube" => Topology::Hypercube,
+            "star" => Topology::Star,
+            "binary-tree" => Topology::BinaryTree,
+            "random-regular" => Topology::RandomRegular {
+                degree: param
+                    .ok_or_else(|| {
+                        "`random-regular` needs a degree, e.g. `random-regular:4`".to_string()
+                    })?
+                    .parse()
+                    .map_err(|_| format!("bad degree in `{s}`"))?,
+            },
+            "erdos-renyi" => Topology::ErdosRenyi {
+                p: param
+                    .ok_or_else(|| {
+                        "`erdos-renyi` needs a probability, e.g. `erdos-renyi:0.1`".to_string()
+                    })?
+                    .parse()
+                    .map_err(|_| format!("bad probability in `{s}`"))?,
+            },
+            other => return Err(format!("unknown topology `{other}`")),
+        };
+        Ok(topology)
+    }
+
     /// Build the topology on `n` vertices.
     pub fn build<R: Rng64 + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Graph, GraphError> {
         if n == 0 {
@@ -163,10 +201,63 @@ impl Topology {
     }
 }
 
+impl core::fmt::Display for Topology {
+    /// The spec-string form ([`parse_spec`](Topology::parse_spec) inverts
+    /// it), with parameters where the family has one.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Topology::RandomRegular { degree } => write!(f, "random-regular:{degree}"),
+            Topology::ErdosRenyi { p } => write!(f, "erdos-renyi:{p}"),
+            plain => write!(f, "{}", plain.name()),
+        }
+    }
+}
+
+impl core::str::FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Topology::parse_spec(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rls_rng::rng_from_seed;
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for s in [
+            "complete",
+            "cycle",
+            "path",
+            "torus",
+            "hypercube",
+            "star",
+            "binary-tree",
+            "random-regular:8",
+            "erdos-renyi:0.1",
+        ] {
+            let t: Topology = s.parse().unwrap();
+            let back: Topology = t.to_string().parse().unwrap();
+            assert_eq!(back, t, "{s}");
+        }
+        assert_eq!(
+            "torus".parse::<Topology>().unwrap().to_string(),
+            "torus",
+            "canonical torus spelling"
+        );
+        for bad in [
+            "",
+            "nope",
+            "random-regular",
+            "random-regular:x",
+            "erdos-renyi",
+        ] {
+            assert!(bad.parse::<Topology>().is_err(), "{bad}");
+        }
+    }
 
     #[test]
     fn complete_graph_has_full_degree() {

@@ -22,8 +22,11 @@
 //! `O(log n)`.  The engine therefore holds `O(n)` state with no per-ball
 //! map and no `u32::MAX` ball cap: `m` is `u64` end to end.
 
-use rls_core::{Config, LoadIndex, LoadTracker, Move, RlsRule};
-use rls_rng::dist::{Distribution, Exponential};
+use rls_core::{
+    Config, LoadIndex, LoadTracker, Move, RebalancePolicy, RingContext, RingDecision, RlsRule,
+};
+use rls_graph::{DestSampler, Topology};
+use rls_rng::dist::{Distribution, Exponential, Poisson};
 use rls_rng::{Rng64, RngExt};
 use rls_workloads::ArrivalProcess;
 use serde::{Deserialize, Serialize};
@@ -126,19 +129,57 @@ pub struct LiveEngine {
     /// rings) in O(log n) with no per-ball state.
     index: LoadIndex,
     params: LiveParams,
-    rule: RlsRule,
+    /// The decision rule applied per ring (enum-dispatched: part of the
+    /// engine's snapshot identity).
+    policy: RebalancePolicy,
+    /// Where a ringing ball may sample its destination.
+    dest: DestSampler,
+    /// The topology family `dest` was built from (persisted in snapshots
+    /// so a restore rebuilds the identical adjacency).
+    topology: Topology,
+    /// Seed the adjacency was drawn from (random topologies).
+    graph_seed: u64,
     time: f64,
     seq: u64,
     counters: LiveCounters,
 }
 
 impl LiveEngine {
-    /// Create an engine over the initial configuration.
+    /// Create an engine over the initial configuration, running the
+    /// paper's model: the given RLS rule on the complete graph.
     ///
     /// Any population up to `u64::MAX` is accepted: the engine holds
     /// `O(n)` state regardless of the ball count.
     pub fn new(initial: Config, params: LiveParams, rule: RlsRule) -> Result<Self, LiveError> {
+        Self::with_policy(
+            initial,
+            params,
+            RebalancePolicy::Rls {
+                variant: rule.variant(),
+            },
+            Topology::Complete,
+            0,
+        )
+    }
+
+    /// Create an engine over an arbitrary `(policy, topology)` pair.
+    ///
+    /// The destination sampler is built once here: the complete graph
+    /// keeps the O(1) uniform draw, sparse topologies materialize a CSR
+    /// adjacency drawn from `graph_seed` (the same `(topology, n,
+    /// graph_seed)` always yields the same graph, which is what makes
+    /// snapshots of graph-restricted runs restorable bit-identically).
+    pub fn with_policy(
+        initial: Config,
+        params: LiveParams,
+        policy: RebalancePolicy,
+        topology: Topology,
+        graph_seed: u64,
+    ) -> Result<Self, LiveError> {
         params.validate()?;
+        policy.validate().map_err(LiveError::params)?;
+        let dest = DestSampler::build(topology, initial.n(), graph_seed)
+            .map_err(|e| LiveError::params(format!("topology `{topology}`: {e}")))?;
         let index = LoadIndex::new(&initial);
         let tracker = LoadTracker::new(&initial);
         Ok(Self {
@@ -146,7 +187,10 @@ impl LiveEngine {
             tracker,
             index,
             params,
-            rule,
+            policy,
+            dest,
+            topology,
+            graph_seed,
             time: 0.0,
             seq: 0,
             counters: LiveCounters::default(),
@@ -183,34 +227,63 @@ impl LiveEngine {
         self.params
     }
 
-    /// The RLS rule in force.
-    pub fn rule(&self) -> RlsRule {
-        self.rule
+    /// The rebalance policy in force.
+    pub fn policy(&self) -> RebalancePolicy {
+        self.policy
+    }
+
+    /// The topology family destinations are sampled from.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Seed the (sparse) adjacency was drawn from.
+    pub fn graph_seed(&self) -> u64 {
+        self.graph_seed
+    }
+
+    /// The destination sampler (read-only; built once at construction).
+    pub fn dest_sampler(&self) -> &DestSampler {
+        &self.dest
+    }
+
+    /// Draw how many auto-rebalance rings to run after one arrival:
+    /// `Poisson(mean)`, the same memoryless law as the paper's per-ball
+    /// ring clocks.  This is the single entry point the serving layer
+    /// uses, so the serve and live ring-count laws cannot drift.
+    ///
+    /// A degenerate mean (non-positive, NaN, or infinite — e.g. a
+    /// ring-to-arrival ratio computed against a subnormal arrival rate)
+    /// yields `0` rings rather than panicking the caller's engine thread.
+    pub fn sample_auto_rings<R: Rng64 + ?Sized>(&self, mean: f64, rng: &mut R) -> u64 {
+        if !(mean.is_finite() && mean > 0.0) {
+            return 0;
+        }
+        Poisson::new(mean)
+            .expect("finite positive mean")
+            .sample(rng)
     }
 
     /// Rebuild an engine from raw parts (snapshot restore).  The load
     /// vector alone determines the sampling state — balls are exchangeable,
-    /// so there is no per-ball map to restore.
+    /// so there is no per-ball map to restore — and the destination
+    /// sampler is rebuilt from `(topology, graph_seed)`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: Config,
         params: LiveParams,
-        rule: RlsRule,
+        policy: RebalancePolicy,
+        topology: Topology,
+        graph_seed: u64,
         time: f64,
         seq: u64,
         counters: LiveCounters,
-    ) -> Self {
-        let tracker = LoadTracker::new(&cfg);
-        let index = LoadIndex::new(&cfg);
-        Self {
-            cfg,
-            tracker,
-            index,
-            params,
-            rule,
-            time,
-            seq,
-            counters,
-        }
+    ) -> Result<Self, LiveError> {
+        let mut engine = Self::with_policy(cfg, params, policy, topology, graph_seed)?;
+        engine.time = time;
+        engine.seq = seq;
+        engine.counters = counters;
+        Ok(engine)
     }
 
     /// Total event rate at the current population.
@@ -259,13 +332,8 @@ impl LiveEngine {
             LiveEventKind::Departure { bin: bin as u32 }
         } else {
             let source = self.index.bin_at(rng.next_below(m));
-            let dest = rng.next_index(n);
-            let moved = self.try_migrate(source, dest);
-            LiveEventKind::Ring {
-                source: source as u32,
-                dest: dest as u32,
-                moved,
-            }
+            let decision = self.decide_ring(source, rng);
+            self.apply_ring(source, decision)
         };
 
         Some(LiveEvent {
@@ -338,6 +406,26 @@ impl LiveEngine {
                 }
                 if let Some(dest) = dest {
                     check_bin("ring destination", dest)?;
+                    // On sparse topologies a pinned destination must be an
+                    // actual neighbour (self-loop no-ops stay admissible,
+                    // exactly like a sampled draw on the complete graph),
+                    // and it needs a pinned source to check against.
+                    match source {
+                        Some(source) if !self.dest.permits_edge(source, dest) => {
+                            return Err(LiveError::command(format!(
+                                "ring destination {dest} is not adjacent to source {source} \
+                                 under topology `{}`",
+                                self.topology
+                            )));
+                        }
+                        None if !self.dest.is_complete() => {
+                            return Err(LiveError::command(
+                                "a pinned ring destination needs a pinned source on a sparse \
+                                 topology (adjacency cannot be checked otherwise)",
+                            ));
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
@@ -366,13 +454,23 @@ impl LiveEngine {
             }
             LiveCommand::Ring { source, dest } => {
                 let source = source.unwrap_or_else(|| self.index.bin_at(rng.next_below(m)));
-                let dest = dest.unwrap_or_else(|| rng.next_index(n));
-                let moved = self.try_migrate(source, dest);
-                LiveEventKind::Ring {
-                    source: source as u32,
-                    dest: dest as u32,
-                    moved,
-                }
+                let decision = match dest {
+                    // A pinned destination plays the role of the chosen
+                    // candidate: the policy's pair rule decides, which is
+                    // what makes recorded `(source, dest, moved)` rings
+                    // replay identically under every policy.
+                    Some(dest) => RingDecision {
+                        dest: Some(dest),
+                        moved: dest != source
+                            && self.policy.permits_loads(
+                                RingContext { n, m: self.cfg.m() },
+                                self.cfg.load(source),
+                                self.cfg.load(dest),
+                            ),
+                    },
+                    None => self.decide_ring(source, rng),
+                };
+                self.apply_ring(source, decision)
             }
         };
 
@@ -441,24 +539,44 @@ impl LiveEngine {
         self.counters.departures += 1;
     }
 
-    /// Apply one RLS ring; returns whether the ball migrated.
-    fn try_migrate(&mut self, source: usize, dest: usize) -> bool {
+    /// Run the policy's decision for a ring in `source`: sample the
+    /// candidate set through the topology layer and apply the pair rule.
+    fn decide_ring<R: Rng64 + ?Sized>(&self, source: usize, rng: &mut R) -> RingDecision {
+        let ctx = RingContext {
+            n: self.cfg.n(),
+            m: self.cfg.m(),
+        };
+        let cfg = &self.cfg;
+        let dest = &self.dest;
+        self.policy.decide(
+            ctx,
+            source,
+            cfg.load(source),
+            || dest.sample(source, rng),
+            |b| cfg.load(b),
+        )
+    }
+
+    /// Apply a decided ring: bump the counters, migrate if the policy said
+    /// so, and produce the event record.  A ring with no candidate at all
+    /// (isolated vertex) is recorded as a self-loop no-op.
+    fn apply_ring(&mut self, source: usize, decision: RingDecision) -> LiveEventKind {
         self.counters.rings += 1;
-        if source == dest
-            || !self
-                .rule
-                .permits_loads(self.cfg.load(source), self.cfg.load(dest))
-        {
-            return false;
+        let dest = decision.dest.unwrap_or(source);
+        if decision.moved {
+            let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
+            self.cfg
+                .apply(Move::new(source, dest))
+                .expect("decided move applies");
+            self.tracker.record_move(lf, lt);
+            self.index.record_move(source, dest);
+            self.counters.migrations += 1;
         }
-        let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
-        self.cfg
-            .apply(Move::new(source, dest))
-            .expect("permitted move applies");
-        self.tracker.record_move(lf, lt);
-        self.index.record_move(source, dest);
-        self.counters.migrations += 1;
-        true
+        LiveEventKind::Ring {
+            source: source as u32,
+            dest: dest as u32,
+            moved: decision.moved,
+        }
     }
 }
 
@@ -719,6 +837,22 @@ mod tests {
                 &mut rng
             )
             .is_err());
+    }
+
+    #[test]
+    fn auto_ring_draws_survive_degenerate_means() {
+        let eng = engine(8, 64);
+        let mut rng = rng_from_seed(20);
+        assert_eq!(eng.sample_auto_rings(0.0, &mut rng), 0);
+        assert_eq!(eng.sample_auto_rings(-1.0, &mut rng), 0);
+        assert_eq!(eng.sample_auto_rings(f64::NAN, &mut rng), 0);
+        assert_eq!(eng.sample_auto_rings(f64::INFINITY, &mut rng), 0);
+        // A real mean draws a real Poisson count.
+        let total: u64 = (0..200).map(|_| eng.sample_auto_rings(2.0, &mut rng)).sum();
+        assert!(
+            (200..=700).contains(&total),
+            "Poisson(2)·200 ≈ 400, got {total}"
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! steady-state observer summary bit-identically.  The footer stores both
 //! so replay doubles as an integrity check for archived runs.
 
-use rls_core::{Config, LoadTracker, Move, RlsRule};
+use rls_core::{Config, LoadTracker, Move, RebalancePolicy, RlsRule};
+use rls_graph::Topology;
 use serde::{Deserialize, Serialize};
 
 use crate::event::{LiveEvent, LiveEventKind};
@@ -22,12 +23,35 @@ pub struct LogHeader {
     pub n: usize,
     /// The load vector the run started from.
     pub initial_loads: Vec<u64>,
-    /// RLS rule in force.
+    /// RLS rule in force (kept for logs recorded before the engine grew
+    /// pluggable policies; superseded by [`policy`](Self::policy)).
     pub rule: RlsRule,
+    /// Rebalance policy the run was recorded under (`None` in logs from
+    /// older builds, which were always RLS — see [`rule`](Self::rule)).
+    pub policy: Option<RebalancePolicy>,
+    /// Topology the run was recorded on (`None` = complete graph).
+    pub topology: Option<Topology>,
+    /// Seed the (sparse) adjacency was drawn from, when `topology` is.
+    pub graph_seed: Option<u64>,
     /// Warm-up used by the recorded steady-state observer.
     pub warmup: f64,
     /// Free-form description (arrival law, seed, …) for humans.
     pub description: String,
+}
+
+impl LogHeader {
+    /// The policy in force when the log was recorded ([`policy`](Self::policy)
+    /// when present, else the legacy [`rule`](Self::rule) as an RLS policy).
+    pub fn effective_policy(&self) -> RebalancePolicy {
+        self.policy.unwrap_or(RebalancePolicy::Rls {
+            variant: self.rule.variant(),
+        })
+    }
+
+    /// The topology the log was recorded on (absent = complete graph).
+    pub fn effective_topology(&self) -> Topology {
+        self.topology.unwrap_or(Topology::Complete)
+    }
 }
 
 /// Closing record of a log: what the recording run ended with.
@@ -215,6 +239,9 @@ mod tests {
                 n: initial.n(),
                 initial_loads: initial.loads().to_vec(),
                 rule: RlsRule::paper(),
+                policy: Some(RebalancePolicy::rls()),
+                topology: Some(Topology::Complete),
+                graph_seed: Some(0),
                 warmup,
                 description: format!("test run, seed {seed}"),
             },

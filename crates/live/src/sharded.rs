@@ -36,7 +36,8 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 use rls_core::RlsRule;
-use rls_core::{Config, LoadIndex};
+use rls_core::{Config, LoadIndex, RebalancePolicy, RingContext};
+use rls_graph::{DestSampler, Topology};
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt, StreamFactory, StreamId};
 use rls_sim::parallel::parallel_map;
@@ -87,7 +88,11 @@ pub struct ShardedEngine {
     /// Published global loads (slice-start snapshot all shards read).
     published: Vec<u64>,
     params: LiveParams,
-    rule: RlsRule,
+    /// The ring decision rule (enum-dispatched, shared by every shard).
+    policy: RebalancePolicy,
+    /// Destination sampler (read-only; the CSR adjacency of a sparse
+    /// topology is built once and shared across the worker pool).
+    dest: DestSampler,
     seed: u64,
     slice: f64,
     time: f64,
@@ -96,7 +101,8 @@ pub struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// Partition `initial` into `shards` contiguous bin ranges.
+    /// Partition `initial` into `shards` contiguous bin ranges, running
+    /// the paper's model: the given RLS rule on the complete graph.
     ///
     /// `slice` is the synchronization period `Δ`: smaller tracks the
     /// sequential law more closely, larger amortizes the barrier.
@@ -108,7 +114,44 @@ impl ShardedEngine {
         slice: f64,
         seed: u64,
     ) -> Result<Self, LiveError> {
+        Self::with_policy(
+            initial,
+            params,
+            RebalancePolicy::Rls {
+                variant: rule.variant(),
+            },
+            Topology::Complete,
+            0,
+            shards,
+            slice,
+            seed,
+        )
+    }
+
+    /// Partition `initial` over an arbitrary `(policy, topology)` pair.
+    ///
+    /// Cross-shard ring decisions respect the topology's adjacency:
+    /// candidates are sampled from the ringing bin's neighbourhood, and a
+    /// candidate owned by another shard is priced at its load *as
+    /// published at the slice start* (bounded staleness), exactly like the
+    /// complete-graph engine has always done.  The average-threshold
+    /// policy compares against the slice-start global population for the
+    /// same reason.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_policy(
+        initial: Config,
+        params: LiveParams,
+        policy: RebalancePolicy,
+        topology: Topology,
+        graph_seed: u64,
+        shards: usize,
+        slice: f64,
+        seed: u64,
+    ) -> Result<Self, LiveError> {
         params.validate()?;
+        policy.validate().map_err(LiveError::params)?;
+        let dest = DestSampler::build(topology, initial.n(), graph_seed)
+            .map_err(|e| LiveError::params(format!("topology `{topology}`: {e}")))?;
         // Only placement laws that factor across the bin partition can be
         // sharded: a hotspot targets one global bin, and a burst epoch
         // scatters its balls over *all* bins jointly — confining either to
@@ -148,7 +191,8 @@ impl ShardedEngine {
             shards: shard_vec,
             published: initial.loads().to_vec(),
             params,
-            rule,
+            policy,
+            dest,
             seed,
             slice,
             time: 0.0,
@@ -179,8 +223,12 @@ impl ShardedEngine {
         let slice = self.slice;
         let n = self.published.len();
         let params = self.params;
-        let rule = self.rule;
+        let policy = self.policy;
+        let dest = &self.dest;
         let published = &self.published;
+        // The slice-start global population: what a distributed node could
+        // actually know (the average-threshold policy reads it).
+        let published_m: u64 = published.iter().sum();
         let shards = &self.shards;
 
         let results: Vec<SliceResult> = parallel_map(shards.len(), threads, |s| {
@@ -190,7 +238,17 @@ impl ShardedEngine {
                 salt: 0xDA7A,
             });
             let mut shard = shards[s].lock().expect("shard lock");
-            run_slice(&mut shard, published, n, params, rule, slice, &mut rng)
+            run_slice(
+                &mut shard,
+                published,
+                published_m,
+                n,
+                params,
+                policy,
+                dest,
+                slice,
+                &mut rng,
+            )
         });
 
         // Deterministic merge: bucket deliveries by destination shard in
@@ -291,12 +349,15 @@ fn gap_and_overload(loads: &[u64]) -> (f64, u64) {
 }
 
 /// Simulate one shard over one slice.
+#[allow(clippy::too_many_arguments)]
 fn run_slice<R: Rng64 + ?Sized>(
     shard: &mut Shard,
     published: &[u64],
+    published_m: u64,
     n: usize,
     params: LiveParams,
-    rule: RlsRule,
+    policy: RebalancePolicy,
+    dest_sampler: &DestSampler,
     slice: f64,
     rng: &mut R,
 ) -> SliceResult {
@@ -344,16 +405,29 @@ fn run_slice<R: Rng64 + ?Sized>(
             delta.rings += 1;
             let source_offset = shard.index.bin_at(rng.next_below(resident));
             let source = shard.bins.start + source_offset;
-            let dest = rng.next_index(n);
-            if dest == source {
-                continue;
-            }
-            let dest_load = if shard.bins.contains(&dest) {
-                shard.loads[dest - shard.bins.start]
-            } else {
-                published[dest]
+            // Candidates come from the topology's neighbourhood of the
+            // ringing bin; a candidate owned by another shard is priced at
+            // its slice-start published load (bounded staleness — the
+            // decision a distributed node could actually make).
+            let ctx = RingContext { n, m: published_m };
+            let decision = {
+                let shard = &*shard;
+                policy.decide(
+                    ctx,
+                    source,
+                    shard.loads[source_offset],
+                    || dest_sampler.sample(source, rng),
+                    |bin| {
+                        if shard.bins.contains(&bin) {
+                            shard.loads[bin - shard.bins.start]
+                        } else {
+                            published[bin]
+                        }
+                    },
+                )
             };
-            if rule.permits_loads(shard.loads[source_offset], dest_load) {
+            if decision.moved {
+                let dest = decision.dest.expect("a moving ring has a destination");
                 shard.loads[source_offset] -= 1;
                 shard.index.decrement(source_offset);
                 delta.migrations += 1;

@@ -14,12 +14,17 @@
 //!   Fenwick-sampled engine derives its entire sampling state from the
 //!   load vector, so the map is gone — and with it the `u32::MAX` ball
 //!   cap.
-//! * **v2** ([`SNAPSHOT_VERSION`], current): an explicit `version` field
-//!   plus the load vector only.  v1 snapshots are **rejected with a clear
-//!   error** rather than resampled under a different law; re-record them
-//!   by replaying the original seed on the current engine.
+//! * **v2** (PR 3): an explicit `version` field plus the load vector only;
+//!   hard-wired to RLS on the complete graph (a `rule` field).
+//! * **v3** ([`SNAPSHOT_VERSION`], current): the engine is generic over a
+//!   rebalance `policy` and a `topology` (plus the `graph_seed` its
+//!   adjacency was drawn from), and the snapshot records all three so a
+//!   restore rebuilds the identical sampler.  v1 and v2 snapshots are
+//!   **rejected with a clear error** rather than silently reinterpreted;
+//!   re-record them by replaying the original seed on the current engine.
 
-use rls_core::{Config, RlsRule};
+use rls_core::{Config, RebalancePolicy};
+use rls_graph::Topology;
 use rls_rng::Xoshiro256PlusPlus;
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +32,7 @@ use crate::engine::{LiveCounters, LiveEngine, LiveParams};
 use crate::LiveError;
 
 /// Current snapshot format version (see the module docs for the history).
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A serializable checkpoint of a [`LiveEngine`] plus its RNG.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,8 +48,12 @@ pub struct Snapshot {
     pub loads: Vec<u64>,
     /// Dynamics parameters.
     pub params: LiveParams,
-    /// RLS rule in force.
-    pub rule: RlsRule,
+    /// Rebalance policy in force.
+    pub policy: RebalancePolicy,
+    /// Topology destinations are sampled from.
+    pub topology: Topology,
+    /// Seed the (sparse) adjacency was drawn from.
+    pub graph_seed: u64,
     /// Aggregate counters at capture.
     pub counters: LiveCounters,
     /// The caller's generator state (xoshiro256++).
@@ -60,7 +69,9 @@ impl Snapshot {
             seq: engine.counters().events,
             loads: engine.config().loads().to_vec(),
             params: engine.params(),
-            rule: engine.rule(),
+            policy: engine.policy(),
+            topology: engine.topology(),
+            graph_seed: engine.graph_seed(),
             counters: engine.counters(),
             rng_state: rng.state(),
         }
@@ -85,6 +96,15 @@ impl Snapshot {
             .ok_or_else(|| LiveError::snapshot("snapshot must be a JSON object"))?;
         match object.get("version").and_then(|v| v.as_u64()) {
             Some(v) if v == SNAPSHOT_VERSION as u64 => {}
+            Some(2) => {
+                return Err(LiveError::snapshot(format!(
+                    "legacy v2 snapshot (pre-policy, hard-wired to RLS on the complete \
+                     graph): the engine is now generic over a rebalance policy and a \
+                     topology, and a v2 `rule` field cannot be resumed without guessing \
+                     them; re-record the run with this build to produce a \
+                     version-{SNAPSHOT_VERSION} snapshot"
+                )))
+            }
             Some(v) => {
                 return Err(LiveError::snapshot(format!(
                     "unsupported snapshot version {v} (this build reads version \
@@ -120,12 +140,14 @@ impl Snapshot {
         let engine = LiveEngine::from_parts(
             cfg,
             self.params,
-            self.rule,
+            self.policy,
+            self.topology,
+            self.graph_seed,
             self.time,
             self.seq,
             self.counters,
-        );
-        engine.params().validate()?;
+        )
+        .map_err(|e| LiveError::snapshot(e.to_string()))?;
         Ok((engine, Xoshiro256PlusPlus::from_state(self.rng_state)))
     }
 }
@@ -133,6 +155,7 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rls_core::RlsRule;
     use rls_rng::rng_from_seed;
     use rls_workloads::ArrivalProcess;
 
@@ -184,6 +207,60 @@ mod tests {
         wrong_version.version = SNAPSHOT_VERSION + 1;
         let err = wrong_version.restore().unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn policy_and_topology_round_trip_through_snapshots() {
+        // A greedy-2 engine on a torus: pause, snapshot through JSON,
+        // resume — the restored sampler must be the identical adjacency.
+        let params =
+            LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 128).unwrap();
+        let build = || {
+            LiveEngine::with_policy(
+                Config::uniform(16, 8).unwrap(),
+                params,
+                RebalancePolicy::GreedyD { d: 2 },
+                Topology::Torus2D,
+                0xABCD,
+            )
+            .unwrap()
+        };
+        let mut straight = build();
+        let mut rng_a = rng_from_seed(31);
+        straight.run_until(30.0, &mut rng_a, &mut ());
+
+        let mut paused = build();
+        let mut rng_b = rng_from_seed(31);
+        paused.run_until(12.0, &mut rng_b, &mut ());
+        let json = serde_json::to_string(&Snapshot::capture(&paused, &rng_b)).unwrap();
+        let snap = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap.policy, RebalancePolicy::GreedyD { d: 2 });
+        assert_eq!(snap.topology, Topology::Torus2D);
+        assert_eq!(snap.graph_seed, 0xABCD);
+        let (mut resumed, mut rng_c) = snap.restore().unwrap();
+        resumed.run_until(30.0, &mut rng_c, &mut ());
+
+        assert_eq!(straight.config(), resumed.config());
+        assert_eq!(straight.counters(), resumed.counters());
+        assert_eq!(rng_a.state(), rng_c.state());
+    }
+
+    #[test]
+    fn legacy_v2_snapshots_are_rejected_with_a_migration_error() {
+        // A faithful v2 shape: version field, `rule` instead of
+        // policy/topology.
+        let v2 = r#"{
+            "version": 2, "time": 3.5, "seq": 10,
+            "loads": [2, 1],
+            "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.5},
+            "rule": {"variant": "Geq"},
+            "counters": {"arrivals": 0, "departures": 0, "rings": 10, "migrations": 2, "events": 10},
+            "rng_state": [1, 2, 3, 4]
+        }"#;
+        let err = Snapshot::from_json(v2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("legacy v2"), "{msg}");
+        assert!(msg.contains("re-record"), "{msg}");
     }
 
     #[test]

@@ -85,6 +85,29 @@ pub struct RingReply {
     pub seq: u64,
 }
 
+/// The engine's boot identity, echoed by `GET /v1/stats` and the replay
+/// driver so operators can verify two servers (or a server and an offline
+/// core) are running like-for-like instances before comparing digests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootIdentity {
+    /// Seed of the engine-thread RNG at boot (a restore replaces the RNG
+    /// with the snapshot's, so compare snapshots — not this — afterwards).
+    pub seed: u64,
+    /// Number of bins.
+    pub n: usize,
+    /// Population at boot (or at the last restore).
+    pub m0: u64,
+    /// Rebalance policy, in spec-string form (`rls`, `greedy-2`, …).
+    pub policy: String,
+    /// Topology, in spec-string form (`complete`, `torus`,
+    /// `random-regular:8`, …).
+    pub topology: String,
+    /// Seed the (sparse) adjacency was drawn from.
+    pub graph_seed: u64,
+    /// Snapshot format version this server reads and writes.
+    pub snapshot_version: u32,
+}
+
 /// Reply of `GET /v1/stats`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -104,6 +127,8 @@ pub struct StatsReply {
     pub summary: SteadySummary,
     /// Aggregate event counters since boot (or the last restore).
     pub counters: LiveCounters,
+    /// The engine's boot identity (seed, shape, policy, topology).
+    pub identity: BootIdentity,
 }
 
 /// Reply of `POST /v1/restore`.

@@ -8,13 +8,14 @@
 //! callers (tests, benchmarks) call them directly to predict what the
 //! server must answer for the same seed and command sequence.
 
-use rls_live::{LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Snapshot, SteadyState};
-use rls_rng::dist::{Distribution, Poisson};
+use rls_live::{
+    LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Snapshot, SteadyState, SNAPSHOT_VERSION,
+};
 use rls_rng::{rng_from_seed, DefaultRng};
 
 use crate::api::{
-    ArriveReply, ArriveRequest, DepartReply, DepartRequest, HealthReply, RestoreReply, RingReply,
-    RingRequest, StatsReply,
+    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply,
+    RestoreReply, RingReply, RingRequest, StatsReply,
 };
 use crate::ServeError;
 
@@ -67,6 +68,8 @@ pub struct ServeCore {
     /// Warm-up (engine-time units) excluded from the stats window; kept so
     /// a restore can re-arm the observer the same way.
     warmup: f64,
+    /// Boot identity echoed by `/v1/stats` (rebuilt on restore).
+    identity: BootIdentity,
 }
 
 impl ServeCore {
@@ -76,12 +79,14 @@ impl ServeCore {
     pub fn new(engine: LiveEngine, seed: u64, warmup: f64, policy: ServePolicy) -> Self {
         let mut steady = SteadyState::new(engine.time() + warmup);
         steady.on_start(engine.tracker(), engine.time());
+        let identity = identity_of(&engine, seed);
         Self {
             engine,
             rng: rng_from_seed(seed),
             steady,
             policy,
             warmup,
+            identity,
         }
     }
 
@@ -93,6 +98,11 @@ impl ServeCore {
     /// The auto-rebalance policy in force.
     pub fn policy(&self) -> ServePolicy {
         self.policy
+    }
+
+    /// The boot identity `/v1/stats` echoes.
+    pub fn identity(&self) -> &BootIdentity {
+        &self.identity
     }
 
     fn check_bin(&self, what: &str, bin: Option<usize>) -> Result<(), ServeError> {
@@ -118,12 +128,11 @@ impl ServeCore {
                 )));
             }
             Some(rings) => rings,
-            None if self.policy.rings_per_arrival > 0.0 => {
-                Poisson::new(self.policy.rings_per_arrival)
-                    .expect("positive policy mean")
-                    .sample(&mut self.rng)
-            }
-            None => 0,
+            // The engine owns the ring-count law (Poisson, like the
+            // paper's clocks), so serve and live cannot drift apart.
+            None => self
+                .engine
+                .sample_auto_rings(self.policy.rings_per_arrival, &mut self.rng),
         };
 
         let event = self
@@ -237,6 +246,7 @@ impl ServeCore {
             max_load: tracker.max_load(),
             summary: self.steady.clone().finish(self.engine.time()),
             counters: self.engine.counters(),
+            identity: self.identity.clone(),
         }
     }
 
@@ -270,11 +280,27 @@ impl ServeCore {
         self.steady = SteadyState::new(self.engine.time() + self.warmup);
         self.steady
             .on_start(self.engine.tracker(), self.engine.time());
+        // Re-derive the identity from the restored engine; the boot seed
+        // is kept for provenance (the RNG now comes from the snapshot).
+        self.identity = identity_of(&self.engine, self.identity.seed);
         Ok(RestoreReply {
             n: self.engine.config().n(),
             m: self.engine.config().m(),
             time: self.engine.time(),
         })
+    }
+}
+
+/// The boot identity of an engine driven from `seed`.
+fn identity_of(engine: &LiveEngine, seed: u64) -> BootIdentity {
+    BootIdentity {
+        seed,
+        n: engine.config().n(),
+        m0: engine.config().m(),
+        policy: engine.policy().to_string(),
+        topology: engine.topology().to_string(),
+        graph_seed: engine.graph_seed(),
+        snapshot_version: SNAPSHOT_VERSION,
     }
 }
 
@@ -438,6 +464,27 @@ mod tests {
             assert_eq!(ra, rb);
         }
         assert_eq!(a.engine().config(), b.engine().config());
+    }
+
+    #[test]
+    fn stats_echo_the_boot_identity() {
+        let mut c = core(9, no_rings());
+        let id = c.stats().identity;
+        assert_eq!(id.seed, 9);
+        assert_eq!((id.n, id.m0), (8, 64));
+        assert_eq!(id.policy, "rls");
+        assert_eq!(id.topology, "complete");
+        assert_eq!(id.snapshot_version, rls_live::SNAPSHOT_VERSION);
+
+        // A restore re-derives the identity from the restored engine but
+        // keeps the boot seed for provenance.
+        c.arrive(&ArriveRequest::default()).unwrap();
+        let snap = rls_live::Snapshot::from_json(&c.snapshot_json()).unwrap();
+        let mut other = core(1234, no_rings());
+        other.restore(&snap).unwrap();
+        let id = other.stats().identity;
+        assert_eq!(id.seed, 1234, "boot seed is provenance, not RNG state");
+        assert_eq!(id.m0, 65, "population at restore");
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod loadgen;
 pub mod server;
 
 pub use api::{
-    ArriveReply, ArriveRequest, DepartReply, DepartRequest, HealthReply, RestoreReply, RingReply,
-    RingRequest, StatsReply,
+    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply,
+    RestoreReply, RingReply, RingRequest, StatsReply,
 };
 pub use client::HttpClient;
 pub use core::{ServeCore, ServePolicy};

@@ -332,6 +332,10 @@ pub struct ReplayOutcome {
     pub final_loads: Vec<u64>,
     /// The load vector offline replay ends with.
     pub expected_loads: Vec<u64>,
+    /// The served engine's boot identity (from `GET /v1/stats`), echoed so
+    /// replay reports state which policy/topology the comparison ran
+    /// under.
+    pub identity: crate::api::BootIdentity,
 }
 
 impl ReplayOutcome {
@@ -353,7 +357,14 @@ pub fn core_from_log(log: &EventLog, seed: u64) -> Result<ServeCore, String> {
         arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
         service_rate: 0.0,
     };
-    let engine = LiveEngine::new(initial, params, log.header.rule).map_err(|e| e.to_string())?;
+    let engine = LiveEngine::with_policy(
+        initial,
+        params,
+        log.header.effective_policy(),
+        log.header.effective_topology(),
+        log.header.graph_seed.unwrap_or(0),
+    )
+    .map_err(|e| e.to_string())?;
     Ok(ServeCore::new(
         engine,
         seed,
@@ -404,6 +415,9 @@ pub fn replay_over_http(addr: SocketAddr, log: &EventLog) -> Result<ReplayOutcom
 
     let text = client.request_ok("GET", "/v1/snapshot", b"")?;
     let snapshot = Snapshot::from_json(&text).map_err(|e| format!("served snapshot: {e}"))?;
+    let text = client.request_ok("GET", "/v1/stats", b"")?;
+    let stats: crate::api::StatsReply =
+        serde_json::from_str(&text).map_err(|e| format!("served stats: {e}"))?;
     let loads_match = snapshot.loads == offline.final_loads;
     Ok(ReplayOutcome {
         events: log.events.len() as u64,
@@ -412,6 +426,7 @@ pub fn replay_over_http(addr: SocketAddr, log: &EventLog) -> Result<ReplayOutcom
         moved_match,
         final_loads: snapshot.loads,
         expected_loads: offline.final_loads,
+        identity: stats.identity,
     })
 }
 

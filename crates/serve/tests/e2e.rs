@@ -198,6 +198,9 @@ fn trace_replay_through_http_matches_offline_replay() {
             n: initial.n(),
             initial_loads: initial.loads().to_vec(),
             rule: RlsRule::paper(),
+            policy: None,
+            topology: None,
+            graph_seed: None,
             warmup: 0.0,
             description: "e2e trace".to_string(),
         },
@@ -301,4 +304,138 @@ fn oversized_payloads_get_a_413() {
     let text = String::from_utf8_lossy(&raw);
     assert!(text.starts_with("HTTP/1.1 413 Payload Too Large"), "{text}");
     server.shutdown();
+}
+
+/// A greedy-2 core on a 4×4 torus (the acceptance scenario of the
+/// policy/topology refactor).
+fn policy_core(seed: u64, rings_per_arrival: f64) -> ServeCore {
+    use rls_core::RebalancePolicy;
+    use rls_graph::Topology;
+
+    let initial = Config::uniform(16, 4).unwrap();
+    let params =
+        LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 64).unwrap();
+    let engine = LiveEngine::with_policy(
+        initial,
+        params,
+        RebalancePolicy::GreedyD { d: 2 },
+        Topology::Torus2D,
+        0xBEEF,
+    )
+    .unwrap();
+    ServeCore::new(engine, seed, 0.0, ServePolicy { rings_per_arrival })
+}
+
+#[test]
+fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
+    // `serve run --policy greedy-2 --topology torus`, end to end: the
+    // HTTP server and an offline core with the same seed must agree on
+    // every reply and the final stats digest — including the echoed boot
+    // identity.
+    let seed = 0xE22;
+    let server = boot(policy_core(seed, 2.0), 3);
+    let mut offline = policy_core(seed, 2.0);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    for i in 0..150u64 {
+        let req = ArriveRequest {
+            bin: (i % 4 == 0).then_some((i % 16) as usize),
+            rings: None,
+        };
+        let body = serde_json::to_string(&req).unwrap();
+        let over_http: ArriveReply = serde_json::from_str(
+            &client
+                .request_ok("POST", "/v1/arrive", body.as_bytes())
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(over_http, offline.arrive(&req).unwrap(), "arrival {i}");
+        if i % 3 == 0 {
+            let over_http: DepartReply =
+                serde_json::from_str(&client.request_ok("POST", "/v1/depart", b"").unwrap())
+                    .unwrap();
+            assert_eq!(
+                over_http,
+                offline.depart(&DepartRequest { bin: None }).unwrap(),
+                "departure {i}"
+            );
+        }
+    }
+
+    let over_http: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let expected = offline.stats();
+    assert_eq!(over_http, expected);
+    assert_eq!(over_http.identity.policy, "greedy-2");
+    assert_eq!(over_http.identity.topology, "torus");
+    assert_eq!(over_http.identity.seed, seed);
+    assert_eq!(over_http.identity.snapshot_version, 3);
+
+    // Pinned rings respect the torus adjacency over the wire: bins 0 and
+    // 5 are diagonal neighbours-of-neighbours, not adjacent.
+    let (status, body) = client
+        .request("POST", "/v1/ring", br#"{"source": 0, "dest": 5}"#)
+        .unwrap();
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+    // 0 and 1 share a torus edge.
+    let r: RingReply = serde_json::from_str(
+        &client
+            .request_ok("POST", "/v1/ring", br#"{"source": 0, "dest": 1}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!((r.source, r.dest), (0, 1));
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_v3_round_trips_across_policy_servers() {
+    // A snapshot taken from a greedy-2/torus server restores onto a
+    // second server (booted with a different seed and policy history) and
+    // both continue bit-identically: the snapshot carries policy,
+    // topology and graph seed.
+    let server = boot(policy_core(5, 1.0), 2);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..60 {
+        client.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
+    let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
+    assert_eq!(snapshot.version, 3);
+    assert_eq!(snapshot.topology.to_string(), "torus");
+
+    let other = boot(policy_core(999, 1.0), 2);
+    let mut other_client = HttpClient::connect(other.addr()).unwrap();
+    other_client
+        .request_ok("POST", "/v1/restore", snapshot_json.as_bytes())
+        .unwrap();
+
+    for i in 0..30 {
+        let a = client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        let b = other_client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        assert_eq!(a, b, "diverged at post-restore arrival {i}");
+    }
+    // The restored server's identity reflects the snapshot's engine.
+    let stats: StatsReply =
+        serde_json::from_str(&other_client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats.identity.policy, "greedy-2");
+    assert_eq!(stats.identity.topology, "torus");
+
+    // A v2-shaped snapshot is rejected with the migration error.
+    let v2 = br#"{"version": 2, "time": 0.0, "seq": 0, "loads": [1, 1],
+        "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.0},
+        "rule": {"variant": "Geq"},
+        "counters": {"arrivals": 0, "departures": 0, "rings": 0, "migrations": 0, "events": 0},
+        "rng_state": [1, 2, 3, 4]}"#;
+    let (status, body) = other_client.request("POST", "/v1/restore", v2).unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        String::from_utf8_lossy(&body).contains("legacy v2"),
+        "{}",
+        String::from_utf8_lossy(&body)
+    );
+
+    server.shutdown();
+    other.shutdown();
 }

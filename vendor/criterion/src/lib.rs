@@ -134,6 +134,41 @@ fn report(name: &str, b: &Bencher) {
         b.measured.len()
     );
     println!("{line}");
+    append_json_record(name, b);
+}
+
+/// Whether `RLS_BENCH_QUICK` asks benchmarks for a trimmed smoke run
+/// (set and neither empty nor `"0"`).  Lives here, beside the
+/// `RLS_BENCH_JSON` handling, so every bench target shares one reading of
+/// the flag instead of drifting copies.
+pub fn quick_mode() -> bool {
+    std::env::var("RLS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// When `RLS_BENCH_JSON` names a file, append one JSON-lines record per
+/// benchmark — `{"name": ..., "mean_ns": ..., "samples": ...}` — so CI can
+/// upload machine-readable results as an artifact without scraping stdout.
+fn append_json_record(name: &str, b: &Bencher) {
+    let Ok(path) = std::env::var("RLS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "{{\"name\": {:?}, \"mean_ns\": {}, \"samples\": {}}}\n",
+        name,
+        b.mean().as_nanos(),
+        b.measured.len()
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("RLS_BENCH_JSON: cannot append to {path}: {e}");
+    }
 }
 
 /// A group of benchmarks sharing configuration.
