@@ -21,6 +21,10 @@
 //! * [`phase2`] — the Lemma 15/16 potential-drop accounting.
 //! * [`fit`] — helpers for comparing measured scaling against predicted
 //!   shapes (ratio tables).
+//! * [`makespan`] — certified lower/upper bounds on the optimal maximum
+//!   normalized load of weighted balls on heterogeneous-speed bins, used
+//!   by the online heterogeneity experiments to report a *proved*
+//!   optimality gap.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -31,9 +35,11 @@ pub mod concentration;
 pub mod fit;
 pub mod harmonic;
 pub mod lower_bounds;
+pub mod makespan;
 pub mod phase1;
 pub mod phase2;
 
 pub use bounds::TheoremOneBound;
 pub use harmonic::harmonic;
 pub use lower_bounds::{lower_bound_all_in_one_bin, lower_bound_one_over_one_under};
+pub use makespan::{makespan_bound, makespan_bound_unit, MakespanBound};

@@ -1,0 +1,171 @@
+//! E23 — online heterogeneity: events/sec and certified optimality gap
+//! for {unit, pareto-weights} × {uniform, 2-speed-class} ×
+//! {rls, greedy-2, threshold-avg} under identical Poisson churn on the
+//! complete graph.
+//!
+//! Two questions, one grid:
+//!
+//! * **cost** — what does weight/speed awareness do to raw event
+//!   throughput?  The unit-weight uniform-speed rows run the classic
+//!   engine (no per-ball state) and anchor against E22; the weighted rows
+//!   add per-ball weight storage and the rate-mass Fenwick, the 2-class
+//!   rows re-weight the departure/ring clocks.
+//! * **quality** — how far from provably optimal does each policy park
+//!   the system?  The table after the timing rows reports the largest
+//!   normalized load `max_i W_i/s_i` next to the *certified* gap
+//!   `max_i W_i/s_i − LB(Q‖C_max)`, where the lower bound comes from
+//!   `rls-analysis::makespan_bound` on the engine's exact multiset of
+//!   ball weights — an optimality certificate, not a heuristic baseline.
+//!
+//! `RLS_BENCH_QUICK=1` trims the grid to a smoke run (seconds): the CI
+//! quick-bench job uses it and uploads the JSON-lines records emitted via
+//! `RLS_BENCH_JSON` (see `vendor/criterion`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rls_core::{Config, RebalancePolicy};
+use rls_graph::Topology;
+use rls_live::{LiveEngine, LiveParams, SteadyState};
+use rls_rng::rng_from_seed;
+use rls_workloads::{ArrivalProcess, SpeedProfile, WeightDist};
+
+use criterion::quick_mode as quick;
+
+/// (n, per-bin load, simulated horizon).
+fn shape() -> (usize, u64, f64) {
+    if quick() {
+        (256, 16, 0.5)
+    } else {
+        (4096, 64, 2.0)
+    }
+}
+
+fn policies() -> Vec<(&'static str, RebalancePolicy)> {
+    vec![
+        ("rls", RebalancePolicy::rls()),
+        ("greedy-2", RebalancePolicy::GreedyD { d: 2 }),
+        ("threshold-avg", RebalancePolicy::ThresholdAvg),
+    ]
+}
+
+fn weight_axes() -> Vec<(&'static str, WeightDist)> {
+    vec![
+        ("unit", WeightDist::Unit),
+        (
+            "pareto",
+            WeightDist::Pareto {
+                alpha: 1.5,
+                cap: 64,
+            },
+        ),
+    ]
+}
+
+fn speed_axes() -> Vec<(&'static str, SpeedProfile)> {
+    vec![
+        ("uniform", SpeedProfile::Uniform),
+        (
+            "2class",
+            SpeedProfile::TwoClass {
+                speed: 4,
+                fraction: 0.25,
+            },
+        ),
+    ]
+}
+
+fn engine(policy: RebalancePolicy, dist: WeightDist, profile: SpeedProfile) -> LiveEngine {
+    let (n, per_bin, _) = shape();
+    let m = n as u64 * per_bin;
+    let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 4.0 }, n, m)
+        .expect("bench parameters are valid");
+    let initial = Config::uniform(n, per_bin).expect("bench instance is valid");
+    if dist.is_unit() && profile.is_uniform() {
+        // The classic shape runs the classic constructor: the unit rows
+        // measure the pre-heterogeneity hot path, not a degenerate
+        // weighted one.
+        LiveEngine::with_policy(initial, params, policy, Topology::Complete, 0xE23)
+    } else {
+        LiveEngine::with_hetero(
+            initial,
+            params,
+            policy,
+            Topology::Complete,
+            0xE23,
+            dist,
+            profile.speeds(n),
+            &mut rng_from_seed(0xE23),
+        )
+    }
+    .expect("valid engine")
+}
+
+/// Largest normalized load and its certified distance from the `Q‖C_max`
+/// lower bound on the engine's exact ball-weight multiset.
+fn certified(engine: &LiveEngine) -> (f64, f64) {
+    let n = engine.config().n();
+    let speeds: Vec<u64> = (0..n).map(|b| engine.speed(b)).collect();
+    let norm_max = (0..n)
+        .map(|b| engine.normalized_load(b))
+        .fold(0.0f64, f64::max);
+    let bound = if engine.stores_ball_weights() {
+        let weights: Vec<u64> = (0..n)
+            .flat_map(|b| engine.ball_weights(b).expect("weighted engine").iter())
+            .copied()
+            .collect();
+        rls_analysis::makespan_bound(&weights, &speeds)
+    } else {
+        rls_analysis::makespan_bound_unit(engine.config().m(), &speeds)
+    };
+    (norm_max, (norm_max - bound.lower).max(0.0))
+}
+
+fn hetero_grid(c: &mut Criterion) {
+    let (n, per_bin, horizon) = shape();
+    let mut group = c.benchmark_group("hetero");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    // Timing rows: wall time per fixed simulated horizon = events/sec up
+    // to the (printed) event count.
+    let mut gaps: Vec<(String, f64, f64, u64)> = Vec::new();
+    for (wname, dist) in weight_axes() {
+        for (sname, profile) in speed_axes() {
+            for (pname, policy) in policies() {
+                group.bench_function(
+                    format!("{pname}_{wname}_{sname}_n{n}_m{}", n as u64 * per_bin),
+                    |b| {
+                        let mut seed = 0u64;
+                        b.iter(|| {
+                            seed += 1;
+                            let mut eng = engine(policy, dist, profile);
+                            eng.run_until(horizon, &mut rng_from_seed(seed), &mut ());
+                            eng.counters().events
+                        });
+                    },
+                );
+                // Quality, measured once per cell outside the timed loop
+                // (same seed across cells → identical churn law).
+                let mut eng = engine(policy, dist, profile);
+                let mut steady = SteadyState::new(horizon * 0.25);
+                eng.run_until(horizon, &mut rng_from_seed(7), &mut steady);
+                let (norm_max, gap) = certified(&eng);
+                gaps.push((
+                    format!("{pname}, {wname} weights, {sname} speeds"),
+                    norm_max,
+                    gap,
+                    eng.counters().events,
+                ));
+            }
+        }
+    }
+    group.finish();
+
+    println!("\nE23 certified optimality gap (same churn in every cell):");
+    for (cell, norm_max, gap, events) in &gaps {
+        println!(
+            "  {cell:<44} max W/s {norm_max:>9.3}   certified gap {gap:>8.3}   ({events} events)"
+        );
+    }
+}
+
+criterion_group!(e23, hetero_grid);
+criterion_main!(e23);

@@ -179,9 +179,26 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
             .0
             .generate(cell.n, cell.m, &mut wl_rng)
             .map_err(|e| CampaignError::spec(format!("cell workload: {e}")))?;
-        let mut engine =
+        // Weighted/speed-aware cells use the heterogeneous constructor
+        // (initial ball weights come from the workload stream, leaving the
+        // dynamics stream identical to the unit cell's); the classic shape
+        // keeps the plain constructor so unit cells stay bit-identical to
+        // earlier engine versions.
+        let mut engine = if dynamic.is_hetero() {
+            LiveEngine::with_hetero(
+                initial,
+                params,
+                policy,
+                cell.topology.0,
+                graph_seed,
+                dynamic.weight_dist(),
+                dynamic.speed_profile().speeds(cell.n),
+                &mut wl_rng,
+            )
+        } else {
             LiveEngine::with_policy(initial, params, policy, cell.topology.0, graph_seed)
-                .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
+        }
+        .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
         let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
         let mut steady = SteadyState::new(dynamic.warmup);
         engine.run_until(horizon, &mut run_rng, &mut steady);
@@ -569,6 +586,8 @@ mod tests {
             arrival: "poisson:2".parse().unwrap(),
             warmup: 2.0,
             window: 8.0,
+            weights: None,
+            speeds: None,
         });
         cell
     }
@@ -592,6 +611,34 @@ mod tests {
         assert!(r1.activations.mean > 0.0);
         let r3 = run_cell(&cell, 78).unwrap();
         assert_ne!(r1.costs, r3.costs);
+    }
+
+    #[test]
+    fn weighted_dynamic_cells_run_and_have_their_own_identity() {
+        use crate::spec::{SpeedSpec, WeightSpec};
+        use rls_workloads::{SpeedProfile, WeightDist};
+
+        let mut cell = dynamic_cell();
+        let dynamic = cell.dynamic.as_mut().unwrap();
+        dynamic.weights = Some(WeightSpec(WeightDist::UniformInt { lo: 1, hi: 8 }));
+        dynamic.speeds = Some(SpeedSpec(SpeedProfile::TwoClass {
+            speed: 4,
+            fraction: 0.25,
+        }));
+        let r1 = run_cell(&cell, 77).unwrap();
+        let r2 = run_cell(&cell, 77).unwrap();
+        assert_eq!(r1, r2, "weighted dynamic cells must be deterministic");
+        assert_eq!(r1.unit, "gap");
+        assert!(r1.dynamic.is_some());
+        assert!(r1.activations.mean > 0.0);
+
+        // The weighted cell is a different cache identity than the unit
+        // cell, and a bad weight law surfaces as a spec error.
+        assert_ne!(cell_seed(7, &cell), cell_seed(7, &dynamic_cell()));
+        let mut bad = cell.clone();
+        bad.dynamic.as_mut().unwrap().weights =
+            Some(WeightSpec(WeightDist::UniformInt { lo: 0, hi: 8 }));
+        assert!(run_cell(&bad, 1).is_err());
     }
 
     #[test]

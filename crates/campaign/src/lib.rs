@@ -55,8 +55,8 @@ pub mod toml;
 pub use cell::{cell_seed, run_cell, CellResult, DynamicAggregate};
 pub use engine::{Campaign, CampaignReport, CampaignStatus, CellOutcome};
 pub use spec::{
-    ArrivalSpec, CampaignSpec, CellSpec, DynamicSpec, Grid, HitSpec, MExpr, ProtocolSpec, StopSpec,
-    TopologySpec, WorkloadSpec,
+    ArrivalSpec, CampaignSpec, CellSpec, DynamicSpec, Grid, HitSpec, MExpr, ProtocolSpec,
+    SpeedSpec, StopSpec, TopologySpec, WeightSpec, WorkloadSpec,
 };
 pub use store::{cell_key, CellRecord, DiskStore, MemoryStore, Store, ENGINE_VERSION};
 

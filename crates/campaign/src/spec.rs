@@ -15,7 +15,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use rls_graph::Topology;
-use rls_workloads::{ArrivalProcess, Workload};
+use rls_workloads::{ArrivalProcess, SpeedProfile, WeightDist, Workload};
 use serde::{de, Deserialize, Serialize, Value};
 
 use crate::CampaignError;
@@ -556,6 +556,79 @@ impl Deserialize for ArrivalSpec {
     }
 }
 
+/// A ball-weight law named in a campaign spec (string form of
+/// [`rls_workloads::WeightDist`]): `"unit"`, `"uniform:1:8"`,
+/// `"pareto:1.5:64"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightSpec(pub WeightDist);
+
+impl fmt::Display for WeightSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for WeightSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        s.parse()
+            .map(WeightSpec)
+            .map_err(|e| CampaignError::spec(format!("weight distribution `{s}`: {e}")))
+    }
+}
+
+impl Serialize for WeightSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for WeightSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("weight-distribution string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
+/// A bin-speed profile named in a campaign spec (string form of
+/// [`rls_workloads::SpeedProfile`]): `"uniform"`, `"two-class:4:0.25"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedSpec(pub SpeedProfile);
+
+impl fmt::Display for SpeedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for SpeedSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        s.parse()
+            .map(SpeedSpec)
+            .map_err(|e| CampaignError::spec(format!("speed profile `{s}`: {e}")))
+    }
+}
+
+impl Serialize for SpeedSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for SpeedSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("speed-profile string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
 /// Marks a campaign as *dynamic*: instead of running each cell to a balance
 /// condition, every cell becomes an online instance whose target load is
 /// `ρ = m/n` (the per-ball departure rate is derived as `μ = λ/m`, the
@@ -569,10 +642,14 @@ pub struct DynamicSpec {
     pub warmup: f64,
     /// Length of the measurement window.
     pub window: f64,
+    /// Ball-weight law (`None` = unit weights, the classic engine).
+    pub weights: Option<WeightSpec>,
+    /// Bin-speed profile (`None` = uniform speeds).
+    pub speeds: Option<SpeedSpec>,
 }
 
 impl DynamicSpec {
-    /// Validate the window parameters.
+    /// Validate the window and heterogeneity parameters.
     pub fn validate(&self) -> Result<(), CampaignError> {
         if !(self.warmup.is_finite() && self.warmup >= 0.0) {
             return Err(CampaignError::spec("dynamic warmup must be ≥ 0"));
@@ -580,7 +657,31 @@ impl DynamicSpec {
         if !(self.window.is_finite() && self.window > 0.0) {
             return Err(CampaignError::spec("dynamic window must be positive"));
         }
+        if let Some(w) = &self.weights {
+            w.0.validate()
+                .map_err(|e| CampaignError::spec(format!("dynamic weights: {e}")))?;
+        }
+        if let Some(s) = &self.speeds {
+            s.0.validate()
+                .map_err(|e| CampaignError::spec(format!("dynamic speeds: {e}")))?;
+        }
         Ok(())
+    }
+
+    /// The resolved weight law (`unit` when the axis is absent).
+    pub fn weight_dist(&self) -> WeightDist {
+        self.weights.map(|w| w.0).unwrap_or(WeightDist::Unit)
+    }
+
+    /// The resolved speed profile (`uniform` when the axis is absent).
+    pub fn speed_profile(&self) -> SpeedProfile {
+        self.speeds.map(|s| s.0).unwrap_or(SpeedProfile::Uniform)
+    }
+
+    /// Whether the cell departs from the classic unit-weight,
+    /// uniform-speed engine.
+    pub fn is_hetero(&self) -> bool {
+        !self.weight_dist().is_unit() || !self.speed_profile().is_uniform()
     }
 }
 
@@ -879,6 +980,8 @@ mod tests {
             arrival: "bursts:2:16".parse().unwrap(),
             warmup: 5.0,
             window: 20.0,
+            weights: None,
+            speeds: None,
         });
         let json = serde_json::to_string(&dynamic).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
@@ -911,21 +1014,27 @@ mod tests {
         assert!(DynamicSpec {
             arrival,
             warmup: 0.0,
-            window: 1.0
+            window: 1.0,
+            weights: None,
+            speeds: None,
         }
         .validate()
         .is_ok());
         assert!(DynamicSpec {
             arrival,
             warmup: -1.0,
-            window: 1.0
+            window: 1.0,
+            weights: None,
+            speeds: None,
         }
         .validate()
         .is_err());
         assert!(DynamicSpec {
             arrival,
             warmup: 0.0,
-            window: 0.0
+            window: 0.0,
+            weights: None,
+            speeds: None,
         }
         .validate()
         .is_err());
@@ -937,6 +1046,8 @@ mod tests {
             arrival,
             warmup: 0.0,
             window: -2.0,
+            weights: None,
+            speeds: None,
         });
         assert!(spec.cells().is_err());
     }

@@ -34,8 +34,11 @@ use crate::CampaignError;
 /// seed, so every cached trial is stale; 4 = dynamic cells run the live
 /// engine over the cell's `(protocol, topology)` pair (previously
 /// hard-wired to RLS on the complete graph) and derive a per-cell graph
-/// seed from the graph stream, which changes dynamic trajectories.
-pub const ENGINE_VERSION: u32 = 4;
+/// seed from the graph stream, which changes dynamic trajectories; 5 =
+/// dynamic cells gained the heterogeneity axis (`weights`/`speeds` in
+/// `[dynamic]`), which extends `DynamicSpec` and with it every dynamic
+/// cell's canonical identity.
+pub const ENGINE_VERSION: u32 = 5;
 
 /// The content address of a cell: hex SHA-256 of its identity.
 pub fn cell_key(campaign_seed: u64, cell: &CellSpec) -> String {

@@ -7,10 +7,11 @@ use proptest::{Strategy, TestRng};
 use rls_campaign::export;
 use rls_campaign::{
     spec_from_str, spec_to_toml_string, ArrivalSpec, Campaign, CampaignSpec, DynamicSpec, Grid,
-    HitSpec, MExpr, MemoryStore, ProtocolSpec, StopSpec, TopologySpec, WorkloadSpec,
+    HitSpec, MExpr, MemoryStore, ProtocolSpec, SpeedSpec, StopSpec, TopologySpec, WeightSpec,
+    WorkloadSpec,
 };
 use rls_graph::Topology;
-use rls_workloads::{ArrivalProcess, Workload};
+use rls_workloads::{ArrivalProcess, SpeedProfile, WeightDist, Workload};
 
 /// A float that exercises the printer without being pathological: a dyadic
 /// rational in `(0, 32]` (exactly representable, round-trips through any
@@ -94,6 +95,34 @@ fn hit(rng: &mut TestRng) -> HitSpec {
     }
 }
 
+fn weight(rng: &mut TestRng) -> WeightSpec {
+    WeightSpec(match rng.below(3) {
+        0 => WeightDist::Unit,
+        1 => {
+            let lo = 1 + rng.below(8);
+            WeightDist::UniformInt {
+                lo,
+                hi: lo + rng.below(64),
+            }
+        }
+        _ => WeightDist::Pareto {
+            alpha: (17 + rng.below(47)) as f64 / 16.0,
+            cap: 2 + rng.below(1022),
+        },
+    })
+}
+
+fn speed(rng: &mut TestRng) -> SpeedSpec {
+    SpeedSpec(if rng.below(2) == 0 {
+        SpeedProfile::Uniform
+    } else {
+        SpeedProfile::TwoClass {
+            speed: 2 + rng.below(14),
+            fraction: (1 + rng.below(15)) as f64 / 16.0,
+        }
+    })
+}
+
 fn arrival(rng: &mut TestRng) -> ArrivalSpec {
     ArrivalSpec(match rng.below(3) {
         0 => ArrivalProcess::Poisson {
@@ -153,6 +182,8 @@ impl Strategy for SpecStrategy {
                 arrival: arrival(rng),
                 warmup: rng.below(64) as f64 / 4.0,
                 window: dyadic(rng),
+                weights: (rng.below(2) == 0).then(|| weight(rng)),
+                speeds: (rng.below(2) == 0).then(|| speed(rng)),
             }),
         }
     }

@@ -35,6 +35,7 @@ usage: rls-experiments [--scale quick|full] [--seed N] [--list] [e1 e2 ... | all
                                     [--arrival A] [--service MU] [--policy P]
                                     [--topology T] [--seed S] [--warmup T]
                                     [--rebalance R] [--workers K] [--for SECONDS]
+                                    [--weights DIST] [--speeds PROFILE]
        rls-experiments serve bench  [--addr HOST:PORT] [--connections C]
                                     [--duration SECONDS] [--requests N] [--rps TARGET]
                                     [--depart-frac F] [server flags as for `serve run`]

@@ -6,6 +6,7 @@
 //!                              [--arrival A] [--service MU] [--policy P]
 //!                              [--topology T] [--seed S] [--warmup T]
 //!                              [--rebalance R] [--workers K] [--for SECONDS]
+//!                              [--weights DIST] [--speeds PROFILE]
 //! rls-experiments serve bench  [--addr HOST:PORT | server flags as for run]
 //!                              [--connections C] [--duration SECONDS] [--requests N]
 //!                              [--rps TARGET] [--depart-frac F]
@@ -31,7 +32,7 @@ use rls_serve::{
     core_from_log, drive, replay_over_http, serve, BenchOptions, BenchReport, DriveMode,
     HttpServer, ServeCore, ServePolicy, ServerConfig,
 };
-use rls_workloads::Workload;
+use rls_workloads::{SpeedProfile, WeightDist, Workload};
 
 /// A parsed `serve ...` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +84,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Exit after this many wall-clock seconds (`None` = serve forever).
     pub for_seconds: Option<f64>,
+    /// Ball-weight law (`unit` = the classic engine).
+    pub weights: WeightDist,
+    /// Bin-speed profile (`uniform` = the classic engine).
+    pub speeds: SpeedProfile,
 }
 
 impl Default for ServeArgs {
@@ -101,6 +106,8 @@ impl Default for ServeArgs {
             rebalance: None,
             workers: 4,
             for_seconds: None,
+            weights: WeightDist::Unit,
+            speeds: SpeedProfile::Uniform,
         }
     }
 }
@@ -185,6 +192,8 @@ fn parse_server_flag(
         "--rebalance" => args.rebalance = Some(parse_num(&value("a mean")?, "--rebalance")?),
         "--workers" => args.workers = parse_num(&value("a thread count")?, "--workers")?,
         "--for" => args.for_seconds = Some(parse_num(&value("seconds")?, "--for")?),
+        "--weights" => args.weights = value("a weight distribution")?.parse().map_err(str_of)?,
+        "--speeds" => args.speeds = value("a speed profile")?.parse().map_err(str_of)?,
         _ => return Ok(false),
     }
     Ok(true)
@@ -324,13 +333,28 @@ fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
         .0
         .generate(args.n, args.m, &mut rng_from_seed(args.seed ^ 0x1717))
         .map_err(str_of)?;
-    let engine = LiveEngine::with_policy(
-        initial,
-        params,
-        args.policy,
-        args.topology,
-        args.seed ^ 0x6AF1,
-    )
+    // The classic (unit-weight, uniform-speed) shape uses the plain
+    // constructor so default runs stay bit-identical to earlier releases.
+    let engine = if args.weights.is_unit() && args.speeds.is_uniform() {
+        LiveEngine::with_policy(
+            initial,
+            params,
+            args.policy,
+            args.topology,
+            args.seed ^ 0x6AF1,
+        )
+    } else {
+        LiveEngine::with_hetero(
+            initial,
+            params,
+            args.policy,
+            args.topology,
+            args.seed ^ 0x6AF1,
+            args.weights,
+            args.speeds.speeds(args.n),
+            &mut rng_from_seed(args.seed ^ 0x4E16),
+        )
+    }
     .map_err(str_of)?;
     // Default rebalance intensity: the paper's regime has rings at rate m
     // against arrivals at rate λ, i.e. m/λ rings per arrival.
@@ -367,7 +391,8 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
     let (server, rings) = boot(args)?;
     let mut out = format!(
         "rls-serve listening on http://{}\n  n = {}, m = {}, arrival {}, seed {}, \
-         policy {}, topology {}, auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
+         policy {}, topology {}, weights {}, speeds {}, \
+         auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
          POST /v1/arrive · POST /v1/depart[/{{bin}}] · POST /v1/ring · GET /v1/stats · \
          GET /v1/snapshot · POST /v1/restore · GET /healthz\n",
         server.addr(),
@@ -377,6 +402,8 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
         args.seed,
         args.policy,
         args.topology,
+        args.weights,
+        args.speeds,
         args.workers,
     );
     match args.for_seconds {
@@ -636,6 +663,32 @@ mod tests {
         assert_eq!(args.policy, RebalancePolicy::GreedyD { d: 2 });
         assert_eq!(args.topology, Topology::Torus2D);
 
+        let cmd = parse_serve_args(&strings(&[
+            "run",
+            "--weights",
+            "pareto:1.5:64",
+            "--speeds",
+            "two-class:4:0.25",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            args.weights,
+            WeightDist::Pareto {
+                alpha: 1.5,
+                cap: 64
+            }
+        );
+        assert_eq!(
+            args.speeds,
+            SpeedProfile::TwoClass {
+                speed: 4,
+                fraction: 0.25
+            }
+        );
+
         for bad in [
             &[][..],
             &["frobnicate"],
@@ -644,6 +697,8 @@ mod tests {
             &["run", "--for", "-1"],
             &["run", "--policy", "nope"],
             &["run", "--topology", "klein-bottle"],
+            &["run", "--weights", "pareto:0"],
+            &["run", "--speeds", "two-class"],
             &["bench", "--connections", "0"],
             &["bench", "--duration", "-2"],
             &["bench", "--depart-frac", "1.5"],
@@ -660,6 +715,24 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             n: 8,
             m: 64,
+            for_seconds: Some(0.05),
+            ..ServeArgs::default()
+        };
+        let out = execute_serve(&ServeCommand::Run(Box::new(args))).unwrap();
+        assert!(out.contains("served for"), "{out}");
+    }
+
+    #[test]
+    fn run_boots_a_weighted_server() {
+        let args = ServeArgs {
+            addr: "127.0.0.1:0".to_string(),
+            n: 8,
+            m: 64,
+            weights: WeightDist::UniformInt { lo: 1, hi: 8 },
+            speeds: SpeedProfile::TwoClass {
+                speed: 4,
+                fraction: 0.25,
+            },
             for_seconds: Some(0.05),
             ..ServeArgs::default()
         };

@@ -154,14 +154,7 @@ impl LoadIndex {
     /// Panics if `bin` is out of range or the total would overflow.
     #[inline]
     pub fn increment(&mut self, bin: usize) {
-        assert!(bin < self.n(), "bin {bin} outside 0..{}", self.n());
-        self.total = self.total.checked_add(1).expect("total load fits in u64");
-        let n = self.n();
-        let mut i = bin + 1;
-        while i <= n {
-            self.tree[i] += 1;
-            i += lowbit(i);
-        }
+        self.add(bin, 1);
     }
 
     /// Remove one ball from `bin`.
@@ -172,13 +165,52 @@ impl LoadIndex {
     /// like the [`LoadTracker`](crate::LoadTracker) contract).
     #[inline]
     pub fn decrement(&mut self, bin: usize) {
+        self.sub(bin, 1);
+    }
+
+    /// Add an arbitrary mass `delta` to `bin` — the weighted generalization
+    /// of [`increment`](Self::increment).  The index is value-agnostic:
+    /// over ball counts a delta is `1`, over ball *weights* it is the
+    /// weight of the arriving ball, and over rate mass it is the bin's
+    /// speed (per ball gaining a clock).
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range or the total would overflow.
+    #[inline]
+    pub fn add(&mut self, bin: usize, delta: u64) {
         assert!(bin < self.n(), "bin {bin} outside 0..{}", self.n());
-        debug_assert!(self.load(bin) > 0, "cannot remove a ball from an empty bin");
-        self.total -= 1;
+        self.total = self
+            .total
+            .checked_add(delta)
+            .expect("total load fits in u64");
         let n = self.n();
         let mut i = bin + 1;
         while i <= n {
-            self.tree[i] -= 1;
+            self.tree[i] += delta;
+            i += lowbit(i);
+        }
+    }
+
+    /// Remove an arbitrary mass `delta` from `bin` — the weighted
+    /// generalization of [`decrement`](Self::decrement).
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range; panics in debug builds if the bin
+    /// holds less than `delta` (release builds would silently corrupt the
+    /// tree, exactly like the [`LoadTracker`](crate::LoadTracker)
+    /// contract).
+    #[inline]
+    pub fn sub(&mut self, bin: usize, delta: u64) {
+        assert!(bin < self.n(), "bin {bin} outside 0..{}", self.n());
+        debug_assert!(
+            self.load(bin) >= delta,
+            "cannot remove a ball from an empty bin"
+        );
+        self.total -= delta;
+        let n = self.n();
+        let mut i = bin + 1;
+        while i <= n {
+            self.tree[i] -= delta;
             i += lowbit(i);
         }
     }
@@ -338,6 +370,39 @@ mod tests {
         for rank in (0..idx.total()).step_by(17) {
             assert_eq!(idx.bin_at(rank), cumulative_bin(cfg.loads(), rank));
         }
+    }
+
+    #[test]
+    fn weighted_deltas_generalize_the_unit_updates() {
+        // A weight-mass index: bins carry arbitrary mass, not ball counts.
+        let mut idx = LoadIndex::from_loads(&[10, 0, 3]);
+        idx.add(1, 7);
+        assert_eq!(idx.load(1), 7);
+        assert_eq!(idx.total(), 20);
+        idx.sub(0, 4);
+        assert_eq!(idx.load(0), 6);
+        assert_eq!(idx.total(), 16);
+        // Rank descent walks the weighted mass exactly like ball counts.
+        assert_eq!(idx.bin_at(5), 0);
+        assert_eq!(idx.bin_at(6), 1);
+        assert_eq!(idx.bin_at(12), 1);
+        assert_eq!(idx.bin_at(13), 2);
+        // Delta-1 is exactly the unit path.
+        let mut unit = LoadIndex::from_loads(&[2, 2]);
+        let mut delta = unit.clone();
+        unit.increment(0);
+        delta.add(0, 1);
+        assert_eq!(unit, delta);
+        unit.decrement(1);
+        delta.sub(1, 1);
+        assert_eq!(unit, delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn sub_past_the_bin_mass_panics_in_debug() {
+        let mut idx = LoadIndex::from_loads(&[3, 1]);
+        idx.sub(0, 4);
     }
 
     #[test]

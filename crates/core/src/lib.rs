@@ -50,7 +50,7 @@ pub use error::{ConfigError, MoveError};
 pub use index::LoadIndex;
 pub use majorization::{is_close, majorizes, sorted_desc};
 pub use moves::{Move, MoveClass};
-pub use policy::{RebalancePolicy, RingContext, RingDecision};
+pub use policy::{BinState, HeteroRingContext, RebalancePolicy, RingContext, RingDecision};
 pub use potential::{phase2_potential, Phase2Snapshot};
 pub use rls::{RlsRule, RlsVariant};
 pub use tracker::LoadTracker;

@@ -60,6 +60,53 @@ pub struct RingDecision {
     pub moved: bool,
 }
 
+/// A bin's heterogeneous state: its total ball weight and its speed.
+///
+/// Unit instances are the special case `weight = load, speed = 1`; the
+/// weighted pair rules below reduce *exactly* to the unit rules there, so
+/// the heterogeneous decision path is a strict generalization of
+/// [`RebalancePolicy::permits_loads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinState {
+    /// Total weight of the balls in the bin.
+    pub weight: u64,
+    /// Processing speed of the bin (`≥ 1`; unit instances use `1`).
+    pub speed: u64,
+}
+
+impl BinState {
+    /// The unit-instance state of a bin holding `load` balls.
+    #[inline]
+    pub fn unit(load: u64) -> Self {
+        Self {
+            weight: load,
+            speed: 1,
+        }
+    }
+
+    /// Exact comparison of normalized loads: is `self.weight / self.speed`
+    /// strictly below `other.weight / other.speed`?  Evaluated by `u128`
+    /// cross-multiplication, so no rounding can reorder two bins.
+    #[inline]
+    pub fn normalized_lt(&self, other: &BinState) -> bool {
+        (self.weight as u128) * (other.speed as u128)
+            < (other.weight as u128) * (self.speed as u128)
+    }
+}
+
+/// The global quantities a *weighted* ring decision may consult — the
+/// heterogeneous counterpart of [`RingContext`] (the average-threshold
+/// policy compares normalized load against `⌈W · s_i / S⌉`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeteroRingContext {
+    /// Number of bins.
+    pub n: usize,
+    /// Total ball weight `W = Σ W_i`.
+    pub total_weight: u64,
+    /// Total bin speed `S = Σ s_i` (`≥ n` since every speed is `≥ 1`).
+    pub total_speed: u64,
+}
+
 /// A rebalance decision rule, applied once per ring.
 ///
 /// ```
@@ -153,6 +200,105 @@ impl RebalancePolicy {
             RebalancePolicy::ThresholdFixed { threshold } => source_load > *threshold,
             RebalancePolicy::ThresholdAvg => source_load > ctx.m.div_ceil(ctx.n as u64),
             RebalancePolicy::CrsPair => source_load > dest_load + 1,
+        }
+    }
+
+    /// The weighted pair rule: would this policy move a ball of weight
+    /// `ball` from a source in state `source` to a destination in state
+    /// `dest`?
+    ///
+    /// Every rule compares *normalized* loads (`weight / speed`) exactly,
+    /// via `u128` cross-multiplication:
+    ///
+    /// * RLS `≥` and greedy-`d` move iff the destination would not end up
+    ///   strictly above the source: `(W_dst + w)·s_src ≤ W_src·s_dst`;
+    /// * RLS strict and CRS pair move iff the destination stays strictly
+    ///   below even after receiving the ball;
+    /// * fixed threshold moves iff the source's normalized load exceeds
+    ///   `T`: `W_src > T·s_src`;
+    /// * average threshold moves iff `W_src > ⌈W·s_src / S⌉` — the
+    ///   speed-scaled share of the total weight.
+    ///
+    /// On unit instances (`weight = load`, `speed = 1`, `ball = 1`) each
+    /// rule is *identical* to [`permits_loads`](Self::permits_loads), which
+    /// the cross-validation suite in `rls-live` pins bit-for-bit.
+    #[inline]
+    pub fn permits_weighted(
+        &self,
+        ctx: HeteroRingContext,
+        source: BinState,
+        dest: BinState,
+        ball: u64,
+    ) -> bool {
+        let landed = (dest.weight as u128 + ball as u128) * source.speed as u128;
+        let src = (source.weight as u128) * (dest.speed as u128);
+        match self {
+            RebalancePolicy::Rls {
+                variant: RlsVariant::Geq,
+            }
+            | RebalancePolicy::GreedyD { .. } => landed <= src,
+            RebalancePolicy::Rls {
+                variant: RlsVariant::Strict,
+            }
+            | RebalancePolicy::CrsPair => landed < src,
+            RebalancePolicy::ThresholdFixed { threshold } => {
+                source.weight as u128 > (*threshold as u128) * (source.speed as u128)
+            }
+            RebalancePolicy::ThresholdAvg => {
+                let share = ((ctx.total_weight as u128) * (source.speed as u128))
+                    .div_ceil(ctx.total_speed.max(1) as u128);
+                source.weight as u128 > share
+            }
+        }
+    }
+
+    /// Execute one *weighted* ring decision — the heterogeneous
+    /// counterpart of [`decide`](Self::decide).  The candidate set is
+    /// drawn through `sample_dest` exactly as in the unit path (same
+    /// number of draws, so the random stream stays aligned), the
+    /// least-*normalized* candidate wins (first draw wins exact ties,
+    /// compared by `u128` cross-multiplication), and the weighted pair
+    /// rule decides the migration of a ball of weight `ball`.
+    ///
+    /// `state_of` answers the [`BinState`] of a candidate bin (candidates
+    /// equal to `source` are priced at `source_state` without a lookup —
+    /// and never move, exactly like the unit path's self-loop rings).
+    pub fn decide_weighted<S, F>(
+        &self,
+        ctx: HeteroRingContext,
+        source: usize,
+        source_state: BinState,
+        ball: u64,
+        mut sample_dest: S,
+        state_of: F,
+    ) -> RingDecision
+    where
+        S: FnMut() -> Option<usize>,
+        F: Fn(usize) -> BinState,
+    {
+        let mut best: Option<(usize, BinState)> = None;
+        for _ in 0..self.choices() {
+            let Some(cand) = sample_dest() else {
+                continue;
+            };
+            let state = if cand == source {
+                source_state
+            } else {
+                state_of(cand)
+            };
+            if best.is_none_or(|(_, b)| state.normalized_lt(&b)) {
+                best = Some((cand, state));
+            }
+        }
+        let Some((dest, dest_state)) = best else {
+            return RingDecision {
+                dest: None,
+                moved: false,
+            };
+        };
+        RingDecision {
+            dest: Some(dest),
+            moved: dest != source && self.permits_weighted(ctx, source_state, dest_state, ball),
         }
     }
 
@@ -399,6 +545,152 @@ mod tests {
             RebalancePolicy::GreedyD { d: 2 }
                 .decide(c, 0, loads[0], scripted(&[1, 2]), |b| loads[b]);
         assert_eq!(decision.dest, Some(1), "ties keep the first candidate");
+        assert!(decision.moved);
+    }
+
+    fn all_policies() -> [RebalancePolicy; 7] {
+        [
+            RebalancePolicy::rls(),
+            RebalancePolicy::Rls {
+                variant: RlsVariant::Strict,
+            },
+            RebalancePolicy::GreedyD { d: 1 },
+            RebalancePolicy::GreedyD { d: 3 },
+            RebalancePolicy::ThresholdFixed { threshold: 4 },
+            RebalancePolicy::ThresholdAvg,
+            RebalancePolicy::CrsPair,
+        ]
+    }
+
+    #[test]
+    fn weighted_rules_reduce_to_unit_rules() {
+        // On unit instances (weight = load, speed = 1, ball = 1) the
+        // weighted pair rule must agree with permits_loads for every
+        // policy and every load pair — the invariant the live differential
+        // suite pins end to end.
+        for policy in all_policies() {
+            for n in [2usize, 5] {
+                for src in 0..10u64 {
+                    for dst in 0..10u64 {
+                        let m = src + dst + 6;
+                        let unit = policy.permits_loads(ctx(n, m), src, dst);
+                        let weighted = policy.permits_weighted(
+                            HeteroRingContext {
+                                n,
+                                total_weight: m,
+                                total_speed: n as u64,
+                            },
+                            BinState::unit(src),
+                            BinState::unit(dst),
+                            1,
+                        );
+                        assert_eq!(unit, weighted, "{policy} {src}->{dst} (n={n}, m={m})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rules_compare_normalized_loads() {
+        let c = HeteroRingContext {
+            n: 2,
+            total_weight: 30,
+            total_speed: 5,
+        };
+        let fast = BinState {
+            weight: 20,
+            speed: 4,
+        }; // normalized 5
+        let slow = BinState {
+            weight: 10,
+            speed: 1,
+        }; // normalized 10
+           // RLS: a weight-4 ball may flow from the slow bin to the fast one
+           // ((20+4)·1 ≤ 10·4) but never the other way.
+        assert!(RebalancePolicy::rls().permits_weighted(c, slow, fast, 4));
+        assert!(!RebalancePolicy::rls().permits_weighted(c, fast, slow, 4));
+        // A ball too heavy to keep the destination at or below the source
+        // stays put: (20+21)·1 > 10·4.
+        assert!(!RebalancePolicy::rls().permits_weighted(c, slow, fast, 21));
+        // Fixed threshold is on normalized load: 20/4 = 5 ≤ 6 stays,
+        // 10/1 = 10 > 6 moves.
+        let t6 = RebalancePolicy::ThresholdFixed { threshold: 6 };
+        assert!(!t6.permits_weighted(c, fast, slow, 1));
+        assert!(t6.permits_weighted(c, slow, fast, 1));
+        // Average threshold: share of bin with speed 1 is ⌈30·1/5⌉ = 6,
+        // so the slow bin (weight 10) moves and a weight-6 bin would not.
+        assert!(RebalancePolicy::ThresholdAvg.permits_weighted(c, slow, fast, 1));
+        assert!(!RebalancePolicy::ThresholdAvg.permits_weighted(
+            c,
+            BinState {
+                weight: 6,
+                speed: 1
+            },
+            fast,
+            1
+        ));
+    }
+
+    #[test]
+    fn decide_weighted_matches_decide_on_unit_instances() {
+        // Same scripted candidates, same loads: the weighted decision must
+        // equal the unit decision, draw for draw.
+        let loads = [9u64, 3, 7, 3, 5];
+        let m: u64 = loads.iter().sum();
+        for policy in all_policies() {
+            for script in [[2usize, 1, 3], [1, 4, 2], [0, 0, 0], [4, 3, 3]] {
+                let unit = policy.decide(ctx(5, m), 0, loads[0], scripted(&script), |b| loads[b]);
+                let weighted = policy.decide_weighted(
+                    HeteroRingContext {
+                        n: 5,
+                        total_weight: m,
+                        total_speed: 5,
+                    },
+                    0,
+                    BinState::unit(loads[0]),
+                    1,
+                    scripted(&script),
+                    |b| BinState::unit(loads[b]),
+                );
+                assert_eq!(unit, weighted, "{policy} {script:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decide_weighted_picks_the_least_normalized_candidate() {
+        // Bin 1: 12/4 = 3, bin 2: 4/1 = 4 — the *heavier* bin 1 wins on
+        // normalized load, and a weight-2 ball may move there
+        // ((12+2)·2 ≤ 30·4).
+        let states = [
+            BinState {
+                weight: 30,
+                speed: 2,
+            },
+            BinState {
+                weight: 12,
+                speed: 4,
+            },
+            BinState {
+                weight: 4,
+                speed: 1,
+            },
+        ];
+        let c = HeteroRingContext {
+            n: 3,
+            total_weight: 46,
+            total_speed: 7,
+        };
+        let decision = RebalancePolicy::GreedyD { d: 2 }.decide_weighted(
+            c,
+            0,
+            states[0],
+            2,
+            scripted(&[2, 1]),
+            |b| states[b],
+        );
+        assert_eq!(decision.dest, Some(1));
         assert!(decision.moved);
     }
 

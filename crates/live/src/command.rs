@@ -27,15 +27,27 @@ use serde::{Deserialize, Serialize};
 pub enum LiveCommand {
     /// One ball arrives.  `bin: None` places it via the configured arrival
     /// process (hotspot bias, uniform, …); `Some(b)` pins the destination.
+    /// `weight: None` draws the ball's weight from the engine's
+    /// [`WeightDist`](rls_workloads::WeightDist) (`1` on unit engines, no
+    /// randomness consumed); `Some(w)` pins it (weights other than `1`
+    /// need a weighted engine that stores per-ball weights).
     Arrive {
         /// Destination bin, or `None` to sample it.
         bin: Option<usize>,
+        /// Ball weight, or `None` to sample it (`≥ 1` when pinned).
+        weight: Option<u64>,
     },
-    /// One ball departs.  `bin: None` removes a uniformly random ball (a
-    /// load-proportional bin); `Some(b)` removes a ball from bin `b`.
+    /// One ball departs.  `bin: None` removes a random ball whose law
+    /// matches the departure clocks (a rate-proportional bin — load-
+    /// proportional on unit engines); `Some(b)` removes a ball from bin
+    /// `b`.  `weight: Some(w)` removes a ball of exactly that weight from
+    /// the pinned bin (weighted engines only; errors if absent).
     Depart {
-        /// Source bin, or `None` to sample a uniform ball.
+        /// Source bin, or `None` to sample a ball under the clock law.
         bin: Option<usize>,
+        /// Weight of the departing ball, or `None` to pick a uniform ball
+        /// of the bin.  Requires a pinned `bin`.
+        weight: Option<u64>,
     },
     /// One RLS clock ring.  `source: None` activates a uniformly random
     /// ball; `dest: None` samples a uniform destination bin.  The RLS rule
@@ -65,8 +77,22 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(LiveCommand::Arrive { bin: None }.name(), "arrive");
-        assert_eq!(LiveCommand::Depart { bin: Some(3) }.name(), "depart");
+        assert_eq!(
+            LiveCommand::Arrive {
+                bin: None,
+                weight: None
+            }
+            .name(),
+            "arrive"
+        );
+        assert_eq!(
+            LiveCommand::Depart {
+                bin: Some(3),
+                weight: None
+            }
+            .name(),
+            "depart"
+        );
         assert_eq!(
             LiveCommand::Ring {
                 source: None,
@@ -80,9 +106,18 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         for cmd in [
-            LiveCommand::Arrive { bin: None },
-            LiveCommand::Arrive { bin: Some(7) },
-            LiveCommand::Depart { bin: Some(0) },
+            LiveCommand::Arrive {
+                bin: None,
+                weight: None,
+            },
+            LiveCommand::Arrive {
+                bin: Some(7),
+                weight: Some(12),
+            },
+            LiveCommand::Depart {
+                bin: Some(0),
+                weight: Some(3),
+            },
             LiveCommand::Ring {
                 source: Some(2),
                 dest: None,

@@ -23,12 +23,13 @@
 //! map and no `u32::MAX` ball cap: `m` is `u64` end to end.
 
 use rls_core::{
-    Config, LoadIndex, LoadTracker, Move, RebalancePolicy, RingContext, RingDecision, RlsRule,
+    BinState, Config, HeteroRingContext, LoadIndex, LoadTracker, Move, RebalancePolicy,
+    RingContext, RingDecision, RlsRule,
 };
 use rls_graph::{DestSampler, Topology};
 use rls_rng::dist::{Distribution, Exponential, Poisson};
 use rls_rng::{Rng64, RngExt};
-use rls_workloads::ArrivalProcess;
+use rls_workloads::{ArrivalProcess, WeightDist};
 use serde::{Deserialize, Serialize};
 
 use crate::command::LiveCommand;
@@ -90,6 +91,51 @@ pub struct LiveCounters {
     pub events: u64,
 }
 
+/// Heterogeneity state of a weighted/speed-aware engine (see
+/// [`LiveEngine::with_hetero`]).  `None` on the engine means the classic
+/// unit process with zero extra bookkeeping.
+///
+/// The model: bin `i` runs at integer speed `s_i ≥ 1`, so every ball it
+/// holds carries an `Exp(μ·s_i)` remaining lifetime and an `Exp(s_i)` ring
+/// clock — faster bins drain and rebalance proportionally faster.  The
+/// superposition therefore runs on the *rate mass* `R = Σ s_i·ℓ_i`
+/// (maintained as a second Fenwick tree) instead of the ball count `m`,
+/// and departing/ringing balls are sampled rate-proportionally.  Within a
+/// bin all balls share one clock rate, so the activated ball is uniform in
+/// its bin; the per-ball weight vectors are only materialized for non-unit
+/// weight distributions — a unit-weight run consumes the exact random
+/// stream of the unweighted engine.
+#[derive(Debug, Clone)]
+struct Hetero {
+    /// Law of arriving ball weights.
+    dist: WeightDist,
+    /// Per-bin integer speeds (all `≥ 1`).
+    speeds: Vec<u64>,
+    /// `Σ s_i`, the denominator of the speed-scaled average.
+    total_speed: u64,
+    /// Per-bin total ball weight (mirror of `weight_index` for O(1) reads).
+    weights: Vec<u64>,
+    /// Fenwick tree over per-bin total weight (weight-rank descent).
+    weight_index: LoadIndex,
+    /// Fenwick tree over per-bin rate mass `s_i·ℓ_i` — the law of the
+    /// departure and ring clocks.
+    rate_index: LoadIndex,
+    /// Per-ball weights, bin by bin; `None` iff `dist` is unit (weights
+    /// are then all `1` and need no storage).
+    balls: Option<Vec<Vec<u64>>>,
+}
+
+impl Hetero {
+    /// The [`BinState`] of `bin` (weight + speed), for the policy layer.
+    #[inline]
+    fn state(&self, bin: usize) -> BinState {
+        BinState {
+            weight: self.weights[bin],
+            speed: self.speeds[bin],
+        }
+    }
+}
+
 /// The sequential online engine.
 ///
 /// Drive it in either of two modes:
@@ -114,9 +160,10 @@ pub struct LiveCounters {
 ///
 /// // External drive: a request arrives, a ball departs bin 0, one
 /// // rebalance ring fires.
-/// let arrived = engine.apply(&LiveCommand::Arrive { bin: None }, &mut rng).unwrap();
+/// let arrived = engine.apply(
+///     &LiveCommand::Arrive { bin: None, weight: None }, &mut rng).unwrap();
 /// assert_eq!(arrived.balls_added(), 1);
-/// engine.apply(&LiveCommand::Depart { bin: Some(0) }, &mut rng).unwrap();
+/// engine.apply(&LiveCommand::Depart { bin: Some(0), weight: None }, &mut rng).unwrap();
 /// engine.apply(&LiveCommand::Ring { source: None, dest: None }, &mut rng).unwrap();
 /// assert_eq!(engine.config().m(), 32);
 /// assert_eq!(engine.counters().events, 3);
@@ -142,6 +189,8 @@ pub struct LiveEngine {
     time: f64,
     seq: u64,
     counters: LiveCounters,
+    /// Weighted-ball / heterogeneous-speed state (`None`: unit process).
+    hetero: Option<Hetero>,
 }
 
 impl LiveEngine {
@@ -194,7 +243,120 @@ impl LiveEngine {
             time: 0.0,
             seq: 0,
             counters: LiveCounters::default(),
+            hetero: None,
         })
+    }
+
+    /// Create a *heterogeneous* engine: balls drawn from `dist`, bin `i`
+    /// running at `speeds[i]` (integers `≥ 1`).  Weights for the initial
+    /// configuration's balls are drawn from `dist` bin by bin (no draws
+    /// for the unit distribution, which keeps unit boots bit-identical to
+    /// [`with_policy`](Self::with_policy) boots on the same stream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_hetero<R: Rng64 + ?Sized>(
+        initial: Config,
+        params: LiveParams,
+        policy: RebalancePolicy,
+        topology: Topology,
+        graph_seed: u64,
+        dist: WeightDist,
+        speeds: Vec<u64>,
+        rng: &mut R,
+    ) -> Result<Self, LiveError> {
+        dist.validate().map_err(LiveError::params)?;
+        let balls = if dist.is_unit() {
+            None
+        } else {
+            Some(
+                (0..initial.n())
+                    .map(|b| (0..initial.load(b)).map(|_| dist.sample(rng)).collect())
+                    .collect(),
+            )
+        };
+        let mut engine = Self::with_policy(initial, params, policy, topology, graph_seed)?;
+        engine.attach_hetero(dist, speeds, balls)?;
+        Ok(engine)
+    }
+
+    /// Attach heterogeneity state to a freshly built engine, rebuilding
+    /// the weight and rate Fenwick trees from the current loads (also the
+    /// snapshot-restore path).
+    pub(crate) fn attach_hetero(
+        &mut self,
+        dist: WeightDist,
+        speeds: Vec<u64>,
+        balls: Option<Vec<Vec<u64>>>,
+    ) -> Result<(), LiveError> {
+        dist.validate().map_err(LiveError::params)?;
+        let n = self.cfg.n();
+        if speeds.len() != n {
+            return Err(LiveError::params(format!(
+                "speed vector has {} entries for {n} bins",
+                speeds.len()
+            )));
+        }
+        if speeds.contains(&0) {
+            return Err(LiveError::params("bin speeds must be at least one"));
+        }
+        if dist.is_unit() != balls.is_none() {
+            return Err(LiveError::params(
+                "per-ball weights must be stored exactly when the weight distribution \
+                 is non-unit",
+            ));
+        }
+        let weights: Vec<u64> = match &balls {
+            None => self.cfg.loads().to_vec(),
+            Some(balls) => {
+                if balls.len() != n {
+                    return Err(LiveError::params(format!(
+                        "ball-weight table has {} bins for {n}",
+                        balls.len()
+                    )));
+                }
+                for (b, bin) in balls.iter().enumerate() {
+                    if bin.len() as u64 != self.cfg.load(b) {
+                        return Err(LiveError::params(format!(
+                            "bin {b} stores {} ball weights for load {}",
+                            bin.len(),
+                            self.cfg.load(b)
+                        )));
+                    }
+                    if bin.contains(&0) {
+                        return Err(LiveError::params("ball weights must be positive"));
+                    }
+                }
+                balls
+                    .iter()
+                    .map(|bin| {
+                        bin.iter()
+                            .try_fold(0u64, |acc, &w| acc.checked_add(w))
+                            .ok_or_else(|| LiveError::params("total bin weight overflows u64"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        let rates: Vec<u64> = speeds
+            .iter()
+            .zip(self.cfg.loads())
+            .map(|(&s, &l)| {
+                s.checked_mul(l)
+                    .ok_or_else(|| LiveError::params("bin rate mass overflows u64"))
+            })
+            .collect::<Result<_, _>>()?;
+        let total_speed = speeds
+            .iter()
+            .try_fold(0u64, |acc, &s| acc.checked_add(s))
+            .ok_or_else(|| LiveError::params("total speed overflows u64"))?;
+        self.hetero = Some(Hetero {
+            dist,
+            total_speed,
+            weight_index: LoadIndex::from_loads(&weights),
+            rate_index: LoadIndex::from_loads(&rates),
+            weights,
+            speeds,
+            balls,
+        });
+        Ok(())
     }
 
     /// Current configuration.
@@ -247,6 +409,117 @@ impl LiveEngine {
         &self.dest
     }
 
+    /// Whether this engine carries heterogeneity state (weighted balls
+    /// and/or per-bin speeds).
+    pub fn is_hetero(&self) -> bool {
+        self.hetero.is_some()
+    }
+
+    /// The law of arriving ball weights ([`WeightDist::Unit`] on unit
+    /// engines).
+    pub fn weight_dist(&self) -> WeightDist {
+        self.hetero.as_ref().map_or(WeightDist::Unit, |h| h.dist)
+    }
+
+    /// Per-bin speeds, when heterogeneous state is attached.
+    pub fn speeds(&self) -> Option<&[u64]> {
+        self.hetero.as_ref().map(|h| h.speeds.as_slice())
+    }
+
+    /// Speed of one bin (`1` on unit engines).
+    pub fn speed(&self, bin: usize) -> u64 {
+        self.hetero.as_ref().map_or(1, |h| h.speeds[bin])
+    }
+
+    /// Total ball weight of one bin (the load on unit engines).
+    pub fn bin_weight(&self, bin: usize) -> u64 {
+        self.hetero
+            .as_ref()
+            .map_or_else(|| self.cfg.load(bin), |h| h.weights[bin])
+    }
+
+    /// Total ball weight `W = Σ W_i` (`m` on unit engines).
+    pub fn total_weight(&self) -> u64 {
+        self.hetero
+            .as_ref()
+            .map_or_else(|| self.cfg.m(), |h| h.weight_index.total())
+    }
+
+    /// Total speed `S = Σ s_i` (`n` on unit engines).
+    pub fn total_speed(&self) -> u64 {
+        self.hetero
+            .as_ref()
+            .map_or(self.cfg.n() as u64, |h| h.total_speed)
+    }
+
+    /// Normalized load `W_i / s_i` of one bin (the plain load on unit
+    /// engines).
+    pub fn normalized_load(&self, bin: usize) -> f64 {
+        self.bin_weight(bin) as f64 / self.speed(bin) as f64
+    }
+
+    /// The per-ball weights of one bin, when the engine stores them
+    /// (non-unit weight distributions only; order is not meaningful —
+    /// balls within a bin are exchangeable).
+    pub fn ball_weights(&self, bin: usize) -> Option<&[u64]> {
+        self.hetero
+            .as_ref()
+            .and_then(|h| h.balls.as_ref())
+            .map(|balls| balls[bin].as_slice())
+    }
+
+    /// The Fenwick tree over per-bin total weight, when heterogeneous
+    /// state is attached (exposed for property tests).
+    pub fn weight_index(&self) -> Option<&LoadIndex> {
+        self.hetero.as_ref().map(|h| &h.weight_index)
+    }
+
+    /// The Fenwick tree over per-bin rate mass `s_i·ℓ_i`, when
+    /// heterogeneous state is attached (exposed for property tests).
+    pub fn rate_index(&self) -> Option<&LoadIndex> {
+        self.hetero.as_ref().map(|h| &h.rate_index)
+    }
+
+    /// Draw an arrival weight under the engine's weight law: `None` when
+    /// the engine would not consume randomness for it (unit engines and
+    /// the unit distribution), `Some(w)` otherwise.  The serving layer
+    /// resolves open arrival weights through this so its replies can echo
+    /// the weight while the engine keeps owning the law.
+    pub fn sample_arrival_weight<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        match &self.hetero {
+            Some(h) if !h.dist.is_unit() => Some(h.dist.sample(rng)),
+            _ => None,
+        }
+    }
+
+    /// Whether the engine stores per-ball weights (non-unit distribution).
+    pub fn stores_ball_weights(&self) -> bool {
+        self.hetero.as_ref().is_some_and(|h| h.balls.is_some())
+    }
+
+    /// Verify the heterogeneity bookkeeping against a from-scratch rebuild
+    /// (test/debug helper, `O(n + m)`): weight and rate Fenwick totals,
+    /// the weight mirror, and the per-ball vectors must all agree with the
+    /// configuration.
+    pub fn hetero_matches(&self) -> bool {
+        let Some(h) = &self.hetero else {
+            return true;
+        };
+        let n = self.cfg.n();
+        (0..n).all(|b| {
+            let load = self.cfg.load(b);
+            let by_balls = match &h.balls {
+                Some(balls) => {
+                    balls[b].len() as u64 == load && balls[b].iter().sum::<u64>() == h.weights[b]
+                }
+                None => h.weights[b] == load,
+            };
+            by_balls
+                && h.weight_index.load(b) == h.weights[b]
+                && h.rate_index.load(b) == h.speeds[b] * load
+        })
+    }
+
     /// Draw how many auto-rebalance rings to run after one arrival:
     /// `Poisson(mean)`, the same memoryless law as the paper's per-ball
     /// ring clocks.  This is the single entry point the serving layer
@@ -286,10 +559,59 @@ impl LiveEngine {
         Ok(engine)
     }
 
+    /// Total clock mass `R = Σ s_i·ℓ_i` driving departures and rings: the
+    /// ball count `m` on unit engines (and on heterogeneous engines whose
+    /// speeds are all `1`, which is what keeps their trajectories
+    /// bit-identical).
+    fn clock_mass(&self) -> u64 {
+        match &self.hetero {
+            Some(h) => h.rate_index.total(),
+            None => self.cfg.m(),
+        }
+    }
+
+    /// The bin owning clock rank `rank ∈ [0, clock_mass)`: rate-
+    /// proportional on heterogeneous engines, load-proportional (a uniform
+    /// ball) on unit engines.
+    fn clock_bin(&self, rank: u64) -> usize {
+        match &self.hetero {
+            Some(h) => h.rate_index.bin_at(rank),
+            None => self.index.bin_at(rank),
+        }
+    }
+
+    /// Pick the activated/departing ball inside `bin`: a uniform index
+    /// when per-ball weights are stored (one RNG draw), `None` otherwise
+    /// (exchangeable unit balls need no pick — and no draw).
+    fn pick_ball<R: Rng64 + ?Sized>(&self, bin: usize, rng: &mut R) -> Option<usize> {
+        self.hetero
+            .as_ref()
+            .and_then(|h| h.balls.as_ref())
+            .map(|balls| rng.next_index(balls[bin].len()))
+    }
+
+    /// Weight of the picked ball (`1` when no per-ball weights are
+    /// stored).
+    fn picked_weight(&self, bin: usize, picked: Option<usize>) -> u64 {
+        match (self.hetero.as_ref().and_then(|h| h.balls.as_ref()), picked) {
+            (Some(balls), Some(i)) => balls[bin][i],
+            _ => 1,
+        }
+    }
+
+    /// Draw one arrival weight (`1`, with no RNG draw, unless the engine
+    /// has a non-unit weight distribution).
+    fn draw_weight<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.hetero {
+            Some(h) => h.dist.sample(rng),
+            None => 1,
+        }
+    }
+
     /// Total event rate at the current population.
     pub fn total_rate(&self) -> f64 {
-        let m = self.cfg.m() as f64;
-        self.params.arrivals.epoch_rate(self.cfg.n()) + m * self.params.service_rate + m
+        let clock = self.clock_mass() as f64;
+        self.params.arrivals.epoch_rate(self.cfg.n()) + clock * self.params.service_rate + clock
     }
 
     /// Advance by exactly one event; returns `None` when the total event
@@ -298,8 +620,12 @@ impl LiveEngine {
         let n = self.cfg.n();
         let m = self.cfg.m();
         let epoch_rate = self.params.arrivals.epoch_rate(n);
-        let depart_rate = m as f64 * self.params.service_rate;
-        let ring_rate = m as f64;
+        // Departure and ring clocks run per ball at the bin's speed, so
+        // their total rates scale with the rate mass R = Σ s_i·ℓ_i (= m on
+        // unit engines).
+        let clock_mass = self.clock_mass();
+        let depart_rate = clock_mass as f64 * self.params.service_rate;
+        let ring_rate = clock_mass as f64;
         let total = epoch_rate + depart_rate + ring_rate;
         if total <= 0.0 {
             return None;
@@ -320,20 +646,25 @@ impl LiveEngine {
             let mut bins = Vec::with_capacity(self.params.arrivals.epoch_size() as usize);
             for _ in 0..self.params.arrivals.epoch_size() {
                 let bin = self.params.arrivals.place(n, rng);
-                self.arrive(bin);
+                let weight = self.draw_weight(rng);
+                self.arrive(bin, weight);
                 bins.push(bin as u32);
             }
             LiveEventKind::Arrival { bins }
         } else if pick < epoch_rate + depart_rate {
-            // The departing ball is uniform over m balls ⇒ its bin is
-            // load-proportional.
-            let bin = self.index.bin_at(rng.next_below(m));
-            self.depart(bin);
+            // The departing ball's clock is rate-proportional across bins
+            // (uniform over m balls on unit engines) and uniform within
+            // its bin.
+            let bin = self.clock_bin(rng.next_below(clock_mass));
+            let picked = self.pick_ball(bin, rng);
+            self.depart(bin, picked);
             LiveEventKind::Departure { bin: bin as u32 }
         } else {
-            let source = self.index.bin_at(rng.next_below(m));
-            let decision = self.decide_ring(source, rng);
-            self.apply_ring(source, decision)
+            let source = self.clock_bin(rng.next_below(clock_mass));
+            let picked = self.pick_ball(source, rng);
+            let ball = self.picked_weight(source, picked);
+            let decision = self.decide_ring(source, ball, rng);
+            self.apply_ring(source, picked, decision)
         };
 
         Some(LiveEvent {
@@ -374,19 +705,64 @@ impl LiveEngine {
             Ok(())
         };
         match *cmd {
-            LiveCommand::Arrive { bin: Some(bin) } => check_bin("arrival", bin)?,
-            LiveCommand::Arrive { bin: None } => {}
-            LiveCommand::Depart { bin: Some(bin) } => {
-                check_bin("departure", bin)?;
-                if self.cfg.load(bin) == 0 {
-                    return Err(LiveError::command(format!(
-                        "departure from empty bin {bin}"
-                    )));
+            LiveCommand::Arrive { bin, weight } => {
+                if let Some(bin) = bin {
+                    check_bin("arrival", bin)?;
+                }
+                match weight {
+                    Some(0) => {
+                        return Err(LiveError::command("arrival weight must be at least 1"));
+                    }
+                    Some(w) if w > 1 && !self.stores_ball_weights() => {
+                        return Err(LiveError::command(format!(
+                            "arrival weight {w} needs a weighted engine (this engine's \
+                             weight distribution is `{}`)",
+                            self.weight_dist()
+                        )));
+                    }
+                    _ => {}
                 }
             }
-            LiveCommand::Depart { bin: None } => {
-                if m == 0 {
-                    return Err(LiveError::command("departure from an empty system"));
+            LiveCommand::Depart { bin, weight } => {
+                match bin {
+                    Some(bin) => {
+                        check_bin("departure", bin)?;
+                        if self.cfg.load(bin) == 0 {
+                            return Err(LiveError::command(format!(
+                                "departure from empty bin {bin}"
+                            )));
+                        }
+                    }
+                    None => {
+                        if m == 0 {
+                            return Err(LiveError::command("departure from an empty system"));
+                        }
+                    }
+                }
+                match (weight, bin) {
+                    (Some(0), _) => {
+                        return Err(LiveError::command("departure weight must be at least 1"));
+                    }
+                    (Some(_), None) => {
+                        return Err(LiveError::command(
+                            "a pinned departure weight needs a pinned bin",
+                        ));
+                    }
+                    (Some(w), Some(bin)) => match self.ball_weights(bin) {
+                        Some(balls) if !balls.contains(&w) => {
+                            return Err(LiveError::command(format!(
+                                "bin {bin} holds no ball of weight {w}"
+                            )));
+                        }
+                        None if w != 1 => {
+                            return Err(LiveError::command(format!(
+                                "departure weight {w} needs a weighted engine (all \
+                                     balls here have weight 1)"
+                            )));
+                        }
+                        _ => {}
+                    },
+                    (None, _) => {}
                 }
             }
             LiveCommand::Ring { source, dest } => {
@@ -440,20 +816,41 @@ impl LiveEngine {
         self.counters.events += 1;
 
         let kind = match *cmd {
-            LiveCommand::Arrive { bin } => {
+            LiveCommand::Arrive { bin, weight } => {
                 let bin = bin.unwrap_or_else(|| self.params.arrivals.place(n, rng));
-                self.arrive(bin);
+                let weight = match weight {
+                    Some(w) => w,
+                    None => self.draw_weight(rng),
+                };
+                self.arrive(bin, weight);
                 LiveEventKind::Arrival {
                     bins: vec![bin as u32],
                 }
             }
-            LiveCommand::Depart { bin } => {
-                let bin = bin.unwrap_or_else(|| self.index.bin_at(rng.next_below(m)));
-                self.depart(bin);
+            LiveCommand::Depart { bin, weight } => {
+                let bin = match bin {
+                    Some(bin) => bin,
+                    None => self.clock_bin(rng.next_below(self.clock_mass())),
+                };
+                let picked = match weight {
+                    // A pinned weight names the ball deterministically (its
+                    // presence was validated above): the first ball of that
+                    // weight, no randomness consumed.
+                    Some(w) => self
+                        .ball_weights(bin)
+                        .map(|balls| balls.iter().position(|&b| b == w).expect("validated above")),
+                    None => self.pick_ball(bin, rng),
+                };
+                self.depart(bin, picked);
                 LiveEventKind::Departure { bin: bin as u32 }
             }
             LiveCommand::Ring { source, dest } => {
-                let source = source.unwrap_or_else(|| self.index.bin_at(rng.next_below(m)));
+                let source = match source {
+                    Some(source) => source,
+                    None => self.clock_bin(rng.next_below(self.clock_mass())),
+                };
+                let picked = self.pick_ball(source, rng);
+                let ball = self.picked_weight(source, picked);
                 let decision = match dest {
                     // A pinned destination plays the role of the chosen
                     // candidate: the policy's pair rule decides, which is
@@ -461,16 +858,11 @@ impl LiveEngine {
                     // replay identically under every policy.
                     Some(dest) => RingDecision {
                         dest: Some(dest),
-                        moved: dest != source
-                            && self.policy.permits_loads(
-                                RingContext { n, m: self.cfg.m() },
-                                self.cfg.load(source),
-                                self.cfg.load(dest),
-                            ),
+                        moved: dest != source && self.permits_pair(source, dest, ball),
                     },
-                    None => self.decide_ring(source, rng),
+                    None => self.decide_ring(source, ball, rng),
                 };
-                self.apply_ring(source, decision)
+                self.apply_ring(source, picked, decision)
             }
         };
 
@@ -519,48 +911,122 @@ impl LiveEngine {
         processed
     }
 
-    /// Apply an arrival to `bin`, keeping config/tracker/index in sync.
-    fn arrive(&mut self, bin: usize) {
+    /// Apply an arrival of a ball of `weight` to `bin`, keeping
+    /// config/tracker/index (and the heterogeneity books) in sync.
+    fn arrive(&mut self, bin: usize, weight: u64) {
         let old = self.cfg.load(bin);
         self.cfg.add_ball(bin).expect("arrival bin is in range");
         self.tracker.record_insert(old);
         self.index.record_insert(bin);
+        if let Some(h) = &mut self.hetero {
+            h.weights[bin] += weight;
+            h.weight_index.add(bin, weight);
+            h.rate_index.add(bin, h.speeds[bin]);
+            if let Some(balls) = &mut h.balls {
+                balls[bin].push(weight);
+            }
+        }
         self.counters.arrivals += 1;
     }
 
-    /// Apply a departure from `bin`.
-    fn depart(&mut self, bin: usize) {
+    /// Apply a departure from `bin` (`picked` names the ball when per-ball
+    /// weights are stored).
+    fn depart(&mut self, bin: usize, picked: Option<usize>) {
         let old = self.cfg.load(bin);
         self.cfg
             .remove_ball(bin)
             .expect("departing ball occupies a non-empty bin");
         self.tracker.record_remove(old);
         self.index.record_remove(bin);
+        if let Some(h) = &mut self.hetero {
+            let weight = match (&mut h.balls, picked) {
+                (Some(balls), Some(i)) => balls[bin].swap_remove(i),
+                _ => 1,
+            };
+            h.weights[bin] -= weight;
+            h.weight_index.sub(bin, weight);
+            h.rate_index.sub(bin, h.speeds[bin]);
+        }
         self.counters.departures += 1;
     }
 
-    /// Run the policy's decision for a ring in `source`: sample the
-    /// candidate set through the topology layer and apply the pair rule.
-    fn decide_ring<R: Rng64 + ?Sized>(&self, source: usize, rng: &mut R) -> RingDecision {
-        let ctx = RingContext {
-            n: self.cfg.n(),
-            m: self.cfg.m(),
-        };
-        let cfg = &self.cfg;
+    /// Does the policy's pair rule permit moving a ball of weight `ball`
+    /// from `source` to `dest`?  Unit engines compare raw loads; weighted
+    /// engines compare normalized loads through
+    /// [`RebalancePolicy::permits_weighted`].
+    fn permits_pair(&self, source: usize, dest: usize, ball: u64) -> bool {
+        match &self.hetero {
+            Some(h) => self.policy.permits_weighted(
+                HeteroRingContext {
+                    n: self.cfg.n(),
+                    total_weight: h.weight_index.total(),
+                    total_speed: h.total_speed,
+                },
+                h.state(source),
+                h.state(dest),
+                ball,
+            ),
+            None => self.policy.permits_loads(
+                RingContext {
+                    n: self.cfg.n(),
+                    m: self.cfg.m(),
+                },
+                self.cfg.load(source),
+                self.cfg.load(dest),
+            ),
+        }
+    }
+
+    /// Run the policy's decision for a ring of a ball of weight `ball` in
+    /// `source`: sample the candidate set through the topology layer and
+    /// apply the pair rule.
+    fn decide_ring<R: Rng64 + ?Sized>(
+        &self,
+        source: usize,
+        ball: u64,
+        rng: &mut R,
+    ) -> RingDecision {
         let dest = &self.dest;
-        self.policy.decide(
-            ctx,
-            source,
-            cfg.load(source),
-            || dest.sample(source, rng),
-            |b| cfg.load(b),
-        )
+        match &self.hetero {
+            Some(h) => self.policy.decide_weighted(
+                HeteroRingContext {
+                    n: self.cfg.n(),
+                    total_weight: h.weight_index.total(),
+                    total_speed: h.total_speed,
+                },
+                source,
+                h.state(source),
+                ball,
+                || dest.sample(source, rng),
+                |b| h.state(b),
+            ),
+            None => {
+                let ctx = RingContext {
+                    n: self.cfg.n(),
+                    m: self.cfg.m(),
+                };
+                let cfg = &self.cfg;
+                self.policy.decide(
+                    ctx,
+                    source,
+                    cfg.load(source),
+                    || dest.sample(source, rng),
+                    |b| cfg.load(b),
+                )
+            }
+        }
     }
 
     /// Apply a decided ring: bump the counters, migrate if the policy said
     /// so, and produce the event record.  A ring with no candidate at all
-    /// (isolated vertex) is recorded as a self-loop no-op.
-    fn apply_ring(&mut self, source: usize, decision: RingDecision) -> LiveEventKind {
+    /// (isolated vertex) is recorded as a self-loop no-op.  `picked` names
+    /// the migrating ball when per-ball weights are stored.
+    fn apply_ring(
+        &mut self,
+        source: usize,
+        picked: Option<usize>,
+        decision: RingDecision,
+    ) -> LiveEventKind {
         self.counters.rings += 1;
         let dest = decision.dest.unwrap_or(source);
         if decision.moved {
@@ -570,6 +1036,22 @@ impl LiveEngine {
                 .expect("decided move applies");
             self.tracker.record_move(lf, lt);
             self.index.record_move(source, dest);
+            if let Some(h) = &mut self.hetero {
+                let weight = match (&mut h.balls, picked) {
+                    (Some(balls), Some(i)) => {
+                        let w = balls[source].swap_remove(i);
+                        balls[dest].push(w);
+                        w
+                    }
+                    _ => 1,
+                };
+                h.weights[source] -= weight;
+                h.weights[dest] += weight;
+                h.weight_index.sub(source, weight);
+                h.weight_index.add(dest, weight);
+                h.rate_index.sub(source, h.speeds[source]);
+                h.rate_index.add(dest, h.speeds[dest]);
+            }
             self.counters.migrations += 1;
         }
         LiveEventKind::Ring {
@@ -717,24 +1199,48 @@ mod tests {
         let m0 = eng.config().m();
 
         let event = eng
-            .apply(&LiveCommand::Arrive { bin: Some(3) }, &mut rng)
+            .apply(
+                &LiveCommand::Arrive {
+                    bin: Some(3),
+                    weight: None,
+                },
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(event.balls_added(), 1);
         assert!(matches!(event.kind, LiveEventKind::Arrival { ref bins } if bins == &[3]));
         assert_eq!(eng.config().m(), m0 + 1);
 
         let event = eng
-            .apply(&LiveCommand::Depart { bin: Some(3) }, &mut rng)
+            .apply(
+                &LiveCommand::Depart {
+                    bin: Some(3),
+                    weight: None,
+                },
+                &mut rng,
+            )
             .unwrap();
         assert!(matches!(event.kind, LiveEventKind::Departure { bin: 3 }));
         assert_eq!(eng.config().m(), m0);
 
         // Sampled coordinates stay in range and keep state consistent.
         for _ in 0..200 {
-            eng.apply(&LiveCommand::Arrive { bin: None }, &mut rng)
-                .unwrap();
-            eng.apply(&LiveCommand::Depart { bin: None }, &mut rng)
-                .unwrap();
+            eng.apply(
+                &LiveCommand::Arrive {
+                    bin: None,
+                    weight: None,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            eng.apply(
+                &LiveCommand::Depart {
+                    bin: None,
+                    weight: None,
+                },
+                &mut rng,
+            )
+            .unwrap();
             eng.apply(
                 &LiveCommand::Ring {
                     source: None,
@@ -802,9 +1308,18 @@ mod tests {
         let before_state = rng.state();
 
         for bad in [
-            LiveCommand::Arrive { bin: Some(9) },
-            LiveCommand::Depart { bin: Some(1) }, // empty bin
-            LiveCommand::Depart { bin: Some(7) },
+            LiveCommand::Arrive {
+                bin: Some(9),
+                weight: None,
+            },
+            LiveCommand::Depart {
+                bin: Some(1),
+                weight: None,
+            }, // empty bin
+            LiveCommand::Depart {
+                bin: Some(7),
+                weight: None,
+            },
             LiveCommand::Ring {
                 source: Some(1), // empty bin: no ball to activate
                 dest: None,
@@ -826,7 +1341,13 @@ mod tests {
         let drained = Config::from_loads(vec![0, 0]).unwrap();
         let mut empty = LiveEngine::new(drained, params, RlsRule::paper()).unwrap();
         assert!(empty
-            .apply(&LiveCommand::Depart { bin: None }, &mut rng)
+            .apply(
+                &LiveCommand::Depart {
+                    bin: None,
+                    weight: None
+                },
+                &mut rng
+            )
             .is_err());
         assert!(empty
             .apply(
@@ -862,8 +1383,15 @@ mod tests {
         let mut steady = crate::SteadyState::new(0.0);
         steady.on_start(eng.tracker(), eng.time());
         for _ in 0..50 {
-            eng.apply_with(&LiveCommand::Arrive { bin: None }, &mut rng, &mut steady)
-                .unwrap();
+            eng.apply_with(
+                &LiveCommand::Arrive {
+                    bin: None,
+                    weight: None,
+                },
+                &mut rng,
+                &mut steady,
+            )
+            .unwrap();
         }
         let summary = steady.finish(eng.time());
         assert_eq!(summary.arrivals, 50);
@@ -873,12 +1401,18 @@ mod tests {
     #[test]
     fn apply_is_deterministic_per_seed() {
         let script = [
-            LiveCommand::Arrive { bin: None },
+            LiveCommand::Arrive {
+                bin: None,
+                weight: None,
+            },
             LiveCommand::Ring {
                 source: None,
                 dest: None,
             },
-            LiveCommand::Depart { bin: None },
+            LiveCommand::Depart {
+                bin: None,
+                weight: None,
+            },
         ];
         let mut a = engine(8, 64);
         let mut b = engine(8, 64);

@@ -62,7 +62,7 @@ pub use event::{LiveEvent, LiveEventKind};
 pub use observer::{LiveObserver, SteadyState, SteadySummary};
 pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport};
 pub use sharded::{ShardedEngine, ShardedOutcome};
-pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
+pub use snapshot::{HeteroSnapshot, Snapshot, SNAPSHOT_VERSION};
 
 /// Errors from the live engine, snapshots, event logs or commands.
 #[derive(Debug, Clone, PartialEq, Eq)]

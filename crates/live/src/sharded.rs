@@ -36,12 +36,12 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 use rls_core::RlsRule;
-use rls_core::{Config, LoadIndex, RebalancePolicy, RingContext};
+use rls_core::{BinState, Config, HeteroRingContext, LoadIndex, RebalancePolicy, RingContext};
 use rls_graph::{DestSampler, Topology};
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt, StreamFactory, StreamId};
 use rls_sim::parallel::parallel_map;
-use rls_workloads::ArrivalProcess;
+use rls_workloads::{ArrivalProcess, WeightDist};
 
 use crate::engine::{LiveCounters, LiveParams};
 use crate::observer::{SteadyState, SteadySummary};
@@ -58,12 +58,44 @@ struct Shard {
     /// O(log local_n) with no per-ball state (`index.total()` is the
     /// shard's ball count).
     index: LoadIndex,
+    /// Weight/speed bookkeeping of the owned bins; `None` on unit engines.
+    hetero: Option<ShardHetero>,
+}
+
+/// Per-shard heterogeneity books (local-bin indexed, like `Shard::loads`).
+#[derive(Debug)]
+struct ShardHetero {
+    /// Per-bin total ball weight.
+    weights: Vec<u64>,
+    /// Fenwick subtree over the per-bin weights.
+    weight_index: LoadIndex,
+    /// Fenwick subtree over the per-bin rate mass `s_i·ℓ_i` — the local
+    /// law of the departure and ring clocks.
+    rate_index: LoadIndex,
+    /// Per-ball weights, bin by bin; `None` iff the weight distribution is
+    /// unit.
+    balls: Option<Vec<Vec<u64>>>,
+}
+
+/// Engine-wide heterogeneity state shared by every shard.
+#[derive(Debug)]
+struct SharedHetero {
+    /// Law of arriving ball weights.
+    dist: WeightDist,
+    /// Global per-bin speeds (read-only, shared across the pool).
+    speeds: Vec<u64>,
+    /// `Σ s_i`.
+    total_speed: u64,
+    /// Published (slice-start) global per-bin weights: what a remote
+    /// shard's ring decision prices a foreign candidate at.
+    published_weights: Vec<u64>,
 }
 
 /// What one shard produced in one slice.
 struct SliceResult {
-    /// Destinations of balls migrating out of this shard, in draw order.
-    outbox: Vec<u32>,
+    /// `(destination bin, ball weight)` of balls migrating out of this
+    /// shard, in draw order.
+    outbox: Vec<(u32, u64)>,
     /// Event counters accumulated in the slice.
     delta: LiveCounters,
 }
@@ -73,6 +105,8 @@ struct SliceResult {
 pub struct ShardedOutcome {
     /// Final global load vector.
     pub final_loads: Vec<u64>,
+    /// Final global per-bin total weights (`None` on unit engines).
+    pub final_weights: Option<Vec<u64>>,
     /// Final simulation time (a whole number of slices).
     pub time: f64,
     /// Aggregate counters.
@@ -93,6 +127,8 @@ pub struct ShardedEngine {
     /// Destination sampler (read-only; the CSR adjacency of a sparse
     /// topology is built once and shared across the worker pool).
     dest: DestSampler,
+    /// Weight/speed model; `None` is the classic unit engine.
+    hetero: Option<SharedHetero>,
     seed: u64,
     slice: f64,
     time: f64,
@@ -183,7 +219,12 @@ impl ShardedEngine {
             let bins = start..start + len;
             let loads: Vec<u64> = initial.loads()[bins.clone()].to_vec();
             let index = LoadIndex::from_loads(&loads);
-            shard_vec.push(Mutex::new(Shard { bins, loads, index }));
+            shard_vec.push(Mutex::new(Shard {
+                bins,
+                loads,
+                index,
+                hetero: None,
+            }));
             start += len;
         }
 
@@ -193,12 +234,106 @@ impl ShardedEngine {
             params,
             policy,
             dest,
+            hetero: None,
             seed,
             slice,
             time: 0.0,
             batch: 0,
             counters: LiveCounters::default(),
         })
+    }
+
+    /// A weighted/speed-aware sharded engine (see
+    /// [`LiveEngine::with_hetero`](crate::LiveEngine::with_hetero) for the
+    /// model).  Initial per-ball weights are drawn from `dist` bin-major
+    /// out of `rng` (no draws for the unit distribution), exactly like the
+    /// sequential constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_hetero<R: Rng64 + ?Sized>(
+        initial: Config,
+        params: LiveParams,
+        policy: RebalancePolicy,
+        topology: Topology,
+        graph_seed: u64,
+        shards: usize,
+        slice: f64,
+        seed: u64,
+        dist: WeightDist,
+        speeds: Vec<u64>,
+        rng: &mut R,
+    ) -> Result<Self, LiveError> {
+        dist.validate().map_err(LiveError::params)?;
+        let n = initial.n();
+        if speeds.len() != n {
+            return Err(LiveError::params(format!(
+                "speed vector has {} entries for {n} bins",
+                speeds.len()
+            )));
+        }
+        if speeds.contains(&0) {
+            return Err(LiveError::params("bin speeds must be at least 1"));
+        }
+        let balls: Option<Vec<Vec<u64>>> = if dist.is_unit() {
+            None
+        } else {
+            Some(
+                initial
+                    .loads()
+                    .iter()
+                    .map(|&l| (0..l).map(|_| dist.sample(rng)).collect())
+                    .collect(),
+            )
+        };
+
+        let mut engine = Self::with_policy(
+            initial, params, policy, topology, graph_seed, shards, slice, seed,
+        )?;
+        let total_speed = speeds
+            .iter()
+            .try_fold(0u64, |acc, &s| acc.checked_add(s))
+            .ok_or_else(|| LiveError::params("total speed overflows u64"))?;
+
+        let mut published_weights = vec![0u64; n];
+        for shard in &engine.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            let range = shard.bins.clone();
+            let local_balls: Option<Vec<Vec<u64>>> =
+                balls.as_ref().map(|b| b[range.clone()].to_vec());
+            let weights: Vec<u64> = match &local_balls {
+                Some(b) => b
+                    .iter()
+                    .map(|bin| {
+                        bin.iter()
+                            .try_fold(0u64, |acc, &w| acc.checked_add(w))
+                            .ok_or_else(|| LiveError::params("bin weight overflows u64"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => shard.loads.clone(),
+            };
+            let rates: Vec<u64> = shard
+                .loads
+                .iter()
+                .zip(&speeds[range.clone()])
+                .map(|(&l, &s)| {
+                    l.checked_mul(s)
+                        .ok_or_else(|| LiveError::params("bin rate mass overflows u64"))
+                })
+                .collect::<Result<_, _>>()?;
+            published_weights[range].copy_from_slice(&weights);
+            shard.hetero = Some(ShardHetero {
+                weight_index: LoadIndex::from_loads(&weights),
+                rate_index: LoadIndex::from_loads(&rates),
+                weights,
+                balls: local_balls,
+            });
+        }
+        engine.hetero = Some(SharedHetero {
+            dist,
+            speeds,
+            total_speed,
+            published_weights,
+        });
+        Ok(engine)
     }
 
     /// Current simulation time.
@@ -216,6 +351,17 @@ impl ShardedEngine {
         &self.published
     }
 
+    /// The published (slice-start) global per-bin weights (`None` on unit
+    /// engines).
+    pub fn weights(&self) -> Option<&[u64]> {
+        self.hetero.as_ref().map(|h| h.published_weights.as_slice())
+    }
+
+    /// The per-bin speed vector (`None` on unit engines).
+    pub fn speeds(&self) -> Option<&[u64]> {
+        self.hetero.as_ref().map(|h| h.speeds.as_slice())
+    }
+
     /// Advance one slice on `threads` workers; returns the events processed.
     pub fn step_slice(&mut self, threads: usize) -> u64 {
         let factory = StreamFactory::new(self.seed);
@@ -229,6 +375,12 @@ impl ShardedEngine {
         // The slice-start global population: what a distributed node could
         // actually know (the average-threshold policy reads it).
         let published_m: u64 = published.iter().sum();
+        let hetero = self.hetero.as_ref();
+        // Slice-start global weight mass, the weighted analogue of
+        // `published_m` (the average-threshold rule reads it).
+        let published_weight_m: u64 = hetero
+            .map(|h| h.published_weights.iter().sum())
+            .unwrap_or(0);
         let shards = &self.shards;
 
         let results: Vec<SliceResult> = parallel_map(shards.len(), threads, |s| {
@@ -242,6 +394,8 @@ impl ShardedEngine {
                 &mut shard,
                 published,
                 published_m,
+                hetero,
+                published_weight_m,
                 n,
                 params,
                 policy,
@@ -258,22 +412,33 @@ impl ShardedEngine {
         // application commutes across shards and the result is identical
         // for any thread count).
         let mut events = 0;
-        let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        let mut inboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.shards.len()];
         for result in &results {
-            for &dest in &result.outbox {
-                inboxes[self.owner_of(dest as usize)].push(dest);
+            for &(dest, weight) in &result.outbox {
+                inboxes[self.owner_of(dest as usize)].push((dest, weight));
             }
             events += result.delta.events;
         }
         {
             let shards = &self.shards;
             let inboxes = &inboxes;
+            let hetero = self.hetero.as_ref();
             parallel_map(shards.len(), threads, |s| {
                 let mut shard = shards[s].lock().expect("shard lock");
-                for &dest in &inboxes[s] {
+                for &(dest, weight) in &inboxes[s] {
                     let offset = dest as usize - shard.bins.start;
                     shard.loads[offset] += 1;
                     shard.index.increment(offset);
+                    if let Some(sh) = &mut shard.hetero {
+                        let speed = hetero.expect("shard hetero implies engine hetero").speeds
+                            [dest as usize];
+                        sh.weights[offset] += weight;
+                        sh.weight_index.add(offset, weight);
+                        sh.rate_index.add(offset, speed);
+                        if let Some(balls) = &mut sh.balls {
+                            balls[offset].push(weight);
+                        }
+                    }
                 }
             });
         }
@@ -286,10 +451,16 @@ impl ShardedEngine {
             self.counters.events += d.events;
         }
 
-        // Publish the post-barrier loads.
+        // Publish the post-barrier loads (and weights).
+        let published = &mut self.published;
+        let mut published_weights = self.hetero.as_mut().map(|h| &mut h.published_weights);
         for shard in &self.shards {
             let shard = shard.lock().expect("shard lock");
-            self.published[shard.bins.clone()].copy_from_slice(&shard.loads);
+            published[shard.bins.clone()].copy_from_slice(&shard.loads);
+            if let Some(w) = published_weights.as_deref_mut() {
+                let sh = shard.hetero.as_ref().expect("hetero shards");
+                w[shard.bins.clone()].copy_from_slice(&sh.weights);
+            }
         }
         self.time = (self.batch + 1) as f64 * self.slice;
         self.batch += 1;
@@ -317,6 +488,7 @@ impl ShardedEngine {
         }
         ShardedOutcome {
             final_loads: self.published.clone(),
+            final_weights: self.hetero.as_ref().map(|h| h.published_weights.clone()),
             time: self.time,
             counters: self.counters,
             summary: steady.finish(self.time),
@@ -354,6 +526,8 @@ fn run_slice<R: Rng64 + ?Sized>(
     shard: &mut Shard,
     published: &[u64],
     published_m: u64,
+    hetero: Option<&SharedHetero>,
+    published_weight_m: u64,
     n: usize,
     params: LiveParams,
     policy: RebalancePolicy,
@@ -369,9 +543,16 @@ fn run_slice<R: Rng64 + ?Sized>(
 
     loop {
         let resident = shard.index.total();
-        let m_s = resident as f64;
+        // The local clock mass R_s = Σ s_i·ℓ_i over the shard's bins
+        // (= resident on unit engines): departures and rings run at the
+        // bin's speed.
+        let clock_mass = match &shard.hetero {
+            Some(sh) => sh.rate_index.total(),
+            None => resident,
+        };
+        let clock = clock_mass as f64;
         let epoch_rate = params.arrivals.epoch_rate(n) * share;
-        let total = epoch_rate + m_s * params.service_rate + m_s;
+        let total = epoch_rate + clock * params.service_rate + clock;
         if total <= 0.0 {
             break;
         }
@@ -391,52 +572,148 @@ fn run_slice<R: Rng64 + ?Sized>(
         if resident == 0 || pick < epoch_rate {
             for _ in 0..params.arrivals.epoch_size() {
                 let offset = rng.next_index(local_n);
+                let weight = match hetero {
+                    Some(h) => h.dist.sample(rng),
+                    None => 1,
+                };
                 shard.loads[offset] += 1;
                 shard.index.increment(offset);
+                if let Some(sh) = &mut shard.hetero {
+                    let speed = hetero.expect("shard hetero implies engine hetero").speeds
+                        [shard.bins.start + offset];
+                    sh.weights[offset] += weight;
+                    sh.weight_index.add(offset, weight);
+                    sh.rate_index.add(offset, speed);
+                    if let Some(balls) = &mut sh.balls {
+                        balls[offset].push(weight);
+                    }
+                }
                 delta.arrivals += 1;
             }
-        } else if pick < epoch_rate + m_s * params.service_rate {
-            // Departing ball uniform over residents ⇒ bin ∝ local load.
-            let offset = shard.index.bin_at(rng.next_below(resident));
+        } else if pick < epoch_rate + clock * params.service_rate {
+            // Departing ball clock rate-proportional across bins (uniform
+            // over residents on unit engines), uniform within its bin.
+            let offset = match &shard.hetero {
+                Some(sh) => sh.rate_index.bin_at(rng.next_below(clock_mass)),
+                None => shard.index.bin_at(rng.next_below(resident)),
+            };
+            let picked = shard
+                .hetero
+                .as_ref()
+                .and_then(|sh| sh.balls.as_ref())
+                .map(|balls| rng.next_index(balls[offset].len()));
             shard.loads[offset] -= 1;
             shard.index.decrement(offset);
+            if let Some(sh) = &mut shard.hetero {
+                let weight = match (&mut sh.balls, picked) {
+                    (Some(balls), Some(i)) => balls[offset].swap_remove(i),
+                    _ => 1,
+                };
+                let speed = hetero.expect("shard hetero implies engine hetero").speeds
+                    [shard.bins.start + offset];
+                sh.weights[offset] -= weight;
+                sh.weight_index.sub(offset, weight);
+                sh.rate_index.sub(offset, speed);
+            }
             delta.departures += 1;
         } else {
             delta.rings += 1;
-            let source_offset = shard.index.bin_at(rng.next_below(resident));
+            let source_offset = match &shard.hetero {
+                Some(sh) => sh.rate_index.bin_at(rng.next_below(clock_mass)),
+                None => shard.index.bin_at(rng.next_below(resident)),
+            };
             let source = shard.bins.start + source_offset;
+            let picked = shard
+                .hetero
+                .as_ref()
+                .and_then(|sh| sh.balls.as_ref())
+                .map(|balls| rng.next_index(balls[source_offset].len()));
+            let ball = match (
+                shard.hetero.as_ref().and_then(|sh| sh.balls.as_ref()),
+                picked,
+            ) {
+                (Some(balls), Some(i)) => balls[source_offset][i],
+                _ => 1,
+            };
             // Candidates come from the topology's neighbourhood of the
             // ringing bin; a candidate owned by another shard is priced at
-            // its slice-start published load (bounded staleness — the
-            // decision a distributed node could actually make).
-            let ctx = RingContext { n, m: published_m };
+            // its slice-start published load/weight (bounded staleness —
+            // the decision a distributed node could actually make).
             let decision = {
                 let shard = &*shard;
-                policy.decide(
-                    ctx,
-                    source,
-                    shard.loads[source_offset],
-                    || dest_sampler.sample(source, rng),
-                    |bin| {
-                        if shard.bins.contains(&bin) {
-                            shard.loads[bin - shard.bins.start]
-                        } else {
-                            published[bin]
-                        }
-                    },
-                )
+                match (hetero, &shard.hetero) {
+                    (Some(h), Some(sh)) => policy.decide_weighted(
+                        HeteroRingContext {
+                            n,
+                            total_weight: published_weight_m,
+                            total_speed: h.total_speed,
+                        },
+                        source,
+                        BinState {
+                            weight: sh.weights[source_offset],
+                            speed: h.speeds[source],
+                        },
+                        ball,
+                        || dest_sampler.sample(source, rng),
+                        |bin| BinState {
+                            weight: if shard.bins.contains(&bin) {
+                                sh.weights[bin - shard.bins.start]
+                            } else {
+                                h.published_weights[bin]
+                            },
+                            speed: h.speeds[bin],
+                        },
+                    ),
+                    _ => policy.decide(
+                        RingContext { n, m: published_m },
+                        source,
+                        shard.loads[source_offset],
+                        || dest_sampler.sample(source, rng),
+                        |bin| {
+                            if shard.bins.contains(&bin) {
+                                shard.loads[bin - shard.bins.start]
+                            } else {
+                                published[bin]
+                            }
+                        },
+                    ),
+                }
             };
             if decision.moved {
                 let dest = decision.dest.expect("a moving ring has a destination");
                 shard.loads[source_offset] -= 1;
                 shard.index.decrement(source_offset);
+                let weight = if let Some(sh) = &mut shard.hetero {
+                    let w = match (&mut sh.balls, picked) {
+                        (Some(balls), Some(i)) => balls[source_offset].swap_remove(i),
+                        _ => 1,
+                    };
+                    let speed = hetero.expect("shard hetero implies engine hetero").speeds
+                        [shard.bins.start + source_offset];
+                    sh.weights[source_offset] -= w;
+                    sh.weight_index.sub(source_offset, w);
+                    sh.rate_index.sub(source_offset, speed);
+                    w
+                } else {
+                    1
+                };
                 delta.migrations += 1;
                 if shard.bins.contains(&dest) {
                     let dest_offset = dest - shard.bins.start;
                     shard.loads[dest_offset] += 1;
                     shard.index.increment(dest_offset);
+                    if let Some(sh) = &mut shard.hetero {
+                        let speed =
+                            hetero.expect("shard hetero implies engine hetero").speeds[dest];
+                        sh.weights[dest_offset] += weight;
+                        sh.weight_index.add(dest_offset, weight);
+                        sh.rate_index.add(dest_offset, speed);
+                        if let Some(balls) = &mut sh.balls {
+                            balls[dest_offset].push(weight);
+                        }
+                    }
                 } else {
-                    outbox.push(dest as u32);
+                    outbox.push((dest as u32, weight));
                 }
             }
         }
@@ -568,5 +845,126 @@ mod tests {
             sequential.mean_gap,
             shard_summary.mean_gap
         );
+    }
+
+    fn weighted(n: usize, m: u64, shards: usize, seed: u64) -> ShardedEngine {
+        let initial = Config::uniform(n, m / n as u64).unwrap();
+        let speeds: Vec<u64> = (0..n).map(|i| if i % 4 == 0 { 4 } else { 1 }).collect();
+        ShardedEngine::with_hetero(
+            initial,
+            params(n, m),
+            RebalancePolicy::Rls {
+                variant: rls_core::RlsVariant::Geq,
+            },
+            Topology::Complete,
+            0,
+            shards,
+            0.25,
+            seed,
+            WeightDist::UniformInt { lo: 1, hi: 9 },
+            speeds,
+            &mut rng_from_seed(seed ^ 0x5eed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weighted_construction_validates() {
+        let initial = Config::uniform(8, 4).unwrap();
+        let p = params(8, 32);
+        let policy = RebalancePolicy::Rls {
+            variant: rls_core::RlsVariant::Geq,
+        };
+        // Wrong-length and zero speeds are rejected.
+        for speeds in [vec![1u64; 7], vec![0u64; 8]] {
+            assert!(ShardedEngine::with_hetero(
+                initial.clone(),
+                p,
+                policy,
+                Topology::Complete,
+                0,
+                2,
+                0.5,
+                1,
+                WeightDist::Unit,
+                speeds,
+                &mut rng_from_seed(1),
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn weighted_thread_count_does_not_change_the_trajectory() {
+        let out_1 = weighted(16, 256, 4, 42).run(20.0, 5.0, 1);
+        let out_8 = weighted(16, 256, 4, 42).run(20.0, 5.0, 8);
+        assert_eq!(out_1.final_loads, out_8.final_loads);
+        assert_eq!(out_1.final_weights, out_8.final_weights);
+        assert_eq!(out_1.counters, out_8.counters);
+        assert_eq!(out_1.summary, out_8.summary);
+    }
+
+    #[test]
+    fn weighted_books_stay_consistent_at_every_barrier() {
+        // After every barrier: published weights mirror the per-shard
+        // books, the Fenwicks agree with the dense vectors, and each bin's
+        // ball list carries exactly `load` balls summing to its weight.
+        let mut engine = weighted(16, 256, 4, 9);
+        for _ in 0..40 {
+            engine.step_slice(2);
+            let published_w = engine.weights().unwrap().to_vec();
+            for shard in &engine.shards {
+                let shard = shard.lock().unwrap();
+                let sh = shard.hetero.as_ref().unwrap();
+                let balls = sh.balls.as_ref().unwrap();
+                for (offset, bin) in shard.bins.clone().enumerate() {
+                    assert_eq!(balls[offset].len() as u64, shard.loads[offset]);
+                    let w: u64 = balls[offset].iter().sum();
+                    assert_eq!(w, sh.weights[offset]);
+                    assert_eq!(published_w[bin], w);
+                }
+                let w_total: u64 = sh.weights.iter().sum();
+                assert_eq!(sh.weight_index.total(), w_total);
+                let r_total: u64 = shard
+                    .bins
+                    .clone()
+                    .zip(&shard.loads)
+                    .map(|(bin, &l)| l * engine.speeds().unwrap()[bin])
+                    .sum();
+                assert_eq!(sh.rate_index.total(), r_total);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_hetero_shards_match_the_plain_engine_bit_for_bit() {
+        // Unit weights + uniform speeds must consume the exact same RNG
+        // stream as the pre-heterogeneity engine: same trajectory, and the
+        // weight vector is just the load vector.
+        let n = 16;
+        let m = 256;
+        let plain = sharded(n, m, 4, 42).run(20.0, 5.0, 2);
+        let initial = Config::uniform(n, m / n as u64).unwrap();
+        let unit = ShardedEngine::with_hetero(
+            initial,
+            params(n, m),
+            RebalancePolicy::Rls {
+                variant: rls_core::RlsVariant::Geq,
+            },
+            Topology::Complete,
+            0,
+            4,
+            0.25,
+            42,
+            WeightDist::Unit,
+            vec![1; n],
+            &mut rng_from_seed(7),
+        )
+        .unwrap()
+        .run(20.0, 5.0, 2);
+        assert_eq!(plain.final_loads, unit.final_loads);
+        assert_eq!(plain.counters, unit.counters);
+        assert_eq!(plain.summary, unit.summary);
+        assert_eq!(unit.final_weights.as_deref(), Some(&unit.final_loads[..]));
     }
 }

@@ -16,23 +16,43 @@
 //!   cap.
 //! * **v2** (PR 3): an explicit `version` field plus the load vector only;
 //!   hard-wired to RLS on the complete graph (a `rule` field).
-//! * **v3** ([`SNAPSHOT_VERSION`], current): the engine is generic over a
-//!   rebalance `policy` and a `topology` (plus the `graph_seed` its
-//!   adjacency was drawn from), and the snapshot records all three so a
-//!   restore rebuilds the identical sampler.  v1 and v2 snapshots are
-//!   **rejected with a clear error** rather than silently reinterpreted;
-//!   re-record them by replaying the original seed on the current engine.
+//! * **v3** (PR 5): the engine is generic over a rebalance `policy` and a
+//!   `topology` (plus the `graph_seed` its adjacency was drawn from), and
+//!   the snapshot records all three so a restore rebuilds the identical
+//!   sampler.
+//! * **v4** ([`SNAPSHOT_VERSION`], current): heterogeneity — an optional
+//!   `hetero` section records the weight distribution, the per-bin speed
+//!   vector and (for non-unit distributions) the per-ball weights, so a
+//!   weighted/speed-aware engine restores bit-identically.  `hetero: null`
+//!   is the classic unit engine.  v1–v3 snapshots are **rejected with a
+//!   clear error** rather than silently reinterpreted (a v3 snapshot does
+//!   not say whether its engine was heterogeneity-capable); re-record them
+//!   by replaying the original seed on the current engine.
 
 use rls_core::{Config, RebalancePolicy};
 use rls_graph::Topology;
 use rls_rng::Xoshiro256PlusPlus;
+use rls_workloads::WeightDist;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{LiveCounters, LiveEngine, LiveParams};
 use crate::LiveError;
 
 /// Current snapshot format version (see the module docs for the history).
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// The heterogeneity section of a v4 [`Snapshot`]: everything needed to
+/// rebuild the weight/speed bookkeeping on top of the load vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSnapshot {
+    /// Law of arriving ball weights.
+    pub dist: WeightDist,
+    /// Per-bin integer speeds (all `≥ 1`, one per bin).
+    pub speeds: Vec<u64>,
+    /// Per-ball weights bin by bin; `None` iff `dist` is unit (every ball
+    /// weighs `1` and the per-bin totals are the loads).
+    pub balls: Option<Vec<Vec<u64>>>,
+}
 
 /// A serializable checkpoint of a [`LiveEngine`] plus its RNG.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +76,8 @@ pub struct Snapshot {
     pub graph_seed: u64,
     /// Aggregate counters at capture.
     pub counters: LiveCounters,
+    /// Heterogeneity state (weights/speeds); `None` on unit engines.
+    pub hetero: Option<HeteroSnapshot>,
     /// The caller's generator state (xoshiro256++).
     pub rng_state: [u64; 4],
 }
@@ -73,6 +95,7 @@ impl Snapshot {
             topology: engine.topology(),
             graph_seed: engine.graph_seed(),
             counters: engine.counters(),
+            hetero: capture_hetero(engine),
             rng_state: rng.state(),
         }
     }
@@ -96,6 +119,14 @@ impl Snapshot {
             .ok_or_else(|| LiveError::snapshot("snapshot must be a JSON object"))?;
         match object.get("version").and_then(|v| v.as_u64()) {
             Some(v) if v == SNAPSHOT_VERSION as u64 => {}
+            Some(3) => {
+                return Err(LiveError::snapshot(format!(
+                    "legacy v3 snapshot (pre-heterogeneity): it does not record whether \
+                     the engine carried ball weights or bin speeds, so a restore cannot \
+                     rebuild the weight/rate bookkeeping bit-identically; re-record the \
+                     run with this build to produce a version-{SNAPSHOT_VERSION} snapshot"
+                )))
+            }
             Some(2) => {
                 return Err(LiveError::snapshot(format!(
                     "legacy v2 snapshot (pre-policy, hard-wired to RLS on the complete \
@@ -137,7 +168,7 @@ impl Snapshot {
         if self.rng_state.iter().all(|&w| w == 0) {
             return Err(LiveError::snapshot("all-zero RNG state"));
         }
-        let engine = LiveEngine::from_parts(
+        let mut engine = LiveEngine::from_parts(
             cfg,
             self.params,
             self.policy,
@@ -148,8 +179,31 @@ impl Snapshot {
             self.counters,
         )
         .map_err(|e| LiveError::snapshot(e.to_string()))?;
+        if let Some(h) = &self.hetero {
+            engine
+                .attach_hetero(h.dist, h.speeds.clone(), h.balls.clone())
+                .map_err(|e| LiveError::snapshot(format!("bad hetero section: {e}")))?;
+        }
         Ok((engine, Xoshiro256PlusPlus::from_state(self.rng_state)))
     }
+}
+
+/// The heterogeneity section of `engine`, if it has one.
+fn capture_hetero(engine: &LiveEngine) -> Option<HeteroSnapshot> {
+    if !engine.is_hetero() {
+        return None;
+    }
+    let n = engine.config().n();
+    let balls = engine.stores_ball_weights().then(|| {
+        (0..n)
+            .map(|b| engine.ball_weights(b).expect("weighted engine").to_vec())
+            .collect()
+    });
+    Some(HeteroSnapshot {
+        dist: engine.weight_dist(),
+        speeds: engine.speeds().expect("hetero engine has speeds").to_vec(),
+        balls,
+    })
 }
 
 #[cfg(test)]
@@ -243,6 +297,102 @@ mod tests {
         assert_eq!(straight.config(), resumed.config());
         assert_eq!(straight.counters(), resumed.counters());
         assert_eq!(rng_a.state(), rng_c.state());
+    }
+
+    #[test]
+    fn weighted_engines_round_trip_through_snapshots() {
+        use rls_workloads::WeightDist;
+
+        let params =
+            LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 8, 64).unwrap();
+        let speeds = vec![4, 1, 1, 1, 2, 1, 1, 1];
+        let build = |rng: &mut rls_rng::DefaultRng| {
+            LiveEngine::with_hetero(
+                Config::uniform(8, 8).unwrap(),
+                params,
+                RebalancePolicy::Rls {
+                    variant: rls_core::RlsVariant::Geq,
+                },
+                Topology::Complete,
+                0,
+                WeightDist::UniformInt { lo: 1, hi: 9 },
+                speeds.clone(),
+                rng,
+            )
+            .unwrap()
+        };
+
+        let mut rng_a = rng_from_seed(21);
+        let mut straight = build(&mut rng_a);
+        straight.run_until(30.0, &mut rng_a, &mut ());
+
+        let mut rng_b = rng_from_seed(21);
+        let mut paused = build(&mut rng_b);
+        paused.run_until(12.0, &mut rng_b, &mut ());
+        let json = serde_json::to_string(&Snapshot::capture(&paused, &rng_b)).unwrap();
+        let snap = Snapshot::from_json(&json).unwrap();
+        let h = snap.hetero.as_ref().expect("weighted snapshot has hetero");
+        assert_eq!(h.speeds, speeds);
+        assert!(h.balls.is_some());
+        let (mut resumed, mut rng_c) = snap.restore().unwrap();
+        assert!(resumed.hetero_matches());
+        resumed.run_until(30.0, &mut rng_c, &mut ());
+
+        assert_eq!(straight.config(), resumed.config());
+        assert_eq!(straight.counters(), resumed.counters());
+        assert_eq!(straight.time().to_bits(), resumed.time().to_bits());
+        assert_eq!(rng_a.state(), rng_c.state());
+        for b in 0..8 {
+            assert_eq!(straight.bin_weight(b), resumed.bin_weight(b));
+            assert_eq!(straight.ball_weights(b), resumed.ball_weights(b));
+        }
+    }
+
+    #[test]
+    fn corrupt_hetero_sections_are_rejected() {
+        use rls_workloads::WeightDist;
+
+        let eng = engine();
+        let rng = rng_from_seed(5);
+        let good = Snapshot::capture(&eng, &rng);
+        assert!(good.hetero.is_none(), "unit engines snapshot no hetero");
+
+        // Wrong speeds length.
+        let mut bad = good.clone();
+        bad.hetero = Some(HeteroSnapshot {
+            dist: WeightDist::Unit,
+            speeds: vec![1; 3],
+            balls: None,
+        });
+        assert!(bad.restore().is_err());
+
+        // Ball counts disagreeing with the loads.
+        let mut bad = good.clone();
+        bad.hetero = Some(HeteroSnapshot {
+            dist: WeightDist::UniformInt { lo: 1, hi: 4 },
+            speeds: vec![1; 8],
+            balls: Some(vec![vec![2]; 8]),
+        });
+        assert!(bad.restore().is_err());
+    }
+
+    #[test]
+    fn legacy_v3_snapshots_are_rejected_with_a_migration_error() {
+        // A faithful v3 shape: policy/topology but no hetero section.
+        let v3 = r#"{
+            "version": 3, "time": 3.5, "seq": 10,
+            "loads": [2, 1],
+            "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.5},
+            "policy": {"Rls": {"variant": "Geq"}},
+            "topology": "Complete",
+            "graph_seed": 0,
+            "counters": {"arrivals": 0, "departures": 0, "rings": 10, "migrations": 2, "events": 10},
+            "rng_state": [1, 2, 3, 4]
+        }"#;
+        let err = Snapshot::from_json(v3).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("legacy v3"), "{msg}");
+        assert!(msg.contains("re-record"), "{msg}");
     }
 
     #[test]

@@ -83,10 +83,22 @@ fn pinned_ring_decisions_match_the_reference_rules() {
         for step in 0..2000 {
             // Churn a little so the loads wander.
             engine
-                .apply(&LiveCommand::Arrive { bin: None }, &mut rng)
+                .apply(
+                    &LiveCommand::Arrive {
+                        bin: None,
+                        weight: None,
+                    },
+                    &mut rng,
+                )
                 .unwrap();
             engine
-                .apply(&LiveCommand::Depart { bin: None }, &mut rng)
+                .apply(
+                    &LiveCommand::Depart {
+                        bin: None,
+                        weight: None,
+                    },
+                    &mut rng,
+                )
                 .unwrap();
             let source = rng.next_index(n);
             let dest = rng.next_index(n);

@@ -9,7 +9,7 @@ use rls_core::{Config, LoadIndex, RebalancePolicy, RlsVariant};
 use rls_graph::Topology;
 use rls_live::{LiveCommand, LiveEngine, LiveParams};
 use rls_rng::rng_from_seed;
-use rls_workloads::ArrivalProcess;
+use rls_workloads::{ArrivalProcess, WeightDist};
 
 const POLICIES: &[RebalancePolicy] = &[
     RebalancePolicy::Rls {
@@ -75,8 +75,8 @@ proptest! {
         for &(kind, coord, pin) in &script {
             let bin = pin.then_some(coord as usize % n);
             let cmd = match kind {
-                0 => LiveCommand::Arrive { bin },
-                1 => LiveCommand::Depart { bin },
+                0 => LiveCommand::Arrive { bin, weight: None },
+                1 => LiveCommand::Depart { bin, weight: None },
                 // Rings leave both coordinates to the engine: pinned
                 // destinations are exercised by the adjacency tests, and
                 // sampling keeps the script valid on sparse topologies.
@@ -110,5 +110,136 @@ proptest! {
             prop_assert_eq!(engine.index().bin_at(rank), rebuilt.bin_at(rank));
             rank += 1 + total / 17;
         }
+    }
+}
+
+/// Weight laws exercised by the heterogeneous property test: the unit law
+/// covers the weights-implicit path (no per-ball vectors), the others the
+/// weight-carrying one.
+const DISTS: &[WeightDist] = &[
+    WeightDist::Unit,
+    WeightDist::UniformInt { lo: 1, hi: 8 },
+    WeightDist::Pareto {
+        alpha: 1.5,
+        cap: 32,
+    },
+];
+
+/// `(load, speed)` per bin with a weight-law pick, plus policy/topology
+/// picks, a seed and a command script.  (The first two ride in a nested
+/// pair: the vendored proptest implements `Strategy` for tuples of at
+/// most five elements.)
+type HeteroInstance = (
+    (Vec<(u64, u64)>, usize),
+    usize,
+    usize,
+    u64,
+    Vec<(u8, u16, bool)>,
+);
+
+fn hetero_instance_strategy() -> impl Strategy<Value = HeteroInstance> {
+    (
+        (
+            prop::collection::vec((0u64..=12, 1u64..=4), 1..=10),
+            0..DISTS.len(),
+        ),
+        0..POLICIES.len(),
+        0..TOPOLOGIES.len(),
+        0u64..1 << 48,
+        prop::collection::vec(command_strategy(), 1..=60),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary command interleavings on a *heterogeneous* engine keep
+    /// the weight-aware bookkeeping exact: the weight Fenwick, the
+    /// rate-mass Fenwick (`s_i·ℓ_i`), the per-bin weight mirror and the
+    /// per-ball vectors all agree with from-scratch rebuilds after every
+    /// command, for every policy, topology shape and weight law.
+    #[test]
+    fn weighted_engines_preserve_both_fenwick_invariants(
+        ((bins, dist_idx), policy_idx, topo_idx, seed, script) in hetero_instance_strategy()
+    ) {
+        let policy = POLICIES[policy_idx];
+        let topology = TOPOLOGIES[topo_idx];
+        let dist = DISTS[dist_idx];
+        let loads: Vec<u64> = bins.iter().map(|&(l, _)| l).collect();
+        let speeds: Vec<u64> = bins.iter().map(|&(_, s)| s).collect();
+        let initial = Config::from_loads(loads).unwrap();
+        let n = initial.n();
+        let params = LiveParams {
+            arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            service_rate: 0.5,
+        };
+        let mut engine = LiveEngine::with_hetero(
+            initial,
+            params,
+            policy,
+            topology,
+            seed ^ 0x6AF1,
+            dist,
+            speeds.clone(),
+            &mut rng_from_seed(seed ^ 0x11),
+        )
+        .unwrap();
+        let mut rng = rng_from_seed(seed);
+
+        for &(kind, coord, pin) in &script {
+            let bin = pin.then_some(coord as usize % n);
+            let cmd = match kind {
+                0 => LiveCommand::Arrive {
+                    bin,
+                    // Pinned weights only make sense when the engine
+                    // stores per-ball weights; otherwise the law decides.
+                    weight: (pin && engine.stores_ball_weights())
+                        .then_some(1 + coord as u64 % 8),
+                },
+                1 => {
+                    // When possible, pin the departing weight to one that
+                    // actually exists in the pinned bin, exercising the
+                    // targeted-removal path.
+                    let weight = bin
+                        .filter(|_| engine.stores_ball_weights())
+                        .and_then(|b| engine.ball_weights(b))
+                        .filter(|balls| !balls.is_empty())
+                        .map(|balls| balls[coord as usize % balls.len()]);
+                    LiveCommand::Depart { bin, weight }
+                }
+                _ => LiveCommand::Ring { source: None, dest: None },
+            };
+            let _ = engine.apply(&cmd, &mut rng);
+
+            // Classic invariants still hold on the weighted engine...
+            prop_assert!(engine.tracker().matches(engine.config()));
+            prop_assert!(engine.index().matches(engine.config()));
+            // ...and the heterogeneity books agree with a full rebuild.
+            prop_assert!(engine.hetero_matches());
+        }
+
+        // Brute-force rebuilds of both auxiliary Fenwick trees from the
+        // public accessors: totals and every sampled rank query agree.
+        let weights: Vec<u64> = (0..n).map(|b| engine.bin_weight(b)).collect();
+        let rates: Vec<u64> = (0..n)
+            .map(|b| engine.config().load(b) * engine.speed(b))
+            .collect();
+        for (live, rebuilt) in [
+            (engine.weight_index().unwrap(), LoadIndex::from_loads(&weights)),
+            (engine.rate_index().unwrap(), LoadIndex::from_loads(&rates)),
+        ] {
+            prop_assert_eq!(live.total(), rebuilt.total());
+            let total = rebuilt.total();
+            let mut rank = 0u64;
+            while rank < total {
+                prop_assert_eq!(live.bin_at(rank), rebuilt.bin_at(rank));
+                rank += 1 + total / 17;
+            }
+        }
+        // The speed vector is never perturbed by commands.
+        prop_assert_eq!(
+            (0..n).map(|b| engine.speed(b)).collect::<Vec<_>>(),
+            speeds
+        );
     }
 }

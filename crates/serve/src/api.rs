@@ -18,6 +18,10 @@ pub struct ArriveRequest {
     /// to draw from the server's auto-rebalance policy.  Trace replay pins
     /// this to `0`.
     pub rings: Option<u64>,
+    /// Weight of the arriving ball (`≥ 1`); omit to draw it from the
+    /// server's weight distribution (`1` on unit servers).  Weights other
+    /// than `1` need a server booted with `--weights`.
+    pub weight: Option<u64>,
 }
 
 /// Reply of `POST /v1/arrive`.
@@ -25,6 +29,10 @@ pub struct ArriveRequest {
 pub struct ArriveReply {
     /// The bin the ball was assigned to.
     pub bin: usize,
+    /// Weight the ball arrived with: the pinned request weight, or the
+    /// drawn one on weighted servers.  `null` on unit servers (every ball
+    /// weighs `1`).
+    pub weight: Option<u64>,
     /// Population after the arrival (and its rebalance rings).
     pub m: u64,
     /// Engine clock after the event.
@@ -104,6 +112,12 @@ pub struct BootIdentity {
     pub topology: String,
     /// Seed the (sparse) adjacency was drawn from.
     pub graph_seed: u64,
+    /// Weight distribution, in spec-string form (`unit`, `uniform:1:8`,
+    /// `pareto:1.5:64`).
+    pub weights: String,
+    /// Bin-speed digest: `uniform` when every bin runs at speed 1,
+    /// otherwise a compact `mixed:…` summary of the speed vector.
+    pub speeds: String,
     /// Snapshot format version this server reads and writes.
     pub snapshot_version: u32,
 }
@@ -127,8 +141,41 @@ pub struct StatsReply {
     pub summary: SteadySummary,
     /// Aggregate event counters since boot (or the last restore).
     pub counters: LiveCounters,
+    /// Heterogeneity digest; `null` on unit servers.
+    pub hetero: Option<HeteroStats>,
     /// The engine's boot identity (seed, shape, policy, topology).
     pub identity: BootIdentity,
+}
+
+/// Heterogeneity digest inside [`StatsReply`], present only on servers
+/// booted with `--weights`/`--speeds`.
+///
+/// Normalized load is `W_i / s_i` (total ball weight over bin speed) — the
+/// quantity the weighted RLS rule balances.  The `opt_*` fields are a
+/// *certified* interval around the best achievable maximum normalized load
+/// for the current ball population (`rls_analysis::makespan_bound`): no
+/// assignment can beat `opt_lower`, and `opt_upper` is achieved by a
+/// concrete greedy assignment.  `certified_gap` is therefore a proof, not
+/// an estimate: the current placement is at most that far above optimal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroStats {
+    /// Total ball weight `Σ W_i`.
+    pub total_weight: u64,
+    /// Total bin speed `Σ s_i`.
+    pub total_speed: u64,
+    /// Median instantaneous normalized load.
+    pub norm_p50: f64,
+    /// 99th-percentile instantaneous normalized load.
+    pub norm_p99: f64,
+    /// Maximum instantaneous normalized load (the current makespan).
+    pub norm_max: f64,
+    /// Certified lower bound on the optimal makespan.
+    pub opt_lower: f64,
+    /// Certified upper bound on the optimal makespan (greedy witness).
+    pub opt_upper: f64,
+    /// `norm_max − opt_lower`, clamped at `0`: the certified distance to
+    /// optimal.
+    pub certified_gap: f64,
 }
 
 /// Reply of `POST /v1/restore`.
@@ -177,6 +224,7 @@ mod tests {
     fn replies_round_trip() {
         let reply = ArriveReply {
             bin: 4,
+            weight: Some(3),
             m: 65,
             time: 1.25,
             seq: 17,

@@ -14,7 +14,7 @@ use rls_live::{
 use rls_rng::{rng_from_seed, DefaultRng};
 
 use crate::api::{
-    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply,
+    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply, HeteroStats,
     RestoreReply, RingReply, RingRequest, StatsReply,
 };
 use crate::ServeError;
@@ -121,6 +121,9 @@ impl ServeCore {
     /// rings (or exactly `req.rings` of them).
     pub fn arrive(&mut self, req: &ArriveRequest) -> Result<ArriveReply, ServeError> {
         self.check_bin("arrival", req.bin)?;
+        if req.weight == Some(0) {
+            return Err(ServeError::bad_request("arrival weight must be at least 1"));
+        }
         let rings = match req.rings {
             Some(rings) if rings > MAX_RINGS_PER_REQUEST => {
                 return Err(ServeError::bad_request(format!(
@@ -135,10 +138,21 @@ impl ServeCore {
                 .sample_auto_rings(self.policy.rings_per_arrival, &mut self.rng),
         };
 
+        // Resolve the ball's weight *here* so the reply can echo it: an
+        // explicit weight is pinned as-is, otherwise the engine's weight
+        // distribution is sampled (no draw — and no field in the reply —
+        // on unit engines, keeping their byte streams unchanged).
+        let weight = match req.weight {
+            Some(w) => Some(w),
+            None => self.engine.sample_arrival_weight(&mut self.rng),
+        };
         let event = self
             .engine
             .apply_with(
-                &LiveCommand::Arrive { bin: req.bin },
+                &LiveCommand::Arrive {
+                    bin: req.bin,
+                    weight,
+                },
                 &mut self.rng,
                 &mut self.steady,
             )
@@ -169,6 +183,7 @@ impl ServeCore {
 
         Ok(ArriveReply {
             bin,
+            weight,
             m: self.engine.config().m(),
             time: self.engine.time(),
             seq: self.engine.counters().events,
@@ -183,7 +198,10 @@ impl ServeCore {
         let event = self
             .engine
             .apply_with(
-                &LiveCommand::Depart { bin: req.bin },
+                &LiveCommand::Depart {
+                    bin: req.bin,
+                    weight: None,
+                },
                 &mut self.rng,
                 &mut self.steady,
             )
@@ -246,6 +264,7 @@ impl ServeCore {
             max_load: tracker.max_load(),
             summary: self.steady.clone().finish(self.engine.time()),
             counters: self.engine.counters(),
+            hetero: hetero_stats(&self.engine),
             identity: self.identity.clone(),
         }
     }
@@ -300,8 +319,62 @@ fn identity_of(engine: &LiveEngine, seed: u64) -> BootIdentity {
         policy: engine.policy().to_string(),
         topology: engine.topology().to_string(),
         graph_seed: engine.graph_seed(),
+        weights: engine.weight_dist().to_string(),
+        speeds: speeds_digest(engine.speeds()),
         snapshot_version: SNAPSHOT_VERSION,
     }
+}
+
+/// A compact, deterministic digest of the speed vector for the boot
+/// identity: `uniform` when every bin runs at speed 1, otherwise a
+/// `mixed:…` summary (two like-for-like servers agree on it; the exact
+/// vector lives in snapshots).
+fn speeds_digest(speeds: Option<&[u64]>) -> String {
+    match speeds {
+        None => "uniform".to_string(),
+        Some(s) if s.iter().all(|&v| v == 1) => "uniform".to_string(),
+        Some(s) => {
+            let min = s.iter().min().copied().unwrap_or(1);
+            let max = s.iter().max().copied().unwrap_or(1);
+            let sum: u64 = s.iter().sum();
+            format!("mixed:min={min}:max={max}:sum={sum}")
+        }
+    }
+}
+
+/// The heterogeneity digest of `/v1/stats` (`None` on unit engines):
+/// instantaneous normalized-load percentiles plus the certified optimality
+/// interval from [`rls_analysis::makespan_bound`].
+fn hetero_stats(engine: &LiveEngine) -> Option<HeteroStats> {
+    if !engine.is_hetero() {
+        return None;
+    }
+    let n = engine.config().n();
+    let speeds: Vec<u64> = (0..n).map(|b| engine.speed(b)).collect();
+    let mut norms: Vec<f64> = (0..n).map(|b| engine.normalized_load(b)).collect();
+    norms.sort_by(|a, b| a.partial_cmp(b).expect("normalized loads are finite"));
+    let at = |p: f64| norms[((n - 1) as f64 * p).round() as usize];
+
+    let bound = if engine.stores_ball_weights() {
+        let weights: Vec<u64> = (0..n)
+            .flat_map(|b| engine.ball_weights(b).expect("weighted engine").iter())
+            .copied()
+            .collect();
+        rls_analysis::makespan_bound(&weights, &speeds)
+    } else {
+        rls_analysis::makespan_bound_unit(engine.config().m(), &speeds)
+    };
+    let norm_max = norms[n - 1];
+    Some(HeteroStats {
+        total_weight: engine.total_weight(),
+        total_speed: engine.total_speed(),
+        norm_p50: at(0.50),
+        norm_p99: at(0.99),
+        norm_max,
+        opt_lower: bound.lower,
+        opt_upper: bound.upper,
+        certified_gap: (norm_max - bound.lower).max(0.0),
+    })
 }
 
 #[cfg(test)]
@@ -332,6 +405,7 @@ mod tests {
             .arrive(&ArriveRequest {
                 bin: Some(3),
                 rings: None,
+                weight: None,
             })
             .unwrap();
         assert_eq!(a.bin, 3);
@@ -376,6 +450,7 @@ mod tests {
             .arrive(&ArriveRequest {
                 bin: None,
                 rings: Some(0),
+                weight: None,
             })
             .unwrap();
         assert_eq!(a.rings, 0);
@@ -388,7 +463,8 @@ mod tests {
         assert_eq!(
             c.arrive(&ArriveRequest {
                 bin: Some(99),
-                rings: None
+                rings: None,
+                weight: None,
             })
             .unwrap_err()
             .status,
@@ -406,7 +482,8 @@ mod tests {
         assert_eq!(
             c.arrive(&ArriveRequest {
                 bin: None,
-                rings: Some(MAX_RINGS_PER_REQUEST + 1)
+                rings: Some(MAX_RINGS_PER_REQUEST + 1),
+                weight: None,
             })
             .unwrap_err()
             .status,
@@ -495,6 +572,7 @@ mod tests {
             let req = ArriveRequest {
                 bin: (i % 3 == 0).then_some((i % 8) as usize),
                 rings: None,
+                weight: None,
             };
             assert_eq!(a.arrive(&req).unwrap(), b.arrive(&req).unwrap());
             if i % 4 == 0 {

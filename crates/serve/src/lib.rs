@@ -52,7 +52,7 @@ pub mod loadgen;
 pub mod server;
 
 pub use api::{
-    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply,
+    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply, HeteroStats,
     RestoreReply, RingReply, RingRequest, StatsReply,
 };
 pub use client::HttpClient;

@@ -398,7 +398,8 @@ mod tests {
             route("POST", "/v1/arrive", br#"{"bin": 2, "rings": 0}"#).unwrap(),
             EngineCmd::Arrive(ArriveRequest {
                 bin: Some(2),
-                rings: Some(0)
+                rings: Some(0),
+                weight: None
             })
         ));
         assert!(matches!(

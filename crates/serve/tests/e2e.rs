@@ -111,6 +111,7 @@ fn http_stats_match_an_offline_core_with_the_same_seed() {
         let req = ArriveRequest {
             bin: (i % 5 == 0).then_some((i % 16) as usize),
             rings: (i % 7 == 0).then_some(i % 3),
+            weight: None,
         };
         let body = serde_json::to_string(&req).unwrap();
         let over_http: ArriveReply = serde_json::from_str(
@@ -341,6 +342,7 @@ fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
         let req = ArriveRequest {
             bin: (i % 4 == 0).then_some((i % 16) as usize),
             rings: None,
+            weight: None,
         };
         let body = serde_json::to_string(&req).unwrap();
         let over_http: ArriveReply = serde_json::from_str(
@@ -369,7 +371,7 @@ fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
     assert_eq!(over_http.identity.policy, "greedy-2");
     assert_eq!(over_http.identity.topology, "torus");
     assert_eq!(over_http.identity.seed, seed);
-    assert_eq!(over_http.identity.snapshot_version, 3);
+    assert_eq!(over_http.identity.snapshot_version, 4);
 
     // Pinned rings respect the torus adjacency over the wire: bins 0 and
     // 5 are diagonal neighbours-of-neighbours, not adjacent.
@@ -390,7 +392,7 @@ fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
 }
 
 #[test]
-fn snapshot_v3_round_trips_across_policy_servers() {
+fn snapshot_v4_round_trips_across_policy_servers() {
     // A snapshot taken from a greedy-2/torus server restores onto a
     // second server (booted with a different seed and policy history) and
     // both continue bit-identically: the snapshot carries policy,
@@ -402,7 +404,7 @@ fn snapshot_v3_round_trips_across_policy_servers() {
     }
     let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
     let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
-    assert_eq!(snapshot.version, 3);
+    assert_eq!(snapshot.version, 4);
     assert_eq!(snapshot.topology.to_string(), "torus");
 
     let other = boot(policy_core(999, 1.0), 2);
@@ -435,6 +437,169 @@ fn snapshot_v3_round_trips_across_policy_servers() {
         "{}",
         String::from_utf8_lossy(&body)
     );
+
+    server.shutdown();
+    other.shutdown();
+}
+
+/// An RLS core with uniform-int ball weights and a 2-speed-class profile
+/// (the `serve run --weights uniform:1:8 --speeds …` scenario).
+fn weighted_core(seed: u64, rings_per_arrival: f64) -> ServeCore {
+    use rls_core::RebalancePolicy;
+    use rls_graph::Topology;
+    use rls_workloads::WeightDist;
+
+    let initial = Config::uniform(16, 4).unwrap();
+    let params =
+        LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 64).unwrap();
+    let speeds: Vec<u64> = (0..16).map(|b| if b % 4 == 0 { 4 } else { 1 }).collect();
+    let engine = LiveEngine::with_hetero(
+        initial,
+        params,
+        RebalancePolicy::rls(),
+        Topology::Complete,
+        0xFEED,
+        WeightDist::UniformInt { lo: 1, hi: 8 },
+        speeds,
+        &mut rng_from_seed(seed ^ 0x4E16),
+    )
+    .unwrap();
+    ServeCore::new(engine, seed, 0.0, ServePolicy { rings_per_arrival })
+}
+
+#[test]
+fn weighted_arrivals_over_http_are_bit_equal_to_an_offline_core() {
+    // Sampled and pinned weights through the HTTP layer against an
+    // offline core with the same seed: every echoed weight, every load
+    // move and the final stats digest (including the certified optimality
+    // gap) must agree to the bit.
+    let seed = 0xE23;
+    let server = boot(weighted_core(seed, 1.5), 3);
+    let mut offline = weighted_core(seed, 1.5);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    for i in 0..120u64 {
+        let req = ArriveRequest {
+            bin: (i % 4 == 0).then_some((i % 16) as usize),
+            rings: (i % 7 == 0).then_some(i % 3),
+            weight: (i % 5 == 0).then_some(1 + i % 8),
+        };
+        let body = serde_json::to_string(&req).unwrap();
+        let over_http: ArriveReply = serde_json::from_str(
+            &client
+                .request_ok("POST", "/v1/arrive", body.as_bytes())
+                .unwrap(),
+        )
+        .unwrap();
+        let expected = offline.arrive(&req).unwrap();
+        assert_eq!(over_http, expected, "arrival {i}");
+        // Weighted servers echo a weight on every arrival — the pinned
+        // one verbatim, a drawn one otherwise.
+        match req.weight {
+            Some(w) => assert_eq!(over_http.weight, Some(w), "arrival {i}"),
+            None => assert!(over_http.weight.is_some(), "arrival {i}"),
+        }
+        if i % 3 == 0 {
+            let over_http: DepartReply =
+                serde_json::from_str(&client.request_ok("POST", "/v1/depart", b"").unwrap())
+                    .unwrap();
+            assert_eq!(
+                over_http,
+                offline.depart(&DepartRequest { bin: None }).unwrap(),
+                "departure {i}"
+            );
+        }
+    }
+
+    let over_http: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let expected = offline.stats();
+    assert_eq!(over_http, expected);
+    let hetero = over_http.hetero.as_ref().expect("weighted server");
+    let expected_hetero = expected.hetero.as_ref().unwrap();
+    assert_eq!(
+        hetero.certified_gap.to_bits(),
+        expected_hetero.certified_gap.to_bits(),
+        "certified gap must agree to the bit"
+    );
+    assert!(hetero.opt_lower <= hetero.norm_max);
+    assert!(hetero.norm_p50 <= hetero.norm_p99);
+    assert!(hetero.norm_p99 <= hetero.norm_max);
+    assert_eq!(over_http.identity.weights, "uniform:1:8");
+    assert!(
+        over_http.identity.speeds.starts_with("mixed"),
+        "speed digest: {}",
+        over_http.identity.speeds
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_v4_preserves_weights_and_speeds_across_servers() {
+    // A snapshot of a weighted server carries the heterogeneity section;
+    // restoring it onto a second server reproduces the weighted
+    // trajectory bit-for-bit and the restored server reports the same
+    // heterogeneity digest.
+    let server = boot(weighted_core(5, 1.0), 2);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..60 {
+        client.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
+    let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
+    assert_eq!(snapshot.version, 4);
+    let hetero = snapshot.hetero.as_ref().expect("weighted snapshot");
+    assert_eq!(hetero.speeds.len(), 16);
+    assert!(
+        hetero.balls.is_some(),
+        "uniform:1:8 stores per-ball weights"
+    );
+
+    // The restore target was booted with a different seed *and* a
+    // different heterogeneity shape — the snapshot overrides all of it.
+    let other = boot(weighted_core(999, 1.0), 2);
+    let mut other_client = HttpClient::connect(other.addr()).unwrap();
+    for _ in 0..9 {
+        other_client.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    other_client
+        .request_ok("POST", "/v1/restore", snapshot_json.as_bytes())
+        .unwrap();
+
+    for i in 0..30 {
+        let a = client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        let b = other_client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        assert_eq!(a, b, "diverged at post-restore arrival {i}");
+    }
+    let stats_a: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let stats_b: StatsReply =
+        serde_json::from_str(&other_client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats_a.hetero, stats_b.hetero, "hetero digests diverged");
+    assert!(stats_b.hetero.is_some());
+    assert_eq!(stats_a.m, stats_b.m);
+    assert_eq!(stats_b.identity.weights, "uniform:1:8");
+    assert_eq!(stats_b.identity.speeds, stats_a.identity.speeds);
+
+    // A v3-shaped snapshot (pre-heterogeneity) is rejected over the wire
+    // with the migration error, and the server stays healthy.
+    let v3 = br#"{
+        "version": 3, "time": 3.5, "seq": 10,
+        "loads": [2, 1],
+        "params": {"arrivals": {"Poisson": {"rate_per_bin": 1.0}}, "service_rate": 0.5},
+        "policy": {"Rls": {"variant": "Geq"}},
+        "topology": "Complete",
+        "graph_seed": 0,
+        "counters": {"arrivals": 0, "departures": 0, "rings": 10, "migrations": 2, "events": 10},
+        "rng_state": [1, 2, 3, 4]
+    }"#;
+    let (status, body) = other_client.request("POST", "/v1/restore", v3).unwrap();
+    assert_eq!(status, 400);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("legacy v3"), "{text}");
+    assert!(text.contains("re-record"), "{text}");
+    other_client.request_ok("GET", "/healthz", b"").unwrap();
 
     server.shutdown();
     other.shutdown();

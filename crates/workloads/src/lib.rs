@@ -34,9 +34,11 @@
 
 mod arrivals;
 mod generators;
+mod hetero;
 
 pub use arrivals::{ArrivalProcess, RequestEpoch, RequestSchedule};
 pub use generators::{GeneratorError, Workload};
+pub use hetero::{SpeedProfile, WeightDist};
 
 #[cfg(test)]
 mod tests {
