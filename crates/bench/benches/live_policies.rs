@@ -18,10 +18,11 @@
 //! quick-bench job uses it and uploads the JSON-lines records emitted via
 //! `RLS_BENCH_JSON` (see `vendor/criterion`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{append_custom_record, criterion_group, criterion_main, Criterion};
 use rls_core::{Config, RebalancePolicy};
 use rls_graph::Topology;
 use rls_live::{LiveEngine, LiveParams, SteadyState};
+use rls_obs::Registry;
 use rls_rng::rng_from_seed;
 use rls_workloads::ArrivalProcess;
 
@@ -92,10 +93,24 @@ fn policy_topology_grid(c: &mut Criterion) {
             );
             // Steady-state quality, measured once per cell outside the
             // timed loop (same seed across cells → identical churn law).
+            // This pass carries the telemetry tap: its counters feed the
+            // events/s and descent-depth records in BENCH_live.json.
+            let registry = Registry::new();
             let mut eng = engine(policy, topology);
+            eng.attach_metrics(&registry);
             let mut steady = SteadyState::new(horizon * 0.25);
+            let started = std::time::Instant::now();
             eng.run_until(horizon, &mut rng_from_seed(7), &mut steady);
+            let wall = started.elapsed().as_secs_f64();
             let summary = steady.finish(eng.time());
+            let metrics = eng.metrics().expect("metrics attached above");
+            let events = metrics.events.get() as f64;
+            let cell = format!("policy_topology/{pname}_{tname}");
+            append_custom_record(&format!("{cell}/events_per_sec"), events / wall.max(1e-9));
+            append_custom_record(
+                &format!("{cell}/mean_descent_depth"),
+                metrics.descent_depth.snapshot().mean(),
+            );
             gaps.push((
                 format!("{pname} on {tname}"),
                 summary.mean_gap,

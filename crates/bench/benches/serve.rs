@@ -17,9 +17,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{append_custom_record, criterion_group, criterion_main, Criterion};
 use rls_core::{Config, RlsRule};
 use rls_live::{LiveEngine, LiveParams};
+use rls_obs::Registry;
 use rls_serve::{drive, serve, BenchOptions, DriveMode, ServeCore, ServePolicy, ServerConfig};
 use rls_workloads::ArrivalProcess;
 
@@ -37,14 +38,14 @@ fn requests_per_iter() -> u64 {
     }
 }
 
-fn boot() -> rls_serve::HttpServer {
+fn boot(registry: &Registry) -> rls_serve::HttpServer {
     let m = N as u64 * PER_BIN;
     let initial = Config::uniform(N, PER_BIN).expect("bench instance is valid");
     let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 1.0 }, N, m)
         .expect("bench parameters are valid");
     let engine = LiveEngine::new(initial, params, RlsRule::paper()).expect("valid engine");
     // The balanced default: rings at rate m vs arrivals at rate λ = n.
-    let core = ServeCore::new(
+    let mut core = ServeCore::new(
         engine,
         0xE21,
         0.0,
@@ -52,6 +53,9 @@ fn boot() -> rls_serve::HttpServer {
             rings_per_arrival: m as f64 / N as f64,
         },
     );
+    // The telemetry tap rides along for free (write-only atomics off the
+    // measured path): its counters feed the BENCH_serve.json records.
+    core.attach_metrics(registry);
     serve(
         core,
         &ServerConfig {
@@ -66,31 +70,36 @@ fn serving_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(10);
 
-    let server = boot();
+    let registry = Registry::new();
+    let server = boot(&registry);
     let addr = server.addr();
     let requests = requests_per_iter();
     for pipeline in [1usize, 16] {
-        group.bench_function(
-            format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs"),
-            |b| {
-                b.iter(|| {
-                    let report = drive(
-                        addr,
-                        &BenchOptions {
-                            connections: CONNECTIONS,
-                            duration: Duration::from_secs(60),
-                            max_requests: Some(requests),
-                            mode: DriveMode::Closed,
-                            pipeline,
-                            depart_fraction: 0.5,
-                            ..BenchOptions::default()
-                        },
-                    )
-                    .expect("generator runs");
-                    assert!(report.errors == 0, "transport errors: {}", report.errors);
-                    (report.requests, report.p99_us)
-                });
-            },
+        let name = format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs");
+        let mut last_rps = 0.0;
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let report = drive(
+                    addr,
+                    &BenchOptions {
+                        connections: CONNECTIONS,
+                        duration: Duration::from_secs(60),
+                        max_requests: Some(requests),
+                        mode: DriveMode::Closed,
+                        pipeline,
+                        depart_fraction: 0.5,
+                        ..BenchOptions::default()
+                    },
+                )
+                .expect("generator runs");
+                assert!(report.errors == 0, "transport errors: {}", report.errors);
+                last_rps = report.rps;
+                (report.requests, report.p99_us)
+            });
+        });
+        append_custom_record(
+            &format!("serving_throughput/{name}/requests_per_sec"),
+            last_rps,
         );
     }
     drop(server);

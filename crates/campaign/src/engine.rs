@@ -8,9 +8,14 @@
 //! every core busy.  Trials within a cell run sequentially on their own
 //! derived streams; results are bit-identical regardless of thread count.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use rls_obs::Registry;
 use rls_sim::parallel::{default_threads, parallel_map};
 
 use crate::cell::{cell_seed, run_cell, CellResult};
+use crate::metrics::CampaignMetrics;
 use crate::spec::{CampaignSpec, CellSpec};
 use crate::store::{cell_key, CellRecord, Store, ENGINE_VERSION};
 use crate::CampaignError;
@@ -19,6 +24,9 @@ use crate::CampaignError;
 #[derive(Debug, Clone)]
 pub struct Campaign {
     spec: CampaignSpec,
+    /// Telemetry tap; never consulted, so attaching it cannot change
+    /// which cells run or what they compute.
+    metrics: Option<Arc<CampaignMetrics>>,
 }
 
 /// How much of a campaign's grid is already in the store.
@@ -61,7 +69,21 @@ pub struct CampaignReport {
 impl Campaign {
     /// Bind a spec.
     pub fn new(spec: CampaignSpec) -> Self {
-        Self { spec }
+        Self {
+            spec,
+            metrics: None,
+        }
+    }
+
+    /// Attach campaign telemetry (store hit/miss, per-cell wall time and
+    /// event counts) to `registry`.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(CampaignMetrics::register(registry));
+    }
+
+    /// The attached telemetry, if any.
+    pub fn metrics(&self) -> Option<&Arc<CampaignMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The underlying spec.
@@ -118,13 +140,28 @@ impl Campaign {
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            m.store_hits.add((cells.len() - missing.len()) as u64);
+            m.store_misses.add(missing.len() as u64);
+        }
 
         // Phase 2: execute the missing cells on the work-stealing pool.
+        let metrics = self.metrics.as_deref();
         let executed: Vec<Result<CellRecord, CampaignError>> =
             parallel_map(missing.len(), threads, |slot| {
                 let cell = &cells[missing[slot]];
                 let cell_seed = cell_seed(seed, cell);
+                let started = metrics.map(|_| Instant::now());
                 let result = run_cell(cell, cell_seed)?;
+                if let (Some(m), Some(started)) = (metrics, started) {
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    m.cells_executed.inc();
+                    m.cell_wall_ns.record(ns);
+                    // Activations are per-trial samples; their sum is the
+                    // cell's total event count.
+                    let events = result.activations.mean * result.activations.count as f64;
+                    m.cell_events.add(events.max(0.0) as u64);
+                }
                 Ok(CellRecord {
                     key: cell_key(seed, cell),
                     version: ENGINE_VERSION,

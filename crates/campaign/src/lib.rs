@@ -48,12 +48,14 @@ pub mod cell;
 pub mod engine;
 pub mod export;
 pub mod hash;
+pub mod metrics;
 pub mod spec;
 pub mod store;
 pub mod toml;
 
 pub use cell::{cell_seed, run_cell, CellResult, DynamicAggregate};
 pub use engine::{Campaign, CampaignReport, CampaignStatus, CellOutcome};
+pub use metrics::CampaignMetrics;
 pub use spec::{
     ArrivalSpec, CampaignSpec, CellSpec, DynamicSpec, Grid, HitSpec, MExpr, ProtocolSpec,
     SpeedSpec, StopSpec, TopologySpec, WeightSpec, WorkloadSpec,

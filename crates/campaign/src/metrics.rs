@@ -1,0 +1,76 @@
+//! Campaign telemetry: store hit/miss counters and per-cell execution
+//! timers.
+//!
+//! Attached via [`Campaign::attach_metrics`](crate::Campaign::attach_metrics);
+//! every hook is a write-only atomic tap, so attaching it cannot change
+//! which cells execute or what they compute (cell results are a function
+//! of the spec and seed alone).
+
+use std::sync::Arc;
+
+use rls_obs::{Counter, Histogram, Registry};
+
+/// Telemetry handles for campaign runs.
+#[derive(Debug)]
+pub struct CampaignMetrics {
+    /// Cells served from the results store without executing.
+    pub store_hits: Arc<Counter>,
+    /// Cells absent from the store (and therefore executed).
+    pub store_misses: Arc<Counter>,
+    /// Cells executed to completion.
+    pub cells_executed: Arc<Counter>,
+    /// Wall-clock time of one cell execution, in nanoseconds.
+    pub cell_wall_ns: Arc<Histogram>,
+    /// Protocol activations summed over every executed cell's trials
+    /// (events/s = this over the summed wall time).
+    pub cell_events: Arc<Counter>,
+}
+
+impl CampaignMetrics {
+    /// Resolves the campaign metric families in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            store_hits: registry.counter(
+                "rls_campaign_store_hits_total",
+                "Cells answered from the content-addressed results store",
+            ),
+            store_misses: registry.counter(
+                "rls_campaign_store_misses_total",
+                "Cells missing from the store at run start",
+            ),
+            cells_executed: registry.counter(
+                "rls_campaign_cells_executed_total",
+                "Cells executed to completion",
+            ),
+            cell_wall_ns: registry.histogram(
+                "rls_campaign_cell_wall_ns",
+                "Wall-clock nanoseconds per executed cell",
+            ),
+            cell_events: registry.counter(
+                "rls_campaign_cell_events_total",
+                "Protocol activations summed over executed cells' trials",
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_and_render() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.store_hits.inc();
+        m.store_misses.add(2);
+        m.cells_executed.add(2);
+        m.cell_wall_ns.record(1_000_000);
+        m.cell_events.add(500);
+        let text = registry.render_prometheus();
+        assert!(text.contains("rls_campaign_store_hits_total 1"));
+        assert!(text.contains("rls_campaign_store_misses_total 2"));
+        assert!(text.contains("rls_campaign_cell_wall_ns_count 1"));
+        assert!(text.contains("rls_campaign_cell_events_total 500"));
+    }
+}

@@ -20,13 +20,22 @@
 //! and prints throughput plus latency percentiles (E21).  `replay` feeds a
 //! recorded `rls-live` event log through the HTTP path and verifies the
 //! final load vector against the offline replay exactly.
+//!
+//! Self-booted servers always attach the `rls-obs` telemetry registry
+//! (attaching never perturbs a trajectory), so `GET /v1/metrics` and
+//! `GET /v1/debug/flight` work out of the box; `--metrics-json PATH`
+//! additionally writes a JSON snapshot of every instrument to `PATH`
+//! every `--metrics-interval` seconds.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rls_campaign::{ArrivalSpec, WorkloadSpec};
 use rls_core::RebalancePolicy;
 use rls_graph::Topology;
 use rls_live::{EventLog, LiveEngine, LiveParams};
+use rls_obs::Registry;
 use rls_rng::rng_from_seed;
 use rls_serve::{
     core_from_log, drive, replay_over_http, serve, BenchOptions, BenchReport, DriveMode,
@@ -88,6 +97,10 @@ pub struct ServeArgs {
     pub weights: WeightDist,
     /// Bin-speed profile (`uniform` = the classic engine).
     pub speeds: SpeedProfile,
+    /// Write a JSON snapshot of every metric to this path periodically.
+    pub metrics_json: Option<String>,
+    /// Seconds between `--metrics-json` snapshots.
+    pub metrics_interval: f64,
 }
 
 impl Default for ServeArgs {
@@ -108,6 +121,8 @@ impl Default for ServeArgs {
             for_seconds: None,
             weights: WeightDist::Unit,
             speeds: SpeedProfile::Uniform,
+            metrics_json: None,
+            metrics_interval: 1.0,
         }
     }
 }
@@ -194,6 +209,10 @@ fn parse_server_flag(
         "--for" => args.for_seconds = Some(parse_num(&value("seconds")?, "--for")?),
         "--weights" => args.weights = value("a weight distribution")?.parse().map_err(str_of)?,
         "--speeds" => args.speeds = value("a speed profile")?.parse().map_err(str_of)?,
+        "--metrics-json" => args.metrics_json = Some(value("a path")?),
+        "--metrics-interval" => {
+            args.metrics_interval = parse_num(&value("seconds")?, "--metrics-interval")?
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -312,11 +331,16 @@ fn validate_server(args: &ServeArgs) -> Result<(), String> {
             return Err("--for must be finite and non-negative".to_string());
         }
     }
+    if !(args.metrics_interval.is_finite() && args.metrics_interval > 0.0) {
+        return Err("--metrics-interval must be positive".to_string());
+    }
     Ok(())
 }
 
-/// Build the core and boot a server from CLI arguments.
-fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
+/// Build the core and boot a server from CLI arguments.  The returned
+/// registry is the one `/v1/metrics` renders; the CLI's snapshot writer
+/// reads the same instruments.
+fn boot(args: &ServeArgs) -> Result<(HttpServer, f64, Registry), String> {
     let params = match args.service {
         Some(rate) => {
             let params = LiveParams {
@@ -361,12 +385,17 @@ fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
     let rings_per_arrival = args
         .rebalance
         .unwrap_or(args.m as f64 / args.arrival.0.total_rate(args.n));
-    let core = ServeCore::new(
+    let mut core = ServeCore::new(
         engine,
         args.seed,
         args.warmup,
         ServePolicy { rings_per_arrival },
     );
+    // Telemetry is always on for self-booted servers: attaching is free
+    // on the trajectory (write-only atomic taps) and makes /v1/metrics
+    // and /v1/debug/flight live.
+    let registry = Registry::new();
+    core.attach_metrics(&registry);
     let server = serve(
         core,
         &ServerConfig {
@@ -375,7 +404,32 @@ fn boot(args: &ServeArgs) -> Result<(HttpServer, f64), String> {
         },
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
-    Ok((server, rings_per_arrival))
+    Ok((server, rings_per_arrival, registry))
+}
+
+/// Spawn the `--metrics-json` writer: one JSON snapshot of every
+/// instrument to `path`, every `interval`, plus a final one at stop.
+fn spawn_metrics_writer(
+    registry: Registry,
+    path: String,
+    interval: f64,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let tick = Duration::from_secs_f64(interval.max(0.01));
+        loop {
+            if let Err(e) = std::fs::write(&path, registry.snapshot_json()) {
+                eprintln!("--metrics-json: cannot write {path}: {e}");
+                return;
+            }
+            if flag.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(tick);
+        }
+    });
+    (stop, handle)
 }
 
 /// Execute a parsed serve command, returning the text to print.
@@ -388,13 +442,18 @@ pub fn execute_serve(command: &ServeCommand) -> Result<String, String> {
 }
 
 fn run_cmd(args: &ServeArgs) -> Result<String, String> {
-    let (server, rings) = boot(args)?;
+    let (server, rings, registry) = boot(args)?;
+    let writer = args
+        .metrics_json
+        .clone()
+        .map(|path| spawn_metrics_writer(registry, path, args.metrics_interval));
     let mut out = format!(
         "rls-serve listening on http://{}\n  n = {}, m = {}, arrival {}, seed {}, \
          policy {}, topology {}, weights {}, speeds {}, \
          auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
          POST /v1/arrive · POST /v1/depart[/{{bin}}] · POST /v1/ring · GET /v1/stats · \
-         GET /v1/snapshot · POST /v1/restore · GET /healthz\n",
+         GET /v1/snapshot · POST /v1/restore · GET /healthz · GET /v1/metrics · \
+         GET /v1/debug/flight\n",
         server.addr(),
         args.n,
         args.m,
@@ -412,6 +471,10 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
             println!("{out}");
             std::thread::sleep(Duration::from_secs_f64(seconds));
             let core = server.shutdown();
+            if let Some((stop, handle)) = writer {
+                stop.store(true, Ordering::SeqCst);
+                let _ = handle.join();
+            }
             let stats = core.stats();
             out = format!(
                 "served for {seconds}s: {} events (m = {}, mean gap {:.3})\n",
@@ -434,7 +497,7 @@ fn bench_cmd(args: &BenchArgs) -> Result<String, String> {
     let (server, rings) = match &args.addr {
         Some(_) => (None, f64::NAN),
         None => {
-            let (server, rings) = boot(&args.server)?;
+            let (server, rings, _registry) = boot(&args.server)?;
             (Some(server), rings)
         }
     };
@@ -484,7 +547,7 @@ fn bench_cmd(args: &BenchArgs) -> Result<String, String> {
         ),
         &["quantity", "value"],
     );
-    render_report(&mut table, &report);
+    render_report(&mut table, &report, args.rps.is_some());
     let mut out = table.render();
 
     if let Some(server) = server {
@@ -498,7 +561,7 @@ fn bench_cmd(args: &BenchArgs) -> Result<String, String> {
     Ok(out)
 }
 
-fn render_report(table: &mut crate::table::Table, report: &BenchReport) {
+fn render_report(table: &mut crate::table::Table, report: &BenchReport, open_loop: bool) {
     let fmt = crate::table::fmt_f64;
     table.push_row(vec!["requests".into(), report.requests.to_string()]);
     table.push_row(vec![
@@ -514,6 +577,13 @@ fn render_report(table: &mut crate::table::Table, report: &BenchReport) {
     table.push_row(vec!["p90 latency (µs)".into(), fmt(report.p90_us)]);
     table.push_row(vec!["p99 latency (µs)".into(), fmt(report.p99_us)]);
     table.push_row(vec!["max latency (µs)".into(), fmt(report.max_us)]);
+    if open_loop {
+        // How late requests actually left vs their schedule — the
+        // generator-side half of the coordinated-omission story.
+        table.push_row(vec!["send skew p50 (µs)".into(), fmt(report.skew_p50_us)]);
+        table.push_row(vec!["send skew p99 (µs)".into(), fmt(report.skew_p99_us)]);
+        table.push_row(vec!["send skew max (µs)".into(), fmt(report.skew_max_us)]);
+    }
 }
 
 fn replay_cmd(log_path: &str, addr: Option<&str>, workers: usize) -> Result<String, String> {
@@ -702,11 +772,36 @@ mod tests {
             &["bench", "--connections", "0"],
             &["bench", "--duration", "-2"],
             &["bench", "--depart-frac", "1.5"],
+            &["run", "--metrics-interval", "0"],
+            &["run", "--metrics-interval", "nan"],
             &["replay"],
             &["replay", "a.json", "b.json"],
         ] {
             assert!(parse_serve_args(&strings(bad)).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn parsing_covers_metrics_flags() {
+        let cmd = parse_serve_args(&strings(&[
+            "run",
+            "--metrics-json",
+            "/tmp/snap.json",
+            "--metrics-interval",
+            "0.25",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(args.metrics_json.as_deref(), Some("/tmp/snap.json"));
+        assert_eq!(args.metrics_interval, 0.25);
+
+        let ServeCommand::Run(args) = parse_serve_args(&strings(&["run"])).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(args.metrics_json.is_none());
+        assert_eq!(args.metrics_interval, 1.0);
     }
 
     #[test]
@@ -720,6 +815,34 @@ mod tests {
         };
         let out = execute_serve(&ServeCommand::Run(Box::new(args))).unwrap();
         assert!(out.contains("served for"), "{out}");
+    }
+
+    #[test]
+    fn run_writes_metrics_json_snapshots() {
+        let dir = std::env::temp_dir().join(format!("rls-serve-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+
+        let args = ServeArgs {
+            addr: "127.0.0.1:0".to_string(),
+            n: 8,
+            m: 64,
+            for_seconds: Some(0.05),
+            metrics_json: Some(path.to_string_lossy().to_string()),
+            metrics_interval: 0.02,
+            ..ServeArgs::default()
+        };
+        let out = execute_serve(&ServeCommand::Run(Box::new(args))).unwrap();
+        assert!(out.contains("served for"), "{out}");
+
+        // The writer flushes a final snapshot at shutdown; it must be a
+        // JSON object naming the engine metric families.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('{'), "{text}");
+        assert!(text.contains("rls_engine_events_total"), "{text}");
+        assert!(text.contains("rls_serve_stage_ns"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -778,6 +901,10 @@ mod tests {
         };
         let out = execute_serve(&ServeCommand::Bench(Box::new(args))).unwrap();
         assert!(out.contains("open @ 2000 rps target"), "{out}");
+        // Open-loop runs report the generator's scheduled-vs-actual send
+        // skew quantiles (closed-loop runs have no schedule to skew from).
+        assert!(out.contains("send skew p50"), "{out}");
+        assert!(out.contains("send skew max"), "{out}");
     }
 
     #[test]

@@ -128,7 +128,20 @@ impl LoadIndex {
     /// # Panics
     /// Panics if `rank >= total` (in particular whenever the index is
     /// empty).
-    pub fn bin_at(&self, mut rank: u64) -> usize {
+    pub fn bin_at(&self, rank: u64) -> usize {
+        self.bin_at_depth(rank).0
+    }
+
+    /// Like [`bin_at`](Self::bin_at), but also reports how many tree
+    /// nodes the descent inspected — the telemetry layer's "Fenwick
+    /// descent depth" metric.  `bin_at` is a thin wrapper, so the
+    /// selection arithmetic is bit-identical whether or not the caller
+    /// keeps the depth.
+    ///
+    /// # Panics
+    /// Panics if `rank >= total` (in particular whenever the index is
+    /// empty).
+    pub fn bin_at_depth(&self, mut rank: u64) -> (usize, u32) {
         assert!(
             rank < self.total,
             "rank {rank} out of range (total {})",
@@ -137,15 +150,19 @@ impl LoadIndex {
         let n = self.n();
         let mut pos = 0usize;
         let mut step = self.top;
+        let mut depth = 0u32;
         while step > 0 {
             let next = pos + step;
-            if next <= n && self.tree[next] <= rank {
-                rank -= self.tree[next];
-                pos = next;
+            if next <= n {
+                depth += 1;
+                if self.tree[next] <= rank {
+                    rank -= self.tree[next];
+                    pos = next;
+                }
             }
             step >>= 1;
         }
-        pos
+        (pos, depth)
     }
 
     /// Add one ball to `bin`.
@@ -265,6 +282,24 @@ mod tests {
             }
         }
         unreachable!("rank within total")
+    }
+
+    #[test]
+    fn bin_at_depth_agrees_with_bin_at_and_is_bounded() {
+        let loads = [3u64, 0, 7, 1, 0, 5, 2, 9, 4, 6];
+        let idx = LoadIndex::from_loads(&loads);
+        let total: u64 = loads.iter().sum();
+        for rank in 0..total {
+            let (bin, depth) = idx.bin_at_depth(rank);
+            assert_eq!(bin, idx.bin_at(rank));
+            assert_eq!(bin, cumulative_bin(&loads, rank));
+            assert!(depth >= 1, "descent must inspect at least one node");
+            assert!(
+                depth <= 64 - (loads.len() as u64).leading_zeros() + 1,
+                "depth {depth} exceeds tree height for {} bins",
+                loads.len()
+            );
+        }
     }
 
     #[test]

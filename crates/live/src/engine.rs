@@ -32,8 +32,14 @@ use rls_rng::{Rng64, RngExt};
 use rls_workloads::{ArrivalProcess, WeightDist};
 use serde::{Deserialize, Serialize};
 
+use std::cell::Cell;
+use std::sync::Arc;
+
+use rls_obs::Registry;
+
 use crate::command::LiveCommand;
 use crate::event::{LiveEvent, LiveEventKind};
+use crate::metrics::LiveMetrics;
 use crate::observer::LiveObserver;
 use crate::LiveError;
 
@@ -191,6 +197,11 @@ pub struct LiveEngine {
     counters: LiveCounters,
     /// Weighted-ball / heterogeneous-speed state (`None`: unit process).
     hetero: Option<Hetero>,
+    /// Telemetry taps ([`attach_metrics`](Self::attach_metrics)). Never
+    /// part of snapshot identity, never consulted by the dynamics: every
+    /// hook is a write-only atomic increment, which is what the
+    /// observers-on-vs-off bit-identity tests pin down.
+    metrics: Option<Arc<LiveMetrics>>,
 }
 
 impl LiveEngine {
@@ -244,6 +255,7 @@ impl LiveEngine {
             seq: 0,
             counters: LiveCounters::default(),
             hetero: None,
+            metrics: None,
         })
     }
 
@@ -357,6 +369,23 @@ impl LiveEngine {
             balls,
         });
         Ok(())
+    }
+
+    /// Attach telemetry taps resolved from `registry` (the probe counter
+    /// is labeled with this engine's policy spec string).
+    ///
+    /// Attaching observers never changes the trajectory: hooks are
+    /// write-only atomic increments, consume no randomness and branch on
+    /// nothing observed — `tests/obs_identity.rs` checks bit-identity
+    /// against an unobserved engine for every (policy, topology, hetero)
+    /// scenario.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(LiveMetrics::register(registry, &self.policy.to_string()));
+    }
+
+    /// The attached telemetry handles, if any.
+    pub fn metrics(&self) -> Option<&Arc<LiveMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Current configuration.
@@ -574,10 +603,17 @@ impl LiveEngine {
     /// proportional on heterogeneous engines, load-proportional (a uniform
     /// ball) on unit engines.
     fn clock_bin(&self, rank: u64) -> usize {
-        match &self.hetero {
-            Some(h) => h.rate_index.bin_at(rank),
-            None => self.index.bin_at(rank),
+        // Always descend via `bin_at_depth` (of which `bin_at` is a thin
+        // wrapper) so the selection arithmetic is identical whether the
+        // depth is recorded or discarded.
+        let (bin, depth) = match &self.hetero {
+            Some(h) => h.rate_index.bin_at_depth(rank),
+            None => self.index.bin_at_depth(rank),
+        };
+        if let Some(m) = &self.metrics {
+            m.descent_depth.record(u64::from(depth));
         }
+        bin
     }
 
     /// Pick the activated/departing ball inside `bin`: a uniform index
@@ -637,6 +673,9 @@ impl LiveEngine {
         self.time += dt;
         self.seq += 1;
         self.counters.events += 1;
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+        }
 
         let pick = rng.next_f64() * total;
         // With no balls only arrivals have positive rate; route there
@@ -814,6 +853,9 @@ impl LiveEngine {
         self.time += dt;
         self.seq += 1;
         self.counters.events += 1;
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+        }
 
         let kind = match *cmd {
             LiveCommand::Arrive { bin, weight } => {
@@ -927,6 +969,9 @@ impl LiveEngine {
             }
         }
         self.counters.arrivals += 1;
+        if let Some(m) = &self.metrics {
+            m.arrivals.inc();
+        }
     }
 
     /// Apply a departure from `bin` (`picked` names the ball when per-ball
@@ -948,6 +993,9 @@ impl LiveEngine {
             h.rate_index.sub(bin, h.speeds[bin]);
         }
         self.counters.departures += 1;
+        if let Some(m) = &self.metrics {
+            m.departures.inc();
+        }
     }
 
     /// Does the policy's pair rule permit moving a ball of weight `ball`
@@ -987,7 +1035,11 @@ impl LiveEngine {
         rng: &mut R,
     ) -> RingDecision {
         let dest = &self.dest;
-        match &self.hetero {
+        // Count candidate draws through a Cell so the sampler closure
+        // stays `FnMut` over `rng` alone; the count feeds the per-policy
+        // probe counter without perturbing the draw sequence.
+        let probes = Cell::new(0u64);
+        let decision = match &self.hetero {
             Some(h) => self.policy.decide_weighted(
                 HeteroRingContext {
                     n: self.cfg.n(),
@@ -997,7 +1049,10 @@ impl LiveEngine {
                 source,
                 h.state(source),
                 ball,
-                || dest.sample(source, rng),
+                || {
+                    probes.set(probes.get() + 1);
+                    dest.sample(source, rng)
+                },
                 |b| h.state(b),
             ),
             None => {
@@ -1010,11 +1065,18 @@ impl LiveEngine {
                     ctx,
                     source,
                     cfg.load(source),
-                    || dest.sample(source, rng),
+                    || {
+                        probes.set(probes.get() + 1);
+                        dest.sample(source, rng)
+                    },
                     |b| cfg.load(b),
                 )
             }
+        };
+        if let Some(m) = &self.metrics {
+            m.probes.add(probes.get());
         }
+        decision
     }
 
     /// Apply a decided ring: bump the counters, migrate if the policy said
@@ -1028,6 +1090,14 @@ impl LiveEngine {
         decision: RingDecision,
     ) -> LiveEventKind {
         self.counters.rings += 1;
+        if let Some(m) = &self.metrics {
+            m.rings.inc();
+            if decision.moved {
+                m.moves_accepted.inc();
+            } else {
+                m.moves_rejected.inc();
+            }
+        }
         let dest = decision.dest.unwrap_or(source);
         if decision.moved {
             let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));

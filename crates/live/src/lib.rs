@@ -51,6 +51,7 @@ use std::fmt;
 pub mod command;
 pub mod engine;
 pub mod event;
+pub mod metrics;
 pub mod observer;
 pub mod replay;
 pub mod sharded;
@@ -59,6 +60,7 @@ pub mod snapshot;
 pub use command::LiveCommand;
 pub use engine::{LiveCounters, LiveEngine, LiveParams};
 pub use event::{LiveEvent, LiveEventKind};
+pub use metrics::{LiveMetrics, ShardedMetrics};
 pub use observer::{LiveObserver, SteadyState, SteadySummary};
 pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport};
 pub use sharded::{ShardedEngine, ShardedOutcome};

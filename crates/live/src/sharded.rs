@@ -33,17 +33,20 @@
 //! cross-validation test checks the steady-state observables agree.
 
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use rls_core::RlsRule;
 use rls_core::{BinState, Config, HeteroRingContext, LoadIndex, RebalancePolicy, RingContext};
 use rls_graph::{DestSampler, Topology};
+use rls_obs::Registry;
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt, StreamFactory, StreamId};
 use rls_sim::parallel::parallel_map;
 use rls_workloads::{ArrivalProcess, WeightDist};
 
 use crate::engine::{LiveCounters, LiveParams};
+use crate::metrics::ShardedMetrics;
 use crate::observer::{SteadyState, SteadySummary};
 use crate::LiveError;
 
@@ -134,6 +137,10 @@ pub struct ShardedEngine {
     time: f64,
     batch: u64,
     counters: LiveCounters,
+    /// Telemetry taps ([`attach_metrics`](Self::attach_metrics)):
+    /// write-only, never consulted by the dynamics — the trajectory stays
+    /// a function of `(seed, shards, slice)` alone.
+    metrics: Option<Arc<ShardedMetrics>>,
 }
 
 impl ShardedEngine {
@@ -240,7 +247,20 @@ impl ShardedEngine {
             time: 0.0,
             batch: 0,
             counters: LiveCounters::default(),
+            metrics: None,
         })
+    }
+
+    /// Attach telemetry taps resolved from `registry` (slice count,
+    /// cross-shard deliveries, barrier-merge time, per-shard events).
+    /// Write-only: attaching observers never changes the trajectory.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(ShardedMetrics::register(registry));
+    }
+
+    /// The attached telemetry handles, if any.
+    pub fn metrics(&self) -> Option<&Arc<ShardedMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// A weighted/speed-aware sharded engine (see
@@ -411,13 +431,19 @@ impl ShardedEngine {
         // worker pool (each worker owns one destination shard, so the
         // application commutes across shards and the result is identical
         // for any thread count).
+        let barrier_start = self.metrics.as_ref().map(|_| Instant::now());
         let mut events = 0;
+        let mut deliveries = 0u64;
         let mut inboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.shards.len()];
-        for result in &results {
+        for (s, result) in results.iter().enumerate() {
             for &(dest, weight) in &result.outbox {
                 inboxes[self.owner_of(dest as usize)].push((dest, weight));
             }
+            deliveries += result.outbox.len() as u64;
             events += result.delta.events;
+            if let Some(m) = &self.metrics {
+                m.shard_events.add(s, result.delta.events);
+            }
         }
         {
             let shards = &self.shards;
@@ -464,6 +490,14 @@ impl ShardedEngine {
         }
         self.time = (self.batch + 1) as f64 * self.slice;
         self.batch += 1;
+        if let Some(m) = &self.metrics {
+            m.slices.inc();
+            m.outbox_deliveries.add(deliveries);
+            if let Some(start) = barrier_start {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                m.barrier_merge_ns.record(ns);
+            }
+        }
         events
     }
 

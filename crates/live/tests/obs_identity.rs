@@ -1,0 +1,203 @@
+//! The observability invariant, pinned: attaching `rls-obs` telemetry to
+//! an engine never changes its trajectory.  Every hook is a write-only
+//! atomic tap — no RNG draw, no branch on an observed value — so an
+//! instrumented engine and a bare one given the same seed must produce
+//! bit-identical event streams, load vectors and counters on every
+//! `(policy, topology)` pair, with and without heterogeneity, under both
+//! scripted commands (proptest) and free-running simulation.
+
+use proptest::prelude::*;
+use rls_core::{Config, RebalancePolicy, RlsRule, RlsVariant};
+use rls_graph::Topology;
+use rls_live::{LiveCommand, LiveEngine, LiveParams, Recorder, ShardedEngine, SteadyState};
+use rls_obs::Registry;
+use rls_rng::rng_from_seed;
+use rls_workloads::{ArrivalProcess, WeightDist};
+
+const POLICIES: &[RebalancePolicy] = &[
+    RebalancePolicy::Rls {
+        variant: RlsVariant::Geq,
+    },
+    RebalancePolicy::Rls {
+        variant: RlsVariant::Strict,
+    },
+    RebalancePolicy::GreedyD { d: 2 },
+    RebalancePolicy::ThresholdFixed { threshold: 6 },
+    RebalancePolicy::ThresholdAvg,
+    RebalancePolicy::CrsPair,
+];
+
+/// n = 16 keeps the torus valid (4×4) and the grid quick.
+const TOPOLOGIES: &[Topology] = &[
+    Topology::Complete,
+    Topology::Cycle,
+    Topology::Star,
+    Topology::Torus2D,
+    Topology::RandomRegular { degree: 4 },
+];
+
+const N: usize = 16;
+const PER_BIN: u64 = 4;
+
+fn engine(policy: RebalancePolicy, topology: Topology, hetero: bool, seed: u64) -> LiveEngine {
+    let initial = Config::uniform(N, PER_BIN).unwrap();
+    let params = LiveParams::balanced(
+        ArrivalProcess::Poisson { rate_per_bin: 2.0 },
+        N,
+        N as u64 * PER_BIN,
+    )
+    .unwrap();
+    if hetero {
+        let speeds: Vec<u64> = (0..N).map(|b| if b % 4 == 0 { 4 } else { 1 }).collect();
+        LiveEngine::with_hetero(
+            initial,
+            params,
+            policy,
+            topology,
+            seed ^ 0x9E37,
+            WeightDist::UniformInt { lo: 1, hi: 8 },
+            speeds,
+            &mut rng_from_seed(seed ^ 0x517C),
+        )
+        .unwrap()
+    } else {
+        LiveEngine::with_policy(initial, params, policy, topology, seed ^ 0x9E37).unwrap()
+    }
+}
+
+/// Run one engine for `horizon`, recording its full event stream, and
+/// return everything trajectory-shaped about it.
+fn trajectory(
+    mut eng: LiveEngine,
+    horizon: f64,
+    seed: u64,
+) -> (Vec<rls_live::LiveEvent>, Vec<u64>, u64, u64) {
+    let mut observer = (Recorder::new(), SteadyState::new(0.0));
+    eng.run_until(horizon, &mut rng_from_seed(seed), &mut observer);
+    let (recorder, _) = observer;
+    (
+        recorder.into_events(),
+        eng.config().loads().to_vec(),
+        eng.time().to_bits(),
+        eng.counters().events,
+    )
+}
+
+/// Free-running identity across the full `(policy, topology) × {unit,
+/// hetero}` grid — the acceptance matrix of the observability issue.
+#[test]
+fn attached_observers_never_change_a_live_trajectory() {
+    for &policy in POLICIES {
+        for &topology in TOPOLOGIES {
+            for hetero in [false, true] {
+                let seed = 0x0B5EF;
+                let bare = trajectory(engine(policy, topology, hetero, seed), 4.0, seed);
+
+                let registry = Registry::new();
+                let mut tapped = engine(policy, topology, hetero, seed);
+                tapped.attach_metrics(&registry);
+                let metrics = tapped.metrics().cloned().expect("attached above");
+                let observed = trajectory(tapped, 4.0, seed);
+
+                assert_eq!(
+                    bare, observed,
+                    "trajectory diverged under observation: \
+                     {policy:?} on {topology:?}, hetero = {hetero}"
+                );
+                // The tap actually measured the run it rode along on.
+                assert_eq!(metrics.events.get(), bare.3);
+                assert!(metrics.descent_depth.snapshot().count() > 0);
+            }
+        }
+    }
+}
+
+/// The sharded engine under the same contract: identical outcome (loads,
+/// weights, time, counters, steady summary) with observers on and off,
+/// across thread counts.
+#[test]
+fn attached_observers_never_change_a_sharded_trajectory() {
+    let initial = Config::uniform(N, PER_BIN).unwrap();
+    let params = LiveParams::balanced(
+        ArrivalProcess::Poisson { rate_per_bin: 2.0 },
+        N,
+        N as u64 * PER_BIN,
+    )
+    .unwrap();
+    for threads in [1usize, 4] {
+        let mut bare =
+            ShardedEngine::new(initial.clone(), params, RlsRule::paper(), 4, 0.25, 0xA11).unwrap();
+        let bare_outcome = bare.run(6.0, 0.0, threads);
+
+        let registry = Registry::new();
+        let mut tapped =
+            ShardedEngine::new(initial.clone(), params, RlsRule::paper(), 4, 0.25, 0xA11).unwrap();
+        tapped.attach_metrics(&registry);
+        let tapped_outcome = tapped.run(6.0, 0.0, threads);
+
+        assert_eq!(
+            bare_outcome, tapped_outcome,
+            "sharded outcome diverged under observation ({threads} threads)"
+        );
+        let metrics = tapped.metrics().expect("attached above");
+        assert_eq!(metrics.shard_events.get(), tapped_outcome.counters.events);
+        assert!(metrics.slices.get() > 0);
+    }
+}
+
+/// One scripted command: kind ∈ {arrive, depart, ring}, with a coordinate
+/// that is either pinned (modulo `n`) or left to the engine to sample.
+fn command_strategy() -> impl Strategy<Value = (u8, u16, bool)> {
+    (0u8..3, 0u16..64, (0u8..2).prop_map(|b| b == 1))
+}
+
+type Instance = (usize, usize, bool, u64, Vec<(u8, u16, bool)>);
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        0..POLICIES.len(),
+        0..TOPOLOGIES.len(),
+        (0u8..2).prop_map(|b| b == 1),
+        0u64..1 << 48,
+        prop::collection::vec(command_strategy(), 1..=50),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an arbitrary scripted interleaving of arrivals, departures
+    /// and rings, the instrumented engine answers every command with the
+    /// exact event (or the exact error) the bare one produces, and the
+    /// final state matches field by field.
+    #[test]
+    fn scripted_commands_are_identical_under_observation(
+        (policy_idx, topo_idx, hetero, seed, script) in instance_strategy()
+    ) {
+        let policy = POLICIES[policy_idx];
+        let topology = TOPOLOGIES[topo_idx];
+
+        let mut bare = engine(policy, topology, hetero, seed);
+        let registry = Registry::new();
+        let mut tapped = engine(policy, topology, hetero, seed);
+        tapped.attach_metrics(&registry);
+
+        let mut bare_rng = rng_from_seed(seed);
+        let mut tapped_rng = rng_from_seed(seed);
+        for &(kind, coord, pin) in &script {
+            let bin = pin.then_some(coord as usize % N);
+            let cmd = match kind {
+                0 => LiveCommand::Arrive { bin, weight: None },
+                1 => LiveCommand::Depart { bin, weight: None },
+                _ => LiveCommand::Ring { source: None, dest: None },
+            };
+            let a = bare.apply(&cmd, &mut bare_rng);
+            let b = tapped.apply(&cmd, &mut tapped_rng);
+            prop_assert_eq!(a, b, "reply diverged on {:?}", cmd);
+        }
+
+        prop_assert_eq!(bare.config().loads(), tapped.config().loads());
+        prop_assert_eq!(bare.time().to_bits(), tapped.time().to_bits());
+        prop_assert_eq!(bare.counters(), tapped.counters());
+    }
+}

@@ -1,0 +1,208 @@
+//! The flight recorder: a fixed-size lock-free ring of recent annotated
+//! events — the serving layer's black box.
+//!
+//! Writers (`record`) claim a slot with one `fetch_add` on a global
+//! cursor and publish the payload under a per-slot seqlock (odd version
+//! while writing, even when stable).  Readers (`dump`) never block
+//! writers: a slot whose version is odd or changes mid-read is simply a
+//! torn slot and is skipped.  Everything is relaxed-to-acquire atomics in
+//! safe Rust; a record is ~8 uncontended atomic stores, cheap enough to
+//! leave on for every engine command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded event, decoded from a ring slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number of the event (monotone across the run).
+    pub seq: u64,
+    /// Command kind code (the producer defines the enumeration; the
+    /// serve layer uses its `EngineCmd` discriminants).
+    pub kind: u64,
+    /// First coordinate (bin / source, producer-defined).
+    pub a: u64,
+    /// Second coordinate (picked flag / dest, producer-defined).
+    pub b: u64,
+    /// Nanoseconds the command waited in the queue before the engine
+    /// picked it up.
+    pub queue_ns: u64,
+    /// Nanoseconds the engine spent applying the command.
+    pub apply_ns: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock version: odd while a writer owns the slot, even when the
+    /// payload is stable. Starts at 0 (empty, even).
+    version: AtomicU64,
+    payload: [AtomicU64; 6],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            payload: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed-capacity lock-free ring buffer of [`FlightEvent`]s.
+///
+/// Capacity is rounded up to a power of two. Old events are overwritten
+/// once the ring wraps; `dump` returns the surviving window in sequence
+/// order.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    mask: u64,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the most recent ~`capacity` events
+    /// (rounded up to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, Slot::new);
+        Self {
+            slots,
+            mask: (cap as u64) - 1,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records an event. Lock-free and safe from any thread.
+    pub fn record(&self, kind: u64, a: u64, b: u64, queue_ns: u64, apply_ns: u64) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Claim: bump to odd. Release so readers that see the even close
+        // below also see the payload stores.
+        slot.version.fetch_add(1, Ordering::Release);
+        slot.payload[0].store(seq, Ordering::Relaxed);
+        slot.payload[1].store(kind, Ordering::Relaxed);
+        slot.payload[2].store(a, Ordering::Relaxed);
+        slot.payload[3].store(b, Ordering::Relaxed);
+        slot.payload[4].store(queue_ns, Ordering::Relaxed);
+        slot.payload[5].store(apply_ns, Ordering::Relaxed);
+        // Publish: bump back to even.
+        slot.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Snapshots the ring: every stable slot, decoded and sorted by
+    /// sequence number. Slots mid-write (or torn by a concurrent wrap)
+    /// are skipped rather than waited on — a dump never stalls the
+    /// engine.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 == 1 {
+                continue; // never written, or a writer is mid-flight
+            }
+            let payload: [u64; 6] =
+                std::array::from_fn(|i| slot.payload[i].load(Ordering::Relaxed));
+            let v2 = slot.version.load(Ordering::Acquire);
+            if v1 != v2 {
+                continue; // torn read: a writer replaced the slot
+            }
+            out.push(FlightEvent {
+                seq: payload[0],
+                kind: payload[1],
+                a: payload[2],
+                b: payload[3],
+                queue_ns: payload[4],
+                apply_ns: payload[5],
+            });
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(FlightRecorder::new(0).capacity(), 8);
+        assert_eq!(FlightRecorder::new(100).capacity(), 128);
+        assert_eq!(FlightRecorder::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn dump_returns_events_in_order() {
+        let r = FlightRecorder::new(16);
+        for i in 0..10u64 {
+            r.record(1, i, 0, i * 10, i * 100);
+        }
+        let events = r.dump();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(e.seq, i);
+            assert_eq!(e.a, i);
+            assert_eq!(e.queue_ns, i * 10);
+            assert_eq!(e.apply_ns, i * 100);
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent_window() {
+        let r = FlightRecorder::new(8);
+        for i in 0..100u64 {
+            r.record(2, i, 0, 0, 0);
+        }
+        let events = r.dump();
+        assert_eq!(events.len(), 8);
+        assert_eq!(r.recorded(), 100);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (92..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_dump() {
+        let r = std::sync::Arc::new(FlightRecorder::new(64));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Self-checking payload: a == b == queue == apply.
+                        let v = t * 1_000_000 + i;
+                        r.record(t, v, v, v, v);
+                    }
+                })
+            })
+            .collect();
+        // Dump concurrently while writers run.
+        for _ in 0..50 {
+            for e in r.dump() {
+                assert_eq!(e.a, e.b, "torn slot leaked into dump");
+                assert_eq!(e.a, e.queue_ns);
+                assert_eq!(e.a, e.apply_ns);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let final_dump = r.dump();
+        assert_eq!(final_dump.len(), 64);
+        assert_eq!(r.recorded(), 20_000);
+        for e in final_dump {
+            assert_eq!(e.a, e.b);
+        }
+    }
+}

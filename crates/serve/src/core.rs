@@ -8,15 +8,19 @@
 //! callers (tests, benchmarks) call them directly to predict what the
 //! server must answer for the same seed and command sequence.
 
+use std::sync::Arc;
+
 use rls_live::{
     LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Snapshot, SteadyState, SNAPSHOT_VERSION,
 };
+use rls_obs::Registry;
 use rls_rng::{rng_from_seed, DefaultRng};
 
 use crate::api::{
     ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply, HeteroStats,
     RestoreReply, RingReply, RingRequest, StatsReply,
 };
+use crate::metrics::ServeMetrics;
 use crate::ServeError;
 
 /// Upper bound on explicit `rings` in one request: a single request must
@@ -70,6 +74,9 @@ pub struct ServeCore {
     warmup: f64,
     /// Boot identity echoed by `/v1/stats` (rebuilt on restore).
     identity: BootIdentity,
+    /// Telemetry tap (never consulted by any handler — attaching it can
+    /// not change a trajectory or a reply body).
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl ServeCore {
@@ -87,7 +94,21 @@ impl ServeCore {
             policy,
             warmup,
             identity,
+            metrics: None,
         }
+    }
+
+    /// Attach serving + engine telemetry to `registry`.  One registry
+    /// collects the whole stack, so a single `GET /v1/metrics` scrape
+    /// covers engine counters, policy probes and serve-stage timers.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.engine.attach_metrics(registry);
+        self.metrics = Some(ServeMetrics::register(registry));
+    }
+
+    /// The attached telemetry, if any.
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The engine (read-only; the core owns all mutation).
@@ -295,6 +316,11 @@ impl ServeCore {
             .restore()
             .map_err(|e| ServeError::conflict(e.to_string()))?;
         self.engine = engine;
+        // The restored engine starts bare; re-tap it into the same
+        // registry (instruments are shared, so totals keep accumulating).
+        if let Some(m) = &self.metrics {
+            self.engine.attach_metrics(m.registry());
+        }
         self.rng = rng;
         self.steady = SteadyState::new(self.engine.time() + self.warmup);
         self.steady

@@ -209,9 +209,21 @@ pub fn reason_phrase(status: u16) -> &'static str {
 /// Append one serialized response to `out` (the server batches the
 /// responses of a pipelined burst into a single write).
 pub fn append_response(out: &mut Vec<u8>, status: u16, body: &[u8], keep_alive: bool) {
+    append_response_typed(out, status, "application/json", body, keep_alive);
+}
+
+/// [`append_response`] with an explicit `Content-Type` (the metrics
+/// endpoint serves Prometheus text, everything else JSON).
+pub fn append_response_typed(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             reason_phrase(status),
             body.len(),
             if keep_alive { "keep-alive" } else { "close" },

@@ -49,6 +49,7 @@ pub mod client;
 pub mod core;
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
 pub mod server;
 
 pub use api::{
@@ -60,6 +61,7 @@ pub use core::{ServeCore, ServePolicy};
 pub use loadgen::{
     core_from_log, drive, replay_over_http, BenchOptions, BenchReport, DriveMode, ReplayOutcome,
 };
+pub use metrics::{endpoint_index, ServeMetrics, CATALOG, ENDPOINTS};
 pub use server::{serve, HttpServer, ServerConfig};
 
 /// An error with an HTTP status: everything a handler can reject.

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use rls_core::Config;
 use rls_live::{replay, EventLog, LiveEngine, LiveEventKind, LiveParams, Snapshot};
+use rls_obs::{Histogram, HistogramSnapshot};
 use rls_rng::{rng_from_seed, Rng64, RngExt};
 use rls_workloads::ArrivalProcess;
 
@@ -83,6 +84,10 @@ impl Default for BenchOptions {
 }
 
 /// What a generator run measured.
+///
+/// Percentiles are read from per-connection `rls-obs` log-linear
+/// histograms merged into one — O(1) memory per connection regardless of
+/// request count, with ≤ 6.25 % relative bucket error (the max is exact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Requests that received an HTTP response.
@@ -105,6 +110,14 @@ pub struct BenchReport {
     pub p99_us: f64,
     /// Worst observed latency (µs).
     pub max_us: f64,
+    /// Open loop only: scheduled-vs-actual send skew — how late each
+    /// request actually left relative to its schedule, the generator-side
+    /// half of the coordinated-omission guard.  Zero in closed loop.
+    pub skew_p50_us: f64,
+    /// 99th percentile send skew (µs).
+    pub skew_p99_us: f64,
+    /// Worst observed send skew (µs).
+    pub skew_max_us: f64,
 }
 
 /// Drive a server with `opts` and measure.
@@ -141,33 +154,33 @@ pub fn drive(addr: SocketAddr, opts: &BenchOptions) -> Result<BenchReport, Strin
     });
 
     let elapsed = start.elapsed();
-    let mut latencies = Vec::new();
+    // Merge the per-connection histograms (merge is associative and
+    // commutative, so the join order doesn't matter).
+    let mut latency = HistogramSnapshot::empty();
+    let mut skew = HistogramSnapshot::empty();
     let (mut requests, mut non_200, mut errors) = (0u64, 0u64, 0u64);
     for result in worker_results {
         let stats = result?;
         requests += stats.requests;
         non_200 += stats.non_200;
         errors += stats.errors;
-        latencies.extend(stats.latencies_ns);
+        latency.merge(&stats.latency.snapshot());
+        skew.merge(&stats.skew.snapshot());
     }
-    latencies.sort_unstable();
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx] as f64 / 1_000.0
-    };
+    let us = |ns: u64| ns as f64 / 1_000.0;
     Ok(BenchReport {
         requests,
         non_200,
         errors,
         elapsed,
         rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_us: pct(0.50),
-        p90_us: pct(0.90),
-        p99_us: pct(0.99),
-        max_us: latencies.last().map_or(0.0, |&ns| ns as f64 / 1_000.0),
+        p50_us: us(latency.value_at_quantile(0.50)),
+        p90_us: us(latency.value_at_quantile(0.90)),
+        p99_us: us(latency.value_at_quantile(0.99)),
+        max_us: us(latency.max()),
+        skew_p50_us: us(skew.value_at_quantile(0.50)),
+        skew_p99_us: us(skew.value_at_quantile(0.99)),
+        skew_max_us: us(skew.max()),
     })
 }
 
@@ -175,7 +188,10 @@ struct WorkerStats {
     requests: u64,
     non_200: u64,
     errors: u64,
-    latencies_ns: Vec<u64>,
+    /// Response latency (closed: from send; open: from schedule).
+    latency: Histogram,
+    /// Open loop: how late the request actually left vs its schedule.
+    skew: Histogram,
 }
 
 fn run_connection(
@@ -193,7 +209,8 @@ fn run_connection(
         requests: 0,
         non_200: 0,
         errors: 0,
-        latencies_ns: Vec::with_capacity(4096),
+        latency: Histogram::new(),
+        skew: Histogram::new(),
     };
 
     // Take one global ticket per request so `max_requests` caps the total
@@ -223,8 +240,8 @@ fn run_connection(
                     stats.non_200 += 1;
                 }
                 stats
-                    .latencies_ns
-                    .push(measured_from.elapsed().as_nanos() as u64);
+                    .latency
+                    .record(measured_from.elapsed().as_nanos() as u64);
                 Ok(())
             }
             Err(e) => {
@@ -269,7 +286,7 @@ fn run_connection(
                         if status != 200 {
                             stats.non_200 += 1;
                         }
-                        stats.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                        stats.latency.record(sent_at.elapsed().as_nanos() as u64);
                     }
                     Err(_) => {
                         // The whole in-flight window is lost with the
@@ -304,9 +321,16 @@ fn run_connection(
                     std::thread::sleep(gap);
                 }
                 for _ in 0..epoch.size {
-                    if Instant::now() >= deadline || !take_ticket() {
+                    let now = Instant::now();
+                    if now >= deadline || !take_ticket() {
                         break 'epochs;
                     }
+                    // How late this request actually leaves vs its
+                    // schedule: the generator-side skew (burst members
+                    // after the first inherit their predecessors' delay).
+                    stats
+                        .skew
+                        .record(now.saturating_duration_since(scheduled).as_nanos() as u64);
                     // Latency from the scheduled instant: if the server (or
                     // this connection) is behind, the queueing shows up.
                     fire(&mut client, &mut stats, &mut rng, scheduled)?;

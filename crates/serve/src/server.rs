@@ -21,17 +21,19 @@
 
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rls_live::Snapshot;
 
 use crate::api::{ArriveRequest, DepartRequest, RingRequest};
 use crate::core::ServeCore;
 use crate::http::{self, MessageReader};
+use crate::metrics::{endpoint_index, flight_kind, ServeMetrics, FLIGHT_NONE};
 use crate::ServeError;
 
 /// How a server is wired.
@@ -70,6 +72,20 @@ type EngineReply = Result<String, ServeError>;
 struct EngineMsg {
     cmd: EngineCmd,
     reply: Sender<EngineReply>,
+    /// When the worker handed the command to the channel (queue-wait
+    /// stage timing; ignored when no metrics are attached).
+    enqueued: Instant,
+}
+
+/// Where a routed request is answered.
+#[derive(Debug)]
+enum Routed {
+    /// On the engine thread, in channel order.
+    Engine(EngineCmd),
+    /// On the worker: render the metric catalog (`GET /v1/metrics`).
+    Metrics,
+    /// On the worker: dump the flight recorder (`GET /v1/debug/flight`).
+    Flight,
 }
 
 /// A running server; dropping it (or calling
@@ -128,6 +144,9 @@ pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
     let stop = Arc::new(AtomicBool::new(false));
 
     let (cmd_tx, cmd_rx) = mpsc::channel::<EngineMsg>();
+    // Workers share the core's telemetry tap (if one is attached): they
+    // classify requests and time the parse/write stages themselves.
+    let metrics = core.metrics().cloned();
     let engine = std::thread::Builder::new()
         .name("rls-serve-engine".to_string())
         .spawn(move || engine_loop(core, cmd_rx))?;
@@ -137,9 +156,10 @@ pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
         let spawned = listener.try_clone().and_then(|listener| {
             let stop = Arc::clone(&stop);
             let cmd_tx = cmd_tx.clone();
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name(format!("rls-serve-worker-{i}"))
-                .spawn(move || worker_loop(listener, stop, cmd_tx))
+                .spawn(move || worker_loop(listener, stop, cmd_tx, metrics, i))
         });
         match spawned {
             Ok(handle) => workers.push(handle),
@@ -173,13 +193,63 @@ pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
 
 /// The engine thread: apply commands in channel order until every sender
 /// is gone, then hand the core back.
+///
+/// With metrics attached, each command is timed (queue wait + apply) and
+/// logged in the flight recorder; should the engine ever panic, the
+/// recorder's recent-event window is dumped to stderr before the panic
+/// propagates, so the post-mortem names the exact command sequence.
 fn engine_loop(mut core: ServeCore, rx: Receiver<EngineMsg>) -> ServeCore {
+    let metrics = core.metrics().cloned();
     while let Ok(msg) = rx.recv() {
-        let reply = execute(&mut core, &msg.cmd);
+        let queue_ns = elapsed_ns(msg.enqueued);
+        let apply_start = Instant::now();
+        let reply = match panic::catch_unwind(AssertUnwindSafe(|| execute(&mut core, &msg.cmd))) {
+            Ok(reply) => reply,
+            Err(cause) => {
+                if let Some(m) = &metrics {
+                    let (kind, a, b) = flight_coords(&msg.cmd);
+                    m.flight
+                        .record(kind, a, b, queue_ns, elapsed_ns(apply_start));
+                    eprintln!("engine thread panicked; flight recorder dump:");
+                    eprintln!("{}", m.flight_json());
+                }
+                panic::resume_unwind(cause);
+            }
+        };
+        if let Some(m) = &metrics {
+            let apply_ns = elapsed_ns(apply_start);
+            m.stage_queue_ns.record(queue_ns);
+            m.stage_apply_ns.record(apply_ns);
+            let (kind, a, b) = flight_coords(&msg.cmd);
+            m.flight.record(kind, a, b, queue_ns, apply_ns);
+        }
         // A worker that died mid-request just drops its receiver.
         let _ = msg.reply.send(reply);
     }
     core
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Flight-recorder annotation of a command: kind code plus up to two
+/// coordinates ([`FLIGHT_NONE`] for absent/sampled ones).
+fn flight_coords(cmd: &EngineCmd) -> (u64, u64, u64) {
+    let coord = |v: Option<usize>| v.map_or(FLIGHT_NONE, |b| b as u64);
+    match cmd {
+        EngineCmd::Arrive(req) => (
+            flight_kind::ARRIVE,
+            coord(req.bin),
+            req.weight.unwrap_or(FLIGHT_NONE),
+        ),
+        EngineCmd::Depart(req) => (flight_kind::DEPART, coord(req.bin), FLIGHT_NONE),
+        EngineCmd::Ring(req) => (flight_kind::RING, coord(req.source), coord(req.dest)),
+        EngineCmd::Stats => (flight_kind::STATS, FLIGHT_NONE, FLIGHT_NONE),
+        EngineCmd::Snapshot => (flight_kind::SNAPSHOT, FLIGHT_NONE, FLIGHT_NONE),
+        EngineCmd::Restore(_) => (flight_kind::RESTORE, FLIGHT_NONE, FLIGHT_NONE),
+        EngineCmd::Health => (flight_kind::HEALTH, FLIGHT_NONE, FLIGHT_NONE),
+    }
 }
 
 fn to_json<T: serde::Serialize>(value: &T) -> String {
@@ -199,7 +269,15 @@ fn execute(core: &mut ServeCore, cmd: &EngineCmd) -> EngineReply {
 }
 
 /// One worker: accept a connection, serve it to completion, repeat.
-fn worker_loop(listener: TcpListener, stop: Arc<AtomicBool>, cmd_tx: Sender<EngineMsg>) {
+/// `worker` is the thread's index, used only as a stripe hint for the
+/// sharded byte counters.
+fn worker_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    cmd_tx: Sender<EngineMsg>,
+    metrics: Option<Arc<ServeMetrics>>,
+    worker: usize,
+) {
     // Each worker reuses one reply channel: it has at most one command in
     // flight at a time.
     let (reply_tx, reply_rx) = mpsc::channel::<EngineReply>();
@@ -211,7 +289,15 @@ fn worker_loop(listener: TcpListener, stop: Arc<AtomicBool>, cmd_tx: Sender<Engi
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let _ = serve_connection(stream, &stop, &cmd_tx, &reply_tx, &reply_rx);
+        let _ = serve_connection(
+            stream,
+            &stop,
+            &cmd_tx,
+            &reply_tx,
+            &reply_rx,
+            metrics.as_deref(),
+            worker,
+        );
     }
 }
 
@@ -225,6 +311,11 @@ enum Pending {
     Engine,
     /// Routing already produced the answer (an error) locally.
     Direct(ServeError),
+    /// Answered on the worker with a non-JSON body (metrics, flight dump).
+    Local {
+        content_type: &'static str,
+        body: String,
+    },
 }
 
 fn serve_connection(
@@ -233,6 +324,8 @@ fn serve_connection(
     cmd_tx: &Sender<EngineMsg>,
     reply_tx: &Sender<EngineReply>,
     reply_rx: &Receiver<EngineReply>,
+    metrics: Option<&ServeMetrics>,
+    worker: usize,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     // Short timeout so an idle keep-alive connection re-checks the stop
@@ -268,47 +361,100 @@ fn serve_connection(
         let close_after = batch.last().is_some_and(|m| m.close);
 
         // Route every request, pushing engine commands in order; replies
-        // come back over this worker's channel in the same order.
+        // come back over this worker's channel in the same order.  Each
+        // slot remembers its endpoint class so the response loop can
+        // attribute the final status.
         let mut pending = Vec::with_capacity(batch.len());
         for message in &batch {
+            let parse_start = metrics.map(|_| Instant::now());
             let mut parts = message.start_line.split_ascii_whitespace();
             let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-                pending.push(Pending::Direct(ServeError::bad_request("bad request line")));
+                pending.push((
+                    Pending::Direct(ServeError::bad_request("bad request line")),
+                    endpoint_index(""),
+                ));
                 continue;
             };
-            match route(method, path, &message.body) {
-                Ok(cmd) => {
+            let endpoint = endpoint_index(path);
+            if let Some(m) = metrics {
+                m.request_bytes.add(
+                    worker,
+                    (message.start_line.len() + message.body.len()) as u64,
+                );
+            }
+            let slot = match route(method, path, &message.body) {
+                Ok(Routed::Engine(cmd)) => {
                     if cmd_tx
                         .send(EngineMsg {
                             cmd,
                             reply: reply_tx.clone(),
+                            enqueued: Instant::now(),
                         })
                         .is_err()
                     {
-                        pending.push(Pending::Direct(ServeError::internal(
-                            "engine thread is gone",
-                        )));
+                        Pending::Direct(ServeError::internal("engine thread is gone"))
                     } else {
-                        pending.push(Pending::Engine);
+                        Pending::Engine
                     }
                 }
-                Err(e) => pending.push(Pending::Direct(e)),
+                // The telemetry endpoints are answered on the worker: they
+                // only read atomics, so they never queue behind the engine
+                // (and keep working even if it is wedged).
+                Ok(Routed::Metrics) => match metrics {
+                    Some(m) => Pending::Local {
+                        content_type: "text/plain; version=0.0.4",
+                        body: m.render_prometheus(),
+                    },
+                    None => Pending::Direct(ServeError::not_found(path)),
+                },
+                Ok(Routed::Flight) => match metrics {
+                    Some(m) => Pending::Local {
+                        content_type: "application/json",
+                        body: m.flight_json(),
+                    },
+                    None => Pending::Direct(ServeError::not_found(path)),
+                },
+                Err(e) => Pending::Direct(e),
+            };
+            if let (Some(m), Some(start)) = (metrics, parse_start) {
+                m.stage_parse_ns.record(elapsed_ns(start));
             }
+            pending.push((slot, endpoint));
         }
 
         out.clear();
-        for (slot, message) in pending.into_iter().zip(&batch) {
+        for ((slot, endpoint), message) in pending.into_iter().zip(&batch) {
+            // Each response carries its own message's connection intent:
+            // only the (final) close-requesting message is answered with
+            // `Connection: close`.
+            let keep_alive = !message.close;
             let reply = match slot {
                 Pending::Engine => match reply_rx.recv() {
                     Ok(reply) => reply,
                     Err(_) => Err(ServeError::internal("engine thread is gone")),
                 },
                 Pending::Direct(e) => Err(e),
+                Pending::Local { content_type, body } => {
+                    if let Some(m) = metrics {
+                        m.record_request(endpoint, 200);
+                    }
+                    http::append_response_typed(
+                        &mut out,
+                        200,
+                        content_type,
+                        body.as_bytes(),
+                        keep_alive,
+                    );
+                    continue;
+                }
             };
-            // Each response carries its own message's connection intent:
-            // only the (final) close-requesting message is answered with
-            // `Connection: close`.
-            let keep_alive = !message.close;
+            let status = match &reply {
+                Ok(_) => 200,
+                Err(e) => e.status,
+            };
+            if let Some(m) = metrics {
+                m.record_request(endpoint, status);
+            }
             match reply {
                 Ok(body) => http::append_response(&mut out, 200, body.as_bytes(), keep_alive),
                 Err(e) => {
@@ -319,7 +465,12 @@ fn serve_connection(
                 }
             }
         }
+        let write_start = metrics.map(|_| Instant::now());
         stream.write_all(&out)?;
+        if let (Some(m), Some(start)) = (metrics, write_start) {
+            m.stage_write_ns.record(elapsed_ns(start));
+            m.response_bytes.add(worker, out.len() as u64);
+        }
         if close_after {
             return Ok(());
         }
@@ -331,9 +482,9 @@ struct ErrorBody {
     error: String,
 }
 
-/// Decode a request into an engine command (no state access here — pure
-/// routing, runs on the worker).
-fn route(method: &str, path: &str, body: &[u8]) -> Result<EngineCmd, ServeError> {
+/// Decode a request into an engine command or a worker-local answer (no
+/// state access here — pure routing, runs on the worker).
+fn route(method: &str, path: &str, body: &[u8]) -> Result<Routed, ServeError> {
     let parse_body = |what: &str| -> Result<serde_json::Value, ServeError> {
         let text = std::str::from_utf8(body)
             .map_err(|_| ServeError::bad_request(format!("{what} body is not UTF-8")))?;
@@ -353,30 +504,37 @@ fn route(method: &str, path: &str, body: &[u8]) -> Result<EngineCmd, ServeError>
         };
     }
 
+    let engine = |cmd: EngineCmd| Ok(Routed::Engine(cmd));
     match (method, path) {
-        ("POST", "/v1/arrive") => Ok(EngineCmd::Arrive(body_or_default!(ArriveRequest, "arrive"))),
-        ("POST", "/v1/depart") => Ok(EngineCmd::Depart(body_or_default!(DepartRequest, "depart"))),
+        ("POST", "/v1/arrive") => {
+            engine(EngineCmd::Arrive(body_or_default!(ArriveRequest, "arrive")))
+        }
+        ("POST", "/v1/depart") => {
+            engine(EngineCmd::Depart(body_or_default!(DepartRequest, "depart")))
+        }
         ("POST", p) if p.starts_with("/v1/depart/") => {
             let bin = p["/v1/depart/".len()..]
                 .parse::<usize>()
                 .map_err(|_| ServeError::bad_request(format!("bad bin in path `{p}`")))?;
-            Ok(EngineCmd::Depart(DepartRequest { bin: Some(bin) }))
+            engine(EngineCmd::Depart(DepartRequest { bin: Some(bin) }))
         }
-        ("POST", "/v1/ring") => Ok(EngineCmd::Ring(body_or_default!(RingRequest, "ring"))),
-        ("GET", "/v1/stats") => Ok(EngineCmd::Stats),
-        ("GET", "/v1/snapshot") => Ok(EngineCmd::Snapshot),
+        ("POST", "/v1/ring") => engine(EngineCmd::Ring(body_or_default!(RingRequest, "ring"))),
+        ("GET", "/v1/stats") => engine(EngineCmd::Stats),
+        ("GET", "/v1/snapshot") => engine(EngineCmd::Snapshot),
         ("POST", "/v1/restore") => {
             let text = std::str::from_utf8(body)
                 .map_err(|_| ServeError::bad_request("snapshot body is not UTF-8"))?;
             let snapshot =
                 Snapshot::from_json(text).map_err(|e| ServeError::bad_request(e.to_string()))?;
-            Ok(EngineCmd::Restore(Box::new(snapshot)))
+            engine(EngineCmd::Restore(Box::new(snapshot)))
         }
-        ("GET", "/healthz") => Ok(EngineCmd::Health),
+        ("GET", "/healthz") => engine(EngineCmd::Health),
+        ("GET", "/v1/metrics") => Ok(Routed::Metrics),
+        ("GET", "/v1/debug/flight") => Ok(Routed::Flight),
         (
             _,
             "/v1/arrive" | "/v1/depart" | "/v1/ring" | "/v1/restore" | "/v1/stats" | "/v1/snapshot"
-            | "/healthz",
+            | "/healthz" | "/v1/metrics" | "/v1/debug/flight",
         ) => Err(ServeError::method_not_allowed(method, path)),
         // The path-param depart route also exists for exactly one method.
         (_, p) if p.starts_with("/v1/depart/") => Err(ServeError::method_not_allowed(method, path)),
@@ -392,38 +550,47 @@ mod tests {
     fn routing_covers_the_api() {
         assert!(matches!(
             route("POST", "/v1/arrive", b"").unwrap(),
-            EngineCmd::Arrive(r) if r == ArriveRequest::default()
+            Routed::Engine(EngineCmd::Arrive(r)) if r == ArriveRequest::default()
         ));
         assert!(matches!(
             route("POST", "/v1/arrive", br#"{"bin": 2, "rings": 0}"#).unwrap(),
-            EngineCmd::Arrive(ArriveRequest {
+            Routed::Engine(EngineCmd::Arrive(ArriveRequest {
                 bin: Some(2),
                 rings: Some(0),
                 weight: None
-            })
+            }))
         ));
         assert!(matches!(
             route("POST", "/v1/depart/7", b"").unwrap(),
-            EngineCmd::Depart(DepartRequest { bin: Some(7) })
+            Routed::Engine(EngineCmd::Depart(DepartRequest { bin: Some(7) }))
         ));
         assert!(matches!(
             route("POST", "/v1/ring", br#"{"source": 1}"#).unwrap(),
-            EngineCmd::Ring(RingRequest {
+            Routed::Engine(EngineCmd::Ring(RingRequest {
                 source: Some(1),
                 dest: None
-            })
+            }))
         ));
         assert!(matches!(
             route("GET", "/v1/stats", b"").unwrap(),
-            EngineCmd::Stats
+            Routed::Engine(EngineCmd::Stats)
         ));
         assert!(matches!(
             route("GET", "/v1/snapshot", b"").unwrap(),
-            EngineCmd::Snapshot
+            Routed::Engine(EngineCmd::Snapshot)
         ));
         assert!(matches!(
             route("GET", "/healthz", b"").unwrap(),
-            EngineCmd::Health
+            Routed::Engine(EngineCmd::Health)
+        ));
+        // Telemetry endpoints are answered on the worker, not the engine.
+        assert!(matches!(
+            route("GET", "/v1/metrics", b"").unwrap(),
+            Routed::Metrics
+        ));
+        assert!(matches!(
+            route("GET", "/v1/debug/flight", b"").unwrap(),
+            Routed::Flight
         ));
     }
 
@@ -431,6 +598,11 @@ mod tests {
     fn routing_rejects_what_it_should() {
         assert_eq!(route("GET", "/v1/arrive", b"").unwrap_err().status, 405);
         assert_eq!(route("POST", "/v1/stats", b"").unwrap_err().status, 405);
+        assert_eq!(route("POST", "/v1/metrics", b"").unwrap_err().status, 405);
+        assert_eq!(
+            route("DELETE", "/v1/debug/flight", b"").unwrap_err().status,
+            405
+        );
         // The path-param depart route is 405 for the wrong method too,
         // not a phantom 404.
         assert_eq!(route("GET", "/v1/depart/3", b"").unwrap_err().status, 405);

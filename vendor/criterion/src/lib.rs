@@ -171,6 +171,28 @@ fn append_json_record(name: &str, b: &Bencher) {
     }
 }
 
+/// Append a free-form metric record to the `RLS_BENCH_JSON` file —
+/// `{"name": ..., "value": ...}` — for numbers a bench derives beyond
+/// wall time (throughput counters, telemetry snapshots).  No-op when the
+/// variable is unset, like [`quick_mode`]'s sibling handling above.
+pub fn append_custom_record(name: &str, value: f64) {
+    let Ok(path) = std::env::var("RLS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!("{{\"name\": {name:?}, \"value\": {value}}}\n");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("RLS_BENCH_JSON: cannot append to {path}: {e}");
+    }
+}
+
 /// A group of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
