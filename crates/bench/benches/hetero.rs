@@ -151,6 +151,7 @@ fn hetero_grid(c: &mut Criterion) {
                 let mut eng = engine(policy, dist, profile);
                 eng.attach_metrics(&registry);
                 let mut steady = SteadyState::new(horizon * 0.25);
+                // detlint: allow(D002) benchmark wall-clock, never fed to an engine
                 let started = std::time::Instant::now();
                 eng.run_until(horizon, &mut rng_from_seed(7), &mut steady);
                 let wall = started.elapsed().as_secs_f64();

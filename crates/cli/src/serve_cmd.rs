@@ -423,7 +423,7 @@ fn spawn_metrics_writer(
                 eprintln!("--metrics-json: cannot write {path}: {e}");
                 return;
             }
-            if flag.load(Ordering::SeqCst) {
+            if flag.load(Ordering::Acquire) {
                 return;
             }
             std::thread::sleep(tick);
@@ -472,7 +472,7 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
             std::thread::sleep(Duration::from_secs_f64(seconds));
             let core = server.shutdown();
             if let Some((stop, handle)) = writer {
-                stop.store(true, Ordering::SeqCst);
+                stop.store(true, Ordering::Release);
                 let _ = handle.join();
             }
             let stats = core.stats();

@@ -17,14 +17,18 @@
 //! moved, only their loads immediately before the move.  The ablation bench
 //! `configuration_bookkeeping` quantifies the win over rescanning.
 
-use std::collections::HashMap;
+// detlint: allow-file(D004) every float here (average, discrepancy,
+// x-balance) is a read-only statistic derived from integer state on
+// demand; nothing float-valued is ever written back into the histogram
+// or the aggregates, so the trajectory cannot be perturbed.
+use std::collections::BTreeMap;
 
 use crate::{BinCounts, Config};
 
 /// Incrementally maintained summary of a load configuration.
 #[derive(Debug, Clone)]
 pub struct LoadTracker {
-    counts: HashMap<u64, usize>,
+    counts: BTreeMap<u64, usize>,
     n: usize,
     m: u64,
     floor_avg: u64,
@@ -41,7 +45,7 @@ pub struct LoadTracker {
 impl LoadTracker {
     /// Build the tracker for an initial configuration.
     pub fn new(cfg: &Config) -> Self {
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for &l in cfg.loads() {
             *counts.entry(l).or_insert(0) += 1;
         }
@@ -259,6 +263,17 @@ impl LoadTracker {
         }
     }
 
+    /// The load histogram as ascending `(load, bin count)` pairs.
+    ///
+    /// Iteration order is deterministic by construction (`BTreeMap`),
+    /// so any export or serialization built on it is byte-stable across
+    /// runs and across identically-driven trackers — the predecessor
+    /// `HashMap` iterated in a per-instance random order, which detlint
+    /// rule D001 now bans in trajectory crates.
+    pub fn histogram(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.counts.iter().map(|(&l, &c)| (l, c))
+    }
+
     /// Verify the tracker against a configuration (test/debug helper).
     pub fn matches(&self, cfg: &Config) -> bool {
         let bc = cfg.bin_counts();
@@ -458,5 +473,45 @@ mod tests {
         let cfg = Config::from_loads(vec![1, 0]).unwrap();
         let mut t = LoadTracker::new(&cfg);
         t.record_move(0, 1);
+    }
+
+    /// Serializes the histogram the way an export path would.
+    fn render_histogram(t: &LoadTracker) -> String {
+        t.histogram()
+            .map(|(l, c)| format!("{l}:{c}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    #[test]
+    fn histogram_export_is_byte_identical() {
+        // Two identically-driven trackers must serialize byte-equal —
+        // and so must two trackers that reach the same load multiset
+        // through *different* operation orders.  The former caught
+        // nothing under HashMap only by luck of equal contents; the
+        // latter is where per-instance hash seeds made exports flap.
+        let drive = |ops: &[(usize, usize)]| {
+            let mut cfg = Config::from_loads(vec![6, 2, 4, 0]).unwrap();
+            let mut t = LoadTracker::new(&cfg);
+            for &(from, to) in ops {
+                let (lf, lt) = (cfg.load(from), cfg.load(to));
+                cfg.apply(Move::new(from, to)).unwrap();
+                t.record_move(lf, lt);
+            }
+            t
+        };
+        let a = drive(&[(0, 3), (0, 1), (2, 3)]);
+        let b = drive(&[(0, 3), (0, 1), (2, 3)]);
+        assert_eq!(render_histogram(&a), render_histogram(&b));
+
+        // Different order, same final multiset {4, 3, 3, 2}.
+        let c = drive(&[(2, 3), (0, 1), (0, 3)]);
+        assert_eq!(render_histogram(&a), render_histogram(&c));
+
+        // And the pairs really are ascending in load.
+        let loads: Vec<u64> = a.histogram().map(|(l, _)| l).collect();
+        let mut sorted = loads.clone();
+        sorted.sort_unstable();
+        assert_eq!(loads, sorted);
     }
 }

@@ -1,0 +1,363 @@
+// detlint: allow-file(D006) models reference the checker's MemOrder
+// vocabulary; every ordering below is itself the subject under test.
+//! Model programs for the workspace's lock-free observability
+//! primitives: the `FlightRecorder` seqlock, the `ShardedCounter`, and
+//! the `Histogram` record/snapshot pair from `crates/obs`.
+//!
+//! Each model mirrors its real counterpart operation-for-operation (one
+//! modeled atomic per real atomic, same orderings) at a deliberately
+//! tiny size so the checker can enumerate every interleaving *and*
+//! every stale-read choice.  The orderings are parameters, which is how
+//! the mutation tests prove the checker has teeth: weaken one `Release`
+//! to `Relaxed` and the torn read the real code is protected against
+//! must surface as a counterexample.
+
+use super::{Env, MemOrder, Program};
+
+/// Orderings of the seqlock protocol in `crates/obs/src/flight.rs`.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqlockOrderings {
+    /// Writer bumps the version to odd before touching the payload.
+    pub claim: MemOrder,
+    /// Writer's payload word stores.
+    pub payload_store: MemOrder,
+    /// Writer bumps the version back to even.
+    pub publish: MemOrder,
+    /// Reader's two version loads.
+    pub version_load: MemOrder,
+    /// Reader's payload word loads.
+    pub payload_load: MemOrder,
+}
+
+impl SeqlockOrderings {
+    /// The orderings `FlightRecorder` ships with.
+    pub fn shipped() -> Self {
+        Self {
+            claim: MemOrder::Release,
+            payload_store: MemOrder::Release,
+            publish: MemOrder::Release,
+            version_load: MemOrder::Acquire,
+            payload_load: MemOrder::Acquire,
+        }
+    }
+}
+
+/// Number of payload words in the seqlock model (the real slot has 6;
+/// two words already expose every tearing mode).
+pub const SEQLOCK_WORDS: usize = 2;
+
+const VERSION: usize = 0;
+const PAYLOAD0: usize = 1;
+
+/// One writer re-publishing the same slot `generations` times (the ring
+/// wrapping onto a slot) racing one reader performing `passes`
+/// `dump`-style reads.
+///
+/// Generation `g` writes `g` into every payload word and publishes
+/// version `2g`; an admitted read (`v1 == v2`, even, non-zero) must
+/// decode payload words all equal to `v1 / 2` — anything else is a torn
+/// read.
+#[derive(Debug)]
+pub struct SeqlockModel {
+    ord: SeqlockOrderings,
+    generations: u64,
+    passes: usize,
+    /// Writer state: current generation (1-based), sub-step within it.
+    w_gen: u64,
+    w_sub: usize,
+    /// Reader state: pass index, sub-step, captured v1 and payload.
+    r_pass: usize,
+    r_sub: usize,
+    r_v1: u64,
+    r_payload: [u64; SEQLOCK_WORDS],
+    /// First torn read observed, if any.
+    torn: Option<String>,
+    /// Admitted (consistent) reads, for sanity assertions.
+    admitted: usize,
+}
+
+impl SeqlockModel {
+    /// A model with `generations` writer publishes and `passes` reader
+    /// dump passes.
+    pub fn new(ord: SeqlockOrderings, generations: u64, passes: usize) -> Self {
+        Self {
+            ord,
+            generations,
+            passes,
+            w_gen: 1,
+            w_sub: 0,
+            r_pass: 0,
+            r_sub: 0,
+            r_v1: 0,
+            r_payload: [0; SEQLOCK_WORDS],
+            torn: None,
+            admitted: 0,
+        }
+    }
+
+    /// Number of reads that passed the version check.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+}
+
+impl Program for SeqlockModel {
+    fn locs(&self) -> usize {
+        1 + SEQLOCK_WORDS
+    }
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, tid: usize) -> bool {
+        match tid {
+            0 => self.w_gen > self.generations,
+            _ => self.r_pass >= self.passes,
+        }
+    }
+
+    fn step(&mut self, tid: usize, env: &mut Env<'_>) {
+        if tid == 0 {
+            // Writer: claim, payload words, publish.
+            match self.w_sub {
+                0 => {
+                    env.fetch_add(0, VERSION, 1, self.ord.claim);
+                    self.w_sub = 1;
+                }
+                s if s <= SEQLOCK_WORDS => {
+                    env.store(0, PAYLOAD0 + (s - 1), self.w_gen, self.ord.payload_store);
+                    self.w_sub = s + 1;
+                }
+                _ => {
+                    env.fetch_add(0, VERSION, 1, self.ord.publish);
+                    self.w_sub = 0;
+                    self.w_gen += 1;
+                }
+            }
+        } else {
+            // Reader: v1, payload words, v2 + admission check.
+            match self.r_sub {
+                0 => {
+                    self.r_v1 = env.load(1, VERSION, self.ord.version_load);
+                    if self.r_v1 == 0 || self.r_v1 % 2 == 1 {
+                        // Empty or mid-write: the real dump skips the slot.
+                        self.r_pass += 1;
+                    } else {
+                        self.r_sub = 1;
+                    }
+                }
+                s if s <= SEQLOCK_WORDS => {
+                    self.r_payload[s - 1] = env.load(1, PAYLOAD0 + (s - 1), self.ord.payload_load);
+                    self.r_sub = s + 1;
+                }
+                _ => {
+                    let v2 = env.load(1, VERSION, self.ord.version_load);
+                    if v2 == self.r_v1 {
+                        self.admitted += 1;
+                        let expect = self.r_v1 / 2;
+                        if self.r_payload.iter().any(|&w| w != expect) {
+                            self.torn.get_or_insert_with(|| {
+                                format!(
+                                    "torn read admitted: version {} but payload {:?} (expected all {})",
+                                    self.r_v1, self.r_payload, expect
+                                )
+                            });
+                        }
+                    }
+                    self.r_sub = 0;
+                    self.r_pass += 1;
+                }
+            }
+        }
+    }
+
+    fn check(&self, env: &Env<'_>) -> Result<(), String> {
+        if let Some(t) = &self.torn {
+            return Err(t.clone());
+        }
+        // Ground truth after termination: version counted every bump.
+        let v = env.latest(VERSION);
+        if v != 2 * self.generations {
+            return Err(format!(
+                "version lost updates: {} != {}",
+                v,
+                2 * self.generations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Two writer threads incrementing distinct stripes of a
+/// `ShardedCounter` (relaxed RMWs, exactly like `ShardedCounter::add`)
+/// racing a reader that sums the stripes twice (`get` back to back).
+///
+/// Verified: per-reader sums are monotone (coherence), never exceed the
+/// total, and the final stripe total is exact — no increment is ever
+/// lost, which is the linearizable-as-a-monotone-counter guarantee the
+/// merge paths rely on.
+#[derive(Debug, Default)]
+pub struct ShardedCounterModel {
+    w_pc: [usize; 2],
+    r_pc: usize,
+    partial: u64,
+    sums: Vec<u64>,
+}
+
+/// Increments per writer thread.
+const ADDS_PER_WRITER: usize = 2;
+
+impl Program for ShardedCounterModel {
+    fn locs(&self) -> usize {
+        2 // one stripe per writer
+    }
+    fn threads(&self) -> usize {
+        3
+    }
+    fn done(&self, tid: usize) -> bool {
+        match tid {
+            0 | 1 => self.w_pc[tid] >= ADDS_PER_WRITER,
+            _ => self.r_pc >= 4, // two passes x two stripe loads
+        }
+    }
+    fn step(&mut self, tid: usize, env: &mut Env<'_>) {
+        if tid < 2 {
+            // ORDERING in the real code is Relaxed: only the RMW
+            // atomicity matters for a statistical counter.
+            env.fetch_add(tid, tid, 1, MemOrder::Relaxed);
+            self.w_pc[tid] += 1;
+        } else {
+            let stripe = self.r_pc % 2;
+            let v = env.load(2, stripe, MemOrder::Relaxed);
+            self.partial += v;
+            if stripe == 1 {
+                self.sums.push(self.partial);
+                self.partial = 0;
+            }
+            self.r_pc += 1;
+        }
+    }
+    fn check(&self, env: &Env<'_>) -> Result<(), String> {
+        let total = (2 * ADDS_PER_WRITER) as u64;
+        if env.latest(0) + env.latest(1) != total {
+            return Err(format!(
+                "lost increments: {} + {} != {total}",
+                env.latest(0),
+                env.latest(1)
+            ));
+        }
+        let mut prev = 0u64;
+        for &s in &self.sums {
+            if s > total {
+                return Err(format!("sum {s} exceeds total {total}"));
+            }
+            if s < prev {
+                return Err(format!("reader sums not monotone: {s} after {prev}"));
+            }
+            prev = s;
+        }
+        Ok(())
+    }
+}
+
+/// Two threads each `Histogram::record`-ing one value (bucket, count,
+/// sum `fetch_add`s plus a `fetch_max`, all relaxed) racing one
+/// snapshotter that reads the buckets and derives the count from them —
+/// exactly what `Histogram::snapshot` does.
+///
+/// Verified: each snapshot's derived count never exceeds the records
+/// started, snapshots are bucket-wise monotone, and the final state is
+/// exact (count, sum, max, and per-bucket totals all agree with the two
+/// recorded values) — which is why merging per-thread snapshots equals
+/// recording the union.
+#[derive(Debug)]
+pub struct HistogramModel {
+    values: [u64; 2],
+    w_pc: [usize; 2],
+    r_pc: usize,
+    partial: u64,
+    counts: Vec<u64>,
+}
+
+const H_BUCKET0: usize = 0;
+const H_BUCKET1: usize = 1;
+const H_COUNT: usize = 2;
+const H_SUM: usize = 3;
+const H_MAX: usize = 4;
+
+impl HistogramModel {
+    /// Each writer records one value; the two land in distinct buckets.
+    pub fn new(values: [u64; 2]) -> Self {
+        Self {
+            values,
+            w_pc: [0; 2],
+            r_pc: 0,
+            partial: 0,
+            counts: Vec::new(),
+        }
+    }
+}
+
+impl Program for HistogramModel {
+    fn locs(&self) -> usize {
+        5
+    }
+    fn threads(&self) -> usize {
+        3
+    }
+    fn done(&self, tid: usize) -> bool {
+        match tid {
+            0 | 1 => self.w_pc[tid] >= 4,
+            _ => self.r_pc >= 4, // two passes x two bucket loads
+        }
+    }
+    fn step(&mut self, tid: usize, env: &mut Env<'_>) {
+        if tid < 2 {
+            // ORDERING in the real code is Relaxed throughout `record`.
+            let v = self.values[tid];
+            match self.w_pc[tid] {
+                0 => env.fetch_add(tid, H_BUCKET0 + tid, 1, MemOrder::Relaxed),
+                1 => env.fetch_add(tid, H_COUNT, 1, MemOrder::Relaxed),
+                2 => env.fetch_add(tid, H_SUM, v, MemOrder::Relaxed),
+                _ => env.fetch_max(tid, H_MAX, v, MemOrder::Relaxed),
+            };
+            self.w_pc[tid] += 1;
+        } else {
+            let bucket = self.r_pc % 2;
+            let v = env.load(2, H_BUCKET0 + bucket, MemOrder::Relaxed);
+            self.partial += v;
+            if bucket == 1 {
+                self.counts.push(self.partial);
+                self.partial = 0;
+            }
+            self.r_pc += 1;
+        }
+    }
+    fn check(&self, env: &Env<'_>) -> Result<(), String> {
+        // Final ground truth: nothing lost, nothing double-counted.
+        let [a, b] = self.values;
+        if env.latest(H_BUCKET0) != 1 || env.latest(H_BUCKET1) != 1 {
+            return Err("bucket increments lost".into());
+        }
+        if env.latest(H_COUNT) != 2 {
+            return Err(format!("count {} != 2", env.latest(H_COUNT)));
+        }
+        if env.latest(H_SUM) != a + b {
+            return Err(format!("sum {} != {}", env.latest(H_SUM), a + b));
+        }
+        if env.latest(H_MAX) != a.max(b) {
+            return Err(format!("max {} != {}", env.latest(H_MAX), a.max(b)));
+        }
+        // Snapshot coherence: derived counts within bounds and monotone.
+        let mut prev = 0u64;
+        for &c in &self.counts {
+            if c > 2 {
+                return Err(format!("snapshot derived count {c} > records started"));
+            }
+            if c < prev {
+                return Err(format!("snapshot counts not monotone: {c} after {prev}"));
+            }
+            prev = c;
+        }
+        Ok(())
+    }
+}

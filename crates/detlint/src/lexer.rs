@@ -1,0 +1,358 @@
+//! A small, line-aware Rust lexer — just enough structure for lint rules.
+//!
+//! The lexer's job is to classify every byte of a source file so rules can
+//! match on *code* identifiers without being fooled by comments, string
+//! literals (including raw strings with arbitrary `#` fences), char
+//! literals, or lifetimes.  It deliberately does not build an AST: every
+//! rule in this workspace is expressible over a token stream plus the
+//! comment text, and a token stream cannot go out of sync with the
+//! language the way a regex can.
+//!
+//! Tokens carry their 1-based line number so findings and suppression
+//! pragmas (which are line-scoped) stay cheap to resolve.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, ...).
+    Ident,
+    /// Punctuation, one char per token (`:`, `(`, `&`, ...).
+    Punct,
+    /// A numeric literal (`0x1f`, `1_000u64`, `1.5e-3`).
+    Number,
+    /// A string, raw-string, byte-string, or char literal (text excluded
+    /// from code matching; the payload is the literal *source*, quotes
+    /// included).
+    Literal,
+    /// A lifetime (`'a`, `'static`) — kept distinct so `'a` is never
+    /// half-parsed as an unterminated char literal.
+    Lifetime,
+    /// A `//` or `/* */` comment, text included (pragmas and `SAFETY:` /
+    /// `ORDERING:` annotations live here).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes a full source file into tokens. Whitespace is dropped; comments
+/// are kept (rules need them). Never panics on malformed input — an
+/// unterminated literal or comment simply runs to end of file, which is
+/// the worst a lint pass needs to survive.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, text: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokenKind::Comment, text, start, start_line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokenKind::Comment, text, start, start_line);
+                }
+                b'r' | b'b' if self.raw_string_ahead() => {
+                    self.take_raw_string();
+                    self.push(TokenKind::Literal, text, start, start_line);
+                }
+                b'b' if self.peek(1) == Some(b'"') || self.peek(1) == Some(b'\'') => {
+                    self.pos += 1; // consume `b`, then the quoted body
+                    let quote = self.src[self.pos];
+                    self.take_quoted(quote);
+                    self.push(TokenKind::Literal, text, start, start_line);
+                }
+                b'"' => {
+                    self.take_quoted(b'"');
+                    self.push(TokenKind::Literal, text, start, start_line);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.pos += 1;
+                        while self
+                            .src
+                            .get(self.pos)
+                            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                        {
+                            self.pos += 1;
+                        }
+                        self.push(TokenKind::Lifetime, text, start, start_line);
+                    } else {
+                        self.take_quoted(b'\'');
+                        self.push(TokenKind::Literal, text, start, start_line);
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_' || *c == b'.')
+                    {
+                        // `1..2` range: stop the number before `..`.
+                        if self.src[self.pos] == b'.' && self.peek(1) == Some(b'.') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Number, text, start, start_line);
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, text, start, start_line);
+                }
+                _ => {
+                    // One punctuation char per token; multi-byte UTF-8 in
+                    // code position only occurs inside idents/strings in
+                    // valid Rust, but advance safely regardless.
+                    let len = utf8_len(c);
+                    self.pos += len;
+                    self.push(TokenKind::Punct, text, start, start_line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: &str, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            text: text[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn count_newlines(&mut self, start: usize, end: usize) {
+        self.line += self.src[start..end].iter().filter(|&&c| c == b'\n').count() as u32;
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let end = self.pos;
+        self.count_newlines(start, end);
+        // `line` now points at the comment's end; tokens record their own
+        // start line via the caller, which captured it before the call.
+    }
+
+    /// Is the cursor at the start of `r"`, `r#"`, `br"`, `br#"`...?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    fn take_raw_string(&mut self) {
+        let start = self.pos;
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1; // `r`
+        let mut hashes = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.src.get(self.pos) {
+                None => break,
+                Some(b'"') => {
+                    let mut i = self.pos + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.src.get(i) == Some(&b'#') {
+                        seen += 1;
+                        i += 1;
+                    }
+                    if seen == hashes {
+                        self.pos = i;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let end = self.pos;
+        self.count_newlines(start, end);
+    }
+
+    /// A `'` starts a lifetime (not a char literal) when it is followed by
+    /// an ident char and the char after that is not a closing `'` —
+    /// except `'_'`-style holes never occur, and `'a'` is a char.
+    fn lifetime_ahead(&self) -> bool {
+        let first = match self.peek(1) {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => c,
+            _ => return false,
+        };
+        // `'a'` is a char literal; `'ab` or `'a,` etc. is a lifetime.
+        let _ = first;
+        self.peek(2) != Some(b'\'')
+    }
+
+    fn take_quoted(&mut self, quote: u8) {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                c if c == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.src.len());
+        self.pos = end;
+        self.count_newlines(start, end);
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = "let x = \"HashMap\"; // HashMap here\n/* HashMap\n there */ let y = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_single_literals() {
+        let src = "let s = r#\"says \"HashMap\" inside\"#; use_it(s);";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"use_it".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb\nc */\nlet z = 1;\n\"s\ntr\"\nlet w = 2;";
+        let toks = lex(src);
+        let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 4);
+        let w = toks.iter().find(|t| t.is_ident("w")).unwrap();
+        assert_eq!(w.line, 7);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let ok = 1;";
+        assert_eq!(idents(src), vec!["let", "ok"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"HashMap\"b"; done();"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+}

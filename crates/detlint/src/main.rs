@@ -1,0 +1,91 @@
+//! The `rls-detlint` CLI.
+//!
+//! ```text
+//! cargo run -p rls-detlint -- --workspace        lint every first-party crate
+//! cargo run -p rls-detlint -- --list-rules       print the rule table
+//! cargo run -p rls-detlint -- --workspace -v     also show suppressed findings
+//! ```
+//!
+//! Exit code 0 when no unsuppressed finding remains, 1 otherwise, 2 on
+//! usage/IO errors.  CI runs the `--workspace` form as a required job.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rls_detlint::rules::RuleId;
+use rls_detlint::scan::{find_workspace_root, scan_workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut verbose = false;
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--verbose" | "-v" => verbose = true,
+            "--list-rules" => {
+                for r in RuleId::ALL {
+                    println!("{}  {}", r.code(), r.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: rls-detlint --workspace [-v]\n       rls-detlint --list-rules\n\nDeterminism/concurrency lint for the rls workspace.\nSuppress a justified site with `// detlint: allow(D00x) <reason>`\nor a whole file with `// detlint: allow-file(D00x) <reason>`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rls-detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("rls-detlint: nothing to do (pass --workspace; see --help)");
+        return ExitCode::from(2);
+    }
+
+    let root = match find_workspace_root(Path::new(".")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rls-detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rls-detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failing = 0usize;
+    for f in &report.findings {
+        match &f.suppressed {
+            None => {
+                failing += 1;
+                println!("{}", f.render());
+            }
+            Some(reason) if verbose => {
+                println!("{} [suppressed: {}]", f.render(), reason);
+            }
+            Some(_) => {}
+        }
+    }
+    println!(
+        "rls-detlint: {} files, {} finding(s), {} suppressed with justification",
+        report.files_scanned,
+        failing,
+        report.suppressed_count()
+    );
+    if failing == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

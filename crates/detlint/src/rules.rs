@@ -1,0 +1,465 @@
+//! The determinism/concurrency rule set (D001–D007) and the suppression
+//! pragma engine.
+//!
+//! Every rule is a pure function over the token stream of one file plus
+//! the crate it belongs to.  Scoping is per crate: trajectory crates
+//! (whose state evolution must be bit-reproducible) carry stricter rules
+//! than observer/driver crates.  See `docs/DETERMINISM.md` for the full
+//! rationale table.
+//!
+//! # Suppression pragmas
+//!
+//! A finding can be acknowledged in source with a justification:
+//!
+//! * line scope — `// detlint: allow(D002) <reason>` suppresses matches
+//!   of that rule on the same line or the line directly below;
+//! * file scope — `// detlint: allow-file(D004) <reason>` suppresses the
+//!   rule for the whole file (used where a rule is systematically
+//!   justified, e.g. float observer statistics).
+//!
+//! A pragma with an empty reason is itself a finding: the justification
+//! is the point.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Iteration-order nondeterminism: `HashMap`/`HashSet` in trajectory
+    /// crates.
+    D001,
+    /// Wall-clock reads outside timing-tap crates.
+    D002,
+    /// Ambient entropy sources outside `rls-rng`.
+    D003,
+    /// Unannotated floats in trajectory-state crates.
+    D004,
+    /// `unsafe` without a `// SAFETY:` comment.
+    D005,
+    /// Atomic-ordering audit: `SeqCst`, or `Relaxed` without an
+    /// `// ORDERING:` comment.
+    D006,
+    /// Truncating `as` casts on load/weight integers.
+    D007,
+}
+
+impl RuleId {
+    /// All rules, in order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::D005,
+        RuleId::D006,
+        RuleId::D007,
+    ];
+
+    /// The `D00x` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
+        }
+    }
+
+    /// One-line description (for `--list-rules`).
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::D001 => "HashMap/HashSet banned in trajectory crates (iteration order is nondeterministic); use BTreeMap/BTreeSet or justify",
+            RuleId::D002 => "Instant::now/SystemTime only in timing-tap crates (obs, serve, campaign); trajectories must not read wall clocks",
+            // detlint: allow(D003) the rule's own description names the device
+            RuleId::D003 => "entropy sources (thread_rng, RandomState, OsRng, /dev/urandom, ...) only in rls-rng; everything else takes seeds",
+            RuleId::D004 => "f32/f64 in trajectory-state crate sources must carry a detlint allow pragma explaining why the float cannot perturb the trajectory (tests/benches are out of scope)",
+            RuleId::D005 => "every `unsafe` needs a `// SAFETY:` comment on the same or the preceding lines",
+            RuleId::D006 => "SeqCst is flagged (name the ordering you need); Relaxed needs an `// ORDERING:` comment justifying the absence of synchronization",
+            RuleId::D007 => "truncating `as` casts (to u8/u16/u32/i8/i16/i32) on load/weight paths in core/live sources; use try_into or a checked helper",
+        }
+    }
+
+    fn parse(code: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code() == code)
+    }
+}
+
+/// Crates whose state trajectories must be bit-reproducible (D001/D004/
+/// D007 scope).
+const TRAJECTORY_CRATES: [&str; 7] = [
+    "core",
+    "live",
+    "sim",
+    "protocols",
+    "graph",
+    "rng",
+    "workloads",
+];
+
+/// Crates allowed to read wall clocks: the telemetry, serving, and
+/// campaign layers, whose timing taps never feed back into a trajectory.
+const TIMING_TAP_CRATES: [&str; 3] = ["obs", "serve", "campaign"];
+
+/// Crates D004/D007 apply to (the online trajectory-state paths; the
+/// offline sim/stats crates are observer-heavy and float-audited by
+/// their cross-validation tests instead).
+const STATE_PATH_CRATES: [&str; 2] = ["core", "live"];
+
+/// How many lines above a site a `SAFETY:` / `ORDERING:` annotation may
+/// sit and still cover it.
+const ANNOTATION_REACH: u32 = 3;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Crate the file belongs to (directory name under `crates/`, or
+    /// `rls` for the workspace-root facade crate).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// `Some(reason)` when an allow pragma covers the site.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Render as `file:line: CODE message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// A parsed `detlint: allow(...)` pragma.
+#[derive(Debug)]
+struct Pragma {
+    rule: RuleId,
+    line: u32,
+    file_scope: bool,
+    reason: String,
+}
+
+/// Lints one file's source. Returns every finding, suppressed ones
+/// included (`suppressed` carries the pragma reason) — callers decide
+/// whether suppressed findings count.
+pub fn lint_source(crate_name: &str, file: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let (pragmas, mut findings) = collect_pragmas(crate_name, file, &tokens);
+    let annotated = |marker: &str, line: u32| {
+        tokens.iter().any(|t| {
+            t.kind == TokenKind::Comment
+                && t.text.contains(marker)
+                && t.line <= line
+                && t.line + ANNOTATION_REACH >= line
+        })
+    };
+
+    let mut push = |rule: RuleId, line: u32, message: String| {
+        findings.push(Finding {
+            rule,
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+            suppressed: None,
+        });
+    };
+
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let in_trajectory = TRAJECTORY_CRATES.contains(&crate_name);
+    let in_timing_tap = TIMING_TAP_CRATES.contains(&crate_name);
+    // D004/D007 guard *state mutation* paths, which live under `src/`;
+    // integration tests and benches assert on derived statistics (gaps,
+    // discrepancies, timings) and are inherently float-heavy, so they are
+    // out of scope rather than drowned in pragmas.
+    let in_test_code = file.contains("/tests/") || file.contains("/benches/");
+    let in_state_path = STATE_PATH_CRATES.contains(&crate_name) && !in_test_code;
+
+    for (i, t) in code.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {}
+            TokenKind::Literal => {
+                if !matches!(crate_name, "rng")
+                    // detlint: allow(D003) the scanner must name what it bans
+                    && (t.text.contains("/dev/urandom") || t.text.contains("/dev/random"))
+                {
+                    push(
+                        RuleId::D003,
+                        t.line,
+                        "kernel entropy device referenced outside rls-rng".into(),
+                    );
+                }
+                continue;
+            }
+            _ => continue,
+        }
+        let name = t.text.as_str();
+
+        // D001 — hash collections in trajectory crates.
+        if in_trajectory && (name == "HashMap" || name == "HashSet") {
+            push(
+                RuleId::D001,
+                t.line,
+                format!("{name} iterates in nondeterministic order; use BTreeMap/BTreeSet"),
+            );
+        }
+
+        // D002 — wall clocks outside timing taps.
+        if !in_timing_tap {
+            let is_instant_now = name == "Instant"
+                && code.get(i + 1).is_some_and(|t| t.text == ":")
+                && code.get(i + 2).is_some_and(|t| t.text == ":")
+                && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            if is_instant_now || name == "SystemTime" || name == "UNIX_EPOCH" {
+                push(
+                    RuleId::D002,
+                    t.line,
+                    format!("wall-clock read ({name}) outside obs/serve/campaign"),
+                );
+            }
+        }
+
+        // D003 — ambient entropy outside rls-rng.
+        if crate_name != "rng"
+            && matches!(
+                name,
+                "thread_rng" | "from_entropy" | "getrandom" | "OsRng" | "RandomState"
+            )
+        {
+            push(
+                RuleId::D003,
+                t.line,
+                format!("ambient entropy source ({name}) outside rls-rng"),
+            );
+        }
+
+        // D004 — floats in trajectory-state crates.
+        if in_state_path && (name == "f64" || name == "f32") {
+            push(
+                RuleId::D004,
+                t.line,
+                format!("{name} in a trajectory-state crate; annotate why it cannot perturb the trajectory"),
+            );
+        }
+
+        // D005 — unsafe without SAFETY.
+        if name == "unsafe" && !annotated("SAFETY:", t.line) {
+            push(
+                RuleId::D005,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment".into(),
+            );
+        }
+
+        // D006 — atomic-ordering audit.
+        if name == "SeqCst" {
+            push(
+                RuleId::D006,
+                t.line,
+                "SeqCst: name the ordering the algorithm needs (usually Acquire/Release) or justify".into(),
+            );
+        }
+        if name == "Relaxed" && !annotated("ORDERING:", t.line) {
+            push(
+                RuleId::D006,
+                t.line,
+                "Relaxed without an `// ORDERING:` comment justifying it".into(),
+            );
+        }
+
+        // D007 — truncating casts in core/live.
+        if in_state_path && name == "as" {
+            if let Some(target) = code.get(i + 1) {
+                if matches!(
+                    target.text.as_str(),
+                    "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                ) {
+                    push(
+                        RuleId::D007,
+                        t.line,
+                        format!(
+                            "truncating cast `as {}`; use try_into or a checked helper",
+                            target.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    apply_pragmas(&pragmas, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Parses every pragma out of the comment tokens. Malformed or
+/// reason-less pragmas are returned as findings immediately (rule of the
+/// pragma itself, or D006 as a catch-all for unparsable codes).
+fn collect_pragmas(crate_name: &str, file: &str, tokens: &[Token]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        // A pragma must be the comment's entire content: `// detlint: ...`
+        // (also `//!`, `/* ... */`).  Prose merely *mentioning* the
+        // pragma syntax mid-sentence (docs, this file) never parses.
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        let Some(rest) = body.strip_prefix("detlint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let file_scope = rest.starts_with("allow-file(");
+        let prefix = if file_scope { "allow-file(" } else { "allow(" };
+        if !rest.starts_with(prefix) {
+            findings.push(Finding {
+                rule: RuleId::D006,
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: format!("unparsable detlint pragma: {}", t.text.trim()),
+                suppressed: None,
+            });
+            continue;
+        }
+        let body = &rest[prefix.len()..];
+        let Some(close) = body.find(')') else {
+            findings.push(Finding {
+                rule: RuleId::D006,
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: "detlint pragma missing `)`".into(),
+                suppressed: None,
+            });
+            continue;
+        };
+        let code = body[..close].trim();
+        let reason = body[close + 1..].trim_end_matches("*/").trim().to_string();
+        let Some(rule) = RuleId::parse(code) else {
+            findings.push(Finding {
+                rule: RuleId::D006,
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: format!("detlint pragma names unknown rule `{code}`"),
+                suppressed: None,
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            findings.push(Finding {
+                rule,
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "detlint allow({}) without a reason; the justification is required",
+                    rule.code()
+                ),
+                suppressed: None,
+            });
+            continue;
+        }
+        pragmas.push(Pragma {
+            rule,
+            line: t.line,
+            file_scope,
+            reason,
+        });
+    }
+    (pragmas, findings)
+}
+
+fn apply_pragmas(pragmas: &[Pragma], findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if f.suppressed.is_some() {
+            continue;
+        }
+        for p in pragmas {
+            if p.rule != f.rule {
+                continue;
+            }
+            // Pragma findings themselves (empty reason etc.) are never in
+            // `findings` with a matching pragma, so no self-suppression.
+            if p.file_scope || p.line == f.line || p.line + 1 == f.line {
+                f.suppressed = Some(p.reason.clone());
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unsuppressed(crate_name: &str, src: &str) -> Vec<RuleId> {
+        lint_source(crate_name, "test.rs", src)
+            .into_iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line_only() {
+        let src = "\
+// detlint: allow(D001) insertion-order map, never iterated
+use std::collections::HashMap;
+use std::collections::HashMap;
+";
+        let fs = lint_source("core", "t.rs", src);
+        let d001: Vec<_> = fs.iter().filter(|f| f.rule == RuleId::D001).collect();
+        assert_eq!(d001.len(), 2);
+        assert!(d001[0].suppressed.is_some(), "line 2 covered");
+        assert!(d001[1].suppressed.is_none(), "line 3 not covered");
+    }
+
+    #[test]
+    fn file_pragma_covers_everything() {
+        let src =
+            "//! detlint: allow-file(D004) observer statistics only\nfn f(x: f64) -> f64 { x }\n";
+        assert!(unsuppressed("core", src).is_empty());
+    }
+
+    #[test]
+    fn reasonless_pragma_is_a_finding() {
+        let src = "// detlint: allow(D001)\nlet x = 1;\n";
+        let fs = lint_source("core", "t.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn scoping_limits_rules_to_their_crates() {
+        let hash = "use std::collections::HashMap;";
+        assert_eq!(unsuppressed("core", hash), vec![RuleId::D001]);
+        assert!(unsuppressed("campaign", hash).is_empty());
+
+        let clock = "let t = Instant::now();";
+        assert_eq!(unsuppressed("live", clock), vec![RuleId::D002]);
+        assert!(unsuppressed("serve", clock).is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace enumeration: which files get linted, and as which crate.
+//!
+//! First-party sources only: `crates/<name>/{src,tests,benches,examples}`
+//! plus the workspace-root facade crate (`src/`, `tests/`, `examples/`).
+//! `vendor/` (offline stand-ins for third-party crates) and `target/` are
+//! never scanned — their determinism story belongs to their upstreams.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Finding};
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed included.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files linted.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by an allow pragma.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Count of pragma-suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.suppressed.is_some())
+            .count()
+    }
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.canonicalize()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml above the current directory",
+            ));
+        }
+    }
+}
+
+/// Lints every first-party `.rs` file under `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut units: Vec<(String, PathBuf)> = Vec::new();
+
+    // Member crates under crates/.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<_> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names {
+            units.push((name.clone(), crates_dir.join(&name)));
+        }
+    }
+    // The workspace-root facade crate.
+    units.push(("rls".to_string(), root.to_path_buf()));
+
+    for (crate_name, crate_root) in units {
+        for sub in ["src", "tests", "benches", "examples"] {
+            let dir = crate_root.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&dir, &mut files)?;
+            files.sort();
+            for path in files {
+                let src = fs::read_to_string(&path)?;
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .into_owned();
+                report.findings.extend(lint_source(&crate_name, &rel, &src));
+                report.files_scanned += 1;
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Never descend into crate-local junk or fixture directories.
+            let name = entry.file_name();
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

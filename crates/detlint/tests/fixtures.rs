@@ -1,0 +1,200 @@
+//! Per-rule fixture tests: one true-positive and one true-negative
+//! source snippet for each of D001–D007, plus pragma behavior.
+//!
+//! Fixtures are inline strings (never `.rs` files on disk) so the
+//! workspace scan cannot trip over its own test corpus; the lexer
+//! guarantees string literals are invisible to the rules.
+
+use rls_detlint::rules::{lint_source, Finding, RuleId};
+
+fn run(crate_name: &str, src: &str) -> Vec<Finding> {
+    lint_source(crate_name, "fixture.rs", src)
+}
+
+fn fires(crate_name: &str, src: &str, rule: RuleId) -> bool {
+    run(crate_name, src)
+        .iter()
+        .any(|f| f.rule == rule && f.suppressed.is_none())
+}
+
+#[test]
+fn d001_hash_collections() {
+    let positive = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, usize> }\n";
+    assert!(fires("core", positive, RuleId::D001));
+    // Count: the use plus the field mention.
+    assert_eq!(
+        run("core", positive)
+            .iter()
+            .filter(|f| f.rule == RuleId::D001)
+            .count(),
+        2
+    );
+
+    let negative = "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u64, usize> }\n";
+    assert!(!fires("core", negative, RuleId::D001));
+    // Out of scope: campaign is not a trajectory crate.
+    assert!(!fires("campaign", positive, RuleId::D001));
+    // Mentions in comments and strings never fire.
+    let masked = "// HashMap here\nlet s = \"HashMap\";\n";
+    assert!(!fires("core", masked, RuleId::D001));
+}
+
+#[test]
+fn d002_wall_clock() {
+    let positive = "let t0 = std::time::Instant::now();\n";
+    assert!(fires("live", positive, RuleId::D002));
+    assert!(fires("rng", "let t = SystemTime::now();", RuleId::D002));
+
+    // Storing a previously-taken Instant is fine; only `::now` reads.
+    let negative = "fn wait(deadline: Instant) -> bool { false }\n";
+    assert!(!fires("live", negative, RuleId::D002));
+    // Timing-tap crates may read clocks.
+    assert!(!fires("obs", positive, RuleId::D002));
+    assert!(!fires("serve", positive, RuleId::D002));
+    assert!(!fires("campaign", positive, RuleId::D002));
+}
+
+#[test]
+fn d003_entropy() {
+    assert!(fires(
+        "workloads",
+        "let mut r = thread_rng();",
+        RuleId::D003
+    ));
+    assert!(fires(
+        "core",
+        "use std::collections::hash_map::RandomState;",
+        RuleId::D003
+    ));
+    assert!(fires(
+        "serve",
+        // detlint: allow(D003) true-positive fixture string for this rule
+        "let f = std::fs::File::open(\"/dev/urandom\");",
+        RuleId::D003
+    ));
+
+    // Seeded streams are the sanctioned source.
+    assert!(!fires(
+        "workloads",
+        "let mut r = SeededRng::from_seed(42);",
+        RuleId::D003
+    ));
+    // rls-rng itself is the one place entropy plumbing may live.
+    assert!(!fires("rng", "let mut r = thread_rng();", RuleId::D003));
+}
+
+#[test]
+fn d004_floats() {
+    let positive = "fn gap(x: f64) -> f64 { x * 0.5 }\n";
+    assert!(fires("core", positive, RuleId::D004));
+    assert!(fires("live", "let r: f32 = 1.0;", RuleId::D004));
+
+    // Integer state arithmetic is the norm.
+    assert!(!fires(
+        "core",
+        "fn gap(x: u64) -> u64 { x / 2 }\n",
+        RuleId::D004
+    ));
+    // Observer crates are out of scope.
+    assert!(!fires("sim", positive, RuleId::D004));
+    // An annotated float is accepted.
+    let annotated =
+        "// detlint: allow(D004) derived statistic, never fed back into state\nfn gap(x: f64) -> f64 { x }\n";
+    assert!(!fires("core", annotated, RuleId::D004));
+}
+
+#[test]
+fn d005_unsafe_safety_comments() {
+    let positive = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(fires("obs", positive, RuleId::D005));
+
+    let negative = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: p is non-null and valid for reads; caller contract.
+    unsafe { *p }
+}
+";
+    assert!(!fires("obs", negative, RuleId::D005));
+    // `forbid(unsafe_code)` attributes do not fire (distinct token).
+    assert!(!fires("obs", "#![forbid(unsafe_code)]\n", RuleId::D005));
+}
+
+#[test]
+fn d006_atomic_orderings() {
+    assert!(fires(
+        "serve",
+        "stop.store(true, Ordering::SeqCst);",
+        RuleId::D006
+    ));
+    let bare_relaxed = "let v = x.load(Ordering::Relaxed);\n";
+    assert!(fires("obs", bare_relaxed, RuleId::D006));
+
+    let justified = "\
+// ORDERING: statistical counter; no ordering needed beyond atomicity.
+let v = x.load(Ordering::Relaxed);
+";
+    assert!(!fires("obs", justified, RuleId::D006));
+    // Acquire/Release are considered deliberate.
+    assert!(!fires(
+        "obs",
+        "x.store(1, Ordering::Release); let y = x.load(Ordering::Acquire);",
+        RuleId::D006
+    ));
+}
+
+#[test]
+fn d007_truncating_casts() {
+    assert!(fires("live", "let bin = idx as u32;", RuleId::D007));
+    assert!(fires("core", "let w = load as i32;", RuleId::D007));
+
+    // Widening and same-width casts are fine.
+    assert!(!fires(
+        "live",
+        "let m = count as u64; let i = bin as usize;",
+        RuleId::D007
+    ));
+    // Checked conversions are the sanctioned form.
+    assert!(!fires(
+        "live",
+        "let bin: u32 = idx.try_into().expect(\"bin index fits u32\");",
+        RuleId::D007
+    ));
+    // Out of scope outside core/live.
+    assert!(!fires("sim", "let bin = idx as u32;", RuleId::D007));
+}
+
+#[test]
+fn pragmas_require_reasons_and_scope_correctly() {
+    // Reason-less pragma is itself a finding.
+    let fs = run("core", "// detlint: allow(D001)\nlet x = 1;\n");
+    assert_eq!(fs.len(), 1);
+    assert!(fs[0].message.contains("without a reason"));
+
+    // Unknown rule code is a finding.
+    let fs = run("core", "// detlint: allow(D099) because\n");
+    assert!(fs.iter().any(|f| f.message.contains("unknown rule")));
+
+    // File pragma covers all lines; line pragma covers only its line and
+    // the next.
+    let file_scoped =
+        "//! detlint: allow-file(D004) observer stats only\nfn a(x: f64) {}\nfn b(x: f64) {}\n";
+    assert!(!fires("core", file_scoped, RuleId::D004));
+
+    let line_scoped = "// detlint: allow(D004) one-off\nfn a(x: f64) {}\nfn b(x: f64) {}\n";
+    let fs = run("core", line_scoped);
+    let (sup, unsup): (Vec<_>, Vec<_>) = fs
+        .iter()
+        .filter(|f| f.rule == RuleId::D004)
+        .partition(|f| f.suppressed.is_some());
+    assert!(!sup.is_empty() && !unsup.is_empty());
+
+    // Suppressed findings keep their reason for `-v` reporting.
+    assert_eq!(sup[0].suppressed.as_deref(), Some("one-off"));
+}
+
+#[test]
+fn findings_render_with_location() {
+    let fs = run("core", "\n\nuse std::collections::HashMap;\n");
+    assert_eq!(fs[0].line, 3);
+    assert!(fs[0].render().starts_with("fixture.rs:3: D001 "));
+}

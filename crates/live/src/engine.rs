@@ -22,6 +22,13 @@
 //! `O(log n)`.  The engine therefore holds `O(n)` state with no per-ball
 //! map and no `u32::MAX` ball cap: `m` is `u64` end to end.
 
+// detlint: allow-file(D004) the live process is a continuous-time chain:
+// event times and rate comparisons are f64 by construction.  Determinism
+// still holds — IEEE 754 ops are exact functions of their operands, the
+// evaluation order is fixed, and every draw comes from seeded streams —
+// and the replay log stores each resolved outcome, so replays never
+// re-derive a float decision.
+
 use rls_core::{
     BinState, Config, HeteroRingContext, LoadIndex, LoadTracker, Move, RebalancePolicy,
     RingContext, RingDecision, RlsRule,
@@ -38,7 +45,7 @@ use std::sync::Arc;
 use rls_obs::Registry;
 
 use crate::command::LiveCommand;
-use crate::event::{LiveEvent, LiveEventKind};
+use crate::event::{bin_u32, LiveEvent, LiveEventKind};
 use crate::metrics::LiveMetrics;
 use crate::observer::LiveObserver;
 use crate::LiveError;
@@ -687,7 +694,7 @@ impl LiveEngine {
                 let bin = self.params.arrivals.place(n, rng);
                 let weight = self.draw_weight(rng);
                 self.arrive(bin, weight);
-                bins.push(bin as u32);
+                bins.push(bin_u32(bin));
             }
             LiveEventKind::Arrival { bins }
         } else if pick < epoch_rate + depart_rate {
@@ -697,7 +704,7 @@ impl LiveEngine {
             let bin = self.clock_bin(rng.next_below(clock_mass));
             let picked = self.pick_ball(bin, rng);
             self.depart(bin, picked);
-            LiveEventKind::Departure { bin: bin as u32 }
+            LiveEventKind::Departure { bin: bin_u32(bin) }
         } else {
             let source = self.clock_bin(rng.next_below(clock_mass));
             let picked = self.pick_ball(source, rng);
@@ -866,7 +873,7 @@ impl LiveEngine {
                 };
                 self.arrive(bin, weight);
                 LiveEventKind::Arrival {
-                    bins: vec![bin as u32],
+                    bins: vec![bin_u32(bin)],
                 }
             }
             LiveCommand::Depart { bin, weight } => {
@@ -884,7 +891,7 @@ impl LiveEngine {
                     None => self.pick_ball(bin, rng),
                 };
                 self.depart(bin, picked);
-                LiveEventKind::Departure { bin: bin as u32 }
+                LiveEventKind::Departure { bin: bin_u32(bin) }
             }
             LiveCommand::Ring { source, dest } => {
                 let source = match source {
@@ -1125,8 +1132,8 @@ impl LiveEngine {
             self.counters.migrations += 1;
         }
         LiveEventKind::Ring {
-            source: source as u32,
-            dest: dest as u32,
+            source: bin_u32(source),
+            dest: bin_u32(dest),
             moved: decision.moved,
         }
     }

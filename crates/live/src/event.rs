@@ -35,12 +35,24 @@ pub enum LiveEventKind {
     },
 }
 
+/// Converts an in-memory bin index to the compact `u32` form events
+/// carry on the wire, panicking if the bin count ever exceeds `u32`
+/// range (a configuration the engine rejects long before this point).
+///
+/// Events deliberately store `u32` bins to halve record size; this is
+/// the single sanctioned narrowing point, so a silent truncation can
+/// never corrupt a recorded trajectory.
+pub fn bin_u32(index: usize) -> u32 {
+    index.try_into().expect("bin index exceeds u32 range")
+}
+
 /// One event of the live process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LiveEvent {
     /// 1-based sequence number.
     pub seq: u64,
     /// Simulation time of the event.
+    // detlint: allow(D004) carried verbatim and replayed as opaque payload
     pub time: f64,
     /// What happened.
     pub kind: LiveEventKind,

@@ -9,6 +9,10 @@
 //! [`SteadySummary`] is the serializable digest fed back into
 //! `rls-sim::stats`-style reporting.
 
+// detlint: allow-file(D004) steady-state statistics (time-averaged gap,
+// overload distribution, work ratios) only read engine state; the
+// observers-never-perturb invariant is pinned by tests/obs_identity.rs.
+
 use rls_core::LoadTracker;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

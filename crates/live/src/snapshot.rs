@@ -60,6 +60,7 @@ pub struct Snapshot {
     /// Format version; must equal [`SNAPSHOT_VERSION`].
     pub version: u32,
     /// Simulation time at capture.
+    // detlint: allow(D004) restored verbatim; the clock continues from it
     pub time: f64,
     /// Event sequence number at capture.
     pub seq: u64,

@@ -5,9 +5,28 @@
 //! cursor and publish the payload under a per-slot seqlock (odd version
 //! while writing, even when stable).  Readers (`dump`) never block
 //! writers: a slot whose version is odd or changes mid-read is simply a
-//! torn slot and is skipped.  Everything is relaxed-to-acquire atomics in
+//! torn slot and is skipped.  Everything is acquire/release atomics in
 //! safe Rust; a record is ~8 uncontended atomic stores, cheap enough to
 //! leave on for every engine command.
+//!
+//! # Ordering protocol
+//!
+//! The payload stores are `Release` and the payload loads `Acquire` —
+//! not `Relaxed`, as a first reading of the classic seqlock might
+//! suggest.  With relaxed payload accesses a reader can observe a
+//! *newer* payload word between two version loads that both return the
+//! old even value (nothing orders the payload reads against the second
+//! version check), admitting a mixed-generation record.  Release on
+//! each payload store publishes the writer's claim (the odd version
+//! bump that program-order precedes it) together with the word, and the
+//! acquire payload load joins that knowledge, forcing the reader's
+//! second version read to see at least the claim — version mismatch,
+//! slot skipped.  The interleaving model checker in `rls-detlint`
+//! (`SeqlockModel`, mirroring this protocol op for op) verifies this
+//! exhaustively at small sizes and produces the torn-read
+//! counterexample whenever any of these orderings is weakened back to
+//! `Relaxed`; the multi-thread stress test in `tests/flight_stress.rs`
+//! hammers the real ring.  See `docs/DETERMINISM.md`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -80,23 +99,35 @@ impl FlightRecorder {
 
     /// Total events ever recorded (including overwritten ones).
     pub fn recorded(&self) -> u64 {
+        // ORDERING: relaxed — a statistical count; monotonicity comes
+        // from fetch_add atomicity, no payload is guarded by it.
         self.cursor.load(Ordering::Relaxed)
     }
 
     /// Records an event. Lock-free and safe from any thread.
     pub fn record(&self, kind: u64, a: u64, b: u64, queue_ns: u64, apply_ns: u64) {
+        // ORDERING: relaxed — the cursor only allocates sequence
+        // numbers; fetch_add atomicity alone makes them unique.
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
-        // Claim: bump to odd. Release so readers that see the even close
-        // below also see the payload stores.
+        // Claim: bump to odd so readers skip the slot mid-write.  The
+        // ordering of the claim itself is immaterial to admission (the
+        // Release payload stores below publish it; the model checker's
+        // `relaxed_claim_alone_is_still_sound` test pins this), Release
+        // kept for symmetry with the publish bump.
         slot.version.fetch_add(1, Ordering::Release);
-        slot.payload[0].store(seq, Ordering::Relaxed);
-        slot.payload[1].store(kind, Ordering::Relaxed);
-        slot.payload[2].store(a, Ordering::Relaxed);
-        slot.payload[3].store(b, Ordering::Relaxed);
-        slot.payload[4].store(queue_ns, Ordering::Relaxed);
-        slot.payload[5].store(apply_ns, Ordering::Relaxed);
-        // Publish: bump back to even.
+        // Release on every payload word: publishes the odd claim along
+        // with the word, so a reader that acquires any in-flight word is
+        // forced to see the claim at its second version check (see the
+        // module-level ordering protocol).
+        slot.payload[0].store(seq, Ordering::Release);
+        slot.payload[1].store(kind, Ordering::Release);
+        slot.payload[2].store(a, Ordering::Release);
+        slot.payload[3].store(b, Ordering::Release);
+        slot.payload[4].store(queue_ns, Ordering::Release);
+        slot.payload[5].store(apply_ns, Ordering::Release);
+        // Publish: bump back to even; Release makes the payload visible
+        // to readers that acquire this even version.
         slot.version.fetch_add(1, Ordering::Release);
     }
 
@@ -111,8 +142,11 @@ impl FlightRecorder {
             if v1 == 0 || v1 % 2 == 1 {
                 continue; // never written, or a writer is mid-flight
             }
+            // Acquire on the payload words: joining the Release payload
+            // stores is what forces the v2 check below to observe the
+            // claim of any writer whose words we partially read.
             let payload: [u64; 6] =
-                std::array::from_fn(|i| slot.payload[i].load(Ordering::Relaxed));
+                std::array::from_fn(|i| slot.payload[i].load(Ordering::Acquire));
             let v2 = slot.version.load(Ordering::Acquire);
             if v1 != v2 {
                 continue; // torn read: a writer replaced the slot

@@ -36,12 +36,15 @@ impl Counter {
     /// theoretical concern only).
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: relaxed — statistical counter; exactness needs only
+        // fetch_add atomicity, nothing is published through it.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: relaxed — a telemetry read; may lag concurrent adds.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -63,12 +66,14 @@ impl Gauge {
     /// Sets the gauge to `v`.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: relaxed — gauges guard no other data; last write wins.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: relaxed — see `set`; atomicity alone keeps the sum.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -77,9 +82,12 @@ impl Gauge {
     /// acceptable for telemetry).
     #[inline]
     pub fn sub(&self, n: u64) {
+        // ORDERING: relaxed — the CAS loop needs only atomicity; the
+        // saturation itself is documented as racy telemetry above.
         let mut cur = self.value.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(n);
+            // ORDERING: relaxed — atomicity only, as above.
             match self
                 .value
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
@@ -93,6 +101,7 @@ impl Gauge {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: relaxed — a telemetry read; may lag concurrent writes.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -136,6 +145,9 @@ impl ShardedCounter {
     /// index; any value works, collisions only cost contention).
     #[inline]
     pub fn add(&self, hint: usize, n: u64) {
+        // Cross-stripe order is meaningless by design; per-stripe totals
+        // are exact by fetch_add atomicity alone.
+        // ORDERING: relaxed — atomicity only (see above).
         self.stripes[hint & (STRIPES - 1)]
             .0
             .fetch_add(n, Ordering::Relaxed);
@@ -149,6 +161,9 @@ impl ShardedCounter {
 
     /// Sum over all stripes.
     pub fn get(&self) -> u64 {
+        // The sum is a moment-in-time estimate while writers run and
+        // exact once they quiesce; ShardedCounterModel pins both.
+        // ORDERING: relaxed — atomicity only (see above).
         self.stripes
             .iter()
             .map(|c| c.0.load(Ordering::Relaxed))
@@ -248,30 +263,36 @@ impl Histogram {
     /// Records one observation. Lock-free; safe from any thread.
     #[inline]
     pub fn record(&self, value: u64) {
+        // The four fields are deliberately not a consistent tuple while
+        // writers run; snapshot() re-derives count from buckets, and
+        // HistogramModel checks exactness at quiesce.
+        // ORDERING: relaxed — atomicity is all the tuple story needs.
         self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // ORDERING: relaxed — fetch_max atomicity keeps the running max.
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: relaxed — telemetry read; may trail in-flight records.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded values (wraps on overflow past `u64::MAX`).
     pub fn sum(&self) -> u64 {
+        // ORDERING: relaxed — telemetry read; may trail in-flight records.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Takes a point-in-time snapshot suitable for merging and quantile
     /// queries.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        // ORDERING: relaxed — each bucket is read atomically; the scan
+        // as a whole is a racing estimate made coherent below.
+        let read = |b: &AtomicU64| b.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self.buckets.iter().map(read).collect();
         // Derive count/sum from buckets where possible so the snapshot is
         // internally consistent even if records race the scan: count is
         // the bucket total; sum/max are the (possibly slightly ahead)
@@ -280,6 +301,8 @@ impl Histogram {
         HistogramSnapshot {
             buckets,
             count,
+            // ORDERING: relaxed — see the scan above; consumers treat sum
+            // and max as possibly slightly ahead of the bucket total.
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }

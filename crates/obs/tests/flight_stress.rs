@@ -1,0 +1,125 @@
+//! Multi-writer / multi-reader stress test for the [`FlightRecorder`]
+//! seqlock ring.
+//!
+//! The interleaving model checker in `rls-detlint` proves the ordering
+//! protocol sound at small sizes; this test hammers the real ring with
+//! real threads as the empirical complement.  Every record carries a
+//! self-checking payload (all four data words derived from one value),
+//! so a single torn slot that leaks through the version check is caught
+//! immediately.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rls_obs::FlightRecorder;
+
+/// Derives the four payload words from a writer id and iteration so a
+/// mixed-generation record can never satisfy all equations at once.
+fn payload(writer: u64, i: u64) -> (u64, u64, u64, u64) {
+    let v = writer << 32 | i;
+    (v, v.wrapping_mul(3), v ^ 0xdead_beef, v.wrapping_add(7))
+}
+
+/// Checks one dumped event against the payload equations.
+fn check(e: &rls_obs::FlightEvent) {
+    let (a, b, q, ap) = payload(e.kind, e.a & 0xffff_ffff);
+    assert_eq!(e.a, a, "torn slot: coordinate a");
+    assert_eq!(e.b, b, "torn slot: coordinate b");
+    assert_eq!(e.queue_ns, q, "torn slot: queue_ns");
+    assert_eq!(e.apply_ns, ap, "torn slot: apply_ns");
+}
+
+#[test]
+fn concurrent_writers_and_readers_see_no_torn_records() {
+    const WRITERS: u64 = 4;
+    const READERS: usize = 3;
+    const PER_WRITER: u64 = 20_000;
+
+    let ring = Arc::new(FlightRecorder::new(128));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let (a, b, q, ap) = payload(w, i);
+                    ring.record(w, a, b, q, ap);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                // Dump continuously until the writers finish; every
+                // admitted record must satisfy the payload equations and
+                // the window must stay sorted and duplicate-free.
+                let mut dumps = 0u64;
+                while !stop.load(Ordering::Acquire) || dumps == 0 {
+                    let events = ring.dump();
+                    for pair in events.windows(2) {
+                        assert!(pair[0].seq < pair[1].seq, "dump not strictly sorted");
+                    }
+                    for e in &events {
+                        check(e);
+                    }
+                    dumps += 1;
+                }
+            });
+        }
+        // Writers are the first WRITERS spawned threads; the scope joins
+        // everything, so just flag the readers down once writers are done.
+        // (Scoped threads have no handle order guarantee across the two
+        // loops above, so writers signal completion via the cursor.)
+        while ring.recorded() < WRITERS * PER_WRITER {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    // Quiesced: the ring holds exactly the last `capacity` records, all
+    // intact, strictly sequenced, and the cursor accounts for every
+    // record ever made.
+    assert_eq!(ring.recorded(), WRITERS * PER_WRITER);
+    let final_dump = ring.dump();
+    assert_eq!(final_dump.len(), ring.capacity());
+    for e in &final_dump {
+        check(e);
+    }
+    let first = final_dump.first().expect("non-empty").seq;
+    let last = final_dump.last().expect("non-empty").seq;
+    assert_eq!(last, WRITERS * PER_WRITER - 1, "newest record survives");
+    assert_eq!(
+        last - first + 1,
+        ring.capacity() as u64,
+        "surviving window is contiguous"
+    );
+}
+
+#[test]
+fn single_writer_window_is_gapless_under_concurrent_dumps() {
+    let ring = Arc::new(FlightRecorder::new(32));
+    std::thread::scope(|scope| {
+        let writer_ring = Arc::clone(&ring);
+        scope.spawn(move || {
+            for i in 0..50_000u64 {
+                let (a, b, q, ap) = payload(0, i);
+                writer_ring.record(0, a, b, q, ap);
+            }
+        });
+        for _ in 0..2 {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    // With one writer a dump can only miss the slots being
+                    // rewritten right now; admitted ones are never torn.
+                    for e in ring.dump() {
+                        check(&e);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(ring.recorded(), 50_000);
+}

@@ -215,9 +215,12 @@ fn run_connection(
 
     // Take one global ticket per request so `max_requests` caps the total
     // across all connections.
+    // ORDERING: relaxed — ticket numbers need only fetch_add atomicity
+    // to be unique; no payload is published through the counter.
     let take_ticket = || match opts.max_requests {
         Some(cap) => issued.fetch_add(1, Ordering::Relaxed) < cap,
         None => {
+            // ORDERING: relaxed — same ticket counter, kept for stats.
             issued.fetch_add(1, Ordering::Relaxed);
             true
         }

@@ -106,7 +106,11 @@ impl HttpServer {
     /// Stop accepting, drain the threads and hand back the final core
     /// (its engine holds the final load vector and counters).
     pub fn shutdown(mut self) -> ServeCore {
-        self.stop.store(true, Ordering::SeqCst);
+        // Release store / Acquire load pair on the stop flag: workers that
+        // observe the flag also observe everything the stopping thread did
+        // first. (SeqCst would add nothing: there is no second variable
+        // whose global order matters here.)
+        self.stop.store(true, Ordering::Release);
         // Wake any worker parked in accept(); each dummy connection wakes
         // at most one.
         for _ in 0..self.workers.len() {
@@ -129,7 +133,7 @@ impl Drop for HttpServer {
     fn drop(&mut self) {
         // Best-effort stop for servers that were never shut down
         // explicitly; threads exit on their next poll.
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         for _ in 0..self.workers.len() {
             let _ = TcpStream::connect(self.addr);
         }
@@ -168,7 +172,7 @@ pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
                 // already parked in accept() so they (and, once their
                 // command senders drop, the engine thread) exit instead of
                 // leaking threads and the bound port.
-                stop.store(true, Ordering::SeqCst);
+                stop.store(true, Ordering::Release);
                 for _ in 0..workers.len() {
                     let _ = TcpStream::connect(addr);
                 }
@@ -281,12 +285,12 @@ fn worker_loop(
     // Each worker reuses one reply channel: it has at most one command in
     // flight at a time.
     let (reply_tx, reply_rx) = mpsc::channel::<EngineReply>();
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.load(Ordering::Acquire) {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => continue,
         };
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::Acquire) {
             break;
         }
         let _ = serve_connection(
@@ -341,7 +345,7 @@ fn serve_connection(
         // is already buffered (pipelined clients): the whole batch costs
         // one engine hand-off and one write.
         batch.clear();
-        match reader.next_message(&mut stream, &mut || !stop.load(Ordering::SeqCst)) {
+        match reader.next_message(&mut stream, &mut || !stop.load(Ordering::Acquire)) {
             Ok(Some(message)) => batch.push(message),
             Ok(None) => return Ok(()), // clean close (or shutdown while idle)
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {

@@ -44,6 +44,8 @@ where
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        // ORDERING: relaxed — a work-stealing index; each
+                        // task is claimed exactly once by atomicity alone.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             return local;
