@@ -1,0 +1,169 @@
+//! E24 — elastic bin membership on the online engine: events/sec and
+//! time-to-re-converge for {rls, greedy-2} under {diurnal, flash}
+//! autoscaling churn, against the static-membership baseline.
+//!
+//! Two questions, one grid:
+//!
+//! * **cost** — the membership layer (Fenwick add/retire, incremental
+//!   adjacency, the superposed churn stream) sits on the hot path of
+//!   every event even when no scale event fires.  The `static` rows pin
+//!   its overhead against the pre-elastic engine: they run the same
+//!   churn-free law through the elastic code and must stay within noise
+//!   of the E22 numbers.
+//! * **recovery** — after a join or drain, how long until the gap is
+//!   back within one ball of the average?  The quality pass prints the
+//!   re-convergence table and emits `reconv_time_mean` records per
+//!   churn profile, the quick-bench analogue of the E24 campaign.
+//!
+//! `RLS_BENCH_QUICK=1` trims the grid to a smoke run (seconds): the CI
+//! quick-bench job uses it and uploads the JSON-lines records emitted
+//! via `RLS_BENCH_JSON` (see `vendor/criterion`).
+
+use criterion::{append_custom_record, criterion_group, criterion_main, Criterion};
+use rls_core::{Config, RebalancePolicy};
+use rls_graph::Topology;
+use rls_live::{LiveEngine, LiveParams, Reconvergence, SteadyState, DEFAULT_RECONV_THRESHOLD};
+use rls_rng::rng_from_seed;
+use rls_workloads::{ArrivalProcess, ChurnProcess};
+
+use criterion::quick_mode as quick;
+
+/// (n, per-bin load, simulated horizon).
+fn shape() -> (usize, u64, f64) {
+    if quick() {
+        (256, 16, 0.5)
+    } else {
+        (2048, 64, 4.0)
+    }
+}
+
+fn policies() -> Vec<(&'static str, RebalancePolicy)> {
+    vec![
+        ("rls", RebalancePolicy::rls()),
+        ("greedy-2", RebalancePolicy::GreedyD { d: 2 }),
+    ]
+}
+
+/// Churn profiles scaled to the horizon so every timed run sees a
+/// handful of *spaced* scale events (an event landing before the
+/// previous one resolved restarts the re-convergence clock, so packing
+/// them defeats the recovery measurement).
+fn churns() -> Vec<(&'static str, ChurnProcess)> {
+    let (_, _, horizon) = shape();
+    vec![
+        ("static", ChurnProcess::None),
+        (
+            "diurnal",
+            ChurnProcess::Diurnal {
+                period: horizon / 2.0,
+                join_rate: 8.0 / horizon,
+                drain_rate: 8.0 / horizon,
+                warm: true,
+            },
+        ),
+        (
+            "flash",
+            ChurnProcess::Flash {
+                rate: 4.0 / horizon,
+                size: 4,
+                warm: true,
+            },
+        ),
+    ]
+}
+
+fn engine(policy: RebalancePolicy, churn: ChurnProcess) -> LiveEngine {
+    let (n, per_bin, _) = shape();
+    let m = n as u64 * per_bin;
+    let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 4.0 }, n, m)
+        .expect("bench parameters are valid");
+    let mut eng = LiveEngine::with_policy(
+        Config::uniform(n, per_bin).expect("bench instance is valid"),
+        params,
+        policy,
+        Topology::Complete,
+        0xE24,
+    )
+    .expect("valid engine");
+    eng.set_churn(churn)
+        .expect("complete topology scales freely");
+    eng
+}
+
+fn elastic_grid(c: &mut Criterion) {
+    let (n, per_bin, horizon) = shape();
+    let mut group = c.benchmark_group("elastic");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    let mut recovery: Vec<(String, f64, f64, u64, u64, usize)> = Vec::new();
+    for (pname, policy) in policies() {
+        // Set by the "static" cell (always first in `churns()`) and used
+        // as the re-convergence threshold for this policy's churned cells.
+        let mut baseline_gap = DEFAULT_RECONV_THRESHOLD;
+        for (cname, churn) in churns() {
+            group.bench_function(
+                format!("{pname}_{cname}_n{n}_m{}", n as u64 * per_bin),
+                |b| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut eng = engine(policy, churn);
+                        eng.run_until(horizon, &mut rng_from_seed(seed), &mut ());
+                        eng.counters().events
+                    });
+                },
+            );
+            // Quality pass, once per cell outside the timed loop: the
+            // re-convergence observer rides along and its summary becomes
+            // the recovery-time records in BENCH_live.json.  At bench
+            // scale (n in the hundreds+) the steady-state gap sits above
+            // one ball, so "re-converged" means back at the static
+            // baseline gap measured first for this policy (floored at
+            // the campaign's one-ball threshold).
+            let mut eng = engine(policy, churn);
+            let mut obs = (
+                SteadyState::new(horizon * 0.25),
+                Reconvergence::new(baseline_gap),
+            );
+            // detlint: allow(D002) benchmark wall-clock, never fed to an engine
+            let started = std::time::Instant::now();
+            eng.run_until(horizon, &mut rng_from_seed(7), &mut obs);
+            let wall = started.elapsed().as_secs_f64();
+            let episodes = obs.1.summary();
+            let summary = obs.0.finish(eng.time());
+            if churn.is_none() {
+                baseline_gap = summary.mean_gap.max(DEFAULT_RECONV_THRESHOLD);
+            }
+            let events = eng.counters().events as f64;
+            let cell = format!("elastic/{pname}_{cname}");
+            append_custom_record(&format!("{cell}/events_per_sec"), events / wall.max(1e-9));
+            if !churn.is_none() {
+                append_custom_record(&format!("{cell}/reconv_time_mean"), episodes.mean_time);
+                append_custom_record(
+                    &format!("{cell}/scale_events"),
+                    episodes.scale_events as f64,
+                );
+            }
+            recovery.push((
+                format!("{pname} under {cname}"),
+                episodes.mean_time,
+                episodes.threshold,
+                episodes.scale_events,
+                episodes.reconverged,
+                eng.live_count(),
+            ));
+        }
+    }
+    group.finish();
+
+    println!("\nE24 re-convergence after scale events (gap back at the static baseline):");
+    for (cell, mean, threshold, events, reconv, live) in &recovery {
+        println!(
+            "  {cell:<24} mean reconv {mean:>8.4} (threshold {threshold:.2}, \
+             {reconv}/{events} events re-converged, {live} bins live at end)"
+        );
+    }
+}
+
+criterion_group!(e24, elastic_grid);
+criterion_main!(e24);

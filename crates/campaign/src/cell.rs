@@ -3,7 +3,7 @@
 
 use rls_core::{RebalancePolicy, RlsRule, RlsVariant};
 use rls_graph::GraphRls;
-use rls_live::{LiveEngine, LiveParams, SteadyState};
+use rls_live::{LiveEngine, LiveParams, Reconvergence, SteadyState, DEFAULT_RECONV_THRESHOLD};
 use rls_protocols::crs_local_search::{CrsLocalSearch, CrsPlacement};
 use rls_protocols::{GreedyD, SelfishDistributed, SelfishGlobal, ThresholdProtocol};
 use rls_rng::{Rng64, SplitMix64, StreamFactory, StreamId};
@@ -75,10 +75,35 @@ pub struct DynamicAggregate {
     pub max_overload: u64,
     /// Rebalance migrations per arriving ball, per trial.
     pub moves_per_arrival: Summary,
+    /// Elastic-membership aggregates (cells with a churn axis only).
+    pub churn: Option<ChurnAggregate>,
+}
+
+/// Re-convergence aggregates of a churned dynamic cell's trials: how often
+/// the membership scaled, how quickly the gap returned to within
+/// [`DEFAULT_RECONV_THRESHOLD`] of the average afterwards, and where the
+/// live bin count ended up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnAggregate {
+    /// Scale events (joins + drains) per trial.
+    pub scale_events: Summary,
+    /// Per-trial mean time-to-re-converge, over trials with at least one
+    /// completed episode.
+    pub reconv_time: Summary,
+    /// Fraction of all scale events (across trials) that re-converged
+    /// inside the run (`1.0` when no events occurred).
+    pub reconverged_rate: f64,
+    /// Live bin count at the end of each trial.
+    pub live_bins: Summary,
 }
 
 /// Run every trial of a cell and aggregate.
 pub fn run_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignError> {
+    if cell.churn.is_some() && cell.dynamic.is_none() {
+        return Err(CampaignError::unsupported(
+            "the churn axis requires a [dynamic] section (offline cells have static membership)",
+        ));
+    }
     if cell.dynamic.is_some() {
         return run_dynamic_cell(cell, seed);
     }
@@ -172,6 +197,10 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
     let mut p99 = Vec::with_capacity(cell.trials);
     let mut moves = Vec::with_capacity(cell.trials);
     let mut max_overload = 0u64;
+    let mut scale_events = Vec::new();
+    let mut reconv_times = Vec::new();
+    let mut live_bins = Vec::new();
+    let (mut total_events, mut total_reconverged) = (0u64, 0u64);
     for trial in 0..cell.trials as u64 {
         let mut wl_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_WORKLOAD));
         let initial = cell
@@ -199,10 +228,37 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
             LiveEngine::with_policy(initial, params, policy, cell.topology.0, graph_seed)
         }
         .map_err(|e| CampaignError::spec(format!("cell instance: {e}")))?;
+        if let Some(churn) = cell.churn {
+            engine
+                .set_churn(churn.0)
+                .map_err(|e| CampaignError::spec(format!("cell churn: {e}")))?;
+        }
         let mut run_rng = factory.rng(StreamId::trial(trial).with_component(COMPONENT_DYNAMICS));
-        let mut steady = SteadyState::new(dynamic.warmup);
-        engine.run_until(horizon, &mut run_rng, &mut steady);
-        let summary = steady.finish(engine.time());
+        // Churned cells fan out to a second observer measuring the
+        // time-to-re-converge after each scale event; static-membership
+        // cells keep the bare observer so their trajectories (and cached
+        // identities) stay bit-identical to earlier engine versions.
+        let summary = if cell.churn.is_some() {
+            let mut obs = (
+                SteadyState::new(dynamic.warmup),
+                Reconvergence::new(DEFAULT_RECONV_THRESHOLD),
+            );
+            engine.run_until(horizon, &mut run_rng, &mut obs);
+            let (steady, reconv) = obs;
+            let episodes = reconv.summary();
+            scale_events.push(episodes.scale_events as f64);
+            if episodes.reconverged > 0 {
+                reconv_times.push(episodes.mean_time);
+            }
+            total_events += episodes.scale_events;
+            total_reconverged += episodes.reconverged;
+            live_bins.push(engine.live_count() as f64);
+            steady.finish(engine.time())
+        } else {
+            let mut steady = SteadyState::new(dynamic.warmup);
+            engine.run_until(horizon, &mut run_rng, &mut steady);
+            steady.finish(engine.time())
+        };
         let counters = engine.counters();
         acc.push(
             summary.mean_gap,
@@ -221,6 +277,16 @@ fn run_dynamic_cell(cell: &CellSpec, seed: u64) -> Result<CellResult, CampaignEr
         p99_overload: Summary::from_samples(&p99),
         max_overload,
         moves_per_arrival: Summary::from_samples(&moves),
+        churn: cell.churn.map(|_| ChurnAggregate {
+            scale_events: Summary::from_samples(&scale_events),
+            reconv_time: Summary::from_samples(&reconv_times),
+            reconverged_rate: if total_events == 0 {
+                1.0
+            } else {
+                total_reconverged as f64 / total_events as f64
+            },
+            live_bins: Summary::from_samples(&live_bins),
+        }),
     });
     Ok(result)
 }
@@ -472,6 +538,7 @@ mod tests {
             protocol: ProtocolSpec::RlsGeq,
             workload: WorkloadSpec(Workload::AllInOneBin),
             topology: TopologySpec::complete(),
+            churn: None,
             stop: StopSpec::default(),
             hits: Vec::new(),
             trials: 4,
@@ -700,6 +767,46 @@ mod tests {
         let mut b = a.clone();
         b.topology = TopologySpec(Topology::Cycle);
         assert_ne!(cell_seed(7, &a), cell_seed(7, &b));
+    }
+
+    fn churn_cell() -> CellSpec {
+        let mut cell = dynamic_cell();
+        cell.churn = Some("steady:0.3:0.3:warm".parse().unwrap());
+        cell
+    }
+
+    #[test]
+    fn churned_dynamic_cells_report_reconvergence_aggregates() {
+        let cell = churn_cell();
+        let r1 = run_cell(&cell, 91).unwrap();
+        let r2 = run_cell(&cell, 91).unwrap();
+        assert_eq!(r1, r2, "churned cells must be deterministic per seed");
+        assert_eq!(r1.unit, "gap");
+        let agg = r1.dynamic.as_ref().expect("dynamic aggregates present");
+        let churn = agg.churn.as_ref().expect("churn aggregates present");
+        assert!(churn.scale_events.mean > 0.0, "{churn:?}");
+        assert!(churn.reconverged_rate > 0.0, "{churn:?}");
+        assert!(churn.reconv_time.mean >= 0.0);
+        assert!(churn.live_bins.mean > 0.0, "{churn:?}");
+        // A different seed actually reshuffles the membership trajectory.
+        let r3 = run_cell(&cell, 92).unwrap();
+        assert_ne!(r1.costs, r3.costs);
+    }
+
+    #[test]
+    fn static_membership_cells_carry_no_churn_block_and_distinct_identity() {
+        let plain = run_cell(&dynamic_cell(), 91).unwrap();
+        assert!(plain.dynamic.as_ref().unwrap().churn.is_none());
+        // The churn axis is part of the cache identity.
+        assert_ne!(cell_seed(7, &churn_cell()), cell_seed(7, &dynamic_cell()));
+    }
+
+    #[test]
+    fn churn_without_a_dynamic_section_is_rejected() {
+        let mut cell = base_cell();
+        cell.churn = Some("steady:0.3:0.3:warm".parse().unwrap());
+        let err = run_cell(&cell, 1).unwrap_err().to_string();
+        assert!(err.contains("churn axis requires"), "{err}");
     }
 
     #[test]

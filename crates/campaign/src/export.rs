@@ -11,6 +11,7 @@ const CSV_COLUMNS: &[&str] = &[
     "protocol",
     "workload",
     "topology",
+    "churn",
     "trials",
     "unit",
     "cost_mean",
@@ -21,6 +22,9 @@ const CSV_COLUMNS: &[&str] = &[
     "migrations_mean",
     "final_discrepancy_mean",
     "goal_rate",
+    "scale_events_mean",
+    "reconv_time_mean",
+    "reconverged_rate",
     "cached",
 ];
 
@@ -39,6 +43,8 @@ pub fn to_csv(report: &CampaignReport) -> String {
             cell.protocol.to_string(),
             cell.workload.to_string(),
             cell.topology.to_string(),
+            cell.churn
+                .map_or_else(|| "none".to_string(), |c| c.to_string()),
             cell.trials.to_string(),
             r.unit.clone(),
             format_num(r.cost.mean),
@@ -49,6 +55,9 @@ pub fn to_csv(report: &CampaignReport) -> String {
             format_num(r.migrations.mean),
             format_num(r.final_discrepancy.mean),
             format_num(r.goal_rate),
+            churn_col(r, |c| format_num(c.scale_events.mean)),
+            churn_col(r, |c| format_num(c.reconv_time.mean)),
+            churn_col(r, |c| format_num(c.reconverged_rate)),
             outcome.cached.to_string(),
         ];
         out.push_str(&row.join(","));
@@ -80,6 +89,20 @@ pub fn to_json(report: &CampaignReport) -> String {
     serde_json::to_string_pretty(&Value::Object(root)).expect("value trees always encode")
 }
 
+/// Re-convergence columns: blank for cells without a churn axis, so static
+/// sweeps keep clean numeric columns.
+fn churn_col(
+    result: &crate::cell::CellResult,
+    f: impl Fn(&crate::cell::ChurnAggregate) -> String,
+) -> String {
+    result
+        .dynamic
+        .as_ref()
+        .and_then(|d| d.churn.as_ref())
+        .map(f)
+        .unwrap_or_default()
+}
+
 fn format_num(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
         format!("{x}")
@@ -108,9 +131,43 @@ mod tests {
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("n,m,protocol"));
-        assert!(lines[1].starts_with("4,16,rls-geq,all-in-one-bin,complete,2,time,"));
+        assert!(lines[1].starts_with("4,16,rls-geq,all-in-one-bin,complete,none,2,time,"));
         // Same column count everywhere.
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn churned_cells_fill_the_reconvergence_columns() {
+        let mut spec = CampaignSpec::new("export-churn", 5, 2);
+        spec.grid.n = vec![8];
+        spec.grid.m = vec![MExpr::PerBin(8.0)];
+        spec.grid.churn = vec![
+            "none".parse().unwrap(),
+            "steady:0.3:0.3:warm".parse().unwrap(),
+        ];
+        spec.dynamic = Some(crate::spec::DynamicSpec {
+            arrival: "poisson:2".parse().unwrap(),
+            warmup: 1.0,
+            window: 6.0,
+            weights: None,
+            speeds: None,
+        });
+        let report = Campaign::new(spec).run(&MemoryStore::new(), 1).unwrap();
+        let csv = to_csv(&report);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header: Vec<&str> = lines[0].split(',').collect();
+        let churn_idx = header.iter().position(|&c| c == "churn").unwrap();
+        let rate_idx = header
+            .iter()
+            .position(|&c| c == "reconverged_rate")
+            .unwrap();
+        let static_row: Vec<&str> = lines[1].split(',').collect();
+        let churned_row: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(static_row[churn_idx], "none");
+        assert_eq!(static_row[rate_idx], "");
+        assert_eq!(churned_row[churn_idx], "steady:0.3:0.3:warm");
+        assert!(!churned_row[rate_idx].is_empty());
     }
 
     #[test]

@@ -53,12 +53,12 @@ pub mod spec;
 pub mod store;
 pub mod toml;
 
-pub use cell::{cell_seed, run_cell, CellResult, DynamicAggregate};
+pub use cell::{cell_seed, run_cell, CellResult, ChurnAggregate, DynamicAggregate};
 pub use engine::{Campaign, CampaignReport, CampaignStatus, CellOutcome};
 pub use metrics::CampaignMetrics;
 pub use spec::{
-    ArrivalSpec, CampaignSpec, CellSpec, DynamicSpec, Grid, HitSpec, MExpr, ProtocolSpec,
-    SpeedSpec, StopSpec, TopologySpec, WeightSpec, WorkloadSpec,
+    ArrivalSpec, CampaignSpec, CellSpec, ChurnSpec, DynamicSpec, Grid, HitSpec, MExpr,
+    ProtocolSpec, SpeedSpec, StopSpec, TopologySpec, WeightSpec, WorkloadSpec,
 };
 pub use store::{cell_key, CellRecord, DiskStore, MemoryStore, Store, ENGINE_VERSION};
 
@@ -200,6 +200,10 @@ pub fn spec_from_value(value: &serde::Value) -> Result<CampaignSpec, CampaignErr
                 Vec::<TopologySpec>::from_value(v).map_err(|e| field_err("grid.topology", e))?
             }
             None => vec![TopologySpec::complete()],
+        },
+        churn: match grid_map.get("churn") {
+            Some(v) => Vec::<ChurnSpec>::from_value(v).map_err(|e| field_err("grid.churn", e))?,
+            None => Vec::new(),
         },
     };
 

@@ -15,7 +15,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use rls_graph::Topology;
-use rls_workloads::{ArrivalProcess, SpeedProfile, WeightDist, Workload};
+use rls_workloads::{ArrivalProcess, ChurnProcess, SpeedProfile, WeightDist, Workload};
 use serde::{de, Deserialize, Serialize, Value};
 
 use crate::CampaignError;
@@ -593,6 +593,46 @@ impl Deserialize for WeightSpec {
     }
 }
 
+/// A membership churn profile named in a campaign grid (string form of
+/// [`rls_workloads::ChurnProcess`]): `"none"`, `"steady:0.2:0.1:warm"`,
+/// `"flash:0.05:4:warm"`, `"diurnal:200:0.4:0.4"`.  A grid axis rather
+/// than a `[dynamic]` field, so one campaign sweeps several autoscaling
+/// regimes; it expands into [`CellSpec::churn`] (`"none"` entries become
+/// `None`, sharing the static-membership identity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec(pub ChurnProcess);
+
+impl fmt::Display for ChurnSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for ChurnSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<Self, CampaignError> {
+        s.parse()
+            .map(ChurnSpec)
+            .map_err(|e| CampaignError::spec(format!("churn profile `{s}`: {e}")))
+    }
+}
+
+impl Serialize for ChurnSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ChurnSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::type_error("churn-profile string", v))?;
+        s.parse().map_err(atom_err)
+    }
+}
+
 /// A bin-speed profile named in a campaign spec (string form of
 /// [`rls_workloads::SpeedProfile`]): `"uniform"`, `"two-class:4:0.25"`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -725,6 +765,11 @@ pub struct Grid {
     pub workload: Vec<WorkloadSpec>,
     /// Topologies (defaults to `[complete]`).
     pub topology: Vec<TopologySpec>,
+    /// Membership churn profiles (defaults to `[]` = static membership).
+    /// Non-`none` entries require a `[dynamic]` section: churn is a law of
+    /// the online engine, an offline run-to-balance cell has no clock for
+    /// bins to join on.
+    pub churn: Vec<ChurnSpec>,
 }
 
 /// A declarative experiment campaign.
@@ -778,6 +823,7 @@ impl CampaignSpec {
                 protocol: vec![ProtocolSpec::RlsGeq],
                 workload: vec![WorkloadSpec(Workload::AllInOneBin)],
                 topology: vec![TopologySpec::complete()],
+                churn: Vec::new(),
             },
             stop: StopSpec::default(),
             hits: Vec::new(),
@@ -810,23 +856,49 @@ impl CampaignSpec {
         if self.grid.topology.is_empty() {
             return Err(CampaignError::spec("the grid needs at least one topology"));
         }
+        for churn in &self.grid.churn {
+            churn
+                .0
+                .validate()
+                .map_err(|e| CampaignError::spec(format!("churn profile `{churn}`: {e}")))?;
+            if !churn.0.is_none() && self.dynamic.is_none() {
+                return Err(CampaignError::spec(
+                    "the churn axis requires a [dynamic] section \
+                     (offline cells have static membership)",
+                ));
+            }
+        }
+        // An absent churn axis is the single static-membership point;
+        // explicit `"none"` entries collapse to the same cell identity.
+        let churn_axis: Vec<Option<ChurnSpec>> = if self.grid.churn.is_empty() {
+            vec![None]
+        } else {
+            self.grid
+                .churn
+                .iter()
+                .map(|&c| (!c.0.is_none()).then_some(c))
+                .collect()
+        };
         let mut cells = Vec::new();
         for workload in &self.grid.workload {
             for protocol in &self.grid.protocol {
                 for topology in &self.grid.topology {
-                    for m in &self.grid.m {
-                        for &n in &self.grid.n {
-                            cells.push(CellSpec {
-                                n,
-                                m: m.resolve(n),
-                                protocol: *protocol,
-                                workload: *workload,
-                                topology: *topology,
-                                stop: self.stop,
-                                hits: self.hits.clone(),
-                                trials: self.trials,
-                                dynamic: self.dynamic,
-                            });
+                    for &churn in &churn_axis {
+                        for m in &self.grid.m {
+                            for &n in &self.grid.n {
+                                cells.push(CellSpec {
+                                    n,
+                                    m: m.resolve(n),
+                                    protocol: *protocol,
+                                    workload: *workload,
+                                    topology: *topology,
+                                    churn,
+                                    stop: self.stop,
+                                    hits: self.hits.clone(),
+                                    trials: self.trials,
+                                    dynamic: self.dynamic,
+                                });
+                            }
                         }
                     }
                 }
@@ -849,6 +921,9 @@ pub struct CellSpec {
     pub workload: WorkloadSpec,
     /// Topology (complete = the paper's model).
     pub topology: TopologySpec,
+    /// Membership churn profile (`None` = static membership).  Requires
+    /// `dynamic`; the churn stream is superposed into the cell's CTMC.
+    pub churn: Option<ChurnSpec>,
     /// Stop condition.
     pub stop: StopSpec,
     /// Thresholds whose first-hit times are recorded.
@@ -986,6 +1061,60 @@ mod tests {
         let json = serde_json::to_string(&dynamic).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, dynamic);
+    }
+
+    #[test]
+    fn churn_strings_round_trip() {
+        for s in [
+            "none",
+            "steady:0.1:0.2:warm",
+            "steady:0.1:0.2",
+            "flash:0.05:4:warm",
+            "diurnal:200:0.2:0.2",
+        ] {
+            assert_eq!(s.parse::<ChurnSpec>().unwrap().to_string(), s);
+        }
+        for bad in ["steady", "steady:-1:0.2", "flash:0.05:0", "tidal:1:1"] {
+            assert!(bad.parse::<ChurnSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn churn_axis_expands_and_requires_a_dynamic_section() {
+        let mut spec = CampaignSpec::new("elastic", 1, 2);
+        spec.grid.n = vec![8];
+        spec.grid.m = vec![MExpr::PerBin(8.0)];
+        spec.grid.churn = vec![
+            "none".parse().unwrap(),
+            "steady:0.2:0.2:warm".parse().unwrap(),
+            "flash:0.1:2:warm".parse().unwrap(),
+        ];
+
+        // Without [dynamic], any non-none churn entry is rejected.
+        let err = spec.cells().unwrap_err().to_string();
+        assert!(err.contains("[dynamic]"), "{err}");
+
+        spec.dynamic = Some(DynamicSpec {
+            arrival: "poisson:2".parse().unwrap(),
+            warmup: 1.0,
+            window: 4.0,
+            weights: None,
+            speeds: None,
+        });
+        let cells = spec.cells().unwrap();
+        assert_eq!(cells.len(), 3);
+        // "none" collapses to a static-membership cell (same identity a
+        // churn-free grid produces), the others carry their profile.
+        assert_eq!(cells[0].churn, None);
+        assert!(cells[1].churn.is_some());
+        assert!(cells[2].churn.is_some());
+
+        // An all-"none" churn axis is exactly the no-axis grid.
+        let mut quiet = spec.clone();
+        quiet.grid.churn = vec!["none".parse().unwrap()];
+        let mut no_axis = spec.clone();
+        no_axis.grid.churn = Vec::new();
+        assert_eq!(quiet.cells().unwrap(), no_axis.cells().unwrap());
     }
 
     #[test]

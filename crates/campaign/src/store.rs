@@ -37,8 +37,11 @@ use crate::CampaignError;
 /// seed from the graph stream, which changes dynamic trajectories; 5 =
 /// dynamic cells gained the heterogeneity axis (`weights`/`speeds` in
 /// `[dynamic]`), which extends `DynamicSpec` and with it every dynamic
-/// cell's canonical identity.
-pub const ENGINE_VERSION: u32 = 5;
+/// cell's canonical identity; 6 = the grid gained the elastic-membership
+/// `churn` axis (`CellSpec` carries `churn`, `DynamicAggregate` the
+/// re-convergence aggregates), which extends every cell's canonical
+/// identity.
+pub const ENGINE_VERSION: u32 = 6;
 
 /// The content address of a cell: hex SHA-256 of its identity.
 pub fn cell_key(campaign_seed: u64, cell: &CellSpec) -> String {
@@ -227,6 +230,7 @@ mod tests {
             protocol: ProtocolSpec::RlsGeq,
             workload: WorkloadSpec(Workload::AllInOneBin),
             topology: TopologySpec::complete(),
+            churn: None,
             stop: StopSpec::default(),
             hits: Vec::new(),
             trials: 2,

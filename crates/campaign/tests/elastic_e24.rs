@@ -1,0 +1,75 @@
+//! E24 end-to-end: the shipped `specs/dynamic_elastic.toml` campaign runs
+//! from the actual spec file and every churned `(policy, topology, churn)`
+//! cell reports finite re-convergence times — the paper's
+//! self-stabilization claim measured as a recovery time after autoscaling
+//! events.
+
+use rls_campaign::{export, spec_from_str, Campaign, MemoryStore};
+
+#[test]
+fn e24_elastic_campaign_runs_end_to_end() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../specs/dynamic_elastic.toml"
+    );
+    let text = std::fs::read_to_string(path).expect("specs/dynamic_elastic.toml present");
+    let spec = spec_from_str(&text).expect("E24 spec parses");
+
+    // The experiment's advertised shape: ≥2 policies and ≥2 distinct
+    // autoscaling regimes (plus the static "none" anchor).
+    assert!(spec.grid.protocol.len() >= 2, "{:?}", spec.grid.protocol);
+    assert!(spec.grid.topology.len() >= 2, "{:?}", spec.grid.topology);
+    let churned_profiles = spec
+        .grid
+        .churn
+        .iter()
+        .filter(|c| c.to_string() != "none")
+        .count();
+    assert!(churned_profiles >= 2, "{:?}", spec.grid.churn);
+
+    let expected_cells = spec.cells().unwrap().len();
+    let report = Campaign::new(spec).run(&MemoryStore::new(), 0).unwrap();
+    assert_eq!(report.outcomes.len(), expected_cells);
+
+    let mut churned_cells = 0;
+    for outcome in &report.outcomes {
+        let cell = &outcome.cell;
+        let agg = outcome
+            .result
+            .dynamic
+            .as_ref()
+            .expect("E24 cells are dynamic");
+        match (&cell.churn, &agg.churn) {
+            (Some(profile), Some(churn)) => {
+                churned_cells += 1;
+                let label = format!("{} on {} under {profile}", cell.protocol, cell.topology);
+                assert!(churn.scale_events.mean > 0.0, "{label}: no scale events");
+                assert!(
+                    churn.reconv_time.mean.is_finite() && churn.reconv_time.mean >= 0.0,
+                    "{label}: reconv time {:?}",
+                    churn.reconv_time
+                );
+                assert!(
+                    churn.reconverged_rate > 0.0,
+                    "{label}: nothing re-converged ({churn:?})"
+                );
+                assert!(churn.live_bins.mean > 0.0, "{label}");
+            }
+            (None, None) => {} // the static "none" anchor rows
+            (churn, agg) => panic!(
+                "churn spec {churn:?} and aggregate {:?} out of sync",
+                agg.is_some()
+            ),
+        }
+    }
+    // Every (policy, topology) pair ran under every non-none profile.
+    assert_eq!(churned_cells, expected_cells * 2 / 3);
+
+    // The CSV export carries the re-convergence columns, filled only for
+    // churned rows.
+    let csv = export::to_csv(&report);
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("churn"), "{header}");
+    assert!(header.contains("reconv_time_mean"), "{header}");
+    assert_eq!(csv.trim().lines().count(), expected_cells + 1);
+}

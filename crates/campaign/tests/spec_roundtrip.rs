@@ -6,12 +6,12 @@ use proptest::prelude::*;
 use proptest::{Strategy, TestRng};
 use rls_campaign::export;
 use rls_campaign::{
-    spec_from_str, spec_to_toml_string, ArrivalSpec, Campaign, CampaignSpec, DynamicSpec, Grid,
-    HitSpec, MExpr, MemoryStore, ProtocolSpec, SpeedSpec, StopSpec, TopologySpec, WeightSpec,
-    WorkloadSpec,
+    spec_from_str, spec_to_toml_string, ArrivalSpec, Campaign, CampaignSpec, ChurnSpec,
+    DynamicSpec, Grid, HitSpec, MExpr, MemoryStore, ProtocolSpec, SpeedSpec, StopSpec,
+    TopologySpec, WeightSpec, WorkloadSpec,
 };
 use rls_graph::Topology;
-use rls_workloads::{ArrivalProcess, SpeedProfile, WeightDist, Workload};
+use rls_workloads::{ArrivalProcess, ChurnProcess, SpeedProfile, WeightDist, Workload};
 
 /// A float that exercises the printer without being pathological: a dyadic
 /// rational in `(0, 32]` (exactly representable, round-trips through any
@@ -123,6 +123,28 @@ fn speed(rng: &mut TestRng) -> SpeedSpec {
     })
 }
 
+fn churn(rng: &mut TestRng) -> ChurnSpec {
+    ChurnSpec(match rng.below(4) {
+        0 => ChurnProcess::None,
+        1 => ChurnProcess::Steady {
+            join_rate: dyadic(rng),
+            drain_rate: dyadic(rng),
+            warm: rng.below(2) == 0,
+        },
+        2 => ChurnProcess::Flash {
+            rate: dyadic(rng),
+            size: 1 + rng.below(16),
+            warm: rng.below(2) == 0,
+        },
+        _ => ChurnProcess::Diurnal {
+            period: (1 + rng.below(512)) as f64,
+            join_rate: dyadic(rng),
+            drain_rate: dyadic(rng),
+            warm: rng.below(2) == 0,
+        },
+    })
+}
+
 fn arrival(rng: &mut TestRng) -> ArrivalSpec {
     ArrivalSpec(match rng.below(3) {
         0 => ArrivalProcess::Poisson {
@@ -171,6 +193,11 @@ impl Strategy for SpecStrategy {
                 protocol: vec_of(rng, 3, protocol),
                 workload: vec_of(rng, 3, workload),
                 topology: vec_of(rng, 2, topology),
+                churn: if rng.below(2) == 0 {
+                    Vec::new()
+                } else {
+                    vec_of(rng, 2, churn)
+                },
             },
             stop: StopSpec {
                 target_discrepancy: rng.below(16) as f64 / 4.0,

@@ -189,6 +189,7 @@ fn render_run_summary(report: &CampaignReport) -> String {
             "protocol",
             "workload",
             "topology",
+            "churn",
             "mean cost",
             "unit",
             "goal rate",
@@ -203,6 +204,8 @@ fn render_run_summary(report: &CampaignReport) -> String {
             cell.protocol.to_string(),
             cell.workload.to_string(),
             cell.topology.to_string(),
+            cell.churn
+                .map_or_else(|| "none".to_string(), |c| c.to_string()),
             crate::table::fmt_f64(outcome.result.cost.mean),
             outcome.result.unit.clone(),
             crate::table::fmt_f64(outcome.result.goal_rate),

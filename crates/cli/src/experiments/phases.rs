@@ -172,6 +172,7 @@ mod tests {
             protocol: ProtocolSpec::RlsGeq,
             workload: WorkloadSpec(Workload::AllInOneBin),
             topology: TopologySpec::complete(),
+            churn: None,
             stop: StopSpec::default(),
             hits: vec![HitSpec::LnFactor(PHASE1_LN_FACTOR), HitSpec::Absolute(1.0)],
             trials: 3,

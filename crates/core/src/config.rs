@@ -265,6 +265,19 @@ impl Config {
         Ok(())
     }
 
+    /// Append a fresh, empty bin at the end of the load vector (an elastic
+    /// *bin join*): `n` grows by one, `m` is unchanged, the new bin's id is
+    /// returned.
+    ///
+    /// Elastic engines keep retired bins in the vector at load zero, so
+    /// every average-relative quantity on `Config` counts *allocated* bins;
+    /// live-set statistics come from the engine's
+    /// [`LoadTracker`](crate::LoadTracker), which tracks members only.
+    pub fn push_bin(&mut self) -> usize {
+        self.loads.push(0);
+        self.loads.len() - 1
+    }
+
     /// The loads sorted non-increasingly (the canonical representative used
     /// in the Lemma 2 coupling, which is ignorant of bin identity).
     pub fn sorted_desc(&self) -> Vec<u64> {

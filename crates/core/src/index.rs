@@ -47,13 +47,21 @@ use crate::Config;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadIndex {
-    /// 1-based Fenwick array; `tree[i]` covers `lowbit(i)` bins ending at
-    /// bin `i − 1`.
+    /// 1-based Fenwick array over `capacity` slots; `tree[i]` covers
+    /// `lowbit(i)` bins ending at bin `i − 1`.  Slots `len..capacity` are
+    /// spare: they carry zero mass and are invisible to rank descent.
     tree: Vec<u64>,
-    /// Largest power of two `≤ n`, the starting stride of the descent.
+    /// Number of allocated bins (`≤ capacity`); bin ids are `0..len`.
+    len: usize,
+    /// Largest power of two `≤ capacity`, the starting stride of the
+    /// descent.
     top: usize,
     /// Total load `m = Σ ℓ_i` (`u64` end to end — no `u32` ball cap).
     total: u64,
+    /// How many O(capacity) rebuilds [`add_bin`](Self::add_bin) has paid.
+    /// Capacity doubles on each, so the amortized growth cost stays O(1)
+    /// per added bin — a cost model pinned by tests.
+    rebuilds: u64,
 }
 
 impl LoadIndex {
@@ -70,29 +78,74 @@ impl LoadIndex {
     pub fn from_loads(loads: &[u64]) -> Self {
         let n = loads.len();
         assert!(n > 0, "LoadIndex requires at least one bin");
-        let mut tree = vec![0u64; n + 1];
-        let mut total = 0u64;
-        for (i, &l) in loads.iter().enumerate() {
-            tree[i + 1] = tree[i + 1].checked_add(l).expect("total load fits in u64");
-            total = total.checked_add(l).expect("total load fits in u64");
-            let parent = (i + 1) + lowbit(i + 1);
-            if parent <= n {
-                tree[parent] = tree[parent]
-                    .checked_add(tree[i + 1])
-                    .expect("total load fits in u64");
-            }
+        let (tree, top, total) = build_tree(loads, n);
+        Self {
+            tree,
+            len: n,
+            top,
+            total,
+            rebuilds: 0,
         }
-        let mut top = 1usize;
-        while top * 2 <= n {
-            top *= 2;
-        }
-        Self { tree, top, total }
     }
 
-    /// Number of bins `n`.
+    /// Number of allocated bins `n` (including retired bins still holding
+    /// their zero-mass slot; the elastic engines mask retirees by load).
     #[inline]
     pub fn n(&self) -> usize {
+        self.len
+    }
+
+    /// Allocated tree capacity (`≥ n`); grows by doubling in
+    /// [`add_bin`](Self::add_bin).
+    #[inline]
+    pub fn capacity(&self) -> usize {
         self.tree.len() - 1
+    }
+
+    /// How many capacity-doubling rebuilds this index has performed.
+    #[inline]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Allocate a fresh bin id at the end of the index, seeded with `mass`,
+    /// and return it.  Amortized O(log n): when `len == capacity` the tree
+    /// is rebuilt at double capacity (O(capacity), counted in
+    /// [`rebuilds`](Self::rebuilds)); otherwise the spare slot is claimed
+    /// with one point update.
+    ///
+    /// # Panics
+    /// Panics if the total would overflow `u64`.
+    pub fn add_bin(&mut self, mass: u64) -> usize {
+        if self.len == self.capacity() {
+            let mut loads: Vec<u64> = (0..self.len).map(|i| self.load(i)).collect();
+            let cap = self.capacity() * 2;
+            loads.resize(cap, 0);
+            let (tree, top, _) = build_tree(&loads, cap);
+            self.tree = tree;
+            self.top = top;
+            self.rebuilds += 1;
+        }
+        let bin = self.len;
+        self.len += 1;
+        if mass > 0 {
+            self.add(bin, mass);
+        }
+        bin
+    }
+
+    /// Retire a bin: drain whatever mass it still carries and return it.
+    /// The slot keeps its id (ids are never reused) but holds zero mass
+    /// forever after, so rank descent can never select it again.
+    ///
+    /// # Panics
+    /// Panics if `bin` is out of range.
+    pub fn retire_bin(&mut self, bin: usize) -> u64 {
+        let mass = self.load(bin);
+        if mass > 0 {
+            self.sub(bin, mass);
+        }
+        mass
     }
 
     /// Total load `m` (the number of balls).
@@ -147,13 +200,13 @@ impl LoadIndex {
             "rank {rank} out of range (total {})",
             self.total
         );
-        let n = self.n();
+        let cap = self.capacity();
         let mut pos = 0usize;
         let mut step = self.top;
         let mut depth = 0u32;
         while step > 0 {
             let next = pos + step;
-            if next <= n {
+            if next <= cap {
                 depth += 1;
                 if self.tree[next] <= rank {
                     rank -= self.tree[next];
@@ -200,9 +253,9 @@ impl LoadIndex {
             .total
             .checked_add(delta)
             .expect("total load fits in u64");
-        let n = self.n();
+        let cap = self.capacity();
         let mut i = bin + 1;
-        while i <= n {
+        while i <= cap {
             self.tree[i] += delta;
             i += lowbit(i);
         }
@@ -224,9 +277,9 @@ impl LoadIndex {
             "cannot remove a ball from an empty bin"
         );
         self.total -= delta;
-        let n = self.n();
+        let cap = self.capacity();
         let mut i = bin + 1;
-        while i <= n {
+        while i <= cap {
             self.tree[i] -= delta;
             i += lowbit(i);
         }
@@ -267,6 +320,32 @@ impl LoadIndex {
 #[inline]
 fn lowbit(i: usize) -> usize {
     i & i.wrapping_neg()
+}
+
+/// O(cap) Fenwick construction over `loads` padded to `cap` slots.
+fn build_tree(loads: &[u64], cap: usize) -> (Vec<u64>, usize, u64) {
+    debug_assert!(loads.len() <= cap);
+    let mut tree = vec![0u64; cap + 1];
+    let mut total = 0u64;
+    for i in 0..cap {
+        // Propagation must visit every slot (not just the populated
+        // prefix): interior nodes past `loads.len()` still aggregate
+        // earlier children.
+        let l = loads.get(i).copied().unwrap_or(0);
+        tree[i + 1] = tree[i + 1].checked_add(l).expect("total load fits in u64");
+        total = total.checked_add(l).expect("total load fits in u64");
+        let parent = (i + 1) + lowbit(i + 1);
+        if parent <= cap {
+            tree[parent] = tree[parent]
+                .checked_add(tree[i + 1])
+                .expect("total load fits in u64");
+        }
+    }
+    let mut top = 1usize;
+    while top * 2 <= cap {
+        top *= 2;
+    }
+    (tree, top, total)
 }
 
 #[cfg(test)]
@@ -468,5 +547,104 @@ mod tests {
     fn decrement_on_empty_bin_panics_in_debug() {
         let mut idx = LoadIndex::from_loads(&[1, 0]);
         idx.decrement(1);
+    }
+
+    #[test]
+    fn add_bin_grows_and_samples_the_new_bin() {
+        let mut idx = LoadIndex::from_loads(&[3, 1]);
+        assert_eq!(idx.capacity(), 2);
+        let bin = idx.add_bin(5);
+        assert_eq!(bin, 2);
+        assert_eq!(idx.n(), 3);
+        assert_eq!(idx.capacity(), 4, "full tree doubles");
+        assert_eq!(idx.rebuilds(), 1);
+        assert_eq!(idx.total(), 9);
+        assert_eq!(idx.load(2), 5);
+        // Rank descent reaches the freshly added bin.
+        assert_eq!(idx.bin_at(3), 1);
+        assert_eq!(idx.bin_at(4), 2);
+        assert_eq!(idx.bin_at(8), 2);
+        // The spare slot is claimed without another rebuild.
+        let bin = idx.add_bin(0);
+        assert_eq!(bin, 3);
+        assert_eq!(idx.rebuilds(), 1);
+        idx.add(3, 2);
+        assert_eq!(idx.bin_at(idx.total() - 1), 3);
+    }
+
+    #[test]
+    fn retire_bin_masks_the_slot_at_zero_rate() {
+        let mut idx = LoadIndex::from_loads(&[4, 7, 2]);
+        assert_eq!(idx.retire_bin(1), 7);
+        assert_eq!(idx.n(), 3, "the id slot survives retirement");
+        assert_eq!(idx.total(), 6);
+        assert_eq!(idx.load(1), 0);
+        for rank in 0..idx.total() {
+            assert_ne!(idx.bin_at(rank), 1, "rank {rank} hit a retired bin");
+        }
+        // Retiring an already-empty bin is a zero-mass no-op.
+        assert_eq!(idx.retire_bin(1), 0);
+        assert_eq!(idx.total(), 6);
+    }
+
+    #[test]
+    fn growth_cost_model_is_amortized_doubling() {
+        // Pinned cost model: growing 1 → 1024 bins pays exactly
+        // log2(1024) = 10 rebuilds, never one per add_bin.
+        let mut idx = LoadIndex::from_loads(&[1]);
+        for _ in 1..1024 {
+            idx.add_bin(1);
+        }
+        assert_eq!(idx.n(), 1024);
+        assert_eq!(idx.capacity(), 1024);
+        assert_eq!(idx.rebuilds(), 10);
+        assert_eq!(idx.total(), 1024);
+        for rank in (0..1024).step_by(97) {
+            assert_eq!(idx.bin_at(rank), rank as usize);
+        }
+    }
+
+    #[test]
+    fn elastic_interleaving_agrees_with_brute_force_rebuild() {
+        let mut idx = LoadIndex::from_loads(&[5, 0, 3]);
+        let mut loads = vec![5u64, 0, 3];
+        let mut retired = vec![false; 3];
+        let mut state = 0x5EED_CAFEu64;
+        for step in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pick = (state >> 33) as usize % loads.len();
+            match step % 5 {
+                0 => {
+                    let mass = (state >> 13) % 9;
+                    let bin = idx.add_bin(mass);
+                    assert_eq!(bin, loads.len());
+                    loads.push(mass);
+                    retired.push(false);
+                }
+                1 if !retired[pick] => {
+                    idx.add(pick, 2);
+                    loads[pick] += 2;
+                }
+                2 if !retired[pick] && loads[pick] > 0 => {
+                    idx.sub(pick, 1);
+                    loads[pick] -= 1;
+                }
+                3 if !retired[pick] && retired.iter().filter(|r| !**r).count() > 1 => {
+                    assert_eq!(idx.retire_bin(pick), loads[pick]);
+                    loads[pick] = 0;
+                    retired[pick] = true;
+                }
+                _ => continue,
+            }
+            let fresh = LoadIndex::from_loads(&loads);
+            assert_eq!(idx.total(), fresh.total(), "step {step}");
+            for b in 0..loads.len() {
+                assert_eq!(idx.load(b), fresh.load(b), "step {step} bin {b}");
+            }
+            for rank in (0..idx.total()).step_by(11) {
+                assert_eq!(idx.bin_at(rank), fresh.bin_at(rank), "step {step}");
+            }
+        }
+        assert!(idx.rebuilds() > 0, "the walk must have exercised growth");
     }
 }

@@ -39,6 +39,7 @@ mod config;
 mod error;
 mod index;
 mod majorization;
+mod membership;
 mod moves;
 mod policy;
 mod potential;
@@ -49,6 +50,7 @@ pub use config::{BinCounts, Config};
 pub use error::{ConfigError, MoveError};
 pub use index::LoadIndex;
 pub use majorization::{is_close, majorizes, sorted_desc};
+pub use membership::{Membership, MembershipRecord, MembershipSnapshot};
 pub use moves::{Move, MoveClass};
 pub use policy::{BinState, HeteroRingContext, RebalancePolicy, RingContext, RingDecision};
 pub use potential::{phase2_potential, Phase2Snapshot};

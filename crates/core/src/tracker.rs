@@ -23,7 +23,7 @@
 // or the aggregates, so the trajectory cannot be perturbed.
 use std::collections::BTreeMap;
 
-use crate::{BinCounts, Config};
+use crate::{BinCounts, Config, Membership};
 
 /// Incrementally maintained summary of a load configuration.
 #[derive(Debug, Clone)]
@@ -174,6 +174,53 @@ impl LoadTracker {
         self.refresh_average_relative();
     }
 
+    /// Record a bin *joining* the tracked set with `load` balls already in
+    /// it (elastic scale-up; warm starts insert the stolen balls'
+    /// migrations separately via [`record_move`](Self::record_move), so
+    /// joins normally carry `load == 0`).
+    ///
+    /// `n` grows by one, `m` by `load`, and every average-relative
+    /// aggregate is rebuilt from the histogram because `m/n` moved.
+    pub fn bin_joined(&mut self, load: u64) {
+        self.n += 1;
+        self.m += load;
+        *self.counts.entry(load).or_insert(0) += 1;
+        if load < self.min_load {
+            self.min_load = load;
+        }
+        if load > self.max_load {
+            self.max_load = load;
+        }
+        self.refresh_average_relative();
+    }
+
+    /// Record a bin *leaving* the tracked set.  The bin must already be
+    /// empty — the engine re-places a draining bin's balls (as moves)
+    /// before retiring it, so the tracker only ever drops a zero-load
+    /// entry.
+    ///
+    /// # Panics
+    /// Panics if no zero-load bin is currently tracked, or the departing
+    /// bin is the last one.
+    pub fn bin_retired(&mut self) {
+        assert!(self.n > 1, "cannot retire the last tracked bin");
+        let c = self
+            .counts
+            .get_mut(&0)
+            .unwrap_or_else(|| panic!("tracker inconsistency: retiring a non-empty bin"));
+        *c -= 1;
+        let emptied = *c == 0;
+        if emptied {
+            self.counts.remove(&0);
+        }
+        self.n -= 1;
+        if emptied && self.min_load == 0 {
+            // The histogram is non-empty (n ≥ 1 bins remain).
+            self.min_load = *self.counts.keys().next().expect("tracker non-empty");
+        }
+        self.refresh_average_relative();
+    }
+
     /// Rebuild every `m/n`-relative quantity from the histogram after a
     /// population change.
     fn refresh_average_relative(&mut self) {
@@ -272,6 +319,20 @@ impl LoadTracker {
     /// rule D001 now bans in trajectory crates.
     pub fn histogram(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
         self.counts.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// Verify the tracker against the *live* sub-configuration of an
+    /// elastic instance (test/debug helper).  The tracker models the live
+    /// multiset only: a retired slot holds zero mass forever but is not a
+    /// bin — comparing against the capacity-wide [`Config`] would deflate
+    /// the average and miscount the at/below classes.
+    pub fn matches_live(&self, cfg: &Config, membership: &Membership) -> bool {
+        let live: Vec<u64> = membership
+            .live_ids()
+            .iter()
+            .map(|&b| cfg.load(b as usize))
+            .collect();
+        Config::from_loads(live).is_ok_and(|live_cfg| self.matches(&live_cfg))
     }
 
     /// Verify the tracker against a configuration (test/debug helper).
@@ -473,6 +534,70 @@ mod tests {
         let cfg = Config::from_loads(vec![1, 0]).unwrap();
         let mut t = LoadTracker::new(&cfg);
         t.record_move(0, 1);
+    }
+
+    #[test]
+    fn bin_joined_tracks_the_growing_live_set() {
+        // Live set {5, 1, 3}; an empty bin joins, then a warm one.
+        let mut loads = vec![5u64, 1, 3];
+        let cfg = Config::from_loads(loads.clone()).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.bin_joined(0);
+        loads.push(0);
+        assert!(t.matches(&Config::from_loads(loads.clone()).unwrap()));
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.m(), 9);
+        t.bin_joined(7);
+        loads.push(7);
+        assert!(t.matches(&Config::from_loads(loads.clone()).unwrap()));
+        assert_eq!(t.max_load(), 7);
+        assert_eq!(t.min_load(), 0);
+    }
+
+    #[test]
+    fn bin_retired_drops_one_empty_bin() {
+        let cfg = Config::from_loads(vec![4, 0, 2, 0]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.bin_retired();
+        assert!(t.matches(&Config::from_loads(vec![4, 0, 2]).unwrap()));
+        t.bin_retired();
+        // Both zero bins gone: the minimum must recover from the histogram.
+        assert!(t.matches(&Config::from_loads(vec![4, 2]).unwrap()));
+        assert_eq!(t.min_load(), 2);
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.m(), 6);
+    }
+
+    #[test]
+    fn join_then_drain_round_trips() {
+        // A drain re-places the victim's balls (moves), then retires it —
+        // the exact sequence the live engine performs.
+        let cfg = Config::from_loads(vec![3, 3]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.bin_joined(0); // live {3, 3, 0}
+        t.record_move(3, 0); // ball 0→2: {2, 3, 1}
+        t.record_move(2, 1); // ball 0→2: {1, 3, 2}
+                             // Drain bin 0: its last ball moves to bin 2, then the bin leaves.
+        t.record_move(1, 2); // {0, 3, 3}
+        t.bin_retired(); // live {3, 3}
+        assert!(t.matches(&Config::from_loads(vec![3, 3]).unwrap()));
+        assert!(t.is_perfectly_balanced());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty bin")]
+    fn retiring_without_an_empty_bin_panics() {
+        let cfg = Config::from_loads(vec![2, 1]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.bin_retired();
+    }
+
+    #[test]
+    #[should_panic(expected = "last tracked bin")]
+    fn retiring_the_last_bin_panics() {
+        let cfg = Config::from_loads(vec![0]).unwrap();
+        let mut t = LoadTracker::new(&cfg);
+        t.bin_retired();
     }
 
     /// Serializes the histogram the way an export path would.

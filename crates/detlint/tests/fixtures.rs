@@ -164,6 +164,38 @@ fn d007_truncating_casts() {
 }
 
 #[test]
+fn d007_covers_elastic_membership_casts() {
+    // Elastic membership makes narrowing casts newly dangerous: bin ids
+    // are monotone (never reused), so the id space outgrows the initial
+    // `n` and a truncating cast on an id or an epoch silently aliases two
+    // bins.  The sweep patterns below pin the rule on the shapes the
+    // membership code actually uses.
+    assert!(fires(
+        "core",
+        "let id = membership.live_count() as u32;",
+        RuleId::D007
+    ));
+    assert!(fires("core", "let epoch = log.len() as u16;", RuleId::D007));
+    assert!(fires(
+        "live",
+        "let victim = live_ids[k] as u8;",
+        RuleId::D007
+    ));
+    // Widening a stored u32 id back to usize is the sanctioned direction…
+    assert!(!fires(
+        "live",
+        "let bin = shard.live_local[offset] as usize;",
+        RuleId::D007
+    ));
+    // …and `bin_u32` (try_into + expect) is the one sanctioned narrowing.
+    assert!(!fires(
+        "live",
+        "let b: u32 = index.try_into().expect(\"bin index exceeds u32 range\");",
+        RuleId::D007
+    ));
+}
+
+#[test]
 fn pragmas_require_reasons_and_scope_correctly() {
     // Reason-less pragma is itself a finding.
     let fs = run("core", "// detlint: allow(D001)\nlet x = 1;\n");

@@ -1,0 +1,413 @@
+//! Membership-aware destination sampling: [`DestSampler`] for a bin set
+//! that changes while the process runs.
+//!
+//! Before the first scale event an [`ElasticDest`] *is* the boot-time
+//! [`DestSampler`] — same adjacency, same draw sequence — so churn-free
+//! trajectories stay bit-identical to the pre-elastic engines.  The first
+//! membership change flips it into elastic mode:
+//!
+//! * **Complete** stays adjacency-free: a ring destination is one uniform
+//!   draw over the *live* id list.
+//! * **Random families** (random-regular, Erdős–Rényi) are patched
+//!   **incrementally**: a joining bin draws its own edges from an RNG
+//!   derived from `(graph_seed, epoch)` — so the patched adjacency is a
+//!   pure function of the membership log and replays exactly — and a
+//!   retiring bin simply drops its edges in both directions.
+//! * **Structured families** (cycle, path, torus, hypercube, star, binary
+//!   tree) have no meaningful local patch: the shape is global.  They take
+//!   the **rebuild fallback** — regenerate the topology on the current
+//!   live count and map vertex `i` to the `i`-th smallest live id.
+//!
+//! Both patch counts are exposed so experiments can report what churn
+//! actually cost.  [`feasible`](ElasticDest::feasible) lets engines reject
+//! a scale event *before* mutating anything (torus needs a square order,
+//! hypercube a power of two), preserving the untouched-state-on-error
+//! contract of the command layer.
+
+use rls_core::{Membership, MembershipRecord};
+use rls_rng::{rng_from_seed, Rng64, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::sampler::DestSampler;
+use crate::topology::Topology;
+
+/// How the sampler currently answers draws.
+#[derive(Debug, Clone, PartialEq)]
+enum Mode {
+    /// No scale event yet: delegate to the boot-time sampler verbatim.
+    Static(DestSampler),
+    /// Elastic complete graph: uniform over the live id list.
+    Complete,
+    /// Elastic sparse graph: per-id sorted neighbour lists, indexed by bin
+    /// id (retired ids keep an empty list).
+    Adjacency(Vec<Vec<u32>>),
+}
+
+/// Wear counters: what membership churn cost the adjacency so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ElasticDestStats {
+    /// Incremental patches applied (random families, and every
+    /// retirement's edge removal).
+    pub patches: u64,
+    /// Full topology rebuilds (structured families).
+    pub rebuilds: u64,
+}
+
+/// A destination sampler that follows the live membership set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticDest {
+    topology: Topology,
+    graph_seed: u64,
+    mode: Mode,
+    stats: ElasticDestStats,
+}
+
+impl ElasticDest {
+    /// Build the boot-time sampler for `topology` on `n` bins — identical
+    /// adjacency and draw law to [`DestSampler::build`].
+    pub fn build(topology: Topology, n: usize, graph_seed: u64) -> Result<Self, String> {
+        let inner = DestSampler::build(topology, n, graph_seed).map_err(|e| e.to_string())?;
+        Ok(Self {
+            topology,
+            graph_seed,
+            mode: Mode::Static(inner),
+            stats: ElasticDestStats::default(),
+        })
+    }
+
+    /// The topology family this sampler realizes.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The seed random topologies and join patches derive from.
+    pub fn graph_seed(&self) -> u64 {
+        self.graph_seed
+    }
+
+    /// Whether this is (still) the complete-graph fast path.
+    pub fn is_complete(&self) -> bool {
+        match &self.mode {
+            Mode::Static(inner) => inner.is_complete(),
+            Mode::Complete => true,
+            Mode::Adjacency(_) => false,
+        }
+    }
+
+    /// Patch/rebuild counters accumulated over the membership history.
+    pub fn stats(&self) -> ElasticDestStats {
+        self.stats
+    }
+
+    /// Would a membership change leaving `live_after` live bins be
+    /// representable?  Structured families with arity constraints (torus:
+    /// perfect square; hypercube: power of two) reject infeasible orders
+    /// here, *before* the engine mutates any state.
+    pub fn feasible(&self, live_after: usize) -> Result<(), String> {
+        if live_after == 0 {
+            return Err("membership change would leave zero live bins".into());
+        }
+        match self.topology {
+            Topology::Torus2D => {
+                let side = (live_after as f64).sqrt().round() as usize;
+                if side * side != live_after || side < 2 {
+                    return Err(format!(
+                        "torus topology cannot be rebuilt on {live_after} live bins (needs a \
+                         perfect square ≥ 4)"
+                    ));
+                }
+                Ok(())
+            }
+            Topology::Hypercube => {
+                if !live_after.is_power_of_two() {
+                    return Err(format!(
+                        "hypercube topology cannot be rebuilt on {live_after} live bins (needs \
+                         a power of two)"
+                    ));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Sample one candidate destination for a ring in `source`, honouring
+    /// the live set.  Returns `None` for a vertex with no live neighbours.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(
+        &self,
+        source: usize,
+        membership: &Membership,
+        rng: &mut R,
+    ) -> Option<usize> {
+        match &self.mode {
+            Mode::Static(inner) => inner.sample(source, rng),
+            Mode::Complete => Some(membership.live_at(rng.next_index(membership.live_count()))),
+            Mode::Adjacency(adj) => {
+                let nbrs = &adj[source];
+                if nbrs.is_empty() {
+                    None
+                } else {
+                    Some(nbrs[rng.next_index(nbrs.len())] as usize)
+                }
+            }
+        }
+    }
+
+    /// Whether an explicitly pinned `source → dest` ring is admissible:
+    /// both ends live, and adjacent on sparse topologies (the self-loop
+    /// no-op stays admissible, exactly like a sampled draw).
+    pub fn permits_edge(&self, source: usize, dest: usize, membership: &Membership) -> bool {
+        if !membership.is_live(source) || !membership.is_live(dest) {
+            return false;
+        }
+        match &self.mode {
+            Mode::Static(inner) => inner.permits_edge(source, dest),
+            Mode::Complete => true,
+            Mode::Adjacency(adj) => {
+                source == dest || adj[source].binary_search(&(dest as u32)).is_ok()
+            }
+        }
+    }
+
+    /// Degree of a bin under the current adjacency (complete graphs report
+    /// `live_count − 1`; retired bins report 0).
+    pub fn degree(&self, bin: usize, membership: &Membership) -> usize {
+        if !membership.is_live(bin) {
+            return 0;
+        }
+        match &self.mode {
+            Mode::Static(inner) => match inner {
+                DestSampler::Complete { n } => n - 1,
+                DestSampler::Sparse { graph } => graph.degree(bin),
+            },
+            Mode::Complete => membership.live_count() - 1,
+            Mode::Adjacency(adj) => adj[bin].len(),
+        }
+    }
+
+    /// Apply one membership change to the adjacency.  `membership` must
+    /// already reflect the change (the record is its most recent log
+    /// entry).  Infallible once [`feasible`](Self::feasible) approved the
+    /// change.
+    ///
+    /// # Panics
+    /// Panics if a structured rebuild fails — callers gate on
+    /// [`feasible`](Self::feasible) first.
+    pub fn apply(&mut self, record: MembershipRecord, membership: &Membership) {
+        self.enter_elastic(membership.capacity());
+        if matches!(self.mode, Mode::Complete) {
+            // Membership-uniform sampling needs no adjacency work.
+            return;
+        }
+        match self.topology {
+            Topology::RandomRegular { .. } | Topology::ErdosRenyi { .. } => {
+                self.patch_random(record, membership);
+            }
+            _ => self.rebuild_structured(membership),
+        }
+    }
+
+    /// Leave static mode: materialize the boot adjacency as patchable
+    /// per-id lists (neighbour order is preserved, so draw sequences on
+    /// untouched vertices do not change).
+    fn enter_elastic(&mut self, capacity: usize) {
+        if let Mode::Static(inner) = &self.mode {
+            self.mode = match inner {
+                DestSampler::Complete { .. } => Mode::Complete,
+                DestSampler::Sparse { graph } => {
+                    let mut adj: Vec<Vec<u32>> = (0..graph.n())
+                        .map(|v| graph.neighbors(v).to_vec())
+                        .collect();
+                    adj.resize(capacity, Vec::new());
+                    Mode::Adjacency(adj)
+                }
+            };
+        }
+        if let Mode::Adjacency(adj) = &mut self.mode {
+            if adj.len() < capacity {
+                adj.resize(capacity, Vec::new());
+            }
+        }
+    }
+
+    /// Incremental patch for the random families.  Join edges are drawn
+    /// from `rng_from_seed(mix(graph_seed, epoch))`, making the patched
+    /// adjacency a pure function of `(topology, graph_seed, membership
+    /// log)` — the property snapshot restore relies on.
+    fn patch_random(&mut self, record: MembershipRecord, membership: &Membership) {
+        let epoch = membership.epoch();
+        let Mode::Adjacency(adj) = &mut self.mode else {
+            unreachable!("patch_random runs in adjacency mode");
+        };
+        let bin = record.bin as usize;
+        if record.joined {
+            let mut rng =
+                rng_from_seed(self.graph_seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut nbrs: Vec<u32> = Vec::new();
+            match self.topology {
+                Topology::RandomRegular { degree } => {
+                    let want = degree.min(membership.live_count() - 1);
+                    while nbrs.len() < want {
+                        let cand = membership.live_at(rng.next_index(membership.live_count()));
+                        if cand != bin && !nbrs.contains(&(cand as u32)) {
+                            nbrs.push(cand as u32);
+                        }
+                    }
+                }
+                Topology::ErdosRenyi { p } => {
+                    for id in membership.sorted_live_ids() {
+                        if id as usize != bin && rng.next_bernoulli(p) {
+                            nbrs.push(id);
+                        }
+                    }
+                }
+                _ => unreachable!("patch_random only covers random families"),
+            }
+            nbrs.sort_unstable();
+            for &nb in &nbrs {
+                let list = &mut adj[nb as usize];
+                if let Err(at) = list.binary_search(&record.bin) {
+                    list.insert(at, record.bin);
+                }
+            }
+            adj[bin] = nbrs;
+        } else {
+            let old = std::mem::take(&mut adj[bin]);
+            for nb in old {
+                let list = &mut adj[nb as usize];
+                if let Ok(at) = list.binary_search(&record.bin) {
+                    list.remove(at);
+                }
+            }
+        }
+        self.stats.patches += 1;
+    }
+
+    /// Rebuild fallback for structured families: regenerate the topology
+    /// on the live count and map vertex `i` to the `i`-th smallest live
+    /// id.
+    fn rebuild_structured(&mut self, membership: &Membership) {
+        let ids = membership.sorted_live_ids();
+        let graph = self
+            .topology
+            .build(ids.len(), &mut rng_from_seed(self.graph_seed))
+            .expect("feasible() approved this live count");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); membership.capacity()];
+        for (v, &id) in ids.iter().enumerate() {
+            adj[id as usize] = graph
+                .neighbors(v)
+                .iter()
+                .map(|&w| ids[w as usize])
+                .collect();
+            adj[id as usize].sort_unstable();
+        }
+        self.mode = Mode::Adjacency(adj);
+        self.stats.rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn churned(topology: Topology, n: usize) -> (ElasticDest, Membership) {
+        let mut dest = ElasticDest::build(topology, n, 7).unwrap();
+        let mut membership = Membership::new(n);
+        let id = membership.join();
+        assert_eq!(id, n);
+        dest.apply(*membership.log().last().unwrap(), &membership);
+        membership.retire(1);
+        dest.apply(*membership.log().last().unwrap(), &membership);
+        (dest, membership)
+    }
+
+    #[test]
+    fn static_mode_matches_the_boot_sampler_exactly() {
+        let elastic = ElasticDest::build(Topology::Cycle, 10, 3).unwrap();
+        let inner = DestSampler::build(Topology::Cycle, 10, 3).unwrap();
+        let membership = Membership::new(10);
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..200 {
+            assert_eq!(
+                elastic.sample(4, &membership, &mut a),
+                inner.sample(4, &mut b)
+            );
+        }
+        assert!(elastic.permits_edge(4, 5, &membership));
+        assert!(!elastic.permits_edge(4, 7, &membership));
+        assert_eq!(elastic.degree(4, &membership), 2);
+    }
+
+    #[test]
+    fn complete_samples_only_live_bins_after_churn() {
+        let (dest, membership) = churned(Topology::Complete, 5);
+        assert!(dest.is_complete());
+        let mut rng = rng_from_seed(9);
+        let mut saw_new = false;
+        for _ in 0..500 {
+            let d = dest.sample(0, &membership, &mut rng).unwrap();
+            assert!(membership.is_live(d), "drew retired bin {d}");
+            saw_new |= d == 5;
+        }
+        assert!(saw_new, "the joined bin must be reachable");
+        assert!(!dest.permits_edge(0, 1, &membership), "retired dest");
+        assert!(dest.permits_edge(0, 5, &membership));
+    }
+
+    #[test]
+    fn structured_families_rebuild_on_the_live_count() {
+        let (dest, membership) = churned(Topology::Cycle, 6);
+        assert_eq!(dest.stats().rebuilds, 2);
+        // 7 allocated ids, live {0, 2, 3, 4, 5, 6}: the cycle is over the
+        // sorted live ids, so 0's neighbours are 2 and 6.
+        assert_eq!(dest.degree(0, &membership), 2);
+        assert!(dest.permits_edge(0, 2, &membership));
+        assert!(dest.permits_edge(0, 6, &membership));
+        assert!(!dest.permits_edge(0, 3, &membership));
+        assert_eq!(dest.degree(1, &membership), 0, "retired bin has no edges");
+        let mut rng = rng_from_seed(11);
+        for _ in 0..100 {
+            let d = dest.sample(3, &membership, &mut rng).unwrap();
+            assert!(d == 2 || d == 4, "cycle neighbour, got {d}");
+        }
+    }
+
+    #[test]
+    fn random_families_patch_incrementally_and_deterministically() {
+        let make = || churned(Topology::RandomRegular { degree: 3 }, 8);
+        let (a, membership) = make();
+        let (b, _) = make();
+        assert_eq!(a, b, "patches derive from (seed, epoch) alone");
+        assert_eq!(a.stats().patches, 2);
+        assert_eq!(a.stats().rebuilds, 0);
+        // The joined bin got ≤ 3 live neighbours, symmetrically.
+        let d = a.degree(8, &membership);
+        assert!((1..=3).contains(&d), "degree {d}");
+        let mut rng = rng_from_seed(5);
+        for _ in 0..50 {
+            let dst = a.sample(8, &membership, &mut rng).unwrap();
+            assert!(membership.is_live(dst));
+            assert!(a.permits_edge(dst, 8, &membership), "symmetric edge");
+        }
+        // The retired bin's edges are gone in both directions.
+        for v in 0..membership.capacity() {
+            assert!(!a.permits_edge(v, 1, &membership));
+        }
+    }
+
+    #[test]
+    fn feasibility_gates_constrained_orders() {
+        let torus = ElasticDest::build(Topology::Torus2D, 9, 1).unwrap();
+        assert!(torus.feasible(9).is_ok());
+        assert!(torus.feasible(8).is_err());
+        assert!(torus.feasible(16).is_ok());
+        let cube = ElasticDest::build(Topology::Hypercube, 8, 1).unwrap();
+        assert!(cube.feasible(8).is_ok());
+        assert!(cube.feasible(12).is_err());
+        let cycle = ElasticDest::build(Topology::Cycle, 4, 1).unwrap();
+        assert!(cycle.feasible(3).is_ok());
+        assert!(cycle.feasible(0).is_err());
+    }
+}

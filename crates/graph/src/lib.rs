@@ -22,16 +22,22 @@
 //! * [`sampler`] — the [`DestSampler`] the online engines (`rls-live`,
 //!   `rls-serve`) hold: the complete-graph O(1) uniform draw, or uniform
 //!   neighbour sampling over a CSR adjacency built once at boot.
+//! * [`elastic`] — [`ElasticDest`], the membership-aware sampler for
+//!   engines whose bin set changes mid-run: incremental adjacency patches
+//!   for random families, full rebuilds for structured ones, and live-set
+//!   uniform draws on the complete graph.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod elastic;
 mod graph;
 pub mod mixing;
 pub mod rls_on_graph;
 pub mod sampler;
 pub mod topology;
 
+pub use elastic::{ElasticDest, ElasticDestStats};
 pub use graph::{Graph, GraphError};
 pub use rls_on_graph::{GraphRls, GraphRlsOutcome};
 pub use sampler::DestSampler;

@@ -58,6 +58,21 @@ pub enum LiveCommand {
         /// Sampled destination bin, or `None` to sample it uniformly.
         dest: Option<usize>,
     },
+    /// A scale-out event: admit one new bin at the next fresh id.  With
+    /// `warm: true` the newcomer is warm-started by stealing `⌊m/live⌋`
+    /// uniform (exchangeable) balls from the existing bins; `false` starts
+    /// it empty.
+    AddBin {
+        /// Whether to warm-start the new bin near the post-join average.
+        warm: bool,
+    },
+    /// A scale-in event: drain every ball of a live bin onto surviving
+    /// live bins (uniformly at random, one draw per ball), then retire the
+    /// slot.  `bin: None` picks a uniformly random live victim.
+    DrainBin {
+        /// The bin to retire, or `None` to sample a live victim.
+        bin: Option<usize>,
+    },
 }
 
 impl LiveCommand {
@@ -67,6 +82,8 @@ impl LiveCommand {
             LiveCommand::Arrive { .. } => "arrive",
             LiveCommand::Depart { .. } => "depart",
             LiveCommand::Ring { .. } => "ring",
+            LiveCommand::AddBin { .. } => "add-bin",
+            LiveCommand::DrainBin { .. } => "drain-bin",
         }
     }
 }
@@ -101,6 +118,8 @@ mod tests {
             .name(),
             "ring"
         );
+        assert_eq!(LiveCommand::AddBin { warm: false }.name(), "add-bin");
+        assert_eq!(LiveCommand::DrainBin { bin: None }.name(), "drain-bin");
     }
 
     #[test]
@@ -122,6 +141,8 @@ mod tests {
                 source: Some(2),
                 dest: None,
             },
+            LiveCommand::AddBin { warm: true },
+            LiveCommand::DrainBin { bin: Some(4) },
         ] {
             let json = serde_json::to_string(&cmd).unwrap();
             let back: LiveCommand = serde_json::from_str(&json).unwrap();

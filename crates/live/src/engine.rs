@@ -30,13 +30,13 @@
 // re-derive a float decision.
 
 use rls_core::{
-    BinState, Config, HeteroRingContext, LoadIndex, LoadTracker, Move, RebalancePolicy,
-    RingContext, RingDecision, RlsRule,
+    BinState, Config, HeteroRingContext, LoadIndex, LoadTracker, Membership, MembershipSnapshot,
+    Move, RebalancePolicy, RingContext, RingDecision, RlsRule,
 };
-use rls_graph::{DestSampler, Topology};
+use rls_graph::{ElasticDest, Topology};
 use rls_rng::dist::{Distribution, Exponential, Poisson};
 use rls_rng::{Rng64, RngExt};
-use rls_workloads::{ArrivalProcess, WeightDist};
+use rls_workloads::{ArrivalProcess, ChurnEvent, ChurnProcess, WeightDist};
 use serde::{Deserialize, Serialize};
 
 use std::cell::Cell;
@@ -45,7 +45,7 @@ use std::sync::Arc;
 use rls_obs::Registry;
 
 use crate::command::LiveCommand;
-use crate::event::{bin_u32, LiveEvent, LiveEventKind};
+use crate::event::{bin_u32, DrainRecord, JoinRecord, LiveEvent, LiveEventKind};
 use crate::metrics::LiveMetrics;
 use crate::observer::LiveObserver;
 use crate::LiveError;
@@ -100,7 +100,12 @@ pub struct LiveCounters {
     pub rings: u64,
     /// Rings that migrated a ball.
     pub migrations: u64,
-    /// Events processed (arrival epochs + departures + rings).
+    /// Bins that joined the live set (scale-out).
+    pub joins: u64,
+    /// Bins that drained and retired (scale-in).
+    pub drains: u64,
+    /// Events processed (arrival epochs + departures + rings + scale
+    /// events).
     pub events: u64,
 }
 
@@ -192,8 +197,15 @@ pub struct LiveEngine {
     /// The decision rule applied per ring (enum-dispatched: part of the
     /// engine's snapshot identity).
     policy: RebalancePolicy,
-    /// Where a ringing ball may sample its destination.
-    dest: DestSampler,
+    /// Where a ringing ball may sample its destination (elastic: patched
+    /// or rebuilt on every membership change).
+    dest: ElasticDest,
+    /// Which bin ids are live, plus the epoch log of every scale event
+    /// (snapshots persist the log; replaying it is exact).
+    membership: Membership,
+    /// The law of bin joins/drains superposed into the CTMC (its majorant
+    /// rate joins the total; candidates are resolved by exact thinning).
+    churn: ChurnProcess,
     /// The topology family `dest` was built from (persisted in snapshots
     /// so a restore rebuilds the identical adjacency).
     topology: Topology,
@@ -245,8 +257,9 @@ impl LiveEngine {
     ) -> Result<Self, LiveError> {
         params.validate()?;
         policy.validate().map_err(LiveError::params)?;
-        let dest = DestSampler::build(topology, initial.n(), graph_seed)
+        let dest = ElasticDest::build(topology, initial.n(), graph_seed)
             .map_err(|e| LiveError::params(format!("topology `{topology}`: {e}")))?;
+        let membership = Membership::new(initial.n());
         let index = LoadIndex::new(&initial);
         let tracker = LoadTracker::new(&initial);
         Ok(Self {
@@ -256,6 +269,8 @@ impl LiveEngine {
             params,
             policy,
             dest,
+            membership,
+            churn: ChurnProcess::None,
             topology,
             graph_seed,
             time: 0.0,
@@ -264,6 +279,16 @@ impl LiveEngine {
             hetero: None,
             metrics: None,
         })
+    }
+
+    /// Superpose a membership churn stream into the event source.  The
+    /// majorant rate joins the CTMC total; candidate events are resolved
+    /// by exact thinning, so a [`ChurnProcess::None`] engine (the default)
+    /// is bit-identical to the pre-elastic law.
+    pub fn set_churn(&mut self, churn: ChurnProcess) -> Result<(), LiveError> {
+        churn.validate().map_err(LiveError::params)?;
+        self.churn = churn;
+        Ok(())
     }
 
     /// Create a *heterogeneous* engine: balls drawn from `dist`, bin `i`
@@ -362,9 +387,14 @@ impl LiveEngine {
                     .ok_or_else(|| LiveError::params("bin rate mass overflows u64"))
             })
             .collect::<Result<_, _>>()?;
-        let total_speed = speeds
+        // Only live bins contribute to the speed-scaled average; on a
+        // churn-free engine the live set is exactly `0..n`, so this is the
+        // same sum in the same order as the pre-elastic engine computed.
+        let total_speed = self
+            .membership
+            .live_ids()
             .iter()
-            .try_fold(0u64, |acc, &s| acc.checked_add(s))
+            .try_fold(0u64, |acc, &b| acc.checked_add(speeds[b as usize]))
             .ok_or_else(|| LiveError::params("total speed overflows u64"))?;
         self.hetero = Some(Hetero {
             dist,
@@ -440,9 +470,31 @@ impl LiveEngine {
         self.graph_seed
     }
 
-    /// The destination sampler (read-only; built once at construction).
-    pub fn dest_sampler(&self) -> &DestSampler {
+    /// The elastic destination sampler (read-only; patched or rebuilt on
+    /// every membership change).
+    pub fn elastic_dest(&self) -> &ElasticDest {
         &self.dest
+    }
+
+    /// Which bin ids are live, plus the epoch log of scale events.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Current membership epoch (number of scale events since boot).
+    pub fn epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Number of currently live bins (`cfg.n()` until the first scale
+    /// event; retired slots keep their id but leave the live set).
+    pub fn live_count(&self) -> usize {
+        self.membership.live_count()
+    }
+
+    /// The churn process superposed into the event source.
+    pub fn churn(&self) -> ChurnProcess {
+        self.churn
     }
 
     /// Whether this engine carries heterogeneity state (weighted balls
@@ -576,7 +628,12 @@ impl LiveEngine {
     /// Rebuild an engine from raw parts (snapshot restore).  The load
     /// vector alone determines the sampling state — balls are exchangeable,
     /// so there is no per-ball map to restore — and the destination
-    /// sampler is rebuilt from `(topology, graph_seed)`.
+    /// sampler is rebuilt by constructing the boot-time adjacency from
+    /// `(topology, initial_n, graph_seed)` and replaying the membership
+    /// epoch log through it record by record, which re-derives every
+    /// elastic patch exactly.  (Building at the grown capacity instead
+    /// would be wrong — and can even be infeasible, e.g. a random-regular
+    /// family at an odd `n·d`.)
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: Config,
@@ -584,15 +641,66 @@ impl LiveEngine {
         policy: RebalancePolicy,
         topology: Topology,
         graph_seed: u64,
+        membership: MembershipSnapshot,
+        churn: ChurnProcess,
         time: f64,
         seq: u64,
         counters: LiveCounters,
     ) -> Result<Self, LiveError> {
-        let mut engine = Self::with_policy(cfg, params, policy, topology, graph_seed)?;
-        engine.time = time;
-        engine.seq = seq;
-        engine.counters = counters;
-        Ok(engine)
+        params.validate()?;
+        policy.validate().map_err(LiveError::params)?;
+        churn.validate().map_err(LiveError::params)?;
+        let mut dest = ElasticDest::build(topology, membership.initial_n, graph_seed)
+            .map_err(|e| LiveError::params(format!("topology `{topology}`: {e}")))?;
+        let membership = membership
+            .replay_with(|rec, m| dest.apply(rec, m))
+            .map_err(LiveError::snapshot)?;
+        if membership.capacity() != cfg.n() {
+            return Err(LiveError::snapshot(format!(
+                "membership log allocates {} bin ids but the load vector has {}",
+                membership.capacity(),
+                cfg.n()
+            )));
+        }
+        if let Some(bin) = (0..cfg.n()).find(|&b| !membership.is_live(b) && cfg.load(b) != 0) {
+            return Err(LiveError::snapshot(format!(
+                "retired bin {bin} carries load {} (drains relocate every ball)",
+                cfg.load(bin)
+            )));
+        }
+        let index = LoadIndex::new(&cfg);
+        // The tracker aggregates over *live* bins only: a retired slot sits
+        // permanently at load zero and must not drag min/average/gap down.
+        let tracker = if membership.is_elastic() {
+            let live_loads: Vec<u64> = membership
+                .live_ids()
+                .iter()
+                .map(|&b| cfg.load(b as usize))
+                .collect();
+            LoadTracker::new(
+                &Config::from_loads(live_loads)
+                    .map_err(|e| LiveError::snapshot(format!("live loads: {e}")))?,
+            )
+        } else {
+            LoadTracker::new(&cfg)
+        };
+        Ok(Self {
+            cfg,
+            tracker,
+            index,
+            params,
+            policy,
+            dest,
+            membership,
+            churn,
+            topology,
+            graph_seed,
+            time,
+            seq,
+            counters,
+            hetero: None,
+            metrics: None,
+        })
     }
 
     /// Total clock mass `R = Σ s_i·ℓ_i` driving departures and rings: the
@@ -651,67 +759,97 @@ impl LiveEngine {
         }
     }
 
-    /// Total event rate at the current population.
+    /// Total event rate at the current population: arrivals + departures +
+    /// rings + the churn majorant (zero without churn; adding `0.0` to the
+    /// non-negative sum leaves the bits unchanged, so churn-free totals are
+    /// bit-identical to the pre-elastic law).
     pub fn total_rate(&self) -> f64 {
         let clock = self.clock_mass() as f64;
-        self.params.arrivals.epoch_rate(self.cfg.n()) + clock * self.params.service_rate + clock
+        self.params
+            .arrivals
+            .epoch_rate(self.membership.live_count())
+            + clock * self.params.service_rate
+            + clock
+            + self.churn.max_rate()
     }
 
     /// Advance by exactly one event; returns `None` when the total event
-    /// rate is zero (empty system with no arrivals), which is absorbing.
+    /// rate is zero (empty system with no arrivals and no churn), which is
+    /// absorbing.
+    ///
+    /// Membership churn is superposed by its constant majorant rate and
+    /// resolved by **exact thinning**: a candidate the time-varying
+    /// intensity rejects (or one infeasible at the current live set) still
+    /// advances the clock — the exponential race among the superposed
+    /// sources spent that holding time — but emits no event, consumes no
+    /// sequence number, and the loop redraws.  Without churn the loop body
+    /// runs exactly once on the pre-elastic band layout, so churn-free
+    /// trajectories are bit-identical to the pre-elastic engine.
     pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Option<LiveEvent> {
-        let n = self.cfg.n();
-        let m = self.cfg.m();
-        let epoch_rate = self.params.arrivals.epoch_rate(n);
-        // Departure and ring clocks run per ball at the bin's speed, so
-        // their total rates scale with the rate mass R = Σ s_i·ℓ_i (= m on
-        // unit engines).
-        let clock_mass = self.clock_mass();
-        let depart_rate = clock_mass as f64 * self.params.service_rate;
-        let ring_rate = clock_mass as f64;
-        let total = epoch_rate + depart_rate + ring_rate;
-        if total <= 0.0 {
-            return None;
-        }
+        let kind = loop {
+            let m = self.cfg.m();
+            let epoch_rate = self
+                .params
+                .arrivals
+                .epoch_rate(self.membership.live_count());
+            // Departure and ring clocks run per ball at the bin's speed, so
+            // their total rates scale with the rate mass R = Σ s_i·ℓ_i
+            // (= m on unit engines).
+            let clock_mass = self.clock_mass();
+            let depart_rate = clock_mass as f64 * self.params.service_rate;
+            let ring_rate = clock_mass as f64;
+            let total = epoch_rate + depart_rate + ring_rate + self.churn.max_rate();
+            if total <= 0.0 {
+                return None;
+            }
 
-        let dt = Exponential::new(total)
-            .expect("positive total rate")
-            .sample(rng);
-        self.time += dt;
+            let dt = Exponential::new(total)
+                .expect("positive total rate")
+                .sample(rng);
+            self.time += dt;
+
+            let pick = rng.next_f64() * total;
+            // With no balls and no churn only arrivals have positive rate;
+            // route there unconditionally (also absorbs the ~2⁻⁵³ rounding
+            // case where `pick` lands exactly on `total` — under churn that
+            // boundary case belongs to the churn band instead).
+            if (m == 0 && self.churn.is_none()) || pick < epoch_rate {
+                let mut bins = Vec::with_capacity(self.params.arrivals.epoch_size() as usize);
+                for _ in 0..self.params.arrivals.epoch_size() {
+                    let bin = self
+                        .params
+                        .arrivals
+                        .place_among(self.membership.live_ids(), rng);
+                    let weight = self.draw_weight(rng);
+                    self.arrive(bin, weight);
+                    bins.push(bin_u32(bin));
+                }
+                break LiveEventKind::Arrival { bins };
+            } else if pick < epoch_rate + depart_rate {
+                // The departing ball's clock is rate-proportional across
+                // bins (uniform over m balls on unit engines) and uniform
+                // within its bin.
+                let bin = self.clock_bin(rng.next_below(clock_mass));
+                let picked = self.pick_ball(bin, rng);
+                self.depart(bin, picked);
+                break LiveEventKind::Departure { bin: bin_u32(bin) };
+            } else if self.churn.is_none() || pick < epoch_rate + depart_rate + ring_rate {
+                let source = self.clock_bin(rng.next_below(clock_mass));
+                let picked = self.pick_ball(source, rng);
+                let ball = self.picked_weight(source, picked);
+                let decision = self.decide_ring(source, ball, rng);
+                break self.apply_ring(source, picked, decision);
+            } else if let Some(event) = self.churn.decide(self.time, rng) {
+                if let Some(kind) = self.apply_churn(event, rng) {
+                    break kind;
+                }
+            }
+        };
         self.seq += 1;
         self.counters.events += 1;
         if let Some(m) = &self.metrics {
             m.events.inc();
         }
-
-        let pick = rng.next_f64() * total;
-        // With no balls only arrivals have positive rate; route there
-        // unconditionally (also absorbs the ~2⁻⁵³ rounding case where
-        // `pick` lands exactly on `total`).
-        let kind = if m == 0 || pick < epoch_rate {
-            let mut bins = Vec::with_capacity(self.params.arrivals.epoch_size() as usize);
-            for _ in 0..self.params.arrivals.epoch_size() {
-                let bin = self.params.arrivals.place(n, rng);
-                let weight = self.draw_weight(rng);
-                self.arrive(bin, weight);
-                bins.push(bin_u32(bin));
-            }
-            LiveEventKind::Arrival { bins }
-        } else if pick < epoch_rate + depart_rate {
-            // The departing ball's clock is rate-proportional across bins
-            // (uniform over m balls on unit engines) and uniform within
-            // its bin.
-            let bin = self.clock_bin(rng.next_below(clock_mass));
-            let picked = self.pick_ball(bin, rng);
-            self.depart(bin, picked);
-            LiveEventKind::Departure { bin: bin_u32(bin) }
-        } else {
-            let source = self.clock_bin(rng.next_below(clock_mass));
-            let picked = self.pick_ball(source, rng);
-            let ball = self.picked_weight(source, picked);
-            let decision = self.decide_ring(source, ball, rng);
-            self.apply_ring(source, picked, decision)
-        };
 
         Some(LiveEvent {
             seq: self.seq,
@@ -742,10 +880,16 @@ impl LiveEngine {
 
         // Validate every explicit coordinate (and the implicit "there is a
         // ball to pick" requirements) before touching state or the RNG.
+        let membership = &self.membership;
         let check_bin = |what: &str, bin: usize| -> Result<(), LiveError> {
             if bin >= n {
                 return Err(LiveError::command(format!(
                     "{what} bin {bin} outside 0..{n}"
+                )));
+            }
+            if !membership.is_live(bin) {
+                return Err(LiveError::command(format!(
+                    "{what} bin {bin} is retired (not in the live set)"
                 )));
             }
             Ok(())
@@ -833,7 +977,7 @@ impl LiveEngine {
                     // exactly like a sampled draw on the complete graph),
                     // and it needs a pinned source to check against.
                     match source {
-                        Some(source) if !self.dest.permits_edge(source, dest) => {
+                        Some(source) if !self.dest.permits_edge(source, dest, membership) => {
                             return Err(LiveError::command(format!(
                                 "ring destination {dest} is not adjacent to source {source} \
                                  under topology `{}`",
@@ -849,6 +993,22 @@ impl LiveEngine {
                         _ => {}
                     }
                 }
+            }
+            LiveCommand::AddBin { .. } => {
+                self.dest
+                    .feasible(membership.live_count() + 1)
+                    .map_err(LiveError::command)?;
+            }
+            LiveCommand::DrainBin { bin } => {
+                if membership.live_count() <= 1 {
+                    return Err(LiveError::command("cannot drain the last live bin"));
+                }
+                if let Some(bin) = bin {
+                    check_bin("drain", bin)?;
+                }
+                self.dest
+                    .feasible(membership.live_count() - 1)
+                    .map_err(LiveError::command)?;
             }
         }
 
@@ -866,7 +1026,13 @@ impl LiveEngine {
 
         let kind = match *cmd {
             LiveCommand::Arrive { bin, weight } => {
-                let bin = bin.unwrap_or_else(|| self.params.arrivals.place(n, rng));
+                let bin = match bin {
+                    Some(bin) => bin,
+                    None => self
+                        .params
+                        .arrivals
+                        .place_among(self.membership.live_ids(), rng),
+                };
                 let weight = match weight {
                     Some(w) => w,
                     None => self.draw_weight(rng),
@@ -912,6 +1078,20 @@ impl LiveEngine {
                     None => self.decide_ring(source, ball, rng),
                 };
                 self.apply_ring(source, picked, decision)
+            }
+            LiveCommand::AddBin { warm } => LiveEventKind::BinsJoined {
+                joins: vec![self.join_bin(warm, rng)],
+            },
+            LiveCommand::DrainBin { bin } => {
+                let victim = match bin {
+                    Some(bin) => bin,
+                    None => self
+                        .membership
+                        .live_at(rng.next_index(self.membership.live_count())),
+                };
+                LiveEventKind::BinsDrained {
+                    drains: vec![self.drain_one(victim, rng)],
+                }
             }
         };
 
@@ -1013,7 +1193,7 @@ impl LiveEngine {
         match &self.hetero {
             Some(h) => self.policy.permits_weighted(
                 HeteroRingContext {
-                    n: self.cfg.n(),
+                    n: self.membership.live_count(),
                     total_weight: h.weight_index.total(),
                     total_speed: h.total_speed,
                 },
@@ -1023,7 +1203,7 @@ impl LiveEngine {
             ),
             None => self.policy.permits_loads(
                 RingContext {
-                    n: self.cfg.n(),
+                    n: self.membership.live_count(),
                     m: self.cfg.m(),
                 },
                 self.cfg.load(source),
@@ -1042,6 +1222,7 @@ impl LiveEngine {
         rng: &mut R,
     ) -> RingDecision {
         let dest = &self.dest;
+        let membership = &self.membership;
         // Count candidate draws through a Cell so the sampler closure
         // stays `FnMut` over `rng` alone; the count feeds the per-policy
         // probe counter without perturbing the draw sequence.
@@ -1049,7 +1230,7 @@ impl LiveEngine {
         let decision = match &self.hetero {
             Some(h) => self.policy.decide_weighted(
                 HeteroRingContext {
-                    n: self.cfg.n(),
+                    n: membership.live_count(),
                     total_weight: h.weight_index.total(),
                     total_speed: h.total_speed,
                 },
@@ -1058,13 +1239,13 @@ impl LiveEngine {
                 ball,
                 || {
                     probes.set(probes.get() + 1);
-                    dest.sample(source, rng)
+                    dest.sample(source, membership, rng)
                 },
                 |b| h.state(b),
             ),
             None => {
                 let ctx = RingContext {
-                    n: self.cfg.n(),
+                    n: membership.live_count(),
                     m: self.cfg.m(),
                 };
                 let cfg = &self.cfg;
@@ -1074,7 +1255,7 @@ impl LiveEngine {
                     cfg.load(source),
                     || {
                         probes.set(probes.get() + 1);
-                        dest.sample(source, rng)
+                        dest.sample(source, membership, rng)
                     },
                     |b| cfg.load(b),
                 )
@@ -1135,6 +1316,179 @@ impl LiveEngine {
             source: bin_u32(source),
             dest: bin_u32(dest),
             moved: decision.moved,
+        }
+    }
+
+    /// Resolve an accepted churn candidate into a scale event, or `None`
+    /// when the event is infeasible at the current live set (a torus that
+    /// cannot absorb one more bin, a drain that would empty the system) —
+    /// infeasible candidates are thinned exactly like rejected ones.
+    ///
+    /// Multi-bin events (flash crowds) apply their bins one at a time,
+    /// each gated by [`ElasticDest::feasible`]; the event carries however
+    /// many bins were actually admitted.
+    fn apply_churn<R: Rng64 + ?Sized>(
+        &mut self,
+        event: ChurnEvent,
+        rng: &mut R,
+    ) -> Option<LiveEventKind> {
+        match event {
+            ChurnEvent::Join { count, warm } => {
+                let mut joins = Vec::new();
+                for _ in 0..count {
+                    if self
+                        .dest
+                        .feasible(self.membership.live_count() + 1)
+                        .is_err()
+                    {
+                        break;
+                    }
+                    joins.push(self.join_bin(warm, rng));
+                }
+                (!joins.is_empty()).then_some(LiveEventKind::BinsJoined { joins })
+            }
+            ChurnEvent::Drain { count } => {
+                let mut drains = Vec::new();
+                for _ in 0..count {
+                    if self.membership.live_count() <= 1
+                        || self
+                            .dest
+                            .feasible(self.membership.live_count() - 1)
+                            .is_err()
+                    {
+                        break;
+                    }
+                    let victim = self
+                        .membership
+                        .live_at(rng.next_index(self.membership.live_count()));
+                    drains.push(self.drain_one(victim, rng));
+                }
+                (!drains.is_empty()).then_some(LiveEventKind::BinsDrained { drains })
+            }
+        }
+    }
+
+    /// Admit one bin at the next fresh id, warm-starting it when asked:
+    /// the newcomer steals `⌊m/live⌋` exchangeable balls (each uniform
+    /// among the balls currently outside it — one Fenwick rank draw per
+    /// steal, rejection-resampled if the rank lands on the newcomer
+    /// itself), which lands it at the post-join average.  Every resolved
+    /// draw is recorded in the [`JoinRecord`], so replay is RNG-free.
+    ///
+    /// Callers gate on [`ElasticDest::feasible`] first.
+    fn join_bin<R: Rng64 + ?Sized>(&mut self, warm: bool, rng: &mut R) -> JoinRecord {
+        let bin = self.membership.join();
+        let cfg_bin = self.cfg.push_bin();
+        debug_assert_eq!(bin, cfg_bin, "membership and load vector grow in lockstep");
+        let idx_bin = self.index.add_bin(0);
+        debug_assert_eq!(
+            bin, idx_bin,
+            "membership and Fenwick index grow in lockstep"
+        );
+        self.tracker.bin_joined(0);
+        if let Some(h) = &mut self.hetero {
+            // Joining bins run at the baseline speed with no balls; the
+            // autoscaler model has no channel to request a faster machine.
+            h.speeds.push(1);
+            h.total_speed += 1;
+            h.weights.push(0);
+            h.weight_index.add_bin(0);
+            h.rate_index.add_bin(0);
+            if let Some(balls) = &mut h.balls {
+                balls.push(Vec::new());
+            }
+        }
+        let record = *self.membership.log().last().expect("join just logged");
+        self.dest.apply(record, &self.membership);
+        self.counters.joins += 1;
+        let mut warm_from = Vec::new();
+        if warm {
+            let share = self.cfg.m() / self.membership.live_count() as u64;
+            for _ in 0..share {
+                let source = loop {
+                    let b = self.index.bin_at(rng.next_below(self.cfg.m()));
+                    if b != bin {
+                        break b;
+                    }
+                };
+                self.force_move(source, bin, rng);
+                warm_from.push(bin_u32(source));
+            }
+        }
+        JoinRecord {
+            bin: bin_u32(bin),
+            warm_from,
+        }
+    }
+
+    /// Drain and retire `victim`: every resident ball is relocated to a
+    /// uniformly random *surviving* live bin (one draw per ball, rejection-
+    /// resampled off the victim), then the slot retires at zero mass
+    /// (never reused).  The [`DrainRecord`] carries each destination in
+    /// draw order, so replay is RNG-free.
+    ///
+    /// Callers validate that `victim` is live, is not the last live bin,
+    /// and that [`ElasticDest::feasible`] accepts the shrunken live set.
+    fn drain_one<R: Rng64 + ?Sized>(&mut self, victim: usize, rng: &mut R) -> DrainRecord {
+        let mut moved_to = Vec::with_capacity(self.cfg.load(victim) as usize);
+        while self.cfg.load(victim) > 0 {
+            let dest = loop {
+                let d = self
+                    .membership
+                    .live_at(rng.next_index(self.membership.live_count()));
+                if d != victim {
+                    break d;
+                }
+            };
+            self.force_move(victim, dest, rng);
+            moved_to.push(bin_u32(dest));
+        }
+        self.membership.retire(victim);
+        self.tracker.bin_retired();
+        let leftover = self.index.retire_bin(victim);
+        debug_assert_eq!(leftover, 0, "drained bin retires at zero mass");
+        if let Some(h) = &mut self.hetero {
+            h.total_speed -= h.speeds[victim];
+            h.weight_index.retire_bin(victim);
+            h.rate_index.retire_bin(victim);
+        }
+        let record = *self.membership.log().last().expect("retire just logged");
+        self.dest.apply(record, &self.membership);
+        self.counters.drains += 1;
+        DrainRecord {
+            bin: bin_u32(victim),
+            moved_to,
+        }
+    }
+
+    /// Move one exchangeable ball from `source` to `dest` outside the ring
+    /// protocol (scale events: warm steals and drain relocations), keeping
+    /// config/tracker/index and the heterogeneity books in sync.  Not a
+    /// migration for counting purposes — the ball was forced, not
+    /// rebalanced.
+    fn force_move<R: Rng64 + ?Sized>(&mut self, source: usize, dest: usize, rng: &mut R) {
+        let picked = self.pick_ball(source, rng);
+        let (lf, lt) = (self.cfg.load(source), self.cfg.load(dest));
+        self.cfg
+            .apply(Move::new(source, dest))
+            .expect("forced move applies");
+        self.tracker.record_move(lf, lt);
+        self.index.record_move(source, dest);
+        if let Some(h) = &mut self.hetero {
+            let weight = match (&mut h.balls, picked) {
+                (Some(balls), Some(i)) => {
+                    let w = balls[source].swap_remove(i);
+                    balls[dest].push(w);
+                    w
+                }
+                _ => 1,
+            };
+            h.weights[source] -= weight;
+            h.weights[dest] += weight;
+            h.weight_index.sub(source, weight);
+            h.weight_index.add(dest, weight);
+            h.rate_index.sub(source, h.speeds[source]);
+            h.rate_index.add(dest, h.speeds[dest]);
         }
     }
 }

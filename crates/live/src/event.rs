@@ -9,6 +9,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One bin joining the live set, with every resolved random choice the
+/// warm start made (each entry of `warm_from` donated exactly one ball to
+/// the newcomer, in draw order) — so replay needs no random numbers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinRecord {
+    /// The freshly allocated bin id.
+    pub bin: u32,
+    /// Source bins that each gave one ball to the new bin (empty for a
+    /// cold join).
+    pub warm_from: Vec<u32>,
+}
+
+/// One bin leaving the live set: every resident ball was relocated to a
+/// surviving live bin (`moved_to`, in draw order) before the slot retired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainRecord {
+    /// The retiring bin id (the slot survives at load zero, never reused).
+    pub bin: u32,
+    /// Destination of each relocated ball, in draw order.
+    pub moved_to: Vec<u32>,
+}
+
 /// What happened at one event of the live process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LiveEventKind {
@@ -32,6 +54,19 @@ pub enum LiveEventKind {
         dest: u32,
         /// Whether the migration was performed.
         moved: bool,
+    },
+    /// A scale-out event: one or more bins joined the live set (flash
+    /// churn admits several per event).  Ball count is conserved — warm
+    /// joins *move* balls into the newcomer.
+    BinsJoined {
+        /// Every join of this event, in order.
+        joins: Vec<JoinRecord>,
+    },
+    /// A scale-in event: one or more live bins drained and retired.  Ball
+    /// count is conserved — residents are relocated, never dropped.
+    BinsDrained {
+        /// Every drain of this event, in order.
+        drains: Vec<DrainRecord>,
     },
 }
 
@@ -70,6 +105,14 @@ impl LiveEvent {
     /// Number of balls this event removed from the system.
     pub fn balls_removed(&self) -> u64 {
         matches!(self.kind, LiveEventKind::Departure { .. }) as u64
+    }
+
+    /// Whether this event changed the live bin set (a scale event).
+    pub fn is_scale_event(&self) -> bool {
+        matches!(
+            self.kind,
+            LiveEventKind::BinsJoined { .. } | LiveEventKind::BinsDrained { .. }
+        )
     }
 }
 
@@ -118,5 +161,47 @@ mod tests {
         assert_eq!(events, back);
         // Times must round-trip bit-exactly (replay depends on it).
         assert_eq!(back[1].time.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn scale_events_conserve_balls_and_round_trip() {
+        let join = LiveEvent {
+            seq: 3,
+            time: 2.25,
+            kind: LiveEventKind::BinsJoined {
+                joins: vec![JoinRecord {
+                    bin: 8,
+                    warm_from: vec![0, 3, 3],
+                }],
+            },
+        };
+        let drain = LiveEvent {
+            seq: 4,
+            time: 2.5,
+            kind: LiveEventKind::BinsDrained {
+                drains: vec![DrainRecord {
+                    bin: 1,
+                    moved_to: vec![2, 8],
+                }],
+            },
+        };
+        for event in [&join, &drain] {
+            assert_eq!(event.balls_added(), 0, "scale events conserve balls");
+            assert_eq!(event.balls_removed(), 0);
+            assert!(event.is_scale_event());
+            let json = serde_json::to_string(event).unwrap();
+            let back: LiveEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(event, &back);
+        }
+        let ring = LiveEvent {
+            seq: 5,
+            time: 3.0,
+            kind: LiveEventKind::Ring {
+                source: 0,
+                dest: 1,
+                moved: false,
+            },
+        };
+        assert!(!ring.is_scale_event());
     }
 }

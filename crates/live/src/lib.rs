@@ -61,7 +61,10 @@ pub use command::LiveCommand;
 pub use engine::{LiveCounters, LiveEngine, LiveParams};
 pub use event::{LiveEvent, LiveEventKind};
 pub use metrics::{LiveMetrics, ShardedMetrics};
-pub use observer::{LiveObserver, SteadyState, SteadySummary};
+pub use observer::{
+    LiveObserver, ReconvSummary, Reconvergence, SteadyState, SteadySummary,
+    DEFAULT_RECONV_THRESHOLD,
+};
 pub use replay::{replay, EventLog, LogFooter, LogHeader, Recorder, ReplayReport};
 pub use sharded::{ShardedEngine, ShardedOutcome};
 pub use snapshot::{HeteroSnapshot, Snapshot, SNAPSHOT_VERSION};

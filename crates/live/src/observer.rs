@@ -51,6 +51,19 @@ impl<O: LiveObserver> LiveObserver for Option<O> {
     }
 }
 
+/// A mutable reference observes through to its target, so two independently
+/// owned observers can be fanned out as `(&mut a, &mut b)`.
+impl<O: LiveObserver + ?Sized> LiveObserver for &mut O {
+    fn on_start(&mut self, tracker: &LoadTracker, time: f64) {
+        (**self).on_start(tracker, time);
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker) {
+        (**self).on_event(event, tracker);
+    }
+}
+
 /// Fan-out to two observers.
 impl<A: LiveObserver, B: LiveObserver> LiveObserver for (A, B) {
     fn on_start(&mut self, tracker: &LoadTracker, time: f64) {
@@ -239,8 +252,145 @@ impl LiveObserver for SteadyState {
                 LiveEventKind::Arrival { bins } => self.count(bins.len() as u64, 0, 0, 0),
                 LiveEventKind::Departure { .. } => self.count(0, 1, 0, 0),
                 LiveEventKind::Ring { moved, .. } => self.count(0, 0, 1, *moved as u64),
+                // Scale events conserve balls and are not protocol work:
+                // their forced relocations are costed by the re-convergence
+                // observer, not the steady-state work ratio.
+                LiveEventKind::BinsJoined { .. } | LiveEventKind::BinsDrained { .. } => {}
             }
         }
+    }
+}
+
+/// Serializable digest of the re-convergence times an elastic run saw.
+///
+/// Times are measured from each scale event (`BinsJoined`/`BinsDrained`)
+/// until the instantaneous gap first falls back to the threshold or below;
+/// a scale event landing while an earlier one is still unresolved restarts
+/// the clock (the system was never converged in between, so the composite
+/// disturbance is charged to the later event).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconvSummary {
+    /// Gap threshold that counts as "re-converged" (`gap ≤ threshold`).
+    pub threshold: f64,
+    /// Scale events observed.
+    pub scale_events: u64,
+    /// Scale events whose re-convergence completed inside the run.
+    pub reconverged: u64,
+    /// Mean time-to-re-converge over completed episodes (0 when none).
+    pub mean_time: f64,
+    /// Median time-to-re-converge (0 when none).
+    pub p50_time: f64,
+    /// Largest time-to-re-converge (0 when none).
+    pub max_time: f64,
+}
+
+impl ReconvSummary {
+    /// Whether every observed scale event re-converged inside the run.
+    pub fn all_reconverged(&self) -> bool {
+        self.reconverged == self.scale_events
+    }
+}
+
+/// Default re-convergence gap threshold: within one ball of the average.
+///
+/// The paper's Theorem 1 balanced state has every bin within a constant of
+/// the average load; "gap ≤ 1" is the tightest integral version of that and
+/// is what E24 and the serving layer report against.
+pub const DEFAULT_RECONV_THRESHOLD: f64 = 1.0;
+
+/// Measures time-to-re-converge after membership scale events.
+///
+/// Works from the event stream (as a [`LiveObserver`]) or directly via
+/// [`note_scale_event`](Self::note_scale_event) and
+/// [`observe_gap`](Self::observe_gap) — the sharded engine uses the latter
+/// at slice granularity.
+#[derive(Debug, Clone)]
+pub struct Reconvergence {
+    threshold: f64,
+    /// Time of the most recent scale event still awaiting re-convergence.
+    outstanding: Option<f64>,
+    times: Vec<f64>,
+    scale_events: u64,
+}
+
+impl Reconvergence {
+    /// Count the system as re-converged once `gap ≤ threshold`.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            outstanding: None,
+            times: Vec::new(),
+            scale_events: 0,
+        }
+    }
+
+    /// The configured gap threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Completed time-to-re-converge samples, in event order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The start time of the unresolved scale event, if any.
+    pub fn outstanding_since(&self) -> Option<f64> {
+        self.outstanding
+    }
+
+    /// A scale event landed at `time`: start (or restart) the clock.
+    pub fn note_scale_event(&mut self, time: f64) {
+        self.scale_events += 1;
+        self.outstanding = Some(time);
+    }
+
+    /// The instantaneous gap at `time` (post-event state).  Resolves the
+    /// outstanding episode when the gap is back inside the threshold.
+    pub fn observe_gap(&mut self, time: f64, gap: f64) {
+        if let Some(since) = self.outstanding {
+            if gap <= self.threshold {
+                self.times.push((time - since).max(0.0));
+                self.outstanding = None;
+            }
+        }
+    }
+
+    /// Summarize the episodes seen so far (the tracker keeps accumulating).
+    pub fn summary(&self) -> ReconvSummary {
+        let mut sorted = self.times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("reconvergence times are finite"));
+        let (mean, p50, max) = if sorted.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let sum: f64 = sorted.iter().sum();
+            (
+                sum / sorted.len() as f64,
+                sorted[(sorted.len() - 1) / 2],
+                sorted[sorted.len() - 1],
+            )
+        };
+        ReconvSummary {
+            threshold: self.threshold,
+            scale_events: self.scale_events,
+            reconverged: self.times.len() as u64,
+            mean_time: mean,
+            p50_time: p50,
+            max_time: max,
+        }
+    }
+}
+
+impl LiveObserver for Reconvergence {
+    fn on_event(&mut self, event: &LiveEvent, tracker: &LoadTracker) {
+        let (gap, _) = SteadyState::gap_and_overload(tracker);
+        if matches!(
+            event.kind,
+            LiveEventKind::BinsJoined { .. } | LiveEventKind::BinsDrained { .. }
+        ) {
+            self.note_scale_event(event.time);
+        }
+        self.observe_gap(event.time, gap);
     }
 }
 
@@ -340,6 +490,51 @@ mod tests {
         assert_eq!(summary.mean_gap, 0.0);
         assert_eq!(summary.max_overload, 0);
         assert_eq!(summary.moves_per_arrival, 0.0);
+    }
+
+    #[test]
+    fn reconvergence_measures_scale_event_to_threshold() {
+        let mut r = Reconvergence::new(1.0);
+        r.observe_gap(0.0, 5.0); // no episode outstanding: ignored
+        r.note_scale_event(2.0);
+        r.observe_gap(3.0, 4.0); // still above threshold
+        r.observe_gap(5.5, 0.5); // re-converged: 3.5 time units
+        r.observe_gap(6.0, 0.0); // no episode: ignored
+        let s = r.summary();
+        assert_eq!(s.scale_events, 1);
+        assert_eq!(s.reconverged, 1);
+        assert!(s.all_reconverged());
+        assert!((s.mean_time - 3.5).abs() < 1e-12);
+        assert_eq!(s.p50_time, s.max_time);
+    }
+
+    #[test]
+    fn overlapping_scale_events_restart_the_clock() {
+        let mut r = Reconvergence::new(0.0);
+        r.note_scale_event(1.0);
+        r.note_scale_event(4.0); // never converged in between: restart
+        r.observe_gap(6.0, 0.0);
+        let s = r.summary();
+        assert_eq!(s.scale_events, 2);
+        assert_eq!(s.reconverged, 1, "composite disturbance = one episode");
+        assert!((s.max_time - 2.0).abs() < 1e-12);
+        assert_eq!(r.outstanding_since(), None);
+    }
+
+    #[test]
+    fn unresolved_episode_reports_as_pending() {
+        let mut r = Reconvergence::new(0.5);
+        r.note_scale_event(3.0);
+        r.observe_gap(9.0, 2.0); // still above threshold at end of run
+        let s = r.summary();
+        assert_eq!(s.scale_events, 1);
+        assert_eq!(s.reconverged, 0);
+        assert!(!s.all_reconverged());
+        assert_eq!(s.mean_time, 0.0);
+        assert_eq!(r.outstanding_since(), Some(3.0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ReconvSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

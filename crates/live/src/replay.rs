@@ -211,6 +211,50 @@ fn apply(cfg: &mut Config, tracker: &mut LoadTracker, event: &LiveEvent) -> Resu
                 tracker.record_move(lf, lt);
             }
         }
+        // Scale events replay from their resolved records alone: the join
+        // id and every donor/destination draw are in the event, so no
+        // membership state or randomness is needed — just the moves.
+        LiveEventKind::BinsJoined { joins } => {
+            for join in joins {
+                let bin = cfg.push_bin();
+                if bin != join.bin as usize {
+                    return Err(format!(
+                        "join record allocates bin {} but the load vector is at {bin}",
+                        join.bin
+                    ));
+                }
+                tracker.bin_joined(0);
+                for &donor in &join.warm_from {
+                    let donor = donor as usize;
+                    let lf = load_checked(cfg, donor)?;
+                    let lt = cfg.load(bin);
+                    cfg.apply(Move::new(donor, bin))
+                        .map_err(|e| e.to_string())?;
+                    tracker.record_move(lf, lt);
+                }
+            }
+        }
+        LiveEventKind::BinsDrained { drains } => {
+            for drain in drains {
+                let victim = drain.bin as usize;
+                if load_checked(cfg, victim)? != drain.moved_to.len() as u64 {
+                    return Err(format!(
+                        "drain record relocates {} balls but bin {victim} holds {}",
+                        drain.moved_to.len(),
+                        cfg.load(victim)
+                    ));
+                }
+                for &dest in &drain.moved_to {
+                    let dest = dest as usize;
+                    let lf = load_checked(cfg, victim)?;
+                    let lt = load_checked(cfg, dest)?;
+                    cfg.apply(Move::new(victim, dest))
+                        .map_err(|e| e.to_string())?;
+                    tracker.record_move(lf, lt);
+                }
+                tracker.bin_retired();
+            }
+        }
     }
     Ok(())
 }

@@ -42,20 +42,27 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rls_core::RlsRule;
-use rls_core::{BinState, Config, HeteroRingContext, LoadIndex, RebalancePolicy, RingContext};
-use rls_graph::{DestSampler, Topology};
+use rls_core::{
+    BinState, Config, HeteroRingContext, LoadIndex, Membership, RebalancePolicy, RingContext,
+};
+use rls_graph::{ElasticDest, Topology};
 use rls_obs::Registry;
 use rls_rng::dist::{Distribution, Exponential};
 use rls_rng::{Rng64, RngExt, StreamFactory, StreamId};
 use rls_sim::parallel::parallel_map;
 
 use crate::event::bin_u32;
-use rls_workloads::{ArrivalProcess, WeightDist};
+use rls_workloads::{ArrivalProcess, ChurnEvent, ChurnProcess, WeightDist};
 
 use crate::engine::{LiveCounters, LiveParams};
 use crate::metrics::ShardedMetrics;
-use crate::observer::{SteadyState, SteadySummary};
+use crate::observer::{ReconvSummary, Reconvergence, SteadyState, SteadySummary};
 use crate::LiveError;
+
+/// Stream salt of the barrier churn RNG.  Distinct from the shard streams'
+/// `0xDA7A`, so superposing a (possibly silent) churn process can never
+/// perturb any shard's in-slice draws.
+const CHURN_SALT: u64 = 0xE1A5;
 
 /// One bin partition and its resident load.
 #[derive(Debug)]
@@ -68,6 +75,10 @@ struct Shard {
     /// O(log local_n) with no per-ball state (`index.total()` is the
     /// shard's ball count).
     index: LoadIndex,
+    /// Local offsets of the *live* owned bins, ascending — the arrival
+    /// placement support.  Identity (`0..len`) until the first scale
+    /// event, so churn-free placement draws are unchanged.
+    live_local: Vec<u32>,
     /// Weight/speed bookkeeping of the owned bins; `None` on unit engines.
     hetero: Option<ShardHetero>,
 }
@@ -123,6 +134,13 @@ pub struct ShardedOutcome {
     pub counters: LiveCounters,
     /// Steady-state summary (batch-boundary granularity).
     pub summary: SteadySummary,
+    /// Final membership epoch (0 without churn).
+    pub epoch: u64,
+    /// Live bins at the end of the run.
+    pub live_bins: usize,
+    /// Time-to-re-converge digest over the scale events of the run
+    /// (slice-boundary granularity; empty without churn).
+    pub reconv: ReconvSummary,
 }
 
 /// The deterministic batch-parallel engine.
@@ -134,9 +152,15 @@ pub struct ShardedEngine {
     params: LiveParams,
     /// The ring decision rule (enum-dispatched, shared by every shard).
     policy: RebalancePolicy,
-    /// Destination sampler (read-only; the CSR adjacency of a sparse
-    /// topology is built once and shared across the worker pool).
-    dest: DestSampler,
+    /// Destination sampler (read-only within a slice; the adjacency is
+    /// shared across the worker pool and patched only at barriers).
+    dest: ElasticDest,
+    /// The live bin set.  Mutated only in single-threaded barrier code, so
+    /// every shard reads one consistent membership per slice.
+    membership: Membership,
+    /// Scale-event process resolved at slice barriers (from a dedicated
+    /// RNG stream, so it never perturbs the shard streams).
+    churn: ChurnProcess,
     /// Weight/speed model; `None` is the classic unit engine.
     hetero: Option<SharedHetero>,
     seed: u64,
@@ -200,7 +224,7 @@ impl ShardedEngine {
     ) -> Result<Self, LiveError> {
         params.validate()?;
         policy.validate().map_err(LiveError::params)?;
-        let dest = DestSampler::build(topology, initial.n(), graph_seed)
+        let dest = ElasticDest::build(topology, initial.n(), graph_seed)
             .map_err(|e| LiveError::params(format!("topology `{topology}`: {e}")))?;
         // Only placement laws that factor across the bin partition can be
         // sharded: a hotspot targets one global bin, and a burst epoch
@@ -234,6 +258,7 @@ impl ShardedEngine {
             let loads: Vec<u64> = initial.loads()[bins.clone()].to_vec();
             let index = LoadIndex::from_loads(&loads);
             shard_vec.push(Mutex::new(Shard {
+                live_local: (0..len).map(bin_u32).collect(),
                 bins,
                 loads,
                 index,
@@ -248,6 +273,8 @@ impl ShardedEngine {
             params,
             policy,
             dest,
+            membership: Membership::new(n),
+            churn: ChurnProcess::None,
             hetero: None,
             seed,
             slice,
@@ -363,6 +390,43 @@ impl ShardedEngine {
         Ok(engine)
     }
 
+    /// Superpose a membership churn process, resolved at slice barriers.
+    ///
+    /// Not supported together with weights/speeds: a warm transfer or a
+    /// drain relocation would need the per-ball weight books gathered
+    /// globally, which the sharded barrier does not do (use the sequential
+    /// engine for heterogeneous churn studies).
+    pub fn set_churn(&mut self, churn: ChurnProcess) -> Result<(), LiveError> {
+        churn.validate().map_err(LiveError::params)?;
+        if self.hetero.is_some() && !churn.is_none() {
+            return Err(LiveError::params(
+                "membership churn is not supported on weighted/speed-aware sharded engines",
+            ));
+        }
+        self.churn = churn;
+        Ok(())
+    }
+
+    /// The live membership set.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The membership epoch (scale events applied so far).
+    pub fn epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Bins currently live.
+    pub fn live_count(&self) -> usize {
+        self.membership.live_count()
+    }
+
+    /// The churn process in force.
+    pub fn churn(&self) -> ChurnProcess {
+        self.churn
+    }
+
     /// Current simulation time.
     pub fn time(&self) -> f64 {
         self.time
@@ -394,10 +458,13 @@ impl ShardedEngine {
         let factory = StreamFactory::new(self.seed);
         let batch = self.batch;
         let slice = self.slice;
-        let n = self.published.len();
         let params = self.params;
         let policy = self.policy;
         let dest = &self.dest;
+        let membership = &self.membership;
+        // The ring/arrival laws run over the *live* bin count (equal to
+        // the capacity until the first scale event).
+        let live_n = membership.live_count();
         let published = &self.published;
         // The slice-start global population: what a distributed node could
         // actually know (the average-threshold policy reads it).
@@ -423,10 +490,11 @@ impl ShardedEngine {
                 published_m,
                 hetero,
                 published_weight_m,
-                n,
+                live_n,
                 params,
                 policy,
                 dest,
+                membership,
                 slice,
                 &mut rng,
             )
@@ -496,6 +564,13 @@ impl ShardedEngine {
                 w[shard.bins.clone()].copy_from_slice(&sh.weights);
             }
         }
+        // Membership churn resolves on the published global state, single-
+        // threaded, from its own RNG stream — the thread count can never
+        // touch it.  Shards are repartitioned over the new capacity before
+        // the next slice.
+        if !self.churn.is_none() {
+            self.resolve_barrier_churn();
+        }
         self.time = (self.batch + 1) as f64 * self.slice;
         self.batch += 1;
         if let Some(m) = &self.metrics {
@@ -509,17 +584,175 @@ impl ShardedEngine {
         events
     }
 
+    /// Resolve the churn candidates of the slice that just closed:
+    /// exponential candidate times under the constant majorant, each
+    /// thinned by [`ChurnProcess::decide`] at its in-slice time, applied in
+    /// draw order on the published global state.  Runs strictly
+    /// single-threaded between barriers, from a stream whose salt differs
+    /// from the shard streams' — thread-count invariance is structural.
+    fn resolve_barrier_churn(&mut self) {
+        let epoch_before = self.membership.epoch();
+        let mut rng = StreamFactory::new(self.seed).rng(StreamId {
+            trial: self.batch,
+            component: 0,
+            salt: CHURN_SALT,
+        });
+        let max_rate = self.churn.max_rate();
+        let slice_start = self.batch as f64 * self.slice;
+        let mut elapsed = 0.0f64;
+        loop {
+            elapsed += Exponential::new(max_rate)
+                .expect("positive churn majorant")
+                .sample(&mut rng);
+            if elapsed >= self.slice {
+                break;
+            }
+            let Some(event) = self.churn.decide(slice_start + elapsed, &mut rng) else {
+                continue; // thinned candidate: clock advanced, no event
+            };
+            match event {
+                ChurnEvent::Join { count, warm } => {
+                    for _ in 0..count {
+                        if self
+                            .dest
+                            .feasible(self.membership.live_count() + 1)
+                            .is_err()
+                        {
+                            break;
+                        }
+                        self.apply_barrier_join(warm, &mut rng);
+                    }
+                }
+                ChurnEvent::Drain { count } => {
+                    for _ in 0..count {
+                        if self.membership.live_count() <= 1
+                            || self
+                                .dest
+                                .feasible(self.membership.live_count() - 1)
+                                .is_err()
+                        {
+                            break;
+                        }
+                        self.apply_barrier_drain(&mut rng);
+                    }
+                }
+            }
+        }
+        if self.membership.epoch() != epoch_before {
+            self.repartition();
+        }
+    }
+
+    /// Admit one bin on the published state (the newcomer takes the next
+    /// id, growing the capacity).  A warm join steals `⌊m/live'⌋` balls,
+    /// each uniform among the balls currently outside the newcomer — the
+    /// same exchangeable-ball law as the sequential engine.
+    fn apply_barrier_join<R: Rng64 + ?Sized>(&mut self, warm: bool, rng: &mut R) {
+        let bin = self.membership.join();
+        debug_assert_eq!(bin, self.published.len(), "ids are allocation order");
+        self.published.push(0);
+        let record = *self.membership.log().last().expect("join just logged");
+        self.dest.apply(record, &self.membership);
+        self.counters.joins += 1;
+        if warm {
+            let m: u64 = self.published.iter().sum();
+            let share = m / self.membership.live_count() as u64;
+            if share > 0 {
+                let mut index = LoadIndex::from_loads(&self.published);
+                for _ in 0..share {
+                    // Rejection keeps each steal uniform over the balls
+                    // outside the newcomer (which accumulates mass as the
+                    // transfer proceeds).
+                    let source = loop {
+                        let b = index.bin_at(rng.next_below(m));
+                        if b != bin {
+                            break b;
+                        }
+                    };
+                    self.published[source] -= 1;
+                    index.decrement(source);
+                    self.published[bin] += 1;
+                    index.increment(bin);
+                }
+            }
+        }
+    }
+
+    /// Retire one uniformly random live bin, relocating each of its balls
+    /// to a uniform surviving live bin first (the drain law of the
+    /// sequential engine).
+    fn apply_barrier_drain<R: Rng64 + ?Sized>(&mut self, rng: &mut R) {
+        let live = self.membership.live_count();
+        let victim = self.membership.live_at(rng.next_index(live));
+        while self.published[victim] > 0 {
+            let dest = loop {
+                let d = self.membership.live_at(rng.next_index(live));
+                if d != victim {
+                    break d;
+                }
+            };
+            self.published[victim] -= 1;
+            self.published[dest] += 1;
+        }
+        self.membership.retire(victim);
+        let record = *self.membership.log().last().expect("retire just logged");
+        self.dest.apply(record, &self.membership);
+        self.counters.drains += 1;
+    }
+
+    /// Rebuild the shard partition over the current capacity (same
+    /// contiguous arithmetic as boot, so [`owner_of`](Self::owner_of)
+    /// stays consistent), refreshing loads, Fenwicks and live lists from
+    /// the published state.  Only reached on unit engines: churn is
+    /// rejected on weighted ones.
+    fn repartition(&mut self) {
+        let n = self.published.len();
+        let count = self.shards.len();
+        let per = n / count;
+        let extra = n % count;
+        let mut start = 0usize;
+        let mut rebuilt = Vec::with_capacity(count);
+        for s in 0..count {
+            let len = per + usize::from(s < extra);
+            let bins = start..start + len;
+            let loads: Vec<u64> = self.published[bins.clone()].to_vec();
+            let live_local: Vec<u32> = bins
+                .clone()
+                .filter(|&b| self.membership.is_live(b))
+                .map(|b| bin_u32(b - bins.start))
+                .collect();
+            rebuilt.push(Mutex::new(Shard {
+                index: LoadIndex::from_loads(&loads),
+                live_local,
+                bins,
+                loads,
+                hetero: None,
+            }));
+            start += len;
+        }
+        self.shards = rebuilt;
+    }
+
     /// Run until simulated time reaches `until` (rounded up to whole
     /// slices), collecting steady-state statistics after `warmup`.
     pub fn run(&mut self, until: f64, warmup: f64, threads: usize) -> ShardedOutcome {
         let mut steady = SteadyState::new(warmup);
-        let (gap, overload) = gap_and_overload(&self.published);
+        let mut reconv = Reconvergence::new(crate::observer::DEFAULT_RECONV_THRESHOLD);
+        let (gap, overload) = gap_and_overload(&self.published, &self.membership);
         steady.record(self.time, gap, overload);
         while self.time < until {
             let before = self.counters;
+            let epoch_before = self.membership.epoch();
             self.step_slice(threads);
-            let (gap, overload) = gap_and_overload(&self.published);
+            let (gap, overload) = gap_and_overload(&self.published, &self.membership);
             steady.record(self.time, gap, overload);
+            // Re-convergence at slice granularity: a slice with scale
+            // events arms (or restarts) the episode, and the post-barrier
+            // gap resolves it.
+            if self.membership.epoch() != epoch_before {
+                reconv.note_scale_event(self.time);
+            }
+            reconv.observe_gap(self.time, gap);
             let d = self.counters;
             steady.count(
                 d.arrivals - before.arrivals,
@@ -534,6 +767,9 @@ impl ShardedEngine {
             time: self.time,
             counters: self.counters,
             summary: steady.finish(self.time),
+            epoch: self.membership.epoch(),
+            live_bins: self.membership.live_count(),
+            reconv: reconv.summary(),
         }
     }
 
@@ -552,11 +788,20 @@ impl ShardedEngine {
     }
 }
 
-/// Time-averaged gap and overload of a global load vector.
-fn gap_and_overload(loads: &[u64]) -> (f64, u64) {
-    let n = loads.len() as u64;
-    let m: u64 = loads.iter().sum();
-    let max = loads.iter().copied().max().unwrap_or(0);
+/// Instantaneous gap and overload of a global load vector, over the
+/// *live* bins only (retired slots hold zero permanently and would
+/// otherwise deflate the average).  `u64` summation is exactly order-
+/// independent, and on a churn-free engine the live set is the dense
+/// `[0, n)` — so this is bit-identical to summing the whole vector there.
+fn gap_and_overload(loads: &[u64], membership: &Membership) -> (f64, u64) {
+    let n = membership.live_count() as u64;
+    let mut m = 0u64;
+    let mut max = 0u64;
+    for &id in membership.live_ids() {
+        let load = loads[id as usize];
+        m += load;
+        max = max.max(load);
+    }
     let avg = m as f64 / n as f64;
     let ceil_avg = m.div_ceil(n.max(1));
     ((max as f64 - avg).max(0.0), max.saturating_sub(ceil_avg))
@@ -570,15 +815,20 @@ fn run_slice<R: Rng64 + ?Sized>(
     published_m: u64,
     hetero: Option<&SharedHetero>,
     published_weight_m: u64,
-    n: usize,
+    live_n: usize,
     params: LiveParams,
     policy: RebalancePolicy,
-    dest_sampler: &DestSampler,
+    dest_sampler: &ElasticDest,
+    membership: &Membership,
     slice: f64,
     rng: &mut R,
 ) -> SliceResult {
-    let local_n = shard.bins.len();
-    let share = local_n as f64 / n as f64;
+    // Arrival share is live-over-live: a shard whose bins were all
+    // retired draws no arrivals.  On a churn-free engine `live_local` is
+    // the identity list, so both counts (and the resulting f64 division)
+    // are bit-identical to the pre-elastic `bins.len() / n`.
+    let local_live = shard.live_local.len();
+    let share = local_live as f64 / live_n as f64;
     let mut outbox = Vec::new();
     let mut delta = LiveCounters::default();
     let mut elapsed = 0.0f64;
@@ -593,7 +843,7 @@ fn run_slice<R: Rng64 + ?Sized>(
             None => resident,
         };
         let clock = clock_mass as f64;
-        let epoch_rate = params.arrivals.epoch_rate(n) * share;
+        let epoch_rate = params.arrivals.epoch_rate(live_n) * share;
         let total = epoch_rate + clock * params.service_rate + clock;
         if total <= 0.0 {
             break;
@@ -613,7 +863,9 @@ fn run_slice<R: Rng64 + ?Sized>(
         // where `pick` lands exactly on `total`).
         if resident == 0 || pick < epoch_rate {
             for _ in 0..params.arrivals.epoch_size() {
-                let offset = rng.next_index(local_n);
+                // Uniform over the shard's *live* bins (identity mapping
+                // until the first scale event).
+                let offset = shard.live_local[rng.next_index(local_live)] as usize;
                 let weight = match hetero {
                     Some(h) => h.dist.sample(rng),
                     None => 1,
@@ -686,7 +938,7 @@ fn run_slice<R: Rng64 + ?Sized>(
                 match (hetero, &shard.hetero) {
                     (Some(h), Some(sh)) => policy.decide_weighted(
                         HeteroRingContext {
-                            n,
+                            n: live_n,
                             total_weight: published_weight_m,
                             total_speed: h.total_speed,
                         },
@@ -696,7 +948,7 @@ fn run_slice<R: Rng64 + ?Sized>(
                             speed: h.speeds[source],
                         },
                         ball,
-                        || dest_sampler.sample(source, rng),
+                        || dest_sampler.sample(source, membership, rng),
                         |bin| BinState {
                             weight: if shard.bins.contains(&bin) {
                                 sh.weights[bin - shard.bins.start]
@@ -707,10 +959,13 @@ fn run_slice<R: Rng64 + ?Sized>(
                         },
                     ),
                     _ => policy.decide(
-                        RingContext { n, m: published_m },
+                        RingContext {
+                            n: live_n,
+                            m: published_m,
+                        },
                         source,
                         shard.loads[source_offset],
-                        || dest_sampler.sample(source, rng),
+                        || dest_sampler.sample(source, membership, rng),
                         |bin| {
                             if shard.bins.contains(&bin) {
                                 shard.loads[bin - shard.bins.start]
@@ -1008,5 +1263,110 @@ mod tests {
         assert_eq!(plain.counters, unit.counters);
         assert_eq!(plain.summary, unit.summary);
         assert_eq!(unit.final_weights.as_deref(), Some(&unit.final_loads[..]));
+    }
+
+    fn churned(n: usize, m: u64, shards: usize, seed: u64) -> ShardedEngine {
+        let mut engine = sharded(n, m, shards, seed);
+        engine
+            .set_churn(ChurnProcess::Steady {
+                join_rate: 0.4,
+                drain_rate: 0.3,
+                warm: true,
+            })
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn churn_resolves_identically_for_every_thread_count() {
+        // The tentpole invariant: membership scale events resolve at the
+        // barrier from their own stream, so the trajectory — including the
+        // epoch log and the re-convergence digest — is a pure function of
+        // the seed, at any thread count.
+        let out_1 = churned(16, 256, 4, 42).run(30.0, 5.0, 1);
+        let out_8 = churned(16, 256, 4, 42).run(30.0, 5.0, 8);
+        assert!(out_1.epoch > 0, "the churn process must actually fire");
+        assert_eq!(out_1.final_loads, out_8.final_loads);
+        assert_eq!(out_1.counters, out_8.counters);
+        assert_eq!(out_1.summary, out_8.summary);
+        assert_eq!(out_1.epoch, out_8.epoch);
+        assert_eq!(out_1.live_bins, out_8.live_bins);
+        assert_eq!(out_1.reconv, out_8.reconv);
+    }
+
+    #[test]
+    fn zero_churn_engines_run_the_pre_elastic_trajectory() {
+        // Installing no churn (the default) must leave the RNG schedule
+        // untouched: the churn stream is salted apart from the shard
+        // streams and only consulted when a process is set.
+        let plain = sharded(16, 256, 4, 42).run(30.0, 5.0, 4);
+        let mut none = sharded(16, 256, 4, 42);
+        none.set_churn(ChurnProcess::None).unwrap();
+        let none = none.run(30.0, 5.0, 4);
+        assert_eq!(plain.final_loads, none.final_loads);
+        assert_eq!(plain.counters, none.counters);
+        assert_eq!(plain.summary, none.summary);
+        assert_eq!(none.epoch, 0);
+        assert_eq!(none.reconv.scale_events, 0);
+    }
+
+    #[test]
+    fn conservation_and_membership_books_hold_across_scale_events() {
+        let mut engine = churned(16, 256, 4, 9);
+        let mut balls: i64 = 256;
+        for _ in 0..120 {
+            let before = engine.counters();
+            engine.step_slice(2);
+            let d = engine.counters();
+            balls += (d.arrivals - before.arrivals) as i64;
+            balls -= (d.departures - before.departures) as i64;
+            let total: u64 = engine.loads().iter().sum();
+            assert_eq!(total as i64, balls, "scale events must conserve balls");
+            // Capacity only grows; retired slots stay at zero mass.
+            let membership = engine.membership();
+            assert_eq!(engine.loads().len(), membership.capacity());
+            assert_eq!(membership.capacity(), 16 + engine.counters().joins as usize);
+            for (bin, &load) in engine.loads().iter().enumerate() {
+                if !membership.is_live(bin) {
+                    assert_eq!(load, 0, "retired bin {bin} holds mass");
+                }
+            }
+            // Shards repartition over the full capacity with correct
+            // live lists.
+            let covered: usize = engine
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().bins.len())
+                .sum();
+            assert_eq!(covered, membership.capacity());
+            for shard in &engine.shards {
+                let shard = shard.lock().unwrap();
+                for &offset in &shard.live_local {
+                    assert!(membership.is_live(shard.bins.start + offset as usize));
+                }
+                let live_here = shard
+                    .bins
+                    .clone()
+                    .filter(|&b| membership.is_live(b))
+                    .count();
+                assert_eq!(shard.live_local.len(), live_here);
+            }
+        }
+        assert!(engine.epoch() > 0, "the churn process must actually fire");
+    }
+
+    #[test]
+    fn churn_is_rejected_on_weighted_sharded_engines() {
+        let mut engine = weighted(16, 256, 4, 42);
+        let err = engine
+            .set_churn(ChurnProcess::Steady {
+                join_rate: 0.5,
+                drain_rate: 0.5,
+                warm: false,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+        // No churn is always acceptable.
+        engine.set_churn(ChurnProcess::None).unwrap();
     }
 }

@@ -20,26 +20,31 @@
 //!   `topology` (plus the `graph_seed` its adjacency was drawn from), and
 //!   the snapshot records all three so a restore rebuilds the identical
 //!   sampler.
-//! * **v4** ([`SNAPSHOT_VERSION`], current): heterogeneity — an optional
-//!   `hetero` section records the weight distribution, the per-bin speed
-//!   vector and (for non-unit distributions) the per-ball weights, so a
-//!   weighted/speed-aware engine restores bit-identically.  `hetero: null`
-//!   is the classic unit engine.  v1–v3 snapshots are **rejected with a
-//!   clear error** rather than silently reinterpreted (a v3 snapshot does
-//!   not say whether its engine was heterogeneity-capable); re-record them
-//!   by replaying the original seed on the current engine.
+//! * **v4** (PR 7): heterogeneity — an optional `hetero` section records
+//!   the weight distribution, the per-bin speed vector and (for non-unit
+//!   distributions) the per-ball weights, so a weighted/speed-aware engine
+//!   restores bit-identically.  `hetero: null` is the classic unit engine.
+//! * **v5** ([`SNAPSHOT_VERSION`], current): elastic membership — the
+//!   snapshot carries the **membership epoch log** (boot-time `n` plus
+//!   every bin join/retirement since) and the churn process, so a restore
+//!   replays the log through the elastic adjacency and reconstructs the
+//!   exact live set, mid-drain or mid-join.  v1–v4 snapshots are
+//!   **rejected with a clear error** rather than silently reinterpreted
+//!   (a v4 snapshot does not say which of its bins were live, and its
+//!   counters predate the scale-event counts); re-record them by replaying
+//!   the original seed on the current engine.
 
-use rls_core::{Config, RebalancePolicy};
+use rls_core::{Config, MembershipSnapshot, RebalancePolicy};
 use rls_graph::Topology;
 use rls_rng::Xoshiro256PlusPlus;
-use rls_workloads::WeightDist;
+use rls_workloads::{ChurnProcess, WeightDist};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{LiveCounters, LiveEngine, LiveParams};
 use crate::LiveError;
 
 /// Current snapshot format version (see the module docs for the history).
-pub const SNAPSHOT_VERSION: u32 = 4;
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// The heterogeneity section of a v4 [`Snapshot`]: everything needed to
 /// rebuild the weight/speed bookkeeping on top of the load vector.
@@ -79,6 +84,12 @@ pub struct Snapshot {
     pub counters: LiveCounters,
     /// Heterogeneity state (weights/speeds); `None` on unit engines.
     pub hetero: Option<HeteroSnapshot>,
+    /// The membership epoch log: boot-time bin count plus every scale
+    /// event since, in order.  Replaying it reconstructs the exact live
+    /// set and every elastic adjacency patch.
+    pub membership: MembershipSnapshot,
+    /// The churn process superposed into the event source.
+    pub churn: ChurnProcess,
     /// The caller's generator state (xoshiro256++).
     pub rng_state: [u64; 4],
 }
@@ -97,6 +108,8 @@ impl Snapshot {
             graph_seed: engine.graph_seed(),
             counters: engine.counters(),
             hetero: capture_hetero(engine),
+            membership: engine.membership().snapshot(),
+            churn: engine.churn(),
             rng_state: rng.state(),
         }
     }
@@ -120,6 +133,14 @@ impl Snapshot {
             .ok_or_else(|| LiveError::snapshot("snapshot must be a JSON object"))?;
         match object.get("version").and_then(|v| v.as_u64()) {
             Some(v) if v == SNAPSHOT_VERSION as u64 => {}
+            Some(4) => {
+                return Err(LiveError::snapshot(format!(
+                    "legacy v4 snapshot (pre-elastic membership): it records no membership \
+                     epoch log, so a restore cannot tell which bins were live or replay the \
+                     elastic adjacency patches; re-record the run with this build to produce \
+                     a version-{SNAPSHOT_VERSION} snapshot"
+                )))
+            }
             Some(3) => {
                 return Err(LiveError::snapshot(format!(
                     "legacy v3 snapshot (pre-heterogeneity): it does not record whether \
@@ -175,6 +196,8 @@ impl Snapshot {
             self.policy,
             self.topology,
             self.graph_seed,
+            self.membership.clone(),
+            self.churn,
             self.time,
             self.seq,
             self.counters,
@@ -347,6 +370,76 @@ mod tests {
             assert_eq!(straight.bin_weight(b), resumed.bin_weight(b));
             assert_eq!(straight.ball_weights(b), resumed.ball_weights(b));
         }
+    }
+
+    #[test]
+    fn elastic_engines_round_trip_through_snapshots_mid_churn() {
+        // An engine with live membership churn: bins join warm and drain
+        // mid-run.  Pausing between scale events (the membership log is
+        // non-trivial at capture), snapshotting through JSON and resuming
+        // must replay the epoch log exactly — same live set, same elastic
+        // adjacency, same trajectory, bit for bit.
+        let params =
+            LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 2.0 }, 16, 128).unwrap();
+        let build = || {
+            let mut engine = LiveEngine::with_policy(
+                Config::uniform(16, 8).unwrap(),
+                params,
+                RebalancePolicy::rls(),
+                Topology::Complete,
+                0x5EED,
+            )
+            .unwrap();
+            engine
+                .set_churn(ChurnProcess::Steady {
+                    join_rate: 0.6,
+                    drain_rate: 0.5,
+                    warm: true,
+                })
+                .unwrap();
+            engine
+        };
+        let mut straight = build();
+        let mut rng_a = rng_from_seed(23);
+        straight.run_until(30.0, &mut rng_a, &mut ());
+        assert!(straight.epoch() > 0, "the churn process must actually fire");
+
+        let mut paused = build();
+        let mut rng_b = rng_from_seed(23);
+        paused.run_until(12.0, &mut rng_b, &mut ());
+        assert!(
+            paused.epoch() > 0,
+            "the pause must land after at least one scale event"
+        );
+        let json = serde_json::to_string(&Snapshot::capture(&paused, &rng_b)).unwrap();
+        let snap = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap.membership.log.len() as u64, paused.epoch());
+        assert_eq!(
+            snap.churn,
+            ChurnProcess::Steady {
+                join_rate: 0.6,
+                drain_rate: 0.5,
+                warm: true,
+            }
+        );
+        let (mut resumed, mut rng_c) = snap.restore().unwrap();
+        assert_eq!(resumed.epoch(), paused.epoch());
+        assert_eq!(resumed.live_count(), paused.live_count());
+        assert_eq!(
+            resumed.membership().live_ids(),
+            paused.membership().live_ids()
+        );
+        resumed.run_until(30.0, &mut rng_c, &mut ());
+
+        assert_eq!(straight.config(), resumed.config());
+        assert_eq!(straight.counters(), resumed.counters());
+        assert_eq!(straight.epoch(), resumed.epoch());
+        assert_eq!(
+            straight.membership().live_ids(),
+            resumed.membership().live_ids()
+        );
+        assert_eq!(straight.time().to_bits(), resumed.time().to_bits());
+        assert_eq!(rng_a.state(), rng_c.state());
     }
 
     #[test]

@@ -243,3 +243,193 @@ proptest! {
         );
     }
 }
+
+/// One scripted *elastic* command: kind ∈ {arrive, depart, ring, add-bin,
+/// drain-bin} with a coordinate and pin/warm flag.
+fn elastic_command_strategy() -> impl Strategy<Value = (u8, u16, bool)> {
+    (0u8..5, 0u16..64, (0u8..2).prop_map(|b| b == 1))
+}
+
+type ElasticInstance = (Vec<u64>, usize, usize, u64, Vec<(u8, u16, bool)>);
+
+fn elastic_instance_strategy() -> impl Strategy<Value = ElasticInstance> {
+    (
+        prop::collection::vec(0u64..=20, 1..=12),
+        0..POLICIES.len(),
+        0..TOPOLOGIES.len(),
+        0u64..1 << 48,
+        prop::collection::vec(elastic_command_strategy(), 1..=60),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary interleavings of arrivals, departures, rings, bin joins
+    /// (cold and warm) and bin drains keep every book exact: the
+    /// incrementally-maintained `LoadIndex` (with `add_bin`/`retire_bin`
+    /// holes), the tracker aggregates, mass conservation (scale events
+    /// conserve balls), the retired-slots-stay-empty invariant and the
+    /// membership/capacity lockstep — cross-checked against from-scratch
+    /// rebuilds after the script, for every policy and topology shape.
+    #[test]
+    fn elastic_interleavings_preserve_load_index_invariants(
+        (loads, policy_idx, topo_idx, seed, script) in elastic_instance_strategy()
+    ) {
+        let policy = POLICIES[policy_idx];
+        let topology = TOPOLOGIES[topo_idx];
+        let initial = Config::from_loads(loads).unwrap();
+        let m0 = initial.m();
+        let params = LiveParams {
+            arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            service_rate: 0.5,
+        };
+        let mut engine =
+            LiveEngine::with_policy(initial, params, policy, topology, seed ^ 0x6AF1).unwrap();
+        let mut rng = rng_from_seed(seed);
+
+        let mut arrivals = 0u64;
+        let mut departures = 0u64;
+        for &(kind, coord, flag) in &script {
+            let n = engine.config().n(); // capacity grows with joins
+            let bin = flag.then_some(coord as usize % n);
+            let cmd = match kind {
+                // Pinned coordinates often land on retired bins — the
+                // rejection path (no state touched) is part of the
+                // invariant being checked.
+                0 => LiveCommand::Arrive { bin, weight: None },
+                1 => LiveCommand::Depart { bin, weight: None },
+                2 => LiveCommand::Ring { source: None, dest: None },
+                3 => LiveCommand::AddBin { warm: flag },
+                _ => LiveCommand::DrainBin { bin },
+            };
+            if let Ok(event) = engine.apply(&cmd, &mut rng) {
+                arrivals += event.balls_added();
+                if matches!(event.kind, rls_live::LiveEventKind::Departure { .. }) {
+                    departures += 1;
+                }
+            }
+
+            // Scale events conserve balls: only arrivals/departures move m.
+            prop_assert_eq!(engine.config().m(), m0 + arrivals - departures);
+            let membership = engine.membership();
+            // The tracker models the live multiset; the Fenwick index is
+            // capacity-wide with permanent zero-mass holes at retired ids.
+            prop_assert!(engine.tracker().matches_live(engine.config(), membership));
+            prop_assert!(engine.index().matches(engine.config()));
+            // Membership, load vector and Fenwick grow in lockstep.
+            prop_assert_eq!(membership.capacity(), engine.config().n());
+            prop_assert_eq!(membership.capacity(), engine.index().n());
+            prop_assert_eq!(membership.live_count(), engine.live_count());
+            // Retired slots hold zero mass forever.
+            for b in 0..engine.config().n() {
+                if !membership.is_live(b) {
+                    prop_assert_eq!(engine.config().load(b), 0, "retired bin {} has load", b);
+                }
+            }
+            // The epoch is exactly the membership log length.
+            prop_assert_eq!(engine.epoch(), membership.log().len() as u64);
+        }
+
+        // Rank-descent agreement with an index rebuilt from the final
+        // (hole-carrying) load vector.
+        let rebuilt = LoadIndex::from_loads(engine.config().loads());
+        prop_assert_eq!(engine.index().total(), rebuilt.total());
+        let total = rebuilt.total();
+        let mut rank = 0u64;
+        while rank < total {
+            prop_assert_eq!(engine.index().bin_at(rank), rebuilt.bin_at(rank));
+            rank += 1 + total / 17;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same elastic interleavings on a *heterogeneous* engine: joins
+    /// push baseline-speed slots onto the weight and rate-mass Fenwicks,
+    /// drains retire them, and after every command all three trees agree
+    /// with brute-force rebuilds from the public accessors.
+    #[test]
+    fn weighted_elastic_interleavings_preserve_all_fenwick_invariants(
+        ((bins, dist_idx), policy_idx, topo_idx, seed, script) in (
+            (
+                prop::collection::vec((0u64..=12, 1u64..=4), 1..=10),
+                0..DISTS.len(),
+            ),
+            0..POLICIES.len(),
+            0..TOPOLOGIES.len(),
+            0u64..1 << 48,
+            prop::collection::vec(elastic_command_strategy(), 1..=50),
+        )
+    ) {
+        let policy = POLICIES[policy_idx];
+        let topology = TOPOLOGIES[topo_idx];
+        let dist = DISTS[dist_idx];
+        let loads: Vec<u64> = bins.iter().map(|&(l, _)| l).collect();
+        let speeds: Vec<u64> = bins.iter().map(|&(_, s)| s).collect();
+        let initial = Config::from_loads(loads).unwrap();
+        let params = LiveParams {
+            arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            service_rate: 0.5,
+        };
+        let mut engine = LiveEngine::with_hetero(
+            initial,
+            params,
+            policy,
+            topology,
+            seed ^ 0x6AF1,
+            dist,
+            speeds,
+            &mut rng_from_seed(seed ^ 0x11),
+        )
+        .unwrap();
+        let mut rng = rng_from_seed(seed);
+
+        for &(kind, coord, flag) in &script {
+            let n = engine.config().n();
+            let bin = flag.then_some(coord as usize % n);
+            let cmd = match kind {
+                0 => LiveCommand::Arrive { bin: None, weight: None },
+                1 => LiveCommand::Depart { bin, weight: None },
+                2 => LiveCommand::Ring { source: None, dest: None },
+                3 => LiveCommand::AddBin { warm: flag },
+                _ => LiveCommand::DrainBin { bin },
+            };
+            let _ = engine.apply(&cmd, &mut rng);
+
+            let membership = engine.membership();
+            prop_assert!(engine.tracker().matches_live(engine.config(), membership));
+            prop_assert!(engine.index().matches(engine.config()));
+            prop_assert!(engine.hetero_matches());
+            for b in 0..engine.config().n() {
+                if !membership.is_live(b) {
+                    prop_assert_eq!(engine.config().load(b), 0);
+                    prop_assert_eq!(engine.bin_weight(b), 0);
+                }
+            }
+        }
+
+        // Brute-force rebuilds of all three Fenwicks over the final
+        // hole-carrying vectors (retired slots contribute zero).
+        let n = engine.config().n();
+        let weights: Vec<u64> = (0..n).map(|b| engine.bin_weight(b)).collect();
+        let rates: Vec<u64> = (0..n)
+            .map(|b| engine.config().load(b) * engine.speed(b))
+            .collect();
+        for (live, rebuilt) in [
+            (engine.index(), LoadIndex::from_loads(engine.config().loads())),
+            (engine.weight_index().unwrap(), LoadIndex::from_loads(&weights)),
+            (engine.rate_index().unwrap(), LoadIndex::from_loads(&rates)),
+        ] {
+            prop_assert_eq!(live.total(), rebuilt.total());
+            let total = rebuilt.total();
+            let mut rank = 0u64;
+            while rank < total {
+                prop_assert_eq!(live.bin_at(rank), rebuilt.bin_at(rank));
+                rank += 1 + total / 17;
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! load generator and the end-to-end tests.  `docs/SERVE.md` documents
 //! the same surface with curl examples.
 
-use rls_live::{LiveCounters, SteadySummary};
+use rls_live::{LiveCounters, ReconvSummary, SteadySummary};
 use serde::{Deserialize, Serialize};
 
 /// Body of `POST /v1/arrive` (may be omitted entirely).
@@ -93,6 +93,78 @@ pub struct RingReply {
     pub seq: u64,
 }
 
+/// Body of `POST /v1/bins/add` (may be omitted entirely).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddBinRequest {
+    /// `true` seeds the newcomer with `⌊m/n'⌋` balls stolen uniformly from
+    /// the rest of the system (the exchangeable-ball law); omit or `false`
+    /// to admit it empty.
+    pub warm: Option<bool>,
+}
+
+/// Reply of `POST /v1/bins/add`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddBinReply {
+    /// Id of the new bin (monotone — retired ids are never reused).
+    pub bin: usize,
+    /// Live bins after the join.
+    pub live_bins: usize,
+    /// Membership epoch after the join.
+    pub epoch: u64,
+    /// Balls moved into the newcomer by the warm transfer (`0` when cold).
+    pub warmed: u64,
+    /// Population (unchanged — joins conserve balls).
+    pub m: u64,
+    /// Engine clock after the event.
+    pub time: f64,
+    /// Events processed so far.
+    pub seq: u64,
+}
+
+/// Body of `POST /v1/bins/drain` (may be omitted entirely).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainBinRequest {
+    /// Bin to drain and retire; omit to retire a uniformly random live bin.
+    pub bin: Option<usize>,
+}
+
+/// Reply of `POST /v1/bins/drain`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainBinReply {
+    /// Id of the retired bin.
+    pub bin: usize,
+    /// Live bins after the drain.
+    pub live_bins: usize,
+    /// Membership epoch after the drain.
+    pub epoch: u64,
+    /// Balls relocated off the victim before retirement.
+    pub relocated: u64,
+    /// Population (unchanged — drains conserve balls).
+    pub m: u64,
+    /// Engine clock after the event.
+    pub time: f64,
+    /// Events processed so far.
+    pub seq: u64,
+}
+
+/// Elastic-membership digest inside [`StatsReply`].  Present on every
+/// server: a never-scaled instance reports epoch `0` with all bins live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticStats {
+    /// Membership epoch (scale events applied since boot).
+    pub epoch: u64,
+    /// Bins currently live (serving load).
+    pub live_bins: usize,
+    /// Total bin ids ever allocated (live + retired).
+    pub capacity: usize,
+    /// Bins joined since boot (or the last restore).
+    pub joins: u64,
+    /// Bins drained since boot (or the last restore).
+    pub drains: u64,
+    /// Time-to-re-converge digest over the scale events seen so far.
+    pub reconvergence: ReconvSummary,
+}
+
 /// The engine's boot identity, echoed by `GET /v1/stats` and the replay
 /// driver so operators can verify two servers (or a server and an offline
 /// core) are running like-for-like instances before comparing digests.
@@ -143,6 +215,8 @@ pub struct StatsReply {
     pub counters: LiveCounters,
     /// Heterogeneity digest; `null` on unit servers.
     pub hetero: Option<HeteroStats>,
+    /// Elastic-membership digest (epoch, live set, re-convergence times).
+    pub elastic: ElasticStats,
     /// The engine's boot identity (seed, shape, policy, topology).
     pub identity: BootIdentity,
 }

@@ -11,13 +11,15 @@
 use std::sync::Arc;
 
 use rls_live::{
-    LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Snapshot, SteadyState, SNAPSHOT_VERSION,
+    LiveCommand, LiveEngine, LiveEventKind, LiveObserver, Reconvergence, Snapshot, SteadyState,
+    SNAPSHOT_VERSION,
 };
 use rls_obs::Registry;
 use rls_rng::{rng_from_seed, DefaultRng};
 
 use crate::api::{
-    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply, HeteroStats,
+    AddBinReply, AddBinRequest, ArriveReply, ArriveRequest, BootIdentity, DepartReply,
+    DepartRequest, DrainBinReply, DrainBinRequest, ElasticStats, HealthReply, HeteroStats,
     RestoreReply, RingReply, RingRequest, StatsReply,
 };
 use crate::metrics::ServeMetrics;
@@ -26,6 +28,12 @@ use crate::ServeError;
 /// Upper bound on explicit `rings` in one request: a single request must
 /// stay O(small) on the engine thread.
 pub const MAX_RINGS_PER_REQUEST: u64 = 10_000;
+
+/// Gap threshold at which a scale event counts as re-converged: the
+/// fullest live bin is back within one ball of the average, the same
+/// "balanced up to a constant" state the paper's Theorem 1 bounds the
+/// convergence time to.
+pub const RECONV_GAP_THRESHOLD: f64 = 1.0;
 
 /// How the server rebalances on its own.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +76,9 @@ pub struct ServeCore {
     engine: LiveEngine,
     rng: DefaultRng,
     steady: SteadyState,
+    /// Time-to-re-converge tracker fed alongside the steady-state observer
+    /// (armed by `/v1/bins/*`, reported by `/v1/stats`).
+    reconv: Reconvergence,
     policy: ServePolicy,
     /// Warm-up (engine-time units) excluded from the stats window; kept so
     /// a restore can re-arm the observer the same way.
@@ -91,6 +102,7 @@ impl ServeCore {
             engine,
             rng: rng_from_seed(seed),
             steady,
+            reconv: Reconvergence::new(RECONV_GAP_THRESHOLD),
             policy,
             warmup,
             identity,
@@ -175,7 +187,7 @@ impl ServeCore {
                     weight,
                 },
                 &mut self.rng,
-                &mut self.steady,
+                &mut (&mut self.steady, &mut self.reconv),
             )
             .map_err(|e| ServeError::conflict(e.to_string()))?;
         let bin = match &event.kind {
@@ -194,7 +206,7 @@ impl ServeCore {
                         dest: None,
                     },
                     &mut self.rng,
-                    &mut self.steady,
+                    &mut (&mut self.steady, &mut self.reconv),
                 )
                 .map_err(|e| ServeError::internal(e.to_string()))?;
             if matches!(ring.kind, LiveEventKind::Ring { moved: true, .. }) {
@@ -224,7 +236,7 @@ impl ServeCore {
                     weight: None,
                 },
                 &mut self.rng,
-                &mut self.steady,
+                &mut (&mut self.steady, &mut self.reconv),
             )
             .map_err(|e| ServeError::conflict(e.to_string()))?;
         let bin = match event.kind {
@@ -251,7 +263,7 @@ impl ServeCore {
                     dest: req.dest,
                 },
                 &mut self.rng,
-                &mut self.steady,
+                &mut (&mut self.steady, &mut self.reconv),
             )
             .map_err(|e| ServeError::conflict(e.to_string()))?;
         let (source, dest, moved) = match event.kind {
@@ -272,11 +284,79 @@ impl ServeCore {
         })
     }
 
+    /// `POST /v1/bins/add` — admit one bin (empty, or warmed by the
+    /// exchangeable-ball transfer) and advance the membership epoch.
+    pub fn add_bin(&mut self, req: &AddBinRequest) -> Result<AddBinReply, ServeError> {
+        let event = self
+            .engine
+            .apply_with(
+                &LiveCommand::AddBin {
+                    warm: req.warm.unwrap_or(false),
+                },
+                &mut self.rng,
+                &mut (&mut self.steady, &mut self.reconv),
+            )
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        let (bin, warmed) = match &event.kind {
+            LiveEventKind::BinsJoined { joins } => {
+                (joins[0].bin as usize, joins[0].warm_from.len() as u64)
+            }
+            _ => unreachable!("add-bin commands yield join events"),
+        };
+        Ok(AddBinReply {
+            bin,
+            live_bins: self.engine.live_count(),
+            epoch: self.engine.epoch(),
+            warmed,
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            seq: self.engine.counters().events,
+        })
+    }
+
+    /// `POST /v1/bins/drain` — relocate every ball off a bin (pinned, or a
+    /// uniformly random live one) and retire it from the live set.
+    pub fn drain_bin(&mut self, req: &DrainBinRequest) -> Result<DrainBinReply, ServeError> {
+        self.check_bin("drain", req.bin)?;
+        let event = self
+            .engine
+            .apply_with(
+                &LiveCommand::DrainBin { bin: req.bin },
+                &mut self.rng,
+                &mut (&mut self.steady, &mut self.reconv),
+            )
+            .map_err(|e| ServeError::conflict(e.to_string()))?;
+        let (bin, relocated) = match &event.kind {
+            LiveEventKind::BinsDrained { drains } => {
+                (drains[0].bin as usize, drains[0].moved_to.len() as u64)
+            }
+            _ => unreachable!("drain-bin commands yield drain events"),
+        };
+        Ok(DrainBinReply {
+            bin,
+            live_bins: self.engine.live_count(),
+            epoch: self.engine.epoch(),
+            relocated,
+            m: self.engine.config().m(),
+            time: self.engine.time(),
+            seq: self.engine.counters().events,
+        })
+    }
+
     /// `GET /v1/stats` — instantaneous state plus the steady-state digest
     /// of the window so far (the observer keeps accumulating afterwards).
     pub fn stats(&self) -> StatsReply {
         let tracker = self.engine.tracker();
         let gap = (tracker.max_load() as f64 - tracker.average()).max(0.0);
+        let counters = self.engine.counters();
+        let elastic = ElasticStats {
+            epoch: self.engine.epoch(),
+            live_bins: self.engine.live_count(),
+            capacity: self.engine.config().n(),
+            joins: counters.joins,
+            drains: counters.drains,
+            reconvergence: self.reconv.summary(),
+        };
         StatsReply {
             n: tracker.n(),
             m: tracker.m(),
@@ -284,8 +364,9 @@ impl ServeCore {
             gap,
             max_load: tracker.max_load(),
             summary: self.steady.clone().finish(self.engine.time()),
-            counters: self.engine.counters(),
+            counters,
             hetero: hetero_stats(&self.engine),
+            elastic,
             identity: self.identity.clone(),
         }
     }
@@ -325,6 +406,9 @@ impl ServeCore {
         self.steady = SteadyState::new(self.engine.time() + self.warmup);
         self.steady
             .on_start(self.engine.tracker(), self.engine.time());
+        // Re-convergence episodes do not survive a restore: the window (and
+        // any outstanding scale event) belongs to the run that recorded it.
+        self.reconv = Reconvergence::new(RECONV_GAP_THRESHOLD);
         // Re-derive the identity from the restored engine; the boot seed
         // is kept for provenance (the RNG now comes from the snapshot).
         self.identity = identity_of(&self.engine, self.identity.seed);
@@ -375,15 +459,26 @@ fn hetero_stats(engine: &LiveEngine) -> Option<HeteroStats> {
     if !engine.is_hetero() {
         return None;
     }
-    let n = engine.config().n();
-    let speeds: Vec<u64> = (0..n).map(|b| engine.speed(b)).collect();
-    let mut norms: Vec<f64> = (0..n).map(|b| engine.normalized_load(b)).collect();
+    // Percentiles and the optimality interval range over the *live* bins
+    // only: a retired slot reports normalized load 0 and its machine is
+    // gone, so capacity-wide iteration would deflate p50 after a drain and
+    // hand the makespan bound speeds no assignment can use.
+    let live: Vec<usize> = engine
+        .membership()
+        .live_ids()
+        .iter()
+        .map(|&b| b as usize)
+        .collect();
+    let n = live.len();
+    let speeds: Vec<u64> = live.iter().map(|&b| engine.speed(b)).collect();
+    let mut norms: Vec<f64> = live.iter().map(|&b| engine.normalized_load(b)).collect();
     norms.sort_by(|a, b| a.partial_cmp(b).expect("normalized loads are finite"));
     let at = |p: f64| norms[((n - 1) as f64 * p).round() as usize];
 
     let bound = if engine.stores_ball_weights() {
-        let weights: Vec<u64> = (0..n)
-            .flat_map(|b| engine.ball_weights(b).expect("weighted engine").iter())
+        let weights: Vec<u64> = live
+            .iter()
+            .flat_map(|&b| engine.ball_weights(b).expect("weighted engine").iter())
             .copied()
             .collect();
         rls_analysis::makespan_bound(&weights, &speeds)

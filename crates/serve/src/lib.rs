@@ -53,11 +53,12 @@ pub mod metrics;
 pub mod server;
 
 pub use api::{
-    ArriveReply, ArriveRequest, BootIdentity, DepartReply, DepartRequest, HealthReply, HeteroStats,
+    AddBinReply, AddBinRequest, ArriveReply, ArriveRequest, BootIdentity, DepartReply,
+    DepartRequest, DrainBinReply, DrainBinRequest, ElasticStats, HealthReply, HeteroStats,
     RestoreReply, RingReply, RingRequest, StatsReply,
 };
 pub use client::HttpClient;
-pub use core::{ServeCore, ServePolicy};
+pub use core::{ServeCore, ServePolicy, RECONV_GAP_THRESHOLD};
 pub use loadgen::{
     core_from_log, drive, replay_over_http, BenchOptions, BenchReport, DriveMode, ReplayOutcome,
 };

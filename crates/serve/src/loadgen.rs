@@ -437,6 +437,23 @@ pub fn replay_over_http(addr: SocketAddr, log: &EventLog) -> Result<ReplayOutcom
                 }
                 requests += 1;
             }
+            // Scale events re-issue the admin command; the server resolves
+            // its own relocation draws, so only cold joins and already-empty
+            // drains replay load-exactly over HTTP (the offline `replay`
+            // path is the bit-exact one — it applies the recorded draws).
+            LiveEventKind::BinsJoined { joins } => {
+                for _ in joins {
+                    client.request_ok("POST", "/v1/bins/add", b"{\"warm\": false}")?;
+                    requests += 1;
+                }
+            }
+            LiveEventKind::BinsDrained { drains } => {
+                for drain in drains {
+                    let body = format!("{{\"bin\": {}}}", drain.bin);
+                    client.request_ok("POST", "/v1/bins/drain", body.as_bytes())?;
+                    requests += 1;
+                }
+            }
         }
     }
 

@@ -13,8 +13,18 @@ use std::sync::Arc;
 use rls_obs::{Counter, FlightRecorder, Histogram, Registry, ShardedCounter};
 
 /// Endpoint labels, in classification order ([`endpoint_index`]).
-pub const ENDPOINTS: [&str; 10] = [
-    "arrive", "depart", "ring", "stats", "snapshot", "restore", "healthz", "metrics", "flight",
+pub const ENDPOINTS: [&str; 12] = [
+    "arrive",
+    "depart",
+    "ring",
+    "stats",
+    "snapshot",
+    "restore",
+    "healthz",
+    "metrics",
+    "flight",
+    "bins-add",
+    "bins-drain",
     "other",
 ];
 
@@ -55,6 +65,10 @@ pub mod flight_kind {
     pub const RESTORE: u64 = 6;
     /// `GET /healthz`.
     pub const HEALTH: u64 = 7;
+    /// `POST /v1/bins/add`.
+    pub const BIN_ADD: u64 = 8;
+    /// `POST /v1/bins/drain`.
+    pub const BIN_DRAIN: u64 = 9;
 
     /// Human-readable name of a kind code (for the flight dump).
     pub fn name(kind: u64) -> &'static str {
@@ -66,6 +80,8 @@ pub mod flight_kind {
             SNAPSHOT => "snapshot",
             RESTORE => "restore",
             HEALTH => "health",
+            BIN_ADD => "bin-add",
+            BIN_DRAIN => "bin-drain",
             _ => "unknown",
         }
     }
@@ -230,8 +246,10 @@ pub fn endpoint_index(path: &str) -> usize {
         "/healthz" => 6,
         "/v1/metrics" => 7,
         "/v1/debug/flight" => 8,
+        "/v1/bins/add" => 9,
+        "/v1/bins/drain" => 10,
         p if p.starts_with("/v1/depart/") => 1,
-        _ => 9,
+        _ => 11,
     }
 }
 

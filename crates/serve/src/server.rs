@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use rls_live::Snapshot;
 
-use crate::api::{ArriveRequest, DepartRequest, RingRequest};
+use crate::api::{AddBinRequest, ArriveRequest, DepartRequest, DrainBinRequest, RingRequest};
 use crate::core::ServeCore;
 use crate::http::{self, MessageReader};
 use crate::metrics::{endpoint_index, flight_kind, ServeMetrics, FLIGHT_NONE};
@@ -60,6 +60,8 @@ enum EngineCmd {
     Arrive(ArriveRequest),
     Depart(DepartRequest),
     Ring(RingRequest),
+    AddBin(AddBinRequest),
+    DrainBin(DrainBinRequest),
     Stats,
     Snapshot,
     Restore(Box<Snapshot>),
@@ -253,6 +255,12 @@ fn flight_coords(cmd: &EngineCmd) -> (u64, u64, u64) {
         EngineCmd::Snapshot => (flight_kind::SNAPSHOT, FLIGHT_NONE, FLIGHT_NONE),
         EngineCmd::Restore(_) => (flight_kind::RESTORE, FLIGHT_NONE, FLIGHT_NONE),
         EngineCmd::Health => (flight_kind::HEALTH, FLIGHT_NONE, FLIGHT_NONE),
+        EngineCmd::AddBin(req) => (
+            flight_kind::BIN_ADD,
+            req.warm.unwrap_or(false) as u64,
+            FLIGHT_NONE,
+        ),
+        EngineCmd::DrainBin(req) => (flight_kind::BIN_DRAIN, coord(req.bin), FLIGHT_NONE),
     }
 }
 
@@ -269,6 +277,8 @@ fn execute(core: &mut ServeCore, cmd: &EngineCmd) -> EngineReply {
         EngineCmd::Snapshot => Ok(core.snapshot_json()),
         EngineCmd::Restore(snapshot) => core.restore(snapshot).map(|r| to_json(&r)),
         EngineCmd::Health => Ok(to_json(&core.health())),
+        EngineCmd::AddBin(req) => core.add_bin(req).map(|r| to_json(&r)),
+        EngineCmd::DrainBin(req) => core.drain_bin(req).map(|r| to_json(&r)),
     }
 }
 
@@ -523,6 +533,14 @@ fn route(method: &str, path: &str, body: &[u8]) -> Result<Routed, ServeError> {
             engine(EngineCmd::Depart(DepartRequest { bin: Some(bin) }))
         }
         ("POST", "/v1/ring") => engine(EngineCmd::Ring(body_or_default!(RingRequest, "ring"))),
+        ("POST", "/v1/bins/add") => engine(EngineCmd::AddBin(body_or_default!(
+            AddBinRequest,
+            "bin-add"
+        ))),
+        ("POST", "/v1/bins/drain") => engine(EngineCmd::DrainBin(body_or_default!(
+            DrainBinRequest,
+            "bin-drain"
+        ))),
         ("GET", "/v1/stats") => engine(EngineCmd::Stats),
         ("GET", "/v1/snapshot") => engine(EngineCmd::Snapshot),
         ("POST", "/v1/restore") => {
@@ -538,7 +556,7 @@ fn route(method: &str, path: &str, body: &[u8]) -> Result<Routed, ServeError> {
         (
             _,
             "/v1/arrive" | "/v1/depart" | "/v1/ring" | "/v1/restore" | "/v1/stats" | "/v1/snapshot"
-            | "/healthz" | "/v1/metrics" | "/v1/debug/flight",
+            | "/healthz" | "/v1/metrics" | "/v1/debug/flight" | "/v1/bins/add" | "/v1/bins/drain",
         ) => Err(ServeError::method_not_allowed(method, path)),
         // The path-param depart route also exists for exactly one method.
         (_, p) if p.starts_with("/v1/depart/") => Err(ServeError::method_not_allowed(method, path)),
@@ -587,6 +605,18 @@ mod tests {
             route("GET", "/healthz", b"").unwrap(),
             Routed::Engine(EngineCmd::Health)
         ));
+        assert!(matches!(
+            route("POST", "/v1/bins/add", br#"{"warm": true}"#).unwrap(),
+            Routed::Engine(EngineCmd::AddBin(AddBinRequest { warm: Some(true) }))
+        ));
+        assert!(matches!(
+            route("POST", "/v1/bins/drain", br#"{"bin": 3}"#).unwrap(),
+            Routed::Engine(EngineCmd::DrainBin(DrainBinRequest { bin: Some(3) }))
+        ));
+        assert!(matches!(
+            route("POST", "/v1/bins/drain", b"").unwrap(),
+            Routed::Engine(EngineCmd::DrainBin(DrainBinRequest { bin: None }))
+        ));
         // Telemetry endpoints are answered on the worker, not the engine.
         assert!(matches!(
             route("GET", "/v1/metrics", b"").unwrap(),
@@ -603,6 +633,8 @@ mod tests {
         assert_eq!(route("GET", "/v1/arrive", b"").unwrap_err().status, 405);
         assert_eq!(route("POST", "/v1/stats", b"").unwrap_err().status, 405);
         assert_eq!(route("POST", "/v1/metrics", b"").unwrap_err().status, 405);
+        assert_eq!(route("GET", "/v1/bins/add", b"").unwrap_err().status, 405);
+        assert_eq!(route("GET", "/v1/bins/drain", b"").unwrap_err().status, 405);
         assert_eq!(
             route("DELETE", "/v1/debug/flight", b"").unwrap_err().status,
             405

@@ -371,7 +371,7 @@ fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
     assert_eq!(over_http.identity.policy, "greedy-2");
     assert_eq!(over_http.identity.topology, "torus");
     assert_eq!(over_http.identity.seed, seed);
-    assert_eq!(over_http.identity.snapshot_version, 4);
+    assert_eq!(over_http.identity.snapshot_version, 5);
 
     // Pinned rings respect the torus adjacency over the wire: bins 0 and
     // 5 are diagonal neighbours-of-neighbours, not adjacent.
@@ -392,7 +392,7 @@ fn greedy_on_torus_serves_end_to_end_bit_equal_to_offline() {
 }
 
 #[test]
-fn snapshot_v4_round_trips_across_policy_servers() {
+fn snapshot_v5_round_trips_across_policy_servers() {
     // A snapshot taken from a greedy-2/torus server restores onto a
     // second server (booted with a different seed and policy history) and
     // both continue bit-identically: the snapshot carries policy,
@@ -404,7 +404,7 @@ fn snapshot_v4_round_trips_across_policy_servers() {
     }
     let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
     let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
-    assert_eq!(snapshot.version, 4);
+    assert_eq!(snapshot.version, 5);
     assert_eq!(snapshot.topology.to_string(), "torus");
 
     let other = boot(policy_core(999, 1.0), 2);
@@ -536,7 +536,7 @@ fn weighted_arrivals_over_http_are_bit_equal_to_an_offline_core() {
 }
 
 #[test]
-fn snapshot_v4_preserves_weights_and_speeds_across_servers() {
+fn snapshot_v5_preserves_weights_and_speeds_across_servers() {
     // A snapshot of a weighted server carries the heterogeneity section;
     // restoring it onto a second server reproduces the weighted
     // trajectory bit-for-bit and the restored server reports the same
@@ -548,7 +548,7 @@ fn snapshot_v4_preserves_weights_and_speeds_across_servers() {
     }
     let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
     let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
-    assert_eq!(snapshot.version, 4);
+    assert_eq!(snapshot.version, 5);
     let hetero = snapshot.hetero.as_ref().expect("weighted snapshot");
     assert_eq!(hetero.speeds.len(), 16);
     assert!(
@@ -603,4 +603,186 @@ fn snapshot_v4_preserves_weights_and_speeds_across_servers() {
 
     server.shutdown();
     other.shutdown();
+}
+
+#[test]
+fn elastic_admin_endpoints_scale_the_live_set() {
+    use rls_serve::{AddBinReply, DrainBinReply};
+
+    let server = boot(make_core(314, 1.0), 2);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // Boot state: never scaled, epoch 0, all 16 bins live.
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats.elastic.epoch, 0);
+    assert_eq!(stats.elastic.live_bins, 16);
+    assert_eq!(stats.elastic.capacity, 16);
+    assert_eq!(stats.elastic.reconvergence.scale_events, 0);
+
+    // A warm join: the newcomer takes id 16 and ⌊m/17⌋ stolen balls.
+    let add: AddBinReply = serde_json::from_str(
+        &client
+            .request_ok("POST", "/v1/bins/add", br#"{"warm": true}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(add.bin, 16);
+    assert_eq!(add.live_bins, 17);
+    assert_eq!(add.epoch, 1);
+    assert_eq!(add.warmed, 64 / 17);
+    assert_eq!(add.m, 64, "joins conserve balls");
+
+    // Drain the newcomer again (pinned victim).
+    let drain: DrainBinReply = serde_json::from_str(
+        &client
+            .request_ok("POST", "/v1/bins/drain", br#"{"bin": 16}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(drain.bin, 16);
+    assert_eq!(drain.live_bins, 16);
+    assert_eq!(drain.epoch, 2);
+    assert_eq!(drain.relocated, add.warmed);
+    assert_eq!(drain.m, 64, "drains conserve balls");
+
+    // A retired id is gone for good: draining or addressing it conflicts.
+    let (status, _) = client
+        .request("POST", "/v1/bins/drain", br#"{"bin": 16}"#)
+        .unwrap();
+    assert_eq!(status, 409, "retired bins cannot be drained again");
+    let (status, _) = client
+        .request("POST", "/v1/arrive", br#"{"bin": 16}"#)
+        .unwrap();
+    assert_eq!(status, 409, "retired bins accept no arrivals");
+
+    // Stats carry the epoch log summary and the re-convergence digest.
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats.elastic.epoch, 2);
+    assert_eq!(stats.elastic.live_bins, 16);
+    assert_eq!(stats.elastic.capacity, 17, "retired ids stay allocated");
+    assert_eq!((stats.elastic.joins, stats.elastic.drains), (1, 1));
+    assert_eq!(stats.elastic.reconvergence.scale_events, 2);
+
+    // Run arrivals + rings until the disturbance settles; the observer
+    // resolves the outstanding episodes as the gap closes.
+    for _ in 0..200 {
+        client.request_ok("POST", "/v1/arrive", b"").unwrap();
+        client.request_ok("POST", "/v1/depart", b"").unwrap();
+    }
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert!(
+        stats.elastic.reconvergence.reconverged >= 1,
+        "at least one scale event re-converged: {:?}",
+        stats.elastic.reconvergence
+    );
+
+    // The snapshot taken mid-elastic-life round-trips through restore.
+    let snapshot_json = client.request_ok("GET", "/v1/snapshot", b"").unwrap();
+    let snapshot = Snapshot::from_json(&snapshot_json).unwrap();
+    assert_eq!(snapshot.version, 5);
+    assert_eq!(snapshot.membership.log.len(), 2);
+    let (status, _) = client
+        .request("POST", "/v1/restore", snapshot_json.as_bytes())
+        .unwrap();
+    assert_eq!(status, 200);
+    let stats: StatsReply =
+        serde_json::from_str(&client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    assert_eq!(stats.elastic.epoch, 2, "epoch survives the round trip");
+    assert_eq!(stats.elastic.live_bins, 16);
+
+    server.shutdown();
+}
+
+#[test]
+fn elastic_drain_round_trips_bit_exactly_across_servers() {
+    // Scale events mid-run, snapshot, restore into a second server, then
+    // drive both with the same commands: bit-identical replies throughout.
+    let server_a = boot(make_core(2718, 1.0), 2);
+    let mut a = HttpClient::connect(server_a.addr()).unwrap();
+    for _ in 0..40 {
+        a.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    a.request_ok("POST", "/v1/bins/add", br#"{"warm": true}"#)
+        .unwrap();
+    for _ in 0..20 {
+        a.request_ok("POST", "/v1/arrive", b"").unwrap();
+    }
+    a.request_ok("POST", "/v1/bins/drain", b"").unwrap();
+    let snapshot_json = a.request_ok("GET", "/v1/snapshot", b"").unwrap();
+
+    let server_b = boot(make_core(999, 1.0), 2);
+    let mut b = HttpClient::connect(server_b.addr()).unwrap();
+    let (status, _) = b
+        .request("POST", "/v1/restore", snapshot_json.as_bytes())
+        .unwrap();
+    assert_eq!(status, 200);
+
+    for i in 0..60u64 {
+        let (ra, rb) = if i % 9 == 0 {
+            (
+                a.request_ok("POST", "/v1/bins/add", b"").unwrap(),
+                b.request_ok("POST", "/v1/bins/add", b"").unwrap(),
+            )
+        } else {
+            (
+                a.request_ok("POST", "/v1/arrive", b"").unwrap(),
+                b.request_ok("POST", "/v1/arrive", b"").unwrap(),
+            )
+        };
+        assert_eq!(ra, rb, "command {i} diverged after restore");
+    }
+    assert_eq!(
+        a.request_ok("GET", "/v1/snapshot", b"").unwrap(),
+        b.request_ok("GET", "/v1/snapshot", b"").unwrap(),
+        "snapshots diverged after identical post-restore drives"
+    );
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+#[test]
+fn weighted_percentiles_range_over_the_live_set_after_drains() {
+    // Regression for a dense-bin-id assumption: the heterogeneity digest
+    // used to iterate `0..n` over the *capacity*, so every retired slot
+    // contributed a phantom normalized load of 0 (deflating p50 to zero
+    // once half the ids were retired) and its orphaned speed entered the
+    // makespan bound.  Percentiles and the optimality interval must range
+    // over live bins only.
+    use rls_serve::DrainBinRequest;
+
+    let mut core = weighted_core(0xD15E, 0.0);
+    for _ in 0..80 {
+        core.arrive(&ArriveRequest::default()).unwrap();
+    }
+    // Retire 10 of the 16 bins: more than half the ids are now holes.
+    for bin in 6..16usize {
+        let reply = core.drain_bin(&DrainBinRequest { bin: Some(bin) }).unwrap();
+        assert_eq!(reply.bin, bin);
+    }
+    let stats = core.stats();
+    assert_eq!(stats.elastic.live_bins, 6);
+    assert_eq!(stats.elastic.capacity, 16);
+    assert_eq!(stats.elastic.drains, 10);
+
+    // All balls sit on the 6 live bins, so every live normalized load is
+    // positive — a capacity-wide percentile would report p50 = 0 here.
+    let hetero = stats.hetero.as_ref().expect("weighted server");
+    assert!(
+        hetero.norm_p50 > 0.0,
+        "p50 collapsed to a retired slot: {hetero:?}"
+    );
+    assert!(hetero.norm_p50 <= hetero.norm_p99);
+    assert!(hetero.norm_p99 <= hetero.norm_max);
+    // The certified interval is over the live machines: a bound computed
+    // with the 10 retired speed entries would undercut the true optimum.
+    assert!(hetero.opt_lower <= hetero.norm_max);
+    assert!(hetero.opt_lower <= hetero.opt_upper);
+    let live_speed: u64 = (0..6u64).map(|b| if b % 4 == 0 { 4 } else { 1 }).sum();
+    assert!(
+        hetero.opt_lower >= hetero.total_weight as f64 / live_speed as f64 / 2.0,
+        "bound too weak to have come from the live speeds: {hetero:?}"
+    );
 }

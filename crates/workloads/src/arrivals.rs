@@ -98,6 +98,24 @@ impl ArrivalProcess {
         }
     }
 
+    /// Sample the destination among an explicit id list — the elastic
+    /// engines' placement path, where the live bin set is no longer
+    /// `0..n`.  The hotspot's privileged bin is `ids[0]` (the live list
+    /// keeps the boot-time bin 0 in front until it retires).
+    ///
+    /// For a dense list `ids == [0, n)` this consumes the exact same
+    /// draws as [`place`](Self::place) and returns the same bin, so
+    /// churn-free trajectories are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty.
+    pub fn place_among<R: Rng64 + ?Sized>(&self, ids: &[u32], rng: &mut R) -> usize {
+        match *self {
+            ArrivalProcess::Hotspot { bias, .. } if rng.next_bernoulli(bias) => ids[0] as usize,
+            _ => ids[rng.next_index(ids.len())] as usize,
+        }
+    }
+
     /// Sample the waiting time to the next arrival *epoch* in an `n`-bin
     /// system (`Exp(epoch_rate)` — epochs are Poisson).
     ///
@@ -242,6 +260,48 @@ mod tests {
             seen[p.place(8, &mut rng)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn place_among_a_dense_list_is_bit_identical_to_place() {
+        let ids: Vec<u32> = (0..16).collect();
+        for proc in [
+            ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            ArrivalProcess::Hotspot {
+                rate_per_bin: 1.0,
+                bias: 0.6,
+            },
+        ] {
+            let mut a = rng_from_seed(77);
+            let mut b = rng_from_seed(77);
+            for _ in 0..2000 {
+                assert_eq!(proc.place(16, &mut a), proc.place_among(&ids, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn place_among_respects_a_sparse_live_set() {
+        let ids = [3u32, 9, 4];
+        let hot = ArrivalProcess::Hotspot {
+            rate_per_bin: 1.0,
+            bias: 0.7,
+        };
+        let mut rng = rng_from_seed(5);
+        let mut hits = [0usize; 16];
+        for _ in 0..3000 {
+            hits[hot.place_among(&ids, &mut rng)] += 1;
+        }
+        assert_eq!(hits.iter().sum::<usize>(), 3000);
+        assert!(
+            hits[3] > hits[9] && hits[3] > hits[4],
+            "ids[0] is the hotspot"
+        );
+        for (bin, &h) in hits.iter().enumerate() {
+            if ![3usize, 9, 4].contains(&bin) {
+                assert_eq!(h, 0, "bin {bin} is not live");
+            }
+        }
     }
 
     #[test]

@@ -33,10 +33,12 @@
 #![deny(missing_docs)]
 
 mod arrivals;
+mod churn;
 mod generators;
 mod hetero;
 
 pub use arrivals::{ArrivalProcess, RequestEpoch, RequestSchedule};
+pub use churn::{ChurnEvent, ChurnProcess};
 pub use generators::{GeneratorError, Workload};
 pub use hetero::{SpeedProfile, WeightDist};
 
