@@ -1,44 +1,57 @@
-//! E21 — serving throughput: requests/sec of the HTTP layer end to end.
+//! E21 — serving throughput: requests/sec of the HTTP layer end to end,
+//! worker-pool vs event-loop frontend.
 //!
-//! Each iteration boots nothing: one server (n bins at target load, the
-//! balanced auto-rebalance policy) lives for the whole group, and every
-//! iteration pushes a fixed number of `POST /v1/arrive` requests through
-//! real loopback sockets with the built-in closed-loop generator.  Wall
-//! time per iteration over the fixed request count is therefore the
-//! serving throughput, with all of HTTP parsing, the engine command
-//! channel and the RLS rebalance work on the measured path.
+//! Each iteration boots nothing: one server per frontend (n bins at
+//! target load, the balanced auto-rebalance policy) lives for the whole
+//! group, and every iteration pushes a fixed number of `POST /v1/arrive`
+//! requests through real loopback sockets with the built-in closed-loop
+//! generator.  Wall time per iteration over the fixed request count is
+//! therefore the serving throughput, with all of HTTP parsing, the engine
+//! command path and the RLS rebalance work on the measured path.
 //!
 //! Two effects are visible:
 //! * pipeline depth 1 prices the full per-request round trip (client
-//!   syscalls, worker wake-up, engine hop) — latency-bound on loopback;
+//!   syscalls, frontend wake-up, engine hop) — latency-bound on loopback;
 //! * pipeline depth 16 amortizes those hops (the server answers a
 //!   pipelined burst with one engine batch and one write), which is where
 //!   the ≥100k requests/s regime lives even on a single core.
+//!
+//! **Paired sampling.**  The frontends are *interleaved sample by sample*
+//! (worker-pool, event-loop, worker-pool, …) rather than measured in two
+//! separate blocks: on a shared box the clock drifts — frequency scaling,
+//! background load — and a block design silently charges all of the drift
+//! to whichever frontend ran second.  Adjacent samples see the same box,
+//! so the per-round ratio is drift-free; the recorded
+//! `event_over_worker_speedup` row is the median of those per-round
+//! ratios.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{append_custom_record, criterion_group, criterion_main, Criterion};
 use rls_core::{Config, RlsRule};
 use rls_live::{LiveEngine, LiveParams};
 use rls_obs::Registry;
-use rls_serve::{drive, serve, BenchOptions, DriveMode, ServeCore, ServePolicy, ServerConfig};
+use rls_serve::{
+    drive, serve, BenchOptions, DriveMode, Frontend, ServeCore, ServePolicy, ServerConfig,
+};
 use rls_workloads::ArrivalProcess;
 
 const N: usize = 64;
 const PER_BIN: u64 = 8;
-const CONNECTIONS: usize = 4;
+const CONNECTIONS: usize = 8;
+const SAMPLES: usize = 10;
 
 /// `RLS_BENCH_QUICK=1` trims the request count so the CI smoke job runs
 /// in seconds while exercising the identical serving path.
 fn requests_per_iter() -> u64 {
     if criterion::quick_mode() {
-        1_000
+        2_000
     } else {
         10_000
     }
 }
 
-fn boot(registry: &Registry) -> rls_serve::HttpServer {
+fn boot(registry: &Registry, frontend: Frontend) -> rls_serve::HttpServer {
     let m = N as u64 * PER_BIN;
     let initial = Config::uniform(N, PER_BIN).expect("bench instance is valid");
     let params = LiveParams::balanced(ArrivalProcess::Poisson { rate_per_bin: 1.0 }, N, m)
@@ -61,49 +74,94 @@ fn boot(registry: &Registry) -> rls_serve::HttpServer {
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: CONNECTIONS,
+            frontend,
         },
     )
     .expect("ephemeral server boots")
 }
 
-fn serving_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serving_throughput");
-    group.sample_size(10);
+/// One timed drive of `requests` through the server at `addr`.
+fn sample(addr: std::net::SocketAddr, pipeline: usize, requests: u64) -> Duration {
+    // detlint: allow(D002) benchmark wall-clock, never fed to an engine
+    let start = Instant::now();
+    let report = drive(
+        addr,
+        &BenchOptions {
+            connections: CONNECTIONS,
+            duration: Duration::from_secs(60),
+            max_requests: Some(requests),
+            mode: DriveMode::Closed,
+            pipeline,
+            depart_fraction: 0.5,
+            ..BenchOptions::default()
+        },
+    )
+    .expect("generator runs");
+    assert!(report.errors == 0, "transport errors: {}", report.errors);
+    start.elapsed()
+}
 
-    let registry = Registry::new();
-    let server = boot(&registry);
-    let addr = server.addr();
+fn human_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn serving_throughput(_c: &mut Criterion) {
     let requests = requests_per_iter();
+    // Both frontends live for the whole group: same instance parameters,
+    // same generator, directly comparable rows in BENCH_serve.json.
+    let frontends = [Frontend::WorkerPool, Frontend::EventLoop];
+    let booted: Vec<_> = frontends
+        .iter()
+        .map(|&f| {
+            let registry = Registry::new();
+            let server = boot(&registry, f);
+            (f, server)
+        })
+        .collect();
+
     for pipeline in [1usize, 16] {
-        let name = format!("closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs");
-        let mut last_rps = 0.0;
-        group.bench_function(&name, |b| {
-            b.iter(|| {
-                let report = drive(
-                    addr,
-                    &BenchOptions {
-                        connections: CONNECTIONS,
-                        duration: Duration::from_secs(60),
-                        max_requests: Some(requests),
-                        mode: DriveMode::Closed,
-                        pipeline,
-                        depart_fraction: 0.5,
-                        ..BenchOptions::default()
-                    },
-                )
-                .expect("generator runs");
-                assert!(report.errors == 0, "transport errors: {}", report.errors);
-                last_rps = report.rps;
-                (report.requests, report.p99_us)
-            });
-        });
-        append_custom_record(
-            &format!("serving_throughput/{name}/requests_per_sec"),
-            last_rps,
+        // One untimed warm-up drive per frontend, then paired rounds.
+        for (_, server) in &booted {
+            sample(server.addr(), pipeline, requests);
+        }
+        let mut times: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..SAMPLES {
+            for (i, (_, server)) in booted.iter().enumerate() {
+                times[i].push(sample(server.addr(), pipeline, requests));
+            }
+        }
+        for (i, (frontend, _)) in booted.iter().enumerate() {
+            let mean = times[i].iter().sum::<Duration>() / times[i].len() as u32;
+            let rps = requests as f64 / mean.as_secs_f64();
+            let name = format!(
+                "serving_throughput/closed_loop_{frontend}_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs"
+            );
+            println!(
+                "{name:<78} mean {:>9.2} ms ({} samples, {:.0} req/s)",
+                human_ms(mean),
+                times[i].len(),
+                rps,
+            );
+            append_custom_record(&format!("{name}/mean_ms"), human_ms(mean));
+            append_custom_record(&format!("{name}/requests_per_sec"), rps);
+        }
+        // Median of per-round ratios: each round's two samples are
+        // adjacent in time, so box drift cancels instead of biasing one
+        // frontend.
+        let mut ratios: Vec<f64> = times[0]
+            .iter()
+            .zip(&times[1])
+            .map(|(wp, el)| wp.as_secs_f64() / el.as_secs_f64())
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let median = ratios[ratios.len() / 2];
+        let name = format!(
+            "serving_throughput/closed_loop_{CONNECTIONS}conns_pipeline{pipeline}_{requests}reqs/event_over_worker_speedup"
         );
+        println!("{name:<78} median {median:>7.2}x");
+        append_custom_record(&name, median);
     }
-    drop(server);
-    group.finish();
+    drop(booted);
 }
 
 criterion_group!(benches, serving_throughput);

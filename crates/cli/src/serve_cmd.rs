@@ -7,6 +7,7 @@
 //!                              [--topology T] [--seed S] [--warmup T]
 //!                              [--rebalance R] [--workers K] [--for SECONDS]
 //!                              [--weights DIST] [--speeds PROFILE]
+//!                              [--frontend worker-pool|event-loop]
 //! rls-experiments serve bench  [--addr HOST:PORT | server flags as for run]
 //!                              [--connections C] [--duration SECONDS] [--requests N]
 //!                              [--rps TARGET] [--depart-frac F]
@@ -38,7 +39,7 @@ use rls_live::{EventLog, LiveEngine, LiveParams};
 use rls_obs::Registry;
 use rls_rng::rng_from_seed;
 use rls_serve::{
-    core_from_log, drive, replay_over_http, serve, BenchOptions, BenchReport, DriveMode,
+    core_from_log, drive, replay_over_http, serve, BenchOptions, BenchReport, DriveMode, Frontend,
     HttpServer, ServeCore, ServePolicy, ServerConfig,
 };
 use rls_workloads::{SpeedProfile, WeightDist, Workload};
@@ -91,6 +92,9 @@ pub struct ServeArgs {
     pub rebalance: Option<f64>,
     /// Worker threads.
     pub workers: usize,
+    /// Connection-handling frontend (`worker-pool` is the default;
+    /// `event-loop` runs the single-threaded nonblocking loop).
+    pub frontend: Frontend,
     /// Exit after this many wall-clock seconds (`None` = serve forever).
     pub for_seconds: Option<f64>,
     /// Ball-weight law (`unit` = the classic engine).
@@ -118,6 +122,7 @@ impl Default for ServeArgs {
             warmup: 0.0,
             rebalance: None,
             workers: 4,
+            frontend: Frontend::WorkerPool,
             for_seconds: None,
             weights: WeightDist::Unit,
             speeds: SpeedProfile::Uniform,
@@ -206,6 +211,7 @@ fn parse_server_flag(
         "--warmup" => args.warmup = parse_num(&value("a duration")?, "--warmup")?,
         "--rebalance" => args.rebalance = Some(parse_num(&value("a mean")?, "--rebalance")?),
         "--workers" => args.workers = parse_num(&value("a thread count")?, "--workers")?,
+        "--frontend" => args.frontend = value("a frontend")?.parse()?,
         "--for" => args.for_seconds = Some(parse_num(&value("seconds")?, "--for")?),
         "--weights" => args.weights = value("a weight distribution")?.parse().map_err(str_of)?,
         "--speeds" => args.speeds = value("a speed profile")?.parse().map_err(str_of)?,
@@ -401,6 +407,7 @@ fn boot(args: &ServeArgs) -> Result<(HttpServer, f64, Registry), String> {
         &ServerConfig {
             addr: args.addr.clone(),
             workers: args.workers,
+            frontend: args.frontend,
         },
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
@@ -450,7 +457,7 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
     let mut out = format!(
         "rls-serve listening on http://{}\n  n = {}, m = {}, arrival {}, seed {}, \
          policy {}, topology {}, weights {}, speeds {}, \
-         auto-rebalance {rings:.2} rings/arrival, {} workers\n  \
+         auto-rebalance {rings:.2} rings/arrival, {} workers, {} frontend\n  \
          POST /v1/arrive · POST /v1/depart[/{{bin}}] · POST /v1/ring · GET /v1/stats · \
          GET /v1/snapshot · POST /v1/restore · GET /healthz · GET /v1/metrics · \
          GET /v1/debug/flight\n",
@@ -464,6 +471,7 @@ fn run_cmd(args: &ServeArgs) -> Result<String, String> {
         args.weights,
         args.speeds,
         args.workers,
+        args.frontend,
     );
     match args.for_seconds {
         Some(seconds) => {
@@ -540,8 +548,9 @@ fn bench_cmd(args: &BenchArgs) -> Result<String, String> {
             match &args.addr {
                 Some(addr) => format!(", external {addr}"),
                 None => format!(
-                    ", self-booted n = {}, m = {}, {} workers, {rings:.2} rings/arrival",
-                    args.server.n, args.server.m, args.server.workers
+                    ", self-booted n = {}, m = {}, {} workers, {} frontend, \
+                     {rings:.2} rings/arrival",
+                    args.server.n, args.server.m, args.server.workers, args.server.frontend
                 ),
             },
         ),
@@ -601,6 +610,7 @@ fn replay_cmd(log_path: &str, addr: Option<&str>, workers: usize) -> Result<Stri
                     &ServerConfig {
                         addr: "127.0.0.1:0".to_string(),
                         workers,
+                        frontend: Frontend::WorkerPool,
                     },
                 )
                 .map_err(str_of)?,
@@ -759,11 +769,23 @@ mod tests {
             }
         );
 
+        let cmd = parse_serve_args(&strings(&["run", "--frontend", "event-loop"])).unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(args.frontend, Frontend::EventLoop);
+        let cmd = parse_serve_args(&strings(&["bench", "--frontend", "worker-pool"])).unwrap();
+        let ServeCommand::Bench(args) = cmd else {
+            panic!("expected bench");
+        };
+        assert_eq!(args.server.frontend, Frontend::WorkerPool);
+
         for bad in [
             &[][..],
             &["frobnicate"],
             &["run", "--n", "0"],
             &["run", "--wat"],
+            &["run", "--frontend", "nope"],
             &["run", "--for", "-1"],
             &["run", "--policy", "nope"],
             &["run", "--topology", "klein-bottle"],

@@ -53,8 +53,9 @@ pub struct LoadIndex {
     tree: Vec<u64>,
     /// Number of allocated bins (`≤ capacity`); bin ids are `0..len`.
     len: usize,
-    /// Largest power of two `≤ capacity`, the starting stride of the
-    /// descent.
+    /// Starting stride of the descent.  Capacity is kept a power of two,
+    /// so this always equals `capacity` and the root node covers the whole
+    /// prefix (which is what lets the descent drop its bounds checks).
     top: usize,
     /// Total load `m = Σ ℓ_i` (`u64` end to end — no `u32` ball cap).
     total: u64,
@@ -78,7 +79,13 @@ impl LoadIndex {
     pub fn from_loads(loads: &[u64]) -> Self {
         let n = loads.len();
         assert!(n > 0, "LoadIndex requires at least one bin");
-        let (tree, top, total) = build_tree(loads, n);
+        // Capacity is kept a power of two (padding slots carry zero mass
+        // and are invisible to rank descent): the root then covers the
+        // whole prefix, so `bin_at_depth` needs no per-level bounds check
+        // and its inner loop is branch-free.  `add_bin` preserves the
+        // invariant by doubling.
+        let cap = n.next_power_of_two();
+        let (tree, top, total) = build_tree(loads, cap);
         Self {
             tree,
             len: n,
@@ -200,20 +207,37 @@ impl LoadIndex {
             "rank {rank} out of range (total {})",
             self.total
         );
+        // Capacity is a power of two (`from_loads` pads, `add_bin`
+        // doubles), so `top == capacity` and the root node aggregates the
+        // *entire* prefix: `tree[top] == total > rank` means the root
+        // child is never taken, which in turn bounds `pos + step <= top`
+        // at every level — no per-level range check needed.
         let cap = self.capacity();
+        debug_assert_eq!(self.top, cap, "capacity is kept a power of two");
         let mut pos = 0usize;
         let mut step = self.top;
         let mut depth = 0u32;
         while step > 0 {
             let next = pos + step;
-            if next <= cap {
-                depth += 1;
-                if self.tree[next] <= rank {
-                    rank -= self.tree[next];
-                    pos = next;
-                }
+            let node = self.tree[next];
+            // Warm both nodes the next level can touch before the select
+            // below resolves: their addresses depend only on `pos`/`step`
+            // (not on the compare), so these loads overlap the serial
+            // descent chain — a safe-code software prefetch.  The clamp
+            // keeps the speculative index in bounds at the root.
+            let half = step >> 1;
+            if half > 0 {
+                std::hint::black_box(self.tree[pos + half]);
+                std::hint::black_box(self.tree[(next + half).min(cap)]);
             }
+            // Branch-free child select: mask arithmetic instead of a
+            // data-dependent branch, so an unpredictable rank costs no
+            // pipeline flush on the hot sampling path.
+            let take = (node <= rank) as u64;
+            rank -= node & take.wrapping_neg();
+            pos += step & (take as usize).wrapping_neg();
             step >>= 1;
+            depth += 1;
         }
         (pos, depth)
     }

@@ -284,6 +284,55 @@ proptest! {
         prop_assert_eq!(sorted, original);
     }
 
+    /// The branch-free, prefetched Fenwick descent agrees with a reference
+    /// cumulative scan for *every* rank, on arbitrary load vectors (zero
+    /// bins, non-power-of-two lengths) and across elastic add/retire
+    /// churn — and the power-of-two capacity invariant that lets the
+    /// descent drop its per-level bounds check actually holds throughout.
+    #[test]
+    fn branch_free_descent_matches_reference_scan(
+        loads in prop::collection::vec(0u64..=12, 1..=40),
+        churn in prop::collection::vec((0u8..2, 0u64..=9, 0usize..40), 0..12),
+    ) {
+        let mut loads = loads;
+        let mut index = LoadIndex::from_loads(&loads);
+        prop_assert!(index.capacity().is_power_of_two());
+        prop_assert!(index.capacity() >= loads.len());
+
+        // Interleave elastic scale events so the invariant is exercised
+        // across capacity-doubling rebuilds, not just at construction.
+        for (kind, mass, pick) in churn {
+            if kind == 0 {
+                let bin = index.add_bin(mass);
+                prop_assert_eq!(bin, loads.len());
+                loads.push(mass);
+            } else {
+                let bin = pick % loads.len();
+                let drained = index.retire_bin(bin);
+                prop_assert_eq!(drained, loads[bin]);
+                loads[bin] = 0;
+            }
+            prop_assert!(index.capacity().is_power_of_two());
+            prop_assert!(index.capacity() >= loads.len());
+        }
+
+        // Reference path: a cumulative linear scan over the load vector.
+        // The descent must agree bin-for-bin on every rank, and its depth
+        // must equal the (constant) number of Fenwick levels.
+        let total: u64 = loads.iter().sum();
+        prop_assert_eq!(index.total(), total);
+        let levels = index.capacity().trailing_zeros() + 1;
+        let mut rank = 0u64;
+        for (bin, &load) in loads.iter().enumerate() {
+            for _ in 0..load {
+                let (got, depth) = index.bin_at_depth(rank);
+                prop_assert_eq!(got, bin);
+                prop_assert_eq!(depth, levels);
+                rank += 1;
+            }
+        }
+    }
+
     /// The histogram counts every bin exactly once.
     #[test]
     fn histogram_counts_all_bins(cfg in config_strategy()) {

@@ -875,6 +875,22 @@ impl LiveEngine {
         cmd: &LiveCommand,
         rng: &mut R,
     ) -> Result<LiveEvent, LiveError> {
+        self.apply_cached(cmd, rng, &mut None)
+    }
+
+    /// [`apply`](Self::apply) with a caller-held holding-time cache: when
+    /// `holding` carries a law, the `Exp(total_rate)` construction is
+    /// skipped and the cached law sampled instead — bit-identical, because
+    /// the cache is only ever populated when the previous command provably
+    /// left the total rate unchanged (see the cache-update rule at the
+    /// draw site).  [`apply_batch`](Self::apply_batch) threads one cache
+    /// across a whole batch; `apply` passes a fresh empty cache.
+    fn apply_cached<R: Rng64 + ?Sized>(
+        &mut self,
+        cmd: &LiveCommand,
+        rng: &mut R,
+        holding: &mut Option<Exponential>,
+    ) -> Result<LiveEvent, LiveError> {
         let n = self.cfg.n();
         let m = self.cfg.m();
 
@@ -1014,9 +1030,25 @@ impl LiveEngine {
 
         // The holding time of the superposed chain at the current state
         // (positive: arrival rates are validated positive at construction).
-        let dt = Exponential::new(self.total_rate())
-            .expect("positive total rate")
-            .sample(rng);
+        // `Exponential` is nothing but the validated rate, so reusing a
+        // cached law is bit-identical to rebuilding it from the same rate.
+        let law = match *holding {
+            Some(law) => law,
+            None => Exponential::new(self.total_rate()).expect("positive total rate"),
+        };
+        // Cache-update rule: a ring on a unit engine moves one ball
+        // between live bins — `m`, the live count and the churn majorant
+        // are all unchanged, so the *next* command's total rate is
+        // bit-for-bit this one and the law carries over.  Everything else
+        // (population or membership changes, and any command on a
+        // heterogeneous engine, where a move shifts rate mass `s_i·ℓ_i`)
+        // invalidates the cache.  Validation errors returned above leave
+        // both the engine and the cache untouched.
+        *holding = match *cmd {
+            LiveCommand::Ring { .. } if self.hetero.is_none() => Some(law),
+            _ => None,
+        };
+        let dt = law.sample(rng);
         self.time += dt;
         self.seq += 1;
         self.counters.events += 1;
@@ -1119,6 +1151,49 @@ impl LiveEngine {
         let event = self.apply(cmd, rng)?;
         observer.on_event(&event, &self.tracker);
         Ok(event)
+    }
+
+    /// Apply a batch of commands in order, amortizing the per-command
+    /// fixed costs, and report each successful event to the observer —
+    /// the serving layer's hot path for pipelined request bursts.
+    ///
+    /// The trajectory is **bit-identical** to calling
+    /// [`apply_with`](Self::apply_with) once per command: batching happens
+    /// at command granularity, never inside the RNG stream.  What *is*
+    /// amortized is the holding-time law — consecutive rings on a unit
+    /// engine provably leave the total rate unchanged, so the
+    /// `Exp(total_rate)` construction (a `total_rate()` walk plus
+    /// validation) runs once per run of rings instead of once per ring.
+    /// Reordering or coalescing the Fenwick descents themselves would
+    /// *not* be legal here: each ring's descent depends on every move the
+    /// previous ring made, and the draw order is pinned by replay.  (The
+    /// sharded engine may reuse slice-start loads, but only because its
+    /// pricing semantics are *defined* against the slice boundary; the
+    /// live engine's are defined against the current state.)
+    ///
+    /// Per-command errors are returned in place, exactly as `apply_with`
+    /// would return them: a failed command consumes no randomness, leaves
+    /// the engine untouched, and does not disturb the commands after it.
+    pub fn apply_batch<R, O>(
+        &mut self,
+        cmds: &[LiveCommand],
+        rng: &mut R,
+        observer: &mut O,
+    ) -> Vec<Result<LiveEvent, LiveError>>
+    where
+        R: Rng64 + ?Sized,
+        O: LiveObserver,
+    {
+        let mut holding: Option<Exponential> = None;
+        let mut out = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let res = self.apply_cached(cmd, rng, &mut holding);
+            if let Ok(event) = &res {
+                observer.on_event(event, &self.tracker);
+            }
+            out.push(res);
+        }
+        out
     }
 
     /// Run until simulated time reaches `until`, reporting every event to

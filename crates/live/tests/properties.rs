@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rls_core::{Config, LoadIndex, RebalancePolicy, RlsVariant};
 use rls_graph::Topology;
 use rls_live::{LiveCommand, LiveEngine, LiveParams};
-use rls_rng::rng_from_seed;
+use rls_rng::{rng_from_seed, Rng64};
 use rls_workloads::{ArrivalProcess, WeightDist};
 
 const POLICIES: &[RebalancePolicy] = &[
@@ -431,5 +431,74 @@ proptest! {
                 rank += 1 + total / 17;
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `apply_batch` is bit-identical to sequential `apply_with`: same
+    /// events (sequence numbers, time bits, coordinates), same per-command
+    /// errors, same final load vector and same RNG stream position — on
+    /// unit engines (where the holding-time law is cached across ring
+    /// runs) and across elastic membership churn (which invalidates it).
+    #[test]
+    fn apply_batch_matches_sequential_apply(
+        (loads, policy_idx, topo_idx, seed, script) in elastic_instance_strategy()
+    ) {
+        let policy = POLICIES[policy_idx];
+        let topology = TOPOLOGIES[topo_idx];
+        let initial = Config::from_loads(loads).unwrap();
+        let params = LiveParams {
+            arrivals: ArrivalProcess::Poisson { rate_per_bin: 1.0 },
+            service_rate: 0.5,
+        };
+        let build = || LiveEngine::with_policy(
+            initial.clone(), params, policy, topology, seed ^ 0x6AF1,
+        ).unwrap();
+        let mut seq_engine = build();
+        let mut batch_engine = build();
+        let mut seq_rng = rng_from_seed(seed);
+        let mut batch_rng = rng_from_seed(seed);
+
+        let n = initial.n();
+        let cmds: Vec<LiveCommand> = script
+            .iter()
+            .map(|&(kind, coord, flag)| {
+                let bin = flag.then_some(coord as usize % n);
+                match kind {
+                    0 => LiveCommand::Arrive { bin, weight: None },
+                    1 => LiveCommand::Depart { bin, weight: None },
+                    2 => LiveCommand::Ring { source: None, dest: None },
+                    3 => LiveCommand::AddBin { warm: flag },
+                    _ => LiveCommand::DrainBin { bin },
+                }
+            })
+            .collect();
+
+        let sequential: Vec<_> = cmds
+            .iter()
+            .map(|cmd| seq_engine.apply_with(cmd, &mut seq_rng, &mut ()))
+            .collect();
+        let batched = batch_engine.apply_batch(&cmds, &mut batch_rng, &mut ());
+
+        prop_assert_eq!(sequential.len(), batched.len());
+        for (s, b) in sequential.iter().zip(batched.iter()) {
+            match (s, b) {
+                (Ok(se), Ok(be)) => {
+                    prop_assert_eq!(se, be);
+                    prop_assert_eq!(se.time.to_bits(), be.time.to_bits());
+                }
+                (Err(se), Err(be)) => {
+                    prop_assert_eq!(se.to_string(), be.to_string());
+                }
+                _ => prop_assert!(false, "Ok/Err divergence: {:?} vs {:?}", s, b),
+            }
+        }
+        prop_assert_eq!(seq_engine.time().to_bits(), batch_engine.time().to_bits());
+        prop_assert_eq!(seq_engine.config().loads(), batch_engine.config().loads());
+        prop_assert_eq!(seq_engine.counters(), batch_engine.counters());
+        // Both RNGs sit at the same stream position afterwards.
+        prop_assert_eq!(seq_rng.next_u64(), batch_rng.next_u64());
     }
 }

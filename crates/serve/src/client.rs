@@ -6,7 +6,7 @@
 //! requests are strictly sequential, which is also what makes a
 //! single-client drive of the server deterministic.
 
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -44,22 +44,61 @@ impl HttpClient {
     /// Several sends may be in flight at once (HTTP/1.1 pipelining);
     /// responses come back in order.
     pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
-        http::write_request(&mut self.stream, &mut self.out, method, path, body)
+        http::write_request(&mut self.stream, &mut self.out, method, path, body)?;
+        self.out.clear();
+        Ok(())
+    }
+
+    /// Buffer a request without writing it — pair with
+    /// [`flush`](Self::flush).  A pipelined burst queued this way goes out
+    /// in one syscall, which keeps the load generator cheap enough to
+    /// saturate the server even when both share a core.
+    pub fn queue(&mut self, method: &str, path: &str, body: &[u8]) {
+        http::append_request(&mut self.out, method, path, body);
+    }
+
+    /// Write every queued request in one syscall.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        let outcome = self.stream.write_all(&self.out);
+        self.out.clear();
+        outcome
     }
 
     /// Receive the next in-order response; returns the status code and the
     /// body.
     pub fn recv(&mut self) -> io::Result<(u16, Vec<u8>)> {
-        // `next_message` reports an idle timeout the same way as a clean
-        // close (`Ok(None)`); track which one actually happened so a slow
-        // server is not misdiagnosed as a disconnect.
+        let (status, body) =
+            self.recv_frame(|frame| (parse_status(frame.start_line), frame.body.to_vec()))?;
+        Ok((status?, body))
+    }
+
+    /// Receive the next in-order response, reading only the status code —
+    /// no body copy, no allocation.  The load generator lives here: it
+    /// discards response bodies, so paying to copy them would just bill
+    /// client overhead to the server under test.
+    pub fn recv_status(&mut self) -> io::Result<u16> {
+        self.recv_frame(|frame| parse_status(frame.start_line))?
+    }
+
+    /// Read the next response frame and extract what the caller needs
+    /// while the bytes are still borrowed from the connection buffer.
+    fn recv_frame<T>(&mut self, read: impl FnOnce(&http::Frame<'_>) -> T) -> io::Result<T> {
+        // `next_frame_with` reports an idle timeout the same way as a
+        // clean close (`Ok(None)`); track which one actually happened so a
+        // slow server is not misdiagnosed as a disconnect.
         let mut timed_out = false;
-        let message = self
-            .reader
-            .next_message(&mut self.stream, &mut || {
-                timed_out = true;
-                false
-            })?
+        self.reader
+            .next_frame_with(
+                &mut self.stream,
+                &mut || {
+                    timed_out = true;
+                    false
+                },
+                read,
+            )?
             .ok_or_else(|| {
                 if timed_out {
                     io::Error::new(
@@ -69,17 +108,7 @@ impl HttpClient {
                 } else {
                     io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
                 }
-            })?;
-        // "HTTP/1.1 200 OK"
-        let status = message
-            .start_line
-            .split_ascii_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse::<u16>().ok())
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "bad response status line")
-            })?;
-        Ok((status, message.body))
+            })
     }
 
     /// [`request`](Self::request) expecting a 200 with a JSON body;
@@ -95,4 +124,13 @@ impl HttpClient {
             Err(format!("{method} {path}: HTTP {status}: {text}"))
         }
     }
+}
+
+/// Status code out of a response start line ("HTTP/1.1 200 OK" -> 200).
+fn parse_status(start_line: &str) -> io::Result<u16> {
+    start_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response status line"))
 }

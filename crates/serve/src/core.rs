@@ -195,20 +195,29 @@ impl ServeCore {
             _ => unreachable!("arrive commands yield arrival events"),
         };
 
+        // The ring run goes through `apply_batch` in one call: bit-identical
+        // to the former per-command loop (batching happens at command
+        // granularity, never inside the RNG stream) but the holding-time
+        // law `Exp(total_rate)` is built once per run instead of once per
+        // ring — rings on a unit engine provably leave the total rate
+        // unchanged.  The arrival stays a separate `apply_with` above so a
+        // rejected arrival still short-circuits before any ring runs (an
+        // arrival invalidates the batch cache anyway, so nothing is lost).
+        let cmds = vec![
+            LiveCommand::Ring {
+                source: None,
+                dest: None,
+            };
+            rings as usize
+        ];
         let mut moved = 0u64;
-        for _ in 0..rings {
+        for ring in self.engine.apply_batch(
+            &cmds,
+            &mut self.rng,
+            &mut (&mut self.steady, &mut self.reconv),
+        ) {
             // m ≥ 1 right after an arrival, so rings cannot fail.
-            let ring = self
-                .engine
-                .apply_with(
-                    &LiveCommand::Ring {
-                        source: None,
-                        dest: None,
-                    },
-                    &mut self.rng,
-                    &mut (&mut self.steady, &mut self.reconv),
-                )
-                .map_err(|e| ServeError::internal(e.to_string()))?;
+            let ring = ring.map_err(|e| ServeError::internal(e.to_string()))?;
             if matches!(ring.kind, LiveEventKind::Ring { moved: true, .. }) {
                 moved += 1;
             }

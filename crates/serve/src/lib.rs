@@ -17,10 +17,12 @@
 //!   auto-rebalance policy.  Everything the server does over HTTP is a
 //!   method here, so tests and benchmarks can cross-check the HTTP path
 //!   against an offline core driven with the same seed.
-//! * [`serve`]/[`HttpServer`] — a pre-forked worker-thread pool accepting
-//!   on a shared listener; the core lives on a dedicated engine thread
-//!   behind an mpsc command channel, so state is owned by exactly one
-//!   thread and the workers stay lock-free.
+//! * [`serve`]/[`HttpServer`] — two interchangeable frontends selected by
+//!   [`Frontend`]: the default pre-forked worker-thread pool (shared
+//!   listener, core on a dedicated engine thread behind an mpsc command
+//!   channel) and a single-threaded nonblocking event loop (zero-copy
+//!   parsing, commands executed inline on the thread that owns the core).
+//!   Both are bit-identical to an offline [`ServeCore`] on the same seed.
 //! * [`HttpClient`] — a minimal blocking keep-alive
 //!   client used by the load generator, the trace-replay driver and the
 //!   end-to-end tests.
@@ -47,6 +49,7 @@ use std::fmt;
 pub mod api;
 pub mod client;
 pub mod core;
+mod event_loop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -63,7 +66,7 @@ pub use loadgen::{
     core_from_log, drive, replay_over_http, BenchOptions, BenchReport, DriveMode, ReplayOutcome,
 };
 pub use metrics::{endpoint_index, ServeMetrics, CATALOG, ENDPOINTS};
-pub use server::{serve, HttpServer, ServerConfig};
+pub use server::{serve, Frontend, HttpServer, ServerConfig};
 
 /// An error with an HTTP status: everything a handler can reject.
 #[derive(Debug, Clone, PartialEq, Eq)]

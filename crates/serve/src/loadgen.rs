@@ -258,46 +258,49 @@ fn run_connection(
 
     match opts.mode {
         DriveMode::Closed => {
-            // Keep `pipeline` requests in flight; responses come back in
-            // order, so the oldest send instant prices the next response.
+            // Pipelined bursts: queue up to `pipeline` requests, flush
+            // them in one write, then drain the responses (status-only —
+            // no body copies).  One syscall each way per burst keeps the
+            // generator cheap enough to saturate the server even when
+            // both share a core; the oldest send instant still prices
+            // each response.
             let depth = opts.pipeline.max(1);
-            let mut inflight: std::collections::VecDeque<Instant> =
-                std::collections::VecDeque::with_capacity(depth);
+            let mut sent_at: Vec<Instant> = Vec::with_capacity(depth);
             loop {
-                while inflight.len() < depth && Instant::now() < deadline && take_ticket() {
+                sent_at.clear();
+                while sent_at.len() < depth && Instant::now() < deadline && take_ticket() {
                     let depart =
                         opts.depart_fraction > 0.0 && rng.next_bernoulli(opts.depart_fraction);
                     let path = if depart { "/v1/depart" } else { "/v1/arrive" };
-                    match client.send("POST", path, b"") {
-                        Ok(()) => inflight.push_back(Instant::now()),
-                        Err(_) => {
-                            // The failed send *and* every response still
-                            // owed on this connection are lost.
-                            stats.errors += 1 + inflight.len() as u64;
-                            inflight.clear();
-                            client =
-                                HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
-                        }
-                    }
+                    client.queue("POST", path, b"");
+                    sent_at.push(Instant::now());
                 }
-                let Some(sent_at) = inflight.pop_front() else {
+                if sent_at.is_empty() {
                     break;
-                };
-                match client.recv() {
-                    Ok((status, _)) => {
-                        stats.requests += 1;
-                        if status != 200 {
-                            stats.non_200 += 1;
+                }
+                if client.flush().is_err() {
+                    // The whole queued burst is lost with the connection.
+                    stats.errors += sent_at.len() as u64;
+                    client = HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                    continue;
+                }
+                for (done, at) in sent_at.iter().enumerate() {
+                    match client.recv_status() {
+                        Ok(status) => {
+                            stats.requests += 1;
+                            if status != 200 {
+                                stats.non_200 += 1;
+                            }
+                            stats.latency.record(at.elapsed().as_nanos() as u64);
                         }
-                        stats.latency.record(sent_at.elapsed().as_nanos() as u64);
-                    }
-                    Err(_) => {
-                        // The whole in-flight window is lost with the
-                        // connection.
-                        stats.errors += 1 + inflight.len() as u64;
-                        inflight.clear();
-                        client =
-                            HttpClient::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                        Err(_) => {
+                            // Every response still owed on this
+                            // connection is lost.
+                            stats.errors += (sent_at.len() - done) as u64;
+                            client = HttpClient::connect(addr)
+                                .map_err(|e| format!("reconnect: {e}"))?;
+                            break;
+                        }
                     }
                 }
             }

@@ -36,13 +36,57 @@ use crate::http::{self, MessageReader};
 use crate::metrics::{endpoint_index, flight_kind, ServeMetrics, FLIGHT_NONE};
 use crate::ServeError;
 
+/// Which connection-handling frontend a server runs.  Both are
+/// bit-identical to the offline [`ServeCore`] on the same seed — they
+/// differ only in how requests reach the engine, never in what the engine
+/// does with them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// The pre-forked blocking worker pool: one thread per worker sharing
+    /// the listener, commands funneled to a dedicated engine thread over
+    /// a channel.  The default.
+    #[default]
+    WorkerPool,
+    /// The single-threaded nonblocking event loop: a readiness sweep over
+    /// per-connection state machines, zero-copy parsing, and commands
+    /// executed inline on the loop thread (which owns the core — no
+    /// channel hop per command).
+    EventLoop,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "worker-pool" => Ok(Self::WorkerPool),
+            "event-loop" => Ok(Self::EventLoop),
+            other => Err(format!(
+                "unknown frontend `{other}` (expected `worker-pool` or `event-loop`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::WorkerPool => "worker-pool",
+            Self::EventLoop => "event-loop",
+        })
+    }
+}
+
 /// How a server is wired.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port `0` for an ephemeral port.
     pub addr: String,
     /// Worker threads (each fully owns the connections it accepts).
+    /// Ignored by the event-loop frontend, which is single-threaded.
     pub workers: usize,
+    /// Which connection-handling frontend to run.
+    pub frontend: Frontend,
 }
 
 impl Default for ServerConfig {
@@ -50,13 +94,14 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            frontend: Frontend::WorkerPool,
         }
     }
 }
 
 /// A command decoded from one HTTP request.
 #[derive(Debug, Clone)]
-enum EngineCmd {
+pub(crate) enum EngineCmd {
     Arrive(ArriveRequest),
     Depart(DepartRequest),
     Ring(RingRequest),
@@ -81,7 +126,7 @@ struct EngineMsg {
 
 /// Where a routed request is answered.
 #[derive(Debug)]
-enum Routed {
+pub(crate) enum Routed {
     /// On the engine thread, in channel order.
     Engine(EngineCmd),
     /// On the worker: render the metric catalog (`GET /v1/metrics`).
@@ -100,6 +145,23 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
+    /// Assemble a running server from its threads (the event-loop
+    /// frontend has no workers: its one loop thread owns the core and
+    /// plays the engine-thread role, so shutdown joins it the same way).
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        workers: Vec<JoinHandle<()>>,
+        engine: JoinHandle<ServeCore>,
+    ) -> Self {
+        Self {
+            addr,
+            stop,
+            workers,
+            engine: Some(engine),
+        }
+    }
+
     /// The address the server actually bound (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -142,9 +204,17 @@ impl Drop for HttpServer {
     }
 }
 
-/// Boot a server over `core`.  Returns once the listener is bound and all
-/// threads are running.
+/// Boot a server over `core` with the configured frontend.  Returns once
+/// the listener is bound and all threads are running.
 pub fn serve(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
+    match config.frontend {
+        Frontend::WorkerPool => serve_worker_pool(core, config),
+        Frontend::EventLoop => crate::event_loop::serve(core, config),
+    }
+}
+
+/// Boot the pre-forked worker-pool frontend.
+fn serve_worker_pool(core: ServeCore, config: &ServerConfig) -> io::Result<HttpServer> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -235,13 +305,13 @@ fn engine_loop(mut core: ServeCore, rx: Receiver<EngineMsg>) -> ServeCore {
     core
 }
 
-fn elapsed_ns(since: Instant) -> u64 {
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Flight-recorder annotation of a command: kind code plus up to two
 /// coordinates ([`FLIGHT_NONE`] for absent/sampled ones).
-fn flight_coords(cmd: &EngineCmd) -> (u64, u64, u64) {
+pub(crate) fn flight_coords(cmd: &EngineCmd) -> (u64, u64, u64) {
     let coord = |v: Option<usize>| v.map_or(FLIGHT_NONE, |b| b as u64);
     match cmd {
         EngineCmd::Arrive(req) => (
@@ -264,11 +334,11 @@ fn flight_coords(cmd: &EngineCmd) -> (u64, u64, u64) {
     }
 }
 
-fn to_json<T: serde::Serialize>(value: &T) -> String {
+pub(crate) fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("API replies always encode")
 }
 
-fn execute(core: &mut ServeCore, cmd: &EngineCmd) -> EngineReply {
+pub(crate) fn execute(core: &mut ServeCore, cmd: &EngineCmd) -> EngineReply {
     match cmd {
         EngineCmd::Arrive(req) => core.arrive(req).map(|r| to_json(&r)),
         EngineCmd::Depart(req) => core.depart(req).map(|r| to_json(&r)),
@@ -317,7 +387,7 @@ fn worker_loop(
 
 /// Largest pipelined burst answered with one engine round trip and one
 /// socket write.
-const MAX_BATCH: usize = 64;
+pub(crate) const MAX_BATCH: usize = 64;
 
 /// What one request of a batch is waiting on.
 enum Pending {
@@ -492,13 +562,13 @@ fn serve_connection(
 }
 
 #[derive(serde::Serialize)]
-struct ErrorBody {
-    error: String,
+pub(crate) struct ErrorBody {
+    pub(crate) error: String,
 }
 
 /// Decode a request into an engine command or a worker-local answer (no
 /// state access here — pure routing, runs on the worker).
-fn route(method: &str, path: &str, body: &[u8]) -> Result<Routed, ServeError> {
+pub(crate) fn route(method: &str, path: &str, body: &[u8]) -> Result<Routed, ServeError> {
     let parse_body = |what: &str| -> Result<serde_json::Value, ServeError> {
         let text = std::str::from_utf8(body)
             .map_err(|_| ServeError::bad_request(format!("{what} body is not UTF-8")))?;

@@ -7,7 +7,8 @@ use rls_live::{LiveEngine, LiveParams, Recorder, Snapshot, SteadyState};
 use rls_rng::rng_from_seed;
 use rls_serve::{
     core_from_log, replay_over_http, serve, ArriveReply, ArriveRequest, DepartReply, DepartRequest,
-    HealthReply, HttpClient, RingReply, ServeCore, ServePolicy, ServerConfig, StatsReply,
+    Frontend, HealthReply, HttpClient, RingReply, ServeCore, ServePolicy, ServerConfig,
+    StatsReply,
 };
 use rls_workloads::ArrivalProcess;
 
@@ -20,11 +21,16 @@ fn make_core(seed: u64, rings_per_arrival: f64) -> ServeCore {
 }
 
 fn boot(core: ServeCore, workers: usize) -> rls_serve::HttpServer {
+    boot_frontend(core, workers, Frontend::WorkerPool)
+}
+
+fn boot_frontend(core: ServeCore, workers: usize, frontend: Frontend) -> rls_serve::HttpServer {
     serve(
         core,
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers,
+            frontend,
         },
     )
     .expect("ephemeral-port server boots")
@@ -259,9 +265,10 @@ fn pipelined_burst_labels_connection_per_message() {
         .unwrap();
 
     // Two pipelined requests; only the second asks to close.  The first
-    // response must stay `Connection: keep-alive` (a conforming peer
-    // would otherwise discard the second response), the second must be
-    // `close`, and the server must then hang up.
+    // response must stay keep-alive — implicit, the HTTP/1.1 default (a
+    // `close` label would make a conforming peer discard the second
+    // response) — the second must announce `close`, and the server must
+    // then hang up.
     stream
         .write_all(
             b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
@@ -274,7 +281,7 @@ fn pipelined_burst_labels_connection_per_message() {
     let responses: Vec<&str> = text.split("HTTP/1.1 200 OK").collect();
     assert_eq!(responses.len(), 3, "expected two 200s: {text}");
     assert!(
-        responses[1].contains("Connection: keep-alive"),
+        !responses[1].contains("Connection: close"),
         "first response mislabeled: {}",
         responses[1]
     );
@@ -784,5 +791,120 @@ fn weighted_percentiles_range_over_the_live_set_after_drains() {
     assert!(
         hetero.opt_lower >= hetero.total_weight as f64 / live_speed as f64 / 2.0,
         "bound too weak to have come from the live speeds: {hetero:?}"
+    );
+}
+
+/// Both frontends and an offline core, all seeded alike, fed the same
+/// pipelined command trace: every reply must agree byte for byte, and the
+/// final stats digest and load vector to the bit.  This is the acceptance
+/// test for the event-loop frontend: batching happens at command
+/// granularity, never inside the RNG stream, so how requests reach the
+/// engine can never show up in the trajectory.
+#[test]
+fn both_frontends_are_bit_equal_to_an_offline_core() {
+    let seed = 314;
+    let wp = boot_frontend(make_core(seed, 1.5), 2, Frontend::WorkerPool);
+    let el = boot_frontend(make_core(seed, 1.5), 2, Frontend::EventLoop);
+    let mut offline = make_core(seed, 1.5);
+    let mut wp_client = HttpClient::connect(wp.addr()).unwrap();
+    let mut el_client = HttpClient::connect(el.addr()).unwrap();
+
+    // 15 bursts of 6 pipelined requests: both servers coalesce each burst
+    // into one engine batch, the offline core applies them one by one.
+    let request = |i: u64| -> (&'static str, &'static str, String) {
+        match i % 6 {
+            0 => ("POST", "/v1/arrive", String::new()),
+            1 => (
+                "POST",
+                "/v1/arrive",
+                format!(r#"{{"bin": {}, "rings": {}}}"#, i % 16, i % 3),
+            ),
+            2 => ("POST", "/v1/depart", String::new()),
+            3 => ("POST", "/v1/ring", String::new()),
+            4 => ("GET", "/v1/stats", String::new()),
+            _ => ("POST", "/v1/depart/5", String::new()),
+        }
+    };
+    for burst in 0..15u64 {
+        for i in burst * 6..(burst + 1) * 6 {
+            let (method, path, body) = request(i);
+            wp_client.send(method, path, body.as_bytes()).unwrap();
+            el_client.send(method, path, body.as_bytes()).unwrap();
+        }
+        for i in burst * 6..(burst + 1) * 6 {
+            let (wp_status, wp_body) = wp_client.recv().unwrap();
+            let (el_status, el_body) = el_client.recv().unwrap();
+            assert_eq!(wp_status, el_status, "request {i}");
+            assert_eq!(
+                String::from_utf8_lossy(&wp_body),
+                String::from_utf8_lossy(&el_body),
+                "request {i}: frontends disagree"
+            );
+            // The offline core answers the same request from plain Rust;
+            // rejected commands (e.g. a 409 departure from an empty bin)
+            // must round-trip identically too.
+            let (method, path, body) = request(i);
+            let offline_reply = match (method, path) {
+                ("POST", "/v1/arrive") => {
+                    let req: ArriveRequest = if body.is_empty() {
+                        ArriveRequest::default()
+                    } else {
+                        serde_json::from_str(&body).unwrap()
+                    };
+                    offline.arrive(&req).map(|r| serde_json::to_string(&r).unwrap())
+                }
+                ("POST", "/v1/depart") => offline
+                    .depart(&DepartRequest::default())
+                    .map(|r| serde_json::to_string(&r).unwrap()),
+                ("POST", "/v1/depart/5") => offline
+                    .depart(&DepartRequest { bin: Some(5) })
+                    .map(|r| serde_json::to_string(&r).unwrap()),
+                ("POST", "/v1/ring") => offline
+                    .ring(&Default::default())
+                    .map(|r| serde_json::to_string(&r).unwrap()),
+                _ => Ok(serde_json::to_string(&offline.stats()).unwrap()),
+            };
+            let (offline_status, offline_body) = match offline_reply {
+                Ok(body) => (200, body),
+                Err(e) => (e.status, format!(r#"{{"error":{}}}"#, serde_json::to_string(&e.message).unwrap())),
+            };
+            assert_eq!(wp_status, offline_status, "request {i}");
+            assert_eq!(
+                String::from_utf8_lossy(&wp_body),
+                offline_body,
+                "request {i}: HTTP path diverged from offline"
+            );
+        }
+    }
+
+    // Final digest: identical bits across all three.
+    let wp_stats: StatsReply =
+        serde_json::from_str(&wp_client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let el_stats: StatsReply =
+        serde_json::from_str(&el_client.request_ok("GET", "/v1/stats", b"").unwrap()).unwrap();
+    let expected = offline.stats();
+    assert_eq!(wp_stats, expected);
+    assert_eq!(el_stats, expected);
+    for (got, want) in [
+        (wp_stats.summary.mean_gap, expected.summary.mean_gap),
+        (el_stats.summary.mean_gap, expected.summary.mean_gap),
+        (wp_stats.time, expected.time),
+        (el_stats.time, expected.time),
+    ] {
+        assert_eq!(got.to_bits(), want.to_bits(), "stats must agree to the bit");
+    }
+    assert_eq!(wp_stats.identity, expected.identity);
+    assert_eq!(el_stats.identity, expected.identity);
+
+    // And the final load vectors inside the recovered cores.
+    let wp_core = wp.shutdown();
+    let el_core = el.shutdown();
+    assert_eq!(
+        wp_core.engine().config().loads(),
+        offline.engine().config().loads()
+    );
+    assert_eq!(
+        el_core.engine().config().loads(),
+        offline.engine().config().loads()
     );
 }

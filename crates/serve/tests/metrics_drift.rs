@@ -11,7 +11,7 @@
 use rls_core::{Config, RlsRule};
 use rls_live::{LiveEngine, LiveParams};
 use rls_obs::Registry;
-use rls_serve::{serve, HttpClient, ServeCore, ServePolicy, ServerConfig, CATALOG};
+use rls_serve::{serve, Frontend, HttpClient, ServeCore, ServePolicy, ServerConfig, CATALOG};
 use rls_workloads::ArrivalProcess;
 
 fn boot_with_metrics() -> (rls_serve::HttpServer, Registry) {
@@ -34,6 +34,7 @@ fn boot_with_metrics() -> (rls_serve::HttpServer, Registry) {
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
+            frontend: Frontend::WorkerPool,
         },
     )
     .expect("ephemeral-port server boots");
@@ -169,6 +170,7 @@ fn metrics_endpoints_404_without_telemetry() {
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
+            frontend: Frontend::WorkerPool,
         },
     )
     .unwrap();

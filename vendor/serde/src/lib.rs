@@ -34,6 +34,18 @@ pub use value::{Map, Value};
 pub trait Serialize {
     /// Convert to the self-describing value tree.
     fn to_value(&self) -> Value;
+
+    /// Append `self` as *compact* JSON text directly to `out` — the
+    /// streaming fast path used by `serde_json::to_string`, which skips
+    /// building the intermediate [`Value`] tree (and all its key/number
+    /// allocations) on hot serialization paths.
+    ///
+    /// Implementations MUST produce byte-identical output to compact-
+    /// rendering `self.to_value()`; the default does exactly that, so
+    /// hand-written `Serialize` impls stay correct without opting in.
+    fn write_json(&self, out: &mut String) {
+        value::write_compact(&self.to_value(), out);
+    }
 }
 
 /// Deserialize `Self` from a [`Value`] tree.
@@ -62,6 +74,10 @@ macro_rules! ser_uint {
             fn to_value(&self) -> Value {
                 Value::UInt(*self as u64)
             }
+
+            fn write_json(&self, out: &mut String) {
+                value::write_json_u64(*self as u64, out);
+            }
         }
     )*};
 }
@@ -73,6 +89,10 @@ macro_rules! ser_int {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
             }
+
+            fn write_json(&self, out: &mut String) {
+                value::write_json_i64(*self as i64, out);
+            }
         }
     )*};
 }
@@ -82,11 +102,19 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(*self as f64)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_json_f64(*self as f64, out);
     }
 }
 
@@ -94,11 +122,19 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
     }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_json_f64(*self, out);
+    }
 }
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_json_str(self, out);
     }
 }
 
@@ -106,11 +142,19 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_json_str(self, out);
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_json_str(self.encode_utf8(&mut [0u8; 4]), out);
     }
 }
 
@@ -118,11 +162,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
     }
 }
 
@@ -133,11 +185,37 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+/// Stream a sequence as a JSON array.
+fn write_json_seq<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+    out: &mut String,
+) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
     }
 }
 
@@ -145,17 +223,33 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
 }
 
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
     }
 }
 
@@ -167,11 +261,25 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
             self.2.to_value(),
         ])
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(',');
+        self.2.write_json(out);
+        out.push(']');
+    }
 }
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        value::write_compact(self, out);
     }
 }
 
@@ -182,6 +290,19 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
             m.insert(k.clone(), v.to_value());
         }
         Value::Object(m)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            value::write_json_str(k, out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
     }
 }
 

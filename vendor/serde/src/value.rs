@@ -175,6 +175,106 @@ impl Value {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Compact writer: the streaming backend of `Serialize::write_json`.
+// Byte-identical to `serde_json::to_string`'s compact rendering (which is
+// asserted by tests over there) — both must change together.
+// ---------------------------------------------------------------------------
+
+/// Append `v` as compact JSON to `out`.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(x) => write_json_i64(*x, out),
+        Value::UInt(x) => write_json_u64(*x, out),
+        Value::Float(x) => write_json_f64(*x, out),
+        Value::Str(s) => write_json_str(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Append `v` in decimal without allocating.
+pub fn write_json_u64(mut v: u64, out: &mut String) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // Plain ASCII digits are valid UTF-8.
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("decimal digits are UTF-8"));
+}
+
+/// Append `v` in decimal without allocating.
+pub fn write_json_i64(v: i64, out: &mut String) {
+    if v < 0 {
+        out.push('-');
+        write_json_u64(v.unsigned_abs(), out);
+    } else {
+        write_json_u64(v as u64, out);
+    }
+}
+
+/// Append `v` the way JSON rendering prints floats: `{}` (integral floats
+/// without a fractional part, which round-trips exactly through the
+/// numeric `Deserialize` impls), and `null` for non-finite values.
+pub fn write_json_f64(v: f64, out: &mut String) {
+    use fmt::Write as _;
+    if v.is_finite() {
+        write!(out, "{v}").expect("writing to a String cannot fail");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 // `Display` for `Value` only needs to be good enough for error messages; the
 // real rendering lives in `serde_json`.
 impl fmt::Display for Value {

@@ -311,12 +311,34 @@ fn struct_serialize(name: &str, fields: &[String]) -> String {
             "map.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
         ));
     }
+    // The streaming body mirrors `to_value` + compact rendering exactly:
+    // fields in declaration order, `"name":value` joined by commas.  Field
+    // names are Rust identifiers, so the emitted key literals never need
+    // JSON escaping.
+    let mut writes = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let key = if i == 0 {
+            format!("\"{f}\":")
+        } else {
+            format!(",\"{f}\":")
+        };
+        writes.push_str(&format!(
+            "out.push_str({key:?});
+             ::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
     format!(
         "impl ::serde::Serialize for {name} {{
             fn to_value(&self) -> ::serde::Value {{
                 let mut map = ::serde::Map::new();
                 {inserts}
                 ::serde::Value::Object(map)
+            }}
+
+            fn write_json(&self, out: &mut ::std::string::String) {{
+                out.push('{{');
+                {writes}
+                out.push('}}');
             }}
         }}"
     )
@@ -341,6 +363,10 @@ fn struct_deserialize(name: &str, fields: &[String]) -> String {
 
 fn enum_serialize(name: &str, variants: &[Variant]) -> String {
     let mut arms = String::new();
+    // Streaming arms: same shapes as `to_value` rendered compactly.
+    // Variant and field names are Rust identifiers, so the emitted key
+    // literals never need JSON escaping.
+    let mut warms = String::new();
     for v in variants {
         let vn = &v.name;
         match &v.shape {
@@ -348,6 +374,8 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                 arms.push_str(&format!(
                     "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
                 ));
+                let lit = format!("\"{vn}\"");
+                warms.push_str(&format!("{name}::{vn} => out.push_str({lit:?}),\n"));
             }
             VariantShape::Tuple(1) => {
                 arms.push_str(&format!(
@@ -355,6 +383,14 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                         let mut map = ::serde::Map::new();
                         map.insert({vn:?}, ::serde::Serialize::to_value(x0));
                         ::serde::Value::Object(map)
+                    }}\n"
+                ));
+                let open = format!("{{\"{vn}\":");
+                warms.push_str(&format!(
+                    "{name}::{vn}(x0) => {{
+                        out.push_str({open:?});
+                        ::serde::Serialize::write_json(x0, out);
+                        out.push('}}');
                     }}\n"
                 ));
             }
@@ -372,6 +408,24 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                     }}\n",
                     binds = binds.join(", "),
                     elems = elems.join(", "),
+                ));
+                let open = format!("{{\"{vn}\":[");
+                let writes: Vec<String> = binds
+                    .iter()
+                    .enumerate()
+                    .map(|(k, b)| {
+                        let comma = if k > 0 { "out.push(',');\n" } else { "" };
+                        format!("{comma}::serde::Serialize::write_json({b}, out);")
+                    })
+                    .collect();
+                warms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{
+                        out.push_str({open:?});
+                        {writes}
+                        out.push_str(\"]}}\");
+                    }}\n",
+                    binds = binds.join(", "),
+                    writes = writes.join("\n"),
                 ));
             }
             VariantShape::Struct(fields) => {
@@ -391,6 +445,26 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                         ::serde::Value::Object(map)
                     }}\n"
                 ));
+                let open = format!("{{\"{vn}\":{{");
+                let mut writes = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let key = if i == 0 {
+                        format!("\"{f}\":")
+                    } else {
+                        format!(",\"{f}\":")
+                    };
+                    writes.push_str(&format!(
+                        "out.push_str({key:?});
+                         ::serde::Serialize::write_json({f}, out);\n"
+                    ));
+                }
+                warms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{
+                        out.push_str({open:?});
+                        {writes}
+                        out.push_str(\"}}}}\");
+                    }}\n"
+                ));
             }
         }
     }
@@ -398,6 +472,10 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
         "impl ::serde::Serialize for {name} {{
             fn to_value(&self) -> ::serde::Value {{
                 match self {{ {arms} }}
+            }}
+
+            fn write_json(&self, out: &mut ::std::string::String) {{
+                match self {{ {warms} }}
             }}
         }}"
     )

@@ -59,9 +59,14 @@ pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
 }
 
 /// Serialize to compact JSON text.
+///
+/// Streams through [`Serialize::write_json`], skipping the intermediate
+/// [`Value`] tree; the result is byte-identical to compact-rendering
+/// `value.to_value()` (asserted by `streaming_to_string_matches_tree_rendering`
+/// below).
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0, false);
+    let mut out = String::with_capacity(128);
+    value.write_json(&mut out);
     Ok(out)
 }
 
@@ -487,5 +492,24 @@ mod tests {
     fn nonfinite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    /// `to_string` streams via `Serialize::write_json`; the tree renderer
+    /// (`write_value`) is the reference.  Both must stay byte-identical —
+    /// repo-wide snapshot and bit-equality tests ride on this invariant.
+    #[test]
+    fn streaming_to_string_matches_tree_rendering() {
+        let gnarly = [
+            r#"{"a":[1,2.5,{"b":null}],"c":"x"}"#,
+            r#"{"s":"quote \" slash \\ tab \t nl \n ctl \u0001","e":{},"v":[[],[[]]]}"#,
+            r#"[-9223372036854775808,18446744073709551615,0,-0.5,1e300]"#,
+            r#"{"unicode":"héllo \u00e9 ☃","deep":{"x":{"y":{"z":[true,false,null]}}}}"#,
+        ];
+        for text in gnarly {
+            let v = parse_value(text).unwrap();
+            let mut tree = String::new();
+            write_value(&mut tree, &v, None, 0, false);
+            assert_eq!(to_string(&v).unwrap(), tree, "diverged on {text}");
+        }
     }
 }
